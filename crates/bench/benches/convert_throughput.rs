@@ -1,0 +1,31 @@
+//! Benchmark: full document conversion (all four restructuring rules).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_concepts::resume;
+use webre_convert::Converter;
+use webre_corpus::CorpusGenerator;
+
+fn bench_convert(c: &mut Criterion) {
+    let gen = CorpusGenerator::new(5);
+    let converter = Converter::new(resume::concepts());
+
+    let mut group = c.benchmark_group("convert");
+    for n in [1usize, 8, 32] {
+        let docs: Vec<webre_html::HtmlDocument> = (0..n)
+            .map(|i| webre_html::parse(&gen.generate_one(i).html))
+            .collect();
+        let bytes: usize = (0..n).map(|i| gen.generate_one(i).html.len()).sum();
+        group.throughput(Throughput::Bytes(bytes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &docs, |b, docs| {
+            b.iter(|| {
+                for d in docs {
+                    std::hint::black_box(converter.convert(d));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convert);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark: frequent-path mining across support thresholds (the
+//! threshold sweep behind the majority schema).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webre_concepts::resume;
+use webre_convert::Converter;
+use webre_corpus::CorpusGenerator;
+use webre_schema::{extract_paths, DocPaths, FrequentPathMiner};
+
+fn corpus_paths(n: usize) -> Vec<DocPaths> {
+    let gen = CorpusGenerator::new(9);
+    let converter = Converter::new(resume::concepts());
+    (0..n)
+        .map(|i| {
+            let (doc, _) = converter.convert_str(&gen.generate_one(i).html);
+            extract_paths(&doc)
+        })
+        .collect()
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let paths = corpus_paths(100);
+    let mut group = c.benchmark_group("frequent_paths");
+    for sup in [0.1f64, 0.5, 0.9] {
+        group.bench_with_input(BenchmarkId::from_parameter(sup), &sup, |b, &sup| {
+            let miner = FrequentPathMiner {
+                sup_threshold: sup,
+                ratio_threshold: 0.0,
+                constraints: None,
+                max_len: None,
+            };
+            b.iter(|| std::hint::black_box(miner.mine(&paths)))
+        });
+    }
+    group.bench_function("with_constraints", |b| {
+        let miner = FrequentPathMiner {
+            sup_threshold: 0.5,
+            ratio_threshold: 0.3,
+            constraints: Some(resume::constraints()),
+            max_len: None,
+        };
+        b.iter(|| std::hint::black_box(miner.mine(&paths)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benchmark: HTML tag-soup parsing and tidy over generated resume pages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_corpus::CorpusGenerator;
+
+fn bench_html_parse(c: &mut Criterion) {
+    let gen = CorpusGenerator::new(1);
+    let pages: Vec<String> = (0..16).map(|i| gen.generate_one(i).html).collect();
+    let bytes: usize = pages.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("html");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            for p in &pages {
+                std::hint::black_box(webre_html::parse(p));
+            }
+        })
+    });
+    group.bench_function("parse_and_tidy", |b| {
+        b.iter(|| {
+            for p in &pages {
+                let mut doc = webre_html::parse(p);
+                webre_html::tidy(&mut doc);
+                std::hint::black_box(doc);
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("html_by_size");
+    for n in [1usize, 4, 16] {
+        let page: String = pages.iter().take(n).cloned().collect();
+        group.throughput(Throughput::Bytes(page.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &page, |b, p| {
+            b.iter(|| std::hint::black_box(webre_html::parse(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_html_parse);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Benchmark: Figure 5's shape — convert + discover at growing corpus
+//! sizes; Criterion's estimates across the sizes should grow linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_bench::harness::{corpus_html, paper_pipeline};
+
+fn bench_scaling(c: &mut Criterion) {
+    let pipeline = paper_pipeline();
+    let mut group = c.benchmark_group("schema_scaling");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        let htmls = corpus_html(8, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &htmls, |b, htmls| {
+            b.iter(|| {
+                let docs = pipeline.convert_corpus(htmls);
+                std::hint::black_box(pipeline.discover_schema(&docs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

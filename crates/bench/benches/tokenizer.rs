@@ -1,0 +1,32 @@
+//! Benchmark: topic-sentence tokenization and concept-instance matching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use webre_concepts::{matcher::find_matches, resume};
+use webre_text::tokenize::{split_tokens, Delimiters};
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let sentence =
+        "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0";
+    let delims = Delimiters::default();
+    let concepts = resume::concepts();
+
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(sentence.len() as u64));
+    group.bench_function("split_tokens", |b| {
+        b.iter(|| std::hint::black_box(split_tokens(sentence, &delims)))
+    });
+    group.bench_function("find_matches", |b| {
+        b.iter(|| std::hint::black_box(find_matches(&concepts, sentence)))
+    });
+    group.bench_function("tokenize_then_match", |b| {
+        b.iter(|| {
+            for tok in split_tokens(sentence, &delims) {
+                std::hint::black_box(find_matches(&concepts, &tok));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizer);
+criterion_main!(benches);

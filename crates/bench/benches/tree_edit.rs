@@ -1,0 +1,40 @@
+//! Benchmark: Zhang–Shasha tree-edit distance on document-sized trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webre_bench::harness::paper_pipeline;
+use webre_corpus::CorpusGenerator;
+use webre_map::{edit_distance_docs, EditCosts};
+
+fn bench_tree_edit(c: &mut Criterion) {
+    let gen = CorpusGenerator::new(17);
+    let pipeline = paper_pipeline();
+    let docs: Vec<webre_xml::XmlDocument> = (0..6)
+        .map(|i| pipeline.convert_html(&gen.generate_one(i).html).0)
+        .collect();
+
+    let mut group = c.benchmark_group("tree_edit");
+    for (i, j) in [(0usize, 1usize), (2, 3), (4, 5)] {
+        let name = format!(
+            "{}x{}",
+            docs[i].element_count(),
+            docs[j].element_count()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(i, j),
+            |b, &(i, j)| {
+                b.iter(|| {
+                    std::hint::black_box(edit_distance_docs(
+                        &docs[i],
+                        &docs[j],
+                        &EditCosts::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_edit);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation A2: synonym matching vs the Bayes classifier in the concept
+//! instance rule (the two identification mechanisms of Section 2.3.1).
+//!
+//! Trains the multinomial NB on generator-labeled tokens, then measures
+//! token-level identification and document-level conversion accuracy in
+//! three modes: synonyms only, Bayes only, and synonyms + Bayes.
+//!
+//! Run with: `cargo run --release -p webre-bench --bin ablation_classifier`
+
+use webre::concepts::resume;
+use webre::convert::accuracy::logical_errors;
+use webre::convert::{ClassifierMode, ConvertConfig, Converter};
+use webre::text::BayesTrainer;
+use webre_bench::harness::labeled_tokens;
+use webre_corpus::CorpusGenerator;
+
+fn main() {
+    let docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let generator = CorpusGenerator::new(909);
+    let set = resume::concepts();
+
+    // Train on 60 documents' tokens, labeled via synonym ground truth.
+    let mut trainer = BayesTrainer::new();
+    for doc in generator.generate(60) {
+        for (label, token) in labeled_tokens(&doc.html, &set) {
+            trainer.add(&label, &token);
+        }
+    }
+    println!(
+        "Ablation A2 — concept identification ({} training tokens, {docs} eval documents)",
+        trainer.example_count()
+    );
+    let model = trainer.build().expect("training data");
+
+    let modes = [
+        ("synonyms only", ClassifierMode::SynonymsOnly),
+        (
+            "Bayes only",
+            ClassifierMode::BayesOnly {
+                model: model.clone(),
+                margin: 0.0,
+                unknown_label: "unknown".into(),
+            },
+        ),
+        (
+            "synonyms + Bayes",
+            ClassifierMode::Both {
+                model,
+                margin: 0.0,
+                unknown_label: "unknown".into(),
+            },
+        ),
+    ];
+
+    println!();
+    println!(
+        "  {:<18} {:>12} {:>14} {:>12}",
+        "mode", "ident. rate", "via classifier", "avg error"
+    );
+    // Evaluate on unseen documents (indices past the training range).
+    for (label, mode) in modes {
+        let converter = Converter::with_config(
+            resume::concepts(),
+            ConvertConfig {
+                classifier: mode,
+                ..ConvertConfig::default()
+            },
+        );
+        let mut identified = 0u64;
+        let mut total = 0u64;
+        let mut via_classifier = 0u64;
+        let mut error_rate = 0.0;
+        for i in 0..docs {
+            let doc = generator.generate_one(10_000 + i);
+            let (xml, stats) = converter.convert(&webre::html::parse(&doc.html));
+            identified += stats.tokens_identified;
+            total += stats.tokens_total;
+            via_classifier += stats.tokens_via_classifier;
+            error_rate += logical_errors(&xml, &doc.truth).error_rate();
+        }
+        println!(
+            "  {label:<18} {:>11.1}% {via_classifier:>14} {:>11.1}%",
+            identified as f64 / total as f64 * 100.0,
+            error_rate / docs as f64 * 100.0
+        );
+    }
+}

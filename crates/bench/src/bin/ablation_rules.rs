@@ -1,0 +1,75 @@
+//! Ablation A1: contribution of the individual restructuring rules.
+//!
+//! The paper motivates each rule qualitatively (Sections 2.3–2.4,
+//! including "applying HTML cleansing tools can improve the accuracy");
+//! this harness quantifies them by re-running the Figure-4 accuracy
+//! experiment with each structure rule (and the tidy pass) disabled.
+//!
+//! Run with: `cargo run --release -p webre-bench --bin ablation_rules`
+
+use webre::concepts::resume;
+use webre::convert::accuracy::logical_errors;
+use webre::convert::{ConvertConfig, Converter};
+use webre_corpus::CorpusGenerator;
+
+fn run(label: &str, config: ConvertConfig, docs: usize) {
+    let corpus = CorpusGenerator::new(2002).generate(docs);
+    let converter = Converter::with_config(resume::concepts(), config);
+    let mut total_rate = 0.0;
+    let mut total_errors = 0u64;
+    for doc in &corpus {
+        let (xml, _) = converter.convert(&webre::html::parse(&doc.html));
+        let report = logical_errors(&xml, &doc.truth);
+        total_rate += report.error_rate();
+        total_errors += report.errors;
+    }
+    println!(
+        "  {label:<28} {:>6.1}% avg error   {:>5.1} errors/doc",
+        total_rate / docs as f64 * 100.0,
+        total_errors as f64 / docs as f64
+    );
+}
+
+fn main() {
+    let docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    println!("Ablation A1 — restructuring rules ({docs} documents)");
+    println!();
+
+    run("full pipeline", ConvertConfig::default(), docs);
+    run(
+        "without grouping rule",
+        ConvertConfig {
+            grouping: false,
+            ..ConvertConfig::default()
+        },
+        docs,
+    );
+    run(
+        "without consolidation rule",
+        ConvertConfig {
+            consolidation: false,
+            ..ConvertConfig::default()
+        },
+        docs,
+    );
+    run(
+        "without tidy pass",
+        ConvertConfig {
+            tidy: false,
+            ..ConvertConfig::default()
+        },
+        docs,
+    );
+    run(
+        "text rules only",
+        ConvertConfig {
+            grouping: false,
+            consolidation: false,
+            ..ConvertConfig::default()
+        },
+        docs,
+    );
+}

@@ -1,0 +1,102 @@
+//! Experiment A6: automatic concept-instance discovery (the paper's
+//! Section 5 future work, implemented).
+//!
+//! Setup: cripple the resume domain by deleting most of each content
+//! concept's instances (keeping only the concept name itself), convert —
+//! identification collapses. Then label a training corpus's tokens with
+//! the *full* domain (standing in for the paper's hand-labeling), run
+//! instance discovery, augment the crippled domain with what it finds, and
+//! convert again.
+//!
+//! Run with: `cargo run --release -p webre-bench --bin instance_discovery`
+
+use webre::concepts::discovery::{augment, discover_instances, DiscoveryConfig};
+use webre::concepts::{resume, Concept, ConceptSet};
+use webre_bench::harness::labeled_tokens;
+use webre::convert::accuracy::logical_errors;
+use webre::convert::Converter;
+use webre_corpus::CorpusGenerator;
+
+/// Keeps only the first instance (the concept name) of every content
+/// concept; title concepts keep their headings so sections still resolve.
+fn crippled_domain() -> ConceptSet {
+    resume::concepts()
+        .iter()
+        .map(|c| {
+            let mut c: Concept = c.clone();
+            if matches!(c.role, webre::concepts::ConceptRole::Content) {
+                c.instances.truncate(1);
+            }
+            c
+        })
+        .collect()
+}
+
+fn evaluate(label: &str, concepts: ConceptSet, eval_docs: usize) {
+    let generator = CorpusGenerator::new(606);
+    let converter = Converter::new(concepts);
+    let mut identified = 0u64;
+    let mut total = 0u64;
+    let mut error = 0.0;
+    for i in 0..eval_docs {
+        let doc = generator.generate_one(50_000 + i);
+        let (xml, stats) = converter.convert_str(&doc.html);
+        identified += stats.tokens_identified;
+        total += stats.tokens_total;
+        error += logical_errors(&xml, &doc.truth).error_rate();
+    }
+    println!(
+        "  {label:<22} {:>5.1}% tokens identified   {:>5.1}% avg error",
+        identified as f64 / total as f64 * 100.0,
+        error / eval_docs as f64 * 100.0
+    );
+}
+
+fn main() {
+    let train_docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(80);
+    let eval_docs = 40;
+
+    println!("A6 — bootstrap via instance discovery ({train_docs} training documents)");
+    println!();
+
+    let full = resume::concepts();
+    let crippled = crippled_domain();
+    println!(
+        "  full domain: {} instances; crippled domain: {} instances",
+        full.total_instances(),
+        crippled.total_instances()
+    );
+    println!();
+
+    evaluate("full domain", full.clone(), eval_docs);
+    evaluate("crippled domain", crippled.clone(), eval_docs);
+
+    // Label training tokens with the full domain (the "hand labels").
+    let generator = CorpusGenerator::new(606);
+    let mut examples: Vec<(String, String)> = Vec::new();
+    for doc in generator.generate(train_docs) {
+        examples.extend(labeled_tokens(&doc.html, &full));
+    }
+
+    let proposals = discover_instances(&examples, "unknown", &DiscoveryConfig::default());
+    let mut recovered = crippled;
+    let added = augment(&mut recovered, &proposals);
+    println!();
+    println!(
+        "  discovery proposed {} instances from {} labeled tokens; {} added",
+        proposals.len(),
+        examples.len(),
+        added
+    );
+    for p in proposals.iter().take(8) {
+        println!(
+            "    {} <- {:?} (support {}, precision {:.2})",
+            p.concept, p.instance, p.support, p.precision
+        );
+    }
+    println!();
+    evaluate("crippled + discovered", recovered, eval_docs);
+}

@@ -1,0 +1,70 @@
+//! Experiment E2 — Section 4.2: concept constraints shrink the schema
+//! search space.
+//!
+//! Paper: exhaustive enumeration of label paths over 24 concepts up to
+//! length 4 explores 24⁵ − 1 = 7,962,623 nodes; with the constraint
+//! classes (no repeats, 11 title names at depth 1, 13 content names at
+//! depth > 1, max depth 4) the space drops to 1,871 nodes (0.023%); not
+//! extending zero-support nodes leaves 73 explored (0.0009%).
+//!
+//! Run with: `cargo run --release -p webre-bench --bin table_constraints`
+
+use webre::concepts::resume;
+use webre::Pipeline;
+use webre_schema::extract_paths;
+use webre_schema::search_space::{
+    constrained_enumeration, data_driven_exploration, exhaustive_size, trie_size,
+};
+use webre_corpus::CorpusGenerator;
+
+fn main() {
+    let docs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(380);
+
+    let concepts = resume::concepts();
+    let constraints = resume::constraints();
+
+    let exhaustive = exhaustive_size(concepts.len(), resume::MAX_DEPTH);
+    let trie = trie_size(concepts.len(), resume::MAX_DEPTH);
+    let constrained = constrained_enumeration(&concepts, &constraints, "resume", 4);
+
+    println!("Section 4.2 — Concept Constraints (search-space nodes)");
+    println!();
+    println!("  domain: {} concepts, {} instances, {} title / {} content names",
+        concepts.len(),
+        concepts.total_instances(),
+        resume::TITLE_COUNT,
+        resume::CONTENT_COUNT
+    );
+    println!();
+    println!("  exhaustive (paper's 24^5-1 formula):  {exhaustive:>9}   (paper: 7,962,623)");
+    println!("  exhaustive (trie-sum alternative):    {trie:>9}");
+    println!(
+        "  with constraints:                     {:>9}   (paper: 1,871 = 1 + 11 + 11x13 + 11x13x12)",
+        constrained.admissible
+    );
+    println!(
+        "    = {:.4}% of the paper's exhaustive space (paper: 0.023%)",
+        constrained.admissible as f64 / exhaustive as f64 * 100.0
+    );
+
+    // Data-driven: only extend candidates with non-zero support.
+    println!();
+    println!("  converting {docs} generated documents for the data-driven count...");
+    let corpus = CorpusGenerator::new(42).generate(docs);
+    let pipeline = Pipeline::resume_domain();
+    let paths: Vec<_> = corpus
+        .iter()
+        .map(|d| extract_paths(&pipeline.convert_html(&d.html).0))
+        .collect();
+    let explored = data_driven_exploration(&concepts, &constraints, &paths, "resume", 4);
+    println!(
+        "  constrained + non-zero support only:  {explored:>9}   (paper: 73)"
+    );
+    println!(
+        "    = {:.4}% of the paper's exhaustive space (paper: 0.0009%)",
+        explored as f64 / exhaustive as f64 * 100.0
+    );
+}

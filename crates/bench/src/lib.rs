@@ -1,0 +1,2 @@
+//! Shared helpers for the webre benchmark and experiment harnesses.
+pub mod harness;

@@ -1,0 +1,254 @@
+//! Concepts and concept sets.
+
+use serde::{Deserialize, Serialize};
+
+/// The role a concept plays in the document hierarchy (Section 4.2 divides
+/// the resume concepts into *title names* and *content names*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConceptRole {
+    /// Likely a section title; can only occur as a first-level node.
+    Title,
+    /// Describes the content of a title; only occurs at depth > 1.
+    Content,
+    /// No depth commitment.
+    Generic,
+}
+
+/// A topic concept: a name (used as the XML element name after
+/// [`webre_xml::name::sanitize`]-style cleanup by the converter) plus its
+/// concept instances.
+///
+/// Per the paper, the instance set always includes the concept name itself;
+/// [`Concept::new`] enforces this.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Concept {
+    pub name: String,
+    pub role: ConceptRole,
+    /// Text patterns/keywords identifying the concept, including its name.
+    pub instances: Vec<String>,
+}
+
+impl Concept {
+    /// Creates a concept, prepending the concept name to the instance list
+    /// if it is not already present (case-insensitively).
+    pub fn new(
+        name: impl Into<String>,
+        role: ConceptRole,
+        instances: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        let name = name.into();
+        let mut list: Vec<String> = instances.into_iter().map(Into::into).collect();
+        if !list.iter().any(|i| i.eq_ignore_ascii_case(&name)) {
+            list.insert(0, name.clone());
+        }
+        Concept {
+            name,
+            role,
+            instances: list,
+        }
+    }
+
+    /// Number of instances (including the name itself).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+/// The full set of topic concepts for a domain.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConceptSet {
+    concepts: Vec<Concept>,
+}
+
+impl ConceptSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a concept. Replaces an existing concept with the same name.
+    pub fn add(&mut self, concept: Concept) {
+        match self.concepts.iter_mut().find(|c| c.name == concept.name) {
+            Some(existing) => *existing = concept,
+            None => self.concepts.push(concept),
+        }
+    }
+
+    /// Looks a concept up by name.
+    pub fn get(&self, name: &str) -> Option<&Concept> {
+        self.concepts.iter().find(|c| c.name == name)
+    }
+
+    /// Whether a concept with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterates over the concepts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter()
+    }
+
+    /// Concept names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.concepts.iter().map(|c| c.name.as_str())
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Total number of concept instances across all concepts.
+    pub fn total_instances(&self) -> usize {
+        self.concepts.iter().map(Concept::instance_count).sum()
+    }
+
+    /// Names with a given role.
+    pub fn names_with_role(&self, role: ConceptRole) -> Vec<&str> {
+        self.concepts
+            .iter()
+            .filter(|c| c.role == role)
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+}
+
+impl FromIterator<Concept> for ConceptSet {
+    fn from_iter<T: IntoIterator<Item = Concept>>(iter: T) -> Self {
+        let mut set = ConceptSet::new();
+        for c in iter {
+            set.add(c);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_is_always_an_instance() {
+        let c = Concept::new("institution", ConceptRole::Content, ["University", "College"]);
+        assert_eq!(c.instances[0], "institution");
+        assert_eq!(c.instance_count(), 3);
+    }
+
+    #[test]
+    fn name_not_duplicated_if_present() {
+        let c = Concept::new("date", ConceptRole::Content, ["Date", "January"]);
+        assert_eq!(c.instance_count(), 2);
+    }
+
+    #[test]
+    fn set_add_replaces_by_name() {
+        let mut s = ConceptSet::new();
+        s.add(Concept::new("a", ConceptRole::Title, ["x"]));
+        s.add(Concept::new("a", ConceptRole::Title, ["x", "y"]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("a").unwrap().instance_count(), 3);
+    }
+
+    #[test]
+    fn totals_and_roles() {
+        let s: ConceptSet = [
+            Concept::new("education", ConceptRole::Title, ["academics"]),
+            Concept::new("degree", ConceptRole::Content, ["B.S.", "M.S."]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_instances(), 2 + 3);
+        assert_eq!(s.names_with_role(ConceptRole::Title), ["education"]);
+        assert_eq!(s.names_with_role(ConceptRole::Content), ["degree"]);
+        assert!(s.contains("degree"));
+        assert!(!s.contains("gpa"));
+    }
+}
+
+/// A complete topic domain: concepts plus optional constraints, as a user
+/// would author it in JSON (the paper's "minimal user input").
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Domain {
+    pub concepts: Vec<Concept>,
+    #[serde(default)]
+    pub constraints: Vec<crate::constraints::Constraint>,
+}
+
+impl Domain {
+    /// Loads a domain from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the domain to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("domain serializes")
+    }
+
+    /// The concept set.
+    pub fn concept_set(&self) -> ConceptSet {
+        self.concepts.iter().cloned().collect()
+    }
+
+    /// The constraint set.
+    pub fn constraint_set(&self) -> crate::constraints::ConstraintSet {
+        self.constraints.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod domain_tests {
+    use super::*;
+    use crate::constraints::{Comparator, Constraint};
+
+    fn sample() -> Domain {
+        Domain {
+            concepts: vec![
+                Concept::new("listing", ConceptRole::Title, ["for sale", "property"]),
+                Concept::new("price", ConceptRole::Content, ["$", "USD", "asking"]),
+            ],
+            constraints: vec![
+                Constraint::NoRepeat,
+                Constraint::depth("price", Comparator::Gt, 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = sample();
+        let json = d.to_json();
+        let back = Domain::from_json(&json).unwrap();
+        assert_eq!(back.concepts, d.concepts);
+        assert_eq!(back.constraints, d.constraints);
+    }
+
+    #[test]
+    fn sets_are_usable() {
+        let d = sample();
+        let set = d.concept_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("price"));
+        let cs = d.constraint_set();
+        assert!(!cs.admits_path(&["listing", "listing"]));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(Domain::from_json("{not json").is_err());
+        assert!(Domain::from_json("[]").is_err());
+    }
+
+    #[test]
+    fn constraints_default_to_empty() {
+        let d = Domain::from_json(r#"{"concepts": []}"#).unwrap();
+        assert!(d.constraints.is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Concept constraints and label-path admission.
+//!
+//! Section 2.2: for `c1, c2 ∈ Con`, the constraints `parent(c1, c2)`,
+//! `sibling(c1, c2)` and `depth(c1) ⊙ d` (`⊙ ∈ {=, <, >}`) state that `c1`
+//! is a (not necessarily direct) parent of `c2`, that `c1` and `c2` are
+//! siblings, and that `c1` may only occur at a certain depth. All
+//! predicates can be negated. Constraints are optional and need not be
+//! complete.
+//!
+//! Section 4.2 adds two experiment-level constraint classes we also model:
+//! a concept name cannot appear more than once along any label path
+//! ([`Constraint::NoRepeat`]), and a global maximum depth
+//! ([`Constraint::MaxDepth`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Depth comparator for `depth(c) ⊙ d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparator {
+    Eq,
+    Lt,
+    Gt,
+}
+
+impl Comparator {
+    fn test(self, lhs: usize, rhs: usize) -> bool {
+        match self {
+            Comparator::Eq => lhs == rhs,
+            Comparator::Lt => lhs < rhs,
+            Comparator::Gt => lhs > rhs,
+        }
+    }
+}
+
+/// One concept constraint.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `parent(ancestor, descendant)`: on any label path containing
+    /// `descendant`, `ancestor` must occur earlier (negated: must not).
+    Parent {
+        ancestor: String,
+        descendant: String,
+        negated: bool,
+    },
+    /// `sibling(a, b)`: `a` and `b` occur at the same level of abstraction.
+    /// Sibling constraints do not restrict label paths; they guide token
+    /// decomposition and grouping (negated: the two must not be siblings).
+    Sibling { a: String, b: String, negated: bool },
+    /// `depth(concept) ⊙ depth` with the root at depth 0
+    /// (negated: the comparison must not hold).
+    Depth {
+        concept: String,
+        cmp: Comparator,
+        depth: usize,
+        negated: bool,
+    },
+    /// A concept name cannot appear more than once along any label path.
+    NoRepeat,
+    /// No concept may occur at a depth greater than the given bound.
+    MaxDepth(usize),
+}
+
+impl Constraint {
+    /// `parent(c1, c2)` constructor.
+    pub fn parent(ancestor: impl Into<String>, descendant: impl Into<String>) -> Self {
+        Constraint::Parent {
+            ancestor: ancestor.into(),
+            descendant: descendant.into(),
+            negated: false,
+        }
+    }
+
+    /// `sibling(a, b)` constructor.
+    pub fn sibling(a: impl Into<String>, b: impl Into<String>) -> Self {
+        Constraint::Sibling {
+            a: a.into(),
+            b: b.into(),
+            negated: false,
+        }
+    }
+
+    /// `depth(c) ⊙ d` constructor.
+    pub fn depth(concept: impl Into<String>, cmp: Comparator, depth: usize) -> Self {
+        Constraint::Depth {
+            concept: concept.into(),
+            cmp,
+            depth,
+            negated: false,
+        }
+    }
+
+    /// Returns the negated form of this constraint (no-op for the
+    /// experiment-level `NoRepeat`/`MaxDepth` classes).
+    pub fn negate(mut self) -> Self {
+        match &mut self {
+            Constraint::Parent { negated, .. }
+            | Constraint::Sibling { negated, .. }
+            | Constraint::Depth { negated, .. } => *negated = !*negated,
+            Constraint::NoRepeat | Constraint::MaxDepth(_) => {}
+        }
+        self
+    }
+}
+
+/// A collection of constraints with admission checks.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty (fully permissive) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set has no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Whether a root label path (`path[0]` is the root, depth 0) is
+    /// admissible under every constraint.
+    pub fn admits_path(&self, path: &[&str]) -> bool {
+        self.constraints.iter().all(|c| match c {
+            Constraint::Parent {
+                ancestor,
+                descendant,
+                negated,
+            } => {
+                let ok = path
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| *l == descendant)
+                    .all(|(i, _)| path[..i].iter().any(|l| l == ancestor));
+                if *negated {
+                    // Negated: ancestor must never precede descendant.
+                    path.iter()
+                        .enumerate()
+                        .filter(|(_, l)| *l == descendant)
+                        .all(|(i, _)| !path[..i].iter().any(|l| l == ancestor))
+                } else {
+                    ok
+                }
+            }
+            Constraint::Sibling { .. } => true, // does not constrain paths
+            Constraint::Depth {
+                concept,
+                cmp,
+                depth,
+                negated,
+            } => path
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| *l == concept)
+                .all(|(i, _)| cmp.test(i, *depth) != *negated),
+            Constraint::NoRepeat => {
+                path.iter()
+                    .all(|l| path.iter().filter(|m| *m == l).count() == 1)
+            }
+            Constraint::MaxDepth(max) => path.len() <= max + 1,
+        })
+    }
+
+    /// Whether two concepts may be siblings (only negated sibling
+    /// constraints forbid it).
+    pub fn admits_siblings(&self, x: &str, y: &str) -> bool {
+        self.constraints.iter().all(|c| match c {
+            Constraint::Sibling { a, b, negated: true } => {
+                !((a == x && b == y) || (a == y && b == x))
+            }
+            _ => true,
+        })
+    }
+
+    /// Whether the constraints assert a positive sibling relationship
+    /// between two concepts (used as a hint by token decomposition).
+    pub fn asserts_siblings(&self, x: &str, y: &str) -> bool {
+        self.constraints.iter().any(|c| {
+            matches!(c, Constraint::Sibling { a, b, negated: false }
+                if (a == x && b == y) || (a == y && b == x))
+        })
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_admits_everything() {
+        let s = ConstraintSet::new();
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+        assert!(s.admits_siblings("a", "b"));
+    }
+
+    #[test]
+    fn parent_constraint_requires_ancestor() {
+        let s: ConstraintSet = [Constraint::parent("education", "degree")]
+            .into_iter()
+            .collect();
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+        assert!(s.admits_path(&["resume", "education"]));
+        assert!(s.admits_path(&["resume", "contact"]));
+        assert!(!s.admits_path(&["resume", "degree"]));
+        assert!(!s.admits_path(&["resume", "degree", "education"]));
+    }
+
+    #[test]
+    fn negated_parent_forbids_nesting() {
+        let s: ConstraintSet = [Constraint::parent("contact", "degree").negate()]
+            .into_iter()
+            .collect();
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+        assert!(!s.admits_path(&["resume", "contact", "degree"]));
+    }
+
+    #[test]
+    fn depth_eq_constraint() {
+        let s: ConstraintSet = [Constraint::depth("education", Comparator::Eq, 1)]
+            .into_iter()
+            .collect();
+        assert!(s.admits_path(&["resume", "education"]));
+        assert!(!s.admits_path(&["resume", "contact", "education"]));
+        // Paths without the concept are unconstrained.
+        assert!(s.admits_path(&["resume", "contact", "phone"]));
+    }
+
+    #[test]
+    fn depth_gt_constraint() {
+        let s: ConstraintSet = [Constraint::depth("degree", Comparator::Gt, 1)]
+            .into_iter()
+            .collect();
+        assert!(!s.admits_path(&["resume", "degree"]));
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+    }
+
+    #[test]
+    fn negated_depth() {
+        let s: ConstraintSet = [Constraint::depth("date", Comparator::Eq, 1).negate()]
+            .into_iter()
+            .collect();
+        assert!(!s.admits_path(&["resume", "date"]));
+        assert!(s.admits_path(&["resume", "education", "date"]));
+    }
+
+    #[test]
+    fn no_repeat() {
+        let s: ConstraintSet = [Constraint::NoRepeat].into_iter().collect();
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+        assert!(!s.admits_path(&["resume", "education", "education"]));
+        assert!(!s.admits_path(&["resume", "a", "b", "a"]));
+    }
+
+    #[test]
+    fn max_depth() {
+        let s: ConstraintSet = [Constraint::MaxDepth(2)].into_iter().collect();
+        assert!(s.admits_path(&["r"]));
+        assert!(s.admits_path(&["r", "a", "b"]));
+        assert!(!s.admits_path(&["r", "a", "b", "c"]));
+    }
+
+    #[test]
+    fn sibling_constraints() {
+        let s: ConstraintSet = [
+            Constraint::sibling("degree", "date"),
+            Constraint::sibling("objective", "gpa").negate(),
+        ]
+        .into_iter()
+        .collect();
+        assert!(s.asserts_siblings("degree", "date"));
+        assert!(s.asserts_siblings("date", "degree"));
+        assert!(!s.asserts_siblings("degree", "gpa"));
+        assert!(s.admits_siblings("degree", "date"));
+        assert!(!s.admits_siblings("objective", "gpa"));
+        assert!(!s.admits_siblings("gpa", "objective"));
+        // Sibling constraints never restrict paths.
+        assert!(s.admits_path(&["r", "objective", "gpa"]));
+    }
+
+    #[test]
+    fn combined_constraints_all_must_hold() {
+        let s: ConstraintSet = [
+            Constraint::NoRepeat,
+            Constraint::MaxDepth(3),
+            Constraint::depth("education", Comparator::Eq, 1),
+        ]
+        .into_iter()
+        .collect();
+        assert!(s.admits_path(&["resume", "education", "degree"]));
+        assert!(!s.admits_path(&["resume", "education", "education"]));
+        assert!(!s.admits_path(&["resume", "skills", "education"]));
+    }
+}

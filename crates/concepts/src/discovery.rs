@@ -1,0 +1,276 @@
+//! Automatic discovery of concept instances from labeled examples.
+//!
+//! Section 5 of the paper: "we are currently investigating more
+//! sophisticated heuristics and automated discovery methods for concepts
+//! and concept instances from HTML documents. In particular, we are
+//! developing different methods to automatically extract concept instances
+//! from a training set of HTML documents and thus to further automate the
+//! process."
+//!
+//! The method implemented here is the natural statistical one: from tokens
+//! labeled with their concept (hand-labeled in the paper's setting; any
+//! source works), score every word by how *precisely* it predicts a
+//! concept and how often it occurs, and promote high-precision,
+//! well-supported words to new concept instances. The new instances then
+//! feed straight back into synonym matching — closing the bootstrap loop
+//! the paper sketches.
+
+use crate::concept::ConceptSet;
+use std::collections::HashMap;
+use webre_text::tokenize::words;
+
+/// Thresholds for instance discovery.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoveryConfig {
+    /// A word must occur in at least this many labeled tokens.
+    pub min_support: usize,
+    /// Fraction of the word's occurrences that must carry the concept's
+    /// label (precision).
+    pub min_precision: f64,
+    /// At most this many new instances are proposed per concept.
+    pub max_per_concept: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            min_support: 3,
+            min_precision: 0.9,
+            max_per_concept: 10,
+        }
+    }
+}
+
+/// A proposed concept instance with its evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProposedInstance {
+    pub concept: String,
+    pub instance: String,
+    /// Labeled tokens containing the word with this concept's label.
+    pub support: usize,
+    /// support / total occurrences of the word.
+    pub precision: f64,
+}
+
+/// Mines instance candidates from `(label, token text)` examples.
+///
+/// Tokens labeled with `unknown_label` count against precision (a word
+/// that also appears in unlabeled noise is a poor instance) but never
+/// produce proposals.
+pub fn discover_instances(
+    examples: &[(String, String)],
+    unknown_label: &str,
+    config: &DiscoveryConfig,
+) -> Vec<ProposedInstance> {
+    // word → (label → count, total)
+    let mut stats: HashMap<String, (HashMap<&str, usize>, usize)> = HashMap::new();
+    for (label, text) in examples {
+        let mut seen_in_token: Vec<String> = Vec::new();
+        for w in words(text) {
+            // Words shorter than three characters are overwhelmingly
+            // stopwords/particles ("en", "de", "of") — never good instances.
+            if w == "#num" || w.len() < 3 || seen_in_token.contains(&w) {
+                continue;
+            }
+            seen_in_token.push(w.clone());
+            let entry = stats.entry(w).or_default();
+            *entry.0.entry(label.as_str()).or_insert(0) += 1;
+            entry.1 += 1;
+        }
+    }
+
+    let mut proposals: Vec<ProposedInstance> = Vec::new();
+    for (word, (by_label, total)) in stats {
+        let Some((label, count)) = by_label
+            .iter()
+            .max_by_key(|(l, c)| (**c, std::cmp::Reverse(*l)))
+            .map(|(l, c)| (*l, *c))
+        else {
+            continue;
+        };
+        if label == unknown_label || count < config.min_support {
+            continue;
+        }
+        let precision = count as f64 / total as f64;
+        if precision < config.min_precision {
+            continue;
+        }
+        proposals.push(ProposedInstance {
+            concept: label.to_owned(),
+            instance: word,
+            support: count,
+            precision,
+        });
+    }
+    // Strongest evidence first; deterministic tie-break on the word.
+    proposals.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then(b.precision.partial_cmp(&a.precision).expect("finite"))
+            .then(a.instance.cmp(&b.instance))
+    });
+
+    // Cap per concept.
+    let mut taken: HashMap<String, usize> = HashMap::new();
+    proposals.retain(|p| {
+        let slot = taken.entry(p.concept.clone()).or_insert(0);
+        *slot += 1;
+        *slot <= config.max_per_concept
+    });
+    proposals
+}
+
+/// Adds discovered instances to the concept set, skipping words already
+/// covered by an existing instance of the same concept. Returns how many
+/// instances were added.
+pub fn augment(set: &mut ConceptSet, proposals: &[ProposedInstance]) -> usize {
+    let mut added = 0;
+    for p in proposals {
+        let Some(concept) = set.get(&p.concept) else {
+            continue;
+        };
+        let already = concept
+            .instances
+            .iter()
+            .any(|i| i.eq_ignore_ascii_case(&p.instance) || webre_text::tokenize::contains_word(i, &p.instance));
+        if already {
+            continue;
+        }
+        let mut updated = concept.clone();
+        updated.instances.push(p.instance.clone());
+        set.add(updated);
+        added += 1;
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::{Concept, ConceptRole};
+
+    fn ex(label: &str, text: &str) -> (String, String) {
+        (label.to_owned(), text.to_owned())
+    }
+
+    #[test]
+    fn discovers_precise_frequent_words() {
+        let examples = vec![
+            ex("institution", "Universidad de Chile"),
+            ex("institution", "Universidad de Buenos Aires"),
+            ex("institution", "Universidad Nacional"),
+            ex("degree", "Licenciatura en Fisica"),
+            ex("degree", "Licenciatura en Quimica"),
+            ex("degree", "Licenciatura en Historia"),
+            ex("unknown", "random words here"),
+        ];
+        let found = discover_instances(&examples, "unknown", &DiscoveryConfig::default());
+        let words: Vec<(&str, &str)> = found
+            .iter()
+            .map(|p| (p.concept.as_str(), p.instance.as_str()))
+            .collect();
+        assert!(words.contains(&("institution", "universidad")), "{words:?}");
+        assert!(words.contains(&("degree", "licenciatura")), "{words:?}");
+        // Short particles ("en", "de") are filtered by the length floor.
+        assert!(!words.iter().any(|(_, w)| *w == "en"), "{words:?}");
+        assert!(!words.iter().any(|(_, w)| *w == "de"), "{words:?}");
+    }
+
+    #[test]
+    fn imprecise_words_rejected() {
+        let examples = vec![
+            ex("a", "shared token one"),
+            ex("a", "shared token two"),
+            ex("a", "shared token three"),
+            ex("b", "shared other thing"),
+            ex("b", "shared another thing"),
+            ex("b", "shared third thing"),
+        ];
+        let found = discover_instances(&examples, "unknown", &DiscoveryConfig::default());
+        assert!(
+            !found.iter().any(|p| p.instance == "shared"),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_label_never_proposed_and_hurts_precision() {
+        let examples = vec![
+            ex("unknown", "filler filler filler"),
+            ex("unknown", "filler again"),
+            ex("unknown", "more filler"),
+            // "mixed" appears under a label 3 times but also in noise twice.
+            ex("a", "mixed alpha"),
+            ex("a", "mixed beta"),
+            ex("a", "mixed gamma"),
+            ex("unknown", "mixed junk"),
+            ex("unknown", "mixed noise"),
+        ];
+        let found = discover_instances(&examples, "unknown", &DiscoveryConfig::default());
+        assert!(!found.iter().any(|p| p.concept == "unknown"));
+        // precision of "mixed" for a = 3/5 < 0.9.
+        assert!(!found.iter().any(|p| p.instance == "mixed"), "{found:?}");
+    }
+
+    #[test]
+    fn per_concept_cap_respected() {
+        let mut examples = Vec::new();
+        for i in 0..20 {
+            for _ in 0..3 {
+                examples.push(ex("a", &format!("uniqueword{i}")));
+            }
+        }
+        let config = DiscoveryConfig {
+            max_per_concept: 5,
+            ..DiscoveryConfig::default()
+        };
+        let found = discover_instances(&examples, "unknown", &config);
+        assert_eq!(found.len(), 5);
+    }
+
+    #[test]
+    fn augment_skips_covered_instances() {
+        let mut set: ConceptSet = [Concept::new(
+            "institution",
+            ConceptRole::Content,
+            ["university"],
+        )]
+        .into_iter()
+        .collect();
+        let proposals = vec![
+            ProposedInstance {
+                concept: "institution".into(),
+                instance: "university".into(), // duplicate
+                support: 5,
+                precision: 1.0,
+            },
+            ProposedInstance {
+                concept: "institution".into(),
+                instance: "universidad".into(), // new
+                support: 4,
+                precision: 1.0,
+            },
+            ProposedInstance {
+                concept: "nope".into(), // unknown concept
+                instance: "x".into(),
+                support: 4,
+                precision: 1.0,
+            },
+        ];
+        let added = augment(&mut set, &proposals);
+        assert_eq!(added, 1);
+        let inst = &set.get("institution").unwrap().instances;
+        assert!(inst.contains(&"universidad".to_owned()));
+        assert_eq!(inst.iter().filter(|i| *i == "university").count(), 1);
+    }
+
+    #[test]
+    fn discovery_is_deterministic() {
+        let examples: Vec<_> = (0..30)
+            .map(|i| ex(if i % 2 == 0 { "a" } else { "b" }, &format!("w{} common{}", i % 4, i % 2)))
+            .collect();
+        let a = discover_instances(&examples, "unknown", &DiscoveryConfig { min_support: 2, min_precision: 0.5, max_per_concept: 10 });
+        let b = discover_instances(&examples, "unknown", &DiscoveryConfig { min_support: 2, min_precision: 0.5, max_per_concept: 10 });
+        assert_eq!(a, b);
+    }
+}

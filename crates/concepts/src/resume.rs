@@ -1,0 +1,468 @@
+//! The built-in resume domain.
+//!
+//! Section 4 of the paper: "There are 24 concept names and a total of 233
+//! concept instances specified as domain knowledge. [...] Out of the 24
+//! concept names, 11 are title names and 13 are content names. We also
+//! specified that no concept can occur at a depth greater than 4."
+//!
+//! The paper does not publish its concept table, so this module
+//! reconstructs an equivalent one for the same topic with exactly the same
+//! shape: 24 concepts (11 title + 13 content), 233 instances in total, and
+//! a synthetic `resume` document root that is not itself a concept (which
+//! is what makes the Section 4.2 node arithmetic 1 + 11 + 11*13 + 11*13*12
+//! work out), plus
+//! the Section 4.2 constraint classes (no repeated concept along a path,
+//! title names at depth 1, content names at depth > 1, maximum depth 4).
+
+use crate::concept::{Concept, ConceptRole, ConceptSet};
+use crate::constraints::{Comparator, Constraint, ConstraintSet};
+
+/// Number of concepts in the paper's experimental setup.
+pub const CONCEPT_COUNT: usize = 24;
+/// Number of concept instances in the paper's experimental setup.
+pub const INSTANCE_COUNT: usize = 233;
+/// Title-name count (Section 4.2).
+pub const TITLE_COUNT: usize = 11;
+/// Content-name count (Section 4.2).
+pub const CONTENT_COUNT: usize = 13;
+/// Maximum concept depth (Section 4.2).
+pub const MAX_DEPTH: usize = 4;
+
+/// The 11 title-name concepts: likely titles of resume sections, only
+/// occurring as first-level nodes.
+fn title_concepts() -> Vec<Concept> {
+    let t = |name: &str, instances: &[&str]| {
+        Concept::new(name, ConceptRole::Title, instances.iter().copied())
+    };
+    vec![
+        t(
+            "publications",
+            &["publications", "papers", "journal articles", "conference papers", "patents"],
+        ),
+        t(
+            "contact",
+            &[
+                "contact",
+                "contact information",
+                "personal information",
+                "personal data",
+                "personal details",
+            ],
+        ),
+        t(
+            "objective",
+            &[
+                "objective",
+                "career objective",
+                "professional objective",
+                "employment objective",
+                "career goal",
+                "goal",
+            ],
+        ),
+        t(
+            "summary",
+            &[
+                "summary",
+                "profile",
+                "professional summary",
+                "summary of qualifications",
+                "qualifications",
+                "highlights",
+                "overview",
+            ],
+        ),
+        t(
+            "education",
+            &[
+                "education",
+                "educational background",
+                "academic background",
+                "academics",
+                "academic history",
+                "schooling",
+                "degrees",
+            ],
+        ),
+        t(
+            "experience",
+            &[
+                "experience",
+                "work experience",
+                "employment",
+                "employment history",
+                "professional experience",
+                "work history",
+                "career history",
+                "positions held",
+                "relevant experience",
+            ],
+        ),
+        t(
+            "skills",
+            &[
+                "skills",
+                "technical skills",
+                "computer skills",
+                "programming skills",
+                "skill set",
+                "programming languages",
+                "expertise",
+                "toolkits",
+                "competencies",
+                "proficiencies",
+            ],
+        ),
+        t(
+            "awards",
+            &[
+                "awards",
+                "honors",
+                "achievements",
+                "distinctions",
+                "scholarships",
+                "fellowships",
+                "recognition",
+                "prizes",
+            ],
+        ),
+        t(
+            "activities",
+            &[
+                "activities",
+                "extracurricular activities",
+                "interests",
+                "hobbies",
+                "volunteer work",
+                "community service",
+                "leadership",
+                "memberships",
+                "affiliations",
+            ],
+        ),
+        t(
+            "reference",
+            &[
+                "reference",
+                "references",
+                "referees",
+                "recommendations",
+                "references available upon request",
+            ],
+        ),
+        t(
+            "courses",
+            &[
+                "courses",
+                "coursework",
+                "relevant courses",
+                "relevant coursework",
+                "selected courses",
+                "classes",
+            ],
+        ),
+    ]
+}
+
+/// The 13 content-name concepts: they describe the content of title names
+/// and occur at depth > 1.
+fn content_concepts() -> Vec<Concept> {
+    let c = |name: &str, instances: &[&str]| {
+        Concept::new(name, ConceptRole::Content, instances.iter().copied())
+    };
+    vec![
+        c(
+            "name",
+            &["name", "full name", "first name", "last name", "mr.", "ms.", "mrs.", "dr."],
+        ),
+        c(
+            "address",
+            &[
+                "address",
+                "street",
+                "avenue",
+                "boulevard",
+                "apt",
+                "apartment",
+                "suite",
+                "p.o. box",
+                "road",
+                "lane",
+                "drive",
+                "city",
+                "zip",
+            ],
+        ),
+        c(
+            "phone",
+            &[
+                "phone",
+                "telephone",
+                "tel",
+                "fax",
+                "mobile",
+                "cell",
+                "pager",
+                "home phone",
+                "work phone",
+                "phone number",
+            ],
+        ),
+        c(
+            "email",
+            &["email", "e-mail", "electronic mail", "mailto", "email address"],
+        ),
+        c(
+            "url",
+            &["url", "homepage", "home page", "website", "web site", "web page", "http", "www"],
+        ),
+        c(
+            "institution",
+            &[
+                "institution",
+                "university",
+                "college",
+                "institute",
+                "school",
+                "academy",
+                "polytechnic",
+                "state university",
+                "community college",
+                "graduate school",
+                "high school",
+            ],
+        ),
+        c(
+            "degree",
+            &[
+                "degree",
+                "b.s.",
+                "bs",
+                "b.a.",
+                "ba",
+                "m.s.",
+                "m.a.",
+                "ph.d.",
+                "phd",
+                "mba",
+                "b.sc.",
+                "m.sc.",
+                "bachelor",
+                "bachelors",
+                "master",
+                "masters",
+                "doctorate",
+                "doctoral",
+                "diploma",
+                "certificate",
+                "associate",
+                "minor",
+            ],
+        ),
+        c(
+            "date",
+            &[
+                "date",
+                "january",
+                "february",
+                "march",
+                "april",
+                "may",
+                "june",
+                "july",
+                "august",
+                "september",
+                "october",
+                "november",
+                "december",
+                "jan",
+                "feb",
+                "mar",
+                "apr",
+                "jun",
+                "jul",
+                "aug",
+                "sep",
+                "sept",
+                "oct",
+                "nov",
+                "dec",
+                "spring",
+                "summer",
+                "fall",
+                "winter",
+                "present",
+                "current",
+            ],
+        ),
+        c(
+            "gpa",
+            &[
+                "gpa",
+                "g.p.a.",
+                "grade point average",
+                "cumulative gpa",
+                "overall gpa",
+                "cum laude",
+                "magna cum laude",
+                "summa cum laude",
+            ],
+        ),
+        c(
+            "major",
+            &["major", "concentration", "specialization", "emphasis", "field of study"],
+        ),
+        c(
+            "employer",
+            &[
+                "employer",
+                "company",
+                "corporation",
+                "inc",
+                "corp",
+                "llc",
+                "ltd",
+                "organization",
+                "firm",
+                "agency",
+                "laboratories",
+                "labs",
+                "enterprises",
+                "technologies",
+            ],
+        ),
+        c(
+            "position",
+            &[
+                "position",
+                "title",
+                "job title",
+                "engineer",
+                "developer",
+                "programmer",
+                "analyst",
+                "manager",
+                "consultant",
+                "intern",
+                "assistant",
+                "administrator",
+                "architect",
+                "specialist",
+                "coordinator",
+                "director",
+                "researcher",
+            ],
+        ),
+        c("location", &["location", "located in", "based in", "relocate"]),
+    ]
+}
+
+/// The full resume concept set: 24 concepts, 233 instances.
+pub fn concepts() -> ConceptSet {
+    title_concepts()
+        .into_iter()
+        .chain(content_concepts())
+        .collect()
+}
+
+/// The Section 4.2 constraint set: no concept repeats along a path, title
+/// names occur exactly at depth 1, content names at depth > 1, and no
+/// concept occurs deeper than [`MAX_DEPTH`].
+pub fn constraints() -> ConstraintSet {
+    let set = concepts();
+    let mut out = ConstraintSet::new();
+    out.add(Constraint::NoRepeat);
+    out.add(Constraint::MaxDepth(MAX_DEPTH));
+    for name in set.names_with_role(ConceptRole::Title) {
+        out.add(Constraint::depth(name, Comparator::Eq, 1));
+    }
+    for name in set.names_with_role(ConceptRole::Content) {
+        out.add(Constraint::depth(name, Comparator::Gt, 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cardinalities() {
+        let set = concepts();
+        assert_eq!(set.len(), CONCEPT_COUNT, "24 concept names");
+        assert_eq!(
+            set.total_instances(),
+            INSTANCE_COUNT,
+            "233 concept instances"
+        );
+        assert_eq!(set.names_with_role(ConceptRole::Title).len(), TITLE_COUNT);
+        assert_eq!(
+            set.names_with_role(ConceptRole::Content).len(),
+            CONTENT_COUNT
+        );
+    }
+
+    #[test]
+    fn every_concept_name_is_its_own_instance() {
+        for c in concepts().iter() {
+            assert!(
+                c.instances.iter().any(|i| i.eq_ignore_ascii_case(&c.name)),
+                "{} missing self-instance",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn instances_unique_within_concept() {
+        for c in concepts().iter() {
+            let mut seen: Vec<&str> = Vec::new();
+            for i in &c.instances {
+                assert!(!seen.contains(&i.as_str()), "{}: duplicate {i}", c.name);
+                seen.push(i);
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_accept_canonical_paths() {
+        let cs = constraints();
+        assert!(cs.admits_path(&["resume", "education", "institution"]));
+        assert!(cs.admits_path(&["resume", "education", "date", "degree"]));
+        assert!(cs.admits_path(&["resume", "contact"]));
+    }
+
+    #[test]
+    fn constraints_reject_paper_violations() {
+        let cs = constraints();
+        // Title name below depth 1.
+        assert!(!cs.admits_path(&["resume", "education", "skills"]));
+        // Content name at depth 1.
+        assert!(!cs.admits_path(&["resume", "degree"]));
+        // Repetition along a path.
+        assert!(!cs.admits_path(&["resume", "education", "date", "date"]));
+        // Too deep.
+        assert!(!cs.admits_path(&[
+            "resume",
+            "education",
+            "date",
+            "degree",
+            "institution",
+            "gpa"
+        ]));
+    }
+
+    #[test]
+    fn matcher_identifies_paper_topic_sentence() {
+        use crate::matcher::matched_concepts;
+        let set = concepts();
+        let found = matched_concepts(
+            &set,
+            "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0",
+        );
+        assert!(found.contains(&"institution".to_owned()));
+        assert!(found.contains(&"degree".to_owned()));
+        assert!(found.contains(&"date".to_owned()));
+        assert!(found.contains(&"gpa".to_owned()));
+    }
+}

@@ -1,0 +1,192 @@
+//! The logical-error accuracy metric of Section 4.1.
+//!
+//! The paper evaluates extraction accuracy "by counting the number of wrong
+//! parent-child and sibling relationships in the extracted tree. We reorder
+//! the nodes in the extracted tree in order to convert it to the correct
+//! tree. In doing so, we may move a node and its siblings together to make
+//! up for one parent-child relationship that has been incorrectly
+//! identified. This is counted as one logical error." The paper did this by
+//! hand over 50 documents; this module mechanizes it:
+//!
+//! 1. collect the multiset of `(parent label, child label)` edges of the
+//!    ground-truth tree;
+//! 2. sweep the extracted tree in document order, consuming matching edge
+//!    budget; a child whose edge has no budget left is *misplaced*;
+//! 3. a maximal run of consecutive misplaced siblings counts as **one**
+//!    logical error (the "move a node and its siblings together" provision);
+//! 4. ground-truth edges never consumed are *missing*; each maximal group
+//!    of same-(parent,child)-label missing edges counts as one error.
+//!
+//! Accuracy for a document is `1 - errors / concept nodes`, matching the
+//! paper's "average percentage of error nodes ... with respect to the total
+//! number of concept nodes".
+
+use std::collections::HashMap;
+use webre_xml::{XmlDocument, XmlNode};
+
+/// Edge multiset of an XML tree: (parent label, child label) → count.
+fn edge_multiset(doc: &XmlDocument) -> HashMap<(String, String), i64> {
+    let mut edges = HashMap::new();
+    for id in doc.tree.descendants(doc.root()) {
+        if !matches!(doc.tree.value(id), XmlNode::Element { .. }) {
+            continue;
+        }
+        let parent_label = doc.label(id).to_owned();
+        for child in doc.tree.children(id) {
+            let child_label = doc.label(child).to_owned();
+            *edges.entry((parent_label.clone(), child_label)).or_insert(0) += 1;
+        }
+    }
+    edges
+}
+
+/// The outcome of comparing an extracted tree against its ground truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccuracyReport {
+    /// Logical errors (see module docs).
+    pub errors: u64,
+    /// Concept (element) nodes in the extracted tree.
+    pub concept_nodes: u64,
+    /// Misplaced-run errors (extracted edges not in the truth).
+    pub misplaced_runs: u64,
+    /// Missing-edge-group errors (truth edges never produced).
+    pub missing_groups: u64,
+}
+
+impl AccuracyReport {
+    /// Error-node percentage: errors / concept nodes, in `[0, 1]`.
+    pub fn error_rate(&self) -> f64 {
+        if self.concept_nodes == 0 {
+            return if self.errors == 0 { 0.0 } else { 1.0 };
+        }
+        (self.errors as f64 / self.concept_nodes as f64).min(1.0)
+    }
+
+    /// Extraction accuracy: `1 - error_rate`.
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.error_rate()
+    }
+}
+
+/// Compares an extracted tree against the ground truth and counts logical
+/// errors.
+pub fn logical_errors(extracted: &XmlDocument, truth: &XmlDocument) -> AccuracyReport {
+    let mut budget = edge_multiset(truth);
+    let mut report = AccuracyReport::default();
+
+    // Sweep the extracted tree, consuming edge budget and counting runs of
+    // consecutive misplaced children as single errors.
+    for id in extracted.tree.descendants(extracted.root()) {
+        if !matches!(extracted.tree.value(id), XmlNode::Element { .. }) {
+            continue;
+        }
+        report.concept_nodes += 1;
+        let parent_label = extracted.label(id).to_owned();
+        let mut in_bad_run = false;
+        for child in extracted.tree.children(id) {
+            if !matches!(extracted.tree.value(child), XmlNode::Element { .. }) {
+                continue;
+            }
+            let key = (parent_label.clone(), extracted.label(child).to_owned());
+            let slot = budget.entry(key).or_insert(0);
+            if *slot > 0 {
+                *slot -= 1;
+                in_bad_run = false;
+            } else {
+                if !in_bad_run {
+                    report.misplaced_runs += 1;
+                }
+                in_bad_run = true;
+            }
+        }
+    }
+
+    // Whatever budget remains was never produced: group by edge label.
+    report.missing_groups = budget.values().filter(|count| **count > 0).count() as u64;
+    report.errors = report.misplaced_runs + report.missing_groups;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_xml::parse_xml;
+
+    fn doc(xml: &str) -> XmlDocument {
+        parse_xml(xml).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_zero_errors() {
+        let a = doc("<resume><education><degree/><date/></education></resume>");
+        let r = logical_errors(&a, &a);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.concept_nodes, 4);
+        assert_eq!(r.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn sibling_order_does_not_matter() {
+        // The metric is about parent-child relationships; reordered
+        // siblings consume the same edge budget.
+        let a = doc("<r><x/><y/></r>");
+        let b = doc("<r><y/><x/></r>");
+        assert_eq!(logical_errors(&a, &b).errors, 0);
+    }
+
+    #[test]
+    fn one_misplaced_node_is_one_error_pair() {
+        // degree hangs off the root instead of education: one misplaced
+        // run plus one missing edge group.
+        let truth = doc("<r><education><degree/></education></r>");
+        let got = doc("<r><education/><degree/></r>");
+        let r = logical_errors(&got, &truth);
+        assert_eq!(r.misplaced_runs, 1);
+        assert_eq!(r.missing_groups, 1);
+        assert_eq!(r.errors, 2);
+    }
+
+    #[test]
+    fn consecutive_misplaced_siblings_count_once() {
+        // Three nodes moved together: one run.
+        let truth = doc("<r><edu><a/><b/><c/></edu></r>");
+        let got = doc("<r><edu/><a/><b/><c/></r>");
+        let r = logical_errors(&got, &truth);
+        assert_eq!(r.misplaced_runs, 1);
+        // a, b, c edges under edu all missing → grouped by label = 3.
+        assert_eq!(r.missing_groups, 3);
+    }
+
+    #[test]
+    fn interrupted_runs_count_separately() {
+        let truth = doc("<r><x/><edu><a/><b/></edu></r>");
+        let got = doc("<r><a/><x/><b/><edu/></r>");
+        let r = logical_errors(&got, &truth);
+        assert_eq!(r.misplaced_runs, 2, "{r:?}");
+    }
+
+    #[test]
+    fn extra_duplicate_edge_is_misplaced() {
+        let truth = doc("<r><a/></r>");
+        let got = doc("<r><a/><a/></r>");
+        let r = logical_errors(&got, &truth);
+        assert_eq!(r.misplaced_runs, 1);
+        assert_eq!(r.missing_groups, 0);
+    }
+
+    #[test]
+    fn error_rate_clamps_to_one() {
+        let truth = doc("<r><q><w><z/></w></q></r>");
+        let got = doc("<r><a/></r>");
+        let r = logical_errors(&got, &truth);
+        assert!(r.error_rate() <= 1.0);
+        assert!(r.accuracy() >= 0.0);
+    }
+
+    #[test]
+    fn text_nodes_are_ignored() {
+        let truth = doc("<r><a/></r>");
+        let got = doc("<r>text<a/>more</r>");
+        assert_eq!(logical_errors(&got, &truth).errors, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The conversion pipeline: configuration, statistics, and the
+//! [`Converter`] that wires the four restructuring rules together.
+
+use crate::node::{finalize, ingest};
+use crate::structure_rules::grouping_rule;
+use crate::text_rules::{concept_instance_rule, tokenization_rule};
+use webre_concepts::{ConceptSet, ConstraintSet};
+use webre_html::HtmlDocument;
+use webre_text::tokenize::Delimiters;
+use webre_text::BayesClassifier;
+use webre_xml::XmlDocument;
+
+/// How the concept instance rule identifies concepts in tokens
+/// (Section 2.3.1 offers synonym matching and a Bayes classifier).
+#[derive(Clone, Debug, Default)]
+pub enum ClassifierMode {
+    /// Synonym (concept instance) matching only.
+    #[default]
+    SynonymsOnly,
+    /// Bayes classifier only; tokens classified as `unknown_label` (or
+    /// below the margin) stay unidentified.
+    BayesOnly {
+        model: BayesClassifier,
+        margin: f64,
+        unknown_label: String,
+    },
+    /// Synonyms first; the classifier handles tokens synonyms miss.
+    Both {
+        model: BayesClassifier,
+        margin: f64,
+        unknown_label: String,
+    },
+}
+
+impl ClassifierMode {
+    /// Classifies a token via the Bayes model, if one is configured.
+    /// Returns `None` for unidentified (including the unknown class).
+    pub fn classify(&self, text: &str) -> Option<&str> {
+        match self {
+            ClassifierMode::SynonymsOnly => None,
+            ClassifierMode::BayesOnly {
+                model,
+                margin,
+                unknown_label,
+            }
+            | ClassifierMode::Both {
+                model,
+                margin,
+                unknown_label,
+            } => model
+                .classify_with_margin(text, *margin)
+                .filter(|l| l != unknown_label),
+        }
+    }
+}
+
+/// Configuration of the conversion pipeline.
+#[derive(Clone, Debug)]
+pub struct ConvertConfig {
+    /// Tokenization delimiters (the paper uses `; , :`).
+    pub delimiters: Delimiters,
+    /// Concept used as the XML document root (e.g. `resume`).
+    pub root_concept: String,
+    /// Concept identification mode.
+    pub classifier: ClassifierMode,
+    /// Run the HTML-Tidy-like cleanup first (the paper reports it improves
+    /// accuracy; Section 2.4).
+    pub tidy: bool,
+    /// Apply the grouping rule (disable for the rule-ablation experiment).
+    pub grouping: bool,
+    /// Apply the consolidation rule (disable for the rule-ablation
+    /// experiment).
+    pub consolidation: bool,
+    /// Optional concept constraints; when present, negated sibling
+    /// constraints guide multi-instance token decomposition (Section
+    /// 2.3.1: "concept constraints describing typical sibling
+    /// relationships can be employed in order to determine a proper
+    /// decomposition").
+    pub constraints: Option<ConstraintSet>,
+}
+
+impl Default for ConvertConfig {
+    fn default() -> Self {
+        ConvertConfig {
+            delimiters: Delimiters::default(),
+            root_concept: "resume".into(),
+            classifier: ClassifierMode::SynonymsOnly,
+            tidy: true,
+            grouping: true,
+            consolidation: true,
+            constraints: None,
+        }
+    }
+}
+
+/// Counters reported by one conversion run.
+///
+/// The ratio of identified to unidentifiable tokens is the user feedback
+/// signal the paper describes: a low ratio tells the user to add concept
+/// instances or classifier training data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvertStats {
+    /// Tokens produced by the tokenization rule.
+    pub tokens_total: u64,
+    /// Tokens related to at least one concept.
+    pub tokens_identified: u64,
+    /// Tokens identified by the Bayes classifier (subset of identified).
+    pub tokens_via_classifier: u64,
+    /// Tokens whose text was passed to the parent `val`.
+    pub tokens_unidentified: u64,
+    /// Tokens containing more than one concept instance (decomposed).
+    pub tokens_decomposed: u64,
+}
+
+impl ConvertStats {
+    /// Fraction of tokens identified, or `None` with no tokens.
+    pub fn identification_ratio(&self) -> Option<f64> {
+        (self.tokens_total > 0)
+            .then(|| self.tokens_identified as f64 / self.tokens_total as f64)
+    }
+}
+
+/// Converts topic-specific HTML documents into concept-tagged XML.
+#[derive(Clone, Debug)]
+pub struct Converter {
+    concepts: ConceptSet,
+    config: ConvertConfig,
+}
+
+impl Converter {
+    /// Creates a converter over the given topic concepts with default
+    /// configuration.
+    pub fn new(concepts: ConceptSet) -> Self {
+        Converter {
+            concepts,
+            config: ConvertConfig::default(),
+        }
+    }
+
+    /// Creates a converter with explicit configuration.
+    pub fn with_config(concepts: ConceptSet, config: ConvertConfig) -> Self {
+        Converter { concepts, config }
+    }
+
+    /// The concept set in use.
+    pub fn concepts(&self) -> &ConceptSet {
+        &self.concepts
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ConvertConfig {
+        &self.config
+    }
+
+    /// Converts one parsed HTML document, returning the XML document and
+    /// the conversion statistics.
+    pub fn convert(&self, html: &HtmlDocument) -> (XmlDocument, ConvertStats) {
+        let mut html = html.clone();
+        if self.config.tidy {
+            webre_html::tidy(&mut html);
+        }
+        let mut tree = ingest(&html);
+        let mut stats = ConvertStats::default();
+        tokenization_rule(&mut tree, &self.config.delimiters);
+        concept_instance_rule(
+            &mut tree,
+            &self.concepts,
+            &self.config.classifier,
+            self.config.constraints.as_ref(),
+            &mut stats,
+        );
+        if self.config.grouping {
+            grouping_rule(&mut tree);
+        }
+        if self.config.consolidation {
+            crate::structure_rules::consolidation_rule_with(
+                &mut tree,
+                self.config.constraints.as_ref(),
+            );
+        }
+        (finalize(&tree, &self.config.root_concept), stats)
+    }
+
+    /// Convenience: parse and convert HTML text.
+    pub fn convert_str(&self, html: &str) -> (XmlDocument, ConvertStats) {
+        self.convert(&webre_html::parse(html))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_concepts::resume;
+    use webre_xml::to_xml;
+
+    fn converter() -> Converter {
+        Converter::new(resume::concepts())
+    }
+
+    #[test]
+    fn converts_heading_list_resume_fragment() {
+        let html = "\
+            <h2>Education</h2>\
+            <ul>\
+              <li>University of California at Davis, B.S., June 1996</li>\
+              <li>Foothill College, A.A., June 1994</li>\
+            </ul>";
+        let (doc, stats) = converter().convert_str(html);
+        let xml = to_xml(&doc);
+        assert_eq!(doc.root_name(), "resume");
+        // Education heads the section; each list item nests under its first
+        // concept (the institution).
+        assert!(xml.contains("<education"), "{xml}");
+        assert!(xml.contains("institution"), "{xml}");
+        assert!(xml.contains("degree"), "{xml}");
+        assert!(xml.contains("date"), "{xml}");
+        assert!(stats.identification_ratio().unwrap() > 0.8, "{stats:?}");
+    }
+
+    #[test]
+    fn stats_track_unidentified_tokens() {
+        let (_, stats) = converter().convert_str("<p>zorp blorp, qux flux</p>");
+        assert_eq!(stats.tokens_total, 2);
+        assert_eq!(stats.tokens_unidentified, 2);
+        assert_eq!(stats.identification_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn empty_document_yields_bare_root() {
+        let (doc, stats) = converter().convert_str("");
+        assert_eq!(to_xml(&doc), "<resume/>");
+        assert_eq!(stats.tokens_total, 0);
+        assert_eq!(stats.identification_ratio(), None);
+    }
+
+    #[test]
+    fn page_title_merges_into_root() {
+        let (doc, _) = converter().convert_str(
+            "<html><head><title>Resume</title></head><body><h2>Objective</h2>\
+             <p>A great job</p></body></html>",
+        );
+        assert_eq!(doc.root_name(), "resume");
+        let xml = to_xml(&doc);
+        // The unidentified paragraph and page-title text stay attached to
+        // the surviving section concept via the val-flow rules rather than
+        // being dropped.
+        assert!(xml.starts_with("<resume>"), "{xml}");
+        assert!(xml.contains(r#"<objective val="Objective A great job"#), "{xml}");
+        assert!(doc.all_text().contains("Resume"), "title text kept: {xml}");
+    }
+
+    #[test]
+    fn ablation_switches_change_output_shape() {
+        let html = "<h2>Education</h2><ul><li>Stanford University, M.S., 1998</li></ul>";
+        let full = converter().convert_str(html).0;
+        let mut config = ConvertConfig {
+            grouping: false,
+            ..ConvertConfig::default()
+        };
+        let no_grouping =
+            Converter::with_config(resume::concepts(), config.clone()).convert_str(html).0;
+        config.grouping = true;
+        config.consolidation = false;
+        let no_consolidation =
+            Converter::with_config(resume::concepts(), config).convert_str(html).0;
+        let full_xml = to_xml(&full);
+        let ng_xml = to_xml(&no_grouping);
+        let nc_xml = to_xml(&no_consolidation);
+        // Without grouping, education does not adopt the list contents.
+        assert_ne!(full_xml, ng_xml);
+        // Without consolidation the html scaffolding never goes away, so
+        // the concepts end up flattened differently.
+        assert_ne!(full_xml, nc_xml);
+    }
+
+    #[test]
+    fn table_resume_converts() {
+        let html = "\
+            <table>\
+              <tr><td>Experience</td></tr>\
+              <tr><td>NehaNet Corp</td><td>Software Engineer</td><td>1999 - present</td></tr>\
+            </table>";
+        let (doc, _) = converter().convert_str(html);
+        let xml = to_xml(&doc);
+        assert!(xml.contains("experience"), "{xml}");
+        assert!(xml.contains("employer") || xml.contains("position"), "{xml}");
+    }
+
+    #[test]
+    fn conversion_is_deterministic() {
+        let html = "<h2>Skills</h2><p>C++, Java, Perl</p>";
+        let a = to_xml(&converter().convert_str(html).0);
+        let b = to_xml(&converter().convert_str(html).0);
+        assert_eq!(a, b);
+    }
+}

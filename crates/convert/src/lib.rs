@@ -1,0 +1,32 @@
+//! Document conversion: the paper's restructuring rules (Section 2.3).
+//!
+//! The conversion pipeline transforms a topic-specific HTML document into an
+//! XML document whose elements carry concept names:
+//!
+//! 1. **Tokenization rule** ([`text_rules`], top-down) — text nodes are
+//!    decomposed into `TOKEN` nodes on punctuation delimiters;
+//! 2. **Concept instance rule** ([`text_rules`], top-down) — tokens are
+//!    related to concepts via synonym matching and/or a Bayes classifier;
+//!    identified tokens become `<concept val="...">` elements, tokens with
+//!    several instances are decomposed, unidentified text is passed to the
+//!    parent's `val` so no information is lost;
+//! 3. **Grouping rule** ([`structure_rules`], top-down) — the
+//!    highest-priority group tag at each level captures its right siblings
+//!    under temporary `GROUP` nodes ("sinking");
+//! 4. **Consolidation rule** ([`structure_rules`], bottom-up) — remaining
+//!    HTML markup and temporary nodes are eliminated: list-structured nodes
+//!    and same-named children push up, everything else is replaced by its
+//!    first concept child (Figure 1 of the paper).
+//!
+//! [`Converter`] wires the rules together (with per-rule switches for the
+//! ablation experiments) and [`accuracy`] implements the logical-error
+//! metric of Section 4.1.
+
+pub mod accuracy;
+pub mod convert;
+pub mod node;
+pub mod structure_rules;
+pub mod text_rules;
+
+pub use convert::{ClassifierMode, ConvertConfig, ConvertStats, Converter};
+pub use node::ConvNode;

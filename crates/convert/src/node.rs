@@ -1,0 +1,276 @@
+//! The working node type of the conversion pipeline.
+//!
+//! The paper treats the input HTML document as an XML document in which
+//! every element carries a `val` attribute of type CDATA (Section 2.3). The
+//! conversion tree therefore gives every structural node a `val`
+//! accumulator; text flows upward through it as rules delete nodes.
+
+use webre_html::{HtmlDocument, HtmlNode};
+use webre_tree::{NodeId, Tree};
+use webre_xml::{XmlDocument, XmlNode};
+
+/// One node of the in-flight conversion tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvNode {
+    /// The synthetic document root.
+    Document { val: String },
+    /// A surviving HTML element.
+    Html { name: String, val: String },
+    /// An unprocessed text run.
+    Text(String),
+    /// A `<TOKEN>` produced by the tokenization rule.
+    Token(String),
+    /// A temporary `GROUP` introduced by the grouping rule.
+    Group { val: String },
+    /// An identified concept element, destined for the XML output.
+    Concept { name: String, val: String },
+}
+
+impl ConvNode {
+    /// Appends text to this node's `val` accumulator (no-op for text and
+    /// token nodes, which carry their payload directly).
+    pub fn push_val(&mut self, text: &str) {
+        let text = text.trim();
+        if text.is_empty() {
+            return;
+        }
+        match self {
+            ConvNode::Document { val }
+            | ConvNode::Html { val, .. }
+            | ConvNode::Group { val }
+            | ConvNode::Concept { val, .. } => {
+                if val.is_empty() {
+                    val.push_str(text);
+                } else {
+                    val.push(' ');
+                    val.push_str(text);
+                }
+            }
+            ConvNode::Text(_) | ConvNode::Token(_) => {}
+        }
+    }
+
+    /// The accumulated `val`, if this node kind has one.
+    pub fn val(&self) -> Option<&str> {
+        match self {
+            ConvNode::Document { val }
+            | ConvNode::Html { val, .. }
+            | ConvNode::Group { val }
+            | ConvNode::Concept { val, .. } => Some(val),
+            ConvNode::Text(_) | ConvNode::Token(_) => None,
+        }
+    }
+
+    /// Whether this is a concept node, and its name.
+    pub fn concept_name(&self) -> Option<&str> {
+        match self {
+            ConvNode::Concept { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The HTML element name, if this is a surviving HTML node.
+    pub fn html_name(&self) -> Option<&str> {
+        match self {
+            ConvNode::Html { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// Ingests a (tidied) HTML document into a conversion tree. Comments and
+/// doctypes are dropped; elements and text map one-to-one.
+pub fn ingest(html: &HtmlDocument) -> Tree<ConvNode> {
+    let mut tree = Tree::with_capacity(
+        ConvNode::Document { val: String::new() },
+        html.tree.arena_len(),
+    );
+    let root = tree.root();
+    let mut stack: Vec<(NodeId, NodeId)> = vec![(html.tree.root(), root)];
+    // Simple explicit DFS keeping (source, copied-parent) pairs.
+    while let Some((src, dst_parent)) = stack.pop() {
+        for child in html
+            .tree
+            .children_vec(src)
+            .into_iter()
+            .rev()
+            .collect::<Vec<_>>()
+        {
+            match html.tree.value(child) {
+                HtmlNode::Element { name, .. } => {
+                    let node = tree.orphan(ConvNode::Html {
+                        name: name.clone(),
+                        val: String::new(),
+                    });
+                    tree.prepend(dst_parent, node);
+                    stack.push((child, node));
+                }
+                HtmlNode::Text(t) => {
+                    let node = tree.orphan(ConvNode::Text(t.clone()));
+                    tree.prepend(dst_parent, node);
+                }
+                HtmlNode::Comment(_) | HtmlNode::Doctype(_) | HtmlNode::Document => {}
+            }
+        }
+    }
+    tree
+}
+
+/// Finalizes a fully consolidated conversion tree into an [`XmlDocument`]
+/// rooted at `root_concept`.
+///
+/// Any remaining document-level `val` text becomes the root's `val`. If a
+/// direct child carries the root concept's own name (e.g. a "Resume" page
+/// title), it is merged into the root rather than nested.
+pub fn finalize(tree: &Tree<ConvNode>, root_concept: &str) -> XmlDocument {
+    let root_name = webre_xml::name::sanitize(root_concept);
+    let mut doc = XmlDocument::new(root_name.clone());
+    let doc_root = doc.root();
+    if let Some(val) = tree.value(tree.root()).val() {
+        if !val.is_empty() {
+            doc.tree.value_mut(doc_root).push_val(val);
+        }
+    }
+    for child in tree.children(tree.root()) {
+        copy_concepts(tree, child, &mut doc, doc_root);
+    }
+    // Merge a child that duplicates the root concept.
+    for child in doc.tree.children_vec(doc_root) {
+        if doc.tree.value(child).name() == Some(root_name.as_str()) {
+            if let Some(v) = doc.tree.value(child).val().map(str::to_owned) {
+                doc.tree.value_mut(doc_root).push_val(&v);
+            }
+            doc.tree.replace_with_children(child);
+        }
+    }
+    doc
+}
+
+fn copy_concepts(
+    tree: &Tree<ConvNode>,
+    src: NodeId,
+    doc: &mut XmlDocument,
+    dst_parent: NodeId,
+) {
+    match tree.value(src) {
+        ConvNode::Concept { name, val } => {
+            let name = webre_xml::name::sanitize(name);
+            let node = if val.is_empty() {
+                XmlNode::element(name)
+            } else {
+                XmlNode::element_with_val(name, val.clone())
+            };
+            let copied = doc.tree.append_child(dst_parent, node);
+            for child in tree.children(src) {
+                copy_concepts(tree, child, doc, copied);
+            }
+        }
+        // Non-concept nodes should be gone by now; if the structure rules
+        // were disabled (ablation), flatten them transparently.
+        _ => {
+            if let Some(val) = tree.value(src).val() {
+                if !val.is_empty() {
+                    doc.tree.value_mut(dst_parent).push_val(val);
+                }
+            }
+            if let ConvNode::Text(t) | ConvNode::Token(t) = tree.value(src) {
+                doc.tree.value_mut(dst_parent).push_val(t);
+            }
+            for child in tree.children(src) {
+                copy_concepts(tree, child, doc, dst_parent);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_html::parse;
+
+    #[test]
+    fn ingest_preserves_structure_and_order() {
+        let html = parse("<div><p>a</p><p>b</p></div>");
+        let tree = ingest(&html);
+        let labels: Vec<String> = tree
+            .descendants(tree.root())
+            .map(|n| match tree.value(n) {
+                ConvNode::Document { .. } => "#doc".into(),
+                ConvNode::Html { name, .. } => name.clone(),
+                ConvNode::Text(t) => format!("#{t}"),
+                other => format!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(labels, ["#doc", "div", "p", "#a", "p", "#b"]);
+    }
+
+    #[test]
+    fn ingest_drops_comments() {
+        let html = parse("<!-- c --><p>x</p>");
+        let tree = ingest(&html);
+        assert_eq!(tree.subtree_size(tree.root()), 3);
+    }
+
+    #[test]
+    fn push_val_accumulates() {
+        let mut n = ConvNode::Html {
+            name: "p".into(),
+            val: String::new(),
+        };
+        n.push_val("one");
+        n.push_val(" two ");
+        n.push_val("");
+        assert_eq!(n.val(), Some("one two"));
+    }
+
+    #[test]
+    fn finalize_builds_rooted_document() {
+        let mut tree = Tree::new(ConvNode::Document { val: String::new() });
+        let root = tree.root();
+        let edu = tree.append_child(
+            root,
+            ConvNode::Concept {
+                name: "education".into(),
+                val: "Education".into(),
+            },
+        );
+        tree.append_child(
+            edu,
+            ConvNode::Concept {
+                name: "degree".into(),
+                val: "B.S.".into(),
+            },
+        );
+        let doc = finalize(&tree, "resume");
+        assert_eq!(doc.root_name(), "resume");
+        assert_eq!(
+            webre_xml::to_xml(&doc),
+            r#"<resume><education val="Education"><degree val="B.S."/></education></resume>"#
+        );
+    }
+
+    #[test]
+    fn finalize_merges_duplicate_root_concept() {
+        let mut tree = Tree::new(ConvNode::Document { val: String::new() });
+        let root = tree.root();
+        let dup = tree.append_child(
+            root,
+            ConvNode::Concept {
+                name: "resume".into(),
+                val: "My Resume".into(),
+            },
+        );
+        tree.append_child(
+            dup,
+            ConvNode::Concept {
+                name: "contact".into(),
+                val: "x".into(),
+            },
+        );
+        let doc = finalize(&tree, "resume");
+        assert_eq!(doc.root_name(), "resume");
+        assert_eq!(doc.tree.value(doc.root()).val(), Some("My Resume"));
+        let child = doc.tree.first_child(doc.root()).unwrap();
+        assert_eq!(doc.tree.value(child).name(), Some("contact"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The text rules: tokenization and concept instance identification
+//! (Section 2.3.1).
+
+use crate::convert::{ClassifierMode, ConvertStats};
+use crate::node::ConvNode;
+use webre_concepts::matcher::find_matches;
+use webre_concepts::{ConceptSet, ConstraintSet};
+use webre_text::tokenize::{split_tokens, Delimiters};
+use webre_tree::{NodeId, Tree};
+
+/// Applies the tokenization rule to the whole tree, top-down: every text
+/// node is replaced by `n ≥ 1` token nodes split on the delimiter set.
+///
+/// Text nodes containing no token content (delimiters/whitespace only)
+/// simply disappear.
+pub fn tokenization_rule(tree: &mut Tree<ConvNode>, delimiters: &Delimiters) {
+    let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
+    for id in ids {
+        let ConvNode::Text(text) = tree.value(id) else {
+            continue;
+        };
+        let tokens = split_tokens(text, delimiters);
+        let mut anchor = id;
+        for tok in tokens {
+            let node = tree.orphan(ConvNode::Token(tok));
+            tree.insert_after(anchor, node);
+            anchor = node;
+        }
+        tree.detach(id);
+    }
+}
+
+/// Applies the concept instance rule to every token node, top-down.
+///
+/// * one concept identified → the token becomes `<C val="token text"/>`;
+/// * several concepts identified → the token is decomposed at the instance
+///   positions; text before the first instance goes to the parent's `val`;
+/// * nothing identified (synonyms and, if configured, the Bayes classifier
+///   both fail) → the token is deleted and its text passed to the parent's
+///   `val`, so no information is lost.
+pub fn concept_instance_rule(
+    tree: &mut Tree<ConvNode>,
+    concepts: &ConceptSet,
+    classifier: &ClassifierMode,
+    constraints: Option<&ConstraintSet>,
+    stats: &mut ConvertStats,
+) {
+    let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
+    for id in ids {
+        let ConvNode::Token(text) = tree.value(id) else {
+            continue;
+        };
+        let text = text.clone();
+        stats.tokens_total += 1;
+        let mut matches = match classifier {
+            ClassifierMode::BayesOnly { .. } => Vec::new(),
+            _ => find_matches(concepts, &text),
+        };
+        // Constraint-guided decomposition: a match whose concept is
+        // forbidden as a sibling of an earlier accepted match is dropped
+        // (its text then flows into the preceding concept's segment).
+        if let Some(cs) = constraints {
+            let mut accepted: Vec<String> = Vec::new();
+            matches.retain(|m| {
+                let ok = accepted.iter().all(|a| cs.admits_siblings(a, &m.concept));
+                if ok {
+                    accepted.push(m.concept.clone());
+                }
+                ok
+            });
+        }
+        let distinct: Vec<&str> = {
+            let mut seen: Vec<&str> = Vec::new();
+            for m in &matches {
+                if !seen.contains(&m.concept.as_str()) {
+                    seen.push(&m.concept);
+                }
+            }
+            seen
+        };
+        match distinct.len() {
+            0 => {
+                // Synonyms failed; give the classifier a chance.
+                if let Some(label) = classifier.classify(&text) {
+                    stats.tokens_identified += 1;
+                    stats.tokens_via_classifier += 1;
+                    *tree.value_mut(id) = ConvNode::Concept {
+                        name: label.to_owned(),
+                        val: text,
+                    };
+                } else {
+                    stats.tokens_unidentified += 1;
+                    let parent = tree.parent(id).expect("token is never the root");
+                    tree.value_mut(parent).push_val(&text);
+                    tree.detach(id);
+                }
+            }
+            1 => {
+                stats.tokens_identified += 1;
+                *tree.value_mut(id) = ConvNode::Concept {
+                    name: matches[0].concept.clone(),
+                    val: text,
+                };
+            }
+            _ => {
+                // Decompose: each identified instance takes the text from
+                // its own start up to the next instance's start; the text
+                // before the first instance goes to the parent.
+                stats.tokens_identified += 1;
+                stats.tokens_decomposed += 1;
+                let parent = tree.parent(id).expect("token is never the root");
+                let first_start = matches[0].start;
+                if first_start > 0 {
+                    let prefix = text[..first_start].trim();
+                    if !prefix.is_empty() {
+                        tree.value_mut(parent).push_val(prefix);
+                    }
+                }
+                let mut anchor = id;
+                for (i, m) in matches.iter().enumerate() {
+                    let end = matches.get(i + 1).map_or(text.len(), |n| n.start);
+                    let segment = text[m.start..end].trim();
+                    let node = tree.orphan(ConvNode::Concept {
+                        name: m.concept.clone(),
+                        val: segment.to_owned(),
+                    });
+                    tree.insert_after(anchor, node);
+                    anchor = node;
+                }
+                tree.detach(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ingest;
+    use webre_concepts::resume;
+    use webre_html::parse;
+
+    fn tokens_of(tree: &Tree<ConvNode>) -> Vec<String> {
+        tree.descendants(tree.root())
+            .filter_map(|n| match tree.value(n) {
+                ConvNode::Token(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn concepts_of(tree: &Tree<ConvNode>) -> Vec<(String, String)> {
+        tree.descendants(tree.root())
+            .filter_map(|n| match tree.value(n) {
+                ConvNode::Concept { name, val } => Some((name.clone(), val.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tokenization_splits_topic_sentence() {
+        let html = parse("<li>UC Davis, B.S., June 1996</li>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        assert_eq!(tokens_of(&tree), ["UC Davis", "B.S.", "June 1996"]);
+    }
+
+    #[test]
+    fn tokenization_drops_empty_text() {
+        let html = parse("<p>;;;</p>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        assert!(tokens_of(&tree).is_empty());
+    }
+
+    #[test]
+    fn instance_rule_paper_example() {
+        // The paper's running example (Section 2.3.1, case 1).
+        let html = parse(
+            "<p>University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0</p>",
+        );
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        concept_instance_rule(
+            &mut tree,
+            &resume::concepts(),
+            &ClassifierMode::SynonymsOnly,
+            None,
+            &mut stats,
+        );
+        let found = concepts_of(&tree);
+        assert_eq!(found.len(), 4, "{found:?}");
+        assert_eq!(found[0].0, "institution");
+        assert_eq!(found[0].1, "University of California at Davis");
+        assert_eq!(found[1].0, "degree");
+        assert_eq!(found[2].0, "date");
+        assert_eq!(found[3].0, "gpa");
+        assert_eq!(stats.tokens_total, 4);
+        assert_eq!(stats.tokens_identified, 4);
+    }
+
+    #[test]
+    fn unidentified_token_passes_text_to_parent() {
+        let html = parse("<p>completely unrecognizable zorp</p>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        concept_instance_rule(
+            &mut tree,
+            &resume::concepts(),
+            &ClassifierMode::SynonymsOnly,
+            None,
+            &mut stats,
+        );
+        assert!(concepts_of(&tree).is_empty());
+        assert_eq!(stats.tokens_unidentified, 1);
+        // The <p> keeps the text in its val.
+        let p = tree.first_child(tree.root()).unwrap();
+        assert_eq!(
+            tree.value(p).val(),
+            Some("completely unrecognizable zorp")
+        );
+    }
+
+    #[test]
+    fn multi_instance_token_is_decomposed() {
+        // No delimiters at all: one token holding two concepts plus a
+        // leading unidentified fragment.
+        let html = parse("<p>worked hard B.S. Computer Science June 1996</p>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        concept_instance_rule(
+            &mut tree,
+            &resume::concepts(),
+            &ClassifierMode::SynonymsOnly,
+            None,
+            &mut stats,
+        );
+        let found = concepts_of(&tree);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!(found[0].0, "degree");
+        assert_eq!(found[0].1, "B.S. Computer Science");
+        assert_eq!(found[1].0, "date");
+        assert_eq!(found[1].1, "June 1996");
+        let p = tree.first_child(tree.root()).unwrap();
+        assert_eq!(tree.value(p).val(), Some("worked hard"));
+        assert_eq!(stats.tokens_decomposed, 1);
+    }
+
+    #[test]
+    fn negated_sibling_constraint_guides_decomposition() {
+        use webre_concepts::Constraint;
+        let html = parse("<p>worked hard B.S. Computer Science June 1996</p>");
+        // Without constraints this token decomposes into degree + date
+        // (see multi_instance_token_is_decomposed). A negated sibling
+        // constraint between degree and date keeps the whole token with
+        // the first (degree) match.
+        let constraints: webre_concepts::ConstraintSet =
+            [Constraint::sibling("degree", "date").negate()]
+                .into_iter()
+                .collect();
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        concept_instance_rule(
+            &mut tree,
+            &resume::concepts(),
+            &ClassifierMode::SynonymsOnly,
+            Some(&constraints),
+            &mut stats,
+        );
+        let found = concepts_of(&tree);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].0, "degree");
+        assert!(found[0].1.contains("June 1996"), "{found:?}");
+        assert_eq!(stats.tokens_decomposed, 0);
+    }
+
+    #[test]
+    fn bayes_classifier_rescues_unmatched_tokens() {
+        use webre_text::BayesTrainer;
+        let mut t = BayesTrainer::new();
+        t.add("position", "software engineer intern");
+        t.add("position", "senior developer");
+        t.add("unknown", "lorem ipsum");
+        let model = t.build().unwrap();
+        let mode = ClassifierMode::Both {
+            model,
+            margin: 0.0,
+            unknown_label: "unknown".into(),
+        };
+        let html = parse("<p>staff engineer</p>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        // Use an empty concept set so synonyms cannot match.
+        concept_instance_rule(&mut tree, &ConceptSet::new(), &mode, None, &mut stats);
+        let found = concepts_of(&tree);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, "position");
+        assert_eq!(stats.tokens_via_classifier, 1);
+    }
+
+    #[test]
+    fn bayes_unknown_label_means_unidentified() {
+        use webre_text::BayesTrainer;
+        let mut t = BayesTrainer::new();
+        t.add("position", "software engineer");
+        t.add("unknown", "random filler words");
+        let model = t.build().unwrap();
+        let mode = ClassifierMode::Both {
+            model,
+            margin: 0.0,
+            unknown_label: "unknown".into(),
+        };
+        let html = parse("<p>random filler words</p>");
+        let mut tree = ingest(&html);
+        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut stats = ConvertStats::default();
+        concept_instance_rule(&mut tree, &ConceptSet::new(), &mode, None, &mut stats);
+        assert!(concepts_of(&tree).is_empty());
+        assert_eq!(stats.tokens_unidentified, 1);
+    }
+}

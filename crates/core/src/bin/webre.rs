@@ -1,0 +1,310 @@
+//! `webre` — command-line front end for the pipeline.
+//!
+//! ```text
+//! webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
+//! webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
+//! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+//! webre validate <file.xml>...   --dtd <file.dtd>
+//! webre generate --count N [--seed S] --out-dir DIR
+//! ```
+//!
+//! `convert` prints concept-tagged XML for each input; `discover` prints
+//! the majority schema and derived DTD; `run` converts, discovers, maps
+//! every document onto the DTD and writes conforming XML files; `validate`
+//! checks XML files against a DTD; `generate` materializes a synthetic
+//! resume corpus (HTML plus ground-truth XML).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use webre::concepts::Domain;
+use webre::convert::ConvertConfig;
+use webre::Pipeline;
+use webre_corpus::CorpusGenerator;
+use webre_schema::FrequentPathMiner;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "convert" => cmd_convert(rest),
+        "discover" => cmd_discover(rest),
+        "run" => cmd_run(rest),
+        "validate" => cmd_validate(rest),
+        "generate" => cmd_generate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
+  webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
+  webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+  webre validate <file.xml>...   --dtd <file.dtd>
+  webre generate --count N [--seed S] --out-dir DIR";
+
+/// Minimal flag parser: returns (positional, flag-values, flag-switches).
+struct Parsed {
+    positional: Vec<String>,
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Parsed, String> {
+    let mut out = Parsed {
+        positional: Vec::new(),
+        values: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                out.values.push((name.to_owned(), value.clone()));
+            } else {
+                out.switches.push(name.to_owned());
+            }
+        } else {
+            out.positional.push(arg.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn float(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.value(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Builds a pipeline from common flags (`--domain`, `--root`, `--sup`,
+/// `--ratio`, `--group-patterns`).
+fn pipeline_from(parsed: &Parsed) -> Result<Pipeline, String> {
+    let mut pipeline = match parsed.value("domain") {
+        Some(path) => {
+            let domain = Domain::from_json(&read(path)?)
+                .map_err(|e| format!("bad domain file {path}: {e}"))?;
+            let root = parsed.value("root").unwrap_or("document").to_owned();
+            let concepts = domain.concept_set();
+            let constraints = domain.constraint_set();
+            Pipeline::new(concepts)
+                .with_convert_config(ConvertConfig {
+                    root_concept: root,
+                    constraints: Some(constraints.clone()),
+                    ..ConvertConfig::default()
+                })
+                .with_miner(FrequentPathMiner {
+                    constraints: Some(constraints),
+                    ..FrequentPathMiner::default()
+                })
+        }
+        None => {
+            let mut p = Pipeline::resume_domain();
+            if let Some(root) = parsed.value("root") {
+                p = p.with_convert_config(ConvertConfig {
+                    root_concept: root.to_owned(),
+                    ..ConvertConfig::default()
+                });
+            }
+            p
+        }
+    };
+    let miner = FrequentPathMiner {
+        sup_threshold: parsed.float("sup", 0.5)?,
+        ratio_threshold: parsed.float("ratio", 0.3)?,
+        constraints: pipeline.miner().constraints.clone(),
+        max_len: None,
+    };
+    pipeline = pipeline.with_miner(miner);
+    if parsed.switch("group-patterns") {
+        pipeline = pipeline.with_dtd_config(webre_schema::DtdConfig {
+            group_patterns: true,
+            ..webre_schema::DtdConfig::default()
+        });
+    }
+    Ok(pipeline)
+}
+
+fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["domain", "root"])?;
+    if parsed.positional.is_empty() {
+        return Err("convert needs at least one input file".into());
+    }
+    let pipeline = pipeline_from(&parsed)?;
+    for path in &parsed.positional {
+        let html = read(path)?;
+        let (xml, stats) = pipeline.convert_html(&html);
+        if parsed.switch("compact") {
+            println!("{}", webre::xml::to_xml(&xml));
+        } else {
+            print!("{}", webre::xml::to_xml_pretty(&xml));
+        }
+        if parsed.switch("stats") {
+            eprintln!(
+                "{path}: {} tokens, {} identified, {} unidentified, {} decomposed",
+                stats.tokens_total,
+                stats.tokens_identified,
+                stats.tokens_unidentified,
+                stats.tokens_decomposed
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["domain", "root", "sup", "ratio"])?;
+    if parsed.positional.is_empty() {
+        return Err("discover needs at least one input file".into());
+    }
+    let pipeline = pipeline_from(&parsed)?;
+    let htmls: Vec<String> = parsed
+        .positional
+        .iter()
+        .map(|p| read(p))
+        .collect::<Result<_, _>>()?;
+    let docs = pipeline.convert_corpus(&htmls);
+    let discovery = pipeline
+        .discover_schema(&docs)
+        .ok_or("empty corpus or root below support threshold")?;
+    println!("majority schema ({} paths):", discovery.schema.len());
+    print!("{}", discovery.schema.render());
+    println!();
+    println!("derived DTD:");
+    print!("{}", discovery.dtd.to_dtd_string());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["domain", "root", "sup", "ratio", "out-dir"])?;
+    if parsed.positional.is_empty() {
+        return Err("run needs at least one input file".into());
+    }
+    let out_dir = PathBuf::from(parsed.value("out-dir").ok_or("run needs --out-dir")?);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
+    let pipeline = pipeline_from(&parsed)?;
+    let htmls: Vec<String> = parsed
+        .positional
+        .iter()
+        .map(|p| read(p))
+        .collect::<Result<_, _>>()?;
+    let (discovery, mapped) = pipeline
+        .run(&htmls)
+        .ok_or("empty corpus or root below support threshold")?;
+    std::fs::write(out_dir.join("schema.dtd"), discovery.dtd.to_dtd_string())
+        .map_err(|e| e.to_string())?;
+    let mut conforming = 0usize;
+    for (input, outcome) in parsed.positional.iter().zip(&mapped) {
+        let stem = Path::new(input)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "doc".into());
+        let path = out_dir.join(format!("{stem}.xml"));
+        std::fs::write(&path, webre::xml::to_xml_pretty(&outcome.document))
+            .map_err(|e| e.to_string())?;
+        if outcome.conforms {
+            conforming += 1;
+        }
+    }
+    println!(
+        "wrote {} mapped documents + schema.dtd to {} ({conforming} conforming)",
+        mapped.len(),
+        out_dir.display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["dtd"])?;
+    let dtd_path = parsed.value("dtd").ok_or("validate needs --dtd")?;
+    let dtd = webre::xml::dtd::parse_dtd(&read(dtd_path)?)
+        .map_err(|e| format!("bad DTD {dtd_path}: {e}"))?;
+    if parsed.positional.is_empty() {
+        return Err("validate needs at least one XML file".into());
+    }
+    let mut failures = 0usize;
+    for path in &parsed.positional {
+        let doc = webre::xml::parse_xml(&read(path)?)
+            .map_err(|e| format!("bad XML {path}: {e}"))?;
+        let errors = webre::xml::validate(&doc, &dtd);
+        if errors.is_empty() {
+            println!("{path}: conforms");
+        } else {
+            failures += 1;
+            println!("{path}: {} violations", errors.len());
+            for e in errors.iter().take(5) {
+                println!("  {e}");
+            }
+        }
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["count", "seed", "out-dir"])?;
+    let count: usize = parsed
+        .value("count")
+        .ok_or("generate needs --count")?
+        .parse()
+        .map_err(|_| "--count expects an integer")?;
+    let seed: u64 = parsed
+        .value("seed")
+        .unwrap_or("2002")
+        .parse()
+        .map_err(|_| "--seed expects an integer")?;
+    let out_dir = PathBuf::from(parsed.value("out-dir").ok_or("generate needs --out-dir")?);
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
+    let generator = CorpusGenerator::new(seed);
+    for doc in generator.generate(count) {
+        std::fs::write(out_dir.join(format!("resume{:04}.html", doc.id)), &doc.html)
+            .map_err(|e| e.to_string())?;
+        std::fs::write(
+            out_dir.join(format!("resume{:04}.truth.xml", doc.id)),
+            webre::xml::to_xml_pretty(&doc.truth),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    println!("wrote {count} documents (+ ground truth) to {}", out_dir.display());
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the `webre` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_webre"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webre-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = bin().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("webre convert"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_convert_discover_run_validate_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let corpus = dir.join("corpus");
+    let mapped = dir.join("mapped");
+
+    // generate
+    let out = bin()
+        .args(["generate", "--count", "8", "--seed", "5", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let html0 = corpus.join("resume0000.html");
+    assert!(html0.exists());
+    assert!(corpus.join("resume0007.truth.xml").exists());
+
+    // convert one document
+    let out = bin().arg("convert").arg(&html0).output().expect("spawn");
+    assert!(out.status.success());
+    let xml = String::from_utf8_lossy(&out.stdout);
+    assert!(xml.starts_with("<resume"), "{xml}");
+
+    // discover over the corpus
+    let htmls: Vec<PathBuf> = (0..8).map(|i| corpus.join(format!("resume{i:04}.html"))).collect();
+    let out = bin().arg("discover").args(&htmls).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("majority schema"), "{text}");
+    assert!(text.contains("<!ELEMENT resume"), "{text}");
+
+    // full run with mapping
+    let out = bin()
+        .arg("run")
+        .args(&htmls)
+        .arg("--out-dir")
+        .arg(&mapped)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(mapped.join("schema.dtd").exists());
+    assert!(mapped.join("resume0000.xml").exists());
+
+    // validate the mapped output against the written DTD
+    let out = bin()
+        .arg("validate")
+        .arg(mapped.join("resume0000.xml"))
+        .arg("--dtd")
+        .arg(mapped.join("schema.dtd"))
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("conforms"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn validate_fails_on_nonconforming_document() {
+    let dir = temp_dir("nonconforming");
+    std::fs::write(dir.join("doc.xml"), "<resume><bogus/></resume>").unwrap();
+    std::fs::write(
+        dir.join("schema.dtd"),
+        "<!ELEMENT resume ((#PCDATA), contact)>\n<!ELEMENT contact (#PCDATA)>\n",
+    )
+    .unwrap();
+    let out = bin()
+        .arg("validate")
+        .arg(dir.join("doc.xml"))
+        .arg("--dtd")
+        .arg(dir.join("schema.dtd"))
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("violations"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_with_custom_domain_json() {
+    let dir = temp_dir("domain");
+    std::fs::write(
+        dir.join("domain.json"),
+        r#"{
+          "concepts": [
+            { "name": "listing", "role": "Title", "instances": ["for sale"] },
+            { "name": "price",   "role": "Content", "instances": ["price", "asking"] }
+          ]
+        }"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("page.html"),
+        "<h2>For Sale</h2><p>Asking price: 1200</p>",
+    )
+    .unwrap();
+    let out = bin()
+        .arg("convert")
+        .arg(dir.join("page.html"))
+        .arg("--domain")
+        .arg(dir.join("domain.json"))
+        .arg("--root")
+        .arg("ad")
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let xml = String::from_utf8_lossy(&out.stdout);
+    assert!(xml.starts_with("<ad"), "{xml}");
+    assert!(xml.contains("listing"), "{xml}");
+    assert!(xml.contains("price"), "{xml}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = bin()
+        .args(["convert", "/nonexistent/nope.html"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,227 @@
+//! A second topic: product-catalog pages.
+//!
+//! The paper's closing section names "broader topics such as product
+//! catalogs" as the next target for the framework. This module provides
+//! that topic end to end — a domain (concepts + constraints) and a
+//! generator with ground truth — so the generality of the
+//! domain-independent rules can be measured rather than asserted
+//! (experiment A5).
+
+use crate::style::HeadingStyle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use webre_concepts::{Comparator, Concept, ConceptRole, ConceptSet, Constraint, ConstraintSet};
+use webre_xml::{XmlDocument, XmlNode};
+
+/// The catalog topic's concepts.
+pub fn concepts() -> ConceptSet {
+    let t = |name: &str, instances: &[&str]| {
+        Concept::new(name, ConceptRole::Title, instances.iter().copied())
+    };
+    let c = |name: &str, instances: &[&str]| {
+        Concept::new(name, ConceptRole::Content, instances.iter().copied())
+    };
+    [
+        t("product", &["product", "item", "model"]),
+        t(
+            "specifications",
+            &["specifications", "specs", "technical details", "features"],
+        ),
+        t("pricing", &["pricing", "price list", "ordering"]),
+        t("shipping", &["shipping", "delivery", "returns"]),
+        c("price", &["price", "msrp", "sale price", "our price"]),
+        c("manufacturer", &["manufacturer", "made by", "brand"]),
+        c("weight", &["weight", "lbs", "kg", "ounces"]),
+        c("dimensions", &["dimensions", "size", "inches", "cm"]),
+        c("warranty", &["warranty", "guarantee"]),
+        c("sku", &["sku", "part number", "catalog number"]),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The catalog topic's constraints (same classes as the resume domain).
+pub fn constraints() -> ConstraintSet {
+    let set = concepts();
+    let mut out = ConstraintSet::new();
+    out.add(Constraint::NoRepeat);
+    out.add(Constraint::MaxDepth(4));
+    for name in set.names_with_role(ConceptRole::Title) {
+        out.add(Constraint::depth(name, Comparator::Eq, 1));
+    }
+    for name in set.names_with_role(ConceptRole::Content) {
+        out.add(Constraint::depth(name, Comparator::Gt, 1));
+    }
+    out
+}
+
+const PRODUCT_NAMES: &[&str] = &[
+    "TurboWidget 3000",
+    "AquaPump Deluxe",
+    "Frobnicator Junior",
+    "MegaSprocket XL",
+    "NanoGear Classic",
+    "HyperFlange Pro",
+];
+
+const BRANDS: &[&str] = &["Acme", "Globex", "Initech", "Umbrella", "Wayne Industries"];
+
+const BLURBS: &[&str] = &[
+    "The finest of its kind on the market",
+    "Trusted by professionals worldwide",
+    "Now with improved housing",
+    "An instant classic for the workshop",
+];
+
+/// One generated catalog page with conversion ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedCatalogPage {
+    pub html: String,
+    pub truth: XmlDocument,
+}
+
+/// Generates the `i`-th catalog page for a seed.
+pub fn generate_one(seed: u64, i: usize) -> GeneratedCatalogPage {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA7A ^ (i as u64).wrapping_mul(0x9E37_79B9));
+    let name = PRODUCT_NAMES.choose(&mut rng).expect("non-empty");
+    let brand = BRANDS.choose(&mut rng).expect("non-empty");
+    let blurb = BLURBS.choose(&mut rng).expect("non-empty");
+    let price = format!("${}.{:02}", rng.gen_range(10..500), rng.gen_range(0..100));
+    let weight = format!("{}.{} kg", rng.gen_range(1..20), rng.gen_range(0..10));
+    let dims = format!("{} x {} x {} cm", rng.gen_range(5..40), rng.gen_range(5..40), rng.gen_range(2..20));
+    let sku = format!("SKU {}-{}", rng.gen_range(100..999), rng.gen_range(1000..9999));
+    let warranty_years = rng.gen_range(1..5);
+    let heading: HeadingStyle = *[HeadingStyle::H2, HeadingStyle::H3, HeadingStyle::BoldParagraph]
+        .choose(&mut rng)
+        .expect("non-empty");
+    let h = |text: &str| match heading {
+        HeadingStyle::BoldParagraph => format!("<p><b>{text}</b></p>\n"),
+        HeadingStyle::H3 => format!("<h3>{text}</h3>\n"),
+        _ => format!("<h2>{text}</h2>\n"),
+    };
+
+    let use_table = rng.gen_bool(0.4);
+    let mut html = String::from("<html><head><title>Catalog</title></head><body>\n");
+    html.push_str(&h(&format!("Product: {name}")));
+    html.push_str(&format!("<p>{blurb}</p>\n"));
+    html.push_str(&h("Specifications"));
+    if use_table {
+        html.push_str(&format!(
+            "<table><tr><td>Made by {brand}</td></tr><tr><td>Weight: {weight}</td></tr>\
+             <tr><td>Dimensions: {dims}</td></tr><tr><td>{sku}</td></tr></table>\n"
+        ));
+    } else {
+        html.push_str(&format!(
+            "<ul><li>Made by {brand}</li><li>Weight: {weight}</li>\
+             <li>Dimensions: {dims}</li><li>{sku}</li></ul>\n"
+        ));
+    }
+    html.push_str(&h("Pricing"));
+    html.push_str(&format!("<p>Our Price: {price}</p>\n"));
+    html.push_str(&h("Shipping"));
+    html.push_str(&format!(
+        "<p>Delivery in {} days. {warranty_years} year warranty included.</p>\n",
+        rng.gen_range(1..10)
+    ));
+    html.push_str("</body></html>\n");
+
+    // Ground truth: sections, with spec fields nested under the first
+    // identified spec concept (manufacturer leads both layouts).
+    let mut truth = XmlDocument::new("catalog-entry");
+    let root = truth.root();
+    truth.tree.append_child(root, XmlNode::element("product"));
+    let specs = truth
+        .tree
+        .append_child(root, XmlNode::element("specifications"));
+    let manufacturer = truth
+        .tree
+        .append_child(specs, XmlNode::element("manufacturer"));
+    truth.tree.append_child(manufacturer, XmlNode::element("weight"));
+    truth
+        .tree
+        .append_child(manufacturer, XmlNode::element("dimensions"));
+    truth.tree.append_child(manufacturer, XmlNode::element("sku"));
+    let pricing = truth.tree.append_child(root, XmlNode::element("pricing"));
+    truth.tree.append_child(pricing, XmlNode::element("price"));
+    let shipping = truth.tree.append_child(root, XmlNode::element("shipping"));
+    truth.tree.append_child(shipping, XmlNode::element("warranty"));
+
+    GeneratedCatalogPage { html, truth }
+}
+
+/// Generates `n` catalog pages.
+pub fn generate(seed: u64, n: usize) -> Vec<GeneratedCatalogPage> {
+    (0..n).map(|i| generate_one(seed, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_convert::accuracy::logical_errors;
+    use webre_convert::{ConvertConfig, Converter};
+
+    fn converter() -> Converter {
+        Converter::with_config(
+            concepts(),
+            ConvertConfig {
+                root_concept: "catalog-entry".into(),
+                ..ConvertConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn domain_shape() {
+        let set = concepts();
+        assert_eq!(set.len(), 10);
+        assert_eq!(set.names_with_role(ConceptRole::Title).len(), 4);
+        assert_eq!(set.names_with_role(ConceptRole::Content).len(), 6);
+        assert!(!constraints().is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_one(7, 3);
+        let b = generate_one(7, 3);
+        assert_eq!(a.html, b.html);
+    }
+
+    #[test]
+    fn pages_convert_with_reasonable_accuracy() {
+        let converter = converter();
+        let pages = generate(11, 15);
+        let mut total = 0.0;
+        for page in &pages {
+            let (xml, _) = converter.convert_str(&page.html);
+            total += logical_errors(&xml, &page.truth).error_rate();
+        }
+        let avg = total / pages.len() as f64;
+        assert!(avg < 0.35, "catalog avg error {avg:.3}");
+    }
+
+    #[test]
+    fn catalog_schema_discoverable() {
+        use webre_schema::{extract_paths, FrequentPathMiner};
+        let converter = converter();
+        let paths: Vec<_> = generate(13, 30)
+            .iter()
+            .map(|p| extract_paths(&converter.convert_str(&p.html).0))
+            .collect();
+        let outcome = FrequentPathMiner {
+            sup_threshold: 0.5,
+            ratio_threshold: 0.3,
+            constraints: Some(constraints()),
+            max_len: None,
+        }
+        .mine(&paths)
+        .unwrap();
+        let schema = outcome.schema;
+        assert_eq!(schema.root_label(), "catalog-entry");
+        let as_path = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| (*s).to_owned()).collect()
+        };
+        assert!(schema.contains(&as_path(&["catalog-entry", "specifications"])));
+        assert!(schema.contains(&as_path(&["catalog-entry", "pricing", "price"])));
+    }
+}

@@ -1,0 +1,189 @@
+//! The resume content model: what a resume *says*, independent of how any
+//! particular author marks it up.
+
+use crate::pools;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One education entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EducationEntry {
+    pub institution: String,
+    pub degree: String,
+    /// Rendered as "Major in X" when present.
+    pub major: Option<String>,
+    pub date: String,
+    /// Rendered as "GPA x.y/4.0" when present.
+    pub gpa: Option<String>,
+}
+
+/// One experience entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperienceEntry {
+    pub employer: String,
+    pub position: String,
+    /// Rendered as "based in X" (a `location` instance) when present.
+    pub location: Option<String>,
+    pub date: String,
+    /// Free-text bullets (unidentifiable by design).
+    pub bullets: Vec<String>,
+}
+
+/// The full content of one resume.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResumeData {
+    pub name: String,
+    pub street: String,
+    pub phone: String,
+    pub email: String,
+    pub objective: String,
+    pub summary: Option<String>,
+    pub education: Vec<EducationEntry>,
+    pub experience: Vec<ExperienceEntry>,
+    pub skills: Vec<String>,
+    pub courses: Vec<String>,
+    pub awards: Vec<String>,
+    pub activities: Vec<String>,
+    pub reference: String,
+}
+
+fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).expect("pools are non-empty")
+}
+
+fn date<R: Rng>(rng: &mut R) -> String {
+    let month = pick(rng, pools::MONTHS);
+    let year = rng.gen_range(1990..=2001);
+    format!("{month} {year}")
+}
+
+fn date_range<R: Rng>(rng: &mut R) -> String {
+    let from = date(rng);
+    if rng.gen_bool(0.3) {
+        format!("{from} - present")
+    } else {
+        format!("{from} - {}", date(rng))
+    }
+}
+
+impl ResumeData {
+    /// Samples a resume's content. All variability here is *content*;
+    /// markup variability lives in [`crate::style`].
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let education = (0..rng.gen_range(2..=4))
+            .map(|_| EducationEntry {
+                institution: pick(rng, pools::INSTITUTIONS).to_owned(),
+                degree: pick(rng, pools::DEGREES).to_owned(),
+                major: rng
+                    .gen_bool(0.4)
+                    .then(|| pick(rng, pools::MAJORS).to_owned()),
+                date: date(rng),
+                gpa: rng
+                    .gen_bool(0.5)
+                    .then(|| format!("GPA 3.{}/4.0", rng.gen_range(0..=9))),
+            })
+            .collect();
+        let experience = (0..rng.gen_range(2..=5))
+            .map(|_| {
+                let bullet_count = rng.gen_range(0..=3);
+                ExperienceEntry {
+                    employer: pick(rng, pools::EMPLOYERS).to_owned(),
+                    position: pick(rng, pools::POSITIONS).to_owned(),
+                    location: rng
+                        .gen_bool(0.4)
+                        .then(|| pick(rng, pools::CITIES).to_owned()),
+                    date: date_range(rng),
+                    bullets: (0..bullet_count)
+                        .map(|_| pick(rng, pools::BULLET_TEXTS).to_owned())
+                        .collect(),
+                }
+            })
+            .collect();
+        let skill_count = rng.gen_range(3..=7);
+        let mut skills: Vec<String> = pools::SKILLS
+            .choose_multiple(rng, skill_count)
+            .map(|s| (*s).to_owned())
+            .collect();
+        skills.sort_unstable(); // determinism independent of choose order
+        let course_count = rng.gen_range(0..=4);
+        let courses = pools::COURSES
+            .choose_multiple(rng, course_count)
+            .map(|s| (*s).to_owned())
+            .collect();
+        let award_count = rng.gen_range(0..=2);
+        let awards = pools::AWARD_TEXTS
+            .choose_multiple(rng, award_count)
+            .map(|s| (*s).to_owned())
+            .collect();
+        let activity_count = rng.gen_range(0..=2);
+        let activities = pools::ACTIVITY_TEXTS
+            .choose_multiple(rng, activity_count)
+            .map(|s| (*s).to_owned())
+            .collect();
+        ResumeData {
+            name: format!(
+                "{} {}",
+                pick(rng, pools::FIRST_NAMES),
+                pick(rng, pools::LAST_NAMES)
+            ),
+            street: format!("{} Main Street", rng.gen_range(100..9999)),
+            phone: format!(
+                "({}) 555-{:04}",
+                rng.gen_range(200..999),
+                rng.gen_range(0..9999)
+            ),
+            email: format!("user{}@example.com", rng.gen_range(1..10_000)),
+            objective: pick(rng, pools::OBJECTIVE_TEXTS).to_owned(),
+            summary: rng
+                .gen_bool(0.5)
+                .then(|| pick(rng, pools::SUMMARY_TEXTS).to_owned()),
+            education,
+            experience,
+            skills,
+            courses,
+            awards,
+            activities,
+            reference: pools::REFERENCE_TEXTS[1].to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = ResumeData::sample(&mut StdRng::seed_from_u64(7));
+        let b = ResumeData::sample(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = ResumeData::sample(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mandatory_sections_present() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let r = ResumeData::sample(&mut rng);
+            assert!(!r.education.is_empty());
+            assert!(!r.experience.is_empty());
+            assert!(!r.skills.is_empty());
+            assert!(!r.name.is_empty());
+            assert!((2..=4).contains(&r.education.len()));
+            assert!((2..=5).contains(&r.experience.len()));
+        }
+    }
+
+    #[test]
+    fn dates_mention_months() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = ResumeData::sample(&mut rng);
+        for e in &r.education {
+            assert!(crate::pools::MONTHS.iter().any(|m| e.date.contains(m)));
+        }
+    }
+}

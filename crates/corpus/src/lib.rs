@@ -1,0 +1,36 @@
+//! Synthetic topic-specific corpus: the experimental substrate.
+//!
+//! The paper evaluates on ~1400 resume HTML pages gathered from the open
+//! Web by a topic-specific crawler — data we do not have. This crate
+//! builds the closest synthetic equivalent that exercises the same code
+//! paths:
+//!
+//! * [`data`]/[`pools`] — a resume *content* model sampled from vocabulary
+//!   pools (people, institutions, employers, dates, skills, …);
+//! * [`style`] — an *authorship* model: every generated document draws a
+//!   style (heading markup, list vs table vs paragraph rendering, delimiter
+//!   habits, section order/subset, noise quirks), reproducing the paper's
+//!   central premise that topic documents are homogeneous in content but
+//!   heterogeneous in visual markup;
+//! * [`render`] — renders a resume through a style into HTML *and* builds
+//!   the ground-truth concept tree a perfect conversion would produce,
+//!   enabling the mechanized Figure-4 accuracy metric;
+//! * [`generator`] — deterministic seeded corpus generation;
+//! * [`crawler`] — a synthetic web graph plus the topic-specific crawler
+//!   that harvests resume pages from it (the paper's data-collection
+//!   substrate, simulated);
+//! * [`catalog`] — a second topic (product catalogs, the paper's Section 5
+//!   future-work target) with its own domain and generator, used by the
+//!   generality experiment.
+
+pub mod catalog;
+pub mod crawler;
+pub mod data;
+pub mod generator;
+pub mod pools;
+pub mod render;
+pub mod style;
+
+pub use data::ResumeData;
+pub use generator::{CorpusGenerator, GeneratedResume};
+pub use style::StyleModel;

@@ -1,0 +1,219 @@
+//! Vocabulary pools for resume content sampling.
+//!
+//! Pools are chosen so the *identifiable* fields carry a concept instance
+//! (every institution contains "University"/"College"/…, every employer
+//! ends in "Inc"/"Corp"/…), mirroring how synonym matching identifies real
+//! resume fields, while free text (objectives, bullets, skills) stays
+//! instance-free so it exercises the unidentified-token path.
+
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Wei", "Priya", "Carlos", "Yuki", "Fatima", "Ivan", "Grace", "Noah",
+    "Elena", "Ahmed", "Linh", "Marta", "Kofi", "Sara", "Diego", "Anna", "Ravi", "Mei",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Chen", "Garcia", "Patel", "Tanaka", "Ivanov", "Okafor", "Nguyen", "Silva",
+    "Kim", "Mueller", "Rossi", "Haddad", "Kowalski", "Johnson", "Lee", "Brown", "Sato",
+];
+
+/// Every entry contains an `institution` concept instance.
+pub const INSTITUTIONS: &[&str] = &[
+    "University of California at Davis",
+    "Stanford University",
+    "San Jose State University",
+    "Foothill College",
+    "Georgia Institute of Technology",
+    "Carnegie Mellon University",
+    "De Anza Community College",
+    "University of Texas at Austin",
+    "Purdue University",
+    "Boston College",
+    "Indian Institute of Technology",
+    "National Taiwan University",
+];
+
+/// Every entry contains a `degree` concept instance.
+pub const DEGREES: &[&str] = &[
+    "B.S. in Computer Science",
+    "M.S. in Electrical Engineering",
+    "Ph.D. in Physics",
+    "B.A. in Economics",
+    "MBA",
+    "B.S. in Mathematics",
+    "M.S. in Computer Engineering",
+    "Associate Degree in Information Systems",
+    "Bachelor of Science in Chemistry",
+    "Master of Arts in Linguistics",
+];
+
+/// Majors rendered as "Major in X" so the `major` instance matches.
+pub const MAJORS: &[&str] = &[
+    "Computer Science",
+    "Electrical Engineering",
+    "Applied Mathematics",
+    "Information Systems",
+    "Physics",
+    "Economics",
+];
+
+/// Months for date rendering (all are `date` concept instances).
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Every entry contains an `employer` concept instance.
+pub const EMPLOYERS: &[&str] = &[
+    "NehaNet Corp",
+    "Verity Inc",
+    "Acme Systems Inc",
+    "Orion Technologies",
+    "Pacific Data Labs",
+    "Bluewater Software Corp",
+    "Redwood Networks Inc",
+    "Quantum Widgets LLC",
+    "Cascade Laboratories",
+    "Summit Consulting Inc",
+    "Gateway Microsystems Corp",
+];
+
+/// Every entry contains a `position` concept instance.
+pub const POSITIONS: &[&str] = &[
+    "Software Engineer",
+    "Senior Developer",
+    "Staff Analyst",
+    "Project Manager",
+    "Research Assistant",
+    "Database Administrator",
+    "Web Developer",
+    "QA Engineer",
+    "Technical Consultant",
+    "Engineering Intern",
+    "Solutions Architect",
+];
+
+pub const CITIES: &[&str] = &[
+    "San Jose", "Sunnyvale", "Davis", "Austin", "Pittsburgh", "Atlanta", "Boston",
+    "Seattle", "Denver", "Chicago",
+];
+
+/// Instance-free skill terms (exercise the unidentified-token path).
+pub const SKILLS: &[&str] = &[
+    "C++", "Java", "Perl", "SQL", "HTML", "JavaScript", "Linux", "Windows NT", "TCP/IP",
+    "Oracle 8i", "Apache", "XML", "CORBA", "Visual Basic", "Shell scripting", "LaTeX",
+];
+
+/// Instance-free course names.
+pub const COURSES: &[&str] = &[
+    "Data Structures",
+    "Operating Systems",
+    "Compilers",
+    "Computer Networks",
+    "Artificial Intelligence",
+    "Numerical Analysis",
+    "Distributed Computing",
+    "Human-Computer Interaction",
+];
+
+/// Instance-free award descriptions.
+pub const AWARD_TEXTS: &[&str] = &[
+    "Dean's List all semesters",
+    "Best senior project",
+    "National Merit Finalist",
+    "Hackathon first place",
+    "Perfect attendance citation",
+];
+
+/// Instance-free activity descriptions.
+pub const ACTIVITY_TEXTS: &[&str] = &[
+    "ACM student chapter",
+    "Chess club treasurer",
+    "Marathon running",
+    "Open source contributor",
+    "Debate team captain",
+];
+
+/// Instance-free objective sentences.
+pub const OBJECTIVE_TEXTS: &[&str] = &[
+    "A challenging development role in a fast-paced environment",
+    "To build large-scale distributed applications",
+    "Seeking a full-time role in data engineering",
+    "An entry-level role working on compilers and runtimes",
+];
+
+/// Instance-free summary sentences.
+pub const SUMMARY_TEXTS: &[&str] = &[
+    "Five years building web applications end to end",
+    "Strong background in algorithms and low-level programming",
+    "Self-motivated team player with shipping track record",
+];
+
+/// Instance-free experience bullet points.
+pub const BULLET_TEXTS: &[&str] = &[
+    "Designed and implemented the billing pipeline",
+    "Led a team of four building the search backend",
+    "Reduced page load times by a factor of three",
+    "Wrote test harnesses for the networking stack",
+    "Maintained build and release infrastructure",
+    "Prototyped the customer analytics dashboard",
+];
+
+/// Reference lines (the first matches a `reference` instance by design).
+pub const REFERENCE_TEXTS: &[&str] = &[
+    "References available upon request",
+    "Available on request",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_concepts::{matcher::matched_concepts, resume};
+
+    #[test]
+    fn identifiable_pools_carry_their_concept() {
+        let set = resume::concepts();
+        for (pool, concept) in [
+            (INSTITUTIONS, "institution"),
+            (DEGREES, "degree"),
+            (EMPLOYERS, "employer"),
+            (POSITIONS, "position"),
+        ] {
+            for entry in pool {
+                let found = matched_concepts(&set, entry);
+                assert!(
+                    found.contains(&concept.to_owned()),
+                    "{entry:?} does not match {concept}: {found:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn months_are_date_instances() {
+        let set = resume::concepts();
+        for m in MONTHS {
+            assert_eq!(matched_concepts(&set, m), vec!["date".to_owned()]);
+        }
+    }
+
+    #[test]
+    fn free_text_pools_are_instance_free() {
+        let set = resume::concepts();
+        for pool in [SKILLS, COURSES, AWARD_TEXTS, ACTIVITY_TEXTS, OBJECTIVE_TEXTS, SUMMARY_TEXTS, BULLET_TEXTS] {
+            for entry in pool {
+                let found = matched_concepts(&set, entry);
+                assert!(
+                    found.is_empty(),
+                    "{entry:?} unexpectedly matches {found:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_non_trivial() {
+        assert!(FIRST_NAMES.len() >= 10);
+        assert!(INSTITUTIONS.len() >= 10);
+        assert!(EMPLOYERS.len() >= 10);
+    }
+}

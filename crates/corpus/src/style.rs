@@ -1,0 +1,295 @@
+//! The authorship style model.
+//!
+//! The paper's core premise: documents about one topic are written by many
+//! authors, so they share information content but differ wildly in visual
+//! markup. A [`StyleModel`] captures one author's habits; the renderer
+//! consumes it to produce HTML, and each generated document samples a
+//! fresh style.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How section headings are marked up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeadingStyle {
+    H1,
+    H2,
+    H3,
+    /// `<p><b>Heading</b></p>`
+    BoldParagraph,
+    /// `<p><u>Heading</u></p>`
+    UnderlineParagraph,
+    /// Mixed levels: primary sections use `h2`, later ones `h3` (a common
+    /// sloppy-author pattern that induces section nesting errors).
+    MixedH2H3,
+}
+
+/// How repeated entries (education, experience) are laid out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryLayout {
+    /// `<ul><li>field, field, field</li>...</ul>`
+    BulletList,
+    /// `<table><tr><td>field</td>...</tr></table>`
+    Table,
+    /// `<dl><dt>lead</dt><dd>rest</dd></dl>`
+    DefinitionList,
+    /// `<p>field, field<br>...</p>` one paragraph per entry
+    Paragraphs,
+}
+
+/// How the contact block is rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContactStyle {
+    /// A "Contact Information" heading followed by the fields.
+    Headed,
+    /// Fields at the top of the page with no heading.
+    Bare,
+}
+
+/// Resume sections, in canonical order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Section {
+    Contact,
+    Objective,
+    Summary,
+    Education,
+    Experience,
+    Skills,
+    Courses,
+    Awards,
+    Activities,
+    Reference,
+}
+
+impl Section {
+    /// The concept name this section maps to.
+    pub fn concept(self) -> &'static str {
+        match self {
+            Section::Contact => "contact",
+            Section::Objective => "objective",
+            Section::Summary => "summary",
+            Section::Education => "education",
+            Section::Experience => "experience",
+            Section::Skills => "skills",
+            Section::Courses => "courses",
+            Section::Awards => "awards",
+            Section::Activities => "activities",
+            Section::Reference => "reference",
+        }
+    }
+
+    /// Heading texts authors use for this section (all are concept
+    /// instances of the section concept).
+    fn heading_pool(self) -> &'static [&'static str] {
+        match self {
+            Section::Contact => &["Contact Information", "Personal Information"],
+            Section::Objective => &["Objective", "Career Objective"],
+            Section::Summary => &["Summary", "Profile", "Summary of Qualifications"],
+            Section::Education => &["Education", "Educational Background", "Academics"],
+            Section::Experience => &["Experience", "Work Experience", "Employment History"],
+            Section::Skills => &["Skills", "Technical Skills", "Computer Skills"],
+            Section::Courses => &["Relevant Coursework", "Selected Courses"],
+            Section::Awards => &["Awards", "Honors", "Achievements"],
+            Section::Activities => &["Activities", "Interests", "Hobbies"],
+            Section::Reference => &["References", "Reference"],
+        }
+    }
+}
+
+/// One author's rendering habits.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StyleModel {
+    pub heading: HeadingStyle,
+    pub entry_layout: EntryLayout,
+    pub contact: ContactStyle,
+    /// Use semicolons instead of commas between entry fields.
+    pub semicolon_fields: bool,
+    /// Put the person's name in an `<h1>` (captures the whole page under
+    /// the grouping rule — a realistic structural failure source).
+    pub h1_name: bool,
+    /// Section order (always starts with Contact; rest shuffled lightly).
+    pub section_order: Vec<Section>,
+    /// Per-section heading text, pre-sampled for determinism.
+    pub heading_texts: Vec<(Section, String)>,
+    /// Emit a "Last updated <date>" footer (a spurious date source).
+    pub updated_footer: bool,
+    /// Sprinkle font/center wrappers and &nbsp; padding.
+    pub decorative_markup: bool,
+    /// Leave some <li>/<p> elements unclosed (tag soup).
+    pub sloppy_closing: bool,
+}
+
+impl StyleModel {
+    /// Samples an author style.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        let heading = *[
+            HeadingStyle::H2,
+            HeadingStyle::H2,
+            HeadingStyle::H2,
+            HeadingStyle::H3,
+            HeadingStyle::H1,
+            HeadingStyle::BoldParagraph,
+            HeadingStyle::UnderlineParagraph,
+            HeadingStyle::MixedH2H3,
+        ]
+        .choose(rng)
+        .expect("non-empty");
+        let entry_layout = *[
+            EntryLayout::BulletList,
+            EntryLayout::BulletList,
+            EntryLayout::Table,
+            EntryLayout::DefinitionList,
+            EntryLayout::Paragraphs,
+        ]
+        .choose(rng)
+        .expect("non-empty");
+
+        // Section order: contact first, core sections, optional tail
+        // lightly shuffled.
+        let mut middle = vec![
+            Section::Objective,
+            Section::Summary,
+            Section::Education,
+            Section::Experience,
+            Section::Skills,
+        ];
+        if rng.gen_bool(0.3) {
+            middle.swap(2, 3); // experience before education
+        }
+        let mut tail = vec![
+            Section::Courses,
+            Section::Awards,
+            Section::Activities,
+            Section::Reference,
+        ];
+        tail.shuffle(rng);
+        let mut section_order = vec![Section::Contact];
+        section_order.extend(middle);
+        section_order.extend(tail);
+
+        let heading_texts = section_order
+            .iter()
+            .map(|s| {
+                let text = *s.heading_pool().choose(rng).expect("non-empty");
+                (*s, text.to_owned())
+            })
+            .collect();
+
+        StyleModel {
+            heading,
+            entry_layout,
+            contact: if rng.gen_bool(0.6) {
+                ContactStyle::Headed
+            } else {
+                ContactStyle::Bare
+            },
+            semicolon_fields: rng.gen_bool(0.25),
+            h1_name: rng.gen_bool(0.1),
+            section_order,
+            heading_texts,
+            updated_footer: rng.gen_bool(0.3),
+            decorative_markup: rng.gen_bool(0.4),
+            sloppy_closing: rng.gen_bool(0.35),
+        }
+    }
+
+    /// The pre-sampled heading text for a section.
+    pub fn heading_text(&self, section: Section) -> &str {
+        self.heading_texts
+            .iter()
+            .find(|(s, _)| *s == section)
+            .map(|(_, t)| t.as_str())
+            .expect("all sections pre-sampled")
+    }
+
+    /// The field delimiter this author uses.
+    pub fn field_delimiter(&self) -> &'static str {
+        if self.semicolon_fields {
+            "; "
+        } else {
+            ", "
+        }
+    }
+
+    /// The heading tag for the `index`-th section.
+    pub fn heading_tag(&self, index: usize) -> &'static str {
+        match self.heading {
+            HeadingStyle::H1 => "h1",
+            HeadingStyle::H2 => "h2",
+            HeadingStyle::H3 => "h3",
+            HeadingStyle::BoldParagraph | HeadingStyle::UnderlineParagraph => "p",
+            HeadingStyle::MixedH2H3 => {
+                if index < 4 {
+                    "h2"
+                } else {
+                    "h3"
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = StyleModel::sample(&mut StdRng::seed_from_u64(3));
+        let b = StyleModel::sample(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn styles_vary_across_seeds() {
+        let styles: Vec<StyleModel> = (0..30)
+            .map(|s| StyleModel::sample(&mut StdRng::seed_from_u64(s)))
+            .collect();
+        let headings: std::collections::HashSet<_> =
+            styles.iter().map(|s| format!("{:?}", s.heading)).collect();
+        let layouts: std::collections::HashSet<_> = styles
+            .iter()
+            .map(|s| format!("{:?}", s.entry_layout))
+            .collect();
+        assert!(headings.len() >= 3, "headings too uniform: {headings:?}");
+        assert!(layouts.len() >= 3, "layouts too uniform: {layouts:?}");
+    }
+
+    #[test]
+    fn contact_is_always_first() {
+        for seed in 0..20 {
+            let s = StyleModel::sample(&mut StdRng::seed_from_u64(seed));
+            assert_eq!(s.section_order[0], Section::Contact);
+            assert_eq!(s.section_order.len(), 10);
+        }
+    }
+
+    #[test]
+    fn heading_texts_are_section_instances() {
+        use webre_concepts::{matcher::matched_concepts, resume};
+        let set = resume::concepts();
+        for seed in 0..10 {
+            let s = StyleModel::sample(&mut StdRng::seed_from_u64(seed));
+            for (section, text) in &s.heading_texts {
+                let found = matched_concepts(&set, text);
+                assert!(
+                    found.contains(&section.concept().to_owned()),
+                    "{text:?} does not identify {section:?}: {found:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_heading_tags_split_by_index() {
+        let s = StyleModel {
+            heading: HeadingStyle::MixedH2H3,
+            ..StyleModel::sample(&mut StdRng::seed_from_u64(0))
+        };
+        assert_eq!(s.heading_tag(0), "h2");
+        assert_eq!(s.heading_tag(5), "h3");
+    }
+}

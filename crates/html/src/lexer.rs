@@ -1,0 +1,441 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream from raw HTML text. Forgiving by design:
+//! anything that does not parse as markup is treated as text, matching how
+//! browsers handled the hand-written pages the paper's crawler collected.
+
+use crate::entities::decode;
+use crate::node::Attribute;
+
+/// One lexical token of an HTML document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v">`; `self_closing` records a trailing `/`.
+    StartTag {
+        name: String,
+        attrs: Vec<Attribute>,
+        self_closing: bool,
+    },
+    /// `</name>`
+    EndTag { name: String },
+    /// A text run (entities decoded).
+    Text(String),
+    /// `<!-- ... -->`
+    Comment(String),
+    /// `<!DOCTYPE ...>` (content after `<!`).
+    Doctype(String),
+}
+
+/// Elements whose content is raw text up to the matching end tag.
+fn is_rawtext(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title" | "xmp")
+}
+
+/// Tokenizes `input` into a vector of [`Token`]s.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            input,
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.input.len() {
+            if self.rest().starts_with('<') {
+                self.lex_markup();
+            } else {
+                self.lex_text();
+            }
+        }
+        self.tokens
+    }
+
+    fn lex_text(&mut self) {
+        let rest = self.rest();
+        let end = rest.find('<').unwrap_or(rest.len());
+        let raw = &rest[..end];
+        self.bump(end);
+        if !raw.is_empty() {
+            self.tokens.push(Token::Text(decode(raw)));
+        }
+    }
+
+    fn lex_markup(&mut self) {
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            self.lex_comment();
+        } else if rest.starts_with("<!") {
+            self.lex_declaration();
+        } else if rest.starts_with("<?") {
+            // Bogus comment (e.g. a stray PHP tag in a saved page):
+            // browsers swallow everything up to the next '>'.
+            match rest.find('>') {
+                Some(end) => {
+                    self.tokens
+                        .push(Token::Comment(rest[2..end].to_owned()));
+                    self.bump(end + 1);
+                }
+                None => {
+                    self.tokens.push(Token::Comment(rest[2..].to_owned()));
+                    self.pos = self.input.len();
+                }
+            }
+        } else if rest.starts_with("</") {
+            self.lex_end_tag();
+        } else if rest.len() > 1 && rest.as_bytes()[1].is_ascii_alphabetic() {
+            self.lex_start_tag();
+        } else {
+            // A bare '<' that is not markup: emit as text.
+            self.tokens.push(Token::Text("<".into()));
+            self.bump(1);
+        }
+    }
+
+    fn lex_comment(&mut self) {
+        let rest = self.rest();
+        let body_start = 4; // "<!--"
+        match rest[body_start..].find("-->") {
+            Some(end) => {
+                self.tokens
+                    .push(Token::Comment(rest[body_start..body_start + end].to_owned()));
+                self.bump(body_start + end + 3);
+            }
+            None => {
+                // Unterminated comment swallows the rest of the input.
+                self.tokens.push(Token::Comment(rest[body_start..].to_owned()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn lex_declaration(&mut self) {
+        let rest = self.rest();
+        match rest.find('>') {
+            Some(end) => {
+                self.tokens.push(Token::Doctype(rest[2..end].trim().to_owned()));
+                self.bump(end + 1);
+            }
+            None => {
+                self.tokens.push(Token::Doctype(rest[2..].trim().to_owned()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn lex_end_tag(&mut self) {
+        let rest = self.rest();
+        match rest.find('>') {
+            Some(end) => {
+                let name = rest[2..end]
+                    .trim()
+                    .trim_end_matches('/')
+                    .trim()
+                    .to_ascii_lowercase();
+                self.bump(end + 1);
+                if !name.is_empty() {
+                    self.tokens.push(Token::EndTag { name });
+                }
+            }
+            None => {
+                // "</" with no closing '>': treat as text.
+                self.tokens.push(Token::Text(rest.to_owned()));
+                self.pos = self.input.len();
+            }
+        }
+    }
+
+    fn lex_start_tag(&mut self) {
+        let rest = self.rest();
+        let Some(gt) = find_tag_end(rest) else {
+            // "<div" never closed: text.
+            self.tokens.push(Token::Text(decode(rest)));
+            self.pos = self.input.len();
+            return;
+        };
+        let inner = &rest[1..gt];
+        let (inner, self_closing) = match inner.strip_suffix('/') {
+            Some(stripped) => (stripped, true),
+            None => (inner, false),
+        };
+        let name_end = inner
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(inner.len());
+        let name = inner[..name_end].to_ascii_lowercase();
+        let attrs = parse_attrs(&inner[name_end..]);
+        self.bump(gt + 1);
+        if is_rawtext(&name) && !self_closing {
+            let close = format!("</{name}");
+            let body = self.rest();
+            let lower = body.to_ascii_lowercase();
+            let (text, consumed) = match lower.find(&close) {
+                Some(i) => {
+                    let after = lower[i..].find('>').map(|j| i + j + 1).unwrap_or(lower.len());
+                    (&body[..i], after)
+                }
+                None => (body, body.len()),
+            };
+            self.tokens.push(Token::StartTag {
+                name: name.clone(),
+                attrs,
+                self_closing: false,
+            });
+            if !text.is_empty() {
+                // `title` legitimately carries document text; scripts do not.
+                let decoded = if name == "title" || name == "textarea" {
+                    decode(text)
+                } else {
+                    text.to_owned()
+                };
+                self.tokens.push(Token::Text(decoded));
+            }
+            self.tokens.push(Token::EndTag { name });
+            self.bump(consumed);
+        } else {
+            self.tokens.push(Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            });
+        }
+    }
+}
+
+/// Finds the index of the `>` ending a tag that starts at `rest[0] == '<'`,
+/// skipping `>` inside quoted attribute values.
+fn find_tag_end(rest: &str) -> Option<usize> {
+    let bytes = rest.as_bytes();
+    let mut quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        match quote {
+            Some(q) => {
+                if b == q {
+                    quote = None;
+                }
+            }
+            None => match b {
+                b'"' | b'\'' => quote = Some(b),
+                b'>' => return Some(i),
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+/// Parses the attribute list of a start tag.
+fn parse_attrs(mut s: &str) -> Vec<Attribute> {
+    let mut attrs = Vec::new();
+    loop {
+        s = s.trim_start();
+        if s.is_empty() {
+            return attrs;
+        }
+        let name_end = s
+            .find(|c: char| c.is_ascii_whitespace() || c == '=')
+            .unwrap_or(s.len());
+        if name_end == 0 {
+            // Stray '=' or similar: skip one char to guarantee progress.
+            s = &s[1..];
+            continue;
+        }
+        let name = s[..name_end].to_ascii_lowercase();
+        s = s[name_end..].trim_start();
+        let value = if let Some(rest) = s.strip_prefix('=') {
+            let rest = rest.trim_start();
+            if let Some(q) = rest.strip_prefix('"') {
+                let end = q.find('"').unwrap_or(q.len());
+                s = &q[(end + 1).min(q.len())..];
+                decode(&q[..end])
+            } else if let Some(q) = rest.strip_prefix('\'') {
+                let end = q.find('\'').unwrap_or(q.len());
+                s = &q[(end + 1).min(q.len())..];
+                decode(&q[..end])
+            } else {
+                let end = rest
+                    .find(|c: char| c.is_ascii_whitespace())
+                    .unwrap_or(rest.len());
+                s = &rest[end..];
+                decode(&rest[..end])
+            }
+        } else {
+            // Boolean attribute like `checked`.
+            String::new()
+        };
+        attrs.push(Attribute { name, value });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: vec![],
+            self_closing: false,
+        }
+    }
+
+    fn end(name: &str) -> Token {
+        Token::EndTag { name: name.into() }
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = tokenize("<p>hi</p>");
+        assert_eq!(toks, vec![start("p"), Token::Text("hi".into()), end("p")]);
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let toks = tokenize("<DIV></DiV>");
+        assert_eq!(toks, vec![start("div"), end("div")]);
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_boolean() {
+        let toks = tokenize(r#"<input type="text" value='a b' checked size=4>"#);
+        let Token::StartTag { name, attrs, .. } = &toks[0] else {
+            panic!("expected start tag");
+        };
+        assert_eq!(name, "input");
+        let get = |n: &str| attrs.iter().find(|a| a.name == n).map(|a| a.value.as_str());
+        assert_eq!(get("type"), Some("text"));
+        assert_eq!(get("value"), Some("a b"));
+        assert_eq!(get("checked"), Some(""));
+        assert_eq!(get("size"), Some("4"));
+    }
+
+    #[test]
+    fn self_closing_flag() {
+        let toks = tokenize("<br/><hr />");
+        assert!(matches!(
+            &toks[0],
+            Token::StartTag { self_closing: true, name, .. } if name == "br"
+        ));
+        assert!(matches!(
+            &toks[1],
+            Token::StartTag { self_closing: true, name, .. } if name == "hr"
+        ));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = tokenize(r#"<a title="Fish &amp; Chips">R&amp;D</a>"#);
+        assert!(matches!(&toks[1], Token::Text(t) if t == "R&D"));
+        let Token::StartTag { attrs, .. } = &toks[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].value, "Fish & Chips");
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note -->x");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" note ".into()));
+        assert_eq!(toks[2], Token::Text("x".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_rest() {
+        let toks = tokenize("a<!-- open forever");
+        assert_eq!(toks[0], Token::Text("a".into()));
+        assert_eq!(toks[1], Token::Comment(" open forever".into()));
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let toks = tokenize("<script>if (a<b) { x(); }</script>after");
+        assert_eq!(toks[0], start("script"));
+        assert_eq!(toks[1], Token::Text("if (a<b) { x(); }".into()));
+        assert_eq!(toks[2], end("script"));
+        assert_eq!(toks[3], Token::Text("after".into()));
+    }
+
+    #[test]
+    fn title_content_is_text_until_close() {
+        let toks = tokenize("<title>My <Resume></title>");
+        assert_eq!(toks[1], Token::Text("My <Resume>".into()));
+    }
+
+    #[test]
+    fn rawtext_close_tag_case_insensitive() {
+        let toks = tokenize("<STYLE>.x{}</Style>z");
+        assert_eq!(toks[0], start("style"));
+        assert_eq!(toks[1], Token::Text(".x{}".into()));
+        assert_eq!(toks[2], end("style"));
+        assert_eq!(toks[3], Token::Text("z".into()));
+    }
+
+    #[test]
+    fn php_tag_is_bogus_comment() {
+        let toks = tokenize("a<?php echo 1; ?>b");
+        assert_eq!(toks[0], Token::Text("a".into()));
+        assert!(matches!(&toks[1], Token::Comment(c) if c.contains("php")));
+        assert_eq!(toks[2], Token::Text("b".into()));
+    }
+
+    #[test]
+    fn bare_less_than_is_text() {
+        let toks = tokenize("a < b");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Text("a ".into()),
+                Token::Text("<".into()),
+                Token::Text(" b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn gt_inside_quoted_attr_does_not_end_tag() {
+        let toks = tokenize(r#"<img alt="x > y">"#);
+        let Token::StartTag { name, attrs, .. } = &toks[0] else {
+            panic!()
+        };
+        assert_eq!(name, "img");
+        assert_eq!(attrs[0].value, "x > y");
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn unclosed_tag_at_eof_is_text() {
+        let toks = tokenize("text <div class=");
+        assert_eq!(toks[0], Token::Text("text ".into()));
+        assert!(matches!(&toks[1], Token::Text(t) if t.starts_with("<div")));
+    }
+
+    #[test]
+    fn end_tag_with_whitespace() {
+        let toks = tokenize("<b>x</b >");
+        assert_eq!(toks[2], end("b"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+    }
+}

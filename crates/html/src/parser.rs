@@ -1,0 +1,220 @@
+//! Tag-soup parser: token stream → ordered tree.
+//!
+//! Recovery strategies, in the spirit of what browsers (and HTML Tidy) did
+//! for the legacy pages the paper targets:
+//!
+//! * optional end tags are implied ([`taxonomy::implies_end`]): `<li>`
+//!   closes an open `<li>`, a block element closes an open `<p>`, table
+//!   cells close each other, headings close headings;
+//! * void elements never open a scope;
+//! * an end tag with no matching open element is ignored;
+//! * an end tag that matches a non-top open element closes everything above
+//!   it (misnested formatting collapses inward);
+//! * anything left open at EOF is closed implicitly.
+
+use crate::lexer::{tokenize, Token};
+use crate::node::{HtmlDocument, HtmlNode};
+use crate::taxonomy::{implies_end, is_void};
+use webre_tree::{NodeId, Tree};
+
+/// Parses HTML text into an [`HtmlDocument`].
+pub fn parse(input: &str) -> HtmlDocument {
+    let tokens = tokenize(input);
+    let mut tree = Tree::with_capacity(HtmlNode::Document, tokens.len() + 1);
+    // Stack of open elements; index 0 is the document root.
+    let mut stack: Vec<(NodeId, String)> = vec![(tree.root(), String::new())];
+
+    for token in tokens {
+        match token {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                // Imply end tags for elements the incoming tag closes.
+                while stack.len() > 1 && implies_end(&stack.last().unwrap().1, &name) {
+                    stack.pop();
+                }
+                let parent = stack.last().unwrap().0;
+                let node = tree.append_child(
+                    parent,
+                    HtmlNode::Element {
+                        name: name.clone(),
+                        attrs,
+                    },
+                );
+                if !self_closing && !is_void(&name) {
+                    stack.push((node, name));
+                }
+            }
+            Token::EndTag { name } => {
+                if let Some(pos) = stack.iter().rposition(|(_, n)| *n == name) {
+                    if pos > 0 {
+                        stack.truncate(pos);
+                    }
+                }
+                // No match: stray end tag, ignored.
+            }
+            Token::Text(text) => {
+                let parent = stack.last().unwrap().0;
+                // Merge with a preceding text node to keep text runs whole
+                // even when split by entity decoding or stray markup.
+                if let Some(last) = tree.last_child(parent) {
+                    if let HtmlNode::Text(existing) = tree.value_mut(last) {
+                        existing.push_str(&text);
+                        continue;
+                    }
+                }
+                tree.append_child(parent, HtmlNode::Text(text));
+            }
+            Token::Comment(c) => {
+                let parent = stack.last().unwrap().0;
+                tree.append_child(parent, HtmlNode::Comment(c));
+            }
+            Token::Doctype(d) => {
+                let parent = stack.last().unwrap().0;
+                tree.append_child(parent, HtmlNode::Doctype(d));
+            }
+        }
+    }
+
+    HtmlDocument { tree }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(doc: &HtmlDocument, id: NodeId) -> Vec<String> {
+        doc.tree
+            .children(id)
+            .map(|c| match doc.tree.value(c) {
+                HtmlNode::Element { name, .. } => name.clone(),
+                HtmlNode::Text(t) => format!("#{t}"),
+                HtmlNode::Comment(_) => "#comment".into(),
+                HtmlNode::Doctype(_) => "#doctype".into(),
+                HtmlNode::Document => "#doc".into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nested_elements() {
+        let doc = parse("<div><p>one</p><p>two</p></div>");
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["div"]);
+        let div = doc.tree.first_child(root).unwrap();
+        assert_eq!(names(&doc, div), ["p", "p"]);
+        assert_eq!(doc.text_content(), "onetwo");
+    }
+
+    #[test]
+    fn implied_li_end_tags() {
+        let doc = parse("<ul><li>a<li>b<li>c</ul>");
+        let ul = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(names(&doc, ul), ["li", "li", "li"]);
+    }
+
+    #[test]
+    fn block_element_closes_p() {
+        let doc = parse("<p>intro<div>body</div>");
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["p", "div"]);
+    }
+
+    #[test]
+    fn inline_does_not_close_p() {
+        let doc = parse("<p>a<b>c</b></p>");
+        let p = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(names(&doc, p), ["#a", "b"]);
+    }
+
+    #[test]
+    fn table_cells_imply_ends() {
+        let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let table = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(names(&doc, table), ["tr", "tr"]);
+        let tr1 = doc.tree.first_child(table).unwrap();
+        assert_eq!(names(&doc, tr1), ["td", "td"]);
+    }
+
+    #[test]
+    fn dt_dd_alternate() {
+        let doc = parse("<dl><dt>term<dd>def<dt>term2<dd>def2</dl>");
+        let dl = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(names(&doc, dl), ["dt", "dd", "dt", "dd"]);
+    }
+
+    #[test]
+    fn heading_soup_repaired() {
+        // The paper's "nesting of heading elements" malformation.
+        let doc = parse("<h2>Education<h2>Experience");
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["h2", "h2"]);
+    }
+
+    #[test]
+    fn stray_end_tag_ignored() {
+        let doc = parse("a</b>c");
+        assert_eq!(doc.text_content(), "ac");
+        assert_eq!(doc.element_count(), 0);
+    }
+
+    #[test]
+    fn misnested_end_closes_through() {
+        let doc = parse("<b><i>x</b>y");
+        // </b> closes both <i> and <b>; y lands at top level.
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["b", "#y"]);
+    }
+
+    #[test]
+    fn void_elements_have_no_children() {
+        let doc = parse("<p>a<br>b</p>");
+        let p = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(names(&doc, p), ["#a", "br", "#b"]);
+    }
+
+    #[test]
+    fn hr_closes_open_paragraph() {
+        // <hr> is block level, so it implicitly ends the <p> (browser rule).
+        let doc = parse("<p>a<hr>c");
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["p", "hr", "#c"]);
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = parse("<div><p>text");
+        let div = doc.tree.first_child(doc.tree.root()).unwrap();
+        let p = doc.tree.first_child(div).unwrap();
+        assert_eq!(doc.tree.value(p).name(), Some("p"));
+        assert_eq!(doc.text_content(), "text");
+    }
+
+    #[test]
+    fn adjacent_text_merged() {
+        let doc = parse("a&amp;b");
+        let root = doc.tree.root();
+        assert_eq!(doc.tree.child_count(root), 1);
+        assert_eq!(doc.text_content(), "a&b");
+    }
+
+    #[test]
+    fn full_page_structure() {
+        let doc = parse(
+            "<!DOCTYPE html><html><head><title>Resume</title></head>\
+             <body><h1>Jane</h1><p>Objective</p></body></html>",
+        );
+        let root = doc.tree.root();
+        assert_eq!(names(&doc, root), ["#doctype", "html"]);
+        assert!(doc.text_content().contains("Jane"));
+        doc.tree.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        let doc = parse("");
+        assert!(doc.tree.is_leaf(doc.tree.root()));
+    }
+}

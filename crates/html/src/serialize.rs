@@ -1,0 +1,102 @@
+//! Serialization of HTML trees back to markup text.
+//!
+//! Used by the corpus generator (to materialize synthetic documents), by
+//! tests (parse → serialize → parse stability) and for debugging.
+
+use crate::node::{HtmlDocument, HtmlNode};
+use crate::entities::{escape_attr, escape_text};
+use crate::taxonomy::is_void;
+use webre_tree::{Edge, NodeId};
+
+/// Serializes the subtree rooted at `id` to HTML text.
+pub fn subtree_to_html(doc: &HtmlDocument, id: NodeId) -> String {
+    let mut out = String::new();
+    for edge in doc.tree.traverse(id) {
+        match edge {
+            Edge::Open(node) => match doc.tree.value(node) {
+                HtmlNode::Document => {}
+                HtmlNode::Element { name, attrs } => {
+                    out.push('<');
+                    out.push_str(name);
+                    for a in attrs {
+                        out.push(' ');
+                        out.push_str(&a.name);
+                        if !a.value.is_empty() {
+                            out.push_str("=\"");
+                            out.push_str(&escape_attr(&a.value));
+                            out.push('"');
+                        }
+                    }
+                    out.push('>');
+                }
+                HtmlNode::Text(t) => out.push_str(&escape_text(t)),
+                HtmlNode::Comment(c) => {
+                    out.push_str("<!--");
+                    out.push_str(c);
+                    out.push_str("-->");
+                }
+                HtmlNode::Doctype(d) => {
+                    out.push_str("<!");
+                    out.push_str(d);
+                    out.push('>');
+                }
+            },
+            Edge::Close(node) => {
+                if let HtmlNode::Element { name, .. } = doc.tree.value(node) {
+                    if !is_void(name) {
+                        out.push_str("</");
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the whole document.
+pub fn to_html(doc: &HtmlDocument) -> String {
+    subtree_to_html(doc, doc.tree.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trips_simple_markup() {
+        let html = "<div class=\"x\"><p>one</p><p>two &amp; three</p></div>";
+        let doc = parse(html);
+        assert_eq!(to_html(&doc), html);
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let doc = parse("<p>a<br>b</p>");
+        assert_eq!(to_html(&doc), "<p>a<br>b</p>");
+    }
+
+    #[test]
+    fn boolean_attrs_render_bare() {
+        let doc = parse("<input checked>");
+        assert_eq!(to_html(&doc), "<input checked>");
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        let doc = parse("<p>a &lt; b</p>");
+        assert_eq!(to_html(&doc), "<p>a &lt; b</p>");
+    }
+
+    #[test]
+    fn reparse_is_stable() {
+        let html = "<ul><li>a<li>b</ul><table><tr><td>x</table>";
+        let once = parse(html);
+        let twice = parse(&to_html(&once));
+        assert!(once
+            .tree
+            .subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()));
+    }
+}

@@ -1,0 +1,234 @@
+//! Element taxonomy: the domain-independent HTML knowledge the paper's
+//! restructuring rules consume.
+//!
+//! Section 2.1 of the paper splits HTML elements into *block level* elements
+//! (document structure: headings, lists, text containers, tables) and *text
+//! level* elements (font markup inside blocks). Section 4 then fixes the
+//! exact annotation used in the experiments:
+//!
+//! * group tags `{h1..h6, div, p, tr, dt, dd, li, title, u, strong, b, em, i}`
+//!   — used by the grouping rule, with heading tags carrying higher priority
+//!   than paragraph-level tags at the same tree level;
+//! * list tags `{body, table, dl, ul, ol, dir, menu}` — elements known to
+//!   exhibit a list structure, used by the consolidation rule's push-up case.
+
+/// Coarse classification of an element name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElementClass {
+    /// Structures the document: headings, paragraphs, lists, tables, ...
+    Block,
+    /// Marks up text inside blocks: `b`, `i`, `font`, `span`, ...
+    Text,
+    /// Everything else (head-only metadata, form controls, unknown tags).
+    Other,
+}
+
+/// Block level elements (HTML 4 block content plus structural table/list
+/// internals, which the paper treats as structure carriers).
+const BLOCK: &[&str] = &[
+    "address", "blockquote", "body", "caption", "center", "col", "colgroup", "dd", "dir", "div",
+    "dl", "dt", "fieldset", "form", "h1", "h2", "h3", "h4", "h5", "h6", "head", "hr", "html",
+    "li", "menu", "noframes", "noscript", "ol", "p", "pre", "table", "tbody", "td", "tfoot",
+    "th", "thead", "title", "tr", "ul",
+];
+
+/// Text level elements.
+const TEXT_LEVEL: &[&str] = &[
+    "a", "abbr", "acronym", "b", "basefont", "bdo", "big", "br", "cite", "code", "dfn", "em",
+    "font", "i", "kbd", "q", "s", "samp", "small", "span", "strike", "strong", "sub", "sup",
+    "tt", "u", "var",
+];
+
+/// Void elements: never have children.
+const VOID: &[&str] = &[
+    "area", "base", "basefont", "br", "col", "embed", "frame", "hr", "img", "input", "isindex",
+    "link", "meta", "param", "source", "track", "wbr",
+];
+
+/// The paper's list tags: elements known to exhibit a list structure, whose
+/// children are likely objects at the same level of abstraction. The paper
+/// lists `{body, table, dl, ul, ol, dir, menu}`; we additionally treat the
+/// `html` wrapper itself as a list container — it plays the same pure
+/// container role as `body`, and without it the consolidation rule would
+/// nest every top-level section under the first concept of a full page.
+const LIST_TAGS: &[&str] = &["html", "body", "table", "dl", "ul", "ol", "dir", "menu"];
+
+/// Elements whose subtree carries no document information and is dropped by
+/// the tidy pass.
+const DROP: &[&str] = &["script", "style", "object", "applet", "iframe", "frameset", "frame", "map"];
+
+/// Classifies an element name (must already be lowercase).
+pub fn classify(name: &str) -> ElementClass {
+    if BLOCK.contains(&name) {
+        ElementClass::Block
+    } else if TEXT_LEVEL.contains(&name) {
+        ElementClass::Text
+    } else {
+        ElementClass::Other
+    }
+}
+
+/// Whether `name` is a block level element.
+pub fn is_block_level(name: &str) -> bool {
+    classify(name) == ElementClass::Block
+}
+
+/// Whether `name` is a text level element.
+pub fn is_text_level(name: &str) -> bool {
+    classify(name) == ElementClass::Text
+}
+
+/// Whether `name` is a void element (no children ever).
+pub fn is_void(name: &str) -> bool {
+    VOID.contains(&name)
+}
+
+/// Whether `name` is one of the paper's list tags.
+pub fn is_list_tag(name: &str) -> bool {
+    LIST_TAGS.contains(&name)
+}
+
+/// Whether `name`'s subtree should be discarded during tidy.
+pub fn is_dropped(name: &str) -> bool {
+    DROP.contains(&name)
+}
+
+/// The grouping-rule priority of a tag, or `None` if the tag is not a group
+/// tag.
+///
+/// Higher weights group first: grouping right siblings of an `h1` run takes
+/// priority over grouping right siblings of `p` nodes at the same level
+/// (Section 2.3.2). Since each group sinks down and the rule operates
+/// top-down, lower-priority group tags are then handled at the next lower
+/// level.
+pub fn group_tag_weight(name: &str) -> Option<u32> {
+    let w = match name {
+        "h1" => 100,
+        "h2" => 95,
+        "h3" => 90,
+        "h4" => 85,
+        "h5" => 80,
+        "h6" => 75,
+        "title" => 70,
+        "div" => 60,
+        "p" => 55,
+        "tr" => 50,
+        "li" => 45,
+        "dt" => 42,
+        "dd" => 40,
+        "u" => 30,
+        "strong" => 28,
+        "b" => 26,
+        "em" => 24,
+        "i" => 22,
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Whether `name` is one of the paper's group tags.
+pub fn is_group_tag(name: &str) -> bool {
+    group_tag_weight(name).is_some()
+}
+
+/// Heading level for `h1`..`h6`, or `None`.
+pub fn heading_level(name: &str) -> Option<u8> {
+    match name.as_bytes() {
+        [b'h', d @ b'1'..=b'6'] => Some(d - b'0'),
+        _ => None,
+    }
+}
+
+/// Start tags that implicitly close an open element with tag `open` when a
+/// new `incoming` start tag arrives (tag-soup recovery, HTML 4 optional end
+/// tags).
+pub fn implies_end(open: &str, incoming: &str) -> bool {
+    match open {
+        "p" => is_block_level(incoming),
+        "li" => incoming == "li",
+        "dt" | "dd" => incoming == "dt" || incoming == "dd",
+        "tr" => incoming == "tr",
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+        "thead" | "tbody" | "tfoot" => matches!(incoming, "thead" | "tbody" | "tfoot"),
+        "option" => incoming == "option",
+        "head" => incoming == "body",
+        // Legacy pages frequently write <h2>A<h2>B — repair by closing the
+        // open heading (the paper's "nesting of heading elements" example).
+        _ => heading_level(open).is_some() && heading_level(incoming).is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_examples() {
+        assert!(is_block_level("p"));
+        assert!(is_block_level("h1"));
+        assert!(is_block_level("table"));
+        assert!(is_block_level("dl"));
+        assert!(is_text_level("b"));
+        assert!(is_text_level("font"));
+        assert_eq!(classify("meta"), ElementClass::Other);
+    }
+
+    #[test]
+    fn paper_group_tag_set() {
+        for t in [
+            "h1", "h2", "h3", "h4", "h5", "h6", "div", "p", "tr", "dt", "dd", "li", "title", "u",
+            "strong", "b", "em", "i",
+        ] {
+            assert!(is_group_tag(t), "{t} should be a group tag");
+        }
+        assert!(!is_group_tag("table"));
+        assert!(!is_group_tag("span"));
+    }
+
+    #[test]
+    fn paper_list_tag_set() {
+        for t in ["body", "table", "dl", "ul", "ol", "dir", "menu"] {
+            assert!(is_list_tag(t), "{t} should be a list tag");
+        }
+        // Our one extension to the paper's set (see LIST_TAGS docs).
+        assert!(is_list_tag("html"));
+        assert!(!is_list_tag("p"));
+    }
+
+    #[test]
+    fn headings_outrank_paragraphs() {
+        assert!(group_tag_weight("h1").unwrap() > group_tag_weight("p").unwrap());
+        assert!(group_tag_weight("p").unwrap() > group_tag_weight("b").unwrap());
+        assert!(group_tag_weight("h1").unwrap() > group_tag_weight("h2").unwrap());
+    }
+
+    #[test]
+    fn heading_levels() {
+        assert_eq!(heading_level("h1"), Some(1));
+        assert_eq!(heading_level("h6"), Some(6));
+        assert_eq!(heading_level("h7"), None);
+        assert_eq!(heading_level("hr"), None);
+    }
+
+    #[test]
+    fn void_elements() {
+        assert!(is_void("br"));
+        assert!(is_void("img"));
+        assert!(!is_void("div"));
+    }
+
+    #[test]
+    fn implied_ends() {
+        assert!(implies_end("p", "p"));
+        assert!(implies_end("p", "div"));
+        assert!(!implies_end("p", "b"));
+        assert!(implies_end("li", "li"));
+        assert!(!implies_end("li", "p"));
+        assert!(implies_end("td", "td"));
+        assert!(implies_end("td", "tr"));
+        assert!(implies_end("dt", "dd"));
+        assert!(implies_end("h2", "h2"));
+        assert!(implies_end("h2", "h3"));
+        assert!(!implies_end("div", "div"));
+    }
+}

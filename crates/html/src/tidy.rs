@@ -1,0 +1,217 @@
+//! HTML-Tidy-like cleanup pass.
+//!
+//! Section 2.4 of the paper notes that applying HTML cleansing tools (such
+//! as HTML Tidy) before the restructuring rules improves the accuracy of the
+//! resulting XML documents. This pass performs the subset of that cleansing
+//! that matters to the conversion process:
+//!
+//! * drop comments, doctypes and information-free subtrees
+//!   (`script`, `style`, `iframe`, ...);
+//! * drop `head`-only metadata elements (`meta`, `link`, `base`) while
+//!   keeping `title` (it carries the document's topic sentence);
+//! * collapse runs of whitespace in text nodes and remove text nodes that
+//!   are whitespace-only between block elements;
+//! * remove empty elements that carry no text and no attributes of interest;
+//! * unwrap redundant single-child nesting of the *same* text-level tag
+//!   (`<b><b>x</b></b>`).
+
+use crate::node::{HtmlDocument, HtmlNode};
+use crate::taxonomy::{is_block_level, is_dropped, is_text_level, is_void};
+use webre_tree::NodeId;
+
+/// Metadata elements that are dropped together with their subtree.
+fn is_metadata(name: &str) -> bool {
+    matches!(name, "meta" | "link" | "base" | "basefont" | "isindex")
+}
+
+/// Collapses internal whitespace runs to single spaces.
+fn collapse_ws(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_ws = false;
+    for ch in text.chars() {
+        // Treat NBSP as layout whitespace: legacy pages pad with &nbsp;.
+        if ch.is_whitespace() || ch == '\u{a0}' {
+            if !in_ws {
+                out.push(' ');
+            }
+            in_ws = true;
+        } else {
+            out.push(ch);
+            in_ws = false;
+        }
+    }
+    out
+}
+
+/// Runs the cleanup pass in place.
+pub fn tidy(doc: &mut HtmlDocument) {
+    let root = doc.tree.root();
+    // Collect post-order so children are processed before their parents and
+    // ids stay valid while we mutate (detached nodes simply stop mattering).
+    let order: Vec<NodeId> = doc.tree.post_order(root).collect();
+    for id in order {
+        if id == root || !doc.tree.is_attached(id) {
+            continue;
+        }
+        match doc.tree.value(id).clone() {
+            HtmlNode::Comment(_) | HtmlNode::Doctype(_) => doc.tree.detach(id),
+            HtmlNode::Text(text) => {
+                let collapsed = collapse_ws(&text);
+                if collapsed.trim().is_empty() {
+                    doc.tree.detach(id);
+                } else {
+                    *doc.tree.value_mut(id) = HtmlNode::Text(collapsed);
+                }
+            }
+            HtmlNode::Element { name, .. } => {
+                if is_dropped(&name) || is_metadata(&name) {
+                    doc.tree.detach(id);
+                } else if doc.tree.is_leaf(id) && !is_void(&name) {
+                    // Empty non-void element: contributes nothing.
+                    doc.tree.detach(id);
+                } else if is_text_level(&name) && doc.tree.child_count(id) == 1 {
+                    let child = doc.tree.first_child(id).unwrap();
+                    if doc.tree.value(child).is_element(&name) {
+                        // <b><b>x</b></b> → <b>x</b>
+                        doc.tree.replace_with_children(child);
+                    }
+                }
+            }
+            HtmlNode::Document => {}
+        }
+    }
+    trim_block_boundaries(doc);
+}
+
+/// Trims leading/trailing spaces of text nodes that sit at block boundaries
+/// (first/last child of a block element), where the space is layout-only.
+fn trim_block_boundaries(doc: &mut HtmlDocument) {
+    let root = doc.tree.root();
+    let ids: Vec<NodeId> = doc.tree.descendants(root).collect();
+    for id in ids {
+        let Some(parent) = doc.tree.parent(id) else {
+            continue;
+        };
+        let parent_is_block = match doc.tree.value(parent) {
+            HtmlNode::Document => true,
+            HtmlNode::Element { name, .. } => is_block_level(name),
+            _ => false,
+        };
+        if !parent_is_block {
+            continue;
+        }
+        let is_first = doc.tree.prev_sibling(id).is_none();
+        let is_last = doc.tree.next_sibling(id).is_none();
+        if let HtmlNode::Text(t) = doc.tree.value_mut(id) {
+            if is_first {
+                *t = t.trim_start().to_owned();
+            }
+            if is_last {
+                *t = t.trim_end().to_owned();
+            }
+        }
+    }
+    // Trimming may have produced empty text nodes; sweep them.
+    let ids: Vec<NodeId> = doc.tree.descendants(root).collect();
+    for id in ids {
+        if matches!(doc.tree.value(id), HtmlNode::Text(t) if t.is_empty()) {
+            doc.tree.detach(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn tidied(html: &str) -> HtmlDocument {
+        let mut doc = parse(html);
+        tidy(&mut doc);
+        doc
+    }
+
+    #[test]
+    fn drops_comments_and_doctype() {
+        let doc = tidied("<!DOCTYPE html><!-- x --><p>text</p>");
+        assert_eq!(doc.tree.child_count(doc.tree.root()), 1);
+        assert_eq!(doc.text_content(), "text");
+    }
+
+    #[test]
+    fn drops_script_and_style_subtrees() {
+        let doc = tidied("<p>keep</p><script>var x;</script><style>.a{}</style>");
+        assert_eq!(doc.text_content(), "keep");
+        assert_eq!(doc.element_count(), 1);
+    }
+
+    #[test]
+    fn drops_metadata_keeps_title() {
+        let doc = tidied("<head><meta charset=x><link href=y><title>Resume</title></head>");
+        assert_eq!(doc.text_content(), "Resume");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        let doc = tidied("<p>a\n   b\t c</p>");
+        assert_eq!(doc.text_content(), "a b c");
+    }
+
+    #[test]
+    fn nbsp_treated_as_space() {
+        let doc = tidied("<p>a\u{a0}\u{a0}b</p>");
+        assert_eq!(doc.text_content(), "a b");
+    }
+
+    #[test]
+    fn removes_whitespace_only_text_between_blocks() {
+        let doc = tidied("<div>\n  <p>a</p>\n  <p>b</p>\n</div>");
+        let div = doc.tree.first_child(doc.tree.root()).unwrap();
+        assert_eq!(doc.tree.child_count(div), 2);
+    }
+
+    #[test]
+    fn removes_empty_elements_recursively() {
+        let doc = tidied("<div><p></p><span>  </span></div><p>x</p>");
+        // The inner p and span vanish, then the now-empty div vanishes too.
+        assert_eq!(doc.element_count(), 1);
+        assert_eq!(doc.text_content(), "x");
+    }
+
+    #[test]
+    fn keeps_void_elements() {
+        let doc = tidied("<p>a<br>b</p>");
+        assert_eq!(doc.element_count(), 2);
+    }
+
+    #[test]
+    fn unwraps_doubled_inline_tags() {
+        let doc = tidied("<p><b><b>bold</b></b></p>");
+        let p = doc.tree.first_child(doc.tree.root()).unwrap();
+        let b = doc.tree.first_child(p).unwrap();
+        assert!(doc.tree.value(b).is_element("b"));
+        let inner = doc.tree.first_child(b).unwrap();
+        assert_eq!(doc.tree.value(inner).as_text(), Some("bold"));
+    }
+
+    #[test]
+    fn trims_text_at_block_boundaries() {
+        let doc = tidied("<p> hello world </p>");
+        assert_eq!(doc.text_content(), "hello world");
+    }
+
+    #[test]
+    fn keeps_interword_space_around_inline() {
+        let doc = tidied("<p>one <b>two</b> three</p>");
+        assert_eq!(doc.text_content(), "one two three");
+    }
+
+    #[test]
+    fn integrity_after_tidy() {
+        let doc = tidied(
+            "<html><head><meta x=y><title>T</title></head><body>\
+             <!-- c --><div> <p></p> <ul><li>a</li></ul></div></body></html>",
+        );
+        doc.tree.check_integrity().unwrap();
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the HTML substrate.
+
+use proptest::prelude::*;
+use webre_html::{entities, parse, to_html, tidy};
+
+/// Random text without markup-significant characters.
+fn plain_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 .,;:()]{0,24}"
+}
+
+/// Strategy producing random (well-formed-ish) HTML fragments.
+fn html_fragment(depth: u32) -> BoxedStrategy<String> {
+    let leaf = plain_text();
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let tag = prop_oneof![
+        Just("p"),
+        Just("div"),
+        Just("b"),
+        Just("i"),
+        Just("span"),
+        Just("h2"),
+        Just("ul"),
+        Just("li"),
+        Just("em"),
+    ];
+    let inner = proptest::collection::vec(html_fragment(depth - 1), 0..3);
+    (tag, inner)
+        .prop_map(|(t, parts)| format!("<{t}>{}</{t}>", parts.concat()))
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn entity_decode_never_panics(s in ".{0,64}") {
+        let _ = entities::decode(&s);
+    }
+
+    #[test]
+    fn entity_escape_decode_round_trip(s in "[ -~]{0,64}") {
+        prop_assert_eq!(entities::decode(&entities::escape_text(&s)), s.clone());
+        prop_assert_eq!(entities::decode(&entities::escape_attr(&s)), s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in ".{0,256}") {
+        let doc = parse(&s);
+        prop_assert!(doc.tree.check_integrity().is_ok());
+    }
+
+    #[test]
+    fn parse_serialize_parse_is_stable(frag in html_fragment(3)) {
+        let once = parse(&frag);
+        let rendered = to_html(&once);
+        let twice = parse(&rendered);
+        prop_assert!(
+            once.tree.subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()),
+            "unstable round trip for {frag:?} -> {rendered:?}"
+        );
+    }
+
+    #[test]
+    fn text_content_preserved_by_parsing(texts in proptest::collection::vec("[a-z]{1,8}", 1..5)) {
+        let html: String = texts.iter().map(|t| format!("<p>{t}</p>")).collect();
+        let doc = parse(&html);
+        prop_assert_eq!(doc.text_content(), texts.concat());
+    }
+
+    #[test]
+    fn tidy_preserves_integrity_and_non_ws_text(frag in html_fragment(3)) {
+        let mut doc = parse(&frag);
+        tidy(&mut doc);
+        prop_assert!(doc.tree.check_integrity().is_ok());
+        // Tidy must never invent text.
+        let before: String = parse(&frag).text_content().split_whitespace().collect();
+        let after: String = doc.text_content().split_whitespace().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn tidy_is_idempotent(frag in html_fragment(3)) {
+        let mut doc = parse(&frag);
+        tidy(&mut doc);
+        let once = doc.clone();
+        tidy(&mut doc);
+        prop_assert!(once.tree.subtree_eq(once.tree.root(), &doc.tree, doc.tree.root()));
+    }
+}

@@ -1,0 +1,371 @@
+//! Edit-script extraction for the Zhang–Shasha distance.
+//!
+//! Beyond the scalar distance, the Document Mapping Component wants to
+//! *explain* a mapping: which nodes were relabeled, deleted, inserted and
+//! which matched. This module recomputes the forest-distance tables for
+//! the relevant keyroot pairs and backtracks through them, producing an
+//! optimal [`EditOp`] sequence whose total cost equals
+//! [`crate::zhang_shasha::edit_distance`].
+//!
+//! Node references are post-order indices into the respective tree (the
+//! same numbering [`post_order_labels`] yields), which keeps the script
+//! self-contained and cheap to store.
+
+use crate::zhang_shasha::EditCosts;
+use webre_tree::Tree;
+
+/// One operation of an edit script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Node `from` (in the source tree) corresponds to `to` (target) with
+    /// equal labels: no cost.
+    Match { from: usize, to: usize },
+    /// Node `from` is relabeled to `to`'s label.
+    Relabel { from: usize, to: usize },
+    /// Node `from` of the source is deleted.
+    Delete { from: usize },
+    /// Node `to` of the target is inserted.
+    Insert { to: usize },
+}
+
+/// Labels of a tree in post-order (the numbering edit scripts refer to).
+pub fn post_order_labels(tree: &Tree<String>) -> Vec<String> {
+    tree.post_order(tree.root())
+        .map(|id| tree.value(id).clone())
+        .collect()
+}
+
+struct Flat {
+    labels: Vec<String>,
+    lml: Vec<usize>,
+    keyroots: Vec<usize>,
+}
+
+fn flatten(tree: &Tree<String>) -> Flat {
+    let ids: Vec<_> = tree.post_order(tree.root()).collect();
+    let mut index = std::collections::HashMap::new();
+    for (i, id) in ids.iter().enumerate() {
+        index.insert(*id, i);
+    }
+    let mut labels = Vec::with_capacity(ids.len());
+    let mut lml = Vec::with_capacity(ids.len());
+    for id in &ids {
+        labels.push(tree.value(*id).clone());
+        let mut leaf = *id;
+        while let Some(first) = tree.first_child(leaf) {
+            leaf = first;
+        }
+        lml.push(index[&leaf]);
+    }
+    let n = labels.len();
+    let keyroots = (0..n)
+        .filter(|&i| !(i + 1..n).any(|j| lml[j] == lml[i]))
+        .collect();
+    Flat {
+        labels,
+        lml,
+        keyroots,
+    }
+}
+
+/// Computes an optimal edit script together with its total cost.
+pub fn edit_script(a: &Tree<String>, b: &Tree<String>, costs: &EditCosts) -> (u32, Vec<EditOp>) {
+    let t1 = flatten(a);
+    let t2 = flatten(b);
+    let n = t1.labels.len();
+    let m = t2.labels.len();
+    let mut treedist = vec![vec![0u32; m]; n];
+    // Mapping pairs discovered per tree pair; recomputed with backtracking.
+    for &i in &t1.keyroots {
+        for &j in &t2.keyroots {
+            forest_dist(&t1, &t2, i, j, costs, &mut treedist, None);
+        }
+    }
+    // Backtrack on the whole-tree problem, descending into sub-problems.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    backtrack(&t1, &t2, n - 1, m - 1, costs, &treedist, &mut pairs);
+
+    let mut ops = Vec::new();
+    let mut matched_a = vec![false; n];
+    let mut matched_b = vec![false; m];
+    for &(x, y) in &pairs {
+        matched_a[x] = true;
+        matched_b[y] = true;
+        if t1.labels[x] == t2.labels[y] {
+            ops.push(EditOp::Match { from: x, to: y });
+        } else {
+            ops.push(EditOp::Relabel { from: x, to: y });
+        }
+    }
+    for (x, seen) in matched_a.iter().enumerate() {
+        if !seen {
+            ops.push(EditOp::Delete { from: x });
+        }
+    }
+    for (y, seen) in matched_b.iter().enumerate() {
+        if !seen {
+            ops.push(EditOp::Insert { to: y });
+        }
+    }
+    let cost = ops
+        .iter()
+        .map(|op| match op {
+            EditOp::Match { .. } => 0,
+            EditOp::Relabel { .. } => costs.relabel,
+            EditOp::Delete { .. } => costs.delete,
+            EditOp::Insert { .. } => costs.insert,
+        })
+        .sum();
+    (cost, ops)
+}
+
+/// Forest distance for keyroot pair `(i, j)`; optionally returns the final
+/// `fd` table for backtracking.
+#[allow(clippy::too_many_arguments)]
+fn forest_dist(
+    t1: &Flat,
+    t2: &Flat,
+    i: usize,
+    j: usize,
+    costs: &EditCosts,
+    treedist: &mut [Vec<u32>],
+    mut table_out: Option<&mut Vec<Vec<u32>>>,
+) {
+    let li = t1.lml[i];
+    let lj = t2.lml[j];
+    let rows = i - li + 2;
+    let cols = j - lj + 2;
+    let mut fd = vec![vec![0u32; cols]; rows];
+    for x in 1..rows {
+        fd[x][0] = fd[x - 1][0] + costs.delete;
+    }
+    for y in 1..cols {
+        fd[0][y] = fd[0][y - 1] + costs.insert;
+    }
+    for x in 1..rows {
+        for y in 1..cols {
+            let node1 = li + x - 1;
+            let node2 = lj + y - 1;
+            if t1.lml[node1] == li && t2.lml[node2] == lj {
+                let relabel = if t1.labels[node1] == t2.labels[node2] {
+                    0
+                } else {
+                    costs.relabel
+                };
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[x - 1][y - 1] + relabel);
+                treedist[node1][node2] = fd[x][y];
+            } else {
+                let xi = t1.lml[node1] - li;
+                let yj = t2.lml[node2] - lj;
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[xi][yj] + treedist[node1][node2]);
+            }
+        }
+    }
+    if let Some(out) = table_out.take() {
+        *out = fd;
+    }
+}
+
+/// Backtracks the tree problem rooted at post-order nodes `(i, j)`,
+/// collecting matched/relabeled node pairs.
+fn backtrack(
+    t1: &Flat,
+    t2: &Flat,
+    i: usize,
+    j: usize,
+    costs: &EditCosts,
+    treedist: &[Vec<u32>],
+    pairs: &mut Vec<(usize, usize)>,
+) {
+    // Recompute the fd table for this tree pair.
+    let mut fd: Vec<Vec<u32>> = Vec::new();
+    let mut treedist_scratch = treedist.to_vec();
+    forest_dist(t1, t2, i, j, costs, &mut treedist_scratch, Some(&mut fd));
+
+    let li = t1.lml[i];
+    let lj = t2.lml[j];
+    let mut x = i - li + 1;
+    let mut y = j - lj + 1;
+    while x > 0 || y > 0 {
+        if x > 0 && fd[x][y] == fd[x - 1][y] + costs.delete {
+            x -= 1; // node li+x deleted
+            continue;
+        }
+        if y > 0 && fd[x][y] == fd[x][y - 1] + costs.insert {
+            y -= 1; // node lj+y inserted
+            continue;
+        }
+        let node1 = li + x - 1;
+        let node2 = lj + y - 1;
+        if t1.lml[node1] == li && t2.lml[node2] == lj {
+            // Trees: the diagonal step pairs the two roots.
+            pairs.push((node1, node2));
+            x -= 1;
+            y -= 1;
+        } else {
+            // Sub-tree substitution: recurse, then jump over both subtrees.
+            backtrack(t1, t2, node1, node2, costs, treedist, pairs);
+            x = t1.lml[node1] - li;
+            y = t2.lml[node2] - lj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zhang_shasha::edit_distance;
+
+    fn tree(spec: &str) -> Tree<String> {
+        // Same tiny "a(b,c(d))" builder as the distance tests.
+        fn parse(
+            chars: &mut std::iter::Peekable<std::str::Chars>,
+            tree: &mut Tree<String>,
+            parent: Option<webre_tree::NodeId>,
+        ) {
+            loop {
+                let mut label = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() {
+                        label.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let node = match parent {
+                    Some(p) => tree.append_child(p, label),
+                    None => {
+                        *tree.value_mut(tree.root()) = label;
+                        tree.root()
+                    }
+                };
+                match chars.peek() {
+                    Some('(') => {
+                        chars.next();
+                        parse(chars, tree, Some(node));
+                        match chars.peek() {
+                            Some(',') => {
+                                chars.next();
+                            }
+                            Some(')') => {
+                                chars.next();
+                                return;
+                            }
+                            _ => return,
+                        }
+                    }
+                    Some(',') => {
+                        chars.next();
+                    }
+                    Some(')') => {
+                        chars.next();
+                        return;
+                    }
+                    _ => return,
+                }
+            }
+        }
+        let mut t = Tree::new(String::new());
+        parse(&mut spec.chars().peekable(), &mut t, None);
+        t
+    }
+
+    fn check(a: &str, b: &str) -> (u32, Vec<EditOp>) {
+        let (ta, tb) = (tree(a), tree(b));
+        let costs = EditCosts::default();
+        let (cost, ops) = edit_script(&ta, &tb, &costs);
+        assert_eq!(
+            cost,
+            edit_distance(&ta, &tb, &costs),
+            "script cost diverges from distance for {a} vs {b}"
+        );
+        // Every source node is deleted or matched exactly once; target
+        // nodes inserted or matched exactly once.
+        let n = post_order_labels(&ta).len();
+        let m = post_order_labels(&tb).len();
+        let mut from_seen = vec![0u32; n];
+        let mut to_seen = vec![0u32; m];
+        for op in &ops {
+            match *op {
+                EditOp::Match { from, to } | EditOp::Relabel { from, to } => {
+                    from_seen[from] += 1;
+                    to_seen[to] += 1;
+                }
+                EditOp::Delete { from } => from_seen[from] += 1,
+                EditOp::Insert { to } => to_seen[to] += 1,
+            }
+        }
+        assert!(from_seen.iter().all(|c| *c == 1), "{ops:?}");
+        assert!(to_seen.iter().all(|c| *c == 1), "{ops:?}");
+        (cost, ops)
+    }
+
+    #[test]
+    fn identical_trees_all_match() {
+        let (cost, ops) = check("a(b,c)", "a(b,c)");
+        assert_eq!(cost, 0);
+        assert!(ops.iter().all(|o| matches!(o, EditOp::Match { .. })));
+        assert_eq!(ops.len(), 3);
+    }
+
+    #[test]
+    fn single_relabel_script() {
+        let (cost, ops) = check("a(b)", "a(x)");
+        assert_eq!(cost, 1);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, EditOp::Relabel { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_and_insert_scripts() {
+        let (cost, ops) = check("a(b,c)", "a(b)");
+        assert_eq!(cost, 1);
+        assert!(ops.iter().any(|o| matches!(o, EditOp::Delete { .. })));
+
+        let (cost, ops) = check("a", "a(b(c))");
+        assert_eq!(cost, 2);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, EditOp::Insert { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn classic_example_script() {
+        let (cost, _) = check("f(d(a,c(b)),e)", "f(c(d(a,b)),e)");
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn larger_random_shapes_stay_consistent() {
+        let specs = [
+            "a(b(c,d),e(f,g),h)",
+            "a(e(f,g),b(c,d))",
+            "x(y(z))",
+            "a(b,b,b,b)",
+            "a(b(c(d(e))))",
+        ];
+        for x in &specs {
+            for y in &specs {
+                check(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn post_order_labels_ordering() {
+        let t = tree("a(b(c),d)");
+        assert_eq!(post_order_labels(&t), ["c", "b", "d", "a"]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Document mapping: converting non-conforming XML documents so that they
+//! conform to the majority DTD.
+//!
+//! The paper's Quixote prototype includes a Document Mapping Component
+//! (described in the companion thesis, [13] in the paper) that "converts
+//! non-conforming XML documents using a tree-edit distance algorithm so
+//! that they eventually conform to the derived DTD and can easily be
+//! integrated into an XML document repository". The paper's headline claim
+//! for the majority schema is precisely that such conversion is only
+//! reasonable against a majority schema — a DataGuide or lower-bound schema
+//! would not suffice.
+//!
+//! * [`zhang_shasha`] — the classical ordered tree-edit distance (insert,
+//!   delete, relabel; Zhang & Shasha 1989);
+//! * [`edit_script`] — optimal edit-script extraction (match / relabel /
+//!   delete / insert per node) by backtracking the same dynamic program;
+//! * [`mapper`] — the schema-guided transformation that edits a document
+//!   into DTD conformance (relocating, demoting, inserting and reordering
+//!   elements) and reports the edit cost.
+
+pub mod edit_script;
+pub mod mapper;
+pub mod zhang_shasha;
+
+pub use edit_script::{edit_script, EditOp};
+pub use mapper::{map_to_dtd, MapOutcome};
+pub use zhang_shasha::{edit_distance, edit_distance_docs, EditCosts};

@@ -1,0 +1,310 @@
+//! Zhang–Shasha ordered tree-edit distance.
+//!
+//! The classical dynamic program over post-order numbering, leftmost-leaf
+//! indices and keyroots (Zhang & Shasha, SIAM J. Comput. 1989). Costs are
+//! unit by default (insert 1, delete 1, relabel 1) and configurable via
+//! [`EditCosts`]. Complexity is
+//! `O(|T₁|·|T₂|·min(depth₁,leaves₁)·min(depth₂,leaves₂))` — comfortably
+//! fast for resume-sized documents.
+
+use webre_tree::Tree;
+use webre_xml::{XmlDocument, XmlNode};
+
+/// Operation costs for the edit distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EditCosts {
+    pub insert: u32,
+    pub delete: u32,
+    pub relabel: u32,
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        EditCosts {
+            insert: 1,
+            delete: 1,
+            relabel: 1,
+        }
+    }
+}
+
+/// A tree flattened to the arrays the algorithm needs.
+struct PostOrder {
+    labels: Vec<String>,
+    /// `lml[i]`: post-order index of the leftmost leaf of the subtree at
+    /// post-order node `i`.
+    lml: Vec<usize>,
+    /// Keyroots: nodes with no left sibling mapping to the same leftmost
+    /// leaf (i.e. the largest node for each distinct `lml`).
+    keyroots: Vec<usize>,
+}
+
+impl PostOrder {
+    fn from_tree(tree: &Tree<String>) -> Self {
+        let mut labels = Vec::new();
+        let mut lml = Vec::new();
+        // Map NodeId → post-order index by walking post-order.
+        let ids: Vec<_> = tree.post_order(tree.root()).collect();
+        let index_of = |id: webre_tree::NodeId| ids.iter().position(|x| *x == id).expect("in walk");
+        for &id in &ids {
+            labels.push(tree.value(id).clone());
+            // Leftmost leaf: descend first children.
+            let mut leaf = id;
+            while let Some(first) = tree.first_child(leaf) {
+                leaf = first;
+            }
+            lml.push(index_of(leaf));
+        }
+        let n = labels.len();
+        let mut keyroots = Vec::new();
+        for i in 0..n {
+            let is_keyroot = !(i + 1..n).any(|j| lml[j] == lml[i]);
+            if is_keyroot {
+                keyroots.push(i);
+            }
+        }
+        PostOrder {
+            labels,
+            lml,
+            keyroots,
+        }
+    }
+}
+
+/// Computes the edit distance between two label trees.
+pub fn edit_distance(a: &Tree<String>, b: &Tree<String>, costs: &EditCosts) -> u32 {
+    let t1 = PostOrder::from_tree(a);
+    let t2 = PostOrder::from_tree(b);
+    let n = t1.labels.len();
+    let m = t2.labels.len();
+    let mut treedist = vec![vec![0u32; m]; n];
+
+    for &i in &t1.keyroots {
+        for &j in &t2.keyroots {
+            forest_dist(&t1, &t2, i, j, costs, &mut treedist);
+        }
+    }
+    treedist[n - 1][m - 1]
+}
+
+/// The inner forest-distance DP for keyroot pair `(i, j)`.
+fn forest_dist(
+    t1: &PostOrder,
+    t2: &PostOrder,
+    i: usize,
+    j: usize,
+    costs: &EditCosts,
+    treedist: &mut [Vec<u32>],
+) {
+    let li = t1.lml[i];
+    let lj = t2.lml[j];
+    let rows = i - li + 2;
+    let cols = j - lj + 2;
+    // fd[x][y]: distance between forests t1[li..li+x-1] and t2[lj..lj+y-1].
+    let mut fd = vec![vec![0u32; cols]; rows];
+    for x in 1..rows {
+        fd[x][0] = fd[x - 1][0] + costs.delete;
+    }
+    for y in 1..cols {
+        fd[0][y] = fd[0][y - 1] + costs.insert;
+    }
+    for x in 1..rows {
+        for y in 1..cols {
+            let node1 = li + x - 1;
+            let node2 = lj + y - 1;
+            if t1.lml[node1] == li && t2.lml[node2] == lj {
+                // Both forests are whole trees: record tree distance.
+                let relabel = if t1.labels[node1] == t2.labels[node2] {
+                    0
+                } else {
+                    costs.relabel
+                };
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[x - 1][y - 1] + relabel);
+                treedist[node1][node2] = fd[x][y];
+            } else {
+                let xi = t1.lml[node1].saturating_sub(li);
+                let yj = t2.lml[node2].saturating_sub(lj);
+                fd[x][y] = (fd[x - 1][y] + costs.delete)
+                    .min(fd[x][y - 1] + costs.insert)
+                    .min(fd[xi][yj] + treedist[node1][node2]);
+            }
+        }
+    }
+}
+
+/// Converts an XML document to a label tree (element names; text nodes
+/// become `#PCDATA` leaves).
+pub fn label_tree(doc: &XmlDocument) -> Tree<String> {
+    doc.tree.map(|n| match n {
+        XmlNode::Element { name, .. } => name.clone(),
+        XmlNode::Text(_) => "#PCDATA".to_owned(),
+    })
+}
+
+/// Edit distance between two XML documents' structures.
+pub fn edit_distance_docs(a: &XmlDocument, b: &XmlDocument, costs: &EditCosts) -> u32 {
+    edit_distance(&label_tree(a), &label_tree(b), costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(spec: &str) -> Tree<String> {
+        // Tiny builder: "a(b,c(d))" syntax.
+        fn parse(chars: &mut std::iter::Peekable<std::str::Chars>, tree: &mut Tree<String>, parent: Option<webre_tree::NodeId>) {
+            loop {
+                let mut label = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '#' {
+                        label.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let node = match parent {
+                    Some(p) => tree.append_child(p, label),
+                    None => {
+                        *tree.value_mut(tree.root()) = label;
+                        tree.root()
+                    }
+                };
+                match chars.peek() {
+                    Some('(') => {
+                        chars.next();
+                        parse(chars, tree, Some(node));
+                        match chars.peek() {
+                            Some(',') => {
+                                chars.next();
+                                continue;
+                            }
+                            Some(')') => {
+                                chars.next();
+                                return;
+                            }
+                            _ => return,
+                        }
+                    }
+                    Some(',') => {
+                        chars.next();
+                        continue;
+                    }
+                    Some(')') => {
+                        chars.next();
+                        return;
+                    }
+                    _ => return,
+                }
+            }
+        }
+        let mut t = Tree::new(String::new());
+        parse(&mut spec.chars().peekable(), &mut t, None);
+        t
+    }
+
+    fn d(a: &str, b: &str) -> u32 {
+        edit_distance(&tree(a), &tree(b), &EditCosts::default())
+    }
+
+    #[test]
+    fn identical_trees_are_distance_zero() {
+        assert_eq!(d("a(b,c)", "a(b,c)"), 0);
+        assert_eq!(d("a", "a"), 0);
+    }
+
+    #[test]
+    fn single_relabel() {
+        assert_eq!(d("a", "b"), 1);
+        assert_eq!(d("a(b,c)", "a(b,x)"), 1);
+        assert_eq!(d("a(b,c)", "x(b,c)"), 1);
+    }
+
+    #[test]
+    fn single_insert_or_delete() {
+        assert_eq!(d("a(b)", "a(b,c)"), 1);
+        assert_eq!(d("a(b,c)", "a(b)"), 1);
+        assert_eq!(d("a", "a(b)"), 1);
+    }
+
+    #[test]
+    fn insert_intermediate_node() {
+        // a(b) → a(x(b)): insert x between a and b.
+        assert_eq!(d("a(b)", "a(x(b))"), 1);
+    }
+
+    #[test]
+    fn delete_collapses_subtree_children_up() {
+        // a(x(b,c)) → a(b,c): delete x.
+        assert_eq!(d("a(x(b,c))", "a(b,c)"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs = [("a(b,c)", "a(c,b)"), ("a(b(d),c)", "a(b,c(d))"), ("a", "b(c)")];
+        for (x, y) in pairs {
+            assert_eq!(d(x, y), d(y, x), "asymmetry for {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sibling_swap_costs_two_unit_ops() {
+        // b,c → c,b: relabel both (or delete+insert) = 2.
+        assert_eq!(d("a(b,c)", "a(c,b)"), 2);
+    }
+
+    #[test]
+    fn known_zhang_shasha_example() {
+        // The classical example: f(d(a,c(b)),e) vs f(c(d(a,b)),e) = 2.
+        assert_eq!(d("f(d(a,c(b)),e)", "f(c(d(a,b)),e)"), 2);
+    }
+
+    #[test]
+    fn custom_costs_respected() {
+        let costs = EditCosts {
+            insert: 10,
+            delete: 1,
+            relabel: 100,
+        };
+        // a(b) → a: cheaper to delete b (1) than anything else.
+        assert_eq!(edit_distance(&tree("a(b)"), &tree("a"), &costs), 1);
+        // a → a(b): must insert (10).
+        assert_eq!(edit_distance(&tree("a"), &tree("a(b)"), &costs), 10);
+        // relabel vs delete+insert: a→b costs min(100, 1+10) = 11.
+        assert_eq!(edit_distance(&tree("a"), &tree("b"), &costs), 11);
+    }
+
+    #[test]
+    fn distance_bounded_by_sizes() {
+        let a = tree("a(b(c,d),e(f))");
+        let b = tree("x(y)");
+        let dist = edit_distance(&a, &b, &EditCosts::default());
+        assert!(dist <= 6 + 2);
+        assert!(dist >= 4); // at least delete the size difference
+    }
+
+    #[test]
+    fn docs_distance_uses_labels() {
+        use webre_xml::parse_xml;
+        let a = parse_xml("<r><x/><y/></r>").unwrap();
+        let b = parse_xml("<r><x/></r>").unwrap();
+        assert_eq!(edit_distance_docs(&a, &b, &EditCosts::default()), 1);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let specs = ["a(b,c)", "a(b(d),c)", "x(b)", "a", "a(c(b))"];
+        for x in &specs {
+            for y in &specs {
+                for z in &specs {
+                    assert!(
+                        d(x, z) <= d(x, y) + d(y, z),
+                        "triangle violated: {x} {y} {z}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for tree-edit distance and edit scripts.
+
+use proptest::prelude::*;
+use webre_map::edit_script::{edit_script, EditOp};
+use webre_map::{edit_distance, EditCosts};
+use webre_tree::Tree;
+
+/// Random label tree over a tiny alphabet.
+fn tree_strategy() -> impl Strategy<Value = Tree<String>> {
+    let spec = proptest::collection::vec((0usize..8, "[a-d]"), 0..16);
+    spec.prop_map(|nodes| {
+        let mut tree = Tree::new("r".to_owned());
+        let mut ids = vec![tree.root()];
+        for (parent, label) in nodes {
+            let p = ids[parent % ids.len()];
+            ids.push(tree.append_child(p, label));
+        }
+        tree
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distance_is_a_metric_ish(a in tree_strategy(), b in tree_strategy()) {
+        let costs = EditCosts::default();
+        let d_ab = edit_distance(&a, &b, &costs);
+        let d_ba = edit_distance(&b, &a, &costs);
+        prop_assert_eq!(d_ab, d_ba, "symmetry violated");
+        prop_assert_eq!(edit_distance(&a, &a, &costs), 0);
+        // Upper bound: delete all of a, insert all of b.
+        let bound = a.subtree_size(a.root()) as u32 + b.subtree_size(b.root()) as u32;
+        prop_assert!(d_ab <= bound);
+        // Lower bound: size difference.
+        let diff = (a.subtree_size(a.root()) as i64 - b.subtree_size(b.root()) as i64)
+            .unsigned_abs() as u32;
+        prop_assert!(d_ab >= diff);
+    }
+
+    #[test]
+    fn triangle_inequality(a in tree_strategy(), b in tree_strategy(), c in tree_strategy()) {
+        let costs = EditCosts::default();
+        let ab = edit_distance(&a, &b, &costs);
+        let bc = edit_distance(&b, &c, &costs);
+        let ac = edit_distance(&a, &c, &costs);
+        prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn script_cost_equals_distance(a in tree_strategy(), b in tree_strategy()) {
+        let costs = EditCosts::default();
+        let (cost, ops) = edit_script(&a, &b, &costs);
+        prop_assert_eq!(cost, edit_distance(&a, &b, &costs));
+        // Each source node appears exactly once as Match/Relabel/Delete,
+        // each target node exactly once as Match/Relabel/Insert.
+        let n = a.subtree_size(a.root());
+        let m = b.subtree_size(b.root());
+        let mut from_seen = vec![0u32; n];
+        let mut to_seen = vec![0u32; m];
+        for op in &ops {
+            match *op {
+                EditOp::Match { from, to } | EditOp::Relabel { from, to } => {
+                    from_seen[from] += 1;
+                    to_seen[to] += 1;
+                }
+                EditOp::Delete { from } => from_seen[from] += 1,
+                EditOp::Insert { to } => to_seen[to] += 1,
+            }
+        }
+        prop_assert!(from_seen.iter().all(|c| *c == 1));
+        prop_assert!(to_seen.iter().all(|c| *c == 1));
+    }
+
+    #[test]
+    fn matches_preserve_postorder_order(a in tree_strategy(), b in tree_strategy()) {
+        // A valid Zhang–Shasha mapping is order-preserving on post-order
+        // indices for nodes on the same root path structure; at minimum the
+        // pair lists must be strictly increasing when sorted by source.
+        let costs = EditCosts::default();
+        let (_, ops) = edit_script(&a, &b, &costs);
+        let mut pairs: Vec<(usize, usize)> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                EditOp::Match { from, to } | EditOp::Relabel { from, to } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 != w[1].1, "target node mapped twice");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Schema discovery: frequent paths, majority schema and DTD derivation
+//! (Section 3 of the paper).
+//!
+//! A set of XML documents produced by the conversion process is reduced to
+//! label paths ([`paths`]); paths frequent under a support threshold and a
+//! support-ratio threshold form the *majority schema* ([`frequent`],
+//! [`majority`]); ordering and repetition information is then recovered to
+//! emit a DTD ([`dtd_rules`]).
+//!
+//! [`baselines`] provides the two classical alternatives the paper argues
+//! against — the DataGuide upper-bound schema and the lower-bound schema —
+//! and [`search_space`] reproduces the Section 4.2 constraint-pruning
+//! experiment.
+
+pub mod baselines;
+pub mod dtd_rules;
+pub mod frequent;
+pub mod majority;
+pub mod paths;
+pub mod search_space;
+
+pub use dtd_rules::{derive_dtd, DtdConfig};
+pub use frequent::{FrequentPathMiner, MiningOutcome};
+pub use majority::{MajoritySchema, SchemaNode};
+pub use paths::{extract_paths, DocPaths, LabelPath};

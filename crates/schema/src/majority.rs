@@ -1,0 +1,174 @@
+//! The majority schema: the tree `T_F` formed by the frequent paths.
+
+use crate::paths::LabelPath;
+use webre_tree::{NodeId, Tree};
+
+/// One node of the majority-schema tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchemaNode {
+    /// Element label (concept name).
+    pub label: String,
+    /// Document support of the path ending at this node, in `[0, 1]`.
+    pub support: f64,
+    /// Number of corpus documents containing the path.
+    pub doc_count: usize,
+}
+
+/// A majority schema: frequent label paths arranged as a tree.
+#[derive(Clone, Debug)]
+pub struct MajoritySchema {
+    pub tree: Tree<SchemaNode>,
+    /// Number of documents the schema was mined from.
+    pub corpus_size: usize,
+}
+
+impl MajoritySchema {
+    /// Creates a schema with only a root node.
+    pub fn new(root_label: impl Into<String>, support: f64, doc_count: usize, corpus_size: usize) -> Self {
+        MajoritySchema {
+            tree: Tree::new(SchemaNode {
+                label: root_label.into(),
+                support,
+                doc_count,
+            }),
+            corpus_size,
+        }
+    }
+
+    /// The root label.
+    pub fn root_label(&self) -> &str {
+        &self.tree.value(self.tree.root()).label
+    }
+
+    /// Number of schema nodes (frequent paths).
+    pub fn len(&self) -> usize {
+        self.tree.subtree_size(self.tree.root())
+    }
+
+    /// Whether the schema contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// The label path from the root to `id`.
+    pub fn path_of(&self, id: NodeId) -> LabelPath {
+        let mut path: LabelPath = self
+            .tree
+            .ancestors(id)
+            .map(|a| self.tree.value(a).label.clone())
+            .collect();
+        path.reverse();
+        path.push(self.tree.value(id).label.clone());
+        path
+    }
+
+    /// Finds the node for a label path, if the path is in the schema.
+    pub fn find(&self, path: &[String]) -> Option<NodeId> {
+        let mut current = self.tree.root();
+        let mut parts = path.iter();
+        if parts.next().map(String::as_str) != Some(self.root_label()) {
+            return None;
+        }
+        for part in parts {
+            current = self
+                .tree
+                .children(current)
+                .find(|c| self.tree.value(*c).label == *part)?;
+        }
+        Some(current)
+    }
+
+    /// Whether the schema contains a label path.
+    pub fn contains(&self, path: &[String]) -> bool {
+        self.find(path).is_some()
+    }
+
+    /// All label paths in the schema, in pre-order.
+    pub fn paths(&self) -> Vec<LabelPath> {
+        self.tree
+            .descendants(self.tree.root())
+            .map(|id| self.path_of(id))
+            .collect()
+    }
+
+    /// Renders the schema as an indented tree with supports (for reports).
+    pub fn render(&self) -> String {
+        webre_tree::render_with(&self.tree, self.tree.root(), |n| {
+            format!("{} (support {:.2})", n.label, n.support)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MajoritySchema {
+        let mut s = MajoritySchema::new("resume", 1.0, 10, 10);
+        let root = s.tree.root();
+        let edu = s.tree.append_child(
+            root,
+            SchemaNode {
+                label: "education".into(),
+                support: 0.9,
+                doc_count: 9,
+            },
+        );
+        s.tree.append_child(
+            edu,
+            SchemaNode {
+                label: "degree".into(),
+                support: 0.8,
+                doc_count: 8,
+            },
+        );
+        s.tree.append_child(
+            root,
+            SchemaNode {
+                label: "contact".into(),
+                support: 0.7,
+                doc_count: 7,
+            },
+        );
+        s
+    }
+
+    fn p(parts: &[&str]) -> LabelPath {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn find_and_contains() {
+        let s = sample();
+        assert!(s.contains(&p(&["resume"])));
+        assert!(s.contains(&p(&["resume", "education", "degree"])));
+        assert!(!s.contains(&p(&["resume", "degree"])));
+        assert!(!s.contains(&p(&["cv", "education"])));
+    }
+
+    #[test]
+    fn path_of_round_trips_with_find() {
+        let s = sample();
+        for id in s.tree.descendants(s.tree.root()).collect::<Vec<_>>() {
+            let path = s.path_of(id);
+            assert_eq!(s.find(&path), Some(id));
+        }
+    }
+
+    #[test]
+    fn len_and_paths() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        let paths = s.paths();
+        assert_eq!(paths.len(), 4);
+        assert_eq!(paths[0], p(&["resume"]));
+    }
+
+    #[test]
+    fn render_mentions_supports() {
+        let out = sample().render();
+        assert!(out.contains("resume (support 1.00)"));
+        assert!(out.contains("  education (support 0.90)"));
+    }
+}

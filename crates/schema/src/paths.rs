@@ -1,0 +1,244 @@
+//! Reduction of XML documents to label paths (Section 3.2).
+//!
+//! An XML document's schematic structure is an ordered tree; the paper
+//! reduces it to the *set* of label paths emanating from the root ("two
+//! different node paths can have the same label path", and using a set
+//! keeps the discovery from being biased toward multiple occurrences of the
+//! same path in a few documents). Alongside the path set, two cheap pieces
+//! of bookkeeping are recorded during the same walk:
+//!
+//! * the **multiplicity** `⟨p, num⟩` of sibling nodes of the same type, fed
+//!   to the repetition rule of Section 3.3;
+//! * the **sibling position** of each node, fed to the ordering rule.
+
+use std::collections::{HashMap, HashSet};
+use webre_xml::{XmlDocument, XmlNode};
+
+/// A label path from the document root: `["resume", "education", "degree"]`.
+pub type LabelPath = Vec<String>;
+
+/// The path-level view of one XML document.
+#[derive(Clone, Debug, Default)]
+pub struct DocPaths {
+    /// The root element label.
+    pub root_label: String,
+    /// Every label path occurring in the document (each node contributes
+    /// the path from the root to itself; the set covers all prefixes).
+    pub paths: HashSet<LabelPath>,
+    /// `⟨p, num⟩`: the maximum number of same-label siblings observed for
+    /// the node ending each label path.
+    pub multiplicity: HashMap<LabelPath, u32>,
+    /// Sum and count of the 0-based sibling positions of nodes with each
+    /// label path (for averaging in the ordering rule).
+    pub positions: HashMap<LabelPath, (f64, u64)>,
+    /// For each element (keyed by its label path), the label sequences of
+    /// its element children — the raw material for discovering repetitive
+    /// group patterns like `(degree, date)+` (the paper's XTRACT-style
+    /// extension at the end of Section 3.3).
+    pub child_sequences: HashMap<LabelPath, Vec<Vec<String>>>,
+    /// Total element nodes in the document.
+    pub node_count: usize,
+}
+
+impl DocPaths {
+    /// Whether the document contains the given label path.
+    pub fn contains(&self, path: &[String]) -> bool {
+        self.paths.contains(path)
+    }
+
+    /// The recorded multiplicity for a label path (1 if never recorded
+    /// higher).
+    pub fn multiplicity_of(&self, path: &[String]) -> u32 {
+        self.multiplicity.get(path).copied().unwrap_or(0)
+    }
+
+    /// Maximum path length (nodes on the longest root path).
+    pub fn max_depth(&self) -> usize {
+        self.paths.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Extracts the path-level view of a document in a single walk.
+pub fn extract_paths(doc: &XmlDocument) -> DocPaths {
+    let mut out = DocPaths {
+        root_label: doc.root_name().to_owned(),
+        ..DocPaths::default()
+    };
+    // Recursive walk carrying the running label path.
+    let mut path: LabelPath = Vec::new();
+    walk(doc, doc.root(), &mut path, &mut out);
+    out
+}
+
+fn walk(
+    doc: &XmlDocument,
+    id: webre_tree::NodeId,
+    path: &mut LabelPath,
+    out: &mut DocPaths,
+) {
+    let XmlNode::Element { name, .. } = doc.tree.value(id) else {
+        return;
+    };
+    out.node_count += 1;
+    path.push(name.clone());
+    out.paths.insert(path.clone());
+
+    // Sibling position among element children of the parent.
+    let position = doc
+        .tree
+        .parent(id)
+        .map(|p| {
+            doc.tree
+                .children(p)
+                .filter(|c| matches!(doc.tree.value(*c), XmlNode::Element { .. }))
+                .take_while(|c| *c != id)
+                .count()
+        })
+        .unwrap_or(0);
+    let entry = out.positions.entry(path.clone()).or_insert((0.0, 0));
+    entry.0 += position as f64;
+    entry.1 += 1;
+
+    // Multiplicity: same-label siblings (including this node).
+    let count = doc
+        .tree
+        .parent(id)
+        .map(|p| {
+            doc.tree
+                .children(p)
+                .filter(|c| doc.label(*c) == name.as_str())
+                .count() as u32
+        })
+        .unwrap_or(1);
+    let slot = out.multiplicity.entry(path.clone()).or_insert(0);
+    *slot = (*slot).max(count);
+
+    // Record this node's child label sequence (elements only; non-leaf).
+    let sequence: Vec<String> = doc
+        .tree
+        .children(id)
+        .filter_map(|c| match doc.tree.value(c) {
+            XmlNode::Element { name, .. } => Some(name.clone()),
+            XmlNode::Text(_) => None,
+        })
+        .collect();
+    if !sequence.is_empty() {
+        out.child_sequences
+            .entry(path.clone())
+            .or_default()
+            .push(sequence);
+    }
+
+    for child in doc.tree.children(id) {
+        walk(doc, child, path, out);
+    }
+    path.pop();
+}
+
+/// Average 0-based sibling position of a label path across a corpus,
+/// considering only documents that contain the path. `None` if no document
+/// contains it.
+pub fn average_position(corpus: &[DocPaths], path: &[String]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for doc in corpus {
+        if let Some((s, c)) = doc.positions.get(path) {
+            sum += s;
+            count += c;
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Number of documents in the corpus containing the label path.
+pub fn doc_frequency(corpus: &[DocPaths], path: &[String]) -> usize {
+    corpus.iter().filter(|d| d.contains(path)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_xml::parse_xml;
+
+    fn doc(xml: &str) -> DocPaths {
+        extract_paths(&parse_xml(xml).unwrap())
+    }
+
+    fn p(parts: &[&str]) -> LabelPath {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn collects_all_label_paths() {
+        let d = doc("<resume><education><degree/><date/></education><contact/></resume>");
+        assert_eq!(d.root_label, "resume");
+        assert_eq!(d.node_count, 5);
+        assert!(d.contains(&p(&["resume"])));
+        assert!(d.contains(&p(&["resume", "education"])));
+        assert!(d.contains(&p(&["resume", "education", "degree"])));
+        assert!(d.contains(&p(&["resume", "contact"])));
+        assert!(!d.contains(&p(&["resume", "degree"])));
+        assert_eq!(d.paths.len(), 5);
+        assert_eq!(d.max_depth(), 3);
+    }
+
+    #[test]
+    fn duplicate_node_paths_collapse_to_one_label_path() {
+        let d = doc("<resume><education/><education/><education/></resume>");
+        assert_eq!(d.paths.len(), 2);
+        assert_eq!(d.multiplicity_of(&p(&["resume", "education"])), 3);
+    }
+
+    #[test]
+    fn multiplicity_takes_maximum_over_nodes() {
+        let d = doc(
+            "<r><e><x/></e><e><x/><x/><x/></e></r>",
+        );
+        assert_eq!(d.multiplicity_of(&p(&["r", "e", "x"])), 3);
+        assert_eq!(d.multiplicity_of(&p(&["r", "e"])), 2);
+    }
+
+    #[test]
+    fn positions_average_within_document() {
+        let d = doc("<r><a/><b/><a/></r>");
+        // a occurs at positions 0 and 2; b at position 1.
+        let (sum, count) = d.positions[&p(&["r", "a"])];
+        assert_eq!((sum, count), (2.0, 2));
+        let (sum, count) = d.positions[&p(&["r", "b"])];
+        assert_eq!((sum, count), (1.0, 1));
+    }
+
+    #[test]
+    fn corpus_helpers() {
+        let corpus = vec![
+            doc("<r><a/><b/></r>"),
+            doc("<r><b/><a/></r>"),
+            doc("<r><a/></r>"),
+        ];
+        assert_eq!(doc_frequency(&corpus, &p(&["r", "a"])), 3);
+        assert_eq!(doc_frequency(&corpus, &p(&["r", "b"])), 2);
+        assert_eq!(doc_frequency(&corpus, &p(&["r", "z"])), 0);
+        // a at positions 0, 1, 0 → average 1/3.
+        let avg = average_position(&corpus, &p(&["r", "a"])).unwrap();
+        assert!((avg - 1.0 / 3.0).abs() < 1e-12);
+        assert!(average_position(&corpus, &p(&["r", "z"])).is_none());
+    }
+
+    #[test]
+    fn child_sequences_recorded_per_node() {
+        let d = doc("<r><e><a/><b/></e><e><a/><b/><a/><b/></e></r>");
+        let seqs = &d.child_sequences[&p(&["r", "e"])];
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0], ["a", "b"]);
+        assert_eq!(seqs[1], ["a", "b", "a", "b"]);
+        // Leaves record no sequence.
+        assert!(!d.child_sequences.contains_key(&p(&["r", "e", "a"])));
+    }
+
+    #[test]
+    fn text_nodes_do_not_contribute_paths() {
+        let d = doc("<r>hello<a/>world</r>");
+        assert_eq!(d.paths.len(), 2);
+        assert_eq!(d.node_count, 2);
+    }
+}

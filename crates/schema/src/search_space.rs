@@ -1,0 +1,219 @@
+//! The Section 4.2 search-space experiment.
+//!
+//! The paper quantifies how concept constraints shrink the space of
+//! candidate label paths: "Without any relationships and constraints
+//! specified, exhaustive enumeration and testing of all possible label
+//! paths up to length 4 against the input HTML documents would explore
+//! 24⁵ − 1 = 7,962,623 nodes. With the above simple constraints specified,
+//! the search space is dramatically reduced to 1,871 nodes [...]. Without
+//! extending nodes with zero support, the actual number of nodes explored
+//! is 73."
+//!
+//! This module reproduces all three counts: the exhaustive enumeration
+//! formula, constrained enumeration over the concept alphabet, and the
+//! data-driven exploration (the frequent-path miner's `nodes_explored`).
+
+use crate::paths::{doc_frequency, DocPaths};
+use webre_concepts::{ConceptSet, ConstraintSet};
+
+/// The paper's exhaustive search-space size for `n` concepts and paths up
+/// to length `len` (the paper reports `n^(len+1) − 1` for `n = 24`,
+/// `len = 4`: 7,962,623).
+pub fn exhaustive_size(n: usize, len: usize) -> u64 {
+    (n as u64).pow(len as u32 + 1) - 1
+}
+
+/// Alternative (trie-sum) count: `Σ_{k=0..len} n^k` nodes of a complete
+/// trie of depth `len` over `n` labels. Documented for comparison — the
+/// paper's own formula above counts differently.
+pub fn trie_size(n: usize, len: usize) -> u64 {
+    (0..=len as u32).map(|k| (n as u64).pow(k)).sum()
+}
+
+/// Result of a constrained enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnumerationResult {
+    /// Admissible candidate nodes (paths), root included.
+    pub admissible: u64,
+    /// Candidates tested (admissible or not), root included.
+    pub tested: u64,
+}
+
+/// Enumerates all label paths over the concept alphabet starting from
+/// `root`, up to `max_len` labels per path (root included), pruned by the
+/// constraint set. Counts admissible paths (nodes of the constrained
+/// search tree).
+///
+/// Pruning is hierarchical: an inadmissible path is not extended, exactly
+/// like the miner's anti-monotone pruning.
+pub fn constrained_enumeration(
+    concepts: &ConceptSet,
+    constraints: &ConstraintSet,
+    root: &str,
+    max_len: usize,
+) -> EnumerationResult {
+    let names: Vec<&str> = concepts.names().collect();
+    let mut result = EnumerationResult {
+        admissible: 0,
+        tested: 0,
+    };
+    let mut path: Vec<&str> = vec![root];
+    result.tested += 1;
+    if !constraints.admits_path(&path) {
+        return result;
+    }
+    result.admissible += 1;
+    enumerate(&names, constraints, &mut path, max_len, &mut result);
+    result
+}
+
+fn enumerate<'a>(
+    names: &[&'a str],
+    constraints: &ConstraintSet,
+    path: &mut Vec<&'a str>,
+    max_len: usize,
+    result: &mut EnumerationResult,
+) {
+    if path.len() >= max_len {
+        return;
+    }
+    for name in names {
+        path.push(name);
+        result.tested += 1;
+        if constraints.admits_path(path) {
+            result.admissible += 1;
+            enumerate(names, constraints, path, max_len, result);
+        }
+        path.pop();
+    }
+}
+
+/// Counts the nodes a data-driven exploration visits: candidate paths over
+/// the concept alphabet whose prefix has non-zero support in the corpus
+/// (the paper's "73 nodes" figure), under the same constraints.
+pub fn data_driven_exploration(
+    concepts: &ConceptSet,
+    constraints: &ConstraintSet,
+    corpus: &[DocPaths],
+    root: &str,
+    max_len: usize,
+) -> u64 {
+    let names: Vec<&str> = concepts.names().collect();
+    let mut path: Vec<String> = vec![root.to_owned()];
+    if doc_frequency(corpus, &path) == 0 {
+        return 0;
+    }
+    let mut count = 1;
+    explore_data(&names, constraints, corpus, &mut path, max_len, &mut count);
+    count
+}
+
+fn explore_data(
+    names: &[&str],
+    constraints: &ConstraintSet,
+    corpus: &[DocPaths],
+    path: &mut Vec<String>,
+    max_len: usize,
+    count: &mut u64,
+) {
+    if path.len() >= max_len {
+        return;
+    }
+    for name in names {
+        path.push((*name).to_owned());
+        let refs: Vec<&str> = path.iter().map(String::as_str).collect();
+        if constraints.admits_path(&refs) && doc_frequency(corpus, path) > 0 {
+            *count += 1;
+            explore_data(names, constraints, corpus, path, max_len, count);
+        }
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::extract_paths;
+    use webre_concepts::resume;
+    use webre_xml::parse_xml;
+
+    #[test]
+    fn paper_exhaustive_number() {
+        assert_eq!(exhaustive_size(24, 4), 7_962_623);
+    }
+
+    #[test]
+    fn trie_size_alternative() {
+        assert_eq!(trie_size(24, 4), 1 + 24 + 576 + 13_824 + 331_776);
+    }
+
+    #[test]
+    fn paper_constrained_number() {
+        // 1 root + 11 title names + 11×13 content + 11×13×12 (no-repeat)
+        // = 1871, the paper's Section 4.2 count.
+        let result = constrained_enumeration(
+            &resume::concepts(),
+            &resume::constraints(),
+            "resume",
+            4,
+        );
+        assert_eq!(result.admissible, 1 + 11 + 11 * 13 + 11 * 13 * 12);
+        assert_eq!(result.admissible, 1871);
+    }
+
+    #[test]
+    fn unconstrained_enumeration_matches_trie() {
+        use webre_concepts::{Concept, ConceptRole, ConceptSet, ConstraintSet};
+        let set: ConceptSet = ["a", "b", "c"]
+            .into_iter()
+            .map(|n| Concept::new(n, ConceptRole::Generic, Vec::<String>::new()))
+            .collect();
+        let result =
+            constrained_enumeration(&set, &ConstraintSet::new(), "a", 3);
+        // Root + 3 children + 9 grandchildren = 13 = trie_size(3, 2).
+        assert_eq!(result.admissible, trie_size(3, 2));
+    }
+
+    #[test]
+    fn data_driven_explores_only_support() {
+        let corpus: Vec<DocPaths> = [
+            "<resume><education><institution/></education></resume>",
+            "<resume><education><degree/></education></resume>",
+        ]
+        .iter()
+        .map(|x| extract_paths(&parse_xml(x).unwrap()))
+        .collect();
+        let count = data_driven_exploration(
+            &resume::concepts(),
+            &resume::constraints(),
+            &corpus,
+            "resume",
+            4,
+        );
+        // resume, resume/education, .../institution, .../degree.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn data_driven_zero_for_empty_corpus() {
+        let count = data_driven_exploration(
+            &resume::concepts(),
+            &resume::constraints(),
+            &[],
+            "resume",
+            4,
+        );
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn constraints_reduce_both_counts() {
+        use webre_concepts::ConstraintSet;
+        let concepts = resume::concepts();
+        let unconstrained =
+            constrained_enumeration(&concepts, &ConstraintSet::new(), "resume", 3);
+        let constrained =
+            constrained_enumeration(&concepts, &resume::constraints(), "resume", 3);
+        assert!(constrained.admissible < unconstrained.admissible);
+    }
+}

@@ -1,0 +1,256 @@
+//! Multinomial naive Bayes token classifier.
+//!
+//! Section 2.3.1: "the user gives examples on how to associate tokens with
+//! concept instances by labeling some input HTML documents. Based on these
+//! examples, the Bayes classifier computes the statistics of associating
+//! words in the token with concept instances. Given a new resume document,
+//! the classifier classifies each token as a concept instance with the
+//! highest probability."
+//!
+//! The implementation is the standard multinomial NB with Laplace (add-one)
+//! smoothing, computed in log space. Training is separated from
+//! classification by the [`BayesTrainer`] → [`BayesClassifier`] split so a
+//! trained model is immutable and cheap to share.
+
+use crate::tokenize::words;
+use std::collections::HashMap;
+
+/// Accumulates labeled examples and produces a [`BayesClassifier`].
+#[derive(Clone, Debug, Default)]
+pub struct BayesTrainer {
+    /// label → (document count, word → count, total word count)
+    classes: HashMap<String, ClassAcc>,
+    vocabulary: HashMap<String, ()>,
+    total_docs: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ClassAcc {
+    docs: u64,
+    words: HashMap<String, u64>,
+    total_words: u64,
+}
+
+impl BayesTrainer {
+    /// Creates an empty trainer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one labeled token (the label is typically a concept name, or a
+    /// designated "unknown" class for noise tokens).
+    pub fn add(&mut self, label: &str, token_text: &str) {
+        let acc = self.classes.entry(label.to_owned()).or_default();
+        acc.docs += 1;
+        self.total_docs += 1;
+        for w in words(token_text) {
+            acc.total_words += 1;
+            *acc.words.entry(w.clone()).or_insert(0) += 1;
+            self.vocabulary.entry(w).or_insert(());
+        }
+    }
+
+    /// Number of labeled examples added so far.
+    pub fn example_count(&self) -> u64 {
+        self.total_docs
+    }
+
+    /// Finishes training. Returns `None` if no examples were added.
+    pub fn build(self) -> Option<BayesClassifier> {
+        if self.total_docs == 0 {
+            return None;
+        }
+        let vocab_size = self.vocabulary.len().max(1) as f64;
+        let total_docs = self.total_docs as f64;
+        let classes = self
+            .classes
+            .into_iter()
+            .map(|(label, acc)| {
+                let prior = ((acc.docs as f64) / total_docs).ln();
+                let denom = (acc.total_words as f64 + vocab_size).ln();
+                let word_log_probs = acc
+                    .words
+                    .into_iter()
+                    .map(|(w, c)| (w, ((c as f64) + 1.0).ln() - denom))
+                    .collect();
+                Class {
+                    label,
+                    log_prior: prior,
+                    word_log_probs,
+                    unseen_log_prob: (1.0f64).ln() - denom,
+                }
+            })
+            .collect();
+        Some(BayesClassifier { classes })
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Class {
+    label: String,
+    log_prior: f64,
+    word_log_probs: HashMap<String, f64>,
+    unseen_log_prob: f64,
+}
+
+/// A trained multinomial naive Bayes model.
+#[derive(Clone, Debug)]
+pub struct BayesClassifier {
+    classes: Vec<Class>,
+}
+
+impl BayesClassifier {
+    /// Scores every class for `token_text`, returning `(label, log p)` pairs
+    /// sorted best-first.
+    pub fn scores(&self, token_text: &str) -> Vec<(&str, f64)> {
+        let features = words(token_text);
+        let mut out: Vec<(&str, f64)> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut log_p = c.log_prior;
+                for w in &features {
+                    log_p += c
+                        .word_log_probs
+                        .get(w)
+                        .copied()
+                        .unwrap_or(c.unseen_log_prob);
+                }
+                (c.label.as_str(), log_p)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("log probs are finite"));
+        out
+    }
+
+    /// The highest-probability label for `token_text`, or `None` if the
+    /// model has no classes.
+    pub fn classify(&self, token_text: &str) -> Option<&str> {
+        self.scores(token_text).first().map(|(l, _)| *l)
+    }
+
+    /// Like [`classify`](Self::classify) but requiring the winner to beat
+    /// the runner-up by `margin` nats; returns `None` when the decision is
+    /// too close (the caller then treats the token as unidentified).
+    pub fn classify_with_margin(&self, token_text: &str, margin: f64) -> Option<&str> {
+        let scores = self.scores(token_text);
+        match scores.as_slice() {
+            [] => None,
+            [only] => Some(only.0),
+            [best, second, ..] => (best.1 - second.1 >= margin).then_some(best.0),
+        }
+    }
+
+    /// Labels known to the model.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.classes.iter().map(|c| c.label.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> BayesClassifier {
+        let mut t = BayesTrainer::new();
+        for ex in [
+            "University of California at Davis",
+            "Stanford University",
+            "San Jose State College",
+            "MIT",
+        ] {
+            t.add("institution", ex);
+        }
+        for ex in [
+            "B.S. Computer Science",
+            "M.S. Electrical Engineering",
+            "Ph.D. Physics",
+            "Bachelor of Arts",
+        ] {
+            t.add("degree", ex);
+        }
+        for ex in ["June 1996", "May 2000", "1998", "September 1999"] {
+            t.add("date", ex);
+        }
+        t.build().unwrap()
+    }
+
+    #[test]
+    fn classifies_held_out_tokens() {
+        let c = trained();
+        assert_eq!(c.classify("University of Texas"), Some("institution"));
+        assert_eq!(c.classify("B.S. Mathematics"), Some("degree"));
+        assert_eq!(c.classify("June 2001"), Some("date"));
+    }
+
+    #[test]
+    fn empty_trainer_builds_none() {
+        assert!(BayesTrainer::new().build().is_none());
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let c = trained();
+        let scores = c.scores("Stanford University");
+        assert_eq!(scores[0].0, "institution");
+        for w in scores.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn margin_rejects_ambiguous_tokens() {
+        // Two perfectly symmetric classes: an all-unseen token scores the
+        // same for both, so any margin > 0 rejects it.
+        let mut t = BayesTrainer::new();
+        t.add("a", "alpha beta");
+        t.add("b", "gamma delta");
+        let c = t.build().unwrap();
+        assert_eq!(c.classify_with_margin("zzz qqq", 0.1), None);
+        // A clear case passes.
+        assert_eq!(c.classify_with_margin("alpha beta", 0.1), Some("a"));
+        // And the full classifier still distinguishes real topics.
+        let c = trained();
+        assert_eq!(
+            c.classify_with_margin("University of Oregon", 0.1),
+            Some("institution")
+        );
+    }
+
+    #[test]
+    fn priors_break_feature_ties() {
+        let mut t = BayesTrainer::new();
+        t.add("big", "alpha");
+        t.add("big", "beta");
+        t.add("big", "gamma");
+        t.add("small", "delta");
+        let c = t.build().unwrap();
+        // "omega" is unseen everywhere; the class with the larger prior and
+        // word mass wins deterministically.
+        assert_eq!(c.classify("omega"), Some("big"));
+    }
+
+    #[test]
+    fn number_feature_generalizes() {
+        let c = trained();
+        // 1997 never occurs in training but #num does.
+        assert_eq!(c.classify("March 1997"), Some("date"));
+    }
+
+    #[test]
+    fn labels_iterates_all_classes() {
+        let c = trained();
+        let mut labels: Vec<_> = c.labels().collect();
+        labels.sort_unstable();
+        assert_eq!(labels, ["date", "degree", "institution"]);
+    }
+
+    #[test]
+    fn single_class_always_wins() {
+        let mut t = BayesTrainer::new();
+        t.add("only", "something");
+        let c = t.build().unwrap();
+        assert_eq!(c.classify("anything else"), Some("only"));
+        assert_eq!(c.classify_with_margin("anything", 10.0), Some("only"));
+    }
+}

@@ -1,0 +1,21 @@
+//! Text substrate: tokenization and token classification.
+//!
+//! Two pieces of the paper live here:
+//!
+//! * [`tokenize`] — the *tokenization rule*'s text machinery (Section
+//!   2.3.1): splitting a topic sentence into tokens on punctuation
+//!   delimiters (the paper's experiments use `; , :`), plus word/feature
+//!   extraction for classification;
+//! * [`bayes`] — the multinomial naive Bayes classifier the *concept
+//!   instance rule* can use instead of (or in addition to) synonym
+//!   matching, with Laplace smoothing and log-space arithmetic;
+//! * [`metrics`] — accuracy/precision/recall/confusion-matrix evaluation
+//!   used by the classifier ablation experiment.
+
+pub mod bayes;
+pub mod metrics;
+pub mod tokenize;
+
+pub use bayes::{BayesClassifier, BayesTrainer};
+pub use metrics::ConfusionMatrix;
+pub use tokenize::{split_tokens, words, Delimiters};

@@ -1,0 +1,191 @@
+//! Classification evaluation metrics: confusion matrix, accuracy,
+//! per-class precision and recall.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A labeled confusion matrix over string classes.
+#[derive(Clone, Debug, Default)]
+pub struct ConfusionMatrix {
+    /// (actual, predicted) → count
+    cells: BTreeMap<(String, String), u64>,
+    total: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, actual: &str, predicted: &str) {
+        *self
+            .cells
+            .entry((actual.to_owned(), predicted.to_owned()))
+            .or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for an (actual, predicted) cell.
+    pub fn count(&self, actual: &str, predicted: &str) -> u64 {
+        self.cells
+            .get(&(actual.to_owned(), predicted.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Overall accuracy, or `None` when empty.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let correct: u64 = self
+            .cells
+            .iter()
+            .filter(|((a, p), _)| a == p)
+            .map(|(_, c)| *c)
+            .sum();
+        Some(correct as f64 / self.total as f64)
+    }
+
+    /// Precision for a class: correct predictions / all predictions of it.
+    pub fn precision(&self, class: &str) -> Option<f64> {
+        let predicted: u64 = self
+            .cells
+            .iter()
+            .filter(|((_, p), _)| p == class)
+            .map(|(_, c)| *c)
+            .sum();
+        (predicted > 0).then(|| self.count(class, class) as f64 / predicted as f64)
+    }
+
+    /// Recall for a class: correct predictions / all actual occurrences.
+    pub fn recall(&self, class: &str) -> Option<f64> {
+        let actual: u64 = self
+            .cells
+            .iter()
+            .filter(|((a, _), _)| a == class)
+            .map(|(_, c)| *c)
+            .sum();
+        (actual > 0).then(|| self.count(class, class) as f64 / actual as f64)
+    }
+
+    /// F1 score for a class.
+    pub fn f1(&self, class: &str) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Every class mentioned as actual or predicted, sorted.
+    pub fn classes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (a, p) in self.cells.keys() {
+            if !out.contains(&a.as_str()) {
+                out.push(a);
+            }
+            if !out.contains(&p.as_str()) {
+                out.push(p);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let acc = self.accuracy().unwrap_or(0.0);
+        writeln!(f, "accuracy {:.3} over {} observations", acc, self.total)?;
+        for class in self.classes() {
+            writeln!(
+                f,
+                "  {class}: precision {:.3}, recall {:.3}",
+                self.precision(class).unwrap_or(f64::NAN),
+                self.recall(class).unwrap_or(f64::NAN),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new();
+        // 3 correct a, 1 a→b, 2 correct b, 1 b→a
+        for _ in 0..3 {
+            m.record("a", "a");
+        }
+        m.record("a", "b");
+        for _ in 0..2 {
+            m.record("b", "b");
+        }
+        m.record("b", "a");
+        m
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal() {
+        let m = sample();
+        assert_eq!(m.total(), 7);
+        let acc = m.accuracy().unwrap();
+        assert!((acc - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let m = sample();
+        // a predicted 4 times, 3 correct.
+        assert!((m.precision("a").unwrap() - 0.75).abs() < 1e-12);
+        // a actual 4 times, 3 correct.
+        assert!((m.recall("a").unwrap() - 0.75).abs() < 1e-12);
+        assert!((m.precision("b").unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let m = sample();
+        let f1 = m.f1("a").unwrap();
+        assert!((f1 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_has_no_metrics() {
+        let m = ConfusionMatrix::new();
+        assert!(m.accuracy().is_none());
+        assert!(m.precision("a").is_none());
+        assert!(m.recall("a").is_none());
+    }
+
+    #[test]
+    fn unseen_class_metrics_none() {
+        let m = sample();
+        assert!(m.precision("zzz").is_none());
+    }
+
+    #[test]
+    fn classes_lists_all() {
+        let mut m = ConfusionMatrix::new();
+        m.record("x", "y");
+        assert_eq!(m.classes(), ["x", "y"]);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = sample().to_string();
+        assert!(s.contains("accuracy"));
+        assert!(s.contains("a: precision"));
+    }
+}

@@ -1,0 +1,233 @@
+//! The tokenization rule's text machinery.
+//!
+//! A *topic sentence* such as
+//! `"University of California at Davis, B.S.(Computer Science), June 1996,
+//! GPA 3.8/4.0"` is decomposed into tokens on punctuation delimiters; each
+//! token is then classified by the concept instance rule. The number and
+//! order of tokens depends on the delimiter set, which is configurable via
+//! [`Delimiters`] (the paper's experiments use `; , :`).
+
+/// The delimiter set used to split topic sentences into tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delimiters {
+    chars: Vec<char>,
+}
+
+impl Default for Delimiters {
+    /// The paper's Section 4 annotation: `; , :`.
+    fn default() -> Self {
+        Delimiters {
+            chars: vec![';', ',', ':'],
+        }
+    }
+}
+
+impl Delimiters {
+    /// Creates a delimiter set from the given characters.
+    pub fn new(chars: impl IntoIterator<Item = char>) -> Self {
+        Delimiters {
+            chars: chars.into_iter().collect(),
+        }
+    }
+
+    /// Whether `c` is a delimiter.
+    pub fn contains(&self, c: char) -> bool {
+        self.chars.contains(&c)
+    }
+
+    /// The delimiter characters.
+    pub fn chars(&self) -> &[char] {
+        &self.chars
+    }
+}
+
+/// Splits `text` into trimmed, non-empty tokens on the delimiter set.
+///
+/// A delimiter inside a number (e.g. the comma in `10,000` or the colon in
+/// `10:30`) does *not* split: the paper's delimiters separate information
+/// components, and digit-adjacent punctuation is part of a value.
+///
+/// ```
+/// use webre_text::tokenize::{split_tokens, Delimiters};
+/// let toks = split_tokens(
+///     "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0",
+///     &Delimiters::default(),
+/// );
+/// assert_eq!(toks, [
+///     "University of California at Davis",
+///     "B.S.(Computer Science)",
+///     "June 1996",
+///     "GPA 3.8/4.0",
+/// ]);
+/// ```
+pub fn split_tokens(text: &str, delims: &Delimiters) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if delims.contains(c) {
+            let prev_digit = i > 0 && chars[i - 1].is_ascii_digit();
+            let next_digit = chars.get(i + 1).is_some_and(|n| n.is_ascii_digit());
+            if prev_digit && next_digit {
+                current.push(c);
+                continue;
+            }
+            let trimmed = current.trim();
+            if !trimmed.is_empty() {
+                tokens.push(trimmed.to_owned());
+            }
+            current.clear();
+        } else {
+            current.push(c);
+        }
+    }
+    let trimmed = current.trim();
+    if !trimmed.is_empty() {
+        tokens.push(trimmed.to_owned());
+    }
+    tokens
+}
+
+/// Extracts lowercase word features from a token for classification:
+/// maximal alphanumeric runs, lowercased. Pure numbers are mapped to the
+/// feature `#num` so the classifier can learn "contains a number" without
+/// memorizing every literal value.
+///
+/// ```
+/// use webre_text::tokenize::words;
+/// assert_eq!(words("GPA 3.8/4.0"), ["gpa", "#num", "#num", "#num", "#num"]);
+/// assert_eq!(words("B.S.(Computer Science)"), ["b", "s", "computer", "science"]);
+/// ```
+pub fn words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    for w in &mut out {
+        if w.chars().all(|c| c.is_ascii_digit()) {
+            *w = "#num".to_owned();
+        }
+    }
+    out
+}
+
+/// Case-insensitive word-boundary containment: whether `needle` occurs in
+/// `haystack` as a whole-word (sequence), used by synonym matching.
+///
+/// ```
+/// use webre_text::tokenize::contains_word;
+/// assert!(contains_word("University of California", "university"));
+/// assert!(!contains_word("Universality", "university"));
+/// ```
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let hay = haystack.to_lowercase();
+    let pat = needle.to_lowercase();
+    let mut start = 0;
+    while let Some(found) = hay[start..].find(&pat) {
+        let begin = start + found;
+        let end = begin + pat.len();
+        let before_ok = begin == 0
+            || !hay[..begin]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric());
+        let after_ok = end == hay.len()
+            || !hay[end..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        if before_ok && after_ok {
+            return true;
+        }
+        start = begin + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topic_sentence() {
+        let toks = split_tokens(
+            "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0",
+            &Delimiters::default(),
+        );
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], "University of California at Davis");
+        assert_eq!(toks[3], "GPA 3.8/4.0");
+    }
+
+    #[test]
+    fn semicolons_and_colons_split() {
+        let toks = split_tokens("Skills: C++; Java; Perl", &Delimiters::default());
+        assert_eq!(toks, ["Skills", "C++", "Java", "Perl"]);
+    }
+
+    #[test]
+    fn numeric_punctuation_does_not_split() {
+        let toks = split_tokens("Managed 10,000 users, saved $1,500", &Delimiters::default());
+        assert_eq!(toks, ["Managed 10,000 users", "saved $1,500"]);
+        let toks = split_tokens("Meeting at 10:30, room 5", &Delimiters::default());
+        assert_eq!(toks, ["Meeting at 10:30", "room 5"]);
+    }
+
+    #[test]
+    fn empty_and_delimiter_only_inputs() {
+        assert!(split_tokens("", &Delimiters::default()).is_empty());
+        assert!(split_tokens(" ;,; ", &Delimiters::default()).is_empty());
+    }
+
+    #[test]
+    fn custom_delimiters() {
+        let d = Delimiters::new(['|']);
+        assert_eq!(split_tokens("a, b | c", &d), ["a, b", "c"]);
+    }
+
+    #[test]
+    fn whole_text_is_one_token_without_delimiters() {
+        let toks = split_tokens("just one component", &Delimiters::default());
+        assert_eq!(toks, ["just one component"]);
+    }
+
+    #[test]
+    fn words_lowercase_and_split_on_punct() {
+        assert_eq!(words("Hello, World!"), ["hello", "world"]);
+        assert_eq!(words("C++"), ["c"]);
+        assert_eq!(words(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn words_map_numbers_to_num_token() {
+        assert_eq!(words("June 1996"), ["june", "#num"]);
+        assert_eq!(words("v2"), ["v2"], "mixed alphanumerics stay literal");
+    }
+
+    #[test]
+    fn contains_word_boundaries() {
+        assert!(contains_word("B.S. in CS", "b.s."));
+        assert!(contains_word("University of California", "University"));
+        assert!(contains_word("the college", "college"));
+        assert!(!contains_word("collegestudent", "college"));
+        assert!(!contains_word("", "x"));
+        assert!(!contains_word("x", ""));
+    }
+
+    #[test]
+    fn contains_word_multiword_needle() {
+        assert!(contains_word(
+            "received B.S. degree from MIT",
+            "b.s. degree"
+        ));
+        assert!(!contains_word("BSc degree", "b.s. degree"));
+    }
+}

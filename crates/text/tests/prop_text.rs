@@ -1,0 +1,103 @@
+//! Property tests for tokenization and the Bayes classifier.
+
+use proptest::prelude::*;
+use webre_text::tokenize::{contains_word, split_tokens, words, Delimiters};
+use webre_text::{BayesTrainer, ConfusionMatrix};
+
+proptest! {
+    #[test]
+    fn tokens_partition_non_delimiter_content(s in "[a-zA-Z ;,:.]{0,64}") {
+        let delims = Delimiters::default();
+        let tokens = split_tokens(&s, &delims);
+        // Concatenated tokens contain exactly the non-delimiter,
+        // non-whitespace characters of the input, in order.
+        let expected: String = s
+            .chars()
+            .filter(|c| !delims.contains(*c) && !c.is_whitespace())
+            .collect();
+        let actual: String = tokens
+            .concat()
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn tokens_are_trimmed_and_non_empty(s in ".{0,64}") {
+        for t in split_tokens(&s, &Delimiters::default()) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.trim(), &t);
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric(s in ".{0,64}") {
+        for w in words(&s) {
+            prop_assert!(!w.is_empty());
+            // Case-folded (chars without a lowercase mapping stay as-is)
+            // and alphanumeric-only.
+            prop_assert!(
+                w == "#num"
+                    || (w.chars().all(char::is_alphanumeric) && w.to_lowercase() == w),
+                "bad word {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn contains_word_implies_substring(hay in "[a-z ]{0,32}", needle in "[a-z]{1,8}") {
+        if contains_word(&hay, &needle) {
+            prop_assert!(hay.contains(&needle));
+        }
+    }
+
+    #[test]
+    fn classifier_recovers_training_labels(
+        labels in proptest::collection::vec("[a-c]", 2..5),
+    ) {
+        // Train with strongly class-specific vocabulary; training examples
+        // must classify back to their own label.
+        let mut trainer = BayesTrainer::new();
+        for (i, l) in labels.iter().enumerate() {
+            trainer.add(l, &format!("word{l}{i} word{l} marker{l}"));
+        }
+        let c = trainer.build().unwrap();
+        for l in &labels {
+            prop_assert_eq!(c.classify(&format!("marker{l} word{l}")), Some(l.as_str()));
+        }
+    }
+
+    #[test]
+    fn scores_are_finite_and_total(s in ".{0,48}") {
+        let mut trainer = BayesTrainer::new();
+        trainer.add("a", "alpha beta");
+        trainer.add("b", "gamma delta");
+        let c = trainer.build().unwrap();
+        let scores = c.scores(&s);
+        prop_assert_eq!(scores.len(), 2);
+        for (_, p) in scores {
+            prop_assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_totals_add_up(
+        obs in proptest::collection::vec(("[a-c]", "[a-c]"), 0..32),
+    ) {
+        let mut m = ConfusionMatrix::new();
+        for (a, p) in &obs {
+            m.record(a, p);
+        }
+        prop_assert_eq!(m.total(), obs.len() as u64);
+        if let Some(acc) = m.accuracy() {
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+        for class in m.classes() {
+            if let (Some(p), Some(r)) = (m.precision(class), m.recall(class)) {
+                prop_assert!((0.0..=1.0).contains(&p));
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

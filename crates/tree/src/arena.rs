@@ -1,0 +1,472 @@
+//! The arena itself: node storage, links, and structural mutation.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// Handle to a node inside a [`Tree`].
+///
+/// `NodeId`s are small copyable indices; they stay valid for the lifetime of
+/// the tree (nodes are never deallocated, only detached) but must not be used
+/// with a different tree than the one that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(NonZeroU32);
+
+impl NodeId {
+    fn new(index: usize) -> Self {
+        let raw = u32::try_from(index + 1).expect("tree arena exceeds u32 capacity");
+        // Safety by construction: index + 1 >= 1.
+        NodeId(NonZeroU32::new(raw).unwrap())
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.index())
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct NodeData<T> {
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) value: T,
+}
+
+impl<T> NodeData<T> {
+    fn new(value: T) -> Self {
+        NodeData {
+            parent: None,
+            prev_sibling: None,
+            next_sibling: None,
+            first_child: None,
+            last_child: None,
+            value,
+        }
+    }
+}
+
+/// An ordered tree of `T` values stored in an arena.
+///
+/// Every tree always has a root node (created by [`Tree::new`]); the root can
+/// never be detached. All structural operations are O(1) except the ones that
+/// are inherently proportional to the amount of structure they move or visit.
+#[derive(Clone, Debug)]
+pub struct Tree<T> {
+    pub(crate) nodes: Vec<NodeData<T>>,
+    pub(crate) root: NodeId,
+}
+
+impl<T> Tree<T> {
+    /// Creates a tree containing only a root node holding `value`.
+    pub fn new(value: T) -> Self {
+        Tree {
+            nodes: vec![NodeData::new(value)],
+            root: NodeId::new(0),
+        }
+    }
+
+    /// Creates a tree with capacity for `capacity` nodes pre-allocated.
+    pub fn with_capacity(value: T, capacity: usize) -> Self {
+        let mut nodes = Vec::with_capacity(capacity.max(1));
+        nodes.push(NodeData::new(value));
+        Tree {
+            nodes,
+            root: NodeId::new(0),
+        }
+    }
+
+    /// The root node. Never detachable.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of node records in the arena, including detached ones.
+    ///
+    /// Use [`Tree::subtree_size`] of [`Tree::root`] for the number of nodes
+    /// currently attached to the tree.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> &NodeData<T> {
+        &self.nodes[id.index()]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeData<T> {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Shared access to a node's value.
+    pub fn value(&self, id: NodeId) -> &T {
+        &self.node(id).value
+    }
+
+    /// Mutable access to a node's value.
+    pub fn value_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self.node_mut(id).value
+    }
+
+    /// Replaces a node's value, returning the previous one.
+    pub fn replace_value(&mut self, id: NodeId, value: T) -> T {
+        std::mem::replace(&mut self.node_mut(id).value, value)
+    }
+
+    /// The parent of `id`, or `None` for the root and detached nodes.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// First child, if any.
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).first_child
+    }
+
+    /// Last child, if any.
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).last_child
+    }
+
+    /// Previous sibling, if any.
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).prev_sibling
+    }
+
+    /// Next sibling, if any.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).next_sibling
+    }
+
+    /// Whether `id` has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).first_child.is_none()
+    }
+
+    /// Whether `id` is currently attached to the tree (the root always is).
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        id == self.root || self.node(id).parent.is_some()
+    }
+
+    /// Number of children of `id`.
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.children(id).count()
+    }
+
+    /// Allocates a new detached node holding `value`.
+    pub fn orphan(&mut self, value: T) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(NodeData::new(value));
+        id
+    }
+
+    /// Appends a new node holding `value` as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, value: T) -> NodeId {
+        let child = self.orphan(value);
+        self.append(parent, child);
+        child
+    }
+
+    /// Prepends a new node holding `value` as the first child of `parent`.
+    pub fn prepend_child(&mut self, parent: NodeId, value: T) -> NodeId {
+        let child = self.orphan(value);
+        self.prepend(parent, child);
+        child
+    }
+
+    /// Attaches the detached node `child` as the last child of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is still attached, equals `parent`, or is an
+    /// ancestor of `parent` (which would create a cycle).
+    pub fn append(&mut self, parent: NodeId, child: NodeId) {
+        self.assert_attachable(parent, child);
+        let prev = self.node(parent).last_child;
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(child).prev_sibling = prev;
+        match prev {
+            Some(prev) => self.node_mut(prev).next_sibling = Some(child),
+            None => self.node_mut(parent).first_child = Some(child),
+        }
+        self.node_mut(parent).last_child = Some(child);
+    }
+
+    /// Attaches the detached node `child` as the first child of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tree::append`].
+    pub fn prepend(&mut self, parent: NodeId, child: NodeId) {
+        self.assert_attachable(parent, child);
+        let next = self.node(parent).first_child;
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(child).next_sibling = next;
+        match next {
+            Some(next) => self.node_mut(next).prev_sibling = Some(child),
+            None => self.node_mut(parent).last_child = Some(child),
+        }
+        self.node_mut(parent).first_child = Some(child);
+    }
+
+    /// Attaches the detached node `node` immediately before `sibling`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sibling` is detached or the root, or if `node` is attached
+    /// or an ancestor of `sibling`.
+    pub fn insert_before(&mut self, sibling: NodeId, node: NodeId) {
+        let parent = self
+            .node(sibling)
+            .parent
+            .expect("insert_before target must be attached and not the root");
+        self.assert_attachable(parent, node);
+        let prev = self.node(sibling).prev_sibling;
+        self.node_mut(node).parent = Some(parent);
+        self.node_mut(node).prev_sibling = prev;
+        self.node_mut(node).next_sibling = Some(sibling);
+        self.node_mut(sibling).prev_sibling = Some(node);
+        match prev {
+            Some(prev) => self.node_mut(prev).next_sibling = Some(node),
+            None => self.node_mut(parent).first_child = Some(node),
+        }
+    }
+
+    /// Attaches the detached node `node` immediately after `sibling`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Tree::insert_before`].
+    pub fn insert_after(&mut self, sibling: NodeId, node: NodeId) {
+        let parent = self
+            .node(sibling)
+            .parent
+            .expect("insert_after target must be attached and not the root");
+        self.assert_attachable(parent, node);
+        let next = self.node(sibling).next_sibling;
+        self.node_mut(node).parent = Some(parent);
+        self.node_mut(node).prev_sibling = Some(sibling);
+        self.node_mut(node).next_sibling = next;
+        self.node_mut(sibling).next_sibling = Some(node);
+        match next {
+            Some(next) => self.node_mut(next).prev_sibling = Some(node),
+            None => self.node_mut(parent).last_child = Some(node),
+        }
+    }
+
+    /// Detaches `id` (with its whole subtree) from its parent.
+    ///
+    /// The subtree stays intact and can be re-attached later. Detaching an
+    /// already-detached node is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the root.
+    pub fn detach(&mut self, id: NodeId) {
+        assert!(id != self.root, "the root node cannot be detached");
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        let Some(parent) = parent else { return };
+        match prev {
+            Some(prev) => self.node_mut(prev).next_sibling = next,
+            None => self.node_mut(parent).first_child = next,
+        }
+        match next {
+            Some(next) => self.node_mut(next).prev_sibling = prev,
+            None => self.node_mut(parent).last_child = prev,
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+    }
+
+    fn assert_attachable(&self, parent: NodeId, child: NodeId) {
+        assert!(
+            self.node(child).parent.is_none() && child != self.root,
+            "node to attach must be detached"
+        );
+        assert!(parent != child, "a node cannot be its own parent");
+        debug_assert!(
+            !self.is_ancestor_of(child, parent),
+            "attaching a node under its own descendant would create a cycle"
+        );
+    }
+
+    /// Whether `ancestor` lies on the parent chain of `node` (strictly).
+    pub fn is_ancestor_of(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = self.node(node).parent;
+        while let Some(id) = cur {
+            if id == ancestor {
+                return true;
+            }
+            cur = self.node(id).parent;
+        }
+        false
+    }
+
+    /// Depth of `id`: the root has depth 0.
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// 0-based position of `id` among its siblings.
+    pub fn sibling_index(&self, id: NodeId) -> usize {
+        let mut idx = 0;
+        let mut cur = self.node(id).prev_sibling;
+        while let Some(prev) = cur {
+            idx += 1;
+            cur = self.node(prev).prev_sibling;
+        }
+        idx
+    }
+
+    /// Number of nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants(id).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Tree<&'static str>, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = Tree::new("root");
+        let a = t.append_child(t.root(), "a");
+        let b = t.append_child(t.root(), "b");
+        let c = t.append_child(a, "c");
+        let root = t.root();
+        (t, root, a, b, c)
+    }
+
+    #[test]
+    fn new_tree_has_only_root() {
+        let t = Tree::new(1);
+        assert_eq!(t.arena_len(), 1);
+        assert_eq!(*t.value(t.root()), 1);
+        assert!(t.is_leaf(t.root()));
+        assert!(t.is_attached(t.root()));
+        assert_eq!(t.parent(t.root()), None);
+    }
+
+    #[test]
+    fn append_and_links() {
+        let (t, root, a, b, c) = sample();
+        assert_eq!(t.first_child(root), Some(a));
+        assert_eq!(t.last_child(root), Some(b));
+        assert_eq!(t.next_sibling(a), Some(b));
+        assert_eq!(t.prev_sibling(b), Some(a));
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.depth(c), 2);
+        assert_eq!(t.sibling_index(b), 1);
+    }
+
+    #[test]
+    fn prepend_child_goes_first() {
+        let (mut t, root, a, ..) = sample();
+        let z = t.prepend_child(root, "z");
+        assert_eq!(t.first_child(root), Some(z));
+        assert_eq!(t.next_sibling(z), Some(a));
+        assert_eq!(t.prev_sibling(a), Some(z));
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let (mut t, root, a, b, _) = sample();
+        let x = t.orphan("x");
+        t.insert_before(b, x);
+        let y = t.orphan("y");
+        t.insert_after(a, y);
+        let order: Vec<_> = t.children(root).map(|n| *t.value(n)).collect();
+        assert_eq!(order, ["a", "y", "x", "b"]);
+    }
+
+    #[test]
+    fn detach_middle_child_relinks_siblings() {
+        let (mut t, root, a, b, _) = sample();
+        let x = t.orphan("x");
+        t.insert_after(a, x);
+        t.detach(x);
+        assert!(!t.is_attached(x));
+        let order: Vec<_> = t.children(root).map(|n| *t.value(n)).collect();
+        assert_eq!(order, ["a", "b"]);
+        assert_eq!(t.next_sibling(a), Some(b));
+        assert_eq!(t.prev_sibling(b), Some(a));
+    }
+
+    #[test]
+    fn detach_first_and_last_update_parent_links() {
+        let (mut t, root, a, b, _) = sample();
+        t.detach(a);
+        assert_eq!(t.first_child(root), Some(b));
+        t.detach(b);
+        assert_eq!(t.first_child(root), None);
+        assert_eq!(t.last_child(root), None);
+        assert!(t.is_leaf(root));
+    }
+
+    #[test]
+    fn detach_is_idempotent() {
+        let (mut t, _, a, ..) = sample();
+        t.detach(a);
+        t.detach(a);
+        assert!(!t.is_attached(a));
+    }
+
+    #[test]
+    fn reattach_detached_subtree() {
+        let (mut t, _, a, b, c) = sample();
+        t.detach(a);
+        t.append(b, a);
+        assert_eq!(t.parent(a), Some(b));
+        assert_eq!(t.parent(c), Some(a), "subtree stays intact across moves");
+        assert_eq!(t.depth(c), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "root node cannot be detached")]
+    fn detach_root_panics() {
+        let (mut t, root, ..) = sample();
+        t.detach(root);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be detached")]
+    fn append_attached_panics() {
+        let (mut t, _, a, b, _) = sample();
+        t.append(b, a);
+    }
+
+    #[test]
+    fn is_ancestor_of() {
+        let (t, root, a, b, c) = sample();
+        assert!(t.is_ancestor_of(root, c));
+        assert!(t.is_ancestor_of(a, c));
+        assert!(!t.is_ancestor_of(b, c));
+        assert!(!t.is_ancestor_of(c, c), "ancestry is strict");
+    }
+
+    #[test]
+    fn replace_value_returns_old() {
+        let (mut t, _, a, ..) = sample();
+        let old = t.replace_value(a, "new");
+        assert_eq!(old, "a");
+        assert_eq!(*t.value(a), "new");
+    }
+
+    #[test]
+    fn subtree_size_counts_self() {
+        let (t, root, a, b, _) = sample();
+        assert_eq!(t.subtree_size(root), 4);
+        assert_eq!(t.subtree_size(a), 2);
+        assert_eq!(t.subtree_size(b), 1);
+    }
+}

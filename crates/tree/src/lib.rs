@@ -1,0 +1,40 @@
+//! Generic ordered arena tree shared by every crate in the `webre` workspace.
+//!
+//! HTML documents, XML documents, majority-schema tries and ground-truth
+//! trees are all ordered trees; this crate provides the single tree
+//! implementation they build on.
+//!
+//! # Design
+//!
+//! Nodes live in a [`Tree`] arena (a `Vec` of node records) and are addressed
+//! by copyable [`NodeId`] handles, the standard idiom for trees in Rust that
+//! avoids `Rc<RefCell<..>>` cycles. Detaching a node removes it from its
+//! parent's child list but keeps the record in the arena; detached subtrees
+//! can be re-attached anywhere in the same tree. First/last-child plus
+//! prev/next-sibling links give O(1) structural edits and allocation-free
+//! sibling iteration — the restructuring rules of the paper (grouping,
+//! consolidation) are sequences of exactly such edits.
+//!
+//! # Example
+//!
+//! ```
+//! use webre_tree::Tree;
+//!
+//! let mut tree = Tree::new("resume");
+//! let root = tree.root();
+//! let edu = tree.append_child(root, "education");
+//! tree.append_child(edu, "degree");
+//! tree.append_child(edu, "institution");
+//!
+//! let labels: Vec<_> = tree.descendants(root).map(|n| *tree.value(n)).collect();
+//! assert_eq!(labels, ["resume", "education", "degree", "institution"]);
+//! ```
+
+mod arena;
+mod iter;
+mod ops;
+mod render;
+
+pub use arena::{NodeId, Tree};
+pub use iter::{Ancestors, Children, Descendants, Edge, PostOrder, Siblings, Traverse};
+pub use render::render_with;

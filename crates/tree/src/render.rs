@@ -1,0 +1,56 @@
+//! Debug rendering of trees as indented ASCII, used in error messages,
+//! examples and the experiment harnesses.
+
+use crate::{Edge, NodeId, Tree};
+use std::fmt::Write;
+
+/// Renders the subtree at `root` with two-space indentation, formatting each
+/// node through `fmt`.
+///
+/// ```
+/// use webre_tree::{render_with, Tree};
+/// let mut t = Tree::new("a");
+/// t.append_child(t.root(), "b");
+/// assert_eq!(render_with(&t, t.root(), |v| v.to_string()), "a\n  b\n");
+/// ```
+pub fn render_with<T>(tree: &Tree<T>, root: NodeId, mut fmt: impl FnMut(&T) -> String) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    for edge in tree.traverse(root) {
+        match edge {
+            Edge::Open(id) => {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                let _ = writeln!(out, "{}", fmt(tree.value(id)));
+                depth += 1;
+            }
+            Edge::Close(_) => depth -= 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let mut t = Tree::new("root");
+        let a = t.append_child(t.root(), "a");
+        t.append_child(a, "b");
+        t.append_child(t.root(), "c");
+        let s = render_with(&t, t.root(), |v| v.to_string());
+        assert_eq!(s, "root\n  a\n    b\n  c\n");
+    }
+
+    #[test]
+    fn renders_subtree_only() {
+        let mut t = Tree::new("root");
+        let a = t.append_child(t.root(), "a");
+        t.append_child(a, "b");
+        let s = render_with(&t, a, |v| v.to_string());
+        assert_eq!(s, "a\n  b\n");
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the arena tree: random edit sequences must keep
+//! the doubly-linked structure consistent and the traversals coherent.
+
+use proptest::prelude::*;
+use webre_tree::{Edge, NodeId, Tree};
+
+/// A randomly generated structural edit, applied against the list of ids
+/// allocated so far (indices are taken modulo the list length).
+#[derive(Clone, Debug)]
+enum Op {
+    AppendChild(usize),
+    PrependChild(usize),
+    InsertAfter(usize),
+    Detach(usize),
+    ReplaceWithChildren(usize),
+    Reattach(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64).prop_map(Op::AppendChild),
+        (0usize..64).prop_map(Op::PrependChild),
+        (0usize..64).prop_map(Op::InsertAfter),
+        (0usize..64).prop_map(Op::Detach),
+        (0usize..64).prop_map(Op::ReplaceWithChildren),
+        ((0usize..64), (0usize..64)).prop_map(|(a, b)| Op::Reattach(a, b)),
+    ]
+}
+
+fn apply(tree: &mut Tree<u32>, ids: &mut Vec<NodeId>, op: &Op, counter: &mut u32) {
+    let pick = |i: usize, ids: &[NodeId]| ids[i % ids.len()];
+    match *op {
+        Op::AppendChild(i) => {
+            let target = pick(i, ids);
+            if tree.is_attached(target) {
+                *counter += 1;
+                ids.push(tree.append_child(target, *counter));
+            }
+        }
+        Op::PrependChild(i) => {
+            let target = pick(i, ids);
+            if tree.is_attached(target) {
+                *counter += 1;
+                ids.push(tree.prepend_child(target, *counter));
+            }
+        }
+        Op::InsertAfter(i) => {
+            let target = pick(i, ids);
+            if tree.is_attached(target) && target != tree.root() {
+                *counter += 1;
+                let n = tree.orphan(*counter);
+                tree.insert_after(target, n);
+                ids.push(n);
+            }
+        }
+        Op::Detach(i) => {
+            let target = pick(i, ids);
+            if target != tree.root() {
+                tree.detach(target);
+            }
+        }
+        Op::ReplaceWithChildren(i) => {
+            let target = pick(i, ids);
+            if target != tree.root() && tree.is_attached(target) {
+                tree.replace_with_children(target);
+            }
+        }
+        Op::Reattach(i, j) => {
+            let node = pick(i, ids);
+            let parent = pick(j, ids);
+            if node != tree.root()
+                && !tree.is_attached(node)
+                && tree.is_attached(parent)
+                && !tree.is_ancestor_of(node, parent)
+                && node != parent
+            {
+                tree.append(parent, node);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_edits_preserve_integrity(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = Tree::new(0u32);
+        let mut ids = vec![tree.root()];
+        let mut counter = 0u32;
+        for op in &ops {
+            apply(&mut tree, &mut ids, op, &mut counter);
+            prop_assert!(tree.check_integrity().is_ok(), "integrity violated after {op:?}");
+        }
+    }
+
+    #[test]
+    fn traversal_counts_agree(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = Tree::new(0u32);
+        let mut ids = vec![tree.root()];
+        let mut counter = 0u32;
+        for op in &ops {
+            apply(&mut tree, &mut ids, op, &mut counter);
+        }
+        let pre = tree.descendants(tree.root()).count();
+        let post = tree.post_order(tree.root()).count();
+        let opens = tree
+            .traverse(tree.root())
+            .filter(|e| matches!(e, Edge::Open(_)))
+            .count();
+        prop_assert_eq!(pre, post);
+        prop_assert_eq!(pre, opens);
+        prop_assert_eq!(pre, tree.subtree_size(tree.root()));
+    }
+
+    #[test]
+    fn every_attached_node_reaches_root(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = Tree::new(0u32);
+        let mut ids = vec![tree.root()];
+        let mut counter = 0u32;
+        for op in &ops {
+            apply(&mut tree, &mut ids, op, &mut counter);
+        }
+        for id in tree.descendants(tree.root()).collect::<Vec<_>>() {
+            if id != tree.root() {
+                prop_assert!(tree.ancestors(id).last() == Some(tree.root()));
+                prop_assert_eq!(tree.depth(id), tree.ancestors(id).count());
+            }
+        }
+    }
+
+    #[test]
+    fn extract_subtree_round_trips(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut tree = Tree::new(0u32);
+        let mut ids = vec![tree.root()];
+        let mut counter = 0u32;
+        for op in &ops {
+            apply(&mut tree, &mut ids, op, &mut counter);
+        }
+        let copy = tree.extract_subtree(tree.root());
+        prop_assert!(tree.subtree_eq(tree.root(), &copy, copy.root()));
+        prop_assert_eq!(tree.subtree_size(tree.root()), copy.subtree_size(copy.root()));
+    }
+
+    #[test]
+    fn sibling_index_matches_position(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut tree = Tree::new(0u32);
+        let mut ids = vec![tree.root()];
+        let mut counter = 0u32;
+        for op in &ops {
+            apply(&mut tree, &mut ids, op, &mut counter);
+        }
+        for parent in tree.descendants(tree.root()).collect::<Vec<_>>() {
+            for (i, child) in tree.children(parent).enumerate() {
+                prop_assert_eq!(tree.sibling_index(child), i);
+            }
+        }
+    }
+}

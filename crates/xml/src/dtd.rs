@@ -1,0 +1,578 @@
+//! DTD model: content-model expressions, element declarations, emission and
+//! parsing.
+//!
+//! Section 3.3 of the paper derives, for each node of the frequent-path
+//! tree, a content model `α ::= e | α1|α2 | α1,α2 | α1? | α* | α+` (plus
+//! `#PCDATA`, which the paper's derived DTDs use freely inside sequences,
+//! e.g. `<!ELEMENT resume ((#PCDATA), contact+, objective, ...)>`). We
+//! follow the paper and allow `#PCDATA` as an ordinary — always optional —
+//! leaf of a content expression; [`crate::validate`] treats it as matching
+//! zero or more text nodes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A content-model expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContentExpr {
+    /// `EMPTY` — no content allowed.
+    Empty,
+    /// `#PCDATA` — optional text.
+    PcData,
+    /// An element name.
+    Name(String),
+    /// `(a, b, c)` — ordered sequence.
+    Seq(Vec<ContentExpr>),
+    /// `(a | b | c)` — choice.
+    Choice(Vec<ContentExpr>),
+    /// `α?`
+    Opt(Box<ContentExpr>),
+    /// `α*`
+    Star(Box<ContentExpr>),
+    /// `α+`
+    Plus(Box<ContentExpr>),
+}
+
+impl ContentExpr {
+    /// Convenience: a sequence, flattening nested sequences and dropping
+    /// `Empty` members.
+    pub fn seq(items: impl IntoIterator<Item = ContentExpr>) -> ContentExpr {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                ContentExpr::Seq(inner) => out.extend(inner),
+                ContentExpr::Empty => {}
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => ContentExpr::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => ContentExpr::Seq(out),
+        }
+    }
+
+    /// All element names mentioned by the expression, in order of first
+    /// appearance.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            ContentExpr::Name(n) => {
+                if !out.contains(&n.as_str()) {
+                    out.push(n);
+                }
+            }
+            ContentExpr::Seq(items) | ContentExpr::Choice(items) => {
+                for i in items {
+                    i.collect_names(out);
+                }
+            }
+            ContentExpr::Opt(i) | ContentExpr::Star(i) | ContentExpr::Plus(i) => {
+                i.collect_names(out)
+            }
+            ContentExpr::Empty | ContentExpr::PcData => {}
+        }
+    }
+}
+
+impl fmt::Display for ContentExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContentExpr::Empty => write!(f, "EMPTY"),
+            ContentExpr::PcData => write!(f, "(#PCDATA)"),
+            ContentExpr::Name(n) => write!(f, "{n}"),
+            ContentExpr::Seq(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            ContentExpr::Choice(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            ContentExpr::Opt(i) => write!(f, "{}?", Group(i)),
+            ContentExpr::Star(i) => write!(f, "{}*", Group(i)),
+            ContentExpr::Plus(i) => write!(f, "{}+", Group(i)),
+        }
+    }
+}
+
+/// Display helper for sub-expressions under a postfix operator: bare names
+/// may take the operator directly (`a+`), sequences/choices already print
+/// their own parentheses, but `#PCDATA` and nested unary operators must be
+/// wrapped to stay parseable (`(a?)?`, `(#PCDATA)*`).
+struct Group<'a>(&'a ContentExpr);
+
+impl fmt::Display for Group<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            // Wrap anything that does not already print its own grouping
+            // and would otherwise stack postfix operators ("a??").
+            ContentExpr::PcData => write!(f, "(#PCDATA)"),
+            inner @ (ContentExpr::Opt(_) | ContentExpr::Star(_) | ContentExpr::Plus(_)) => {
+                write!(f, "({inner})")
+            }
+            other => write!(f, "{other}"),
+        }
+    }
+}
+
+/// One `<!ELEMENT name content>` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElementDecl {
+    pub name: String,
+    pub content: ContentExpr,
+}
+
+impl fmt::Display for ElementDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // DTD syntax requires the content model to be parenthesized (or a
+        // keyword): wrap forms that do not already print outer parens.
+        match &self.content {
+            c @ (ContentExpr::Name(_)
+            | ContentExpr::Opt(_)
+            | ContentExpr::Star(_)
+            | ContentExpr::Plus(_)) => write!(f, "<!ELEMENT {} ({c})>", self.name),
+            c => write!(f, "<!ELEMENT {} {c}>", self.name),
+        }
+    }
+}
+
+/// A document type definition: the root element name plus declarations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dtd {
+    pub root: String,
+    /// Declarations keyed by element name (deterministic order).
+    pub elements: BTreeMap<String, ElementDecl>,
+    /// Emit `<!ATTLIST e val CDATA #IMPLIED>` for every element — the
+    /// paper's convention that each element carries a `val` attribute of
+    /// type CDATA holding the recovered text (Section 2.3).
+    pub val_attlists: bool,
+}
+
+impl Dtd {
+    /// Creates an empty DTD with the given root element.
+    pub fn new(root: impl Into<String>) -> Self {
+        Dtd {
+            root: root.into(),
+            elements: BTreeMap::new(),
+            val_attlists: false,
+        }
+    }
+
+    /// Enables `val` ATTLIST emission (builder style).
+    pub fn with_val_attlists(mut self) -> Self {
+        self.val_attlists = true;
+        self
+    }
+
+    /// Adds (or replaces) an element declaration.
+    pub fn declare(&mut self, name: impl Into<String>, content: ContentExpr) {
+        let name = name.into();
+        self.elements.insert(
+            name.clone(),
+            ElementDecl {
+                name,
+                content,
+            },
+        );
+    }
+
+    /// Looks up the content model for an element name.
+    pub fn content_of(&self, name: &str) -> Option<&ContentExpr> {
+        self.elements.get(name).map(|d| &d.content)
+    }
+
+    /// Number of declared elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the DTD declares no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Emits DTD text, root declaration first, the rest in the order the
+    /// root's content mentions them (breadth-first), then alphabetically.
+    pub fn to_dtd_string(&self) -> String {
+        let mut out = String::new();
+        let mut emitted: Vec<&str> = Vec::new();
+        let mut queue: Vec<&str> = vec![&self.root];
+        while let Some(name) = queue.pop() {
+            if emitted.contains(&name) {
+                continue;
+            }
+            if let Some(decl) = self.elements.get(name) {
+                out.push_str(&decl.to_string());
+                out.push('\n');
+                if self.val_attlists {
+                    out.push_str(&format!("<!ATTLIST {name} val CDATA #IMPLIED>\n"));
+                }
+                emitted.push(name);
+                let mut next: Vec<&str> = decl.content.names();
+                next.reverse();
+                for n in next {
+                    if !emitted.contains(&n) {
+                        queue.push(n);
+                    }
+                }
+            }
+        }
+        for (name, decl) in &self.elements {
+            if !emitted.contains(&name.as_str()) {
+                out.push_str(&decl.to_string());
+                out.push('\n');
+                if self.val_attlists {
+                    out.push_str(&format!("<!ATTLIST {name} val CDATA #IMPLIED>\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dtd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dtd_string())
+    }
+}
+
+/// Parses DTD text consisting of `<!ELEMENT ...>` declarations. The first
+/// declaration names the root.
+pub fn parse_dtd(input: &str) -> Result<Dtd, String> {
+    let mut dtd = Dtd::new("");
+    let mut rest = input.trim();
+    // ATTLIST declarations are recognized (setting the flag) but carry no
+    // further structure we track.
+    if rest.contains("<!ATTLIST") {
+        dtd.val_attlists = true;
+    }
+    while !rest.is_empty() {
+        let Some(start) = rest.find("<!ELEMENT") else {
+            break;
+        };
+        let after = &rest[start + "<!ELEMENT".len()..];
+        let end = after.find('>').ok_or("unterminated <!ELEMENT")?;
+        let body = after[..end].trim();
+        let name_end = body
+            .find(|c: char| c.is_whitespace())
+            .ok_or("missing content model")?;
+        let name = &body[..name_end];
+        let content_src = body[name_end..].trim();
+        let content = parse_content_expr(content_src)?;
+        if dtd.root.is_empty() {
+            dtd.root = name.to_owned();
+        }
+        dtd.declare(name, content);
+        rest = after[end + 1..].trim();
+    }
+    if dtd.root.is_empty() {
+        return Err("no <!ELEMENT declarations found".into());
+    }
+    Ok(dtd)
+}
+
+/// Parses a content-model expression like `((#PCDATA), a+, (b | c)*)`.
+pub fn parse_content_expr(src: &str) -> Result<ContentExpr, String> {
+    let tokens = lex_content(src)?;
+    let mut pos = 0;
+    let expr = parse_expr(&tokens, &mut pos)?;
+    if pos != tokens.len() {
+        return Err(format!("unexpected trailing tokens in content model {src:?}"));
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, PartialEq, Eq, Clone)]
+enum Tok {
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Quest,
+    Star,
+    Plus,
+    PcData,
+    Empty,
+    Name(String),
+}
+
+fn lex_content(src: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '(' => out.push(Tok::LParen),
+            ')' => out.push(Tok::RParen),
+            ',' => out.push(Tok::Comma),
+            '|' => out.push(Tok::Pipe),
+            '?' => out.push(Tok::Quest),
+            '*' => out.push(Tok::Star),
+            '+' => out.push(Tok::Plus),
+            c if c.is_whitespace() => {}
+            '#' => {
+                let rest = &src[i..];
+                if rest.starts_with("#PCDATA") {
+                    out.push(Tok::PcData);
+                    for _ in 0.."PCDATA".len() {
+                        chars.next();
+                    }
+                } else {
+                    return Err(format!("unexpected '#' in content model {src:?}"));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut end = i + c.len_utf8();
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_alphanumeric() || matches!(d, '_' | '-' | '.') {
+                        end = j + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..end];
+                if word == "EMPTY" {
+                    out.push(Tok::Empty);
+                } else {
+                    out.push(Tok::Name(word.to_owned()));
+                }
+            }
+            other => return Err(format!("unexpected {other:?} in content model {src:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// expr := term (("," term)* | ("|" term)*)
+fn parse_expr(tokens: &[Tok], pos: &mut usize) -> Result<ContentExpr, String> {
+    let first = parse_term(tokens, pos)?;
+    match tokens.get(*pos) {
+        Some(Tok::Comma) => {
+            let mut items = vec![first];
+            while tokens.get(*pos) == Some(&Tok::Comma) {
+                *pos += 1;
+                items.push(parse_term(tokens, pos)?);
+            }
+            Ok(ContentExpr::Seq(items))
+        }
+        Some(Tok::Pipe) => {
+            let mut items = vec![first];
+            while tokens.get(*pos) == Some(&Tok::Pipe) {
+                *pos += 1;
+                items.push(parse_term(tokens, pos)?);
+            }
+            Ok(ContentExpr::Choice(items))
+        }
+        _ => Ok(first),
+    }
+}
+
+/// term := atom ("?" | "*" | "+")?
+fn parse_term(tokens: &[Tok], pos: &mut usize) -> Result<ContentExpr, String> {
+    let atom = parse_atom(tokens, pos)?;
+    let wrapped = match tokens.get(*pos) {
+        Some(Tok::Quest) => {
+            *pos += 1;
+            ContentExpr::Opt(Box::new(atom))
+        }
+        Some(Tok::Star) => {
+            *pos += 1;
+            ContentExpr::Star(Box::new(atom))
+        }
+        Some(Tok::Plus) => {
+            *pos += 1;
+            ContentExpr::Plus(Box::new(atom))
+        }
+        _ => atom,
+    };
+    Ok(wrapped)
+}
+
+/// atom := name | "#PCDATA" | "EMPTY" | "(" expr ")"
+fn parse_atom(tokens: &[Tok], pos: &mut usize) -> Result<ContentExpr, String> {
+    match tokens.get(*pos) {
+        Some(Tok::Name(n)) => {
+            *pos += 1;
+            Ok(ContentExpr::Name(n.clone()))
+        }
+        Some(Tok::PcData) => {
+            *pos += 1;
+            Ok(ContentExpr::PcData)
+        }
+        Some(Tok::Empty) => {
+            *pos += 1;
+            Ok(ContentExpr::Empty)
+        }
+        Some(Tok::LParen) => {
+            *pos += 1;
+            let inner = parse_expr(tokens, pos)?;
+            if tokens.get(*pos) != Some(&Tok::RParen) {
+                return Err("missing ')' in content model".into());
+            }
+            *pos += 1;
+            // A parenthesized single item stays as-is; sequences/choices
+            // already carry their own grouping.
+            Ok(inner)
+        }
+        other => Err(format!("unexpected token {other:?} in content model")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> ContentExpr {
+        ContentExpr::Name(n.into())
+    }
+
+    #[test]
+    fn display_simple_forms() {
+        assert_eq!(ContentExpr::PcData.to_string(), "(#PCDATA)");
+        assert_eq!(name("a").to_string(), "a");
+        assert_eq!(
+            ContentExpr::Plus(Box::new(name("a"))).to_string(),
+            "a+"
+        );
+        assert_eq!(
+            ContentExpr::Seq(vec![name("a"), ContentExpr::Opt(Box::new(name("b")))]).to_string(),
+            "(a, b?)"
+        );
+        assert_eq!(
+            ContentExpr::Choice(vec![name("a"), name("b")]).to_string(),
+            "(a | b)"
+        );
+    }
+
+    #[test]
+    fn element_decl_display_matches_paper_style() {
+        let decl = ElementDecl {
+            name: "resume".into(),
+            content: ContentExpr::Seq(vec![
+                ContentExpr::PcData,
+                ContentExpr::Plus(Box::new(name("contact"))),
+                name("objective"),
+            ]),
+        };
+        assert_eq!(
+            decl.to_string(),
+            "<!ELEMENT resume ((#PCDATA), contact+, objective)>"
+        );
+    }
+
+    #[test]
+    fn single_name_content_is_parenthesized() {
+        let decl = ElementDecl {
+            name: "a".into(),
+            content: name("b"),
+        };
+        assert_eq!(decl.to_string(), "<!ELEMENT a (b)>");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for src in [
+            "(#PCDATA)",
+            "(a, b, c)",
+            "(a | b)",
+            "(a+, b?, c*)",
+            "((#PCDATA), contact+, objective)",
+            "((a, b)+, c)",
+            "EMPTY",
+        ] {
+            let expr = parse_content_expr(src).unwrap();
+            let printed = expr.to_string();
+            let reparsed = parse_content_expr(&printed).unwrap();
+            assert_eq!(expr, reparsed, "round trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_content_expr("(a,,b)").is_err());
+        assert!(parse_content_expr("(a").is_err());
+        assert!(parse_content_expr("a)").is_err());
+        assert!(parse_content_expr("#NOTPCDATA").is_err());
+    }
+
+    #[test]
+    fn dtd_emission_root_first() {
+        let mut dtd = Dtd::new("resume");
+        dtd.declare("contact", ContentExpr::PcData);
+        dtd.declare(
+            "resume",
+            ContentExpr::Seq(vec![ContentExpr::Plus(Box::new(name("contact")))]),
+        );
+        let text = dtd.to_dtd_string();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("<!ELEMENT resume"), "{text}");
+        assert!(text.contains("<!ELEMENT contact (#PCDATA)>"));
+    }
+
+    #[test]
+    fn dtd_parse_round_trip() {
+        let src = "<!ELEMENT resume ((#PCDATA), contact+, education+)>\n\
+                   <!ELEMENT contact (#PCDATA)>\n\
+                   <!ELEMENT education ((#PCDATA), institute, date-entry)>\n\
+                   <!ELEMENT institute (#PCDATA)>\n\
+                   <!ELEMENT date-entry ((#PCDATA), degree)>\n\
+                   <!ELEMENT degree (#PCDATA)>\n";
+        let dtd = parse_dtd(src).unwrap();
+        assert_eq!(dtd.root, "resume");
+        assert_eq!(dtd.len(), 6);
+        let again = parse_dtd(&dtd.to_dtd_string()).unwrap();
+        assert_eq!(dtd, again);
+    }
+
+    #[test]
+    fn val_attlists_emitted_and_round_tripped() {
+        let mut dtd = Dtd::new("r").with_val_attlists();
+        dtd.declare("r", ContentExpr::Seq(vec![ContentExpr::Plus(Box::new(ContentExpr::Name("a".into())))]));
+        dtd.declare("a", ContentExpr::PcData);
+        let text = dtd.to_dtd_string();
+        assert!(text.contains("<!ATTLIST r val CDATA #IMPLIED>"), "{text}");
+        assert!(text.contains("<!ATTLIST a val CDATA #IMPLIED>"), "{text}");
+        let back = parse_dtd(&text).unwrap();
+        // Reparsing drops redundant single-item grouping, so compare the
+        // emitted text (the observable form) rather than the AST.
+        assert!(back.val_attlists);
+        assert_eq!(back.to_dtd_string(), text);
+    }
+
+    #[test]
+    fn seq_constructor_flattens() {
+        let e = ContentExpr::seq([
+            name("a"),
+            ContentExpr::Seq(vec![name("b"), name("c")]),
+            ContentExpr::Empty,
+        ]);
+        assert_eq!(e, ContentExpr::Seq(vec![name("a"), name("b"), name("c")]));
+        assert_eq!(ContentExpr::seq([]), ContentExpr::Empty);
+        assert_eq!(ContentExpr::seq([name("x")]), name("x"));
+    }
+
+    #[test]
+    fn names_in_first_appearance_order() {
+        let e = parse_content_expr("((#PCDATA), b, (a | b), c+)").unwrap();
+        assert_eq!(e.names(), vec!["b", "a", "c"]);
+    }
+}

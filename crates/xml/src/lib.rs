@@ -1,0 +1,36 @@
+//! XML substrate for the `webre` workspace.
+//!
+//! The document conversion process of the paper produces XML documents whose
+//! element names are topic concepts and whose text payload lives in a `val`
+//! attribute (`<INSTITUTION val="University of California at Davis"/>`).
+//! The schema discovery process then derives a DTD. This crate provides:
+//!
+//! * [`document`] — the XML document model (ordered tree of elements and
+//!   text), with the paper's `val`-attribute conventions;
+//! * [`name`] — XML name validation and sanitization of concept names into
+//!   valid element names;
+//! * [`writer`] — compact and pretty serialization;
+//! * [`parser`] — a small strict XML parser (used for round-trips and test
+//!   fixtures);
+//! * [`dtd`] — the DTD model: content-model expressions
+//!   (`e`, `α,β`, `α|β`, `α?`, `α*`, `α+`, `#PCDATA`), DTD text emission and
+//!   parsing;
+//! * [`validate`] — conformance checking of documents against a DTD via
+//!   Brzozowski derivatives of content models;
+//! * [`select`] — a tiny label-path query language
+//!   (`resume/education/degree`, `//degree`) mirroring how schema
+//!   discovery reasons about documents.
+
+pub mod document;
+pub mod dtd;
+pub mod name;
+pub mod parser;
+pub mod select;
+pub mod validate;
+pub mod writer;
+
+pub use document::{XmlDocument, XmlNode};
+pub use dtd::{ContentExpr, Dtd, ElementDecl};
+pub use parser::{parse_xml, XmlParseError};
+pub use validate::{validate, ConformanceError};
+pub use writer::{to_xml, to_xml_pretty};

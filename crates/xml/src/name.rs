@@ -1,0 +1,123 @@
+//! XML name validation and sanitization.
+//!
+//! Concept names supplied by users ("programming skills", "GPA") must become
+//! valid XML element names; [`sanitize`] performs the mapping the conversion
+//! process applies.
+
+/// Whether `c` may start an XML name (simplified to the ASCII subset plus
+/// letters beyond ASCII, which covers every concept name we handle).
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Whether `c` may continue an XML name.
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Whether `s` is a valid XML element/attribute name.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => return false,
+    }
+    if s.get(..3).is_some_and(|p| p.eq_ignore_ascii_case("xml")) {
+        return false;
+    }
+    chars.all(is_name_char)
+}
+
+/// Maps an arbitrary concept name to a valid XML element name:
+/// whitespace and invalid characters become `-`, runs are collapsed, and a
+/// leading invalid start character is prefixed with `_`.
+///
+/// ```
+/// use webre_xml::name::sanitize;
+/// assert_eq!(sanitize("programming skills"), "programming-skills");
+/// assert_eq!(sanitize("GPA"), "GPA");
+/// assert_eq!(sanitize("3d work"), "_3d-work");
+/// ```
+pub fn sanitize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 1);
+    let mut last_dash = false;
+    for c in raw.trim().chars() {
+        if is_name_char(c) && c != '.' {
+            out.push(c);
+            last_dash = false;
+        } else if !last_dash && !out.is_empty() {
+            out.push('-');
+            last_dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    if out.is_empty() {
+        return "_".into();
+    }
+    if !is_name_start(out.chars().next().expect("non-empty")) {
+        out.insert(0, '_');
+    }
+    if out.get(..3).is_some_and(|p| p.eq_ignore_ascii_case("xml")) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        assert!(is_valid_name("resume"));
+        assert!(is_valid_name("date-entry"));
+        assert!(is_valid_name("_private"));
+        assert!(is_valid_name("GPA"));
+        assert!(is_valid_name("a1.b2"));
+    }
+
+    #[test]
+    fn invalid_names() {
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1abc"));
+        assert!(!is_valid_name("-abc"));
+        assert!(!is_valid_name("a b"));
+        assert!(!is_valid_name("xmlthing"));
+        assert!(!is_valid_name("XMLTHING"));
+    }
+
+    #[test]
+    fn sanitize_produces_valid_names() {
+        for raw in [
+            "programming skills",
+            "  spaced  out  ",
+            "GPA",
+            "3d work",
+            "",
+            "###",
+            "a/b\\c",
+            "xml-like",
+            "date entry!",
+        ] {
+            let s = sanitize(raw);
+            assert!(is_valid_name(&s), "sanitize({raw:?}) = {s:?} not valid");
+        }
+    }
+
+    #[test]
+    fn sanitize_specific_mappings() {
+        assert_eq!(sanitize("programming skills"), "programming-skills");
+        assert_eq!(sanitize("date  entry"), "date-entry");
+        assert_eq!(sanitize("###"), "_");
+        assert_eq!(sanitize("xmlish"), "_xmlish");
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_on_valid_names() {
+        for n in ["resume", "date-entry", "GPA", "_x"] {
+            assert_eq!(sanitize(n), n);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Tiny label-path query language over XML documents.
+//!
+//! Schema discovery reasons entirely in label paths; this module lets
+//! users and tests query documents the same way:
+//!
+//! * `resume/education/degree` — exact label path from the root;
+//! * `*` matches any element at one level;
+//! * `//name` as a prefix selects descendants with a label anywhere.
+//!
+//! ```
+//! use webre_xml::{parse_xml, select::select};
+//!
+//! let doc = parse_xml("<r><e><d/></e><e><d/><d/></e></r>").unwrap();
+//! assert_eq!(select(&doc, "r/e/d").len(), 3);
+//! assert_eq!(select(&doc, "r/*/d").len(), 3);
+//! assert_eq!(select(&doc, "//d").len(), 3);
+//! ```
+
+use crate::document::{XmlDocument, XmlNode};
+use webre_tree::NodeId;
+
+/// Selects element nodes matching the query (see module docs).
+pub fn select(doc: &XmlDocument, query: &str) -> Vec<NodeId> {
+    if let Some(label) = query.strip_prefix("//") {
+        return doc
+            .tree
+            .descendants(doc.root())
+            .filter(|id| {
+                matches!(doc.tree.value(*id), XmlNode::Element { name, .. } if name == label)
+            })
+            .collect();
+    }
+    let parts: Vec<&str> = query.split('/').filter(|p| !p.is_empty()).collect();
+    if parts.is_empty() {
+        return Vec::new();
+    }
+    let mut current: Vec<NodeId> = Vec::new();
+    if matches_step(doc, doc.root(), parts[0]) {
+        current.push(doc.root());
+    }
+    for step in &parts[1..] {
+        let mut next = Vec::new();
+        for node in current {
+            for child in doc.tree.children(node) {
+                if matches_step(doc, child, step) {
+                    next.push(child);
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+fn matches_step(doc: &XmlDocument, id: NodeId, step: &str) -> bool {
+    match doc.tree.value(id) {
+        XmlNode::Element { name, .. } => step == "*" || name == step,
+        XmlNode::Text(_) => false,
+    }
+}
+
+/// Convenience: the `val` attributes of all matches, in document order.
+pub fn select_vals(doc: &XmlDocument, query: &str) -> Vec<String> {
+    select(doc, query)
+        .into_iter()
+        .filter_map(|id| doc.tree.value(id).val().map(str::to_owned))
+        .collect()
+}
+
+/// Convenience: the first match, if any.
+pub fn select_first(doc: &XmlDocument, query: &str) -> Option<NodeId> {
+    select(doc, query).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xml;
+
+    fn doc() -> XmlDocument {
+        parse_xml(
+            r#"<resume>
+                 <education val="Edu">
+                   <institution val="UCD"><degree val="BS"/></institution>
+                   <institution val="MIT"><degree val="MS"/></institution>
+                 </education>
+                 <experience><employer val="Verity"/></experience>
+               </resume>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_paths() {
+        let d = doc();
+        assert_eq!(select(&d, "resume").len(), 1);
+        assert_eq!(select(&d, "resume/education").len(), 1);
+        assert_eq!(select(&d, "resume/education/institution").len(), 2);
+        assert_eq!(select(&d, "resume/education/institution/degree").len(), 2);
+        assert!(select(&d, "resume/degree").is_empty());
+        assert!(select(&d, "cv/education").is_empty());
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let d = doc();
+        assert_eq!(select(&d, "resume/*").len(), 2);
+        assert_eq!(select(&d, "resume/*/institution").len(), 2);
+        assert_eq!(select(&d, "*/*/*").len(), 3); // 2 institutions + employer
+    }
+
+    #[test]
+    fn descendant_queries() {
+        let d = doc();
+        assert_eq!(select(&d, "//degree").len(), 2);
+        assert_eq!(select(&d, "//institution").len(), 2);
+        assert_eq!(select(&d, "//resume").len(), 1);
+        assert!(select(&d, "//nothing").is_empty());
+    }
+
+    #[test]
+    fn vals_in_document_order() {
+        let d = doc();
+        assert_eq!(select_vals(&d, "//institution"), ["UCD", "MIT"]);
+        assert_eq!(select_vals(&d, "resume/education"), ["Edu"]);
+    }
+
+    #[test]
+    fn select_first_returns_leftmost() {
+        let d = doc();
+        let first = select_first(&d, "//institution").unwrap();
+        assert_eq!(d.tree.value(first).val(), Some("UCD"));
+        assert!(select_first(&d, "//zzz").is_none());
+    }
+
+    #[test]
+    fn empty_and_degenerate_queries() {
+        let d = doc();
+        assert!(select(&d, "").is_empty());
+        assert!(select(&d, "/").is_empty());
+        assert_eq!(select(&d, "//").len(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! XML serialization: compact (canonical-ish) and pretty-printed.
+
+use crate::document::{XmlDocument, XmlNode};
+use webre_tree::{Edge, NodeId};
+
+fn escape_text(input: &str, out: &mut String) {
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn escape_attr(input: &str, out: &mut String) {
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn open_tag(node: &XmlNode, out: &mut String) {
+    if let XmlNode::Element { name, attrs } = node {
+        out.push('<');
+        out.push_str(name);
+        for (k, v) in attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_attr(v, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Serializes the subtree at `id` without whitespace between elements.
+pub fn subtree_to_xml(doc: &XmlDocument, id: NodeId) -> String {
+    let mut out = String::new();
+    for edge in doc.tree.traverse(id) {
+        match edge {
+            Edge::Open(n) => match doc.tree.value(n) {
+                e @ XmlNode::Element { .. } => {
+                    open_tag(e, &mut out);
+                    if doc.tree.is_leaf(n) {
+                        out.push_str("/>");
+                    } else {
+                        out.push('>');
+                    }
+                }
+                XmlNode::Text(t) => escape_text(t, &mut out),
+            },
+            Edge::Close(n) => {
+                if let XmlNode::Element { name, .. } = doc.tree.value(n) {
+                    if !doc.tree.is_leaf(n) {
+                        out.push_str("</");
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the whole document compactly.
+pub fn to_xml(doc: &XmlDocument) -> String {
+    subtree_to_xml(doc, doc.root())
+}
+
+/// Serializes the whole document with two-space indentation, one element
+/// per line (text nodes are kept inline inside their parent).
+pub fn to_xml_pretty(doc: &XmlDocument) -> String {
+    let mut out = String::new();
+    write_pretty(doc, doc.root(), 0, &mut out);
+    out
+}
+
+/// Whether the element at `id` has only text children (rendered inline).
+fn only_text_children(doc: &XmlDocument, id: NodeId) -> bool {
+    doc.tree
+        .children(id)
+        .all(|c| matches!(doc.tree.value(c), XmlNode::Text(_)))
+}
+
+fn write_pretty(doc: &XmlDocument, id: NodeId, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match doc.tree.value(id) {
+        XmlNode::Text(t) => {
+            out.push_str(&indent);
+            escape_text(t, out);
+            out.push('\n');
+        }
+        e @ XmlNode::Element { name, .. } => {
+            out.push_str(&indent);
+            open_tag(e, out);
+            if doc.tree.is_leaf(id) {
+                out.push_str("/>\n");
+            } else if only_text_children(doc, id) {
+                out.push('>');
+                for c in doc.tree.children(id) {
+                    if let XmlNode::Text(t) = doc.tree.value(c) {
+                        escape_text(t, out);
+                    }
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            } else {
+                out.push_str(">\n");
+                for c in doc.tree.children(id) {
+                    write_pretty(doc, c, depth + 1, out);
+                }
+                out.push_str(&indent);
+                out.push_str("</");
+                out.push_str(name);
+                out.push_str(">\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::XmlNode;
+
+    fn sample() -> XmlDocument {
+        let mut doc = XmlDocument::new("resume");
+        let root = doc.root();
+        let edu = doc
+            .tree
+            .append_child(root, XmlNode::element_with_val("education", "Education"));
+        doc.tree
+            .append_child(edu, XmlNode::element_with_val("degree", "B.S."));
+        doc
+    }
+
+    #[test]
+    fn compact_output() {
+        let doc = sample();
+        assert_eq!(
+            to_xml(&doc),
+            r#"<resume><education val="Education"><degree val="B.S."/></education></resume>"#
+        );
+    }
+
+    #[test]
+    fn empty_root_self_closes() {
+        let doc = XmlDocument::new("empty");
+        assert_eq!(to_xml(&doc), "<empty/>");
+    }
+
+    #[test]
+    fn escapes_attr_and_text() {
+        let mut doc = XmlDocument::new("r");
+        let root = doc.root();
+        let a = doc
+            .tree
+            .append_child(root, XmlNode::element_with_val("a", r#"x<y & "z""#));
+        doc.tree.append_child(a, XmlNode::Text("1 < 2".into()));
+        let xml = to_xml(&doc);
+        assert!(xml.contains(r#"val="x&lt;y &amp; &quot;z&quot;""#));
+        assert!(xml.contains("1 &lt; 2"));
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let doc = sample();
+        let pretty = to_xml_pretty(&doc);
+        assert_eq!(
+            pretty,
+            "<resume>\n  <education val=\"Education\">\n    <degree val=\"B.S.\"/>\n  </education>\n</resume>\n"
+        );
+    }
+
+    #[test]
+    fn pretty_inlines_text_only_elements() {
+        let mut doc = XmlDocument::new("r");
+        let root = doc.root();
+        let a = doc.tree.append_child(root, XmlNode::element("note"));
+        doc.tree.append_child(a, XmlNode::Text("hello".into()));
+        assert_eq!(to_xml_pretty(&doc), "<r>\n  <note>hello</note>\n</r>\n");
+    }
+}

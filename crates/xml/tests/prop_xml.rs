@@ -1,0 +1,148 @@
+//! Property tests for the XML substrate: writer/parser round trips, name
+//! sanitization, and the derivative matcher against a brute-force oracle.
+
+use proptest::prelude::*;
+use webre_xml::dtd::parse_content_expr;
+use webre_xml::name::{is_valid_name, sanitize};
+use webre_xml::validate::matches;
+use webre_xml::{parse_xml, to_xml, to_xml_pretty, ContentExpr, XmlDocument, XmlNode};
+
+/// Random concept-like element names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}".prop_filter("no xml prefix", |s| !s.starts_with("xml"))
+}
+
+/// Random XML documents over a small name alphabet.
+fn doc_strategy() -> impl Strategy<Value = XmlDocument> {
+    let shape = proptest::collection::vec((0usize..6, name_strategy(), "[ -~&&[^\"&<>]]{0,12}"), 0..24);
+    shape.prop_map(|nodes| {
+        let mut doc = XmlDocument::new("root");
+        let mut ids = vec![doc.root()];
+        for (parent_idx, name, val) in nodes {
+            let parent = ids[parent_idx % ids.len()];
+            let node = if val.is_empty() {
+                XmlNode::element(name)
+            } else {
+                XmlNode::element_with_val(name, val)
+            };
+            ids.push(doc.tree.append_child(parent, node));
+        }
+        doc
+    })
+}
+
+/// A small random content expression over the alphabet {a, b, c}.
+fn expr_strategy() -> impl Strategy<Value = ContentExpr> {
+    let leaf = prop_oneof![
+        Just(ContentExpr::Name("a".into())),
+        Just(ContentExpr::Name("b".into())),
+        Just(ContentExpr::Name("c".into())),
+        Just(ContentExpr::PcData),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Seq),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Choice),
+            inner.clone().prop_map(|e| ContentExpr::Opt(Box::new(e))),
+            inner.clone().prop_map(|e| ContentExpr::Star(Box::new(e))),
+            inner.prop_map(|e| ContentExpr::Plus(Box::new(e))),
+        ]
+    })
+}
+
+/// Brute-force oracle: does `expr` match `tokens`? Exponential, fine for the
+/// tiny sizes proptest feeds it.
+fn oracle(expr: &ContentExpr, tokens: &[&str]) -> bool {
+    match expr {
+        ContentExpr::Empty => tokens.is_empty(),
+        ContentExpr::PcData => tokens.iter().all(|t| *t == "#PCDATA"),
+        ContentExpr::Name(n) => tokens.len() == 1 && tokens[0] == n,
+        ContentExpr::Seq(items) => match items.split_first() {
+            None => tokens.is_empty(),
+            Some((head, rest)) => (0..=tokens.len()).any(|split| {
+                oracle(head, &tokens[..split])
+                    && oracle(&ContentExpr::Seq(rest.to_vec()), &tokens[split..])
+            }),
+        },
+        ContentExpr::Choice(items) => items.iter().any(|i| oracle(i, tokens)),
+        ContentExpr::Opt(inner) => tokens.is_empty() || oracle(inner, tokens),
+        ContentExpr::Star(inner) => {
+            tokens.is_empty()
+                || (1..=tokens.len()).any(|split| {
+                    oracle(inner, &tokens[..split])
+                        && oracle(&ContentExpr::Star(inner.clone()), &tokens[split..])
+                })
+        }
+        ContentExpr::Plus(inner) => oracle(inner, tokens)
+            || (1..=tokens.len()).any(|split| {
+                oracle(inner, &tokens[..split])
+                    && oracle(&ContentExpr::Star(inner.clone()), &tokens[split..])
+            }),
+    }
+}
+
+proptest! {
+    #[test]
+    fn writer_parser_round_trip(doc in doc_strategy()) {
+        let xml = to_xml(&doc);
+        let parsed = parse_xml(&xml).unwrap();
+        prop_assert!(doc.tree.subtree_eq(doc.root(), &parsed.tree, parsed.root()),
+            "round trip failed for {xml}");
+    }
+
+    #[test]
+    fn pretty_writer_parses_to_same_document(doc in doc_strategy()) {
+        let xml = to_xml_pretty(&doc);
+        let parsed = parse_xml(&xml).unwrap();
+        prop_assert!(doc.tree.subtree_eq(doc.root(), &parsed.tree, parsed.root()));
+    }
+
+    #[test]
+    fn sanitize_always_valid(raw in ".{0,32}") {
+        prop_assert!(is_valid_name(&sanitize(&raw)));
+    }
+
+    #[test]
+    fn sanitize_idempotent(raw in ".{0,32}") {
+        let once = sanitize(&raw);
+        prop_assert_eq!(sanitize(&once), once.clone());
+    }
+
+    #[test]
+    fn derivative_matcher_agrees_with_oracle(
+        expr in expr_strategy(),
+        tokens in proptest::collection::vec(
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("#PCDATA")], 0..6),
+    ) {
+        let toks: Vec<&str> = tokens.clone();
+        prop_assert_eq!(matches(&expr, &toks), oracle(&expr, &toks),
+            "disagreement on {:?} vs {:?}", expr, toks);
+    }
+
+    #[test]
+    fn content_expr_display_parse_round_trip(expr in expr_strategy()) {
+        let printed = expr.to_string();
+        let reparsed = parse_content_expr(&printed).unwrap();
+        // Display may drop redundant grouping, so compare by language on a
+        // sample of short token strings rather than structurally.
+        let alphabet = ["a", "b", "c", "#PCDATA"];
+        for len in 0..3usize {
+            let mut idxs = vec![0usize; len];
+            loop {
+                let toks: Vec<&str> = idxs.iter().map(|i| alphabet[*i]).collect();
+                prop_assert_eq!(matches(&expr, &toks), matches(&reparsed, &toks),
+                    "language changed for {} on {:?}", printed, toks);
+                // Odometer increment.
+                let mut k = 0;
+                loop {
+                    if k == len { break; }
+                    idxs[k] += 1;
+                    if idxs[k] < alphabet.len() { break; }
+                    idxs[k] = 0;
+                    k += 1;
+                }
+                if k == len { break; }
+            }
+        }
+    }
+}

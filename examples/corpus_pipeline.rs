@@ -1,0 +1,65 @@
+//! Full pipeline over a generated corpus: convert every document, discover
+//! the majority schema, derive the DTD.
+//!
+//! Run with: `cargo run --example corpus_pipeline [-- <docs> <seed>]`
+
+use webre::Pipeline;
+use webre_corpus::CorpusGenerator;
+use webre_schema::FrequentPathMiner;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let docs: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2002);
+
+    println!("generating {docs} heterogeneous resume documents (seed {seed})...");
+    let corpus = CorpusGenerator::new(seed).generate(docs);
+    let htmls: Vec<String> = corpus.iter().map(|d| d.html.clone()).collect();
+
+    let pipeline = Pipeline::resume_domain().with_miner(FrequentPathMiner {
+        sup_threshold: 0.5,
+        ratio_threshold: 0.3,
+        constraints: Some(webre::concepts::resume::constraints()),
+        max_len: None,
+    });
+
+    println!("converting...");
+    let xml_docs = pipeline.convert_corpus(&htmls);
+    let avg_nodes: f64 = xml_docs
+        .iter()
+        .map(|d| d.element_count() as f64)
+        .sum::<f64>()
+        / xml_docs.len() as f64;
+    println!("  {} XML documents, avg {avg_nodes:.1} concept nodes", xml_docs.len());
+
+    println!("discovering majority schema...");
+    let discovery = pipeline
+        .discover_schema(&xml_docs)
+        .expect("non-empty corpus");
+    println!(
+        "  {} frequent paths ({} candidate paths explored)",
+        discovery.schema.len(),
+        discovery.nodes_explored
+    );
+    println!();
+    println!("== majority schema ==");
+    print!("{}", discovery.schema.render());
+    println!();
+    println!("== derived DTD ({} elements) ==", discovery.dtd.len());
+    print!("{}", discovery.dtd.to_dtd_string());
+
+    // How many documents already conform, before any mapping?
+    let conforming = xml_docs
+        .iter()
+        .filter(|d| webre::xml::validate::conforms(d, &discovery.dtd))
+        .count();
+    println!();
+    println!(
+        "{conforming}/{} documents conform to the DTD as-extracted \
+         (the rest need the document mapper — see the schema_mapping example)",
+        xml_docs.len()
+    );
+}

@@ -1,0 +1,77 @@
+//! Apply the framework to a *different* topic — the paper's future-work
+//! direction of "broader types of topics such as product catalogs".
+//!
+//! The only input the approach needs is domain knowledge: topic concepts
+//! with instances (here authored as JSON, the way a user would supply
+//! them) and optional constraints. Everything else is domain-independent.
+//!
+//! Run with: `cargo run --example custom_domain`
+
+use webre::concepts::Domain;
+use webre::convert::{ConvertConfig, Converter};
+
+const DOMAIN_JSON: &str = r#"{
+  "concepts": [
+    { "name": "product",      "role": "Title",
+      "instances": ["product", "item", "model"] },
+    { "name": "specs",        "role": "Title",
+      "instances": ["specs", "specifications", "technical details", "features"] },
+    { "name": "shipping",     "role": "Title",
+      "instances": ["shipping", "delivery"] },
+    { "name": "price",        "role": "Content",
+      "instances": ["price", "sale price", "msrp", "our price"] },
+    { "name": "manufacturer", "role": "Content",
+      "instances": ["manufacturer", "made by", "brand"] },
+    { "name": "weight",       "role": "Content",
+      "instances": ["weight", "lbs", "kg"] },
+    { "name": "warranty",     "role": "Content",
+      "instances": ["warranty", "guarantee"] }
+  ],
+  "constraints": [
+    "NoRepeat",
+    { "MaxDepth": 3 }
+  ]
+}"#;
+
+const CATALOG_PAGE: &str = r#"
+<html><head><title>Widgets Direct</title></head><body>
+<h2>Product: TurboWidget 3000</h2>
+<p>The finest widget money can buy.</p>
+<h2>Specifications</h2>
+<ul>
+  <li>Weight: 2.5 kg</li>
+  <li>Made by Acme</li>
+  <li>Two year warranty included</li>
+</ul>
+<h2>Shipping</h2>
+<p>Our Price: $49.99, delivery in 3 days</p>
+</body></html>"#;
+
+fn main() {
+    let domain = Domain::from_json(DOMAIN_JSON).expect("valid domain JSON");
+    println!(
+        "loaded domain: {} concepts, {} instances, {} constraints",
+        domain.concepts.len(),
+        domain.concept_set().total_instances(),
+        domain.constraints.len()
+    );
+
+    let converter = Converter::with_config(
+        domain.concept_set(),
+        ConvertConfig {
+            root_concept: "catalog-entry".into(),
+            constraints: Some(domain.constraint_set()),
+            ..ConvertConfig::default()
+        },
+    );
+    let (xml, stats) = converter.convert_str(CATALOG_PAGE);
+
+    println!();
+    println!("== extracted XML ==");
+    print!("{}", webre::xml::to_xml_pretty(&xml));
+    println!();
+    println!(
+        "identified {}/{} tokens — the same rules, a different topic",
+        stats.tokens_identified, stats.tokens_total
+    );
+}

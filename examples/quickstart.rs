@@ -1,0 +1,45 @@
+//! Quickstart: convert one HTML resume into concept-tagged XML.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use webre::Pipeline;
+
+fn main() {
+    // The paper's running example: an education section whose topic
+    // sentence carries institution, degree, date and GPA information,
+    // marked up for visual rendering only.
+    let html = r#"
+<html><head><title>Resume</title></head><body>
+<p><b>Jane Doe</b></p>
+<h2>Contact Information</h2>
+<p>2211 Main Street<br>Phone: (530) 555-0199<br>Email: jane@example.com</p>
+<h2>Objective</h2>
+<p>A challenging development role in a fast-paced environment</p>
+<h2>Education</h2>
+<ul>
+  <li>University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0</li>
+  <li>Foothill College, Associate Degree in Information Systems, June 1994</li>
+</ul>
+<h2>Experience</h2>
+<ul>
+  <li>Verity Inc, Software Engineer, June 1996 - present</li>
+</ul>
+<h2>Skills</h2>
+<p>C++, Java, Perl, SQL</p>
+</body></html>"#;
+
+    let pipeline = Pipeline::resume_domain();
+    let (xml, stats) = pipeline.convert_html(html);
+
+    println!("== extracted XML ==");
+    print!("{}", webre::xml::to_xml_pretty(&xml));
+    println!();
+    println!("== conversion statistics ==");
+    println!("tokens:            {}", stats.tokens_total);
+    println!("identified:        {}", stats.tokens_identified);
+    println!("unidentified:      {}", stats.tokens_unidentified);
+    println!("decomposed:        {}", stats.tokens_decomposed);
+    if let Some(ratio) = stats.identification_ratio() {
+        println!("identification:    {:.1}%", ratio * 100.0);
+    }
+}

@@ -1,0 +1,6 @@
+//! Workspace umbrella package for the `webre` reproduction.
+//!
+//! The actual library lives in the `webre` facade crate (`crates/core`);
+//! this package only hosts the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`.
+pub use webre;

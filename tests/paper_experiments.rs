@@ -1,0 +1,173 @@
+//! Integration tests pinning the paper's experimental claims (Section 4)
+//! at reduced scale; the full-scale runs live in the `webre-bench`
+//! experiment binaries.
+
+use webre::concepts::resume;
+use webre::convert::accuracy::logical_errors;
+use webre::Pipeline;
+use webre_corpus::CorpusGenerator;
+use webre_schema::search_space::{
+    constrained_enumeration, data_driven_exploration, exhaustive_size,
+};
+use webre_schema::{extract_paths, FrequentPathMiner};
+
+/// Section 4.1 / Figure 4: extraction accuracy on 50 documents. The paper
+/// reports 9.2% average error (90.8% accuracy); the synthetic corpus must
+/// land in the same regime.
+#[test]
+fn fig4_accuracy_in_paper_regime() {
+    let corpus = CorpusGenerator::new(2002).generate(50);
+    let pipeline = Pipeline::resume_domain();
+    let mut total_error_rate = 0.0;
+    let mut total_errors = 0u64;
+    let mut total_nodes = 0u64;
+    for doc in &corpus {
+        let (xml, _) = pipeline.convert_html(&doc.html);
+        let report = logical_errors(&xml, &doc.truth);
+        total_error_rate += report.error_rate();
+        total_errors += report.errors;
+        total_nodes += report.concept_nodes;
+    }
+    let avg_rate = total_error_rate / corpus.len() as f64;
+    let avg_errors = total_errors as f64 / corpus.len() as f64;
+    let avg_nodes = total_nodes as f64 / corpus.len() as f64;
+    // Paper: 3.9 errors/doc over 53.7 concept nodes → 9.2%. Accept the
+    // same order of magnitude: average error below 20%, not zero.
+    assert!(avg_rate < 0.20, "avg error rate {avg_rate:.3}");
+    assert!(avg_rate > 0.005, "errors suspiciously absent");
+    assert!(avg_errors < 12.0, "avg errors {avg_errors:.1}");
+    assert!(avg_nodes > 15.0, "avg concept nodes {avg_nodes:.1}");
+}
+
+/// Section 4.2: the search-space numbers. Exhaustive and constrained
+/// counts are exact reproductions of the paper's arithmetic; the
+/// data-driven count depends on the corpus but must stay tiny.
+#[test]
+fn section_4_2_search_space_counts() {
+    assert_eq!(exhaustive_size(24, 4), 7_962_623);
+
+    let concepts = resume::concepts();
+    let constraints = resume::constraints();
+    let result = constrained_enumeration(&concepts, &constraints, "resume", 4);
+    assert_eq!(result.admissible, 1_871);
+
+    // Data-driven exploration over a converted corpus: only prefixes with
+    // non-zero support are extended. The paper reports 73; ours must be of
+    // that order (tens, not thousands).
+    let corpus = CorpusGenerator::new(5).generate(100);
+    let pipeline = Pipeline::resume_domain();
+    let paths: Vec<_> = corpus
+        .iter()
+        .map(|d| extract_paths(&pipeline.convert_html(&d.html).0))
+        .collect();
+    let explored = data_driven_exploration(&concepts, &constraints, &paths, "resume", 4);
+    assert!(
+        (10..400).contains(&explored),
+        "data-driven exploration visited {explored} nodes"
+    );
+    assert!(explored < result.admissible / 4);
+}
+
+/// Section 4.3 / Figure 5: runtime scales linearly. We check the weaker,
+/// machine-independent property: work (nodes processed) grows linearly and
+/// per-document time does not blow up with corpus size.
+#[test]
+fn fig5_work_scales_linearly() {
+    let generator = CorpusGenerator::new(8);
+    let pipeline = Pipeline::resume_domain().with_miner(FrequentPathMiner {
+        sup_threshold: 0.5,
+        ratio_threshold: 0.3,
+        constraints: Some(resume::constraints()),
+        max_len: None,
+    });
+    let mut explored = Vec::new();
+    for &n in &[20usize, 40, 80] {
+        let corpus = generator.generate(n);
+        let htmls: Vec<String> = corpus.iter().map(|d| d.html.clone()).collect();
+        let docs = pipeline.convert_corpus(&htmls);
+        let discovery = pipeline.discover_schema(&docs).unwrap();
+        explored.push(discovery.nodes_explored);
+    }
+    // Mining explores label paths, whose variety saturates: the explored
+    // count must grow far slower than the corpus (sub-linear), while never
+    // collapsing.
+    assert!(explored[2] < explored[0] * 4, "{explored:?}");
+    assert!(explored[2] >= explored[0] / 2, "{explored:?}");
+}
+
+/// Section 4.4: the sample-run DTD. The paper's fragment is
+/// `resume → ((#PCDATA), contact+, objective, education+, ...)` with
+/// education containing institute/date/degree structure. Ours must exhibit
+/// the same shape.
+#[test]
+fn section_4_4_sample_dtd_shape() {
+    let corpus = CorpusGenerator::new(1400).generate(140);
+    let htmls: Vec<String> = corpus.iter().map(|d| d.html.clone()).collect();
+    let pipeline = Pipeline::resume_domain().with_miner(FrequentPathMiner {
+        sup_threshold: 0.5,
+        ratio_threshold: 0.3,
+        constraints: Some(resume::constraints()),
+        max_len: None,
+    });
+    let docs = pipeline.convert_corpus(&htmls);
+    let discovery = pipeline.discover_schema(&docs).unwrap();
+    let dtd_text = discovery.dtd.to_dtd_string();
+
+    // Root content mentions the resume sections in reading order.
+    let root = discovery.dtd.elements.get("resume").unwrap().to_string();
+    assert!(root.contains("(#PCDATA)"), "{root}");
+    for section in ["contact", "objective", "education", "experience", "skills"] {
+        assert!(root.contains(section), "{root}");
+    }
+    let contact = root.find("contact").unwrap();
+    let education = root.find("education").unwrap();
+    let experience = root.find("experience").unwrap();
+    assert!(contact < education && education < experience, "{root}");
+
+    // Education nests institution with degree/date detail, with repetition.
+    let edu = discovery.dtd.elements.get("education").unwrap().to_string();
+    assert!(edu.contains("institution+"), "{edu}");
+    let inst = discovery.dtd.elements.get("institution").unwrap().to_string();
+    assert!(inst.contains("degree") && inst.contains("date"), "{inst}");
+
+    // Around 20 elements, like the paper's sample (20).
+    assert!(
+        (12..=26).contains(&discovery.dtd.len()),
+        "{} elements:\n{dtd_text}",
+        discovery.dtd.len()
+    );
+}
+
+/// The paper's Figure 2/3 example reproduced verbatim through the public
+/// API: three resume trees reduce to the label-path set of Figure 3.
+#[test]
+fn figure_2_label_paths() {
+    let a = webre::xml::parse_xml(
+        "<resume><objective/><education><degree><date/><institution/></degree>\
+         <degree><date/><institution/></degree></education></resume>",
+    )
+    .unwrap();
+    let paths = extract_paths(&a);
+    let expected: Vec<Vec<String>> = [
+        vec!["resume"],
+        vec!["resume", "objective"],
+        vec!["resume", "education"],
+        vec!["resume", "education", "degree"],
+        vec!["resume", "education", "degree", "date"],
+        vec!["resume", "education", "degree", "institution"],
+    ]
+    .iter()
+    .map(|p| p.iter().map(|s| (*s).to_owned()).collect())
+    .collect();
+    assert_eq!(paths.paths.len(), expected.len());
+    for p in expected {
+        assert!(paths.contains(&p), "{p:?} missing");
+    }
+    // Degree appears twice as a node but once as a label path, with
+    // multiplicity 2 recorded for the repetition rule.
+    let degree_path: Vec<String> = ["resume", "education", "degree"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    assert_eq!(paths.multiplicity_of(&degree_path), 2);
+}

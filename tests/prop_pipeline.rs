@@ -1,0 +1,86 @@
+//! Workspace-level property tests: the full conversion pipeline must be
+//! total (never panic, always produce well-formed output) on arbitrary
+//! input, and the parallel conversion must agree with the sequential one.
+
+use proptest::prelude::*;
+use webre::Pipeline;
+use webre_corpus::CorpusGenerator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The converter is a total function over arbitrary byte soup: no
+    /// panic, a well-formed XML document out, integrity intact.
+    #[test]
+    fn converter_is_total_on_arbitrary_input(html in ".{0,512}") {
+        let pipeline = Pipeline::resume_domain();
+        let (doc, stats) = pipeline.convert_html(&html);
+        prop_assert!(doc.tree.check_integrity().is_ok());
+        prop_assert_eq!(doc.root_name(), "resume");
+        prop_assert!(stats.tokens_identified + stats.tokens_unidentified <= stats.tokens_total + stats.tokens_decomposed);
+        // Output must be reparseable XML.
+        let xml = webre::xml::to_xml(&doc);
+        let reparsed = webre::xml::parse_xml(&xml);
+        prop_assert!(reparsed.is_ok(), "unparseable output for {html:?}: {xml}");
+    }
+
+    /// Conversion output only ever contains concept names from the domain
+    /// (plus the root) as element names.
+    #[test]
+    fn output_elements_are_concept_names(html in "[ -~]{0,256}") {
+        let pipeline = Pipeline::resume_domain();
+        let concepts = webre::concepts::resume::concepts();
+        let (doc, _) = pipeline.convert_html(&html);
+        for id in doc.tree.descendants(doc.root()) {
+            if let Some(name) = doc.tree.value(id).name() {
+                prop_assert!(
+                    name == "resume" || concepts.contains(name),
+                    "foreign element {name:?}"
+                );
+            }
+        }
+    }
+
+    /// Tag-soup mutations of a valid page must not panic and must keep the
+    /// root invariant.
+    #[test]
+    fn converter_survives_mutated_pages(seed in 0u64..50, cut in 0usize..1000, extra in "[<>/a-z\"=]{0,12}") {
+        let mut html = CorpusGenerator::new(1).generate_one(seed as usize).html;
+        let cut = cut.min(html.len());
+        // Find a char boundary at or below `cut`, splice garbage in.
+        let mut boundary = cut;
+        while !html.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        html.insert_str(boundary, &extra);
+        let pipeline = Pipeline::resume_domain();
+        let (doc, _) = pipeline.convert_html(&html);
+        prop_assert!(doc.tree.check_integrity().is_ok());
+    }
+}
+
+#[test]
+fn parallel_conversion_matches_sequential() {
+    let corpus = CorpusGenerator::new(64).generate(24);
+    let htmls: Vec<String> = corpus.iter().map(|d| d.html.clone()).collect();
+    let pipeline = Pipeline::resume_domain();
+    let sequential = pipeline.convert_corpus(&htmls);
+    for threads in [1, 2, 4, 7, 24, 99] {
+        let parallel = pipeline.convert_corpus_parallel(&htmls, threads);
+        assert_eq!(parallel.len(), sequential.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert!(
+                a.tree.subtree_eq(a.root(), &b.tree, b.root()),
+                "parallel ({threads} threads) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_conversion_handles_empty_and_single() {
+    let pipeline = Pipeline::resume_domain();
+    assert!(pipeline.convert_corpus_parallel(&[], 4).is_empty());
+    let one = vec!["<p>Education</p>".to_owned()];
+    assert_eq!(pipeline.convert_corpus_parallel(&one, 4).len(), 1);
+}

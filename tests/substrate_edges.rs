@@ -1,0 +1,112 @@
+//! Cross-substrate edge-case integration tests: inputs that historically
+//! break wrappers — deeply nested markup, pathological attributes, unicode,
+//! near-empty documents — must flow through the whole pipeline.
+
+use webre::Pipeline;
+
+fn convert(html: &str) -> webre::xml::XmlDocument {
+    Pipeline::resume_domain().convert_html(html).0
+}
+
+#[test]
+fn deeply_nested_markup() {
+    let mut html = String::new();
+    for _ in 0..200 {
+        html.push_str("<div>");
+    }
+    html.push_str("Education");
+    for _ in 0..200 {
+        html.push_str("</div>");
+    }
+    let doc = convert(&html);
+    assert!(doc.tree.check_integrity().is_ok());
+    assert!(webre::xml::to_xml(&doc).contains("education"));
+}
+
+#[test]
+fn enormous_flat_sibling_list() {
+    let mut html = String::from("<ul>");
+    for i in 0..500 {
+        html.push_str(&format!("<li>item {i}</li>"));
+    }
+    html.push_str("</ul>");
+    let doc = convert(&html);
+    assert!(doc.tree.check_integrity().is_ok());
+}
+
+#[test]
+fn unicode_heavy_content() {
+    let doc = convert(
+        "<h2>Education</h2><p>Universit\u{e9} de Montr\u{e9}al, Ma\u{ee}trise, juin 1996 — \u{1F393}</p>",
+    );
+    assert!(doc.tree.check_integrity().is_ok());
+    let text = doc.all_text();
+    assert!(text.contains("Montr\u{e9}al"), "{text}");
+}
+
+#[test]
+fn attribute_soup() {
+    let doc = convert(
+        r#"<p class="a" class="b" style="x:y" onclick="alert('hi > there')" data-x>Education</p>"#,
+    );
+    assert!(webre::xml::to_xml(&doc).contains("education"));
+}
+
+#[test]
+fn mixed_case_and_whitespace_tags() {
+    let doc = convert("<H2 >Education</ H2><UL><LI>Stanford University</UL>");
+    let xml = webre::xml::to_xml(&doc);
+    assert!(xml.contains("education"), "{xml}");
+    assert!(xml.contains("institution"), "{xml}");
+}
+
+#[test]
+fn content_free_documents() {
+    for html in ["", "   ", "<html></html>", "<!-- only a comment -->", "<br><br><hr>"] {
+        let doc = convert(html);
+        assert_eq!(webre::xml::to_xml(&doc), "<resume/>", "input {html:?}");
+    }
+}
+
+#[test]
+fn script_payload_never_leaks_into_concepts() {
+    let doc = convert(
+        "<script>var university = 'fake'; var degree = 'B.S.';</script>\
+         <h2>Skills</h2><p>C++</p>",
+    );
+    let xml = webre::xml::to_xml(&doc);
+    assert!(!xml.contains("institution"), "script text leaked: {xml}");
+    assert!(xml.contains("skills"), "{xml}");
+}
+
+#[test]
+fn entity_bombs_are_inert() {
+    // Repeated entity references must decode linearly, not recursively.
+    let payload = "&amp;".repeat(5_000);
+    let doc = convert(&format!("<p>{payload}</p>"));
+    assert!(doc.tree.check_integrity().is_ok());
+    assert_eq!(doc.all_text().matches('&').count(), 5_000);
+}
+
+#[test]
+fn null_and_control_characters() {
+    let doc = convert("<p>Edu\u{0}cation\u{1} Stanford University</p>");
+    assert!(doc.tree.check_integrity().is_ok());
+    // The serialized output must still reparse.
+    let xml = webre::xml::to_xml(&doc);
+    assert!(webre::xml::parse_xml(&xml).is_ok(), "{xml}");
+}
+
+#[test]
+fn select_queries_work_on_converted_output() {
+    let doc = convert(
+        "<h2>Education</h2><ul>\
+         <li>Stanford University, M.S., June 1996</li>\
+         <li>Boston College, B.A., May 1992</li></ul>",
+    );
+    let institutions = webre::xml::select::select_vals(&doc, "//institution");
+    assert_eq!(institutions.len(), 2, "{institutions:?}");
+    assert!(institutions[0].contains("Stanford"));
+    let degrees = webre::xml::select::select(&doc, "resume/education/institution/degree");
+    assert_eq!(degrees.len(), 2);
+}
