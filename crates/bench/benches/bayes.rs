@@ -1,6 +1,6 @@
 //! Benchmark: multinomial naive Bayes training and classification.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use webre_substrate::bench::{criterion_group, criterion_main, Criterion};
 use webre_concepts::{matcher::find_matches, resume};
 use webre_corpus::CorpusGenerator;
 use webre_text::tokenize::{split_tokens, Delimiters};

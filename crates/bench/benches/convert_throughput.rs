@@ -1,6 +1,6 @@
 //! Benchmark: full document conversion (all four restructuring rules).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_substrate::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use webre_concepts::resume;
 use webre_convert::Converter;
 use webre_corpus::CorpusGenerator;

@@ -1,7 +1,7 @@
 //! Benchmark: DTD conformance checking (Brzozowski derivatives) and the
 //! full document mapper.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use webre_substrate::bench::{criterion_group, criterion_main, Criterion};
 use webre_bench::harness::{corpus_html, paper_pipeline};
 use webre_map::map_to_dtd;
 

@@ -1,7 +1,7 @@
 //! Benchmark: frequent-path mining across support thresholds (the
 //! threshold sweep behind the majority schema).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webre_substrate::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use webre_concepts::resume;
 use webre_convert::Converter;
 use webre_corpus::CorpusGenerator;

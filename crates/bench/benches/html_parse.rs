@@ -1,6 +1,6 @@
 //! Benchmark: HTML tag-soup parsing and tidy over generated resume pages.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_substrate::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use webre_corpus::CorpusGenerator;
 
 fn bench_html_parse(c: &mut Criterion) {

@@ -1,7 +1,7 @@
 //! Benchmark: Figure 5's shape — convert + discover at growing corpus
 //! sizes; Criterion's estimates across the sizes should grow linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use webre_substrate::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use webre_bench::harness::{corpus_html, paper_pipeline};
 
 fn bench_scaling(c: &mut Criterion) {

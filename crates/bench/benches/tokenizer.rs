@@ -1,6 +1,6 @@
 //! Benchmark: topic-sentence tokenization and concept-instance matching.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use webre_substrate::bench::{criterion_group, criterion_main, Criterion, Throughput};
 use webre_concepts::{matcher::find_matches, resume};
 use webre_text::tokenize::{split_tokens, Delimiters};
 

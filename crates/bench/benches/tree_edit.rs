@@ -1,6 +1,6 @@
 //! Benchmark: Zhang–Shasha tree-edit distance on document-sized trees.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use webre_substrate::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use webre_bench::harness::paper_pipeline;
 use webre_corpus::CorpusGenerator;
 use webre_map::{edit_distance_docs, EditCosts};

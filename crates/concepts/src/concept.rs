@@ -1,10 +1,11 @@
 //! Concepts and concept sets.
 
-use serde::{Deserialize, Serialize};
+use webre_substrate::json::{FromJson, Json, JsonError, ToJson};
+use webre_substrate::{impl_json_enum_unit, impl_json_struct};
 
 /// The role a concept plays in the document hierarchy (Section 4.2 divides
 /// the resume concepts into *title names* and *content names*).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConceptRole {
     /// Likely a section title; can only occur as a first-level node.
     Title,
@@ -20,7 +21,7 @@ pub enum ConceptRole {
 ///
 /// Per the paper, the instance set always includes the concept name itself;
 /// [`Concept::new`] enforces this.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Concept {
     pub name: String,
     pub role: ConceptRole,
@@ -54,11 +55,20 @@ impl Concept {
     }
 }
 
+impl_json_enum_unit!(ConceptRole { Title, Content, Generic });
+impl_json_struct!(Concept {
+    name,
+    role,
+    instances
+});
+
 /// The full set of topic concepts for a domain.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ConceptSet {
     concepts: Vec<Concept>,
 }
+
+impl_json_struct!(ConceptSet { concepts });
 
 impl ConceptSet {
     /// Creates an empty set.
@@ -174,22 +184,55 @@ mod tests {
 
 /// A complete topic domain: concepts plus optional constraints, as a user
 /// would author it in JSON (the paper's "minimal user input").
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Domain {
     pub concepts: Vec<Concept>,
-    #[serde(default)]
+    /// Optional; an absent `"constraints"` member reads as empty.
     pub constraints: Vec<crate::constraints::Constraint>,
+}
+
+impl ToJson for Domain {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("concepts".to_owned(), self.concepts.to_json()),
+            ("constraints".to_owned(), self.constraints.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Domain {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if !matches!(value, Json::Obj(_)) {
+            return Err(JsonError(format!("expected Domain object, got {value}")));
+        }
+        let concepts = value
+            .get("concepts")
+            .ok_or_else(|| JsonError("Domain is missing \"concepts\"".to_owned()))
+            .and_then(|v| {
+                FromJson::from_json(v)
+                    .map_err(|e| JsonError(format!("Domain.concepts: {}", e.0)))
+            })?;
+        let constraints = match value.get("constraints") {
+            Some(v) => FromJson::from_json(v)
+                .map_err(|e| JsonError(format!("Domain.constraints: {}", e.0)))?,
+            None => Vec::new(),
+        };
+        Ok(Domain {
+            concepts,
+            constraints,
+        })
+    }
 }
 
 impl Domain {
     /// Loads a domain from JSON text.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        webre_substrate::json::from_str(json).map_err(|e| e.0)
     }
 
     /// Serializes the domain to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("domain serializes")
+        webre_substrate::json::to_string_pretty(self)
     }
 
     /// The concept set.

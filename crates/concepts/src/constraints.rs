@@ -12,15 +12,18 @@
 //! ([`Constraint::NoRepeat`]), and a global maximum depth
 //! ([`Constraint::MaxDepth`]).
 
-use serde::{Deserialize, Serialize};
+use webre_substrate::json::{FromJson, Json, JsonError, ToJson};
+use webre_substrate::{impl_json_enum_unit, impl_json_struct};
 
 /// Depth comparator for `depth(c) ⊙ d`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Comparator {
     Eq,
     Lt,
     Gt,
 }
+
+impl_json_enum_unit!(Comparator { Eq, Lt, Gt });
 
 impl Comparator {
     fn test(self, lhs: usize, rhs: usize) -> bool {
@@ -33,7 +36,7 @@ impl Comparator {
 }
 
 /// One concept constraint.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Constraint {
     /// `parent(ancestor, descendant)`: on any label path containing
     /// `descendant`, `ancestor` must occur earlier (negated: must not).
@@ -102,11 +105,102 @@ impl Constraint {
     }
 }
 
+// JSON form follows serde's externally-tagged convention so existing
+// domain files keep parsing: unit variants are name strings
+// (`"NoRepeat"`), the newtype variant is a one-member object
+// (`{"MaxDepth": 3}`), and struct variants nest their fields
+// (`{"Parent": {"ancestor": ..., "descendant": ..., "negated": ...}}`).
+impl ToJson for Constraint {
+    fn to_json(&self) -> Json {
+        let tagged = |tag: &str, body: Json| Json::Obj(vec![(tag.to_owned(), body)]);
+        match self {
+            Constraint::Parent {
+                ancestor,
+                descendant,
+                negated,
+            } => tagged(
+                "Parent",
+                Json::Obj(vec![
+                    ("ancestor".to_owned(), ancestor.to_json()),
+                    ("descendant".to_owned(), descendant.to_json()),
+                    ("negated".to_owned(), negated.to_json()),
+                ]),
+            ),
+            Constraint::Sibling { a, b, negated } => tagged(
+                "Sibling",
+                Json::Obj(vec![
+                    ("a".to_owned(), a.to_json()),
+                    ("b".to_owned(), b.to_json()),
+                    ("negated".to_owned(), negated.to_json()),
+                ]),
+            ),
+            Constraint::Depth {
+                concept,
+                cmp,
+                depth,
+                negated,
+            } => tagged(
+                "Depth",
+                Json::Obj(vec![
+                    ("concept".to_owned(), concept.to_json()),
+                    ("cmp".to_owned(), cmp.to_json()),
+                    ("depth".to_owned(), depth.to_json()),
+                    ("negated".to_owned(), negated.to_json()),
+                ]),
+            ),
+            Constraint::NoRepeat => Json::Str("NoRepeat".to_owned()),
+            Constraint::MaxDepth(max) => tagged("MaxDepth", max.to_json()),
+        }
+    }
+}
+
+impl FromJson for Constraint {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        fn field<T: FromJson>(body: &Json, tag: &str, name: &str) -> Result<T, JsonError> {
+            body.get(name)
+                .ok_or_else(|| JsonError(format!("Constraint::{tag} is missing \"{name}\"")))
+                .and_then(FromJson::from_json)
+                .map_err(|e| JsonError(format!("Constraint::{tag}.{name}: {}", e.0)))
+        }
+        match value {
+            Json::Str(s) if s == "NoRepeat" => Ok(Constraint::NoRepeat),
+            Json::Obj(members) if members.len() == 1 => {
+                let (tag, body) = &members[0];
+                match tag.as_str() {
+                    "Parent" => Ok(Constraint::Parent {
+                        ancestor: field(body, "Parent", "ancestor")?,
+                        descendant: field(body, "Parent", "descendant")?,
+                        negated: field(body, "Parent", "negated")?,
+                    }),
+                    "Sibling" => Ok(Constraint::Sibling {
+                        a: field(body, "Sibling", "a")?,
+                        b: field(body, "Sibling", "b")?,
+                        negated: field(body, "Sibling", "negated")?,
+                    }),
+                    "Depth" => Ok(Constraint::Depth {
+                        concept: field(body, "Depth", "concept")?,
+                        cmp: field(body, "Depth", "cmp")?,
+                        depth: field(body, "Depth", "depth")?,
+                        negated: field(body, "Depth", "negated")?,
+                    }),
+                    "MaxDepth" => FromJson::from_json(body)
+                        .map(Constraint::MaxDepth)
+                        .map_err(|e| JsonError(format!("Constraint::MaxDepth: {}", e.0))),
+                    other => Err(JsonError(format!("unknown Constraint variant {other:?}"))),
+                }
+            }
+            other => Err(JsonError(format!("invalid Constraint: {other}"))),
+        }
+    }
+}
+
 /// A collection of constraints with admission checks.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ConstraintSet {
     constraints: Vec<Constraint>,
 }
+
+impl_json_struct!(ConstraintSet { constraints });
 
 impl ConstraintSet {
     /// Creates an empty (fully permissive) set.

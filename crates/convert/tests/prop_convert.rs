@@ -1,60 +1,55 @@
 //! Property tests for the restructuring rules: the invariants that make
 //! the conversion sound regardless of input shape.
 
-use proptest::prelude::*;
+use webre_concepts::resume;
 use webre_convert::convert::{ClassifierMode, ConvertStats};
 use webre_convert::node::ConvNode;
 use webre_convert::structure_rules::{consolidation_rule, grouping_rule};
 use webre_convert::text_rules::{concept_instance_rule, tokenization_rule};
-use webre_concepts::resume;
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_text::tokenize::Delimiters;
 use webre_tree::Tree;
 
+const CASES: u32 = 128;
+
+const TAGS: &[&str] = &[
+    "div", "p", "h2", "ul", "li", "b", "table", "tr", "td", "span",
+];
+
+const TEXTS: &[&str] = &[
+    "Stanford University, B.S., June 1996",
+    "Education",
+    "random unidentifiable prose",
+    "Experience",
+    "GPA 3.8/4.0; Verity Inc",
+    "",
+];
+
 /// Random conversion trees: HTML elements with text sprinkled in.
-fn conv_tree_strategy() -> impl Strategy<Value = Tree<ConvNode>> {
-    let tags = prop_oneof![
-        Just("div"),
-        Just("p"),
-        Just("h2"),
-        Just("ul"),
-        Just("li"),
-        Just("b"),
-        Just("table"),
-        Just("tr"),
-        Just("td"),
-        Just("span"),
-    ];
-    let texts = prop_oneof![
-        Just("Stanford University, B.S., June 1996"),
-        Just("Education"),
-        Just("random unidentifiable prose"),
-        Just("Experience"),
-        Just("GPA 3.8/4.0; Verity Inc"),
-        Just(""),
-    ];
-    proptest::collection::vec((0usize..12, tags, texts, prop::bool::ANY), 0..24).prop_map(
-        |nodes| {
-            let mut tree = Tree::new(ConvNode::Document { val: String::new() });
-            let mut ids = vec![tree.root()];
-            for (parent, tag, text, is_text) in nodes {
-                let p = ids[parent % ids.len()];
-                // Text may not have children: only attach elements under
-                // elements/document; text becomes a leaf.
-                if is_text {
-                    tree.append_child(p, ConvNode::Text(text.to_owned()));
-                } else {
-                    ids.push(tree.append_child(
-                        p,
-                        ConvNode::Html {
-                            name: tag.to_owned(),
-                            val: String::new(),
-                        },
-                    ));
-                }
-            }
-            tree
-        },
-    )
+fn gen_conv_tree(g: &mut Gen) -> Tree<ConvNode> {
+    let nodes = g.vec(0, 23, |g| {
+        (g.int(0usize..12), *g.pick(TAGS), *g.pick(TEXTS), g.bool(0.5))
+    });
+    let mut tree = Tree::new(ConvNode::Document { val: String::new() });
+    let mut ids = vec![tree.root()];
+    for (parent, tag, text, is_text) in nodes {
+        let p = ids[parent % ids.len()];
+        // Text may not have children: only attach elements under
+        // elements/document; text becomes a leaf.
+        if is_text {
+            tree.append_child(p, ConvNode::Text(text.to_owned()));
+        } else {
+            ids.push(tree.append_child(
+                p,
+                ConvNode::Html {
+                    name: tag.to_owned(),
+                    val: String::new(),
+                },
+            ));
+        }
+    }
+    tree
 }
 
 fn run_pipeline(tree: &mut Tree<ConvNode>) -> ConvertStats {
@@ -78,13 +73,12 @@ fn concept_count(tree: &Tree<ConvNode>) -> usize {
         .count()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After the full rule pipeline only concept nodes remain attached
-    /// (plus the document root): every HTML/GROUP/TOKEN/TEXT node is gone.
-    #[test]
-    fn consolidation_eliminates_all_markup(mut tree in conv_tree_strategy()) {
+/// After the full rule pipeline only concept nodes remain attached
+/// (plus the document root): every HTML/GROUP/TOKEN/TEXT node is gone.
+#[test]
+fn consolidation_eliminates_all_markup() {
+    prop::check_cases("consolidation_eliminates_all_markup", CASES, |g| {
+        let mut tree = gen_conv_tree(g);
         run_pipeline(&mut tree);
         for id in tree.descendants(tree.root()) {
             if id == tree.root() {
@@ -97,13 +91,17 @@ proptest! {
             );
         }
         prop_assert!(tree.check_integrity().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    /// The structure rules never create or destroy concept nodes: the
-    /// number of concepts after consolidation equals the number identified
-    /// by the text rules.
-    #[test]
-    fn structure_rules_preserve_concepts(mut tree in conv_tree_strategy()) {
+/// The structure rules never create or destroy concept nodes: the
+/// number of concepts after consolidation equals the number identified
+/// by the text rules.
+#[test]
+fn structure_rules_preserve_concepts() {
+    prop::check_cases("structure_rules_preserve_concepts", CASES, |g| {
+        let mut tree = gen_conv_tree(g);
         let mut stats = ConvertStats::default();
         tokenization_rule(&mut tree, &Delimiters::default());
         concept_instance_rule(
@@ -117,13 +115,21 @@ proptest! {
         grouping_rule(&mut tree);
         prop_assert_eq!(concept_count(&tree), before, "grouping changed concepts");
         consolidation_rule(&mut tree);
-        prop_assert_eq!(concept_count(&tree), before, "consolidation changed concepts");
-    }
+        prop_assert_eq!(
+            concept_count(&tree),
+            before,
+            "consolidation changed concepts"
+        );
+        Ok(())
+    });
+}
 
-    /// Grouping only ever adds GROUP nodes: the multiset of non-group
-    /// nodes is unchanged.
-    #[test]
-    fn grouping_only_adds_groups(mut tree in conv_tree_strategy()) {
+/// Grouping only ever adds GROUP nodes: the multiset of non-group
+/// nodes is unchanged.
+#[test]
+fn grouping_only_adds_groups() {
+    prop::check_cases("grouping_only_adds_groups", CASES, |g| {
+        let mut tree = gen_conv_tree(g);
         let before: usize = tree.subtree_size(tree.root());
         let groups_before = tree
             .descendants(tree.root())
@@ -136,24 +142,34 @@ proptest! {
             .count();
         prop_assert_eq!(after_non_group, before - groups_before);
         prop_assert!(tree.check_integrity().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    /// No text is lost: every character of identified/unidentified token
-    /// content survives somewhere in the vals of the final tree.
-    #[test]
-    fn text_is_never_lost(mut tree in conv_tree_strategy()) {
+/// No text is lost: every character of identified/unidentified token
+/// content survives somewhere in the vals of the final tree.
+#[test]
+fn text_is_never_lost() {
+    prop::check_cases("text_is_never_lost", CASES, |g| {
+        let mut tree = gen_conv_tree(g);
         // Gather all non-whitespace text before.
         let mut before = String::new();
         for id in tree.descendants(tree.root()) {
             if let ConvNode::Text(t) = tree.value(id) {
-                before.extend(t.chars().filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')));
+                before.extend(
+                    t.chars()
+                        .filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')),
+                );
             }
         }
         run_pipeline(&mut tree);
         let mut after = String::new();
         for id in tree.descendants(tree.root()) {
             if let Some(v) = tree.value(id).val() {
-                after.extend(v.chars().filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')));
+                after.extend(
+                    v.chars()
+                        .filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')),
+                );
             }
         }
         // Every character class count must survive (order may differ since
@@ -163,11 +179,15 @@ proptest! {
         b.sort_unstable();
         a.sort_unstable();
         prop_assert_eq!(a, b);
-    }
+        Ok(())
+    });
+}
 
-    /// Statistics are internally consistent.
-    #[test]
-    fn stats_add_up(mut tree in conv_tree_strategy()) {
+/// Statistics are internally consistent.
+#[test]
+fn stats_add_up() {
+    prop::check_cases("stats_add_up", CASES, |g| {
+        let mut tree = gen_conv_tree(g);
         let stats = run_pipeline(&mut tree);
         prop_assert_eq!(
             stats.tokens_identified + stats.tokens_unidentified,
@@ -175,5 +195,6 @@ proptest! {
         );
         prop_assert!(stats.tokens_via_classifier <= stats.tokens_identified);
         prop_assert!(stats.tokens_decomposed <= stats.tokens_identified);
-    }
+        Ok(())
+    });
 }

@@ -161,16 +161,15 @@ impl Pipeline {
         let mut results: Vec<Option<XmlDocument>> = Vec::new();
         results.resize_with(htmls.len(), || None);
         let chunk = htmls.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (inputs, outputs) in htmls.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (html, slot) in inputs.iter().zip(outputs.iter_mut()) {
                         *slot = Some(self.converter.convert_str(html).0);
                     }
                 });
             }
-        })
-        .expect("conversion workers do not panic");
+        });
         results
             .into_iter()
             .map(|d| d.expect("every slot filled"))

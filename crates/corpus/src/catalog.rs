@@ -8,9 +8,9 @@
 //! (experiment A5).
 
 use crate::style::HeadingStyle;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::{Rng, SeedableRng};
 use webre_concepts::{Comparator, Concept, ConceptRole, ConceptSet, Constraint, ConstraintSet};
 use webre_xml::{XmlDocument, XmlNode};
 

@@ -8,9 +8,9 @@
 //! the topic concepts and only follows links from relevant pages.
 
 use crate::generator::CorpusGenerator;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 use webre_concepts::{matcher::matched_concepts, ConceptSet};
 

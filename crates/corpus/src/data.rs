@@ -2,12 +2,12 @@
 //! particular author marks it up.
 
 use crate::pools;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::Rng;
+use webre_substrate::impl_json_struct;
 
 /// One education entry.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EducationEntry {
     pub institution: String,
     pub degree: String,
@@ -19,7 +19,7 @@ pub struct EducationEntry {
 }
 
 /// One experience entry.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperienceEntry {
     pub employer: String,
     pub position: String,
@@ -31,7 +31,7 @@ pub struct ExperienceEntry {
 }
 
 /// The full content of one resume.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResumeData {
     pub name: String,
     pub street: String,
@@ -47,6 +47,36 @@ pub struct ResumeData {
     pub activities: Vec<String>,
     pub reference: String,
 }
+
+impl_json_struct!(EducationEntry {
+    institution,
+    degree,
+    major,
+    date,
+    gpa
+});
+impl_json_struct!(ExperienceEntry {
+    employer,
+    position,
+    location,
+    date,
+    bullets
+});
+impl_json_struct!(ResumeData {
+    name,
+    street,
+    phone,
+    email,
+    objective,
+    summary,
+    education,
+    experience,
+    skills,
+    courses,
+    awards,
+    activities,
+    reference
+});
 
 fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
     pool.choose(rng).expect("pools are non-empty")
@@ -152,8 +182,8 @@ impl ResumeData {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use webre_substrate::rand::rngs::StdRng;
+    use webre_substrate::rand::SeedableRng;
 
     #[test]
     fn sampling_is_deterministic_per_seed() {

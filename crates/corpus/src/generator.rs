@@ -3,8 +3,8 @@
 use crate::data::ResumeData;
 use crate::render::{render, Rendered};
 use crate::style::StyleModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::{Rng, SeedableRng};
 use webre_xml::XmlDocument;
 
 /// One generated document: the HTML a "crawler" would fetch, the content

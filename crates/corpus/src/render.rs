@@ -12,7 +12,7 @@
 
 use crate::data::{EducationEntry, ExperienceEntry, ResumeData};
 use crate::style::{ContactStyle, EntryLayout, HeadingStyle, Section, StyleModel};
-use rand::Rng;
+use webre_substrate::rand::Rng;
 use webre_tree::NodeId;
 use webre_xml::{XmlDocument, XmlNode};
 
@@ -382,8 +382,8 @@ fn flat_truth(truth: &mut XmlDocument, section_node: NodeId, entries: &[Vec<Fiel
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use webre_substrate::rand::rngs::StdRng;
+    use webre_substrate::rand::SeedableRng;
     use webre_convert::accuracy::logical_errors;
     use webre_convert::Converter;
     use webre_concepts::resume;
@@ -501,18 +501,18 @@ mod tests {
     }
 
     #[test]
-    fn style_model_serde_round_trip() {
+    fn style_model_json_round_trip() {
         let style = StyleModel::sample(&mut StdRng::seed_from_u64(4));
-        let json = serde_json::to_string(&style).unwrap();
-        let back: StyleModel = serde_json::from_str(&json).unwrap();
+        let json = webre_substrate::json::to_string(&style);
+        let back: StyleModel = webre_substrate::json::from_str(&json).unwrap();
         assert_eq!(style, back);
     }
 
     #[test]
-    fn resume_data_serde_round_trip() {
+    fn resume_data_json_round_trip() {
         let data = ResumeData::sample(&mut StdRng::seed_from_u64(4));
-        let json = serde_json::to_string(&data).unwrap();
-        let back: ResumeData = serde_json::from_str(&json).unwrap();
+        let json = webre_substrate::json::to_string(&data);
+        let back: ResumeData = webre_substrate::json::from_str(&json).unwrap();
         assert_eq!(data, back);
     }
 

@@ -6,12 +6,12 @@
 //! consumes it to produce HTML, and each generated document samples a
 //! fresh style.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::Rng;
+use webre_substrate::{impl_json_enum_unit, impl_json_struct};
 
 /// How section headings are marked up.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum HeadingStyle {
     H1,
     H2,
@@ -26,7 +26,7 @@ pub enum HeadingStyle {
 }
 
 /// How repeated entries (education, experience) are laid out.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EntryLayout {
     /// `<ul><li>field, field, field</li>...</ul>`
     BulletList,
@@ -39,7 +39,7 @@ pub enum EntryLayout {
 }
 
 /// How the contact block is rendered.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ContactStyle {
     /// A "Contact Information" heading followed by the fields.
     Headed,
@@ -48,7 +48,7 @@ pub enum ContactStyle {
 }
 
 /// Resume sections, in canonical order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Section {
     Contact,
     Objective,
@@ -98,7 +98,7 @@ impl Section {
 }
 
 /// One author's rendering habits.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StyleModel {
     pub heading: HeadingStyle,
     pub entry_layout: EntryLayout,
@@ -119,6 +119,46 @@ pub struct StyleModel {
     /// Leave some <li>/<p> elements unclosed (tag soup).
     pub sloppy_closing: bool,
 }
+
+impl_json_enum_unit!(HeadingStyle {
+    H1,
+    H2,
+    H3,
+    BoldParagraph,
+    UnderlineParagraph,
+    MixedH2H3
+});
+impl_json_enum_unit!(EntryLayout {
+    BulletList,
+    Table,
+    DefinitionList,
+    Paragraphs
+});
+impl_json_enum_unit!(ContactStyle { Headed, Bare });
+impl_json_enum_unit!(Section {
+    Contact,
+    Objective,
+    Summary,
+    Education,
+    Experience,
+    Skills,
+    Courses,
+    Awards,
+    Activities,
+    Reference
+});
+impl_json_struct!(StyleModel {
+    heading,
+    entry_layout,
+    contact,
+    semicolon_fields,
+    h1_name,
+    section_order,
+    heading_texts,
+    updated_footer,
+    decorative_markup,
+    sloppy_closing
+});
 
 impl StyleModel {
     /// Samples an author style.
@@ -233,8 +273,8 @@ impl StyleModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use webre_substrate::rand::rngs::StdRng;
+    use webre_substrate::rand::SeedableRng;
 
     #[test]
     fn sampling_is_deterministic() {

@@ -1,74 +1,90 @@
 //! Property tests for the HTML substrate.
 
-use proptest::prelude::*;
-use webre_html::{entities, parse, to_html, tidy};
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
+use webre_html::{entities, parse, tidy, to_html};
 
 /// Random text without markup-significant characters.
-fn plain_text() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 .,;:()]{0,24}"
+fn plain_text(g: &mut Gen) -> String {
+    g.chars_in(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:()",
+        0,
+        24,
+    )
 }
 
-/// Strategy producing random (well-formed-ish) HTML fragments.
-fn html_fragment(depth: u32) -> BoxedStrategy<String> {
-    let leaf = plain_text();
+const TAGS: &[&str] = &["p", "div", "b", "i", "span", "h2", "ul", "li", "em"];
+
+/// Generates a random (well-formed-ish) HTML fragment.
+fn html_fragment(g: &mut Gen, depth: u32) -> String {
     if depth == 0 {
-        return leaf.boxed();
+        return plain_text(g);
     }
-    let tag = prop_oneof![
-        Just("p"),
-        Just("div"),
-        Just("b"),
-        Just("i"),
-        Just("span"),
-        Just("h2"),
-        Just("ul"),
-        Just("li"),
-        Just("em"),
-    ];
-    let inner = proptest::collection::vec(html_fragment(depth - 1), 0..3);
-    (tag, inner)
-        .prop_map(|(t, parts)| format!("<{t}>{}</{t}>", parts.concat()))
-        .boxed()
+    let tag = *g.pick(TAGS);
+    let parts = g.vec(0, 2, |g| html_fragment(g, depth - 1));
+    format!("<{tag}>{}</{tag}>", parts.concat())
 }
 
-proptest! {
-    #[test]
-    fn entity_decode_never_panics(s in ".{0,64}") {
+#[test]
+fn entity_decode_never_panics() {
+    prop::check("entity_decode_never_panics", |g| {
+        let s = g.arbitrary_text(0, 64);
         let _ = entities::decode(&s);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn entity_escape_decode_round_trip(s in "[ -~]{0,64}") {
+#[test]
+fn entity_escape_decode_round_trip() {
+    prop::check("entity_escape_decode_round_trip", |g| {
+        let s = g.printable_ascii(0, 64);
         prop_assert_eq!(entities::decode(&entities::escape_text(&s)), s.clone());
         prop_assert_eq!(entities::decode(&entities::escape_attr(&s)), s);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(s in ".{0,256}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    prop::check("parser_never_panics_on_arbitrary_input", |g| {
+        let s = g.arbitrary_text(0, 256);
         let doc = parse(&s);
         prop_assert!(doc.tree.check_integrity().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parse_serialize_parse_is_stable(frag in html_fragment(3)) {
+#[test]
+fn parse_serialize_parse_is_stable() {
+    prop::check("parse_serialize_parse_is_stable", |g| {
+        let frag = html_fragment(g, 3);
         let once = parse(&frag);
         let rendered = to_html(&once);
         let twice = parse(&rendered);
         prop_assert!(
-            once.tree.subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()),
+            once.tree
+                .subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()),
             "unstable round trip for {frag:?} -> {rendered:?}"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn text_content_preserved_by_parsing(texts in proptest::collection::vec("[a-z]{1,8}", 1..5)) {
+#[test]
+fn text_content_preserved_by_parsing() {
+    prop::check("text_content_preserved_by_parsing", |g| {
+        let texts = g.vec(1, 4, |g| g.chars_in("abcdefghijklmnopqrstuvwxyz", 1, 8));
         let html: String = texts.iter().map(|t| format!("<p>{t}</p>")).collect();
         let doc = parse(&html);
         prop_assert_eq!(doc.text_content(), texts.concat());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tidy_preserves_integrity_and_non_ws_text(frag in html_fragment(3)) {
+#[test]
+fn tidy_preserves_integrity_and_non_ws_text() {
+    prop::check("tidy_preserves_integrity_and_non_ws_text", |g| {
+        let frag = html_fragment(g, 3);
         let mut doc = parse(&frag);
         tidy(&mut doc);
         prop_assert!(doc.tree.check_integrity().is_ok());
@@ -76,14 +92,21 @@ proptest! {
         let before: String = parse(&frag).text_content().split_whitespace().collect();
         let after: String = doc.text_content().split_whitespace().collect();
         prop_assert_eq!(before, after);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tidy_is_idempotent(frag in html_fragment(3)) {
+#[test]
+fn tidy_is_idempotent() {
+    prop::check("tidy_is_idempotent", |g| {
+        let frag = html_fragment(g, 3);
         let mut doc = parse(&frag);
         tidy(&mut doc);
         let once = doc.clone();
         tidy(&mut doc);
-        prop_assert!(once.tree.subtree_eq(once.tree.root(), &doc.tree, doc.tree.root()));
-    }
+        prop_assert!(once
+            .tree
+            .subtree_eq(once.tree.root(), &doc.tree, doc.tree.root()));
+        Ok(())
+    });
 }

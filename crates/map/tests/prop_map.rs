@@ -1,29 +1,30 @@
 //! Property tests for tree-edit distance and edit scripts.
 
-use proptest::prelude::*;
 use webre_map::edit_script::{edit_script, EditOp};
 use webre_map::{edit_distance, EditCosts};
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_tree::Tree;
 
+const CASES: u32 = 128;
+
 /// Random label tree over a tiny alphabet.
-fn tree_strategy() -> impl Strategy<Value = Tree<String>> {
-    let spec = proptest::collection::vec((0usize..8, "[a-d]"), 0..16);
-    spec.prop_map(|nodes| {
-        let mut tree = Tree::new("r".to_owned());
-        let mut ids = vec![tree.root()];
-        for (parent, label) in nodes {
-            let p = ids[parent % ids.len()];
-            ids.push(tree.append_child(p, label));
-        }
-        tree
-    })
+fn gen_tree(g: &mut Gen) -> Tree<String> {
+    let nodes = g.vec(0, 15, |g| (g.int(0usize..8), g.chars_in("abcd", 1, 1)));
+    let mut tree = Tree::new("r".to_owned());
+    let mut ids = vec![tree.root()];
+    for (parent, label) in nodes {
+        let p = ids[parent % ids.len()];
+        ids.push(tree.append_child(p, label));
+    }
+    tree
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn distance_is_a_metric_ish(a in tree_strategy(), b in tree_strategy()) {
+#[test]
+fn distance_is_a_metric_ish() {
+    prop::check_cases("distance_is_a_metric_ish", CASES, |g| {
+        let a = gen_tree(g);
+        let b = gen_tree(g);
         let costs = EditCosts::default();
         let d_ab = edit_distance(&a, &b, &costs);
         let d_ba = edit_distance(&b, &a, &costs);
@@ -36,19 +37,30 @@ proptest! {
         let diff = (a.subtree_size(a.root()) as i64 - b.subtree_size(b.root()) as i64)
             .unsigned_abs() as u32;
         prop_assert!(d_ab >= diff);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn triangle_inequality(a in tree_strategy(), b in tree_strategy(), c in tree_strategy()) {
+#[test]
+fn triangle_inequality() {
+    prop::check_cases("triangle_inequality", CASES, |g| {
+        let a = gen_tree(g);
+        let b = gen_tree(g);
+        let c = gen_tree(g);
         let costs = EditCosts::default();
         let ab = edit_distance(&a, &b, &costs);
         let bc = edit_distance(&b, &c, &costs);
         let ac = edit_distance(&a, &c, &costs);
         prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn script_cost_equals_distance(a in tree_strategy(), b in tree_strategy()) {
+#[test]
+fn script_cost_equals_distance() {
+    prop::check_cases("script_cost_equals_distance", CASES, |g| {
+        let a = gen_tree(g);
+        let b = gen_tree(g);
         let costs = EditCosts::default();
         let (cost, ops) = edit_script(&a, &b, &costs);
         prop_assert_eq!(cost, edit_distance(&a, &b, &costs));
@@ -70,10 +82,15 @@ proptest! {
         }
         prop_assert!(from_seen.iter().all(|c| *c == 1));
         prop_assert!(to_seen.iter().all(|c| *c == 1));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matches_preserve_postorder_order(a in tree_strategy(), b in tree_strategy()) {
+#[test]
+fn matches_preserve_postorder_order() {
+    prop::check_cases("matches_preserve_postorder_order", CASES, |g| {
+        let a = gen_tree(g);
+        let b = gen_tree(g);
         // A valid Zhang–Shasha mapping is order-preserving on post-order
         // indices for nodes on the same root path structure; at minimum the
         // pair lists must be strictly increasing when sorted by source.
@@ -91,5 +108,6 @@ proptest! {
             prop_assert!(w[0].0 < w[1].0);
             prop_assert!(w[0].1 != w[1].1, "target node mapped twice");
         }
-    }
+        Ok(())
+    });
 }

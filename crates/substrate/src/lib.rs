@@ -1,0 +1,28 @@
+//! `webre-substrate` — the std-only substrate under the whole workspace.
+//!
+//! The build environment for this repository is hermetic: no crate may be
+//! fetched from a registry. This crate provides deterministic, in-tree
+//! replacements for the handful of external libraries the workspace used
+//! to depend on:
+//!
+//! * [`rand`] — a seedable PRNG (SplitMix64 seeding a Xoshiro256\*\*
+//!   generator) with the `rand`-crate surface the corpus generator uses
+//!   (`gen_range`, `gen_bool`, `choose`, `choose_multiple`, `shuffle`);
+//! * [`json`] — a minimal JSON value type with parser and (pretty)
+//!   serializer plus `ToJson`/`FromJson` traits and derive-like macros,
+//!   replacing `serde`/`serde_json`;
+//! * [`prop`] — a deterministic property-testing harness (seeded case
+//!   generation, shrinking-lite by size scaling, failure-seed reporting),
+//!   replacing `proptest`;
+//! * [`bench`] — a monotonic-clock micro-benchmark harness with a
+//!   criterion-shaped API that prints median/p95 per iteration and emits
+//!   JSON-lines records, replacing `criterion`.
+//!
+//! Everything in here is `std`-only and deterministic under a fixed seed;
+//! there is no ambient entropy anywhere (the bench harness reads the clock,
+//! but only to *measure*, never to *decide*).
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rand;

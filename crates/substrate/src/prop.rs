@@ -1,0 +1,431 @@
+//! Deterministic property-testing harness.
+//!
+//! Replaces `proptest` for this workspace. A property is a closure from a
+//! [`Gen`] (a seeded input generator) to `Result<(), String>`; the harness
+//! runs it over a deterministic sequence of case seeds derived from the
+//! property name, so the whole suite is reproducible run-to-run with no
+//! regression files.
+//!
+//! On failure the harness performs *shrinking-lite*: it replays the
+//! failing case seed at progressively smaller size scales (the `Gen`
+//! regenerates structurally smaller inputs from the same randomness), and
+//! reports the smallest scale that still fails together with the seed, so
+//! a failure message always carries an exact reproduction recipe:
+//!
+//! ```text
+//! property 'traversal_counts_agree' failed (case 17 of 64)
+//!   seed: 0x9a3cfe4411aa22bb  scale: 12%
+//!   reproduce with: WEBRE_PROP_SEED=0x9a3cfe4411aa22bb cargo test -q traversal_counts_agree
+//! ```
+//!
+//! Environment knobs:
+//! * `WEBRE_PROP_CASES` — cases per property (default 64);
+//! * `WEBRE_PROP_SEED` — replay exactly one case seed (hex with or
+//!   without `0x`, or decimal) at full scale.
+//!
+//! ```
+//! use webre_substrate::{prop, prop_assert, prop_assert_eq};
+//!
+//! prop::check("reverse_is_involutive", |g| {
+//!     let v: Vec<u8> = g.vec(0, 32, |g| g.int(0..=255) as u8);
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert_eq!(w, v);
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rand::rngs::StdRng;
+use crate::rand::seq::SliceRandom;
+use crate::rand::{Rng, SampleRange, SeedableRng, SplitMix64};
+use crate::rand::RngCore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// The size-scale ladder tried during shrinking, in percent.
+const SHRINK_SCALES: [u32; 6] = [50, 25, 12, 6, 3, 1];
+
+/// Seeded input generator handed to properties.
+///
+/// All drawing goes through the owned [`StdRng`], so a `(seed, scale)`
+/// pair fully determines every generated value. The `scale` (1–100)
+/// shrinks the *size* of generated collections and strings without
+/// changing the draw sequence semantics — the shrinking-lite mechanism.
+pub struct Gen {
+    rng: StdRng,
+    scale: u32,
+}
+
+impl Gen {
+    fn new(seed: u64, scale: u32) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            scale: scale.clamp(1, 100),
+        }
+    }
+
+    /// The raw generator, for callers that need `Rng`/`SliceRandom`
+    /// directly (e.g. feeding a function under test that takes an rng).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// A uniform integer from a range (`a..b` or `a..=b`), unscaled.
+    pub fn int<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A collection length in `[lo, hi]`, with `hi` pulled toward `lo` by
+    /// the current shrink scale. This is the knob shrinking turns.
+    pub fn len(&mut self, lo: usize, hi: usize) -> usize {
+        let hi = hi.max(lo);
+        let scaled_span = ((hi - lo) as u64 * self.scale as u64).div_ceil(100) as usize;
+        self.rng.gen_range(lo..=lo + scaled_span)
+    }
+
+    /// A vector of `len(lo, hi)` elements drawn by `f`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        items
+            .choose(&mut self.rng)
+            .expect("Gen::pick on empty slice")
+    }
+
+    /// A string of `len(lo, hi)` chars drawn from `charset`.
+    pub fn chars_in(&mut self, charset: &str, lo: usize, hi: usize) -> String {
+        let chars: Vec<char> = charset.chars().collect();
+        assert!(!chars.is_empty(), "empty charset");
+        let n = self.len(lo, hi);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// A printable-ASCII string (the `[ -~]` class).
+    pub fn printable_ascii(&mut self, lo: usize, hi: usize) -> String {
+        let n = self.len(lo, hi);
+        (0..n)
+            .map(|_| char::from(self.int(0x20u8..=0x7e)))
+            .collect()
+    }
+
+    /// A printable-ASCII string excluding the characters in `excluded`.
+    pub fn printable_ascii_except(&mut self, excluded: &str, lo: usize, hi: usize) -> String {
+        let n = self.len(lo, hi);
+        let mut out = String::with_capacity(n);
+        while out.chars().count() < n {
+            let c = char::from(self.int(0x20u8..=0x7e));
+            if !excluded.contains(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Arbitrary text: a mix of ASCII, markup-significant characters,
+    /// control characters and multi-byte unicode — the stand-in for
+    /// proptest's `.{0,n}` byte-soup strategies.
+    pub fn arbitrary_text(&mut self, lo: usize, hi: usize) -> String {
+        const SPICE: &[char] = &[
+            '<', '>', '&', '"', '\'', '/', '=', '\\', '\n', '\t', '\r', '\u{0}', '\u{1}',
+            '\u{7f}', '\u{e9}', '\u{4e2d}', '\u{1F393}', '\u{2028}', ';', ',', ':', '.', '-',
+        ];
+        let n = self.len(lo, hi);
+        (0..n)
+            .map(|_| {
+                if self.bool(0.75) {
+                    char::from(self.int(0x20u8..=0x7e))
+                } else {
+                    *self.pick(SPICE)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A reproducible property failure.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The case seed that fails (feed to `WEBRE_PROP_SEED` to replay).
+    pub seed: u64,
+    /// The smallest size scale (percent) at which the seed still fails.
+    pub scale: u32,
+    /// Which case (0-based) out of how many.
+    pub case: u32,
+    /// The failure message (assertion text or panic payload).
+    pub message: String,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_owned()
+    }
+}
+
+fn run_once(
+    f: &(impl Fn(&mut Gen) -> Result<(), String> + ?Sized),
+    seed: u64,
+    scale: u32,
+) -> Result<(), String> {
+    let mut gen = Gen::new(seed, scale);
+    match catch_unwind(AssertUnwindSafe(|| f(&mut gen))) {
+        Ok(result) => result,
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+/// Derives the deterministic case-seed stream for a property name.
+fn seed_stream(name: &str) -> SplitMix64 {
+    // FNV-1a over the property name keys the stream, so properties are
+    // independent and renaming one does not perturb the others.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SplitMix64::new(h)
+}
+
+fn cases_from_env() -> u32 {
+    std::env::var("WEBRE_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+fn replay_seed_from_env() -> Option<u64> {
+    let raw = std::env::var("WEBRE_PROP_SEED").ok()?;
+    let t = raw.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok().or_else(|| u64::from_str_radix(t, 16).ok())
+    };
+    match parsed {
+        Some(s) => Some(s),
+        None => panic!("unparseable WEBRE_PROP_SEED {raw:?}"),
+    }
+}
+
+/// Runs a property and returns the shrunk failure instead of panicking.
+/// This is the engine under [`check`]; it is public so the harness itself
+/// can be tested (failure-seed reproduction).
+pub fn check_result(
+    name: &str,
+    cases: u32,
+    f: impl Fn(&mut Gen) -> Result<(), String>,
+) -> Result<(), Failure> {
+    if let Some(seed) = replay_seed_from_env() {
+        return match run_once(&f, seed, 100) {
+            Ok(()) => Ok(()),
+            Err(message) => Err(Failure {
+                seed,
+                scale: 100,
+                case: 0,
+                message,
+            }),
+        };
+    }
+    let mut stream = seed_stream(name);
+    for case in 0..cases {
+        let seed = stream.next_u64();
+        if let Err(first_message) = run_once(&f, seed, 100) {
+            // Shrinking-lite: replay the same seed at smaller scales and
+            // keep the smallest one that still fails.
+            let mut best = Failure {
+                seed,
+                scale: 100,
+                case,
+                message: first_message,
+            };
+            for scale in SHRINK_SCALES {
+                if let Err(message) = run_once(&f, seed, scale) {
+                    best.scale = scale;
+                    best.message = message;
+                }
+            }
+            return Err(best);
+        }
+    }
+    Ok(())
+}
+
+/// Replays one `(seed, scale)` pair; `Ok(())` means the property holds
+/// there. Used to verify that a reported [`Failure`] reproduces.
+pub fn replay(
+    seed: u64,
+    scale: u32,
+    f: impl Fn(&mut Gen) -> Result<(), String>,
+) -> Result<(), String> {
+    run_once(&f, seed, scale)
+}
+
+/// Runs a property for the configured number of cases, panicking with a
+/// reproduction recipe on the first (shrunk) failure.
+pub fn check(name: &str, f: impl Fn(&mut Gen) -> Result<(), String>) {
+    check_cases(name, cases_from_env(), f);
+}
+
+/// [`check`] with an explicit case count (still overridden by
+/// `WEBRE_PROP_CASES` if set).
+pub fn check_cases(name: &str, cases: u32, f: impl Fn(&mut Gen) -> Result<(), String>) {
+    let cases = std::env::var("WEBRE_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(cases);
+    if let Err(fail) = check_result(name, cases, f) {
+        panic!(
+            "property '{name}' failed (case {} of {cases})\n  {}\n  seed: {:#018x}  scale: {}%\n  reproduce with: WEBRE_PROP_SEED={:#x} cargo test -q {name}",
+            fail.case, fail.message, fail.seed, fail.scale, fail.seed
+        );
+    }
+}
+
+/// In-property assertion: returns `Err` (not a panic) so the harness can
+/// shrink and report. Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`]. Mirrors
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check_cases("passing_property", 32, |g| {
+            let v: Vec<u32> = g.vec(0, 16, |g| g.int(0..100u32));
+            prop_assert!(v.len() <= 16);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_reproducible_seed() {
+        // A property that fails whenever the vector has > 3 elements.
+        let prop = |g: &mut Gen| {
+            let v: Vec<u32> = g.vec(0, 64, |g| g.int(0..10u32));
+            prop_assert!(v.len() <= 3, "too long: {}", v.len());
+            Ok(())
+        };
+        let failure = check_result("failing_property", 64, prop)
+            .expect_err("property should fail");
+        // The reported (seed, scale) pair must reproduce the failure...
+        assert!(replay(failure.seed, failure.scale, prop).is_err());
+        // ...and shrinking must have reduced the scale below full size.
+        assert!(failure.scale < 100, "no shrinking happened");
+        assert!(failure.message.contains("too long"));
+    }
+
+    #[test]
+    fn panics_are_caught_and_attributed() {
+        let prop = |g: &mut Gen| {
+            let n = g.int(0..1000u32);
+            if n > 200 {
+                panic!("boom at {n}");
+            }
+            Ok(())
+        };
+        let failure =
+            check_result("panicking_property", 64, prop).expect_err("should fail");
+        assert!(failure.message.contains("boom"), "{}", failure.message);
+        assert!(replay(failure.seed, failure.scale, prop).is_err());
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_name() {
+        let collect = |name: &str| -> Vec<u64> {
+            let mut s = seed_stream(name);
+            (0..8).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    #[test]
+    fn scale_shrinks_generated_sizes() {
+        let big = {
+            let mut g = Gen::new(99, 100);
+            g.len(0, 1000)
+        };
+        let mut small_max = 0;
+        for seed in 0..50 {
+            let mut g = Gen::new(seed, 1);
+            small_max = small_max.max(g.len(0, 1000));
+        }
+        assert!(small_max <= 10, "scale 1% produced length {small_max}");
+        assert!(big <= 1000);
+    }
+
+    #[test]
+    fn charset_strings_stay_in_charset() {
+        let mut g = Gen::new(5, 100);
+        let s = g.chars_in("abc", 0, 64);
+        assert!(s.chars().all(|c| "abc".contains(c)));
+        let p = g.printable_ascii_except("<>&\"", 0, 64);
+        assert!(p.chars().all(|c| (' '..='~').contains(&c) && !"<>&\"".contains(c)));
+    }
+}

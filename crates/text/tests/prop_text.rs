@@ -1,12 +1,18 @@
 //! Property tests for tokenization and the Bayes classifier.
 
-use proptest::prelude::*;
+use webre_substrate::prop::{self};
+use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_text::tokenize::{contains_word, split_tokens, words, Delimiters};
 use webre_text::{BayesTrainer, ConfusionMatrix};
 
-proptest! {
-    #[test]
-    fn tokens_partition_non_delimiter_content(s in "[a-zA-Z ;,:.]{0,64}") {
+#[test]
+fn tokens_partition_non_delimiter_content() {
+    prop::check("tokens_partition_non_delimiter_content", |g| {
+        let s = g.chars_in(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ;,:.",
+            0,
+            64,
+        );
         let delims = Delimiters::default();
         let tokens = split_tokens(&s, &delims);
         // Concatenated tokens contain exactly the non-delimiter,
@@ -21,41 +27,55 @@ proptest! {
             .filter(|c| !c.is_whitespace())
             .collect();
         prop_assert_eq!(actual, expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tokens_are_trimmed_and_non_empty(s in ".{0,64}") {
+#[test]
+fn tokens_are_trimmed_and_non_empty() {
+    prop::check("tokens_are_trimmed_and_non_empty", |g| {
+        let s = g.arbitrary_text(0, 64);
         for t in split_tokens(&s, &Delimiters::default()) {
             prop_assert!(!t.is_empty());
             prop_assert_eq!(t.trim(), &t);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn words_are_lowercase_alphanumeric(s in ".{0,64}") {
+#[test]
+fn words_are_lowercase_alphanumeric() {
+    prop::check("words_are_lowercase_alphanumeric", |g| {
+        let s = g.arbitrary_text(0, 64);
         for w in words(&s) {
             prop_assert!(!w.is_empty());
             // Case-folded (chars without a lowercase mapping stay as-is)
             // and alphanumeric-only.
             prop_assert!(
-                w == "#num"
-                    || (w.chars().all(char::is_alphanumeric) && w.to_lowercase() == w),
+                w == "#num" || (w.chars().all(char::is_alphanumeric) && w.to_lowercase() == w),
                 "bad word {w:?}"
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn contains_word_implies_substring(hay in "[a-z ]{0,32}", needle in "[a-z]{1,8}") {
+#[test]
+fn contains_word_implies_substring() {
+    prop::check("contains_word_implies_substring", |g| {
+        let hay = g.chars_in("abcdefghijklmnopqrstuvwxyz ", 0, 32);
+        let needle = g.chars_in("abcdefghijklmnopqrstuvwxyz", 1, 8);
         if contains_word(&hay, &needle) {
             prop_assert!(hay.contains(&needle));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn classifier_recovers_training_labels(
-        labels in proptest::collection::vec("[a-c]", 2..5),
-    ) {
+#[test]
+fn classifier_recovers_training_labels() {
+    prop::check("classifier_recovers_training_labels", |g| {
+        let labels = g.vec(2, 4, |g| g.chars_in("abc", 1, 1));
         // Train with strongly class-specific vocabulary; training examples
         // must classify back to their own label.
         let mut trainer = BayesTrainer::new();
@@ -66,10 +86,14 @@ proptest! {
         for l in &labels {
             prop_assert_eq!(c.classify(&format!("marker{l} word{l}")), Some(l.as_str()));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn scores_are_finite_and_total(s in ".{0,48}") {
+#[test]
+fn scores_are_finite_and_total() {
+    prop::check("scores_are_finite_and_total", |g| {
+        let s = g.arbitrary_text(0, 48);
         let mut trainer = BayesTrainer::new();
         trainer.add("a", "alpha beta");
         trainer.add("b", "gamma delta");
@@ -79,12 +103,14 @@ proptest! {
         for (_, p) in scores {
             prop_assert!(p.is_finite());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn confusion_matrix_totals_add_up(
-        obs in proptest::collection::vec(("[a-c]", "[a-c]"), 0..32),
-    ) {
+#[test]
+fn confusion_matrix_totals_add_up() {
+    prop::check("confusion_matrix_totals_add_up", |g| {
+        let obs = g.vec(0, 31, |g| (g.chars_in("abc", 1, 1), g.chars_in("abc", 1, 1)));
         let mut m = ConfusionMatrix::new();
         for (a, p) in &obs {
             m.record(a, p);
@@ -99,5 +125,6 @@ proptest! {
                 prop_assert!((0.0..=1.0).contains(&r));
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the arena tree: random edit sequences must keep
 //! the doubly-linked structure consistent and the traversals coherent.
 
-use proptest::prelude::*;
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_tree::{Edge, NodeId, Tree};
 
 /// A randomly generated structural edit, applied against the list of ids
@@ -16,15 +17,19 @@ enum Op {
     Reattach(usize, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..64).prop_map(Op::AppendChild),
-        (0usize..64).prop_map(Op::PrependChild),
-        (0usize..64).prop_map(Op::InsertAfter),
-        (0usize..64).prop_map(Op::Detach),
-        (0usize..64).prop_map(Op::ReplaceWithChildren),
-        ((0usize..64), (0usize..64)).prop_map(|(a, b)| Op::Reattach(a, b)),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.int(0..6u32) {
+        0 => Op::AppendChild(g.int(0usize..64)),
+        1 => Op::PrependChild(g.int(0usize..64)),
+        2 => Op::InsertAfter(g.int(0usize..64)),
+        3 => Op::Detach(g.int(0usize..64)),
+        4 => Op::ReplaceWithChildren(g.int(0usize..64)),
+        _ => Op::Reattach(g.int(0usize..64), g.int(0usize..64)),
+    }
+}
+
+fn gen_ops(g: &mut Gen, hi: usize) -> Vec<Op> {
+    g.vec(1, hi, gen_op)
 }
 
 fn apply(tree: &mut Tree<u32>, ids: &mut Vec<NodeId>, op: &Op, counter: &mut u32) {
@@ -80,26 +85,38 @@ fn apply(tree: &mut Tree<u32>, ids: &mut Vec<NodeId>, op: &Op, counter: &mut u32
     }
 }
 
-proptest! {
-    #[test]
-    fn random_edits_preserve_integrity(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut tree = Tree::new(0u32);
-        let mut ids = vec![tree.root()];
-        let mut counter = 0u32;
-        for op in &ops {
-            apply(&mut tree, &mut ids, op, &mut counter);
-            prop_assert!(tree.check_integrity().is_ok(), "integrity violated after {op:?}");
-        }
+fn build(ops: &[Op]) -> Tree<u32> {
+    let mut tree = Tree::new(0u32);
+    let mut ids = vec![tree.root()];
+    let mut counter = 0u32;
+    for op in ops {
+        apply(&mut tree, &mut ids, op, &mut counter);
     }
+    tree
+}
 
-    #[test]
-    fn traversal_counts_agree(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn random_edits_preserve_integrity() {
+    prop::check("random_edits_preserve_integrity", |g| {
+        let ops = gen_ops(g, 120);
         let mut tree = Tree::new(0u32);
         let mut ids = vec![tree.root()];
         let mut counter = 0u32;
         for op in &ops {
             apply(&mut tree, &mut ids, op, &mut counter);
+            prop_assert!(
+                tree.check_integrity().is_ok(),
+                "integrity violated after {op:?}"
+            );
         }
+        Ok(())
+    });
+}
+
+#[test]
+fn traversal_counts_agree() {
+    prop::check("traversal_counts_agree", |g| {
+        let tree = build(&gen_ops(g, 120));
         let pre = tree.descendants(tree.root()).count();
         let post = tree.post_order(tree.root()).count();
         let opens = tree
@@ -109,49 +126,47 @@ proptest! {
         prop_assert_eq!(pre, post);
         prop_assert_eq!(pre, opens);
         prop_assert_eq!(pre, tree.subtree_size(tree.root()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn every_attached_node_reaches_root(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut tree = Tree::new(0u32);
-        let mut ids = vec![tree.root()];
-        let mut counter = 0u32;
-        for op in &ops {
-            apply(&mut tree, &mut ids, op, &mut counter);
-        }
+#[test]
+fn every_attached_node_reaches_root() {
+    prop::check("every_attached_node_reaches_root", |g| {
+        let tree = build(&gen_ops(g, 120));
         for id in tree.descendants(tree.root()).collect::<Vec<_>>() {
             if id != tree.root() {
                 prop_assert!(tree.ancestors(id).last() == Some(tree.root()));
                 prop_assert_eq!(tree.depth(id), tree.ancestors(id).count());
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn extract_subtree_round_trips(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        let mut tree = Tree::new(0u32);
-        let mut ids = vec![tree.root()];
-        let mut counter = 0u32;
-        for op in &ops {
-            apply(&mut tree, &mut ids, op, &mut counter);
-        }
+#[test]
+fn extract_subtree_round_trips() {
+    prop::check("extract_subtree_round_trips", |g| {
+        let tree = build(&gen_ops(g, 80));
         let copy = tree.extract_subtree(tree.root());
         prop_assert!(tree.subtree_eq(tree.root(), &copy, copy.root()));
-        prop_assert_eq!(tree.subtree_size(tree.root()), copy.subtree_size(copy.root()));
-    }
+        prop_assert_eq!(
+            tree.subtree_size(tree.root()),
+            copy.subtree_size(copy.root())
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sibling_index_matches_position(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        let mut tree = Tree::new(0u32);
-        let mut ids = vec![tree.root()];
-        let mut counter = 0u32;
-        for op in &ops {
-            apply(&mut tree, &mut ids, op, &mut counter);
-        }
+#[test]
+fn sibling_index_matches_position() {
+    prop::check("sibling_index_matches_position", |g| {
+        let tree = build(&gen_ops(g, 80));
         for parent in tree.descendants(tree.root()).collect::<Vec<_>>() {
             for (i, child) in tree.children(parent).enumerate() {
                 prop_assert_eq!(tree.sibling_index(child), i);
             }
         }
-    }
+        Ok(())
+    });
 }

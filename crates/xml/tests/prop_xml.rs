@@ -1,57 +1,68 @@
 //! Property tests for the XML substrate: writer/parser round trips, name
 //! sanitization, and the derivative matcher against a brute-force oracle.
 
-use proptest::prelude::*;
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_xml::dtd::parse_content_expr;
 use webre_xml::name::{is_valid_name, sanitize};
 use webre_xml::validate::matches;
 use webre_xml::{parse_xml, to_xml, to_xml_pretty, ContentExpr, XmlDocument, XmlNode};
 
-/// Random concept-like element names.
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9-]{0,8}".prop_filter("no xml prefix", |s| !s.starts_with("xml"))
+/// Random concept-like element names (never starting with "xml").
+fn gen_name(g: &mut Gen) -> String {
+    let mut name = g.chars_in("abcdefghijklmnopqrstuvwxyz", 1, 1);
+    name.push_str(&g.chars_in("abcdefghijklmnopqrstuvwxyz0123456789-", 0, 8));
+    if name.starts_with("xml") {
+        name.replace_range(0..1, "q");
+    }
+    name
 }
 
 /// Random XML documents over a small name alphabet.
-fn doc_strategy() -> impl Strategy<Value = XmlDocument> {
-    let shape = proptest::collection::vec((0usize..6, name_strategy(), "[ -~&&[^\"&<>]]{0,12}"), 0..24);
-    shape.prop_map(|nodes| {
-        let mut doc = XmlDocument::new("root");
-        let mut ids = vec![doc.root()];
-        for (parent_idx, name, val) in nodes {
-            let parent = ids[parent_idx % ids.len()];
-            let node = if val.is_empty() {
-                XmlNode::element(name)
-            } else {
-                XmlNode::element_with_val(name, val)
-            };
-            ids.push(doc.tree.append_child(parent, node));
-        }
-        doc
-    })
+fn gen_doc(g: &mut Gen) -> XmlDocument {
+    let nodes = g.vec(0, 23, |g| {
+        (
+            g.int(0usize..6),
+            gen_name(g),
+            g.printable_ascii_except("\"&<>", 0, 12),
+        )
+    });
+    let mut doc = XmlDocument::new("root");
+    let mut ids = vec![doc.root()];
+    for (parent_idx, name, val) in nodes {
+        let parent = ids[parent_idx % ids.len()];
+        let node = if val.is_empty() {
+            XmlNode::element(name)
+        } else {
+            XmlNode::element_with_val(name, val)
+        };
+        ids.push(doc.tree.append_child(parent, node));
+    }
+    doc
 }
 
 /// A small random content expression over the alphabet {a, b, c}.
-fn expr_strategy() -> impl Strategy<Value = ContentExpr> {
-    let leaf = prop_oneof![
-        Just(ContentExpr::Name("a".into())),
-        Just(ContentExpr::Name("b".into())),
-        Just(ContentExpr::Name("c".into())),
-        Just(ContentExpr::PcData),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Seq),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(ContentExpr::Choice),
-            inner.clone().prop_map(|e| ContentExpr::Opt(Box::new(e))),
-            inner.clone().prop_map(|e| ContentExpr::Star(Box::new(e))),
-            inner.prop_map(|e| ContentExpr::Plus(Box::new(e))),
-        ]
-    })
+fn gen_expr(g: &mut Gen, depth: u32) -> ContentExpr {
+    if depth == 0 {
+        return match g.int(0..4u32) {
+            0 => ContentExpr::Name("a".into()),
+            1 => ContentExpr::Name("b".into()),
+            2 => ContentExpr::Name("c".into()),
+            _ => ContentExpr::PcData,
+        };
+    }
+    match g.int(0..6u32) {
+        0 => ContentExpr::Seq(g.vec(1, 2, |g| gen_expr(g, depth - 1))),
+        1 => ContentExpr::Choice(g.vec(1, 2, |g| gen_expr(g, depth - 1))),
+        2 => ContentExpr::Opt(Box::new(gen_expr(g, depth - 1))),
+        3 => ContentExpr::Star(Box::new(gen_expr(g, depth - 1))),
+        4 => ContentExpr::Plus(Box::new(gen_expr(g, depth - 1))),
+        _ => gen_expr(g, 0),
+    }
 }
 
 /// Brute-force oracle: does `expr` match `tokens`? Exponential, fine for the
-/// tiny sizes proptest feeds it.
+/// tiny sizes the generator feeds it.
 fn oracle(expr: &ContentExpr, tokens: &[&str]) -> bool {
     match expr {
         ContentExpr::Empty => tokens.is_empty(),
@@ -81,46 +92,70 @@ fn oracle(expr: &ContentExpr, tokens: &[&str]) -> bool {
     }
 }
 
-proptest! {
-    #[test]
-    fn writer_parser_round_trip(doc in doc_strategy()) {
+#[test]
+fn writer_parser_round_trip() {
+    prop::check("writer_parser_round_trip", |g| {
+        let doc = gen_doc(g);
         let xml = to_xml(&doc);
         let parsed = parse_xml(&xml).unwrap();
-        prop_assert!(doc.tree.subtree_eq(doc.root(), &parsed.tree, parsed.root()),
-            "round trip failed for {xml}");
-    }
+        prop_assert!(
+            doc.tree.subtree_eq(doc.root(), &parsed.tree, parsed.root()),
+            "round trip failed for {xml}"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pretty_writer_parses_to_same_document(doc in doc_strategy()) {
+#[test]
+fn pretty_writer_parses_to_same_document() {
+    prop::check("pretty_writer_parses_to_same_document", |g| {
+        let doc = gen_doc(g);
         let xml = to_xml_pretty(&doc);
         let parsed = parse_xml(&xml).unwrap();
         prop_assert!(doc.tree.subtree_eq(doc.root(), &parsed.tree, parsed.root()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sanitize_always_valid(raw in ".{0,32}") {
+#[test]
+fn sanitize_always_valid() {
+    prop::check("sanitize_always_valid", |g| {
+        let raw = g.arbitrary_text(0, 32);
         prop_assert!(is_valid_name(&sanitize(&raw)));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sanitize_idempotent(raw in ".{0,32}") {
+#[test]
+fn sanitize_idempotent() {
+    prop::check("sanitize_idempotent", |g| {
+        let raw = g.arbitrary_text(0, 32);
         let once = sanitize(&raw);
         prop_assert_eq!(sanitize(&once), once.clone());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn derivative_matcher_agrees_with_oracle(
-        expr in expr_strategy(),
-        tokens in proptest::collection::vec(
-            prop_oneof![Just("a"), Just("b"), Just("c"), Just("#PCDATA")], 0..6),
-    ) {
-        let toks: Vec<&str> = tokens.clone();
-        prop_assert_eq!(matches(&expr, &toks), oracle(&expr, &toks),
-            "disagreement on {:?} vs {:?}", expr, toks);
-    }
+#[test]
+fn derivative_matcher_agrees_with_oracle() {
+    prop::check("derivative_matcher_agrees_with_oracle", |g| {
+        let expr = gen_expr(g, 3);
+        let tokens = g.vec(0, 5, |g| *g.pick(&["a", "b", "c", "#PCDATA"]));
+        prop_assert_eq!(
+            matches(&expr, &tokens),
+            oracle(&expr, &tokens),
+            "disagreement on {:?} vs {:?}",
+            expr,
+            tokens
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn content_expr_display_parse_round_trip(expr in expr_strategy()) {
+#[test]
+fn content_expr_display_parse_round_trip() {
+    prop::check("content_expr_display_parse_round_trip", |g| {
+        let expr = gen_expr(g, 3);
         let printed = expr.to_string();
         let reparsed = parse_content_expr(&printed).unwrap();
         // Display may drop redundant grouping, so compare by language on a
@@ -130,19 +165,31 @@ proptest! {
             let mut idxs = vec![0usize; len];
             loop {
                 let toks: Vec<&str> = idxs.iter().map(|i| alphabet[*i]).collect();
-                prop_assert_eq!(matches(&expr, &toks), matches(&reparsed, &toks),
-                    "language changed for {} on {:?}", printed, toks);
+                prop_assert_eq!(
+                    matches(&expr, &toks),
+                    matches(&reparsed, &toks),
+                    "language changed for {} on {:?}",
+                    printed,
+                    toks
+                );
                 // Odometer increment.
                 let mut k = 0;
                 loop {
-                    if k == len { break; }
+                    if k == len {
+                        break;
+                    }
                     idxs[k] += 1;
-                    if idxs[k] < alphabet.len() { break; }
+                    if idxs[k] < alphabet.len() {
+                        break;
+                    }
                     idxs[k] = 0;
                     k += 1;
                 }
-                if k == len { break; }
+                if k == len {
+                    break;
+                }
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example classifier_training`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::SeedableRng;
 use webre::concepts::resume;
 use webre::text::{BayesTrainer, ConfusionMatrix};
 use webre_concepts::matcher::find_matches;

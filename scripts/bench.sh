@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmarks and rewrites BENCH_pipeline.json from scratch.
+#
+# Each bench binary appends JSON-lines records (one object per benchmark:
+# name, median/p95 ns per iteration, samples, throughput) to the file, so
+# we clear it first to get exactly one fresh snapshot per invocation.
+# Knobs: WEBRE_BENCH_SAMPLES, WEBRE_BENCH_SAMPLE_MS (see webre-substrate's
+# bench module docs).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Resolve to an absolute path: bench binaries run with the bench crate's
+# directory as CWD, so a relative path would land inside crates/bench/.
+out="${WEBRE_BENCH_OUT:-$PWD/BENCH_pipeline.json}"
+case "$out" in
+    /*) ;;
+    *) out="$PWD/$out" ;;
+esac
+rm -f "$out"
+WEBRE_BENCH_OUT="$out" cargo bench -p webre-bench "$@"
+echo "==> $(wc -l <"$out") benchmark record(s) in $out"

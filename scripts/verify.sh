@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + dependency guard.
+#
+# The workspace must build and test offline with zero registry crates; the
+# guard fails if any non-workspace dependency reappears in Cargo.lock (for
+# example, someone adding `rand` back instead of using webre-substrate).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> dependency guard (Cargo.lock must contain only workspace crates)"
+# Registry/git dependencies carry a `source = ...` line in Cargo.lock;
+# path-only workspace members never do.
+if grep -n '^source = ' Cargo.lock; then
+    echo "FAIL: Cargo.lock contains non-workspace dependencies (see above)" >&2
+    exit 1
+fi
+# Belt and braces: every [[package]] name must be a workspace crate.
+bad=$(grep '^name = ' Cargo.lock | grep -v '^name = "webre' || true)
+if [ -n "$bad" ]; then
+    echo "FAIL: non-workspace package(s) in Cargo.lock:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+echo "OK: build, tests and dependency guard all passed"

@@ -2,32 +2,39 @@
 //! total (never panic, always produce well-formed output) on arbitrary
 //! input, and the parallel conversion must agree with the sequential one.
 
-use proptest::prelude::*;
 use webre::Pipeline;
 use webre_corpus::CorpusGenerator;
+use webre_substrate::prop::{self};
+use webre_substrate::{prop_assert, prop_assert_eq};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The converter is a total function over arbitrary byte soup: no
-    /// panic, a well-formed XML document out, integrity intact.
-    #[test]
-    fn converter_is_total_on_arbitrary_input(html in ".{0,512}") {
+/// The converter is a total function over arbitrary byte soup: no
+/// panic, a well-formed XML document out, integrity intact.
+#[test]
+fn converter_is_total_on_arbitrary_input() {
+    prop::check("converter_is_total_on_arbitrary_input", |g| {
+        let html = g.arbitrary_text(0, 512);
         let pipeline = Pipeline::resume_domain();
         let (doc, stats) = pipeline.convert_html(&html);
         prop_assert!(doc.tree.check_integrity().is_ok());
         prop_assert_eq!(doc.root_name(), "resume");
-        prop_assert!(stats.tokens_identified + stats.tokens_unidentified <= stats.tokens_total + stats.tokens_decomposed);
+        prop_assert!(
+            stats.tokens_identified + stats.tokens_unidentified
+                <= stats.tokens_total + stats.tokens_decomposed
+        );
         // Output must be reparseable XML.
         let xml = webre::xml::to_xml(&doc);
         let reparsed = webre::xml::parse_xml(&xml);
         prop_assert!(reparsed.is_ok(), "unparseable output for {html:?}: {xml}");
-    }
+        Ok(())
+    });
+}
 
-    /// Conversion output only ever contains concept names from the domain
-    /// (plus the root) as element names.
-    #[test]
-    fn output_elements_are_concept_names(html in "[ -~]{0,256}") {
+/// Conversion output only ever contains concept names from the domain
+/// (plus the root) as element names.
+#[test]
+fn output_elements_are_concept_names() {
+    prop::check("output_elements_are_concept_names", |g| {
+        let html = g.printable_ascii(0, 256);
         let pipeline = Pipeline::resume_domain();
         let concepts = webre::concepts::resume::concepts();
         let (doc, _) = pipeline.convert_html(&html);
@@ -39,12 +46,18 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Tag-soup mutations of a valid page must not panic and must keep the
-    /// root invariant.
-    #[test]
-    fn converter_survives_mutated_pages(seed in 0u64..50, cut in 0usize..1000, extra in "[<>/a-z\"=]{0,12}") {
+/// Tag-soup mutations of a valid page must not panic and must keep the
+/// root invariant.
+#[test]
+fn converter_survives_mutated_pages() {
+    prop::check("converter_survives_mutated_pages", |g| {
+        let seed = g.int(0u64..50);
+        let cut = g.int(0usize..1000);
+        let extra = g.chars_in("<>/abcdefghijklmnopqrstuvwxyz\"=", 0, 12);
         let mut html = CorpusGenerator::new(1).generate_one(seed as usize).html;
         let cut = cut.min(html.len());
         // Find a char boundary at or below `cut`, splice garbage in.
@@ -56,7 +69,8 @@ proptest! {
         let pipeline = Pipeline::resume_domain();
         let (doc, _) = pipeline.convert_html(&html);
         prop_assert!(doc.tree.check_integrity().is_ok());
-    }
+        Ok(())
+    });
 }
 
 #[test]
