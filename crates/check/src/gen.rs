@@ -1,0 +1,383 @@
+//! Structure-aware tag-soup generation and mutation.
+//!
+//! The generator produces the kind of HTML the paper's topic crawler
+//! actually encounters: visually-marked-up legacy pages with implied end
+//! tags, unclosed lists, entity soup, attribute noise and stray
+//! delimiters. Two flavors are produced:
+//!
+//! * [`soup_document`] — arbitrary tag soup, structure-aware (the tag
+//!   pool and nesting shape mirror [`webre_html::taxonomy`]) but with no
+//!   topical content; drives the parser/tidy/serializer oracles;
+//! * [`resume_like`] — a resume-shaped document (headings, lists,
+//!   tables) whose text draws from the resume domain vocabulary, so the
+//!   conversion and schema-discovery oracles see inputs that actually
+//!   exercise the restructuring rules;
+//! * [`mutate`] — a byte/region mutator applied on top of either flavor
+//!   (duplicate a span, delete a span, splice delimiters or entities),
+//!   which is what pushes the corpus off the happy path.
+//!
+//! Everything draws from a caller-supplied [`StdRng`], so a case seed
+//! fully determines the generated input.
+
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::Rng;
+
+/// Block-level container tags the generator nests.
+const BLOCK_TAGS: &[&str] = &[
+    "div", "p", "blockquote", "center", "ul", "ol", "dl", "table", "h1", "h2", "h3", "h4", "pre",
+];
+
+/// Tags that only make sense inside a specific parent; the generator
+/// emits them both correctly nested and stray (tag soup!).
+const CONTEXT_TAGS: &[&str] = &["li", "dt", "dd", "tr", "td", "th"];
+
+/// Text-level tags.
+const INLINE_TAGS: &[&str] = &["b", "i", "em", "strong", "font", "a", "span", "code", "tt", "u"];
+
+/// Void elements.
+const VOID_TAGS: &[&str] = &["br", "hr", "img", "input"];
+
+/// Entity soup: valid, numeric, unterminated and bogus references.
+const ENTITIES: &[&str] = &[
+    "&amp;", "&lt;", "&gt;", "&quot;", "&nbsp;", "&#65;", "&#x41;", "&copy;", "&amp", "&lt",
+    "&bogus;", "&#xZZ;", "&", "&&amp;;",
+];
+
+/// Delimiter storms: fragments that stress the lexer's tag detection.
+const DELIMITERS: &[&str] = &[
+    "<", ">", "<<", ">>", "</>", "< p>", "<p<div>", "<!>", "<!-", "<!-- unterminated",
+    "<a href=>", "=\"", "'", "-->",
+];
+
+/// Plain words for text nodes.
+const WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "omega", "lorem", "ipsum", "data", "web", "page",
+    "structure", "visual", "semantic", "legacy", "markup",
+];
+
+/// Resume-domain vocabulary: heading sentences and line content that the
+/// concept-instance rule can actually identify, so conversion produces
+/// non-trivial XML structure.
+const RESUME_HEADINGS: &[&str] = &[
+    "Education",
+    "Educational Background",
+    "Experience",
+    "Employment History",
+    "Contact Information",
+    "Objective",
+    "Skills",
+    "Honors and Awards",
+    "Relevant Coursework",
+    "Activities",
+    "References",
+    "Summary of Qualifications",
+];
+
+const RESUME_LINES: &[&str] = &[
+    "Stanford University, M.S., June 1996",
+    "University of California at Davis, B.S., June 1994",
+    "Foothill College, A.A., June 1992",
+    "Oracle Corporation, Principal Engineer, January 1993 - present",
+    "IBM Research, Summer Intern, 1991",
+    "(916) 555-0142",
+    "88 Birch Road, Sacramento, CA 94203",
+    "jane.doe@example.net",
+    "C, C++, Java, SQL",
+    "National Merit Scholarship, 1983",
+    "Database Systems; Operating Systems; Compilers",
+    "Dean's List, 1990",
+    "Seeking a senior engineering position",
+];
+
+/// A short run of random words, occasionally spiced with entity soup.
+fn text(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(1..=5);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        if rng.gen_bool(0.15) {
+            out.push_str(ENTITIES.choose(rng).expect("non-empty"));
+        } else {
+            out.push_str(WORDS.choose(rng).expect("non-empty"));
+        }
+    }
+    out
+}
+
+/// A noisy attribute list: quoted, single-quoted, unquoted, bare and
+/// value-with-specials forms.
+fn attrs(rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for _ in 0..rng.gen_range(0..=2u32) {
+        match rng.gen_range(0..=4u32) {
+            0 => out.push_str(" class=\"x y\""),
+            1 => out.push_str(" id=a1"),
+            2 => out.push_str(" checked"),
+            3 => out.push_str(" title=\"a &amp; b < c\""),
+            _ => out.push_str(" align='center'"),
+        }
+    }
+    out
+}
+
+/// Recursively emits one element (or text/void/stray fragment) into `out`.
+fn fragment(rng: &mut StdRng, out: &mut String, depth: u32) {
+    let roll = rng.gen_range(0..=99u32);
+    if depth == 0 || roll < 30 {
+        out.push_str(&text(rng));
+        return;
+    }
+    if roll < 38 {
+        let tag = VOID_TAGS.choose(rng).expect("non-empty");
+        out.push('<');
+        out.push_str(tag);
+        out.push_str(&attrs(rng));
+        out.push('>');
+        return;
+    }
+    if roll < 45 {
+        // Delimiter storm or stray context tag: the tag-soup part.
+        if rng.gen_bool(0.5) {
+            out.push_str(DELIMITERS.choose(rng).expect("non-empty"));
+        } else {
+            let tag = CONTEXT_TAGS.choose(rng).expect("non-empty");
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            out.push_str(&text(rng));
+        }
+        return;
+    }
+    if roll < 60 {
+        // Inline element, sometimes left unclosed.
+        let tag = INLINE_TAGS.choose(rng).expect("non-empty");
+        out.push('<');
+        out.push_str(tag);
+        out.push_str(&attrs(rng));
+        out.push('>');
+        fragment(rng, out, depth - 1);
+        if rng.gen_bool(0.8) {
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        return;
+    }
+    // Block container. Lists/tables get their context children (with the
+    // end tags frequently implied, as legacy markup does).
+    let tag = *BLOCK_TAGS.choose(rng).expect("non-empty");
+    out.push('<');
+    out.push_str(tag);
+    out.push_str(&attrs(rng));
+    out.push('>');
+    let children = rng.gen_range(1..=3u32);
+    for _ in 0..children {
+        match tag {
+            "ul" | "ol" => {
+                out.push_str("<li>");
+                fragment(rng, out, depth - 1);
+                if rng.gen_bool(0.4) {
+                    out.push_str("</li>");
+                }
+            }
+            "dl" => {
+                out.push_str("<dt>");
+                out.push_str(&text(rng));
+                out.push_str("<dd>");
+                fragment(rng, out, depth - 1);
+            }
+            "table" => {
+                out.push_str("<tr>");
+                for _ in 0..rng.gen_range(1..=3u32) {
+                    out.push_str("<td>");
+                    fragment(rng, out, depth - 1);
+                    if rng.gen_bool(0.3) {
+                        out.push_str("</td>");
+                    }
+                }
+                if rng.gen_bool(0.3) {
+                    out.push_str("</tr>");
+                }
+            }
+            _ => fragment(rng, out, depth - 1),
+        }
+    }
+    if rng.gen_bool(0.75) {
+        out.push_str("</");
+        out.push_str(tag);
+        out.push('>');
+    }
+}
+
+/// Generates one arbitrary tag-soup document.
+pub fn soup_document(rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    if rng.gen_bool(0.3) {
+        out.push_str("<!DOCTYPE html>");
+    }
+    if rng.gen_bool(0.5) {
+        out.push_str("<html><body>");
+    }
+    if rng.gen_bool(0.2) {
+        out.push_str("<!-- generated -->");
+    }
+    let top = rng.gen_range(1..=5u32);
+    for _ in 0..top {
+        let depth = rng.gen_range(1..=4u32);
+        fragment(rng, &mut out, depth);
+    }
+    // Closing </body></html> intentionally optional and often absent.
+    if rng.gen_bool(0.2) {
+        out.push_str("</body></html>");
+    }
+    out
+}
+
+/// Generates a resume-shaped document: H2 headings introducing sections
+/// whose bodies are lists, tables or paragraphs of domain vocabulary.
+pub fn resume_like(rng: &mut StdRng) -> String {
+    let mut out = String::from("<html><body>");
+    let sections = rng.gen_range(2..=5u32);
+    let mut headings: Vec<&&str> = RESUME_HEADINGS
+        .choose_multiple(rng, sections as usize)
+        .collect();
+    headings.shuffle(rng);
+    for heading in headings {
+        out.push_str("<h2>");
+        out.push_str(heading);
+        out.push_str("</h2>");
+        match rng.gen_range(0..=2u32) {
+            0 => {
+                out.push_str("<ul>");
+                for _ in 0..rng.gen_range(1..=3u32) {
+                    out.push_str("<li>");
+                    out.push_str(RESUME_LINES.choose(rng).expect("non-empty"));
+                    if rng.gen_bool(0.5) {
+                        out.push_str("</li>");
+                    }
+                }
+                out.push_str("</ul>");
+            }
+            1 => {
+                out.push_str("<table>");
+                for _ in 0..rng.gen_range(1..=2u32) {
+                    out.push_str("<tr>");
+                    for part in RESUME_LINES
+                        .choose(rng)
+                        .expect("non-empty")
+                        .split(", ")
+                        .take(3)
+                    {
+                        out.push_str("<td>");
+                        out.push_str(part);
+                        out.push_str("</td>");
+                    }
+                    out.push_str("</tr>");
+                }
+                out.push_str("</table>");
+            }
+            _ => {
+                out.push_str("<p>");
+                out.push_str(RESUME_LINES.choose(rng).expect("non-empty"));
+                out.push_str("</p>");
+            }
+        }
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// Applies 1–3 random mutations to an HTML string: delete a region,
+/// duplicate a region, or splice in a delimiter storm / entity soup /
+/// random tag at a random position. Mutations operate on char
+/// boundaries so the result stays a valid `String`.
+pub fn mutate(html: &str, rng: &mut StdRng) -> String {
+    let mut out = html.to_owned();
+    for _ in 0..rng.gen_range(1..=3u32) {
+        let boundaries: Vec<usize> = out.char_indices().map(|(i, _)| i).collect();
+        if boundaries.len() < 2 {
+            break;
+        }
+        let pick = |rng: &mut StdRng, b: &[usize]| b[rng.gen_range(0..b.len())];
+        match rng.gen_range(0..=3u32) {
+            0 => {
+                // Delete a region.
+                let a = pick(rng, &boundaries);
+                let b = pick(rng, &boundaries);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                out.replace_range(lo..hi, "");
+            }
+            1 => {
+                // Duplicate a region in place.
+                let a = pick(rng, &boundaries);
+                let b = pick(rng, &boundaries);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let region = out[lo..hi].to_owned();
+                out.insert_str(hi, &region);
+            }
+            2 => {
+                let at = pick(rng, &boundaries);
+                out.insert_str(at, DELIMITERS.choose(rng).expect("non-empty"));
+            }
+            _ => {
+                let at = pick(rng, &boundaries);
+                out.insert_str(at, ENTITIES.choose(rng).expect("non-empty"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_substrate::rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = soup_document(&mut StdRng::seed_from_u64(7));
+        let b = soup_document(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = soup_document(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn resume_like_contains_domain_markup() {
+        let html = resume_like(&mut StdRng::seed_from_u64(3));
+        assert!(html.contains("<h2>"), "{html}");
+        assert!(html.starts_with("<html><body>"));
+    }
+
+    #[test]
+    fn mutate_changes_input_but_stays_utf8() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = resume_like(&mut rng);
+        let mut changed = 0;
+        for _ in 0..20 {
+            let m = mutate(&base, &mut rng);
+            assert!(m.is_char_boundary(m.len()));
+            if m != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 10, "mutator almost never changes the input");
+    }
+
+    #[test]
+    fn soup_has_variety() {
+        // Across seeds the generator should produce both doctype'd and
+        // bare documents, and both short and long ones.
+        let docs: Vec<String> = (0..40)
+            .map(|s| soup_document(&mut StdRng::seed_from_u64(s)))
+            .collect();
+        assert!(docs.iter().any(|d| d.contains("<!DOCTYPE")));
+        assert!(docs.iter().any(|d| !d.contains("<!DOCTYPE")));
+        let min = docs.iter().map(String::len).min().unwrap();
+        let max = docs.iter().map(String::len).max().unwrap();
+        assert!(max > min * 2, "no size variety: {min}..{max}");
+    }
+}

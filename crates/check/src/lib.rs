@@ -1,0 +1,34 @@
+//! Differential oracles and structure-aware fuzzing for the reverse
+//! engineering pipeline (`webre check`).
+//!
+//! The crate is a self-contained, deterministic testing subsystem built
+//! on `webre_substrate::rand`. It ships three families of oracles:
+//!
+//! - **Differential** ([`oracles`]): the production implementation is run
+//!   against an independently written reference ([`reference`]) on the
+//!   same random input — parse/serialize fixpoint, tidy idempotence,
+//!   parallel vs sequential corpus conversion, the Brzozowski content
+//!   model validator vs a backtracking position-set matcher, and the
+//!   anti-monotone frequent-path miner vs brute-force enumeration.
+//! - **Metamorphic** ([`metamorphic`]): relations between two runs of
+//!   the production miner — removing a document never increases any
+//!   path's document frequency, duplicating the corpus preserves the
+//!   majority schema, permuting document order is a no-op.
+//! - **Fuzz** ([`fuzz`]): the full convert → discover → derive → map
+//!   chain must be total over generated tag soup ([`gen`]); panicking
+//!   inputs are minimized automatically ([`minimize`]).
+//!
+//! Everything is seed-reproducible: [`runner::run`] derives one RNG
+//! stream per (oracle, case) pair, and every reported failure carries a
+//! one-line `webre check --only … --seed … --iters 1` command that
+//! replays it exactly.
+
+pub mod fuzz;
+pub mod gen;
+pub mod metamorphic;
+pub mod minimize;
+pub mod oracles;
+pub mod reference;
+pub mod runner;
+
+pub use runner::{run, CaseFailure, CheckConfig, CheckReport, Kind, OracleReport};

@@ -1,0 +1,83 @@
+//! Automatic input minimization (delta-debugging lite).
+//!
+//! When the fuzzing oracle finds an input that crashes the pipeline, the
+//! raw generated document is usually hundreds of bytes of noise. This
+//! module shrinks it with a ddmin-style loop: repeatedly try removing
+//! chunks (halving the chunk size down to single characters) and keep any
+//! removal that still reproduces the failure. The predicate is arbitrary,
+//! so the same minimizer serves any string-input oracle.
+
+/// Minimizes `input` while `fails` keeps returning `true` for it.
+///
+/// The predicate must be `true` for `input` itself; the returned string
+/// is a (possibly equal) substring-composition of `input` that still
+/// fails and that no single remaining chunk-removal can shrink further
+/// at character granularity. `budget` caps predicate invocations, since
+/// a crashing pipeline run can be slow.
+pub fn ddmin(input: &str, mut fails: impl FnMut(&str) -> bool, budget: usize) -> String {
+    debug_assert!(fails(input), "minimizing an input that does not fail");
+    let mut current: Vec<char> = input.chars().collect();
+    let mut spent = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 && spent < budget {
+        let mut shrunk_this_round = false;
+        let mut start = 0;
+        while start < current.len() && spent < budget {
+            let end = (start + chunk).min(current.len());
+            let candidate: String = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .collect();
+            spent += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate.chars().collect();
+                shrunk_this_round = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 && !shrunk_this_round {
+            break;
+        }
+        if !shrunk_this_round {
+            chunk /= 2;
+        }
+    }
+    current.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_the_failing_core() {
+        // Failure: input contains both 'x' and 'y'.
+        let input = "aaaaaaaaxbbbbbbbbybcccccc";
+        let out = ddmin(input, |s| s.contains('x') && s.contains('y'), 10_000);
+        assert_eq!(out, "xy");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let input = "a".repeat(64) + "x";
+        let mut calls = 0usize;
+        let out = ddmin(
+            &input,
+            |s| {
+                calls += 1;
+                s.contains('x')
+            },
+            5,
+        );
+        assert!(out.contains('x'));
+        assert!(calls <= 6, "budget overrun: {calls}");
+    }
+
+    #[test]
+    fn single_char_failure_is_fixed_point() {
+        let out = ddmin("x", |s| s.contains('x'), 100);
+        assert_eq!(out, "x");
+    }
+}

@@ -1,0 +1,385 @@
+//! The differential oracles: each one generates an adversarial input from
+//! the case rng and cross-checks a production implementation against an
+//! independent reference (or against itself through a semantics-preserving
+//! transformation).
+//!
+//! Every oracle is a function `fn(&mut StdRng) -> Result<(), String>`; the
+//! error string describes the divergence and embeds enough of the input to
+//! eyeball it. The runner attributes failures to `(oracle, case seed)`.
+
+use crate::gen;
+use crate::reference::{ref_matches, ref_mine, sample_word};
+use webre_convert::Converter;
+use webre_schema::{extract_paths, DocPaths, FrequentPathMiner};
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::Rng;
+use webre_xml::ContentExpr;
+
+/// Truncates an input for inclusion in a failure message.
+pub(crate) fn snippet(s: &str) -> String {
+    const MAX: usize = 240;
+    if s.len() <= MAX {
+        return s.to_owned();
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}… ({} bytes)", &s[..end], s.len())
+}
+
+/// A soup document, sometimes mutated on top.
+fn soup_input(rng: &mut StdRng) -> String {
+    let base = if rng.gen_bool(0.3) {
+        gen::resume_like(rng)
+    } else {
+        gen::soup_document(rng)
+    };
+    if rng.gen_bool(0.5) {
+        gen::mutate(&base, rng)
+    } else {
+        base
+    }
+}
+
+/// Oracle 1 — parse → serialize → parse fixpoint. One parse+serialize
+/// normalizes arbitrary soup; from there the pair must be a fixpoint:
+/// reparsing the serialized form yields an equal tree and re-serializing
+/// yields identical text.
+pub fn fixpoint(rng: &mut StdRng) -> Result<(), String> {
+    let input = soup_input(rng);
+    let once = webre_html::parse(&input);
+    let text1 = webre_html::to_html(&once);
+    let twice = webre_html::parse(&text1);
+    if !once
+        .tree
+        .subtree_eq(once.tree.root(), &twice.tree, twice.tree.root())
+    {
+        return Err(format!(
+            "reparse changed the tree\n  input: {}\n  serialized: {}",
+            snippet(&input),
+            snippet(&text1)
+        ));
+    }
+    let text2 = webre_html::to_html(&twice);
+    if text1 != text2 {
+        return Err(format!(
+            "serialize is not a fixpoint after one round\n  first: {}\n  second: {}",
+            snippet(&text1),
+            snippet(&text2)
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 2 — tidy idempotence: running the cleanup pass a second time
+/// must change nothing.
+pub fn tidy_idempotent(rng: &mut StdRng) -> Result<(), String> {
+    let input = soup_input(rng);
+    let mut doc = webre_html::parse(&input);
+    webre_html::tidy(&mut doc);
+    let once = webre_html::to_html(&doc);
+    webre_html::tidy(&mut doc);
+    let twice = webre_html::to_html(&doc);
+    if once != twice {
+        return Err(format!(
+            "tidy is not idempotent\n  input: {}\n  after one pass: {}\n  after two: {}",
+            snippet(&input),
+            snippet(&once),
+            snippet(&twice)
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 3 — parallel corpus conversion ≡ sequential conversion, for
+/// every thread count the splitter can produce.
+pub fn parallel_convert(rng: &mut StdRng) -> Result<(), String> {
+    let converter = Converter::new(webre_concepts::resume::concepts());
+    let n = rng.gen_range(1..=6usize);
+    let htmls: Vec<String> = (0..n).map(|_| soup_input(rng)).collect();
+    let sequential = converter.convert_corpus(&htmls);
+    let threads = rng.gen_range(2..=4usize);
+    let parallel = converter.convert_corpus_parallel(&htmls, threads);
+    if sequential.len() != parallel.len() {
+        return Err(format!(
+            "parallel returned {} documents, sequential {}",
+            parallel.len(),
+            sequential.len()
+        ));
+    }
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        let (s, p) = (webre_xml::to_xml(s), webre_xml::to_xml(p));
+        if s != p {
+            return Err(format!(
+                "document {i} diverges under {threads} threads\n  sequential: {}\n  parallel: {}\n  input: {}",
+                snippet(&s),
+                snippet(&p),
+                snippet(&htmls[i])
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Labels used by the random content models and token sequences.
+const ALPHABET: &[&str] = &["a", "b", "c", "d"];
+
+/// A random content-model expression of bounded depth.
+fn random_expr(rng: &mut StdRng, depth: u32) -> ContentExpr {
+    let leaf = depth == 0 || rng.gen_bool(0.35);
+    if leaf {
+        return match rng.gen_range(0..=5u32) {
+            0 => ContentExpr::PcData,
+            _ => ContentExpr::Name((*ALPHABET.choose(rng).expect("non-empty")).to_owned()),
+        };
+    }
+    match rng.gen_range(0..=4u32) {
+        0 => ContentExpr::Seq(
+            (0..rng.gen_range(2..=3u32))
+                .map(|_| random_expr(rng, depth - 1))
+                .collect(),
+        ),
+        1 => ContentExpr::Choice(
+            (0..rng.gen_range(2..=3u32))
+                .map(|_| random_expr(rng, depth - 1))
+                .collect(),
+        ),
+        2 => ContentExpr::Opt(Box::new(random_expr(rng, depth - 1))),
+        3 => ContentExpr::Star(Box::new(random_expr(rng, depth - 1))),
+        _ => ContentExpr::Plus(Box::new(random_expr(rng, depth - 1))),
+    }
+}
+
+/// Oracle 4 — the Brzozowski-derivative validator agrees with the naive
+/// backtracking reference matcher, on random token noise, on words
+/// sampled from the model's language, and on near-miss perturbations of
+/// those words.
+pub fn brzozowski(rng: &mut StdRng) -> Result<(), String> {
+    let expr = random_expr(rng, 3);
+    for trial in 0..8 {
+        let word: Vec<String> = match trial % 3 {
+            // Language words (must match), possibly perturbed below.
+            0 | 1 => sample_word(&expr, rng),
+            // Pure noise.
+            _ => (0..rng.gen_range(0..=6usize))
+                .map(|_| {
+                    if rng.gen_bool(0.15) {
+                        "#PCDATA".to_owned()
+                    } else if rng.gen_bool(0.1) {
+                        "z".to_owned() // foreign label
+                    } else {
+                        (*ALPHABET.choose(rng).expect("non-empty")).to_owned()
+                    }
+                })
+                .collect(),
+        };
+        let word = if trial % 3 == 1 && !word.is_empty() {
+            // Near-miss: drop, duplicate or swap one token.
+            let mut w = word;
+            let i = rng.gen_range(0..w.len());
+            match rng.gen_range(0..=2u32) {
+                0 => {
+                    w.remove(i);
+                }
+                1 => {
+                    let t = w[i].clone();
+                    w.insert(i, t);
+                }
+                _ => w[i] = (*ALPHABET.choose(rng).expect("non-empty")).to_owned(),
+            }
+            w
+        } else {
+            word
+        };
+        let refs: Vec<&str> = word.iter().map(String::as_str).collect();
+        let production = webre_xml::validate::matches(&expr, &refs);
+        let reference = ref_matches(&expr, &refs);
+        if production != reference {
+            return Err(format!(
+                "validator divergence on model {expr} with tokens {refs:?}: \
+                 derivatives say {production}, backtracking reference says {reference}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A small random XML corpus (random label trees), shared by the miner
+/// oracle and the metamorphic invariants.
+pub(crate) fn random_xml_corpus(rng: &mut StdRng) -> Vec<webre_xml::XmlDocument> {
+    const LABELS: &[&str] = &["a", "b", "c", "d", "e"];
+    const ROOTS: &[&str] = &["r", "s"];
+    let n = rng.gen_range(2..=6usize);
+    (0..n)
+        .map(|_| {
+            // Mostly one root label so mining usually clears the support
+            // threshold; occasionally a dissenting root.
+            let root = if rng.gen_bool(0.85) { ROOTS[0] } else { *ROOTS.choose(rng).expect("non-empty") };
+            let mut doc = webre_xml::XmlDocument::new(root);
+            let root_id = doc.root();
+            grow(rng, &mut doc, root_id, 3, LABELS);
+            doc
+        })
+        .collect()
+}
+
+fn grow(
+    rng: &mut StdRng,
+    doc: &mut webre_xml::XmlDocument,
+    at: webre_tree::NodeId,
+    depth: u32,
+    labels: &[&str],
+) {
+    if depth == 0 {
+        return;
+    }
+    for _ in 0..rng.gen_range(0..=3u32) {
+        let label = *labels.choose(rng).expect("non-empty");
+        let child = doc
+            .tree
+            .append_child(at, webre_xml::XmlNode::element(label));
+        if rng.gen_bool(0.5) {
+            grow(rng, doc, child, depth - 1, labels);
+        }
+    }
+}
+
+/// Thresholds drawn from a discrete grid so float comparisons between the
+/// production and reference miners see bit-identical values.
+fn random_thresholds(rng: &mut StdRng) -> (f64, f64, Option<usize>) {
+    const SUPS: &[f64] = &[0.0, 0.25, 0.4, 0.5, 0.75, 0.9];
+    const RATIOS: &[f64] = &[0.0, 0.3, 0.5, 0.8];
+    let max_len = if rng.gen_bool(0.25) {
+        Some(rng.gen_range(1..=3usize))
+    } else {
+        None
+    };
+    (
+        *SUPS.choose(rng).expect("non-empty"),
+        *RATIOS.choose(rng).expect("non-empty"),
+        max_len,
+    )
+}
+
+/// Oracle 5 — the anti-monotone frequent-path miner agrees with the
+/// brute-force enumerate-and-count reference on random corpora: same
+/// `None` cases, same root, same frequent-path set, same supports.
+pub fn miner(rng: &mut StdRng) -> Result<(), String> {
+    let docs = random_xml_corpus(rng);
+    let corpus: Vec<DocPaths> = docs.iter().map(extract_paths).collect();
+    let (sup, ratio, max_len) = random_thresholds(rng);
+    let production = FrequentPathMiner {
+        sup_threshold: sup,
+        ratio_threshold: ratio,
+        constraints: None,
+        max_len,
+    }
+    .mine(&corpus);
+    let reference = ref_mine(&corpus, sup, ratio, max_len);
+    let context = || {
+        let xmls: Vec<String> = docs.iter().map(webre_xml::to_xml).collect();
+        format!("sup={sup} ratio={ratio} max_len={max_len:?}\n  corpus: {}", xmls.join(" | "))
+    };
+    match (production, reference) {
+        (None, None) => Ok(()),
+        (Some(p), None) => Err(format!(
+            "production mined a schema where the reference mined none\n  {}\n  schema:\n{}",
+            context(),
+            p.schema.render()
+        )),
+        (None, Some(_)) => Err(format!(
+            "production mined nothing where the reference found a schema\n  {}",
+            context()
+        )),
+        (Some(p), Some(r)) => {
+            let mut produced: Vec<(Vec<String>, f64)> = p
+                .schema
+                .paths()
+                .into_iter()
+                .map(|path| {
+                    let node = p.schema.find(&path).expect("path from schema");
+                    (path, p.schema.tree.value(node).support)
+                })
+                .collect();
+            produced.sort_by(|a, b| a.0.cmp(&b.0));
+            if p.schema.root_label() != r.root_label {
+                return Err(format!(
+                    "root divergence: production {:?}, reference {:?}\n  {}",
+                    p.schema.root_label(),
+                    r.root_label,
+                    context()
+                ));
+            }
+            if produced != r.paths {
+                let fmt = |v: &[(Vec<String>, f64)]| {
+                    v.iter()
+                        .map(|(p, s)| format!("{}={s}", p.join("/")))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                return Err(format!(
+                    "frequent-path divergence\n  {}\n  production: {}\n  reference: {}",
+                    context(),
+                    fmt(&produced),
+                    fmt(&r.paths)
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webre_substrate::rand::SeedableRng;
+
+    fn run_many(oracle: fn(&mut StdRng) -> Result<(), String>, name: &str) {
+        for seed in 0..60u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Err(e) = oracle(&mut rng) {
+                panic!("oracle {name} failed at unit-test seed {seed}: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_holds_on_many_seeds() {
+        run_many(fixpoint, "fixpoint");
+    }
+
+    #[test]
+    fn tidy_idempotent_holds_on_many_seeds() {
+        run_many(tidy_idempotent, "tidy-idempotent");
+    }
+
+    #[test]
+    fn parallel_convert_holds_on_many_seeds() {
+        // Fewer seeds: each case converts a corpus twice.
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            parallel_convert(&mut rng).unwrap();
+        }
+    }
+
+    #[test]
+    fn brzozowski_agrees_on_many_seeds() {
+        run_many(brzozowski, "brzozowski");
+    }
+
+    #[test]
+    fn miner_agrees_on_many_seeds() {
+        run_many(miner, "miner");
+    }
+
+    #[test]
+    fn snippet_truncates_on_char_boundary() {
+        let long = "é".repeat(400);
+        let s = snippet(&long);
+        assert!(s.contains("bytes"));
+        let short = snippet("abc");
+        assert_eq!(short, "abc");
+    }
+}

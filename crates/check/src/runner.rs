@@ -1,0 +1,299 @@
+//! Battery runner: deterministic scheduling, per-case seed derivation and
+//! failure reporting for the differential / metamorphic / fuzz oracles.
+//!
+//! Reproducibility contract: case `i` of a run with base seed `s` uses
+//! the *case seed* `s.wrapping_add(i)`. The RNG handed to each oracle is
+//! seeded from the case seed mixed (via SplitMix64) with an FNV-1a hash
+//! of the oracle name, so every oracle sees an independent stream and
+//! `webre check --only <oracle> --seed <case-seed> --iters 1` replays a
+//! single failing case exactly.
+
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::{RngCore, SeedableRng, SplitMix64};
+
+/// What kind of specification an oracle checks against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Production code vs an independently written reference.
+    Differential,
+    /// A relation between two runs of the production code.
+    Metamorphic,
+    /// Totality (no panics) over generated tag soup.
+    Fuzz,
+    /// Not part of the default battery; runnable only via `--only`.
+    Hidden,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Differential => "differential",
+            Kind::Metamorphic => "metamorphic",
+            Kind::Fuzz => "fuzz",
+            Kind::Hidden => "hidden",
+        }
+    }
+}
+
+type OracleFn = fn(&mut StdRng) -> Result<(), String>;
+
+/// The full oracle registry. Order is the (deterministic) execution and
+/// report order.
+pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
+    ("fixpoint", Kind::Differential, crate::oracles::fixpoint),
+    ("tidy-idempotence", Kind::Differential, crate::oracles::tidy_idempotent),
+    ("parallel-convert", Kind::Differential, crate::oracles::parallel_convert),
+    ("brzozowski-vs-backtracking", Kind::Differential, crate::oracles::brzozowski),
+    ("miner-vs-bruteforce", Kind::Differential, crate::oracles::miner),
+    ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
+    ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
+    ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
+    ("fuzz-totality", Kind::Fuzz, crate::fuzz::fuzz_totality),
+    ("self-test", Kind::Hidden, self_test),
+];
+
+/// Hidden oracle that fails unconditionally. It exists so the failure
+/// path — non-zero exit plus the reproduction line — has a regression
+/// test without planting a real bug.
+fn self_test(_rng: &mut StdRng) -> Result<(), String> {
+    Err("self-test oracle always fails (this is the expected output)".to_owned())
+}
+
+/// Configuration for one battery run.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Base seed; case `i` runs with case seed `seed.wrapping_add(i)`.
+    pub seed: u64,
+    /// Cases per oracle.
+    pub iters: u64,
+    /// Restrict the run to a single oracle (also unlocks hidden ones).
+    pub only: Option<String>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { seed: 1, iters: 200, only: None }
+    }
+}
+
+/// One failing case.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    pub oracle: String,
+    pub case_seed: u64,
+    pub message: String,
+}
+
+impl CaseFailure {
+    /// The one-line command that replays exactly this case.
+    pub fn repro(&self) -> String {
+        format!(
+            "webre check --only {} --seed {} --iters 1",
+            self.oracle, self.case_seed
+        )
+    }
+}
+
+/// Per-oracle outcome.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    pub name: String,
+    pub kind: Kind,
+    pub cases: u64,
+    /// First failure, if any. The oracle stops at its first failing case
+    /// so a systematic bug does not flood the report.
+    pub failure: Option<CaseFailure>,
+}
+
+/// Outcome of a full battery run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub seed: u64,
+    pub iters: u64,
+    pub oracles: Vec<OracleReport>,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.oracles.iter().all(|o| o.failure.is_none())
+    }
+
+    /// Deterministic human-readable report, repro lines included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "webre check: seed={} iters={}\n",
+            self.seed, self.iters
+        ));
+        for oracle in &self.oracles {
+            match &oracle.failure {
+                None => out.push_str(&format!(
+                    "  ok    {:<28} [{}] {} cases\n",
+                    oracle.name,
+                    oracle.kind.label(),
+                    oracle.cases
+                )),
+                Some(f) => {
+                    out.push_str(&format!(
+                        "  FAIL  {:<28} [{}] case seed {}\n",
+                        oracle.name,
+                        oracle.kind.label(),
+                        f.case_seed
+                    ));
+                    for line in f.message.lines() {
+                        out.push_str(&format!("        {line}\n"));
+                    }
+                    out.push_str(&format!("        reproduce: {}\n", f.repro()));
+                }
+            }
+        }
+        let failed = self.oracles.iter().filter(|o| o.failure.is_some()).count();
+        if failed == 0 {
+            out.push_str(&format!(
+                "all {} oracles passed ({} cases each)\n",
+                self.oracles.len(),
+                self.iters
+            ));
+        } else {
+            out.push_str(&format!(
+                "{failed} of {} oracles FAILED\n",
+                self.oracles.len()
+            ));
+        }
+        out
+    }
+}
+
+/// FNV-1a, used only to give each oracle an independent seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The RNG an oracle receives for a given case.
+pub fn case_rng(oracle: &str, case_seed: u64) -> StdRng {
+    let stream = SplitMix64::new(case_seed ^ fnv1a(oracle)).next_u64();
+    StdRng::seed_from_u64(stream)
+}
+
+/// Runs the battery described by `config` and returns the report.
+/// Unknown `--only` names yield an empty report (`passed()` is true but
+/// `oracles` is empty — the CLI treats that as a usage error).
+pub fn run(config: &CheckConfig) -> CheckReport {
+    let selected: Vec<&(&str, Kind, OracleFn)> = ORACLES
+        .iter()
+        .filter(|(name, kind, _)| match &config.only {
+            Some(only) => name == only,
+            None => *kind != Kind::Hidden,
+        })
+        .collect();
+    let mut reports = Vec::with_capacity(selected.len());
+    for (name, kind, oracle) in selected {
+        let mut failure = None;
+        let mut cases = 0u64;
+        for i in 0..config.iters {
+            let case_seed = config.seed.wrapping_add(i);
+            let mut rng = case_rng(name, case_seed);
+            cases += 1;
+            if let Err(message) = oracle(&mut rng) {
+                failure = Some(CaseFailure {
+                    oracle: (*name).to_owned(),
+                    case_seed,
+                    message,
+                });
+                break;
+            }
+        }
+        reports.push(OracleReport {
+            name: (*name).to_owned(),
+            kind: *kind,
+            cases,
+            failure,
+        });
+    }
+    CheckReport {
+        seed: config.seed,
+        iters: config.iters,
+        oracles: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_battery_passes_and_is_deterministic() {
+        let config = CheckConfig { seed: 1, iters: 10, only: None };
+        let a = run(&config);
+        let b = run(&config);
+        assert!(a.passed(), "battery failed:\n{}", a.render());
+        assert_eq!(a.render(), b.render());
+        // Five differential + three metamorphic + one fuzz oracle; the
+        // hidden self-test never runs by default.
+        assert_eq!(a.oracles.len(), 9);
+        assert_eq!(
+            a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
+            5
+        );
+        assert_eq!(
+            a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),
+            3
+        );
+        assert!(a.oracles.iter().all(|o| o.kind != Kind::Hidden));
+    }
+
+    #[test]
+    fn only_selects_one_oracle() {
+        let config = CheckConfig {
+            seed: 7,
+            iters: 3,
+            only: Some("fixpoint".to_owned()),
+        };
+        let report = run(&config);
+        assert_eq!(report.oracles.len(), 1);
+        assert_eq!(report.oracles[0].name, "fixpoint");
+        assert_eq!(report.oracles[0].cases, 3);
+    }
+
+    #[test]
+    fn unknown_only_yields_empty_report() {
+        let config = CheckConfig {
+            seed: 1,
+            iters: 1,
+            only: Some("no-such-oracle".to_owned()),
+        };
+        assert!(run(&config).oracles.is_empty());
+    }
+
+    #[test]
+    fn self_test_fails_with_repro_line() {
+        let config = CheckConfig {
+            seed: 41,
+            iters: 5,
+            only: Some("self-test".to_owned()),
+        };
+        let report = run(&config);
+        assert!(!report.passed());
+        let failure = report.oracles[0].failure.as_ref().unwrap();
+        // Fails on the first case, so the case seed is the base seed.
+        assert_eq!(failure.case_seed, 41);
+        assert_eq!(
+            failure.repro(),
+            "webre check --only self-test --seed 41 --iters 1"
+        );
+        assert!(report.render().contains("reproduce: webre check --only self-test"));
+    }
+
+    #[test]
+    fn case_rng_streams_differ_between_oracles() {
+        use webre_substrate::rand::RngCore;
+        let a = case_rng("fixpoint", 1).next_u64();
+        let b = case_rng("miner-vs-bruteforce", 1).next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -185,6 +185,40 @@ impl Converter {
     pub fn convert_str(&self, html: &str) -> (XmlDocument, ConvertStats) {
         self.convert(&webre_html::parse(html))
     }
+
+    /// Converts a corpus of HTML documents sequentially.
+    pub fn convert_corpus(&self, htmls: &[String]) -> Vec<XmlDocument> {
+        htmls.iter().map(|h| self.convert_str(h).0).collect()
+    }
+
+    /// Converts a corpus in parallel across `threads` workers.
+    ///
+    /// Document conversion is embarrassingly parallel (each document is
+    /// independent); results are returned in input order and are identical
+    /// to [`Converter::convert_corpus`] — the `webre-check` differential
+    /// oracle holds this equivalence over randomized tag-soup corpora.
+    pub fn convert_corpus_parallel(&self, htmls: &[String], threads: usize) -> Vec<XmlDocument> {
+        let threads = threads.max(1).min(htmls.len().max(1));
+        if threads <= 1 || htmls.len() < 2 {
+            return self.convert_corpus(htmls);
+        }
+        let mut results: Vec<Option<XmlDocument>> = Vec::new();
+        results.resize_with(htmls.len(), || None);
+        let chunk = htmls.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (inputs, outputs) in htmls.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (html, slot) in inputs.iter().zip(outputs.iter_mut()) {
+                        *slot = Some(self.convert_str(html).0);
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|d| d.expect("every slot filled"))
+            .collect()
+    }
 }
 
 #[cfg(test)]

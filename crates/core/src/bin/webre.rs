@@ -6,13 +6,16 @@
 //! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
 //! webre validate <file.xml>...   --dtd <file.dtd>
 //! webre generate --count N [--seed S] --out-dir DIR
+//! webre check    [--seed S] [--iters N] [--only ORACLE]
 //! ```
 //!
 //! `convert` prints concept-tagged XML for each input; `discover` prints
 //! the majority schema and derived DTD; `run` converts, discovers, maps
 //! every document onto the DTD and writes conforming XML files; `validate`
 //! checks XML files against a DTD; `generate` materializes a synthetic
-//! resume corpus (HTML plus ground-truth XML).
+//! resume corpus (HTML plus ground-truth XML); `check` runs the
+//! differential/metamorphic/fuzzing oracle battery from `webre-check` and
+//! prints a one-line reproduction command for any failure.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "validate" => cmd_validate(rest),
         "generate" => cmd_generate(rest),
+        "check" => cmd_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -55,7 +59,8 @@ usage:
   webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
   webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
   webre validate <file.xml>...   --dtd <file.dtd>
-  webre generate --count N [--seed S] --out-dir DIR";
+  webre generate --count N [--seed S] --out-dir DIR
+  webre check    [--seed S] [--iters N] [--only ORACLE]";
 
 /// Minimal flag parser: returns (positional, flag-values, flag-switches).
 struct Parsed {
@@ -275,6 +280,49 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_flags(args, &["seed", "iters", "only"])?;
+    if !parsed.positional.is_empty() {
+        return Err(format!(
+            "check takes no positional arguments, got {:?}",
+            parsed.positional
+        ));
+    }
+    let seed: u64 = parsed
+        .value("seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--seed expects an integer")?;
+    let iters: u64 = parsed
+        .value("iters")
+        .unwrap_or("200")
+        .parse()
+        .map_err(|_| "--iters expects an integer")?;
+    let config = webre_check::CheckConfig {
+        seed,
+        iters,
+        only: parsed.value("only").map(str::to_owned),
+    };
+    let report = webre_check::run(&config);
+    if report.oracles.is_empty() {
+        let known: Vec<&str> = webre_check::runner::ORACLES
+            .iter()
+            .map(|(name, _, _)| *name)
+            .collect();
+        return Err(format!(
+            "no oracle named {:?}; known oracles: {}",
+            config.only.as_deref().unwrap_or(""),
+            known.join(", ")
+        ));
+    }
+    print!("{}", report.render());
+    Ok(if report.passed() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

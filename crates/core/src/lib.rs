@@ -142,38 +142,19 @@ impl Pipeline {
 
     /// Converts a corpus of HTML documents.
     pub fn convert_corpus(&self, htmls: &[String]) -> Vec<XmlDocument> {
-        htmls
-            .iter()
-            .map(|h| self.converter.convert_str(h).0)
-            .collect()
+        self.converter.convert_corpus(htmls)
     }
 
     /// Converts a corpus in parallel across `threads` workers.
     ///
     /// Document conversion is embarrassingly parallel (each document is
     /// independent); results are returned in input order and are identical
-    /// to [`Pipeline::convert_corpus`].
+    /// to [`Pipeline::convert_corpus`]. The implementation lives on
+    /// [`Converter::convert_corpus_parallel`] so the `webre-check`
+    /// differential oracles can exercise it without depending on this
+    /// facade crate.
     pub fn convert_corpus_parallel(&self, htmls: &[String], threads: usize) -> Vec<XmlDocument> {
-        let threads = threads.max(1).min(htmls.len().max(1));
-        if threads <= 1 || htmls.len() < 2 {
-            return self.convert_corpus(htmls);
-        }
-        let mut results: Vec<Option<XmlDocument>> = Vec::new();
-        results.resize_with(htmls.len(), || None);
-        let chunk = htmls.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (inputs, outputs) in htmls.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (html, slot) in inputs.iter().zip(outputs.iter_mut()) {
-                        *slot = Some(self.converter.convert_str(html).0);
-                    }
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|d| d.expect("every slot filled"))
-            .collect()
+        self.converter.convert_corpus_parallel(htmls, threads)
     }
 
     /// Discovers the majority schema and DTD for a set of XML documents.

@@ -149,6 +149,77 @@ fn convert_with_custom_domain_json() {
 }
 
 #[test]
+fn check_passes_and_is_deterministic() {
+    let run = || {
+        bin()
+            .args(["check", "--iters", "10", "--seed", "1"])
+            .output()
+            .expect("spawn")
+    };
+    let (a, b) = (run(), run());
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
+    assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
+    let text = String::from_utf8_lossy(&a.stdout);
+    // All five differential oracles, all three metamorphic invariants and
+    // the fuzzer ran.
+    for oracle in [
+        "fixpoint",
+        "tidy-idempotence",
+        "parallel-convert",
+        "brzozowski-vs-backtracking",
+        "miner-vs-bruteforce",
+        "remove-document",
+        "duplicate-corpus",
+        "permute-order",
+        "fuzz-totality",
+    ] {
+        assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
+    }
+    assert!(text.contains("all 9 oracles passed"), "{text}");
+}
+
+#[test]
+fn check_only_restricts_to_one_oracle() {
+    let out = bin()
+        .args(["check", "--only", "fixpoint", "--iters", "5", "--seed", "3"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fixpoint"), "{text}");
+    assert!(!text.contains("miner-vs-bruteforce"), "{text}");
+}
+
+#[test]
+fn check_failing_oracle_exits_nonzero_with_repro_line() {
+    // The hidden self-test oracle fails unconditionally; it exists to pin
+    // down the failure path: non-zero exit plus a reproduction command
+    // carrying the exact case seed.
+    let out = bin()
+        .args(["check", "--only", "self-test", "--seed", "42", "--iters", "7"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(
+        text.contains("reproduce: webre check --only self-test --seed 42 --iters 1"),
+        "missing repro line in:\n{text}"
+    );
+}
+
+#[test]
+fn check_unknown_oracle_is_an_error() {
+    let out = bin()
+        .args(["check", "--only", "no-such-oracle"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("known oracles"), "{text}");
+}
+
+#[test]
 fn missing_file_reports_error() {
     let out = bin()
         .args(["convert", "/nonexistent/nope.html"])

@@ -132,11 +132,12 @@ impl<'a> Lexer<'a> {
         let rest = self.rest();
         match rest.find('>') {
             Some(end) => {
-                self.tokens.push(Token::Doctype(rest[2..end].trim().to_owned()));
+                self.tokens
+                    .push(Token::Doctype(declaration_body(&rest[2..end])));
                 self.bump(end + 1);
             }
             None => {
-                self.tokens.push(Token::Doctype(rest[2..].trim().to_owned()));
+                self.tokens.push(Token::Doctype(declaration_body(&rest[2..])));
                 self.pos = self.input.len();
             }
         }
@@ -242,6 +243,22 @@ fn find_tag_end(rest: &str) -> Option<usize> {
     None
 }
 
+/// Normalizes the content of a `<!...>` declaration. Leading dashes are
+/// stripped: re-emitting a declaration that starts with `--` would produce
+/// `<!--`, which re-lexes as a comment instead of a declaration.
+fn declaration_body(raw: &str) -> String {
+    raw.trim().trim_start_matches('-').trim_start().to_owned()
+}
+
+/// Characters that make an attribute name unusable: a quote re-lexes as a
+/// value delimiter and a slash can merge with the tag close into a
+/// self-closing marker, so such names cannot survive a serialize/reparse
+/// round trip. The attribute is dropped, as HTML Tidy drops malformed
+/// attributes.
+fn name_is_garbage(name: &str) -> bool {
+    name.contains(['"', '\'', '/'])
+}
+
 /// Parses the attribute list of a start tag.
 fn parse_attrs(mut s: &str) -> Vec<Attribute> {
     let mut attrs = Vec::new();
@@ -281,7 +298,9 @@ fn parse_attrs(mut s: &str) -> Vec<Attribute> {
             // Boolean attribute like `checked`.
             String::new()
         };
-        attrs.push(Attribute { name, value });
+        if !name_is_garbage(&name) {
+            attrs.push(Attribute { name, value });
+        }
     }
 }
 

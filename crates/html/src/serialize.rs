@@ -8,14 +8,26 @@ use crate::entities::{escape_attr, escape_text};
 use crate::taxonomy::is_void;
 use webre_tree::{Edge, NodeId};
 
+/// Elements whose text content the lexer keeps verbatim (no entity
+/// decoding). Their content must be emitted raw: escaping it would not be
+/// undone on reparse. `title`/`textarea` are raw-text too but *are*
+/// decoded by the lexer, so they take the normal escaped path.
+fn is_raw_content(name: &str) -> bool {
+    matches!(name, "script" | "style" | "xmp")
+}
+
 /// Serializes the subtree rooted at `id` to HTML text.
 pub fn subtree_to_html(doc: &HtmlDocument, id: NodeId) -> String {
     let mut out = String::new();
+    let mut raw_depth = 0usize;
     for edge in doc.tree.traverse(id) {
         match edge {
             Edge::Open(node) => match doc.tree.value(node) {
                 HtmlNode::Document => {}
                 HtmlNode::Element { name, attrs } => {
+                    if is_raw_content(name) {
+                        raw_depth += 1;
+                    }
                     out.push('<');
                     out.push_str(name);
                     for a in attrs {
@@ -29,7 +41,13 @@ pub fn subtree_to_html(doc: &HtmlDocument, id: NodeId) -> String {
                     }
                     out.push('>');
                 }
-                HtmlNode::Text(t) => out.push_str(&escape_text(t)),
+                HtmlNode::Text(t) => {
+                    if raw_depth > 0 {
+                        out.push_str(t);
+                    } else {
+                        out.push_str(&escape_text(t));
+                    }
+                }
                 HtmlNode::Comment(c) => {
                     out.push_str("<!--");
                     out.push_str(c);
@@ -43,6 +61,9 @@ pub fn subtree_to_html(doc: &HtmlDocument, id: NodeId) -> String {
             },
             Edge::Close(node) => {
                 if let HtmlNode::Element { name, .. } = doc.tree.value(node) {
+                    if is_raw_content(name) {
+                        raw_depth -= 1;
+                    }
                     if !is_void(name) {
                         out.push_str("</");
                         out.push_str(name);
@@ -88,6 +109,53 @@ mod tests {
     fn escapes_special_chars() {
         let doc = parse("<p>a &lt; b</p>");
         assert_eq!(to_html(&doc), "<p>a &lt; b</p>");
+    }
+
+    #[test]
+    fn script_content_round_trips_raw() {
+        let html = "<script>if (a &lt; b) x();</script>";
+        let doc = parse(html);
+        // The lexer kept the content verbatim (no decode)…
+        assert_eq!(to_html(&doc), html);
+        // …and reparsing yields the same tree.
+        let twice = parse(&to_html(&doc));
+        assert!(doc
+            .tree
+            .subtree_eq(doc.tree.root(), &twice.tree, twice.tree.root()));
+    }
+
+    #[test]
+    fn title_content_round_trips_escaped() {
+        let doc = parse("<title>R&amp;D</title>");
+        assert_eq!(to_html(&doc), "<title>R&amp;D</title>");
+        let twice = parse(&to_html(&doc));
+        assert!(doc
+            .tree
+            .subtree_eq(doc.tree.root(), &twice.tree, twice.tree.root()));
+    }
+
+    #[test]
+    fn garbage_attr_names_do_not_poison_round_trip() {
+        // The unquoted `title` value swallows `<"a`, leaving quote-bearing
+        // junk attribute names behind; the lexer drops those so the
+        // serialized form re-lexes to the same tree.
+        let html = r#"<i class="x y" title=<"a &amp; b < c">page</i>"#;
+        let once = parse(html);
+        let twice = parse(&to_html(&once));
+        assert!(once
+            .tree
+            .subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()));
+        assert_eq!(to_html(&once), to_html(&twice));
+    }
+
+    #[test]
+    fn declaration_with_leading_dashes_round_trips() {
+        // `<! --x>` must not serialize to `<!--x>` (a comment).
+        let once = parse("<! --x>a");
+        let twice = parse(&to_html(&once));
+        assert!(once
+            .tree
+            .subtree_eq(once.tree.root(), &twice.tree, twice.tree.root()));
     }
 
     #[test]

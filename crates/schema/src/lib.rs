@@ -22,4 +22,4 @@ pub mod search_space;
 pub use dtd_rules::{derive_dtd, DtdConfig};
 pub use frequent::{FrequentPathMiner, MiningOutcome};
 pub use majority::{MajoritySchema, SchemaNode};
-pub use paths::{extract_paths, DocPaths, LabelPath};
+pub use paths::{average_position, doc_frequency, extract_paths, DocPaths, LabelPath};

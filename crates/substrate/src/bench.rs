@@ -4,8 +4,10 @@
 //! warmed up, then timed over a fixed number of samples whose per-sample
 //! iteration count is auto-calibrated; the harness reports the median and
 //! p95 per-iteration time and appends one JSON line per benchmark to the
-//! output file (`BENCH_pipeline.json` at the workspace root by default)
-//! so perf trajectories accumulate across runs.
+//! output file (`BENCH_pipeline.json` at the workspace root by default).
+//! Appending lets several bench binaries in one `cargo bench` run share
+//! the file; `scripts/bench.sh` truncates it at the start of each run so
+//! the file holds exactly one snapshot rather than growing forever.
 //!
 //! The call surface mirrors the subset of criterion the benches use, so a
 //! bench file migrates by swapping its `use` line:

@@ -61,7 +61,7 @@ fn deriv(expr: &ContentExpr, token: &str) -> Option<ContentExpr> {
                     seq.push(d);
                 }
                 seq.extend(rest.iter().cloned());
-                ContentExpr::Seq(seq)
+                flatten_seq(seq)
             });
             let via_rest = if nullable(head) {
                 deriv(&ContentExpr::Seq(rest.to_vec()), token)
@@ -91,17 +91,52 @@ fn is_epsilon(expr: &ContentExpr) -> bool {
     matches!(expr, ContentExpr::Seq(items) if items.is_empty())
 }
 
+/// A sequence with single-item unwrapping and nested-sequence flattening,
+/// so repeated derivation cannot pile up `Seq(Seq(…))` towers.
+fn flatten_seq(items: Vec<ContentExpr>) -> ContentExpr {
+    let mut flat = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            ContentExpr::Seq(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    if flat.len() == 1 {
+        flat.pop().expect("len checked")
+    } else {
+        ContentExpr::Seq(flat)
+    }
+}
+
+/// Union of two derivative results, reduced modulo similarity: nested
+/// choices are flattened and duplicate alternatives dropped. Without this
+/// reduction the derivative of an ambiguous model (e.g. nested stars over
+/// overlapping choices) doubles in size at every token and matching
+/// becomes exponential in the word length; with it, the set of distinct
+/// alternatives stays bounded by the distinct derivatives of the original
+/// model's subterms.
 fn union(a: Option<ContentExpr>, b: Option<ContentExpr>) -> Option<ContentExpr> {
-    match (a, b) {
-        (None, x) | (x, None) => x,
-        (Some(a), Some(b)) => {
-            if a == b {
-                Some(a)
-            } else {
-                Some(ContentExpr::Choice(vec![a, b]))
+    let (a, b) = match (a, b) {
+        (None, x) | (x, None) => return x,
+        (Some(a), Some(b)) => (a, b),
+    };
+    let mut alts: Vec<ContentExpr> = Vec::new();
+    for side in [a, b] {
+        let side_alts = match side {
+            ContentExpr::Choice(inner) => inner,
+            other => vec![other],
+        };
+        for alt in side_alts {
+            if !alts.contains(&alt) {
+                alts.push(alt);
             }
         }
     }
+    Some(if alts.len() == 1 {
+        alts.pop().expect("len checked")
+    } else {
+        ContentExpr::Choice(alts)
+    })
 }
 
 /// Whether the token sequence `tokens` matches the content model `expr`.

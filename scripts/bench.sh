@@ -2,8 +2,12 @@
 # Runs the micro-benchmarks and rewrites BENCH_pipeline.json from scratch.
 #
 # Each bench binary appends JSON-lines records (one object per benchmark:
-# name, median/p95 ns per iteration, samples, throughput) to the file, so
-# we clear it first to get exactly one fresh snapshot per invocation.
+# name, median/p95 ns per iteration, samples, throughput) to the file —
+# append is required so several bench binaries in one `cargo bench` run
+# can share the file, but it also means the file grows without bound
+# across invocations. Truncating (not deleting) it at the start of every
+# run keeps exactly one fresh snapshot per invocation while preserving
+# the file's inode for anything tailing it.
 # Knobs: WEBRE_BENCH_SAMPLES, WEBRE_BENCH_SAMPLE_MS (see webre-substrate's
 # bench module docs).
 
@@ -17,6 +21,6 @@ case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;;
 esac
-rm -f "$out"
+: > "$out"
 WEBRE_BENCH_OUT="$out" cargo bench -p webre-bench "$@"
 echo "==> $(wc -l <"$out") benchmark record(s) in $out"

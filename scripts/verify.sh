@@ -14,6 +14,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> webre check (bounded differential/fuzz oracle smoke run)"
+./target/release/webre check --iters 50 --seed 1
+
 echo "==> dependency guard (Cargo.lock must contain only workspace crates)"
 # Registry/git dependencies carry a `source = ...` line in Cargo.lock;
 # path-only workspace members never do.

@@ -1,4 +1,4 @@
-//! Golden-file integration tests: three fixture HTML resumes are pushed
+//! Golden-file integration tests: four fixture HTML resumes are pushed
 //! end-to-end through [`webre::Pipeline`] and the produced XML plus the
 //! discovered frequent-path set are compared byte-for-byte against
 //! committed expectations.
@@ -16,7 +16,7 @@ use std::path::PathBuf;
 
 use webre::Pipeline;
 
-const FIXTURES: &[&str] = &["resume_clean", "resume_table", "resume_soup"];
+const FIXTURES: &[&str] = &["resume_clean", "resume_table", "resume_soup", "resume_nested"];
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -73,7 +73,7 @@ fn fixture_corpus_frequent_paths_match_golden() {
     let pipeline = Pipeline::resume_domain();
     let discovery = pipeline
         .discover_schema(&docs)
-        .expect("three documents discover a schema");
+        .expect("four documents discover a schema");
 
     // Render the frequent-path set one slash-joined path per line, sorted,
     // so the expectation file is diff-friendly and order-independent.
