@@ -383,3 +383,156 @@ mod tests {
         assert_eq!(short, "abc");
     }
 }
+
+/// Oracle 6 — serve ≡ batch: a live HTTP server hammered by concurrent
+/// clients must be indistinguishable from the sequential batch pipeline.
+///
+/// A random corpus is split across several client threads, each posting
+/// its share to `POST /convert` and `POST /corpus/docs` over its own
+/// keep-alive connection. Every `/convert` reply must be byte-identical
+/// to the batch conversion of the same document, and the final
+/// `GET /schema` / `GET /schema/dtd` must match a sequential
+/// mine-and-derive over the whole corpus — interleaving, the response
+/// cache, and the coalesced snapshot recompute must all be invisible.
+pub fn serve_vs_batch(rng: &mut StdRng) -> Result<(), String> {
+    use std::io::BufReader;
+    use std::net::TcpStream;
+    use webre_serve::server::{ServeConfig, Server};
+    use webre_serve::Engine;
+    use webre_substrate::http::{read_response, write_request};
+
+    // Mostly resume-like documents (so a schema usually emerges), soup
+    // mixed in to stress the converter's error paths under concurrency.
+    let docs: Vec<String> = (0..rng.gen_range(3..=6))
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                gen::resume_like(rng)
+            } else {
+                soup_input(rng)
+            }
+        })
+        .collect();
+
+    // Sequential batch reference, computed before the server exists.
+    let engine = Engine::resume_domain();
+    let expected_xml: Vec<String> = docs
+        .iter()
+        .map(|d| engine.convert_to_xml(d).2)
+        .collect();
+    let paths: Vec<DocPaths> = docs
+        .iter()
+        .map(|d| extract_paths(&engine.converter.convert_str(d).0))
+        .collect();
+    let expected_schema = engine.miner.mine(&paths).map(|outcome| {
+        let dtd = webre_schema::derive_dtd(&outcome.schema, &paths, &engine.dtd_config);
+        (outcome.schema.render(), dtd.to_dtd_string())
+    });
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: rng.gen_range(2..=4),
+        queue_cap: 64,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start(config, engine).map_err(|e| format!("cannot bind test server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Concurrent clients; client c takes documents c, c+n, c+2n, …
+    let clients = rng.gen_range(2..=3usize);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let docs = docs.clone();
+            std::thread::spawn(move || -> Result<Vec<(usize, String)>, String> {
+                let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut converted = Vec::new();
+                for (i, doc) in docs.iter().enumerate() {
+                    if i % clients != c {
+                        continue;
+                    }
+                    write_request(&mut writer, "POST", "/convert", doc.as_bytes(), true)
+                        .map_err(|e| e.to_string())?;
+                    let response = read_response(&mut reader, 64 << 20)
+                        .map_err(|e| format!("/convert doc {i}: {e}"))?;
+                    if response.status != 200 {
+                        return Err(format!("/convert doc {i}: status {}", response.status));
+                    }
+                    converted.push((i, response.text()));
+                    write_request(&mut writer, "POST", "/corpus/docs", doc.as_bytes(), true)
+                        .map_err(|e| e.to_string())?;
+                    let response = read_response(&mut reader, 1 << 20)
+                        .map_err(|e| format!("/corpus/docs doc {i}: {e}"))?;
+                    if response.status != 202 {
+                        return Err(format!("/corpus/docs doc {i}: status {}", response.status));
+                    }
+                }
+                Ok(converted)
+            })
+        })
+        .collect();
+    let mut served_xml: Vec<(usize, String)> = Vec::new();
+    for handle in handles {
+        served_xml.extend(
+            handle
+                .join()
+                .map_err(|_| "client thread panicked".to_owned())??,
+        );
+    }
+
+    for (i, served) in &served_xml {
+        if served != &expected_xml[*i] {
+            return Err(format!(
+                "/convert diverged from batch conversion on doc {i}\n  input: {}\n  served: {}\n  batch:  {}",
+                snippet(&docs[*i]),
+                snippet(served),
+                snippet(&expected_xml[*i])
+            ));
+        }
+    }
+
+    // Final schema state vs the sequential mine over the same corpus.
+    let fetch = |path: &str| -> Result<(u16, String), String> {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        write_request(&mut writer, "GET", path, b"", false).map_err(|e| e.to_string())?;
+        let response = read_response(&mut reader, 16 << 20).map_err(|e| e.to_string())?;
+        Ok((response.status, response.text()))
+    };
+    let schema = fetch("/schema")?;
+    let dtd = fetch("/schema/dtd")?;
+    match &expected_schema {
+        None => {
+            if schema.0 != 404 || dtd.0 != 404 {
+                return Err(format!(
+                    "batch mined no schema but the server answered {}/{} (expected 404/404)",
+                    schema.0, dtd.0
+                ));
+            }
+        }
+        Some((schema_text, dtd_text)) => {
+            if schema.0 != 200 || schema.1 != *schema_text {
+                return Err(format!(
+                    "final /schema diverged (status {})\n  served: {}\n  batch:  {}",
+                    schema.0,
+                    snippet(&schema.1),
+                    snippet(schema_text)
+                ));
+            }
+            if dtd.0 != 200 || dtd.1 != *dtd_text {
+                return Err(format!(
+                    "final /schema/dtd diverged (status {})\n  served: {}\n  batch:  {}",
+                    dtd.0,
+                    snippet(&dtd.1),
+                    snippet(dtd_text)
+                ));
+            }
+        }
+    }
+
+    server.request_drain();
+    server.join();
+    Ok(())
+}

@@ -45,6 +45,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("parallel-convert", Kind::Differential, crate::oracles::parallel_convert),
     ("brzozowski-vs-backtracking", Kind::Differential, crate::oracles::brzozowski),
     ("miner-vs-bruteforce", Kind::Differential, crate::oracles::miner),
+    ("serve-vs-batch", Kind::Differential, crate::oracles::serve_vs_batch),
     ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
     ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
     ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
@@ -233,12 +234,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Five differential + three metamorphic + one fuzz oracle; the
+        // Six differential + three metamorphic + one fuzz oracle; the
         // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 9);
+        assert_eq!(a.oracles.len(), 10);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            5
+            6
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

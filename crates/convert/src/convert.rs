@@ -118,6 +118,24 @@ impl ConvertStats {
         (self.tokens_total > 0)
             .then(|| self.tokens_identified as f64 / self.tokens_total as f64)
     }
+
+    /// Accumulates another document's counters into this one, so callers
+    /// converting a stream of documents (the CLI batch commands, the
+    /// serving subsystem's live corpus) can report corpus-level totals
+    /// without holding per-document stats.
+    pub fn merge(&mut self, other: &ConvertStats) {
+        self.tokens_total += other.tokens_total;
+        self.tokens_identified += other.tokens_identified;
+        self.tokens_via_classifier += other.tokens_via_classifier;
+        self.tokens_unidentified += other.tokens_unidentified;
+        self.tokens_decomposed += other.tokens_decomposed;
+    }
+}
+
+impl std::ops::AddAssign<&ConvertStats> for ConvertStats {
+    fn add_assign(&mut self, other: &ConvertStats) {
+        self.merge(other);
+    }
 }
 
 /// Converts topic-specific HTML documents into concept-tagged XML.
@@ -318,6 +336,25 @@ mod tests {
         let xml = to_xml(&doc);
         assert!(xml.contains("experience"), "{xml}");
         assert!(xml.contains("employer") || xml.contains("position"), "{xml}");
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let c = converter();
+        let (_, a) = c.convert_str("<p>zorp blorp, qux flux</p>");
+        let (_, b) = c.convert_str("<h2>Education</h2><p>Stanford University</p>");
+        let mut total = ConvertStats::default();
+        total.merge(&a);
+        total += &b;
+        assert_eq!(total.tokens_total, a.tokens_total + b.tokens_total);
+        assert_eq!(
+            total.tokens_identified,
+            a.tokens_identified + b.tokens_identified
+        );
+        assert_eq!(
+            total.tokens_unidentified,
+            a.tokens_unidentified + b.tokens_unidentified
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
 //! webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
 //! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+//! webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
 //! webre validate <file.xml>...   --dtd <file.dtd>
 //! webre generate --count N [--seed S] --out-dir DIR
 //! webre check    [--seed S] [--iters N] [--only ORACLE]
@@ -11,30 +12,38 @@
 //!
 //! `convert` prints concept-tagged XML for each input; `discover` prints
 //! the majority schema and derived DTD; `run` converts, discovers, maps
-//! every document onto the DTD and writes conforming XML files; `validate`
-//! checks XML files against a DTD; `generate` materializes a synthetic
-//! resume corpus (HTML plus ground-truth XML); `check` runs the
-//! differential/metamorphic/fuzzing oracle battery from `webre-check` and
-//! prints a one-line reproduction command for any failure.
+//! every document onto the DTD and writes conforming XML files; `serve`
+//! exposes the pipeline over HTTP (see `webre-serve`); `validate` checks
+//! XML files against a DTD; `generate` materializes a synthetic resume
+//! corpus (HTML plus ground-truth XML); `check` runs the differential/
+//! metamorphic/fuzzing oracle battery from `webre-check` and prints a
+//! one-line reproduction command for any failure.
+//!
+//! Exit codes: `0` success, `1` runtime failure (unreadable input, failed
+//! validation, failed oracle), `2` usage error (unknown command or flag,
+//! missing argument, malformed flag value).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use webre::concepts::Domain;
 use webre::convert::ConvertConfig;
+use webre::serve::server::{ServeConfig, Server};
 use webre::Pipeline;
 use webre_corpus::CorpusGenerator;
 use webre_schema::FrequentPathMiner;
+use webre_xml::XmlDocument;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return exit_usage();
     };
     let result = match command.as_str() {
         "convert" => cmd_convert(rest),
         "discover" => cmd_discover(rest),
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
         "validate" => cmd_validate(rest),
         "generate" => cmd_generate(rest),
         "check" => cmd_check(rest),
@@ -42,15 +51,30 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        "--version" | "-V" | "version" => {
+            println!("webre {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(code) => code,
-        Err(message) => {
+        Err(CliError::Runtime(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            exit_usage()
+        }
     }
+}
+
+/// Usage errors (unknown flag, missing argument) exit with 2 so scripts
+/// can tell "you called it wrong" from "it ran and failed" (1).
+fn exit_usage() -> ExitCode {
+    ExitCode::from(2)
 }
 
 const USAGE: &str = "\
@@ -58,18 +82,43 @@ usage:
   webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
   webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
   webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+  webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
+                 [--max-body BYTES] [--domain d.json] [--root NAME] [--sup F] [--ratio F]
   webre validate <file.xml>...   --dtd <file.dtd>
   webre generate --count N [--seed S] --out-dir DIR
-  webre check    [--seed S] [--iters N] [--only ORACLE]";
+  webre check    [--seed S] [--iters N] [--only ORACLE]
+  webre --version | --help";
+
+/// A CLI failure, split by who got it wrong.
+enum CliError {
+    /// The invocation itself is invalid → exit 2, usage printed.
+    Usage(String),
+    /// The invocation was fine but the work failed → exit 1.
+    Runtime(String),
+}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn runtime_err(message: impl Into<String>) -> CliError {
+    CliError::Runtime(message.into())
+}
 
 /// Minimal flag parser: returns (positional, flag-values, flag-switches).
+/// Flags outside `value_flags` ∪ `switch_flags` are usage errors, so a
+/// typo like `--suport 0.4` fails loudly instead of being ignored.
 struct Parsed {
     positional: Vec<String>,
     values: Vec<(String, String)>,
     switches: Vec<String>,
 }
 
-fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Parsed, String> {
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Parsed, CliError> {
     let mut out = Parsed {
         positional: Vec::new(),
         values: Vec::new(),
@@ -81,10 +130,12 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Parsed, String> 
             if value_flags.contains(&name) {
                 let value = it
                     .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                    .ok_or_else(|| usage_err(format!("--{name} needs a value")))?;
                 out.values.push((name.to_owned(), value.clone()));
-            } else {
+            } else if switch_flags.contains(&name) {
                 out.switches.push(name.to_owned());
+            } else {
+                return Err(usage_err(format!("unknown flag --{name}")));
             }
         } else {
             out.positional.push(arg.clone());
@@ -105,27 +156,68 @@ impl Parsed {
         self.switches.iter().any(|s| s == name)
     }
 
-    fn float(&self, name: &str, default: f64) -> Result<f64, String> {
+    fn float(&self, name: &str, default: f64) -> Result<f64, CliError> {
         match self.value(name) {
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+                .map_err(|_| usage_err(format!("--{name} expects a number, got {v:?}"))),
+            None => Ok(default),
+        }
+    }
+
+    fn uint(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.value(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage_err(format!("--{name} expects an integer, got {v:?}"))),
             None => Ok(default),
         }
     }
 }
 
-fn read(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
+}
+
+/// Streams the input files through conversion one at a time: each
+/// document is read, converted, and its HTML dropped before the next is
+/// touched, so peak memory is one document (not the whole corpus).
+/// Unreadable files are reported with their path and skipped; the batch
+/// keeps going. Returns `(surviving paths, converted docs, failures)`.
+fn convert_inputs(
+    pipeline: &Pipeline,
+    paths: &[String],
+) -> Result<(Vec<String>, Vec<XmlDocument>, usize), CliError> {
+    let mut survivors = Vec::new();
+    let mut docs = Vec::new();
+    let mut failures = 0usize;
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(html) => {
+                docs.push(pipeline.convert_html(&html).0);
+                survivors.push(path.clone());
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("warning: skipping {path}: {e}");
+            }
+        }
+    }
+    if docs.is_empty() {
+        return Err(runtime_err(format!(
+            "no readable inputs ({failures} of {failures} failed)"
+        )));
+    }
+    Ok((survivors, docs, failures))
 }
 
 /// Builds a pipeline from common flags (`--domain`, `--root`, `--sup`,
 /// `--ratio`, `--group-patterns`).
-fn pipeline_from(parsed: &Parsed) -> Result<Pipeline, String> {
+fn pipeline_from(parsed: &Parsed) -> Result<Pipeline, CliError> {
     let mut pipeline = match parsed.value("domain") {
         Some(path) => {
             let domain = Domain::from_json(&read(path)?)
-                .map_err(|e| format!("bad domain file {path}: {e}"))?;
+                .map_err(|e| runtime_err(format!("bad domain file {path}: {e}")))?;
             let root = parsed.value("root").unwrap_or("document").to_owned();
             let concepts = domain.concept_set();
             let constraints = domain.constraint_set();
@@ -167,10 +259,10 @@ fn pipeline_from(parsed: &Parsed) -> Result<Pipeline, String> {
     Ok(pipeline)
 }
 
-fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["domain", "root"])?;
+fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(args, &["domain", "root"], &["compact", "stats"])?;
     if parsed.positional.is_empty() {
-        return Err("convert needs at least one input file".into());
+        return Err(usage_err("convert needs at least one input file"));
     }
     let pipeline = pipeline_from(&parsed)?;
     for path in &parsed.positional {
@@ -194,80 +286,145 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_discover(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["domain", "root", "sup", "ratio"])?;
+fn cmd_discover(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &["domain", "root", "sup", "ratio"],
+        &["group-patterns"],
+    )?;
     if parsed.positional.is_empty() {
-        return Err("discover needs at least one input file".into());
+        return Err(usage_err("discover needs at least one input file"));
     }
     let pipeline = pipeline_from(&parsed)?;
-    let htmls: Vec<String> = parsed
-        .positional
-        .iter()
-        .map(|p| read(p))
-        .collect::<Result<_, _>>()?;
-    let docs = pipeline.convert_corpus(&htmls);
+    let (_, docs, failures) = convert_inputs(&pipeline, &parsed.positional)?;
     let discovery = pipeline
         .discover_schema(&docs)
-        .ok_or("empty corpus or root below support threshold")?;
+        .ok_or_else(|| runtime_err("empty corpus or root below support threshold"))?;
     println!("majority schema ({} paths):", discovery.schema.len());
     print!("{}", discovery.schema.render());
     println!();
     println!("derived DTD:");
     print!("{}", discovery.dtd.to_dtd_string());
-    Ok(ExitCode::SUCCESS)
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
-fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["domain", "root", "sup", "ratio", "out-dir"])?;
+fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &["domain", "root", "sup", "ratio", "out-dir"],
+        &["group-patterns"],
+    )?;
     if parsed.positional.is_empty() {
-        return Err("run needs at least one input file".into());
+        return Err(usage_err("run needs at least one input file"));
     }
-    let out_dir = PathBuf::from(parsed.value("out-dir").ok_or("run needs --out-dir")?);
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
+    let out_dir = PathBuf::from(
+        parsed
+            .value("out-dir")
+            .ok_or_else(|| usage_err("run needs --out-dir"))?,
+    );
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| runtime_err(format!("cannot create out dir: {e}")))?;
     let pipeline = pipeline_from(&parsed)?;
-    let htmls: Vec<String> = parsed
-        .positional
-        .iter()
-        .map(|p| read(p))
-        .collect::<Result<_, _>>()?;
-    let (discovery, mapped) = pipeline
-        .run(&htmls)
-        .ok_or("empty corpus or root below support threshold")?;
+    let (survivors, docs, failures) = convert_inputs(&pipeline, &parsed.positional)?;
+    let discovery = pipeline
+        .discover_schema(&docs)
+        .ok_or_else(|| runtime_err("empty corpus or root below support threshold"))?;
     std::fs::write(out_dir.join("schema.dtd"), discovery.dtd.to_dtd_string())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| runtime_err(e.to_string()))?;
     let mut conforming = 0usize;
-    for (input, outcome) in parsed.positional.iter().zip(&mapped) {
+    for (input, doc) in survivors.iter().zip(&docs) {
+        let outcome = pipeline.map_document(doc, &discovery);
         let stem = Path::new(input)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "doc".into());
         let path = out_dir.join(format!("{stem}.xml"));
         std::fs::write(&path, webre::xml::to_xml_pretty(&outcome.document))
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| runtime_err(e.to_string()))?;
         if outcome.conforms {
             conforming += 1;
         }
     }
     println!(
         "wrote {} mapped documents + schema.dtd to {} ({conforming} conforming)",
-        mapped.len(),
+        docs.len(),
         out_dir.display()
     );
+    if failures > 0 {
+        eprintln!("{failures} input(s) skipped due to read errors");
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &[
+            "addr",
+            "workers",
+            "cache-cap",
+            "queue-cap",
+            "max-body",
+            "domain",
+            "root",
+            "sup",
+            "ratio",
+        ],
+        &["group-patterns"],
+    )?;
+    if !parsed.positional.is_empty() {
+        return Err(usage_err(format!(
+            "serve takes no positional arguments, got {:?}",
+            parsed.positional
+        )));
+    }
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: parsed
+            .value("addr")
+            .unwrap_or(&defaults.addr)
+            .to_owned(),
+        workers: parsed.uint("workers", defaults.workers)?.max(1),
+        queue_cap: parsed.uint("queue-cap", defaults.queue_cap)?.max(1),
+        cache_cap: parsed.uint("cache-cap", defaults.cache_cap)?,
+        max_body: parsed.uint("max-body", defaults.max_body)?,
+        read_timeout: defaults.read_timeout,
+    };
+    let pipeline = pipeline_from(&parsed)?;
+    let workers = config.workers;
+    let server = Server::start(config, pipeline.serve_engine())
+        .map_err(|e| runtime_err(format!("cannot bind: {e}")))?;
+    println!(
+        "serving on http://{} ({workers} workers; POST /shutdown to drain)",
+        server.local_addr()
+    );
+    server.join();
+    println!("drained, all workers exited");
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["dtd"])?;
-    let dtd_path = parsed.value("dtd").ok_or("validate needs --dtd")?;
+fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(args, &["dtd"], &[])?;
+    let dtd_path = parsed
+        .value("dtd")
+        .ok_or_else(|| usage_err("validate needs --dtd"))?;
     let dtd = webre::xml::dtd::parse_dtd(&read(dtd_path)?)
-        .map_err(|e| format!("bad DTD {dtd_path}: {e}"))?;
+        .map_err(|e| runtime_err(format!("bad DTD {dtd_path}: {e}")))?;
     if parsed.positional.is_empty() {
-        return Err("validate needs at least one XML file".into());
+        return Err(usage_err("validate needs at least one XML file"));
     }
     let mut failures = 0usize;
     for path in &parsed.positional {
         let doc = webre::xml::parse_xml(&read(path)?)
-            .map_err(|e| format!("bad XML {path}: {e}"))?;
+            .map_err(|e| runtime_err(format!("bad XML {path}: {e}")))?;
         let errors = webre::xml::validate(&doc, &dtd);
         if errors.is_empty() {
             println!("{path}: conforms");
@@ -286,24 +443,24 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["seed", "iters", "only"])?;
+fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(args, &["seed", "iters", "only"], &[])?;
     if !parsed.positional.is_empty() {
-        return Err(format!(
+        return Err(usage_err(format!(
             "check takes no positional arguments, got {:?}",
             parsed.positional
-        ));
+        )));
     }
     let seed: u64 = parsed
         .value("seed")
         .unwrap_or("1")
         .parse()
-        .map_err(|_| "--seed expects an integer")?;
+        .map_err(|_| usage_err("--seed expects an integer"))?;
     let iters: u64 = parsed
         .value("iters")
         .unwrap_or("200")
         .parse()
-        .map_err(|_| "--iters expects an integer")?;
+        .map_err(|_| usage_err("--iters expects an integer"))?;
     let config = webre_check::CheckConfig {
         seed,
         iters,
@@ -315,11 +472,11 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
             .iter()
             .map(|(name, _, _)| *name)
             .collect();
-        return Err(format!(
+        return Err(runtime_err(format!(
             "no oracle named {:?}; known oracles: {}",
             config.only.as_deref().unwrap_or(""),
             known.join(", ")
-        ));
+        )));
     }
     print!("{}", report.render());
     Ok(if report.passed() {
@@ -329,29 +486,34 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
-    let parsed = parse_flags(args, &["count", "seed", "out-dir"])?;
+fn cmd_generate(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(args, &["count", "seed", "out-dir"], &[])?;
     let count: usize = parsed
         .value("count")
-        .ok_or("generate needs --count")?
+        .ok_or_else(|| usage_err("generate needs --count"))?
         .parse()
-        .map_err(|_| "--count expects an integer")?;
+        .map_err(|_| usage_err("--count expects an integer"))?;
     let seed: u64 = parsed
         .value("seed")
         .unwrap_or("2002")
         .parse()
-        .map_err(|_| "--seed expects an integer")?;
-    let out_dir = PathBuf::from(parsed.value("out-dir").ok_or("generate needs --out-dir")?);
-    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create out dir: {e}"))?;
+        .map_err(|_| usage_err("--seed expects an integer"))?;
+    let out_dir = PathBuf::from(
+        parsed
+            .value("out-dir")
+            .ok_or_else(|| usage_err("generate needs --out-dir"))?,
+    );
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| runtime_err(format!("cannot create out dir: {e}")))?;
     let generator = CorpusGenerator::new(seed);
     for doc in generator.generate(count) {
         std::fs::write(out_dir.join(format!("resume{:04}.html", doc.id)), &doc.html)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| runtime_err(e.to_string()))?;
         std::fs::write(
             out_dir.join(format!("resume{:04}.truth.xml", doc.id)),
             webre::xml::to_xml_pretty(&doc.truth),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| runtime_err(e.to_string()))?;
     }
     println!("wrote {count} documents (+ ground truth) to {}", out_dir.display());
     Ok(ExitCode::SUCCESS)

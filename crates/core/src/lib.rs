@@ -42,6 +42,7 @@ pub use webre_corpus as corpus;
 pub use webre_html as html;
 pub use webre_map as map;
 pub use webre_schema as schema;
+pub use webre_serve as serve;
 pub use webre_text as text;
 pub use webre_tree as tree;
 pub use webre_xml as xml;
@@ -132,6 +133,21 @@ impl Pipeline {
     /// The constraint set wired into the miner, if any.
     pub fn constraints(&self) -> Option<&ConstraintSet> {
         self.miner.constraints.as_ref()
+    }
+
+    /// The DTD-derivation configuration in use.
+    pub fn dtd_config(&self) -> &DtdConfig {
+        &self.dtd_config
+    }
+
+    /// A [`serve::Engine`] sharing this pipeline's exact configuration,
+    /// so `webre serve` answers byte-identically to the batch commands.
+    pub fn serve_engine(&self) -> serve::Engine {
+        serve::Engine {
+            converter: self.converter.clone(),
+            miner: self.miner.clone(),
+            dtd_config: self.dtd_config.clone(),
+        }
     }
 
     /// Converts one HTML document (text) into a concept-tagged XML

@@ -31,8 +31,164 @@ fn help_succeeds() {
 #[test]
 fn unknown_command_fails() {
     let out = bin().arg("frobnicate").output().expect("spawn");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn usage_lists_every_subcommand() {
+    let out = bin().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let usage = String::from_utf8_lossy(&out.stdout).into_owned();
+    for subcommand in [
+        "convert", "discover", "run", "serve", "validate", "generate", "check",
+    ] {
+        assert!(
+            usage.contains(&format!("webre {subcommand}")),
+            "usage is missing subcommand {subcommand:?}:\n{usage}"
+        );
+    }
+    assert!(usage.contains("--version"), "{usage}");
+}
+
+#[test]
+fn version_flag_prints_package_version() {
+    for flag in ["--version", "-V"] {
+        let out = bin().arg(flag).output().expect("spawn");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert_eq!(text.trim(), format!("webre {}", env!("CARGO_PKG_VERSION")));
+    }
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error_on_every_subcommand() {
+    for subcommand in ["convert", "discover", "run", "serve", "validate", "generate", "check"] {
+        let out = bin()
+            .args([subcommand, "--no-such-flag"])
+            .output()
+            .expect("spawn");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{subcommand} accepted an unknown flag"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(
+            stderr.contains("unknown flag --no-such-flag"),
+            "{subcommand}: {stderr}"
+        );
+        assert!(stderr.contains("usage"), "{subcommand}: {stderr}");
+    }
+}
+
+#[test]
+fn run_skips_unreadable_inputs_and_keeps_going() {
+    let dir = temp_dir("skip-unreadable");
+    let corpus = dir.join("corpus");
+    let mapped = dir.join("mapped");
+    let out = bin()
+        .args(["generate", "--count", "6", "--seed", "5", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let mut inputs: Vec<PathBuf> = (0..6)
+        .map(|i| corpus.join(format!("resume{i:04}.html")))
+        .collect();
+    inputs.insert(3, corpus.join("missing.html")); // does not exist
+    let out = bin()
+        .arg("run")
+        .args(&inputs)
+        .arg("--out-dir")
+        .arg(&mapped)
+        .output()
+        .expect("spawn");
+    // The batch completed (every readable document mapped, DTD written)
+    // but the exit code still reports the skipped file.
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("missing.html"), "{stderr}");
+    assert!(mapped.join("schema.dtd").exists());
+    for i in 0..6 {
+        assert!(mapped.join(format!("resume{i:04}.xml")).exists(), "doc {i}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn discover_reports_each_unreadable_input_with_its_path() {
+    let dir = temp_dir("discover-unreadable");
+    let corpus = dir.join("corpus");
+    let out = bin()
+        .args(["generate", "--count", "4", "--seed", "9", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let mut inputs: Vec<PathBuf> = (0..4)
+        .map(|i| corpus.join(format!("resume{i:04}.html")))
+        .collect();
+    inputs.push(corpus.join("gone-a.html"));
+    inputs.push(corpus.join("gone-b.html"));
+    let out = bin().arg("discover").args(&inputs).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("gone-a.html"), "{stderr}");
+    assert!(stderr.contains("gone-b.html"), "{stderr}");
+    // Discovery still ran over the readable majority.
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("majority schema"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_subcommand_answers_http_and_drains_on_shutdown() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+    use std::net::TcpStream;
+
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    // "serving on http://127.0.0.1:PORT (...)"
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("address in banner")
+        .to_owned();
+
+    let request = |method: &str, path: &str, body: &str| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let health = request("GET", "/healthz", "");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+    let converted = request("POST", "/convert", "<h2>Skills</h2><p>Rust</p>");
+    assert!(converted.starts_with("HTTP/1.1 200"), "{converted}");
+    assert!(converted.contains("<resume"), "{converted}");
+    let drain = request("POST", "/shutdown", "");
+    assert!(drain.starts_with("HTTP/1.1 200"), "{drain}");
+
+    let status = child.wait().expect("serve exit");
+    assert!(status.success(), "serve exited {status:?}");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("drained"), "{rest}");
 }
 
 #[test]
@@ -160,7 +316,7 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All five differential oracles, all three metamorphic invariants and
+    // All six differential oracles, all three metamorphic invariants and
     // the fuzzer ran.
     for oracle in [
         "fixpoint",
@@ -168,6 +324,7 @@ fn check_passes_and_is_deterministic() {
         "parallel-convert",
         "brzozowski-vs-backtracking",
         "miner-vs-bruteforce",
+        "serve-vs-batch",
         "remove-document",
         "duplicate-corpus",
         "permute-order",
@@ -175,7 +332,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 9 oracles passed"), "{text}");
+    assert!(text.contains("all 10 oracles passed"), "{text}");
 }
 
 #[test]

@@ -16,10 +16,62 @@
 //! strengthened by concept constraints.
 
 use crate::majority::{MajoritySchema, SchemaNode};
-use crate::paths::{doc_frequency, DocPaths, LabelPath};
+use crate::paths::{DocPaths, LabelPath};
 use std::collections::BTreeSet;
 use webre_concepts::ConstraintSet;
 use webre_tree::NodeId;
+
+/// The corpus interface the miner actually needs. A plain `[DocPaths]`
+/// slice answers every query by scanning; [`crate::CorpusIndex`] answers
+/// from precomputed tables so documents can be accreted one at a time
+/// (the serving subsystem's live corpus). Both implementations are
+/// exercised against each other by differential tests — the miner itself
+/// is shared, so results are identical by construction.
+pub trait CorpusView {
+    /// Number of documents.
+    fn doc_count(&self) -> usize;
+    /// Number of documents containing `path`.
+    fn frequency(&self, path: &[String]) -> usize;
+    /// Child labels observed directly under `prefix`, in sorted order.
+    fn child_labels(&self, prefix: &[String]) -> Vec<String>;
+    /// Root labels with their document counts, in deterministic
+    /// (count-descending, label-ascending) order.
+    fn root_votes(&self) -> Vec<(String, usize)>;
+}
+
+impl CorpusView for [DocPaths] {
+    fn doc_count(&self) -> usize {
+        self.len()
+    }
+
+    fn frequency(&self, path: &[String]) -> usize {
+        crate::paths::doc_frequency(self, path)
+    }
+
+    fn child_labels(&self, prefix: &[String]) -> Vec<String> {
+        let mut candidates: BTreeSet<&str> = BTreeSet::new();
+        for doc in self {
+            for path in &doc.paths {
+                if path.len() == prefix.len() + 1 && path.starts_with(prefix) {
+                    candidates.insert(path.last().expect("non-empty"));
+                }
+            }
+        }
+        candidates.into_iter().map(str::to_owned).collect()
+    }
+
+    fn root_votes(&self) -> Vec<(String, usize)> {
+        let mut votes: Vec<(String, usize)> = Vec::new();
+        for d in self {
+            match votes.iter_mut().find(|(l, _)| *l == d.root_label) {
+                Some((_, n)) => *n += 1,
+                None => votes.push((d.root_label.clone(), 1)),
+            }
+        }
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        votes
+    }
+}
 
 /// Configuration and entry point for frequent-path mining.
 #[derive(Clone, Debug)]
@@ -62,31 +114,29 @@ impl FrequentPathMiner {
     /// Returns `None` for an empty corpus or when the root itself fails the
     /// support threshold.
     pub fn mine(&self, corpus: &[DocPaths]) -> Option<MiningOutcome> {
-        if corpus.is_empty() {
+        self.mine_view(corpus)
+    }
+
+    /// Mines any [`CorpusView`] — the same algorithm [`mine`](Self::mine)
+    /// runs, reachable for incrementally accreted corpora
+    /// ([`crate::CorpusIndex`]).
+    pub fn mine_view(&self, corpus: &(impl CorpusView + ?Sized)) -> Option<MiningOutcome> {
+        if corpus.doc_count() == 0 {
             return None;
         }
-        // Majority root label.
-        let mut root_votes: Vec<(&str, usize)> = Vec::new();
-        for d in corpus {
-            match root_votes.iter_mut().find(|(l, _)| *l == d.root_label) {
-                Some((_, n)) => *n += 1,
-                None => root_votes.push((&d.root_label, 1)),
-            }
-        }
-        root_votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        let root_label = root_votes[0].0.to_owned();
+        let root_label = corpus.root_votes()[0].0.clone();
 
         let mut explored = 1usize;
         let mut accepted = 0usize;
         let root_path = vec![root_label.clone()];
-        let root_count = doc_frequency(corpus, &root_path);
-        let root_support = root_count as f64 / corpus.len() as f64;
+        let root_count = corpus.frequency(&root_path);
+        let root_support = root_count as f64 / corpus.doc_count() as f64;
         if root_support < self.sup_threshold {
             return None;
         }
         accepted += 1;
         let mut schema =
-            MajoritySchema::new(root_label, root_support, root_count, corpus.len());
+            MajoritySchema::new(root_label, root_support, root_count, corpus.doc_count());
         let root = schema.tree.root();
         self.extend(
             corpus,
@@ -107,7 +157,7 @@ impl FrequentPathMiner {
     #[allow(clippy::too_many_arguments)]
     fn extend(
         &self,
-        corpus: &[DocPaths],
+        corpus: &(impl CorpusView + ?Sized),
         schema: &mut MajoritySchema,
         node: NodeId,
         prefix: &LabelPath,
@@ -120,16 +170,7 @@ impl FrequentPathMiner {
         }
         // Candidate child labels observed in documents containing the
         // prefix, in deterministic order.
-        let mut candidates: BTreeSet<&str> = BTreeSet::new();
-        for doc in corpus {
-            for path in &doc.paths {
-                if path.len() == prefix.len() + 1 && path.starts_with(prefix) {
-                    candidates.insert(path.last().expect("non-empty"));
-                }
-            }
-        }
-        let candidates: Vec<String> = candidates.into_iter().map(str::to_owned).collect();
-        for label in candidates {
+        for label in corpus.child_labels(prefix) {
             *explored += 1;
             let mut path = prefix.clone();
             path.push(label.clone());
@@ -139,8 +180,8 @@ impl FrequentPathMiner {
                     continue;
                 }
             }
-            let count = doc_frequency(corpus, &path);
-            let support = count as f64 / corpus.len() as f64;
+            let count = corpus.frequency(&path);
+            let support = count as f64 / corpus.doc_count() as f64;
             if support < self.sup_threshold {
                 continue; // anti-monotone: no extension can succeed
             }

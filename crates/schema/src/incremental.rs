@@ -1,0 +1,240 @@
+//! Incremental corpus accretion for live schema discovery.
+//!
+//! The batch pipeline extracts all [`DocPaths`] up front and hands the
+//! miner a slice, which answers every `doc_frequency` query by scanning
+//! the whole corpus — O(documents) per candidate path. A long-running
+//! service accretes documents one at a time and recomputes the schema
+//! repeatedly, so [`CorpusIndex`] maintains the three tables the miner's
+//! [`CorpusView`] interface needs as documents arrive:
+//!
+//! * a document-frequency map `path → count` (each document contributes
+//!   each of its label paths once — path sets, per Section 3.2);
+//! * a children index `prefix → sorted child labels`, the candidate
+//!   generator of the frequent-path search;
+//! * root-label votes for majority-root election.
+//!
+//! Accreting a document is O(paths in that document); mining then runs
+//! with O(1) frequency lookups instead of O(n) scans. The original
+//! `DocPaths` values are retained (they carry the multiplicity, position
+//! and child-sequence bookkeeping DTD derivation needs), so
+//! [`CorpusIndex::docs`] slots directly into [`crate::derive_dtd`].
+//!
+//! The index is append-only by design: document *removal* would require
+//! decrementing every table, and no current workload retires documents
+//! from a live corpus. A version counter increments on every push so
+//! snapshot consumers (the `/schema` endpoint) can cheaply detect
+//! staleness.
+
+use crate::frequent::CorpusView;
+use crate::paths::{DocPaths, LabelPath};
+use std::collections::{BTreeSet, HashMap};
+
+/// An append-only corpus with the miner's query tables kept incrementally.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusIndex {
+    docs: Vec<DocPaths>,
+    frequency: HashMap<LabelPath, usize>,
+    children: HashMap<LabelPath, BTreeSet<String>>,
+    root_votes: HashMap<String, usize>,
+    version: u64,
+}
+
+impl CorpusIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        CorpusIndex::default()
+    }
+
+    /// Builds an index from an existing batch of documents.
+    pub fn from_docs(docs: impl IntoIterator<Item = DocPaths>) -> Self {
+        let mut index = CorpusIndex::new();
+        for doc in docs {
+            index.push(doc);
+        }
+        index
+    }
+
+    /// Accretes one document, updating every table. O(paths in `doc`).
+    pub fn push(&mut self, doc: DocPaths) {
+        for path in &doc.paths {
+            *self.frequency.entry(path.clone()).or_insert(0) += 1;
+            if path.len() > 1 {
+                self.children
+                    .entry(path[..path.len() - 1].to_vec())
+                    .or_default()
+                    .insert(path.last().expect("non-empty path").clone());
+            }
+        }
+        *self.root_votes.entry(doc.root_label.clone()).or_insert(0) += 1;
+        self.docs.push(doc);
+        self.version += 1;
+    }
+
+    /// The accreted documents, in arrival order (feeds
+    /// [`crate::derive_dtd`]).
+    pub fn docs(&self) -> &[DocPaths] {
+        &self.docs
+    }
+
+    /// Number of accreted documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether no document has been accreted yet.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Monotone counter, bumped once per accreted document.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl CorpusView for CorpusIndex {
+    fn doc_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    fn frequency(&self, path: &[String]) -> usize {
+        self.frequency.get(path).copied().unwrap_or(0)
+    }
+
+    fn child_labels(&self, prefix: &[String]) -> Vec<String> {
+        self.children
+            .get(prefix)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn root_votes(&self) -> Vec<(String, usize)> {
+        let mut votes: Vec<(String, usize)> = self
+            .root_votes
+            .iter()
+            .map(|(l, n)| (l.clone(), *n))
+            .collect();
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        votes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frequent::FrequentPathMiner;
+    use crate::paths::extract_paths;
+    use webre_xml::parse_xml;
+
+    fn corpus(xmls: &[&str]) -> Vec<DocPaths> {
+        xmls.iter()
+            .map(|x| extract_paths(&parse_xml(x).unwrap()))
+            .collect()
+    }
+
+    const FIGURE2: &[&str] = &[
+        "<resume><objective/><education><degree><date/><institution/></degree>\
+         <degree><date/><institution/></degree></education></resume>",
+        "<resume><contact/><education><degree><date/></degree>\
+         <institution><degree/></institution><date/></education></resume>",
+        "<resume><contact/><education><institution><degree/><date/></institution>\
+         <institution><degree/><date/></institution></education></resume>",
+    ];
+
+    #[test]
+    fn index_answers_match_slice_answers() {
+        let docs = corpus(FIGURE2);
+        let index = CorpusIndex::from_docs(docs.clone());
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.version(), 3);
+        // Every path known to any document agrees on frequency; children
+        // and root votes agree wholesale.
+        let mut universe: Vec<&LabelPath> =
+            docs.iter().flat_map(|d| d.paths.iter()).collect();
+        universe.sort();
+        universe.dedup();
+        for path in universe {
+            assert_eq!(
+                CorpusView::frequency(&index, path),
+                docs[..].frequency(path),
+                "frequency diverges on {path:?}"
+            );
+            assert_eq!(
+                index.child_labels(path),
+                docs[..].child_labels(path),
+                "children diverge under {path:?}"
+            );
+        }
+        assert_eq!(index.root_votes(), docs[..].root_votes());
+        // And on paths no document contains.
+        let missing = vec!["resume".to_owned(), "zzz".to_owned()];
+        assert_eq!(CorpusView::frequency(&index, &missing), 0);
+        assert!(index.child_labels(&missing).is_empty());
+    }
+
+    #[test]
+    fn mining_index_equals_mining_slice() {
+        let docs = corpus(FIGURE2);
+        let index = CorpusIndex::from_docs(docs.clone());
+        for (sup, ratio) in [(0.9, 0.0), (0.6, 0.0), (0.5, 0.5), (0.2, 0.3)] {
+            let miner = FrequentPathMiner {
+                sup_threshold: sup,
+                ratio_threshold: ratio,
+                ..Default::default()
+            };
+            let batch = miner.mine(&docs).unwrap();
+            let incremental = miner.mine_view(&index).unwrap();
+            assert_eq!(batch.schema.render(), incremental.schema.render());
+            assert_eq!(batch.nodes_explored, incremental.nodes_explored);
+            assert_eq!(batch.nodes_accepted, incremental.nodes_accepted);
+        }
+    }
+
+    #[test]
+    fn accretion_is_order_insensitive_for_mining() {
+        let docs = corpus(FIGURE2);
+        let forward = CorpusIndex::from_docs(docs.clone());
+        let backward = CorpusIndex::from_docs(docs.into_iter().rev());
+        let miner = FrequentPathMiner {
+            sup_threshold: 0.6,
+            ratio_threshold: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            miner.mine_view(&forward).unwrap().schema.render(),
+            miner.mine_view(&backward).unwrap().schema.render()
+        );
+    }
+
+    #[test]
+    fn empty_index_mines_nothing() {
+        let index = CorpusIndex::new();
+        assert!(index.is_empty());
+        assert!(FrequentPathMiner::default().mine_view(&index).is_none());
+    }
+
+    #[test]
+    fn version_tracks_pushes() {
+        let mut index = CorpusIndex::new();
+        assert_eq!(index.version(), 0);
+        for (i, doc) in corpus(FIGURE2).into_iter().enumerate() {
+            index.push(doc);
+            assert_eq!(index.version(), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn minority_root_is_outvoted() {
+        let docs = corpus(&["<cv><a/></cv>", "<resume><a/></resume>", "<resume><b/></resume>"]);
+        let index = CorpusIndex::from_docs(docs);
+        assert_eq!(index.root_votes()[0].0, "resume");
+        let outcome = FrequentPathMiner {
+            sup_threshold: 0.5,
+            ratio_threshold: 0.0,
+            ..Default::default()
+        }
+        .mine_view(&index)
+        .unwrap();
+        assert_eq!(outcome.schema.root_label(), "resume");
+    }
+}

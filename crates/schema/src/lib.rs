@@ -15,11 +15,13 @@
 pub mod baselines;
 pub mod dtd_rules;
 pub mod frequent;
+pub mod incremental;
 pub mod majority;
 pub mod paths;
 pub mod search_space;
 
 pub use dtd_rules::{derive_dtd, DtdConfig};
-pub use frequent::{FrequentPathMiner, MiningOutcome};
+pub use frequent::{CorpusView, FrequentPathMiner, MiningOutcome};
+pub use incremental::CorpusIndex;
 pub use majority::{MajoritySchema, SchemaNode};
 pub use paths::{average_position, doc_frequency, extract_paths, DocPaths, LabelPath};

@@ -1,0 +1,372 @@
+//! Sharded, content-hash-keyed LRU cache for conversion results.
+//!
+//! `/convert` is deterministic — identical HTML bodies always produce
+//! identical XML — so responses are cached under the FNV-1a hash of the
+//! request body. The cache is split into shards, each an independent
+//! LRU under its own mutex, so concurrent workers rarely contend on the
+//! same lock; a key's shard is a second, independent hash of the key so
+//! hot keys spread evenly.
+//!
+//! Each shard is a classic O(1) LRU: a slot arena threaded into a
+//! doubly-linked recency list plus a `HashMap` from key to slot. Hits
+//! and misses are counted with relaxed atomics and surfaced through
+//! `/metrics`.
+//!
+//! A capacity of zero disables caching entirely (every lookup misses,
+//! nothing is stored) — the configuration the cache-on ≡ cache-off
+//! property test exercises.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const NIL: usize = usize::MAX;
+
+/// One shard: an O(1) LRU over a slot arena.
+struct Lru {
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used (the eviction victim).
+    tail: usize,
+    capacity: usize,
+}
+
+struct Slot {
+    key: u64,
+    value: Arc<String>,
+    prev: usize,
+    next: usize,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<String>> {
+        let &i = self.map.get(&key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(&self.slots[i].value))
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            // Refresh an existing entry (racing workers may both insert).
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
+        }
+        let slot = Slot {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    /// Keys from most to least recently used (test introspection).
+    fn recency_order(&self) -> Vec<u64> {
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            order.push(self.slots[i].key);
+            i = self.slots[i].next;
+        }
+        order
+    }
+}
+
+/// Cache hit/miss/insert totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident, across all shards.
+    pub entries: usize,
+}
+
+/// The concurrent cache: N independent LRU shards plus counters.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Lru>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// FNV-1a over arbitrary bytes — the content-hash key for `/convert`
+/// bodies.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl ShardedLru {
+    /// A cache holding at most `capacity` entries, spread over a
+    /// power-of-two shard count scaled to the capacity. `capacity == 0`
+    /// disables storage (lookups always miss).
+    pub fn new(capacity: usize) -> Self {
+        let shards = if capacity == 0 {
+            1
+        } else {
+            // One shard per 128 entries, between 1 and 8.
+            capacity.div_ceil(128).clamp(1, 8).next_power_of_two()
+        };
+        Self::with_shards(capacity, shards)
+    }
+
+    /// Explicit shard count (tests use one shard for deterministic
+    /// eviction order). Capacity is divided evenly; remainders go to the
+    /// first shards.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        ShardedLru {
+            shards: (0..shards)
+                .map(|i| Mutex::new(Lru::new(base + usize::from(i < extra))))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Lru> {
+        // Re-mix so shard choice is independent of HashMap bucketing.
+        let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    fn lock(shard: &Mutex<Lru>) -> std::sync::MutexGuard<'_, Lru> {
+        // A worker panicking mid-insert cannot leave the list half
+        // linked (all list surgery is between fallible operations), so
+        // a poisoned shard is safe to keep using.
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks `key` up, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let found = Self::lock(self.shard(key)).get(key);
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `value` under `key`, evicting the shard's least recently
+    /// used entry if the shard is full.
+    pub fn insert(&self, key: u64, value: Arc<String>) {
+        Self::lock(self.shard(key)).insert(key, value);
+    }
+
+    /// Current totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| Self::lock(s).map.len())
+                .sum(),
+        }
+    }
+
+    /// Keys of one shard from most to least recently used (tests only).
+    pub fn shard_recency(&self, shard: usize) -> Vec<u64> {
+        Self::lock(&self.shards[shard]).recency_order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(capacity: usize) -> ShardedLru {
+        ShardedLru::with_shards(capacity, 1)
+    }
+
+    fn value(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let cache = single(4);
+        cache.insert(1, value("one"));
+        assert_eq!(cache.get(1).as_deref().map(String::as_str), Some("one"));
+        assert_eq!(cache.get(2), None);
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used_first() {
+        let cache = single(3);
+        for k in 1..=3 {
+            cache.insert(k, value("v"));
+        }
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get(1);
+        cache.insert(4, value("v"));
+        assert!(cache.get(2).is_none(), "2 was LRU and must be evicted");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.get(4).is_some());
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn recency_order_tracks_gets_and_inserts() {
+        let cache = single(3);
+        cache.insert(1, value("a"));
+        cache.insert(2, value("b"));
+        cache.insert(3, value("c"));
+        assert_eq!(cache.shard_recency(0), vec![3, 2, 1]);
+        cache.get(1);
+        assert_eq!(cache.shard_recency(0), vec![1, 3, 2]);
+        cache.insert(2, value("b2")); // refresh moves to front
+        assert_eq!(cache.shard_recency(0), vec![2, 1, 3]);
+        assert_eq!(cache.get(2).as_deref().map(String::as_str), Some("b2"));
+    }
+
+    #[test]
+    fn eviction_reuses_slots_without_growth() {
+        let cache = single(2);
+        for k in 0..100u64 {
+            cache.insert(k, value("x"));
+        }
+        assert_eq!(cache.stats().entries, 2);
+        assert!(cache.get(99).is_some());
+        assert!(cache.get(98).is_some());
+        assert!(cache.get(97).is_none());
+    }
+
+    #[test]
+    fn hit_miss_accounting_is_exact() {
+        let cache = single(8);
+        cache.insert(10, value("x"));
+        cache.get(10); // hit
+        cache.get(10); // hit
+        cache.get(11); // miss
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = single(0);
+        cache.insert(1, value("x"));
+        assert_eq!(cache.get(1), None);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn sharded_capacity_sums_to_total() {
+        let cache = ShardedLru::new(1000);
+        for k in 0..5000u64 {
+            cache.insert(k, value("x"));
+        }
+        let entries = cache.stats().entries;
+        assert!(
+            entries <= 1000 && entries >= 900,
+            "sharded occupancy {entries} should approach the 1000 cap"
+        );
+    }
+
+    #[test]
+    fn content_hash_distinguishes_bodies() {
+        assert_ne!(content_hash(b"<p>a</p>"), content_hash(b"<p>b</p>"));
+        assert_eq!(content_hash(b"same"), content_hash(b"same"));
+    }
+
+    #[test]
+    fn concurrent_access_stays_consistent() {
+        let cache = Arc::new(ShardedLru::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let key = (t * 31 + i) % 96;
+                    if cache.get(key).is_none() {
+                        cache.insert(key, Arc::new(format!("v{key}")));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 64);
+        assert_eq!(stats.hits + stats.misses, 2000);
+        // Any resident key must map to its own value.
+        for key in 0..96u64 {
+            if let Some(v) = cache.get(key) {
+                assert_eq!(*v, format!("v{key}"));
+            }
+        }
+    }
+}

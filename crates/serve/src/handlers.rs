@@ -1,0 +1,260 @@
+//! Request handling over the shared application state.
+//!
+//! [`handle`] is a pure-ish function `(App, Request) → Response`: no
+//! socket I/O happens here, which is what lets the cache-on ≡ cache-off
+//! property test and the unit tests below drive the full endpoint logic
+//! without a listener. The worker pool wraps [`handle`] in
+//! `catch_unwind`; everything fallible inside runs *before* any shared
+//! lock is taken so a panic cannot corrupt `App` state.
+
+use crate::cache::{content_hash, ShardedLru};
+use crate::engine::Engine;
+use crate::metrics::Metrics;
+use crate::router::{route, Route};
+use crate::state::LiveCorpus;
+use std::sync::atomic::{AtomicBool, Ordering};
+use webre_substrate::http::{Request, Response};
+use webre_substrate::json::Json;
+
+/// Shared server state: engine, cache, live corpus, metrics, and the
+/// drain flag. One instance per server, `Arc`-shared across workers.
+pub struct App {
+    /// The pipeline this server runs.
+    pub engine: Engine,
+    /// `/convert` response cache.
+    pub cache: ShardedLru,
+    /// `/corpus/docs` + `/schema` state.
+    pub corpus: LiveCorpus,
+    /// Counters and histograms.
+    pub metrics: Metrics,
+    /// Set by `/shutdown`; the acceptor polls it and workers stop
+    /// keep-alive once draining.
+    pub draining: AtomicBool,
+}
+
+impl App {
+    /// Fresh state for `workers` worker threads and a `cache_cap`-entry
+    /// cache.
+    pub fn new(engine: Engine, cache_cap: usize, workers: usize) -> Self {
+        App {
+            engine,
+            cache: ShardedLru::new(cache_cap),
+            corpus: LiveCorpus::new(),
+            metrics: Metrics::new(workers),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether `/shutdown` has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Dispatches one parsed request. Infallible by contract: every error
+/// becomes a status-coded response.
+pub fn handle(app: &App, request: &Request) -> Response {
+    let resolved = match route(&request.method, request.path()) {
+        Ok(route) => route,
+        Err(response) => return response,
+    };
+    match resolved {
+        Route::Convert => convert(app, &request.body),
+        Route::CorpusDocs => corpus_docs(app, &request.body),
+        Route::Schema => schema(app, false),
+        Route::SchemaDtd => schema(app, true),
+        Route::Metrics => metrics(app),
+        Route::Healthz => Response::text(200, "ok\n"),
+        Route::Shutdown => shutdown(app),
+    }
+}
+
+/// `POST /convert`: HTML → pretty-printed concept-tagged XML, through
+/// the content-hash cache.
+fn convert(app: &App, body: &[u8]) -> Response {
+    let key = content_hash(body);
+    if let Some(cached) = app.cache.get(key) {
+        return Response::xml(200, cached.as_str()).with_header("x-cache", "hit");
+    }
+    let html = String::from_utf8_lossy(body);
+    let (_, _, xml) = app.engine.convert_to_xml(&html);
+    let xml = std::sync::Arc::new(xml);
+    app.cache.insert(key, std::sync::Arc::clone(&xml));
+    Response::xml(200, xml.as_str()).with_header("x-cache", "miss")
+}
+
+/// `POST /corpus/docs`: convert, then accrete into the live corpus.
+fn corpus_docs(app: &App, body: &[u8]) -> Response {
+    let html = String::from_utf8_lossy(body);
+    // Conversion (the fallible, slow part) happens before the corpus
+    // lock inside `accrete` is ever taken.
+    let (doc, stats) = app.engine.converter.convert_str(&html);
+    let (version, docs) = app.corpus.accrete(&doc, &stats);
+    let reply = Json::Obj(vec![
+        ("accepted".to_owned(), Json::Bool(true)),
+        ("docs".to_owned(), Json::Num(docs as f64)),
+        ("version".to_owned(), Json::Num(version as f64)),
+    ]);
+    Response::text(202, format!("{reply}\n"))
+        .with_header("x-corpus-version", version.to_string())
+}
+
+/// `GET /schema` and `GET /schema/dtd`: the current snapshot.
+fn schema(app: &App, dtd: bool) -> Response {
+    let snapshot = app.corpus.snapshot(&app.engine);
+    let text = if dtd {
+        &snapshot.dtd_text
+    } else {
+        &snapshot.schema_text
+    };
+    match text {
+        None => Response::text(
+            404,
+            "no schema yet: corpus is empty or its root is below the support threshold\n",
+        ),
+        Some(text) => Response::text(200, text.clone())
+            .with_header("x-corpus-version", snapshot.version.to_string())
+            .with_header("x-corpus-docs", snapshot.docs.to_string()),
+    }
+}
+
+/// `GET /metrics`: core counters plus cache lines.
+fn metrics(app: &App) -> Response {
+    let cache = app.cache.stats();
+    let corpus_stats = app.corpus.stats();
+    let extra = format!(
+        "cache_hits_total {}\ncache_misses_total {}\ncache_entries {}\n\
+         corpus_docs {}\ncorpus_tokens_total {}\ncorpus_tokens_identified {}\n",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        app.corpus.len(),
+        corpus_stats.tokens_total,
+        corpus_stats.tokens_identified,
+    );
+    Response::text(200, app.metrics.render(&extra))
+}
+
+/// `POST /shutdown`: flip the drain flag; the server notices and stops
+/// accepting. Idempotent.
+fn shutdown(app: &App) -> Response {
+    app.draining.store(true, Ordering::SeqCst);
+    Response::text(200, "draining\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            target: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            target: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn app() -> App {
+        App::new(Engine::resume_domain(), 64, 2)
+    }
+
+    const RESUME: &str = "<h2>Education</h2><ul><li>Stanford University, M.S., 1996</li></ul>";
+
+    #[test]
+    fn convert_caches_by_content() {
+        let app = app();
+        let first = handle(&app, &post("/convert", RESUME));
+        let second = handle(&app, &post("/convert", RESUME));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body);
+        let header = |r: &Response| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == "x-cache")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(header(&first).as_deref(), Some("miss"));
+        assert_eq!(header(&second).as_deref(), Some("hit"));
+        let stats = app.cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // And the payload matches the batch pipeline byte for byte.
+        let batch = app.engine.convert_to_xml(RESUME).2;
+        assert_eq!(String::from_utf8(first.body).unwrap(), batch);
+    }
+
+    #[test]
+    fn corpus_accretion_then_schema_and_dtd() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/schema")).status, 404);
+        for _ in 0..3 {
+            let response = handle(&app, &post("/corpus/docs", RESUME));
+            assert_eq!(response.status, 202);
+            assert!(response.body.starts_with(b"{"), "json body expected");
+        }
+        let schema = handle(&app, &get("/schema"));
+        assert_eq!(schema.status, 200);
+        assert!(String::from_utf8(schema.body).unwrap().contains("resume"));
+        let dtd = handle(&app, &get("/schema/dtd"));
+        assert_eq!(dtd.status, 200);
+        assert!(String::from_utf8(dtd.body).unwrap().contains("<!ELEMENT resume"));
+        assert!(dtd
+            .headers
+            .iter()
+            .any(|(n, v)| n == "x-corpus-version" && v == "3"));
+    }
+
+    #[test]
+    fn metrics_exposes_cache_and_corpus_lines() {
+        let app = app();
+        handle(&app, &post("/convert", RESUME));
+        handle(&app, &post("/convert", RESUME));
+        handle(&app, &post("/corpus/docs", RESUME));
+        let text = String::from_utf8(handle(&app, &get("/metrics")).body).unwrap();
+        assert!(text.contains("cache_hits_total 1"), "{text}");
+        assert!(text.contains("cache_misses_total 1"), "{text}");
+        assert!(text.contains("corpus_docs 1"), "{text}");
+        assert!(text.contains("queue_depth"), "{text}");
+    }
+
+    #[test]
+    fn health_and_shutdown() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/healthz")).status, 200);
+        assert!(!app.is_draining());
+        let response = handle(&app, &post("/shutdown", ""));
+        assert_eq!(response.status, 200);
+        assert!(app.is_draining());
+        // Idempotent.
+        assert_eq!(handle(&app, &post("/shutdown", "")).status, 200);
+    }
+
+    #[test]
+    fn routing_errors_surface_as_responses() {
+        let app = app();
+        assert_eq!(handle(&app, &get("/nope")).status, 404);
+        assert_eq!(handle(&app, &get("/convert")).status, 405);
+    }
+
+    #[test]
+    fn convert_tolerates_non_utf8_bodies() {
+        let app = app();
+        let request = Request {
+            method: "POST".into(),
+            target: "/convert".into(),
+            headers: Vec::new(),
+            body: vec![b'<', b'p', b'>', 0xFF, 0xFE, b'<', b'/', b'p', b'>'],
+        };
+        let response = handle(&app, &request);
+        assert_eq!(response.status, 200);
+    }
+}

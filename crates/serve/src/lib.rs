@@ -1,0 +1,64 @@
+//! `webre-serve` — the pipeline as a long-running, concurrent daemon.
+//!
+//! The batch CLI converts a corpus and exits; this crate turns the same
+//! pipeline into an online service: a std-only HTTP/1.1 server
+//! (`std::net::TcpListener`, no external dependencies, consistent with
+//! the workspace's hermetic-build rule) with a fixed pool of worker
+//! threads fed by a bounded MPMC job queue
+//! ([`webre_substrate::sync`]).
+//!
+//! # Endpoints
+//!
+//! | Route | Behaviour |
+//! |---|---|
+//! | `POST /convert` | HTML body → concept-tagged XML, through a sharded content-hash LRU cache |
+//! | `POST /corpus/docs` | accrete the document into the live corpus (incremental index) |
+//! | `GET /schema` | current majority-schema snapshot (recomputed lazily, versioned) |
+//! | `GET /schema/dtd` | current derived DTD snapshot |
+//! | `GET /metrics` | plain-text counters: requests, cache, queue depth, latency histograms, worker utilization |
+//! | `GET /healthz` | liveness probe |
+//! | `POST /shutdown` | graceful drain: stop accepting, finish queued + in-flight work, exit |
+//!
+//! # Robustness invariants
+//!
+//! * **Backpressure, not collapse** — the job queue is bounded
+//!   (`queue_cap`); when it is full the acceptor answers `429
+//!   Too Many Requests` inline instead of queueing unboundedly.
+//! * **Bounded requests** — bodies beyond `max_body` get `413`; slow or
+//!   stalled peers are cut off by socket read/write deadlines (`408`).
+//! * **Panic isolation** — each request runs under `catch_unwind`; a
+//!   panicking conversion yields `500` and the worker thread survives
+//!   (shared locks recover from poisoning because all fallible work
+//!   happens before any lock is taken).
+//! * **Graceful drain** — `POST /shutdown` stops the accept loop, the
+//!   queue is closed, workers finish every queued and in-flight request,
+//!   then the server joins. No accepted request is dropped.
+//! * **Serve ≡ batch** — responses are byte-identical to the batch
+//!   pipeline's output for the same input; the `serve-vs-batch`
+//!   differential oracle in `webre-check` hammers the server with
+//!   concurrent clients and compares against `Pipeline` output.
+//!
+//! # Module map
+//!
+//! | Module | Responsibility |
+//! |---|---|
+//! | [`engine`] | the pipeline bundle (converter + miner + DTD config) |
+//! | [`cache`] | sharded LRU keyed by content hash |
+//! | [`state`] | live corpus: incremental index + versioned, lazily recomputed schema snapshot |
+//! | [`metrics`] | atomic counters and log-scale latency histograms |
+//! | [`router`] | method/path → route resolution |
+//! | [`handlers`] | per-route request handling over shared [`handlers::App`] state |
+//! | [`pool`] | panic-isolated worker threads draining the job queue |
+//! | [`server`] | listener, acceptor, backpressure, graceful shutdown |
+
+pub mod cache;
+pub mod engine;
+pub mod handlers;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod state;
+
+pub use engine::Engine;
+pub use server::{Server, ServeConfig};

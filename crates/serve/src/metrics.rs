@@ -1,0 +1,271 @@
+//! Plain-text server metrics: request counters, queue depth, latency
+//! histograms, worker utilization.
+//!
+//! Everything is a relaxed atomic — metrics must never contend with the
+//! request path. The output format is Prometheus-flavoured plain text
+//! (`name{label="value"} number`, one sample per line) so it is both
+//! greppable by the verify smoke gate and scrapable by real tooling.
+//!
+//! Latency is recorded in power-of-two microsecond buckets
+//! (`≤1µs, ≤2µs, …, ≤2³⁰µs ≈ 18min`, plus overflow), which bounds the
+//! histogram at 32 counters per endpoint while still resolving both
+//! cache hits (microseconds) and heavyweight conversions
+//! (milliseconds-to-seconds).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket count: bucket `i` counts samples ≤ 2^i µs; the last
+/// bucket absorbs everything larger.
+const BUCKETS: usize = 31;
+
+/// The endpoints metrics are tracked for, in render order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /convert`
+    Convert,
+    /// `POST /corpus/docs`
+    CorpusDocs,
+    /// `GET /schema`
+    Schema,
+    /// `GET /schema/dtd`
+    SchemaDtd,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /healthz`
+    Healthz,
+    /// `POST /shutdown`
+    Shutdown,
+    /// Anything that did not resolve to a route (404/405/400…).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in render order.
+    pub const ALL: [Endpoint; 8] = [
+        Endpoint::Convert,
+        Endpoint::CorpusDocs,
+        Endpoint::Schema,
+        Endpoint::SchemaDtd,
+        Endpoint::Metrics,
+        Endpoint::Healthz,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The metrics label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Convert => "convert",
+            Endpoint::CorpusDocs => "corpus_docs",
+            Endpoint::Schema => "schema",
+            Endpoint::SchemaDtd => "schema_dtd",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Convert => 0,
+            Endpoint::CorpusDocs => 1,
+            Endpoint::Schema => 2,
+            Endpoint::SchemaDtd => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Healthz => 5,
+            Endpoint::Shutdown => 6,
+            Endpoint::Other => 7,
+        }
+    }
+}
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Shared server metrics. One instance per server, shared by acceptor
+/// and workers.
+pub struct Metrics {
+    started: Instant,
+    workers: usize,
+    endpoints: [EndpointStats; 8],
+    /// Connections accepted (including ones answered 429).
+    pub connections: AtomicU64,
+    /// Connections rejected with 429 because the queue was full.
+    pub rejected: AtomicU64,
+    /// Requests that failed to parse (answered 400/413/408).
+    pub bad_requests: AtomicU64,
+    /// Handler panics caught and answered with 500.
+    pub panics: AtomicU64,
+    /// Jobs currently queued (incremented on enqueue, decremented on
+    /// worker pickup).
+    pub queue_depth: AtomicI64,
+    /// Total nanoseconds workers spent serving connections.
+    pub busy_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh metrics for a pool of `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            started: Instant::now(),
+            workers: workers.max(1),
+            endpoints: Default::default(),
+            connections: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            queue_depth: AtomicI64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one served request.
+    pub fn record(&self, endpoint: Endpoint, elapsed: Duration) {
+        let stats = &self.endpoints[endpoint.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        stats.total_us.fetch_add(us, Ordering::Relaxed);
+        // Bucket = ⌈log₂ us⌉ so bucket i counts samples ≤ 2^i µs.
+        let bucket =
+            (64 - us.saturating_sub(1).leading_zeros() as usize).min(BUCKETS - 1);
+        stats.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the plain-text exposition. `extra` carries lines owned by
+    /// other components (the cache appends its own counters).
+    pub fn render(&self, extra: &str) -> String {
+        let mut out = String::with_capacity(2048);
+        let uptime = self.started.elapsed();
+        out.push_str(&format!("uptime_seconds {:.3}\n", uptime.as_secs_f64()));
+        out.push_str(&format!(
+            "connections_accepted_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "requests_rejected_total{{reason=\"queue_full\"}} {}\n",
+            self.rejected.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "requests_bad_total {}\n",
+            self.bad_requests.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "worker_panics_total {}\n",
+            self.panics.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        ));
+        let busy = self.busy_ns.load(Ordering::Relaxed) as f64;
+        let wall = (uptime.as_nanos() as f64 * self.workers as f64).max(1.0);
+        out.push_str(&format!(
+            "worker_utilization_ratio {:.4}\n",
+            (busy / wall).min(1.0)
+        ));
+        out.push_str(&format!("workers {}\n", self.workers));
+        for endpoint in Endpoint::ALL {
+            let stats = &self.endpoints[endpoint.index()];
+            let requests = stats.requests.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "requests_total{{endpoint=\"{}\"}} {requests}\n",
+                endpoint.label()
+            ));
+            if requests == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "latency_us_sum{{endpoint=\"{}\"}} {}\n",
+                endpoint.label(),
+                stats.total_us.load(Ordering::Relaxed)
+            ));
+            // Cumulative buckets, empty ones elided; +Inf always printed.
+            let mut cumulative = 0u64;
+            for (i, bucket) in stats.buckets.iter().enumerate() {
+                let count = bucket.load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                let le = if i >= BUCKETS - 1 {
+                    "+Inf".to_owned()
+                } else {
+                    // Bucket i holds samples ≤ 2^i µs (i = 0 → ≤ 1µs).
+                    format!("{}", 1u64 << i)
+                };
+                out.push_str(&format!(
+                    "latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                    endpoint.label()
+                ));
+            }
+            out.push_str(&format!(
+                "latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {requests}\n",
+                endpoint.label()
+            ));
+        }
+        out.push_str(extra);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_the_right_bucket() {
+        let metrics = Metrics::new(2);
+        metrics.record(Endpoint::Convert, Duration::from_micros(3));
+        metrics.record(Endpoint::Convert, Duration::from_micros(100));
+        metrics.record(Endpoint::Healthz, Duration::from_micros(0));
+        assert_eq!(metrics.total_requests(), 3);
+        let text = metrics.render("");
+        assert!(text.contains("requests_total{endpoint=\"convert\"} 2"), "{text}");
+        assert!(text.contains("requests_total{endpoint=\"healthz\"} 1"), "{text}");
+        // 3µs lands in the ≤4µs bucket; 100µs in ≤128µs.
+        assert!(text.contains("latency_us_bucket{endpoint=\"convert\",le=\"4\"} 1"), "{text}");
+        assert!(
+            text.contains("latency_us_bucket{endpoint=\"convert\",le=\"128\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_us_bucket{endpoint=\"convert\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn render_appends_extra_lines_and_core_gauges() {
+        let metrics = Metrics::new(4);
+        metrics.rejected.fetch_add(3, Ordering::Relaxed);
+        metrics.queue_depth.store(5, Ordering::Relaxed);
+        let text = metrics.render("cache_hits_total 7\n");
+        assert!(text.contains("requests_rejected_total{reason=\"queue_full\"} 3"), "{text}");
+        assert!(text.contains("queue_depth 5"), "{text}");
+        assert!(text.contains("workers 4"), "{text}");
+        assert!(text.contains("cache_hits_total 7"), "{text}");
+        assert!(text.contains("worker_utilization_ratio"), "{text}");
+    }
+
+    #[test]
+    fn every_endpoint_has_a_distinct_label() {
+        let mut labels: Vec<&str> = Endpoint::ALL.iter().map(|e| e.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Endpoint::ALL.len());
+    }
+}

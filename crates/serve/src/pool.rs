@@ -1,0 +1,170 @@
+//! The worker pool: panic-isolated threads draining the bounded job
+//! queue.
+//!
+//! Each job is one accepted connection. A worker serves the connection's
+//! keep-alive request loop, wrapping every `handle` call in
+//! `catch_unwind` so a panicking conversion answers `500` and the
+//! worker — and its connection — survive. Workers exit when the queue
+//! disconnects (server shutdown closes the sending side after the
+//! acceptor stops), which by [`webre_substrate::sync`]'s contract
+//! happens only after every queued job has been drained.
+
+use crate::handlers::{handle, App};
+use crate::metrics::Endpoint;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webre_substrate::http::{read_request, write_response, HttpError, Response};
+use webre_substrate::sync::Receiver;
+
+/// Per-connection limits, copied from the server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum accepted request body, bytes.
+    pub max_body: usize,
+    /// Socket read deadline (slowloris guard; a stalled peer gets 408).
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_body: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Handles to the running workers.
+pub struct WorkerPool {
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads consuming connections from `jobs`.
+    pub fn spawn(
+        workers: usize,
+        jobs: Receiver<TcpStream>,
+        app: Arc<App>,
+        limits: Limits,
+    ) -> Self {
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let jobs = jobs.clone();
+                let app = Arc::clone(&app);
+                std::thread::Builder::new()
+                    .name(format!("webre-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&jobs, &app, limits))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit (the queue must be closed first or
+    /// this blocks forever).
+    pub fn join(self) {
+        for handle in self.handles {
+            // A worker that somehow panicked outside catch_unwind is
+            // already dead; joining it must not cascade.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(jobs: &Receiver<TcpStream>, app: &App, limits: Limits) {
+    while let Some(stream) = jobs.recv() {
+        app.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let busy = Instant::now();
+        serve_connection(stream, app, limits);
+        app.metrics
+            .busy_ns
+            .fetch_add(busy.elapsed().as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+}
+
+/// Serves one connection's keep-alive loop until the peer closes, errors,
+/// asks to close, or the server starts draining.
+fn serve_connection(stream: TcpStream, app: &App, limits: Limits) {
+    let _ = stream.set_read_timeout(Some(limits.read_timeout));
+    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader, limits.max_body) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => request,
+            Err(error) => {
+                app.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let response = error_response(&error);
+                let _ = write_response(&mut writer, &response, false);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (endpoint, response) =
+            match catch_unwind(AssertUnwindSafe(|| handle(app, &request))) {
+                Ok(response) => {
+                    let endpoint = crate::router::route(&request.method, request.path())
+                        .map(|r| r.endpoint())
+                        .unwrap_or(Endpoint::Other);
+                    (endpoint, response)
+                }
+                Err(_) => {
+                    app.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Endpoint::Other,
+                        Response::text(
+                            500,
+                            "internal error: request handler panicked (worker recovered)\n",
+                        ),
+                    )
+                }
+            };
+        app.metrics.record(endpoint, started.elapsed());
+        // Once draining, close connections after the in-flight response
+        // so keep-alive clients cannot hold the drain open.
+        let keep_alive = request.keep_alive() && !app.is_draining();
+        if write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Maps a codec error to the response the peer receives.
+fn error_response(error: &HttpError) -> Response {
+    match error {
+        HttpError::TooLarge { limit } => Response::text(
+            413,
+            format!("request exceeds the {limit}-byte body limit\n"),
+        ),
+        HttpError::Malformed(detail) => Response::text(400, format!("{detail}\n")),
+        HttpError::Unsupported(detail) => Response::text(400, format!("unsupported: {detail}\n")),
+        // Timeouts and truncated reads land here; 408 tells well-behaved
+        // peers to retry on a fresh connection.
+        HttpError::Io(detail) => Response::text(408, format!("{detail}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_responses_map_to_expected_statuses() {
+        assert_eq!(error_response(&HttpError::TooLarge { limit: 9 }).status, 413);
+        assert_eq!(error_response(&HttpError::Malformed("x".into())).status, 400);
+        assert_eq!(error_response(&HttpError::Unsupported("x".into())).status, 400);
+        assert_eq!(error_response(&HttpError::Io("x".into())).status, 408);
+    }
+}

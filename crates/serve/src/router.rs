@@ -1,0 +1,99 @@
+//! Method/path → route resolution.
+//!
+//! Routing is a pure function so it is trivially testable and the
+//! handler layer never sees raw targets. Unknown paths map to `404`,
+//! known paths with the wrong method to `405` (with an `allow` header),
+//! both produced here so every worker answers identically.
+
+use crate::metrics::Endpoint;
+use webre_substrate::http::Response;
+
+/// A resolved route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /convert`
+    Convert,
+    /// `POST /corpus/docs`
+    CorpusDocs,
+    /// `GET /schema`
+    Schema,
+    /// `GET /schema/dtd`
+    SchemaDtd,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /healthz`
+    Healthz,
+    /// `POST /shutdown`
+    Shutdown,
+}
+
+impl Route {
+    /// The metrics endpoint this route reports under.
+    pub fn endpoint(self) -> Endpoint {
+        match self {
+            Route::Convert => Endpoint::Convert,
+            Route::CorpusDocs => Endpoint::CorpusDocs,
+            Route::Schema => Endpoint::Schema,
+            Route::SchemaDtd => Endpoint::SchemaDtd,
+            Route::Metrics => Endpoint::Metrics,
+            Route::Healthz => Endpoint::Healthz,
+            Route::Shutdown => Endpoint::Shutdown,
+        }
+    }
+}
+
+/// Resolves a request line; `Err` carries the ready-made error response.
+pub fn route(method: &str, path: &str) -> Result<Route, Response> {
+    let (expected, route) = match path {
+        "/convert" => ("POST", Route::Convert),
+        "/corpus/docs" => ("POST", Route::CorpusDocs),
+        "/schema" => ("GET", Route::Schema),
+        "/schema/dtd" => ("GET", Route::SchemaDtd),
+        "/metrics" => ("GET", Route::Metrics),
+        "/healthz" => ("GET", Route::Healthz),
+        "/shutdown" => ("POST", Route::Shutdown),
+        _ => {
+            return Err(Response::text(
+                404,
+                format!("no route for {path}\n"),
+            ))
+        }
+    };
+    if method != expected {
+        return Err(Response::text(
+            405,
+            format!("{path} expects {expected}, got {method}\n"),
+        )
+        .with_header("allow", expected));
+    }
+    Ok(route)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_route_resolves() {
+        assert_eq!(route("POST", "/convert"), Ok(Route::Convert));
+        assert_eq!(route("POST", "/corpus/docs"), Ok(Route::CorpusDocs));
+        assert_eq!(route("GET", "/schema"), Ok(Route::Schema));
+        assert_eq!(route("GET", "/schema/dtd"), Ok(Route::SchemaDtd));
+        assert_eq!(route("GET", "/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("POST", "/shutdown"), Ok(Route::Shutdown));
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let err = route("GET", "/nope").unwrap_err();
+        assert_eq!(err.status, 404);
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_allow() {
+        let err = route("GET", "/convert").unwrap_err();
+        assert_eq!(err.status, 405);
+        assert!(err.headers.iter().any(|(n, v)| n == "allow" && v == "POST"));
+    }
+}

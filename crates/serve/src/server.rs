@@ -1,0 +1,202 @@
+//! The server proper: listener, acceptor, lifecycle.
+//!
+//! ```text
+//!            accept            bounded queue           workers
+//!   TCP ───▶ acceptor ──try_send──▶ [cap N] ──recv──▶ pool (M threads)
+//!                │ Full(stream)                          │
+//!                └──▶ 429 inline                         └──▶ handle()
+//! ```
+//!
+//! Backpressure is structural: the acceptor never blocks on the queue.
+//! When `try_send` reports the queue full, the connection is answered
+//! `429 Too Many Requests` inline and closed — the server sheds load
+//! instead of buffering unboundedly or hanging.
+//!
+//! Graceful drain: `POST /shutdown` (handled by a worker) flips
+//! [`App::draining`]. The acceptor polls the flag between accepts (the
+//! listener runs non-blocking with a short sleep, so no self-connect
+//! trick is needed), stops accepting, and drops its queue sender; the
+//! substrate channel contract then lets workers finish every queued
+//! connection before `recv` returns `None` and they exit. [`Server::join`]
+//! returns once all of that has happened.
+
+use crate::engine::Engine;
+use crate::handlers::App;
+use crate::pool::{Limits, WorkerPool};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use webre_substrate::http::{write_response, Response};
+use webre_substrate::sync::{bounded, Sender, TrySendError};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080`. Port `0` picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; connections beyond it get 429.
+    pub queue_cap: usize,
+    /// `/convert` cache capacity in entries; `0` disables caching.
+    pub cache_cap: usize,
+    /// Maximum request body in bytes.
+    pub max_body: usize,
+    /// Socket read deadline per request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_owned(),
+            workers: 4,
+            queue_cap: 128,
+            cache_cap: 1024,
+            max_body: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does not stop it; call
+/// [`Server::join`] (after `/shutdown`) for an orderly exit.
+pub struct Server {
+    addr: SocketAddr,
+    app: Arc<App>,
+    acceptor: std::thread::JoinHandle<()>,
+    pool: WorkerPool,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately.
+    pub fn start(config: ServeConfig, engine: Engine) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking so the acceptor can poll the drain flag even when
+        // no connection ever arrives.
+        listener.set_nonblocking(true)?;
+        let app = Arc::new(App::new(engine, config.cache_cap, config.workers));
+        let (tx, rx) = bounded::<TcpStream>(config.queue_cap);
+        let limits = Limits {
+            max_body: config.max_body,
+            read_timeout: config.read_timeout,
+            write_timeout: config.read_timeout,
+        };
+        let pool = WorkerPool::spawn(config.workers, rx, Arc::clone(&app), limits);
+        let acceptor = {
+            let app = Arc::clone(&app);
+            std::thread::Builder::new()
+                .name("webre-serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &tx, &app))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server {
+            addr,
+            app,
+            acceptor,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (metrics, corpus, drain flag).
+    pub fn app(&self) -> Arc<App> {
+        Arc::clone(&self.app)
+    }
+
+    /// Requests drain without a network round-trip (equivalent to
+    /// `POST /shutdown`).
+    pub fn request_drain(&self) {
+        self.app.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the acceptor to stop and every queued connection to be
+    /// served. Only returns after `/shutdown` (or [`Server::request_drain`])
+    /// has been issued.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        // The acceptor dropped its sender on exit; workers drain the
+        // queue and then see the channel close.
+        self.pool.join();
+    }
+}
+
+/// How long the acceptor sleeps when no connection is pending. Bounds
+/// drain-notice latency; irrelevant under load (accept succeeds without
+/// sleeping).
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+fn accept_loop(listener: &TcpListener, jobs: &Sender<TcpStream>, app: &App) {
+    loop {
+        if app.is_draining() {
+            return; // drops `jobs`' sender clone → workers drain + exit
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Transient accept errors (e.g. ECONNABORTED): keep serving.
+            Err(_) => continue,
+        };
+        app.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        match jobs.try_send(stream) {
+            Ok(()) => {
+                app.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(stream)) => {
+                app.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                reject(stream);
+            }
+            Err(TrySendError::Closed(_)) => return,
+        }
+    }
+}
+
+/// Answers 429 inline from the acceptor thread and closes. Never blocks
+/// long: the socket gets a short write deadline first.
+fn reject(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let response = Response::text(
+        429,
+        "server is at capacity (queue full); retry later\n",
+    )
+    .with_header("retry-after", "1");
+    let _ = write_response(&mut stream, &response, false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServeConfig::default();
+        assert_eq!(config.workers, 4);
+        assert!(config.queue_cap >= config.workers);
+        assert!(config.max_body >= 64 * 1024);
+    }
+
+    #[test]
+    fn start_serve_drain_join_without_traffic() {
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, Engine::resume_domain()).expect("bind");
+        assert_ne!(server.local_addr().port(), 0);
+        server.request_drain();
+        server.join(); // must not hang
+    }
+}

@@ -1,0 +1,249 @@
+//! The live corpus: incrementally accreted documents with a versioned,
+//! lazily recomputed schema snapshot.
+//!
+//! `POST /corpus/docs` accretes converted documents into a
+//! [`CorpusIndex`] (O(paths) per document); `GET /schema[/dtd]` reads a
+//! [`Snapshot`]. Recomputation is *coalesced*: accreting a document only
+//! invalidates the cached snapshot, and the next schema read mines once
+//! for however many documents arrived in between — a burst of N writes
+//! costs one recompute, not N. This write-invalidate/read-recompute
+//! batching is what keeps accretion fast under load.
+//!
+//! Concurrency: one `RwLock` around the whole state. Writers (accrete)
+//! hold it only for the index push — conversion happens *before* the
+//! lock, so the critical section is short and panic-free. Readers share
+//! the lock; the first reader after a write upgrades to recompute,
+//! double-checking under the write lock so racing readers recompute at
+//! most once.
+
+use crate::engine::Engine;
+use std::sync::{Arc, RwLock};
+use webre_convert::ConvertStats;
+use webre_schema::{derive_dtd, extract_paths, CorpusIndex};
+use webre_xml::XmlDocument;
+
+/// An immutable view of the discovered schema at some corpus version.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Corpus version this snapshot was computed at (== documents
+    /// accreted so far).
+    pub version: u64,
+    /// Documents in the corpus.
+    pub docs: usize,
+    /// Rendered majority schema, `None` while the corpus is empty or
+    /// the root fails the support threshold.
+    pub schema_text: Option<String>,
+    /// Serialized DTD, `None` under the same conditions.
+    pub dtd_text: Option<String>,
+}
+
+struct Inner {
+    index: CorpusIndex,
+    stats: ConvertStats,
+    /// Cached snapshot; `None` marks it stale (writes invalidate).
+    snapshot: Option<Arc<Snapshot>>,
+}
+
+/// Shared, thread-safe live corpus.
+pub struct LiveCorpus {
+    inner: RwLock<Inner>,
+}
+
+impl Default for LiveCorpus {
+    fn default() -> Self {
+        LiveCorpus {
+            inner: RwLock::new(Inner {
+                index: CorpusIndex::new(),
+                stats: ConvertStats::default(),
+                snapshot: None,
+            }),
+        }
+    }
+}
+
+impl LiveCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        LiveCorpus::default()
+    }
+
+    /// Accretes one converted document. Returns `(version, docs)` after
+    /// the push. The caller converts *before* calling so no fallible or
+    /// slow work happens under the write lock.
+    pub fn accrete(&self, doc: &XmlDocument, stats: &ConvertStats) -> (u64, usize) {
+        let paths = extract_paths(doc);
+        let mut inner = self.write();
+        inner.index.push(paths);
+        inner.stats.merge(stats);
+        inner.snapshot = None;
+        (inner.index.version(), inner.index.len())
+    }
+
+    /// The current snapshot, recomputing at most once per corpus version.
+    pub fn snapshot(&self, engine: &Engine) -> Arc<Snapshot> {
+        if let Some(snapshot) = self.read().snapshot.clone() {
+            return snapshot;
+        }
+        let mut inner = self.write();
+        // Double-check: a racing reader may have recomputed already.
+        if let Some(snapshot) = inner.snapshot.clone() {
+            return snapshot;
+        }
+        let (schema_text, dtd_text) = match engine.miner.mine_view(&inner.index) {
+            None => (None, None),
+            Some(outcome) => {
+                let dtd = derive_dtd(&outcome.schema, inner.index.docs(), &engine.dtd_config);
+                (
+                    Some(outcome.schema.render()),
+                    Some(dtd.to_dtd_string()),
+                )
+            }
+        };
+        let snapshot = Arc::new(Snapshot {
+            version: inner.index.version(),
+            docs: inner.index.len(),
+            schema_text,
+            dtd_text,
+        });
+        inner.snapshot = Some(Arc::clone(&snapshot));
+        snapshot
+    }
+
+    /// Aggregate conversion statistics over every accreted document.
+    pub fn stats(&self) -> ConvertStats {
+        self.read().stats
+    }
+
+    /// Documents accreted so far.
+    pub fn len(&self) -> usize {
+        self.read().index.len()
+    }
+
+    /// Whether no document has been accreted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        // Writers never panic while holding the lock (all fallible work
+        // happens before acquisition), so recovering from poison is safe.
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::resume_domain()
+    }
+
+    fn convert(engine: &Engine, html: &str) -> (XmlDocument, ConvertStats) {
+        engine.converter.convert_str(html)
+    }
+
+    #[test]
+    fn empty_corpus_has_no_schema() {
+        let corpus = LiveCorpus::new();
+        let snapshot = corpus.snapshot(&engine());
+        assert_eq!(snapshot.version, 0);
+        assert_eq!(snapshot.docs, 0);
+        assert!(snapshot.schema_text.is_none());
+        assert!(snapshot.dtd_text.is_none());
+    }
+
+    #[test]
+    fn accretion_bumps_version_and_snapshot_follows() {
+        let engine = engine();
+        let corpus = LiveCorpus::new();
+        let html = "<h2>Education</h2><ul><li>Stanford University, M.S., 1996</li></ul>";
+        for i in 1..=3u64 {
+            let (doc, stats) = convert(&engine, html);
+            let (version, docs) = corpus.accrete(&doc, &stats);
+            assert_eq!(version, i);
+            assert_eq!(docs, i as usize);
+        }
+        let snapshot = corpus.snapshot(&engine);
+        assert_eq!(snapshot.version, 3);
+        let schema = snapshot.schema_text.as_ref().expect("schema discovered");
+        assert!(schema.contains("resume"), "{schema}");
+        let dtd = snapshot.dtd_text.as_ref().expect("dtd derived");
+        assert!(dtd.contains("<!ELEMENT resume"), "{dtd}");
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_invalidated() {
+        let engine = engine();
+        let corpus = LiveCorpus::new();
+        let (doc, stats) = convert(&engine, "<h2>Skills</h2><p>C++, Java</p>");
+        corpus.accrete(&doc, &stats);
+        let first = corpus.snapshot(&engine);
+        let second = corpus.snapshot(&engine);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged corpus must reuse the cached snapshot"
+        );
+        corpus.accrete(&doc, &stats);
+        let third = corpus.snapshot(&engine);
+        assert!(!Arc::ptr_eq(&second, &third), "accretion must invalidate");
+        assert_eq!(third.version, 2);
+    }
+
+    #[test]
+    fn burst_of_writes_coalesces_to_one_recompute() {
+        // Not directly observable without instrumenting the miner, but
+        // the version arithmetic pins the contract: after N accretions
+        // and one read, the snapshot carries version N (a per-write
+        // recompute would have materialized intermediate versions).
+        let engine = engine();
+        let corpus = LiveCorpus::new();
+        let (doc, stats) = convert(&engine, "<h2>Objective</h2><p>a job</p>");
+        for _ in 0..10 {
+            corpus.accrete(&doc, &stats);
+        }
+        assert_eq!(corpus.snapshot(&engine).version, 10);
+    }
+
+    #[test]
+    fn stats_aggregate_across_documents() {
+        let engine = engine();
+        let corpus = LiveCorpus::new();
+        let (doc, stats) = convert(&engine, "<p>zorp blorp, qux flux</p>");
+        corpus.accrete(&doc, &stats);
+        corpus.accrete(&doc, &stats);
+        assert_eq!(corpus.stats().tokens_total, 2 * stats.tokens_total);
+        assert_eq!(corpus.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_accretion_and_reads_are_consistent() {
+        let engine = Arc::new(engine());
+        let corpus = Arc::new(LiveCorpus::new());
+        let html = "<h2>Education</h2><ul><li>MIT, Ph.D., 2001</li></ul>";
+        let (doc, stats) = convert(&engine, html);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (corpus, engine, doc, stats) =
+                (Arc::clone(&corpus), Arc::clone(&engine), doc.clone(), stats);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    corpus.accrete(&doc, &stats);
+                    let snapshot = corpus.snapshot(&engine);
+                    assert!(snapshot.docs as u64 <= snapshot.version);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snapshot = corpus.snapshot(&engine);
+        assert_eq!(snapshot.version, 100);
+        assert_eq!(snapshot.docs, 100);
+        assert!(snapshot.schema_text.is_some());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property: the `/convert` cache is invisible. For arbitrary tag-soup
+//! inputs replayed in arbitrary orders, a server with the cache enabled
+//! returns byte-identical responses to one with the cache disabled.
+
+use webre_serve::handlers::{handle, App};
+use webre_serve::Engine;
+use webre_substrate::http::Request;
+use webre_substrate::prop::{check, Gen};
+
+fn post_convert(body: &[u8]) -> Request {
+    Request {
+        method: "POST".into(),
+        target: "/convert".into(),
+        headers: Vec::new(),
+        body: body.to_vec(),
+    }
+}
+
+/// A small pool of soup-ish documents; repeats force cache hits.
+fn soup_pool(g: &mut Gen) -> Vec<String> {
+    let tags = ["h1", "h2", "p", "ul", "li", "b", "table", "td"];
+    g.vec(2, 5, |g| {
+        let mut html = String::new();
+        for _ in 0..g.len(1, 6) {
+            let tag = *g.pick(&tags);
+            let open = g.bool(0.85);
+            if open {
+                html.push_str(&format!("<{tag}>"));
+            }
+            html.push_str(&g.arbitrary_text(0, 24));
+            if g.bool(0.7) {
+                html.push_str(&format!("</{tag}>"));
+            }
+        }
+        html
+    })
+}
+
+#[test]
+fn prop_cache_on_equals_cache_off() {
+    check("serve_cache_transparent", |g| {
+        let cached = App::new(Engine::resume_domain(), 64, 1);
+        let uncached = App::new(Engine::resume_domain(), 0, 1);
+        let pool = soup_pool(g);
+        let plays = g.vec(6, 16, |g| g.int(0..u32::MAX) as usize % 64);
+        for (turn, pick) in plays.iter().enumerate() {
+            let body = pool[pick % pool.len()].clone();
+            let request = post_convert(body.as_bytes());
+            let a = handle(&cached, &request);
+            let b = handle(&uncached, &request);
+            if a.status != b.status || a.body != b.body {
+                return Err(format!(
+                    "turn {turn}: cached ({}, {} bytes) != uncached ({}, {} bytes) for {body:?}",
+                    a.status,
+                    a.body.len(),
+                    b.status,
+                    b.body.len(),
+                ));
+            }
+        }
+        // ≥6 plays over ≤5 documents: the pigeonhole forces a repeat, so
+        // equality above genuinely exercised the hit path.
+        let stats = cached.cache.stats();
+        if stats.hits == 0 {
+            return Err("no cache hit despite guaranteed repeats".into());
+        }
+        if stats.hits + stats.misses != plays.len() as u64 {
+            return Err(format!(
+                "cache accounting drifted: {} hits + {} misses != {} requests",
+                stats.hits,
+                stats.misses,
+                plays.len()
+            ));
+        }
+        Ok(())
+    });
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests over real TCP: a server on an ephemeral port, raw
+//! `TcpStream` clients speaking the substrate codec.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use webre_serve::server::{ServeConfig, Server};
+use webre_serve::Engine;
+use webre_substrate::http::{read_response, write_request, ParsedResponse};
+
+const RESUME: &str =
+    "<h2>Education</h2><ul><li>Stanford University, M.S., 1996</li>\
+     <li>MIT, B.S., 1994</li></ul><h2>Skills</h2><p>C++, Java, XML</p>";
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config, Engine::resume_domain()).expect("bind ephemeral port")
+}
+
+fn ephemeral(workers: usize, queue_cap: usize) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_cap,
+        ..ServeConfig::default()
+    }
+}
+
+/// One request on a fresh connection; `connection: close`.
+fn roundtrip(addr: SocketAddr, method: &str, target: &str, body: &[u8]) -> ParsedResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_request(&mut stream, method, target, body, false).expect("send");
+    read_response(&mut BufReader::new(stream), 16 * 1024 * 1024).expect("response")
+}
+
+/// Spins until `predicate` holds or panics after 5s.
+fn wait_until(what: &str, predicate: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !predicate() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn convert_roundtrip_matches_engine_and_caches() {
+    let server = start(ephemeral(2, 16));
+    let addr = server.local_addr();
+
+    let first = roundtrip(addr, "POST", "/convert", RESUME.as_bytes());
+    assert_eq!(first.status, 200, "{}", first.text());
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    assert_eq!(first.header("content-type"), Some("application/xml"));
+
+    // Byte-identical to the in-process engine (what the batch CLI runs).
+    let expected = Engine::resume_domain().convert_to_xml(RESUME).2;
+    assert_eq!(first.text(), expected);
+
+    let second = roundtrip(addr, "POST", "/convert", RESUME.as_bytes());
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(second.body, first.body);
+
+    let metrics = roundtrip(addr, "GET", "/metrics", b"").text();
+    assert!(metrics.contains("cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("cache_misses_total 1"), "{metrics}");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn keep_alive_carries_multiple_requests() {
+    let server = start(ephemeral(1, 16));
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for _ in 0..3 {
+        write_request(&mut writer, "GET", "/healthz", b"", true).unwrap();
+        let response = read_response(&mut reader, 1024).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.text(), "ok\n");
+    }
+    drop((writer, reader));
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn corpus_accretes_and_schema_appears() {
+    let server = start(ephemeral(2, 16));
+    let addr = server.local_addr();
+
+    assert_eq!(roundtrip(addr, "GET", "/schema", b"").status, 404);
+    for expected_docs in 1..=3 {
+        let response = roundtrip(addr, "POST", "/corpus/docs", RESUME.as_bytes());
+        assert_eq!(response.status, 202, "{}", response.text());
+        assert_eq!(
+            response.header("x-corpus-version"),
+            Some(expected_docs.to_string().as_str())
+        );
+        assert!(response.text().contains("\"accepted\":true"), "{}", response.text());
+    }
+    let schema = roundtrip(addr, "GET", "/schema", b"");
+    assert_eq!(schema.status, 200);
+    assert!(schema.text().contains("resume"), "{}", schema.text());
+    let dtd = roundtrip(addr, "GET", "/schema/dtd", b"");
+    assert_eq!(dtd.status, 200);
+    assert!(dtd.text().contains("<!ELEMENT resume"), "{}", dtd.text());
+    assert_eq!(dtd.header("x-corpus-docs"), Some("3"));
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn routing_and_limit_errors_over_the_wire() {
+    let server = start(ephemeral(1, 16));
+    let addr = server.local_addr();
+
+    assert_eq!(roundtrip(addr, "GET", "/nope", b"").status, 404);
+    let wrong = roundtrip(addr, "GET", "/convert", b"");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("allow"), Some("POST"));
+
+    // Over the default 1 MiB body cap → 413 before any conversion work.
+    let oversized = vec![b'x'; ServeConfig::default().max_body + 1];
+    let too_large = roundtrip(addr, "POST", "/convert", &oversized);
+    assert_eq!(too_large.status, 413, "{}", too_large.text());
+
+    let metrics = roundtrip(addr, "GET", "/metrics", b"").text();
+    assert!(metrics.contains("requests_bad_total 1"), "{metrics}");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn queue_overflow_rejects_with_429_and_recovers() {
+    // One worker, one queue slot: occupy the worker, fill the slot,
+    // and the third connection must bounce deterministically.
+    let server = start(ephemeral(1, 1));
+    let addr = server.local_addr();
+    let app = server.app();
+
+    // A: accepted and picked up by the sole worker (sends nothing, so
+    // the worker parks in read until we drop it).
+    let idle = TcpStream::connect(addr).unwrap();
+    wait_until("worker to pick up the idle connection", || {
+        app.metrics.queue_depth.load(Ordering::Relaxed) == 0
+            && app.metrics.connections.load(Ordering::Relaxed) == 1
+    });
+
+    // B: accepted, sits in the queue's only slot.
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_request(&mut queued, "GET", "/healthz", b"", false).unwrap();
+    wait_until("second connection to occupy the queue", || {
+        app.metrics.queue_depth.load(Ordering::Relaxed) == 1
+    });
+
+    // C: queue full → 429 inline, without unbounded buffering or a hang.
+    let rejected = roundtrip(addr, "GET", "/healthz", b"");
+    assert_eq!(rejected.status, 429, "{}", rejected.text());
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert_eq!(app.metrics.rejected.load(Ordering::Relaxed), 1);
+
+    // Free the worker; the queued connection must now be served.
+    drop(idle);
+    let response = read_response(&mut BufReader::new(queued), 1024).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.text(), "ok\n");
+
+    server.request_drain();
+    server.join();
+}
+
+#[test]
+fn shutdown_endpoint_drains_queued_work_before_exit() {
+    let server = start(ephemeral(1, 4));
+    let addr = server.local_addr();
+    let app = server.app();
+
+    // Park the sole worker on an idle connection, then queue a real
+    // request behind it.
+    let idle = TcpStream::connect(addr).unwrap();
+    wait_until("worker pickup", || {
+        app.metrics.queue_depth.load(Ordering::Relaxed) == 0
+            && app.metrics.connections.load(Ordering::Relaxed) == 1
+    });
+    let mut queued = TcpStream::connect(addr).unwrap();
+    queued
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_request(&mut queued, "POST", "/convert", RESUME.as_bytes(), true).unwrap();
+    wait_until("request queued", || {
+        app.metrics.queue_depth.load(Ordering::Relaxed) == 1
+    });
+
+    // Drain while work is still queued.
+    server.request_drain();
+    drop(idle);
+
+    // The queued request is served — and the response closes the
+    // connection despite the client asking for keep-alive.
+    let mut reader = BufReader::new(queued);
+    let response = read_response(&mut reader, 16 * 1024 * 1024).unwrap();
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+
+    server.join(); // acceptor + workers all exited
+    assert_eq!(app.metrics.total_requests(), 1);
+}
+
+#[test]
+fn shutdown_over_http_unblocks_join() {
+    let server = start(ephemeral(2, 8));
+    let addr = server.local_addr();
+
+    let response = roundtrip(addr, "POST", "/shutdown", b"");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.text(), "draining\n");
+    server.join();
+
+    // The listener is gone: new connections are refused (or reset).
+    wait_until("listener to close", || TcpStream::connect(addr).is_err());
+}

@@ -1,0 +1,479 @@
+//! Minimal HTTP/1.1 codec: request parsing and response writing over any
+//! `Read`/`Write` pair.
+//!
+//! This is deliberately a *codec*, not a framework: it understands
+//! exactly the subset of RFC 9112 the `webre-serve` daemon and its
+//! in-process test clients need — request line, headers,
+//! `Content-Length` bodies, and keep-alive negotiation. No chunked
+//! transfer encoding (requests carrying it are rejected as `411`-shaped
+//! errors), no multiline headers, no trailers.
+//!
+//! Robustness properties the serving layer relies on:
+//!
+//! * header section and body are read under caller-supplied byte limits,
+//!   so a hostile peer cannot balloon memory ([`HttpError::TooLarge`]
+//!   maps to `413`);
+//! * a cleanly closed idle connection yields `Ok(None)` rather than an
+//!   error, which is how keep-alive loops terminate;
+//! * all parse failures are typed so the server can answer `400` instead
+//!   of dropping the connection.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line + headers, independent of the body
+/// limit. 16 KiB fits any sane client with room to spare.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token, e.g. `GET`, `POST`.
+    pub method: String,
+    /// The request target as sent (path + optional query), e.g. `/convert`.
+    pub target: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body, empty unless `Content-Length` said otherwise.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to keep the connection open after this
+    /// exchange (HTTP/1.1 default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The target's path component (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field.
+    Malformed(String),
+    /// Head or body exceeds the configured limit.
+    TooLarge { limit: usize },
+    /// The peer used a transfer mechanism the codec does not speak.
+    Unsupported(String),
+    /// The connection errored or closed mid-request.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge { limit } => write!(f, "request exceeds {limit} bytes"),
+            HttpError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            HttpError::Io(m) => write!(f, "i/o: {m}"),
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// cleanly before sending anything (normal keep-alive termination);
+/// `max_body` bounds the `Content-Length` the codec will honour.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(reader, MAX_HEAD_BYTES, true)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!("request line {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Unsupported(format!("version {version}")));
+    }
+    let method = method.to_ascii_uppercase();
+    let target = target.to_owned();
+
+    let mut headers = Vec::new();
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
+    loop {
+        let Some(line) = read_line(reader, head_budget, false)? else {
+            return Err(HttpError::Io("connection closed inside headers".into()));
+        };
+        head_budget = head_budget.saturating_sub(line.len() + 2);
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Unsupported("transfer-encoding".into()));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("content-length {v:?}")))?,
+    };
+    if length > max_body {
+        return Err(HttpError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(format!("reading {length}-byte body: {e}")))?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line without its terminator.
+/// `Ok(None)` = clean EOF before any byte when `eof_ok`, error otherwise.
+fn read_line(
+    reader: &mut impl BufRead,
+    limit: usize,
+    eof_ok: bool,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() && eof_ok {
+                    return Ok(None);
+                }
+                return Err(HttpError::Io("unexpected end of stream".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()));
+                }
+                if line.len() >= limit {
+                    return Err(HttpError::TooLarge { limit });
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Length` and
+    /// `Content-Type`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: String,
+    /// The payload.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An XML response.
+    pub fn xml(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            content_type: "application/xml".into(),
+            ..Response::text(status, body)
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_owned(), value.into()));
+        self
+    }
+}
+
+/// Serializes `response` to `writer`. `keep_alive` controls the
+/// `Connection` header so peers know whether to reuse the socket.
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\ncontent-type: {}\r\nconnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        response.content_type,
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write for head+body: a split write would put the body in its
+    // own TCP segment and stall on Nagle + delayed ACK (~40ms/request).
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&response.body);
+    writer.write_all(&message)?;
+    writer.flush()
+}
+
+/// A parsed response (for test clients and the differential oracle).
+#[derive(Clone, Debug)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The payload.
+    pub body: Vec<u8>,
+}
+
+impl ParsedResponse {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads one response (client side). `max_body` bounds the body read.
+pub fn read_response(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<ParsedResponse, HttpError> {
+    let Some(line) = read_line(reader, MAX_HEAD_BYTES, false)? else {
+        return Err(HttpError::Io("connection closed before status line".into()));
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(HttpError::Malformed(format!("status line {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Unsupported(format!("version {version}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| HttpError::Malformed(format!("status code {code:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader, MAX_HEAD_BYTES, false)? else {
+            return Err(HttpError::Io("connection closed inside headers".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if length > max_body {
+        return Err(HttpError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(format!("reading {length}-byte body: {e}")))?;
+    Ok(ParsedResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Serializes a request (client side).
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    // Single write, same Nagle rationale as `write_response`.
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    writer.write_all(&message)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8], max_body: usize) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes), max_body)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /convert HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/convert");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_lf_only_lines() {
+        let raw = b"GET /healthz HTTP/1.1\nConnection: close\n\n";
+        let req = parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"", 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_too_large() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        assert_eq!(parse(raw, 10), Err(HttpError::TooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn bad_request_line_is_malformed() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n", 10),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_encoding_is_unsupported() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(parse(raw, 10), Err(HttpError::Unsupported(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw, 100), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn query_string_is_stripped_by_path() {
+        let raw = b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n";
+        let req = parse(raw, 0).unwrap().unwrap();
+        assert_eq!(req.target, "/metrics?verbose=1");
+        assert_eq!(req.path(), "/metrics");
+    }
+
+    #[test]
+    fn response_round_trips_through_codec() {
+        let response = Response::xml(200, "<r/>").with_header("x-cache", "hit");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &response, true).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice()), 1024).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("x-cache"), Some("hit"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.text(), "<r/>");
+    }
+
+    #[test]
+    fn request_round_trips_through_codec() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/corpus/docs", b"<p>x</p>", false).unwrap();
+        let req = parse(&wire, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/corpus/docs");
+        assert_eq!(req.body, b"<p>x</p>");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_sequentially() {
+        let raw: Vec<u8> = [
+            b"POST /a HTTP/1.1\r\ncontent-length: 1\r\n\r\nA".as_slice(),
+            b"GET /b HTTP/1.1\r\n\r\n".as_slice(),
+        ]
+        .concat();
+        let mut reader = BufReader::new(raw.as_slice());
+        let first = read_request(&mut reader, 64).unwrap().unwrap();
+        let second = read_request(&mut reader, 64).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(second.target, "/b");
+        assert!(read_request(&mut reader, 64).unwrap().is_none());
+    }
+}

@@ -16,13 +16,21 @@
 //!   replacing `proptest`;
 //! * [`bench`] — a monotonic-clock micro-benchmark harness with a
 //!   criterion-shaped API that prints median/p95 per iteration and emits
-//!   JSON-lines records, replacing `criterion`.
+//!   JSON-lines records, replacing `criterion`;
+//! * [`sync`] — a bounded MPMC channel (mutex + condvar) with
+//!   non-blocking `try_send`, the backpressure primitive under the
+//!   `webre-serve` job queue, replacing `crossbeam-channel`;
+//! * [`http`] — a minimal HTTP/1.1 request/response codec (no chunked
+//!   encoding, no TLS) for the serving subsystem and its in-process test
+//!   clients, replacing `httparse`/`hyper`-class dependencies.
 //!
 //! Everything in here is `std`-only and deterministic under a fixed seed;
 //! there is no ambient entropy anywhere (the bench harness reads the clock,
 //! but only to *measure*, never to *decide*).
 
 pub mod bench;
+pub mod http;
 pub mod json;
 pub mod prop;
 pub mod rand;
+pub mod sync;

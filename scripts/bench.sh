@@ -24,3 +24,13 @@ esac
 : > "$out"
 WEBRE_BENCH_OUT="$out" cargo bench -p webre-bench "$@"
 echo "==> $(wc -l <"$out") benchmark record(s) in $out"
+
+# Serving throughput: a live webre-serve instance hammered over TCP by
+# concurrent keep-alive clients; writes one JSON record per scenario.
+serve_out="${WEBRE_BENCH_SERVE_OUT:-$PWD/BENCH_serve.json}"
+case "$serve_out" in
+    /*) ;;
+    *) serve_out="$PWD/$serve_out" ;;
+esac
+WEBRE_BENCH_SERVE_OUT="$serve_out" cargo run --release -p webre-bench --bin serve_throughput
+echo "==> serve benchmark record(s) in $serve_out"

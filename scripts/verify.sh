@@ -17,6 +17,40 @@ cargo test -q
 echo "==> webre check (bounded differential/fuzz oracle smoke run)"
 ./target/release/webre check --iters 50 --seed 1
 
+echo "==> serve smoke gate (HTTP round-trip against the release binary)"
+smoke_dir=$(mktemp -d)
+serve_log="$smoke_dir/serve.log"
+./target/release/webre serve --addr 127.0.0.1:0 --workers 2 > "$serve_log" &
+serve_pid=$!
+cleanup_serve() { kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"; }
+trap cleanup_serve EXIT
+# The banner line carries the ephemeral port: "serving on http://HOST:PORT (...)"
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's|.*http://[^:]*:\([0-9]*\).*|\1|p' "$serve_log")
+    [ -n "$port" ] && break
+    sleep 0.05
+done
+[ -n "$port" ] || { echo "FAIL: serve did not print its address" >&2; cat "$serve_log" >&2; exit 1; }
+base="http://127.0.0.1:$port"
+# Conversion over HTTP must be byte-identical to the committed golden.
+curl -sf -X POST --data-binary @tests/fixtures/resume_clean.html "$base/convert" -o "$smoke_dir/got.xml"
+diff -u tests/fixtures/resume_clean.expected.xml "$smoke_dir/got.xml" \
+    || { echo "FAIL: served XML diverges from golden fixture" >&2; exit 1; }
+# A repeat must be answered from the cache; /metrics proves it.
+curl -sf -X POST --data-binary @tests/fixtures/resume_clean.html "$base/convert" -o /dev/null
+curl -sf "$base/metrics" > "$smoke_dir/metrics.txt"
+grep -q '^cache_hits_total [1-9]' "$smoke_dir/metrics.txt" \
+    || { echo "FAIL: no cache hit recorded in /metrics" >&2; cat "$smoke_dir/metrics.txt" >&2; exit 1; }
+grep -q '^requests_total{endpoint="convert"} 2' "$smoke_dir/metrics.txt" \
+    || { echo "FAIL: convert request count wrong in /metrics" >&2; exit 1; }
+# Graceful drain: /shutdown must cause a clean exit.
+curl -sf -X POST "$base/shutdown" > /dev/null
+wait "$serve_pid" || { echo "FAIL: serve exited non-zero after /shutdown" >&2; exit 1; }
+trap - EXIT
+rm -rf "$smoke_dir"
+echo "    serve round-trip, cache hit and graceful drain all verified"
+
 echo "==> dependency guard (Cargo.lock must contain only workspace crates)"
 # Registry/git dependencies carry a `source = ...` line in Cargo.lock;
 # path-only workspace members never do.
