@@ -8,6 +8,7 @@
 //! webre validate <file.xml>...   --dtd <file.dtd>
 //! webre generate --count N [--seed S] --out-dir DIR
 //! webre check    [--seed S] [--iters N] [--only ORACLE]
+//! webre lint     [PATHS]... [--deny-warnings] [--only RULE] [--format text|json]
 //! ```
 //!
 //! `convert` prints concept-tagged XML for each input; `discover` prints
@@ -17,7 +18,10 @@
 //! XML files against a DTD; `generate` materializes a synthetic resume
 //! corpus (HTML plus ground-truth XML); `check` runs the differential/
 //! metamorphic/fuzzing oracle battery from `webre-check` and prints a
-//! one-line reproduction command for any failure.
+//! one-line reproduction command for any failure; `lint` runs the
+//! in-tree static-analysis pass from `webre-lint` over the workspace
+//! (or explicit paths) and, under `--deny-warnings`, fails the build on
+//! any finding.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, failed
 //! validation, failed oracle), `2` usage error (unknown command or flag,
@@ -47,6 +51,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "generate" => cmd_generate(rest),
         "check" => cmd_check(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -87,6 +92,8 @@ usage:
   webre validate <file.xml>...   --dtd <file.dtd>
   webre generate --count N [--seed S] --out-dir DIR
   webre check    [--seed S] [--iters N] [--only ORACLE]
+  webre lint     [PATHS]... [--deny-warnings] [--only RULE] [--format text|json]
+                 [--root DIR] [--list-rules]
   webre --version | --help";
 
 /// A CLI failure, split by who got it wrong.
@@ -480,6 +487,71 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     }
     print!("{}", report.render());
     Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &["only", "format", "root"],
+        &["deny-warnings", "list-rules"],
+    )?;
+    let rules = webre_lint::all_rules();
+    if parsed.switch("list-rules") {
+        for rule in &rules {
+            println!("{:<18} {}", rule.id(), rule.description());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let format = parsed.value("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(usage_err(format!(
+            "--format expects text or json, got {format:?}"
+        )));
+    }
+    let mut config = webre_lint::LintConfig::default();
+    if let Some(only) = parsed.value("only") {
+        if !rules.iter().any(|r| r.id() == only) {
+            let known: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+            return Err(runtime_err(format!(
+                "no rule named {only:?}; known rules: {}",
+                known.join(", ")
+            )));
+        }
+        config.only = Some(only.to_owned());
+    }
+    let root = match parsed.value("root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| runtime_err(format!("cannot resolve current dir: {e}")))?;
+            webre_lint::Workspace::find_root(&cwd).ok_or_else(|| {
+                runtime_err("no workspace root found above the current directory; pass --root")
+            })?
+        }
+    };
+    let diagnostics = if parsed.positional.is_empty() {
+        webre_lint::lint_workspace(&root, &config)
+    } else {
+        let paths: Vec<PathBuf> = parsed.positional.iter().map(PathBuf::from).collect();
+        webre_lint::lint_paths(&root, &paths, &config)
+    }
+    .map_err(|e| runtime_err(format!("lint failed: {e}")))?;
+    match format {
+        "json" => print!("{}", webre_lint::render_json(&diagnostics)),
+        _ => {
+            print!("{}", webre_lint::render_text(&diagnostics));
+            if diagnostics.is_empty() {
+                eprintln!("lint: no findings");
+            } else {
+                eprintln!("lint: {} finding(s)", diagnostics.len());
+            }
+        }
+    }
+    Ok(if diagnostics.is_empty() || !parsed.switch("deny-warnings") {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -41,7 +41,7 @@ fn usage_lists_every_subcommand() {
     assert!(out.status.success());
     let usage = String::from_utf8_lossy(&out.stdout).into_owned();
     for subcommand in [
-        "convert", "discover", "run", "serve", "validate", "generate", "check",
+        "convert", "discover", "run", "serve", "validate", "generate", "check", "lint",
     ] {
         assert!(
             usage.contains(&format!("webre {subcommand}")),
@@ -63,7 +63,9 @@ fn version_flag_prints_package_version() {
 
 #[test]
 fn unknown_flag_is_a_usage_error_on_every_subcommand() {
-    for subcommand in ["convert", "discover", "run", "serve", "validate", "generate", "check"] {
+    for subcommand in [
+        "convert", "discover", "run", "serve", "validate", "generate", "check", "lint",
+    ] {
         let out = bin()
             .args([subcommand, "--no-such-flag"])
             .output()
@@ -374,6 +376,115 @@ fn check_unknown_oracle_is_an_error() {
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("known oracles"), "{text}");
+}
+
+/// Workspace root (the directory holding the top-level `Cargo.toml`).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A lint-rule fixture file (never compiled; input data for `webre lint`).
+fn lint_fixture(name: &str) -> PathBuf {
+    repo_root().join("crates/lint/tests/fixtures").join(name)
+}
+
+#[test]
+fn lint_workspace_is_clean_under_deny_warnings() {
+    let out = bin()
+        .args(["lint", "--deny-warnings", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "workspace must lint clean:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no findings"));
+}
+
+#[test]
+fn lint_findings_fail_only_under_deny_warnings() {
+    let args = |deny: bool| {
+        let mut v = vec!["lint".to_owned()];
+        if deny {
+            v.push("--deny-warnings".to_owned());
+        }
+        v.push("--root".to_owned());
+        v.push(repo_root().display().to_string());
+        v.push(lint_fixture("panic_pos.rs").display().to_string());
+        v
+    };
+    // Without --deny-warnings findings are reported but the exit is 0.
+    let out = bin().args(args(false)).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("[panic-in-hot-path]"), "{stdout}");
+    // With it, the same findings gate the exit code.
+    let out = bin().args(args(true)).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("finding"));
+}
+
+#[test]
+fn lint_json_output_is_stable() {
+    let run = || {
+        bin()
+            .args(["lint", "--format", "json", "--root"])
+            .arg(repo_root())
+            .arg(lint_fixture("nondet_pos.rs"))
+            .arg(lint_fixture("dropped_pos.rs"))
+            .output()
+            .expect("spawn")
+    };
+    let (a, b) = (run(), run());
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "lint --format json is not stable");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.trim_start().starts_with('['), "{text}");
+    assert!(text.contains("\"rule\""), "{text}");
+    assert!(text.contains("nondet-iter"), "{text}");
+    assert!(text.contains("dropped-result"), "{text}");
+}
+
+#[test]
+fn lint_list_rules_names_all_six() {
+    let out = bin().args(["lint", "--list-rules"]).output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for rule in [
+        "dropped-result",
+        "lock-order",
+        "no-wall-clock",
+        "nondet-iter",
+        "panic-in-hot-path",
+        "std-only",
+    ] {
+        assert!(text.contains(rule), "missing rule {rule}:\n{text}");
+    }
+}
+
+#[test]
+fn lint_unknown_rule_is_an_error() {
+    let out = bin()
+        .args(["lint", "--only", "no-such-rule", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("known rules"));
+}
+
+#[test]
+fn lint_bad_format_is_a_usage_error() {
+    let out = bin()
+        .args(["lint", "--format", "xml", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
 
 #[test]

@@ -1,0 +1,98 @@
+//! Regression tests for insertion-order determinism, guarding the
+//! `nondet-iter` fixes: everything the pipeline emits must be
+//! byte-identical no matter what order its inputs arrive in.
+//!
+//! Two angles:
+//!
+//! 1. the full pipeline (convert → mine → derive) run 10 times over the
+//!    same corpus in a freshly shuffled document order each run, and
+//! 2. the Bayes classifier trained 10 times with shuffled example
+//!    insertion order — the direct regression for the tie-break that used
+//!    to ride on `HashMap` iteration order in `webre-text`.
+
+use webre::text::BayesTrainer;
+use webre::Pipeline;
+use webre_substrate::rand::rngs::StdRng;
+use webre_substrate::rand::seq::SliceRandom;
+use webre_substrate::rand::SeedableRng;
+
+const RUNS: usize = 10;
+
+/// The derived DTD for `htmls`, rendered to its canonical string.
+fn dtd_of(pipeline: &Pipeline, htmls: &[String]) -> String {
+    let docs = pipeline.convert_corpus(htmls);
+    let discovery = pipeline
+        .discover_schema(&docs)
+        .expect("corpus is mineable");
+    discovery.dtd.to_dtd_string()
+}
+
+#[test]
+fn dtd_is_byte_identical_across_shuffled_runs() {
+    let corpus = webre::corpus::CorpusGenerator::new(7).generate(12);
+    let mut htmls: Vec<String> = corpus.iter().map(|d| d.html.clone()).collect();
+    let pipeline = Pipeline::resume_domain();
+
+    let reference = dtd_of(&pipeline, &htmls);
+    assert!(!reference.is_empty(), "reference DTD must not be empty");
+
+    let mut rng = StdRng::seed_from_u64(0x0dd5);
+    for run in 0..RUNS {
+        htmls.shuffle(&mut rng);
+        let dtd = dtd_of(&pipeline, &htmls);
+        assert_eq!(
+            dtd, reference,
+            "run {run}: shuffled document order changed the DTD"
+        );
+    }
+}
+
+#[test]
+fn bayes_output_is_independent_of_training_insertion_order() {
+    // Two classes share the token "june": any score tie between them must
+    // be broken by label, never by map iteration order.
+    let examples: &[(&str, &str)] = &[
+        ("date", "June 1996"),
+        ("date", "May 2001"),
+        ("date", "19 June 1998"),
+        ("institution", "Stanford University"),
+        ("institution", "June College"),
+        ("institution", "University of June"),
+        ("degree", "M.S. Computer Science"),
+        ("degree", "B.A. History, June honors"),
+    ];
+    let probes = ["June", "Stanford", "M.S.", "19", "honors", "of"];
+
+    let reference = render(examples, &probes);
+
+    let mut rng = StdRng::seed_from_u64(0xbe5);
+    let mut shuffled: Vec<(&str, &str)> = examples.to_vec();
+    for run in 0..RUNS {
+        shuffled.shuffle(&mut rng);
+        assert_eq!(
+            render(&shuffled, &probes),
+            reference,
+            "run {run}: training insertion order changed classifier output"
+        );
+    }
+}
+
+/// Trains on `examples` in the given order and renders every probe's full
+/// ranked score list to one string.
+fn render(examples: &[(&str, &str)], probes: &[&str]) -> String {
+    let mut trainer = BayesTrainer::new();
+    for (label, text) in examples {
+        trainer.add(label, text);
+    }
+    let classifier = trainer.build().expect("non-empty training set");
+    let mut out = String::new();
+    for probe in probes {
+        out.push_str(probe);
+        out.push(':');
+        for (label, score) in classifier.scores(probe) {
+            out.push_str(&format!(" {label}={score:.12}"));
+        }
+        out.push('\n');
+    }
+    out
+}

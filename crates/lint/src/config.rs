@@ -1,0 +1,153 @@
+//! Per-rule allow/deny configuration and comment suppressions.
+//!
+//! Two suppression scopes, both spelled inside ordinary comments so the
+//! code still compiles with no lint crate present:
+//!
+//! - **Line**: `// webre::allow(rule-id): reason` on the finding's line
+//!   or the line directly above it. The `#[webre::allow(rule-id)]`
+//!   spelling inside a comment is accepted too.
+//! - **File**: `// webre::allow-file(rule-id): reason` anywhere in the
+//!   file silences that rule for the whole file (for invariant-heavy
+//!   files where per-line noise would drown the code).
+//!
+//! A reason after `:` is not enforced by the engine but is the house
+//! style — every suppression in this workspace says *why*.
+
+use crate::lexer::Comment;
+use std::collections::BTreeSet;
+
+/// Engine configuration.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Run only this rule (by ID).
+    pub only: Option<String>,
+    /// Rules disabled wholesale.
+    pub allow: BTreeSet<String>,
+    /// Ignore per-rule path scoping and check every rule on every file.
+    /// Set when explicit paths are passed on the command line, so
+    /// fixture snippets exercise every rule regardless of where they
+    /// live.
+    pub scope_everything: bool,
+}
+
+impl LintConfig {
+    /// True when rule `id` should run at all.
+    pub fn rule_enabled(&self, id: &str) -> bool {
+        if self.allow.contains(id) {
+            return false;
+        }
+        match &self.only {
+            Some(only) => only == id,
+            None => true,
+        }
+    }
+}
+
+/// Suppressions harvested from one file's comments.
+#[derive(Clone, Debug, Default)]
+pub struct Suppressions {
+    /// (line, rule) pairs: suppress `rule` on that line and the next.
+    lines: BTreeSet<(u32, String)>,
+    /// Rules suppressed for the entire file.
+    file: BTreeSet<String>,
+}
+
+impl Suppressions {
+    /// Parses every `webre::allow(...)` marker out of `comments`.
+    pub fn harvest(comments: &[Comment]) -> Suppressions {
+        let mut out = Suppressions::default();
+        for comment in comments {
+            for (marker, file_wide) in [("webre::allow-file(", true), ("webre::allow(", false)] {
+                let mut rest = comment.text.as_str();
+                while let Some(pos) = rest.find(marker) {
+                    let after = &rest[pos + marker.len()..];
+                    if let Some(close) = after.find(')') {
+                        for rule in after[..close].split(',') {
+                            let rule = rule.trim();
+                            if rule.is_empty() {
+                                continue;
+                            }
+                            if file_wide {
+                                out.file.insert(rule.to_owned());
+                            } else {
+                                out.lines.insert((comment.line, rule.to_owned()));
+                            }
+                        }
+                    }
+                    rest = &rest[pos + marker.len()..];
+                }
+            }
+        }
+        out
+    }
+
+    /// True when a finding for `rule` on `line` is suppressed: by a
+    /// file-wide allow, or a line allow on the same or previous line.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        if self.file.contains(rule) || self.file.contains("all") {
+            return true;
+        }
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if self.lines.contains(&(l, rule.to_owned())) || self.lines.contains(&(l, "all".to_owned()))
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(line: u32, text: &str) -> Comment {
+        Comment {
+            line,
+            text: text.to_owned(),
+        }
+    }
+
+    #[test]
+    fn line_suppression_covers_same_and_next_line() {
+        let s = Suppressions::harvest(&[comment(4, "// webre::allow(nondet-iter): keyed lookup only")]);
+        assert!(s.suppressed("nondet-iter", 4));
+        assert!(s.suppressed("nondet-iter", 5));
+        assert!(!s.suppressed("nondet-iter", 6));
+        assert!(!s.suppressed("std-only", 4));
+    }
+
+    #[test]
+    fn attribute_spelling_inside_comment_works() {
+        let s = Suppressions::harvest(&[comment(2, "// #[webre::allow(panic-in-hot-path)]: startup")]);
+        assert!(s.suppressed("panic-in-hot-path", 3));
+    }
+
+    #[test]
+    fn file_suppression_covers_everything() {
+        let s = Suppressions::harvest(&[comment(1, "// webre::allow-file(lock-order): single lock")]);
+        assert!(s.suppressed("lock-order", 999));
+        assert!(!s.suppressed("nondet-iter", 999));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_marker() {
+        let s = Suppressions::harvest(&[comment(7, "// webre::allow(dropped-result, panic-in-hot-path): peer gone")]);
+        assert!(s.suppressed("dropped-result", 7));
+        assert!(s.suppressed("panic-in-hot-path", 8));
+    }
+
+    #[test]
+    fn only_and_allow_config() {
+        let mut config = LintConfig::default();
+        assert!(config.rule_enabled("std-only"));
+        config.only = Some("std-only".to_owned());
+        assert!(config.rule_enabled("std-only"));
+        assert!(!config.rule_enabled("nondet-iter"));
+        config.allow.insert("std-only".to_owned());
+        assert!(!config.rule_enabled("std-only"));
+    }
+}

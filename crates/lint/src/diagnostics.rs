@@ -1,0 +1,131 @@
+//! Lint findings and their two renderings: clickable `file:line` text
+//! and stable JSON.
+//!
+//! Both renderings emit findings in the same total order —
+//! `(path, line, rule, message)` — so repeated runs over the same tree
+//! produce byte-identical output and the CI gate can diff it.
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `nondet-iter`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line: [rule] message` — the clickable text form.
+    pub fn render_text(&self) -> String {
+        format!("{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Sorts into the canonical emission order and drops exact duplicates
+/// (a rule may hit the same line via two detection paths).
+pub fn canonicalize(diagnostics: &mut Vec<Diagnostic>) {
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str())
+            .cmp(&(b.path.as_str(), b.line, b.rule, b.message.as_str()))
+    });
+    diagnostics.dedup();
+}
+
+/// Renders the full finding list as text, one per line.
+pub fn render_text(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the finding list as a JSON array, one object per line,
+/// already in canonical order — stable across runs by construction.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_string(d.rule),
+            json_string(&d.path),
+            d.line,
+            json_string(&d.message)
+        ));
+    }
+    out.push_str(if diagnostics.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line,
+            message: format!("finding in {path}"),
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_path_line_rule() {
+        let mut list = vec![d("b-rule", "b.rs", 2), d("a-rule", "b.rs", 2), d("z", "a.rs", 9)];
+        canonicalize(&mut list);
+        assert_eq!(list[0].path, "a.rs");
+        assert_eq!(list[1].rule, "a-rule");
+        assert_eq!(list[2].rule, "b-rule");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut list = vec![d("r", "a.rs", 1), d("r", "a.rs", 1)];
+        canonicalize(&mut list);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn json_is_escaped_and_stable() {
+        let mut list = vec![Diagnostic {
+            rule: "r",
+            path: "a\\b.rs".to_owned(),
+            line: 3,
+            message: "say \"hi\"\n".to_owned(),
+        }];
+        canonicalize(&mut list);
+        let json = render_json(&list);
+        assert!(json.contains("\"a\\\\b.rs\""), "{json}");
+        assert!(json.contains("\\\"hi\\\"\\n"), "{json}");
+        assert_eq!(json, render_json(&list), "rendering must be pure");
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,420 @@
+//! A lightweight Rust lexer: enough fidelity for line-accurate static
+//! analysis, nothing more.
+//!
+//! The token stream keeps identifiers, literals (collapsed to a single
+//! kind — rules only care that a region *is* a literal, never about its
+//! value beyond integer indices), lifetimes, and single-character
+//! punctuation. Comments are lexed out of the token stream but retained
+//! separately with their line numbers, because suppressions
+//! (`webre::allow(...)`) live in comments. Multi-character operators
+//! (`::`, `->`, `=>`, `..`) are left as adjacent punctuation tokens;
+//! rules match the sequence, which keeps the lexer trivial and the
+//! matching explicit.
+//!
+//! The tricky corners of real Rust lexing that matter here are all
+//! handled: nested block comments, raw strings with arbitrary `#`
+//! fences, byte/raw-byte strings, char literals vs. lifetimes, and
+//! escapes inside string/char literals (so a `"}"` literal cannot
+//! unbalance brace tracking downstream).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (label or lifetime position).
+    Lifetime,
+    /// String, raw string, byte string, char, or number literal.
+    Literal,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier equal to `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with its starting line; block comments keep their full text.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs
+/// (string running to EOF) are tolerated: the rest of the file becomes
+/// one literal, which keeps the lexer total on malformed fixture input.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..i].to_owned(),
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: source[start..i].to_owned(),
+                });
+            }
+            '"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..end].to_owned(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs. char literal (`'a'`, `'\n'`).
+                let (token, end, newlines) = scan_quote(source, bytes, i, line);
+                out.tokens.push(token);
+                line += newlines;
+                i = end;
+            }
+            'r' | 'b' if is_raw_or_byte_string(bytes, i) => {
+                let (end, newlines) = scan_raw_or_byte(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[i..end].to_owned(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || !c.is_ascii() => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || !b.is_ascii() {
+                        i += if b.is_ascii() { 1 } else { source[i..].chars().next().map_or(1, char::len_utf8) };
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    // Digits, underscores, type suffixes, hex, exponents,
+                    // and `.` in floats — but `1..2` is two range dots,
+                    // not part of the number.
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else if b == '.'
+                        && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"..."` string starting at the opening quote; returns the
+/// index one past the closing quote and the number of newlines inside.
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+/// Scans from a `'`: either a lifetime token or a char literal.
+fn scan_quote(source: &str, bytes: &[u8], start: usize, line: u32) -> (Token, usize, u32) {
+    let next = bytes.get(start + 1).copied();
+    let is_lifetime = match next {
+        Some(b'\\') => false,
+        Some(c) if (c as char).is_ascii_alphabetic() || c == b'_' => {
+            // `'a'` is a char literal; `'a` followed by anything else is
+            // a lifetime. Identifiers longer than one char ending in `'`
+            // (`'static'`?) do not exist, so one lookahead past the
+            // identifier run settles it.
+            let mut j = start + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            !(j == start + 2 && bytes.get(j) == Some(&b'\''))
+        }
+        _ => false,
+    };
+    if is_lifetime {
+        let mut j = start + 1;
+        while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        return (
+            Token {
+                kind: TokenKind::Lifetime,
+                text: source[start..j].to_owned(),
+                line,
+            },
+            j,
+            0,
+        );
+    }
+    // Char literal: scan to the closing quote, honoring escapes.
+    let mut i = start + 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        Token {
+            kind: TokenKind::Literal,
+            text: source[start..i.min(source.len())].to_owned(),
+            line,
+        },
+        i.min(source.len()),
+        newlines,
+    )
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `br"`, `br#`, or `b'`.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans raw/byte string forms; returns (end index, newline count).
+fn scan_raw_or_byte(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // Byte char `b'x'`.
+        let mut j = i + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return (j + 1, 0),
+                _ => j += 1,
+            }
+        }
+        return (bytes.len(), 0);
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut fence = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        fence += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < fence && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == fence {
+                    return (j, newlines);
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            texts("let x = v[0] + 1.5e3;"),
+            vec!["let", "x", "=", "v", "[", "0", "]", "+", "1.5e3", ";"]
+        );
+    }
+
+    #[test]
+    fn strings_hide_braces_and_track_lines() {
+        let lexed = lex("let s = \"}{\";\nlet t = 2;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "{"));
+        let t = lexed.tokens.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let lexed = lex("let s = r#\"say \"hi\" {ok}\"#; done");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'b'"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let lexed = lex(r"let c = '\''; let d = '\n';");
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_captured_with_lines_nested_blocks() {
+        let lexed = lex("// top\nlet a = 1; /* outer /* inner */ still */\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("inner"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("b")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lexed = lex("let a = b\"GET\"; let b = b'\\n'; let c = br#\"{}\"#;");
+        assert_eq!(
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            3
+        );
+    }
+}

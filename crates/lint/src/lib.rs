@@ -1,0 +1,154 @@
+//! `webre-lint`: the workspace's in-tree static-analysis pass.
+//!
+//! The pipeline's headline guarantees — deterministic output, std-only
+//! builds, panic-free serving — are enforced dynamically by the
+//! differential oracles in `crates/check`. Those oracles catch a
+//! violation only when a run happens to exercise it; this crate catches
+//! the *source line* that introduces one. It ships its own lightweight
+//! Rust lexer and item-level parser (no `syn` — the workspace takes no
+//! external dependencies) and six rules:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `nondet-iter` | hash iteration never feeds ordered output unsorted |
+//! | `std-only` | no imports outside std + workspace crates |
+//! | `no-wall-clock` | pure crates never read clocks or the environment |
+//! | `panic-in-hot-path` | serve workers and the HTTP codec cannot panic |
+//! | `dropped-result` | `Result`s are handled, not silently discarded |
+//! | `lock-order` | one global lock order (no ABBA deadlocks) |
+//!
+//! Findings are suppressed per line or per file with
+//! `// webre::allow(rule-id): reason` comments (see [`config`]).
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+pub mod workspace;
+
+pub use config::{LintConfig, Suppressions};
+pub use diagnostics::{canonicalize, render_json, render_text, Diagnostic};
+pub use rules::{all_rules, Context, Rule};
+pub use workspace::Workspace;
+
+use parser::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints every member `src/` tree of the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::discover(root)?;
+    let rel_paths = ws.source_files()?;
+    lint_file_set(&ws, &rel_paths, config)
+}
+
+/// Lints an explicit set of files or directories (each relative to the
+/// current directory or absolute). Directories expand recursively to
+/// their `.rs` files. Path scoping is disabled in this mode so fixture
+/// snippets exercise every rule wherever they live.
+pub fn lint_paths(root: &Path, paths: &[PathBuf], config: &LintConfig) -> io::Result<Vec<Diagnostic>> {
+    let ws = Workspace::discover(root)?;
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut found = Vec::new();
+            collect_rs(path, &mut found)?;
+            files.extend(found);
+        } else if path.is_file() {
+            files.push(path.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", path.display()),
+            ));
+        }
+    }
+    files.sort();
+    files.dedup();
+    // Workspace-relative display paths where possible; otherwise as given.
+    let rel_paths: Vec<PathBuf> = files
+        .iter()
+        .map(|p| {
+            p.canonicalize()
+                .ok()
+                .and_then(|abs| {
+                    ws.root
+                        .canonicalize()
+                        .ok()
+                        .and_then(|root| abs.strip_prefix(&root).ok().map(Path::to_path_buf))
+                })
+                .unwrap_or_else(|| p.clone())
+        })
+        .collect();
+    let mut config = config.clone();
+    config.scope_everything = true;
+    lint_paths_resolved(&ws, &files, &rel_paths, &config)
+}
+
+/// Shared engine: parse, build context, run rules, filter suppressions.
+fn lint_file_set(
+    ws: &Workspace,
+    rel_paths: &[PathBuf],
+    config: &LintConfig,
+) -> io::Result<Vec<Diagnostic>> {
+    let abs: Vec<PathBuf> = rel_paths.iter().map(|p| ws.root.join(p)).collect();
+    lint_paths_resolved(ws, &abs, rel_paths, config)
+}
+
+fn lint_paths_resolved(
+    ws: &Workspace,
+    abs_paths: &[PathBuf],
+    rel_paths: &[PathBuf],
+    config: &LintConfig,
+) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::with_capacity(abs_paths.len());
+    for (abs, rel) in abs_paths.iter().zip(rel_paths) {
+        let source = std::fs::read_to_string(abs)?;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &source));
+    }
+    let ctx = Context::build(&files, ws.crate_names.clone(), config.scope_everything);
+    let rules = all_rules();
+    let mut raw = Vec::new();
+    for rule in &rules {
+        if !config.rule_enabled(rule.id()) {
+            continue;
+        }
+        for file in &files {
+            rule.check_file(file, &ctx, &mut raw);
+        }
+        rule.check_workspace(&files, &ctx, &mut raw);
+    }
+    // Per-file suppression filtering.
+    let suppressions: std::collections::BTreeMap<&str, Suppressions> = files
+        .iter()
+        .map(|f| (f.rel_path.as_str(), Suppressions::harvest(&f.comments)))
+        .collect();
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            suppressions
+                .get(d.path.as_str())
+                .is_none_or(|s| !s.suppressed(d.rule, d.line))
+        })
+        .collect();
+    canonicalize(&mut out);
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,636 @@
+//! Item-level parsing on top of the lexer: just enough structure for
+//! the rules.
+//!
+//! A [`SourceFile`] knows, for one `.rs` file:
+//! - every `use`/`extern crate` root segment (for **std-only**);
+//! - every `fn` with its body token range, enclosing `impl` type, and
+//!   whether its return type mentions `Result` (for **dropped-result**);
+//! - every `struct` with its named fields classified by collection kind
+//!   (for **nondet-iter** receiver resolution and **lock-order** lock
+//!   discovery);
+//! - which token ranges are test code (`#[cfg(test)]` modules and
+//!   `#[test]` functions), so rules can skip them — `unwrap` in a test
+//!   is idiomatic, not a finding.
+//!
+//! The parser is deliberately approximate — it tracks delimiter
+//! matching exactly (the lexer guarantees literals cannot unbalance it)
+//! but resolves types by name, not by trait solving. The rules are
+//! calibrated against that: ambiguity always degrades toward *not*
+//! flagging, so the pass stays quiet instead of noisy.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// How a type participates in ordering, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollKind {
+    /// `HashMap`/`HashSet`: iteration order is nondeterministic.
+    Hash,
+    /// `BTreeMap`/`BTreeSet`: iteration order is sorted, deterministic.
+    BTree,
+    /// `Vec`/`VecDeque`/`String`: an ordered sink — what leaks
+    /// nondeterminism when fed from a hash iteration.
+    Ordered,
+    /// Anything else.
+    Other,
+}
+
+/// Which lock primitive a field/binding holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+}
+
+/// One `use`/`extern crate` declaration, reduced to its root segment.
+#[derive(Clone, Debug)]
+pub struct UseDecl {
+    /// First path segment: `std` in `use std::collections::HashMap`.
+    pub root: String,
+    pub line: u32,
+    /// Token index of the `use`/`extern` keyword.
+    pub token: usize,
+}
+
+/// A named struct field with its classified type.
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: String,
+    pub kind: CollKind,
+    pub lock: Option<LockKind>,
+}
+
+/// A struct definition with named fields (tuple/unit structs have none).
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<Field>,
+}
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Token index of the `fn` keyword (parameter-list scanning).
+    pub token: usize,
+    pub name: String,
+    /// Enclosing `impl` type name, when inside an impl block.
+    pub impl_type: Option<String>,
+    /// Token range of the body: `(open_brace, close_brace)` inclusive.
+    pub body: (usize, usize),
+    /// The declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Inside `#[cfg(test)]` or carrying `#[test]`.
+    pub is_test: bool,
+    pub line: u32,
+}
+
+/// A fully parsed source file, ready for rule passes.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (display + scoping).
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// For each opening delimiter token, the index of its match.
+    match_close: Vec<Option<usize>>,
+    /// Token ranges `[start, end]` that are test-only code.
+    pub test_ranges: Vec<(usize, usize)>,
+    pub uses: Vec<UseDecl>,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructDef>,
+    /// Names of modules declared in this file (`mod x;` / `mod x {`),
+    /// so `use x::...` of a sibling module is not mistaken for an
+    /// external crate.
+    pub mods: std::collections::BTreeSet<String>,
+}
+
+impl SourceFile {
+    /// Lexes and parses `source`.
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let match_close = delimiter_matches(&lexed.tokens);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_owned(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            match_close,
+            test_ranges: Vec::new(),
+            uses: Vec::new(),
+            fns: Vec::new(),
+            structs: Vec::new(),
+            mods: std::collections::BTreeSet::new(),
+        };
+        file.scan_items();
+        file
+    }
+
+    /// The matching close index for an opening delimiter, or the end of
+    /// the token stream when unbalanced (total on malformed input).
+    pub fn close(&self, open: usize) -> usize {
+        self.match_close
+            .get(open)
+            .copied()
+            .flatten()
+            .unwrap_or(self.tokens.len().saturating_sub(1))
+    }
+
+    /// True when token index `idx` lies in test-only code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| idx >= start && idx <= end)
+    }
+
+    fn scan_items(&mut self) {
+        let n = self.tokens.len();
+        // (impl type name, body close index) for enclosing-impl lookup.
+        let mut impls: Vec<(String, usize, usize)> = Vec::new();
+        let mut t = 0usize;
+        while t < n {
+            let tok = &self.tokens[t];
+            if tok.kind != TokenKind::Ident {
+                t += 1;
+                continue;
+            }
+            match tok.text.as_str() {
+                "use" if !self.prev_is_dot(t) => {
+                    if let Some(decl) = self.parse_use(t) {
+                        self.uses.push(decl);
+                    }
+                    t = self.skip_to_semicolon(t);
+                }
+                "extern" if self.tokens.get(t + 1).is_some_and(|k| k.is_ident("crate")) => {
+                    if let Some(root) = self.tokens.get(t + 2) {
+                        self.uses.push(UseDecl {
+                            root: root.text.clone(),
+                            line: tok.line,
+                            token: t,
+                        });
+                    }
+                    t = self.skip_to_semicolon(t);
+                }
+                "mod" => {
+                    if let Some(name) = self.tokens.get(t + 1) {
+                        if name.kind == TokenKind::Ident {
+                            self.mods.insert(name.text.clone());
+                        }
+                    }
+                    // `mod name { ... }` under #[cfg(test)] marks a test range.
+                    let open = (t..n.min(t + 4)).find(|&j| self.tokens[j].is_punct('{'));
+                    if let Some(open) = open {
+                        if self.attrs_before(t).iter().any(|a| a == "cfg(test)") {
+                            self.test_ranges.push((open, self.close(open)));
+                        }
+                    }
+                    t += 1;
+                }
+                "fn" => {
+                    if let Some(item) = self.parse_fn(t) {
+                        let end = item.body.1;
+                        self.fns.push(item);
+                        // Do not skip the body: nested fns/closures are rare
+                        // but harmless to rescan for items.
+                        let _ = end;
+                    }
+                    t += 1;
+                }
+                "struct" => {
+                    if let Some(def) = self.parse_struct(t) {
+                        self.structs.push(def);
+                    }
+                    t += 1;
+                }
+                "impl" => {
+                    if let Some((name, open)) = self.parse_impl_header(t) {
+                        impls.push((name, open, self.close(open)));
+                    }
+                    t += 1;
+                }
+                _ => t += 1,
+            }
+        }
+        // Resolve enclosing impl types by containment (innermost wins;
+        // impls do not nest in practice, so first match is fine).
+        for item in &mut self.fns {
+            item.impl_type = impls
+                .iter()
+                .find(|&&(_, open, close)| item.body.0 > open && item.body.1 <= close)
+                .map(|(name, _, _)| name.clone());
+        }
+        // A fn whose body lies inside a #[cfg(test)] mod is test code.
+        let ranges = self.test_ranges.clone();
+        for item in &mut self.fns {
+            if ranges
+                .iter()
+                .any(|&(start, end)| item.body.0 >= start && item.body.1 <= end)
+            {
+                item.is_test = true;
+            }
+        }
+    }
+
+    fn prev_is_dot(&self, t: usize) -> bool {
+        t > 0 && self.tokens[t - 1].is_punct('.')
+    }
+
+    fn skip_to_semicolon(&self, mut t: usize) -> usize {
+        let n = self.tokens.len();
+        while t < n && !self.tokens[t].is_punct(';') {
+            if self.tokens[t].is_punct('{') {
+                return self.close(t) + 1;
+            }
+            t += 1;
+        }
+        t + 1
+    }
+
+    fn parse_use(&self, t: usize) -> Option<UseDecl> {
+        let mut j = t + 1;
+        // Skip a leading `::` (`use ::std::...`).
+        while self.tokens.get(j).is_some_and(|k| k.is_punct(':')) {
+            j += 1;
+        }
+        let root = self.tokens.get(j)?;
+        if root.kind != TokenKind::Ident {
+            return None;
+        }
+        Some(UseDecl {
+            root: root.text.clone(),
+            line: self.tokens[t].line,
+            token: t,
+        })
+    }
+
+    /// Attributes textually attached before item keyword at `t`, e.g.
+    /// `["cfg(test)", "test"]`. Walks backward over `#[...]` groups and
+    /// visibility/qualifier keywords.
+    fn attrs_before(&self, t: usize) -> Vec<String> {
+        let mut attrs = Vec::new();
+        let mut j = t;
+        loop {
+            // Skip qualifiers between attrs and the keyword.
+            while j > 0
+                && matches!(
+                    self.tokens[j - 1].text.as_str(),
+                    "pub" | "unsafe" | "const" | "async" | "extern" | "crate" | "in" | "super" | "self"
+                )
+            {
+                j -= 1;
+            }
+            // `pub(crate)` leaves a `( crate )` group; step over it.
+            if j > 1 && self.tokens[j - 1].is_punct(')') {
+                let open = (0..j - 1)
+                    .rev()
+                    .find(|&o| self.tokens[o].is_punct('(') && self.close(o) == j - 1);
+                match open {
+                    Some(open) if open > 0 && self.tokens[open - 1].is_ident("pub") => {
+                        j = open - 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if j > 1 && self.tokens[j - 1].is_punct(']') {
+                let close = j - 1;
+                let open = (0..close)
+                    .rev()
+                    .find(|&o| self.tokens[o].is_punct('[') && self.close(o) == close);
+                if let Some(open) = open {
+                    if open > 0 && self.tokens[open - 1].is_punct('#') {
+                        let text: String = self.tokens[open + 1..close]
+                            .iter()
+                            .map(|k| k.text.as_str())
+                            .collect();
+                        attrs.push(text);
+                        j = open - 1;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
+        attrs
+    }
+
+    fn parse_fn(&self, t: usize) -> Option<FnItem> {
+        let name_tok = self.tokens.get(t + 1)?;
+        if name_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let n = self.tokens.len();
+        // Walk to the body `{` (or `;` for a bodiless trait method),
+        // skipping over parenthesized/bracketed groups. Remember the
+        // last `->` seen at this level: the return type follows it.
+        let mut j = t + 2;
+        let mut arrow: Option<usize> = None;
+        let body_open = loop {
+            if j >= n {
+                return None;
+            }
+            let tok = &self.tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') {
+                j = self.close(j) + 1;
+                continue;
+            }
+            if tok.is_punct('{') {
+                break j;
+            }
+            if tok.is_punct(';') {
+                return None;
+            }
+            if tok.is_punct('-') && self.tokens.get(j + 1).is_some_and(|k| k.is_punct('>')) {
+                arrow = Some(j);
+                j += 2;
+                continue;
+            }
+            j += 1;
+        };
+        let returns_result = arrow.is_some_and(|a| {
+            self.tokens[a..body_open]
+                .iter()
+                .any(|k| k.is_ident("Result"))
+        });
+        let attrs = self.attrs_before(t);
+        let is_test = attrs.iter().any(|a| a == "test" || a == "cfg(test)");
+        Some(FnItem {
+            token: t,
+            name: name_tok.text.clone(),
+            impl_type: None,
+            body: (body_open, self.close(body_open)),
+            returns_result,
+            is_test,
+            line: self.tokens[t].line,
+        })
+    }
+
+    fn parse_struct(&self, t: usize) -> Option<StructDef> {
+        let name_tok = self.tokens.get(t + 1)?;
+        if name_tok.kind != TokenKind::Ident {
+            return None;
+        }
+        let n = self.tokens.len();
+        // Find the field block, skipping generics: the first `{` before
+        // any `;` or `(` at this level is the field block.
+        let mut j = t + 2;
+        let open = loop {
+            if j >= n {
+                return None;
+            }
+            let tok = &self.tokens[j];
+            if tok.is_punct('{') {
+                break j;
+            }
+            if tok.is_punct(';') || tok.is_punct('(') {
+                // Unit or tuple struct: no named fields.
+                return Some(StructDef {
+                    name: name_tok.text.clone(),
+                    fields: Vec::new(),
+                });
+            }
+            j += 1;
+        };
+        let close = self.close(open);
+        let mut fields = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            let tok = &self.tokens[k];
+            // Skip field attributes and visibility.
+            if tok.is_punct('#') && self.tokens.get(k + 1).is_some_and(|x| x.is_punct('[')) {
+                k = self.close(k + 1) + 1;
+                continue;
+            }
+            if tok.is_ident("pub") {
+                k += 1;
+                if self.tokens.get(k).is_some_and(|x| x.is_punct('(')) {
+                    k = self.close(k) + 1;
+                }
+                continue;
+            }
+            if tok.kind == TokenKind::Ident
+                && self.tokens.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                && !self.tokens.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            {
+                // Field `name: Type`, type runs to the next `,` at this
+                // depth (delimited groups skipped) or the block close.
+                let mut end = k + 2;
+                while end < close {
+                    let x = &self.tokens[end];
+                    if x.is_punct(',') {
+                        break;
+                    }
+                    if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+                        end = self.close(end) + 1;
+                        continue;
+                    }
+                    end += 1;
+                }
+                let ty = &self.tokens[k + 2..end];
+                let (kind, lock) = classify_type(ty);
+                fields.push(Field {
+                    name: tok.text.clone(),
+                    kind,
+                    lock,
+                });
+                k = end + 1;
+                continue;
+            }
+            k += 1;
+        }
+        Some(StructDef {
+            name: name_tok.text.clone(),
+            fields,
+        })
+    }
+
+    /// For `impl ... {` at `t`, returns the implemented type's name and
+    /// the body-open index. `impl Trait for Type` yields `Type`.
+    fn parse_impl_header(&self, t: usize) -> Option<(String, usize)> {
+        let n = self.tokens.len();
+        let mut j = t + 1;
+        let mut last_for: Option<usize> = None;
+        let body_open = loop {
+            if j >= n {
+                return None;
+            }
+            let tok = &self.tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') {
+                j = self.close(j) + 1;
+                continue;
+            }
+            if tok.is_punct('{') {
+                break j;
+            }
+            if tok.is_punct(';') {
+                return None;
+            }
+            // `for` in `impl Trait for Type`; HRTB `for<'a>` is followed
+            // by `<` and is not a type separator.
+            if tok.is_ident("for") && !self.tokens.get(j + 1).is_some_and(|k| k.is_punct('<')) {
+                last_for = Some(j);
+            }
+            j += 1;
+        };
+        // The type is the last path ident before generics/braces in the
+        // segment after `for` (or after `impl` generics when inherent).
+        let start = last_for.map(|f| f + 1).unwrap_or(t + 1);
+        let mut name: Option<String> = None;
+        let mut k = start;
+        while k < body_open {
+            let tok = &self.tokens[k];
+            if tok.is_punct('<') {
+                // Skip one balanced generic group by angle counting.
+                let mut depth = 1i32;
+                k += 1;
+                while k < body_open && depth > 0 {
+                    if self.tokens[k].is_punct('<') {
+                        depth += 1;
+                    } else if self.tokens[k].is_punct('>') {
+                        depth -= 1;
+                    }
+                    k += 1;
+                }
+                continue;
+            }
+            if tok.is_ident("where") {
+                break;
+            }
+            if tok.kind == TokenKind::Ident {
+                name = Some(tok.text.clone());
+            }
+            k += 1;
+        }
+        name.map(|n| (n, body_open))
+    }
+}
+
+/// Classifies a field/binding type by the first collection name it
+/// mentions; lock kinds are detected anywhere in the type (so
+/// `Vec<Mutex<Shard>>` is Ordered *and* a Mutex carrier).
+pub fn classify_type(tokens: &[Token]) -> (CollKind, Option<LockKind>) {
+    let mut lock = None;
+    let mut kind = CollKind::Other;
+    let mut kind_set = false;
+    for tok in tokens {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if lock.is_none() {
+            match tok.text.as_str() {
+                "Mutex" => lock = Some(LockKind::Mutex),
+                "RwLock" => lock = Some(LockKind::RwLock),
+                _ => {}
+            }
+        }
+        if !kind_set {
+            kind = match tok.text.as_str() {
+                "HashMap" | "HashSet" => CollKind::Hash,
+                "BTreeMap" | "BTreeSet" => CollKind::BTree,
+                "Vec" | "VecDeque" | "String" => CollKind::Ordered,
+                _ => continue,
+            };
+            kind_set = true;
+        }
+    }
+    (kind, lock)
+}
+
+/// For every opening `(`/`[`/`{` token, the index of its matching close.
+fn delimiter_matches(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut out = vec![None; tokens.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        match tok.text.as_str() {
+            "(" | "[" | "{" => stack.push((tok.text.chars().next().unwrap_or('('), i)),
+            ")" | "]" | "}" => {
+                let want = match tok.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if let Some(pos) = stack.iter().rposition(|&(c, _)| c == want) {
+                    let (_, open) = stack.remove(pos);
+                    out[open] = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_roots_and_extern_crate() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "use std::collections::HashMap;\nuse webre_xml::{XmlDocument, to_xml};\nextern crate serde;\n",
+        );
+        let roots: Vec<&str> = file.uses.iter().map(|u| u.root.as_str()).collect();
+        assert_eq!(roots, vec!["std", "webre_xml", "serde"]);
+        assert_eq!(file.uses[2].line, 3);
+    }
+
+    #[test]
+    fn fn_bodies_and_result_returns() {
+        let src = "fn a() -> std::io::Result<()> { Ok(()) }\n\
+                   fn b(x: Result<u8, ()>) -> usize { 0 }\n\
+                   fn c() { }\n";
+        let file = SourceFile::parse("x.rs", src);
+        let by_name = |n: &str| file.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("a").returns_result);
+        assert!(!by_name("b").returns_result, "param Result is not a return");
+        assert!(!by_name("c").returns_result);
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_fns_as_test() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { x.unwrap(); }\n}\n";
+        let file = SourceFile::parse("x.rs", src);
+        assert!(!file.fns.iter().find(|f| f.name == "live").unwrap().is_test);
+        assert!(file.fns.iter().find(|f| f.name == "t").unwrap().is_test);
+        let unwrap_idx = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .unwrap();
+        assert!(file.in_test(unwrap_idx));
+    }
+
+    #[test]
+    fn struct_fields_classified() {
+        let src = "pub struct S<T> {\n  pub a: HashMap<String, T>,\n  b: BTreeSet<u32>,\n  c: Vec<Mutex<u8>>,\n  d: std::sync::RwLock<State>,\n  e: usize,\n}\n";
+        let file = SourceFile::parse("x.rs", src);
+        let s = &file.structs[0];
+        assert_eq!(s.name, "S");
+        let field = |n: &str| s.fields.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(field("a").kind, CollKind::Hash);
+        assert_eq!(field("b").kind, CollKind::BTree);
+        assert_eq!(field("c").kind, CollKind::Ordered);
+        assert_eq!(field("c").lock, Some(LockKind::Mutex));
+        assert_eq!(field("d").lock, Some(LockKind::RwLock));
+        assert_eq!(field("e").kind, CollKind::Other);
+    }
+
+    #[test]
+    fn impl_types_resolve_for_methods() {
+        let src = "struct Foo;\nimpl Foo { fn m(&self) {} }\nimpl std::fmt::Display for Foo { fn fmt(&self) {} }\nimpl<T> From<T> for Foo { fn from(t: T) -> Foo { Foo } }\n";
+        let file = SourceFile::parse("x.rs", src);
+        for f in &file.fns {
+            assert_eq!(f.impl_type.as_deref(), Some("Foo"), "fn {}", f.name);
+        }
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let file = SourceFile::parse("x.rs", "struct A;\nstruct B(u8, Vec<u8>);\nstruct C { x: u8 }\n");
+        assert_eq!(file.structs.len(), 3);
+        assert!(file.structs[0].fields.is_empty());
+        assert!(file.structs[1].fields.is_empty());
+        assert_eq!(file.structs[2].fields.len(), 1);
+    }
+}

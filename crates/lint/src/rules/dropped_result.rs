@@ -1,0 +1,237 @@
+//! **dropped-result**: `let _ = call(...)` and bare-statement discards
+//! of calls that return `Result`.
+//!
+//! Whether a call "returns Result" is resolved two ways, both by name:
+//! every non-test workspace `fn` whose declared return type mentions
+//! `Result`, plus a built-in table of std methods that return `Result`
+//! and are routinely (and wrongly) discarded — socket option setters,
+//! writer flushes, filesystem operations, and the `write!`/`writeln!`
+//! macros. A built-in name is shadowed when the workspace also defines
+//! a *non*-Result fn of the same name (e.g. `WorkerPool::join` returns
+//! `()`; flagging `pool.join();` on the strength of
+//! `JoinHandle::join` would be a false positive). `JoinHandle::join`
+//! itself is therefore not in the table: `join` is too overloaded to
+//! resolve without types.
+
+use super::{Context, Rule};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::SourceFile;
+
+pub struct DroppedResult;
+
+/// Std methods returning `Result` that show up as fire-and-forget calls.
+const RESULT_BUILTINS: &[&str] = &[
+    "flush",
+    "write",
+    "write_all",
+    "write_fmt",
+    "writeln",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nodelay",
+    "set_nonblocking",
+    "set_len",
+    "set_permissions",
+    "send",
+    "recv_timeout",
+    "wait",
+    "kill",
+    "create_dir",
+    "create_dir_all",
+    "remove_dir",
+    "remove_dir_all",
+    "remove_file",
+    "rename",
+    "hard_link",
+    "sync_all",
+    "sync_data",
+    "seek",
+    "shutdown",
+];
+
+impl Rule for DroppedResult {
+    fn id(&self) -> &'static str {
+        "dropped-result"
+    }
+
+    fn description(&self) -> &'static str {
+        "let _ = / bare-semicolon discard of a Result-returning call"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        // `let _ = expr;` discards anywhere in non-test code.
+        let n = file.tokens.len();
+        for i in 0..n {
+            if file.in_test(i) || !file.tokens[i].is_ident("let") {
+                continue;
+            }
+            let underscore = file.tokens.get(i + 1).is_some_and(|t| t.is_ident("_"));
+            let assigned = file.tokens.get(i + 2).is_some_and(|t| t.is_punct('='));
+            if !(underscore && assigned) {
+                continue;
+            }
+            let end = expr_end(file, i + 3);
+            if let Some(callee) = head_callee(file, i + 3, end) {
+                if flags(ctx, &callee) {
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: file.tokens[i].line,
+                        message: format!(
+                            "`let _ =` discards the `Result` of `{callee}`; handle the \
+                             error or justify the discard with a webre::allow comment"
+                        ),
+                    });
+                }
+            }
+        }
+        // Bare-statement discards: `conn.flush();`
+        for f in &file.fns {
+            if f.is_test || file.in_test(f.body.0) {
+                continue;
+            }
+            self.check_body(file, ctx, f.body, out);
+        }
+    }
+}
+
+impl DroppedResult {
+    fn check_body(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        body: (usize, usize),
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let (open, close) = body;
+        let mut start = open + 1;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut j = open + 1;
+        while j < close {
+            let tok = &file.tokens[j];
+            if tok.kind == TokenKind::Punct {
+                match tok.text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" | "}" if paren == 0 && bracket == 0 => start = j + 1,
+                    ";" if paren == 0 && bracket == 0 => {
+                        self.check_stmt(file, ctx, start, j, out);
+                        start = j + 1;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+
+    fn check_stmt(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        start: usize,
+        end: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if end <= start || !file.tokens[end - 1].is_punct(')') {
+            return;
+        }
+        let first = &file.tokens[start];
+        if first.kind == TokenKind::Ident
+            && matches!(
+                first.text.as_str(),
+                "let" | "return" | "break" | "continue" | "use" | "const" | "static" | "type"
+                    | "fn" | "struct" | "enum" | "impl" | "mod" | "macro_rules" | "extern"
+            )
+        {
+            return;
+        }
+        // Any `=` at statement level means the value is used somewhere
+        // (assignment or compound assignment); bare comparisons as
+        // statements do not occur in practice, so this stays simple and
+        // degrades toward silence.
+        let mut depth = 0i32;
+        for k in start..end {
+            let tok = &file.tokens[k];
+            if tok.kind == TokenKind::Punct {
+                match tok.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+        if let Some(callee) = head_callee(file, start, end) {
+            if flags(ctx, &callee) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: first.line,
+                    message: format!(
+                        "statement discards the `Result` of `{callee}`; handle the \
+                         error, `?`-propagate it, or justify with a webre::allow comment"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when discarding `callee`'s return value should be flagged.
+fn flags(ctx: &Context, callee: &str) -> bool {
+    // `.expect()`/`.unwrap()` have already consumed the Result — the
+    // error path is a panic, not a silent drop. (Workspace parsers also
+    // define Result-returning fns named `expect`, so check this first.)
+    if matches!(callee, "expect" | "unwrap" | "expect_err" | "unwrap_err") {
+        return false;
+    }
+    if ctx.result_fns.contains(callee) {
+        return true;
+    }
+    RESULT_BUILTINS.contains(&callee) && !ctx.nonresult_fns.contains(callee)
+}
+
+/// Forward scan to the `;` (or enclosing close) terminating the
+/// expression starting at `from`.
+fn expr_end(file: &SourceFile, from: usize) -> usize {
+    super::stmt_end(file, from)
+}
+
+/// The last call made at the top level of `[start, end)` — the method
+/// that produced the statement's final value. `foo(bar(x)).baz(y)`
+/// yields `baz`; `writeln!(w, "x")` yields `writeln`.
+fn head_callee(file: &SourceFile, start: usize, end: usize) -> Option<String> {
+    let mut callee: Option<String> = None;
+    let mut j = start;
+    while j < end.min(file.tokens.len()) {
+        let tok = &file.tokens[j];
+        if tok.kind == TokenKind::Punct && (tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{'))
+        {
+            // A call at top level: remember the ident (or macro) before it.
+            if tok.is_punct('(') && j > start {
+                let prev = &file.tokens[j - 1];
+                if prev.kind == TokenKind::Ident {
+                    callee = Some(prev.text.clone());
+                } else if prev.is_punct('!') && j >= 2 {
+                    let name = &file.tokens[j - 2];
+                    if name.kind == TokenKind::Ident {
+                        callee = Some(name.text.clone());
+                    }
+                }
+            }
+            j = file.close(j) + 1;
+            continue;
+        }
+        j += 1;
+    }
+    callee
+}

@@ -1,0 +1,327 @@
+//! The rule framework: workspace-wide context, the [`Rule`] trait, and
+//! token-walking helpers shared by several rules.
+//!
+//! Rules are deliberately calibrated against this workspace's idioms:
+//! resolution is by name (no type inference), and every ambiguity
+//! degrades toward *silence*. A static pass that cries wolf gets
+//! suppressed wholesale; one that is quiet but right gets kept in CI.
+
+use crate::diagnostics::Diagnostic;
+use crate::parser::{CollKind, LockKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+mod dropped_result;
+mod lock_order;
+mod nondet_iter;
+mod panic_path;
+mod std_only;
+mod wall_clock;
+
+/// Facts collected over the whole file set before rules run.
+#[derive(Clone, Debug, Default)]
+pub struct Context {
+    /// Workspace package names in `use`-path form (`webre_xml`).
+    pub crate_names: BTreeSet<String>,
+    /// Names of non-test workspace fns whose return type mentions
+    /// `Result`.
+    pub result_fns: BTreeSet<String>,
+    /// Names of workspace fns that do *not* return `Result` — used to
+    /// shadow same-named std methods in the dropped-result table.
+    pub nonresult_fns: BTreeSet<String>,
+    /// Struct name → field name → (collection kind, lock kind).
+    pub structs: BTreeMap<String, BTreeMap<String, (CollKind, Option<LockKind>)>>,
+    /// Field name → collection kind, only where every struct declaring
+    /// that field name agrees (unambiguous cross-struct resolution).
+    pub unambiguous_fields: BTreeMap<String, CollKind>,
+    /// Field names that hold a lock anywhere in their type.
+    pub lock_fields: BTreeMap<String, LockKind>,
+    /// Check every rule on every file, ignoring path scoping.
+    pub scope_everything: bool,
+}
+
+impl Context {
+    /// Builds the context from all parsed files.
+    pub fn build(files: &[SourceFile], crate_names: BTreeSet<String>, scope_everything: bool) -> Context {
+        let mut ctx = Context {
+            crate_names,
+            scope_everything,
+            ..Context::default()
+        };
+        let mut field_kinds: BTreeMap<String, BTreeSet<CollKind>> = BTreeMap::new();
+        for file in files {
+            for f in &file.fns {
+                if f.is_test {
+                    continue;
+                }
+                if f.returns_result {
+                    ctx.result_fns.insert(f.name.clone());
+                } else {
+                    ctx.nonresult_fns.insert(f.name.clone());
+                }
+            }
+            for s in &file.structs {
+                let entry = ctx.structs.entry(s.name.clone()).or_default();
+                for field in &s.fields {
+                    entry
+                        .entry(field.name.clone())
+                        .or_insert((field.kind, field.lock));
+                    field_kinds
+                        .entry(field.name.clone())
+                        .or_default()
+                        .insert(field.kind);
+                    if let Some(lock) = field.lock {
+                        ctx.lock_fields.entry(field.name.clone()).or_insert(lock);
+                    }
+                }
+            }
+        }
+        for (name, kinds) in field_kinds {
+            if kinds.len() == 1 {
+                if let Some(kind) = kinds.into_iter().next() {
+                    ctx.unambiguous_fields.insert(name, kind);
+                }
+            }
+        }
+        ctx
+    }
+}
+
+// CollKind needs an order for the BTreeSet above.
+impl PartialOrd for CollKind {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CollKind {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(k: &CollKind) -> u8 {
+            match k {
+                CollKind::Hash => 0,
+                CollKind::BTree => 1,
+                CollKind::Ordered => 2,
+                CollKind::Other => 3,
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// Stable rule ID (`nondet-iter`, ...).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Per-file pass.
+    fn check_file(&self, _file: &SourceFile, _ctx: &Context, _out: &mut Vec<Diagnostic>) {}
+    /// Whole-workspace pass (for cross-file analyses like lock-order).
+    fn check_workspace(&self, _files: &[SourceFile], _ctx: &Context, _out: &mut Vec<Diagnostic>) {}
+}
+
+/// Every shipped rule, in stable ID order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(dropped_result::DroppedResult),
+        Box::new(lock_order::LockOrder),
+        Box::new(wall_clock::WallClock),
+        Box::new(nondet_iter::NondetIter),
+        Box::new(panic_path::PanicPath),
+        Box::new(std_only::StdOnly),
+    ]
+}
+
+/// True when `file` falls under any of `prefixes` (or scoping is off).
+pub(crate) fn in_scope(file: &SourceFile, ctx: &Context, prefixes: &[&str]) -> bool {
+    ctx.scope_everything || prefixes.iter().any(|p| file.rel_path.starts_with(p))
+}
+
+/// Start of the statement containing token `idx`: scans backward,
+/// skipping balanced delimiter groups, to the nearest `;`, `{`, or `}`
+/// at statement level (or an unmatched enclosing opener).
+pub(crate) fn stmt_start(file: &SourceFile, idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = idx;
+    while j > 0 {
+        let tok = &file.tokens[j - 1];
+        match tok.text.as_str() {
+            ")" | "]" | "}" if tok.kind == crate::lexer::TokenKind::Punct => depth += 1,
+            "(" | "[" | "{" if tok.kind == crate::lexer::TokenKind::Punct => {
+                if depth == 0 {
+                    return j; // enclosing opener
+                }
+                depth -= 1;
+                // A balanced `{...}` group inside a statement (closure,
+                // match) was skipped; a statement-level `}` boundary
+                // would have depth 0 and is handled above.
+            }
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// End (exclusive, index of the terminator) of the statement containing
+/// `idx`: scans forward, skipping balanced groups, to `;` at statement
+/// level or the enclosing close brace.
+pub(crate) fn stmt_end(file: &SourceFile, idx: usize) -> usize {
+    let n = file.tokens.len();
+    let mut j = idx;
+    while j < n {
+        let tok = &file.tokens[j];
+        if tok.kind == crate::lexer::TokenKind::Punct {
+            match tok.text.as_str() {
+                "(" | "[" => {
+                    j = file.close(j) + 1;
+                    continue;
+                }
+                "{" => {
+                    // Balanced block inside the statement (closure body,
+                    // match expression): skip it.
+                    j = file.close(j) + 1;
+                    continue;
+                }
+                ";" => return j,
+                ")" | "]" | "}" => return j, // enclosing close
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Local bindings (including parameters) of a fn, classified.
+pub(crate) fn fn_locals(file: &SourceFile, item: &crate::parser::FnItem) -> BTreeMap<String, CollKind> {
+    let mut out = BTreeMap::new();
+    // Parameters: first paren group after the fn name (skipping one
+    // generic group, which may itself contain `Fn(...)` parens).
+    let mut j = item.token + 2;
+    let n = file.tokens.len().min(item.body.0);
+    if file.tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 1i32;
+        j += 1;
+        while j < n && depth > 0 {
+            if file.tokens[j].is_punct('<') {
+                depth += 1;
+            } else if file.tokens[j].is_punct('>') {
+                depth -= 1;
+            }
+            j += 1;
+        }
+    }
+    while j < n && !file.tokens[j].is_punct('(') {
+        j += 1;
+    }
+    if j < n {
+        let close = file.close(j);
+        let mut k = j + 1;
+        while k < close {
+            let tok = &file.tokens[k];
+            if tok.kind == crate::lexer::TokenKind::Ident
+                && file.tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && !file.tokens.get(k + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                let mut end = k + 2;
+                while end < close {
+                    let x = &file.tokens[end];
+                    if x.is_punct(',') {
+                        break;
+                    }
+                    if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+                        end = file.close(end) + 1;
+                        continue;
+                    }
+                    end += 1;
+                }
+                let (kind, _) = crate::parser::classify_type(&file.tokens[k + 2..end]);
+                out.insert(tok.text.clone(), kind);
+                k = end + 1;
+                continue;
+            }
+            k += 1;
+        }
+    }
+    // `let` bindings inside the body.
+    let (open, closeb) = item.body;
+    let mut k = open + 1;
+    while k < closeb {
+        if file.tokens[k].is_ident("let") {
+            let mut p = k + 1;
+            if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+                p += 1;
+            }
+            let Some(name) = file.tokens.get(p) else { break };
+            if name.kind == crate::lexer::TokenKind::Ident && name.text != "_" {
+                let name_text = name.text.clone();
+                let mut kind = CollKind::Other;
+                let mut q = p + 1;
+                if file.tokens.get(q).is_some_and(|t| t.is_punct(':')) {
+                    // Annotated: classify the tokens up to `=` or `;`.
+                    let mut end = q + 1;
+                    while end < closeb {
+                        let x = &file.tokens[end];
+                        if x.is_punct('=') || x.is_punct(';') {
+                            break;
+                        }
+                        if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+                            end = file.close(end) + 1;
+                            continue;
+                        }
+                        end += 1;
+                    }
+                    kind = crate::parser::classify_type(&file.tokens[q + 1..end]).0;
+                    q = end;
+                }
+                if kind == CollKind::Other && file.tokens.get(q).is_some_and(|t| t.is_punct('=')) {
+                    // Infer from the constructor: `HashMap::new()`, `Vec::new()`, `vec![...]`.
+                    if let Some(head) = file.tokens.get(q + 1) {
+                        kind = match head.text.as_str() {
+                            "HashMap" | "HashSet" => CollKind::Hash,
+                            "BTreeMap" | "BTreeSet" => CollKind::BTree,
+                            "Vec" | "VecDeque" | "String" | "vec" => CollKind::Ordered,
+                            _ => CollKind::Other,
+                        };
+                    }
+                }
+                out.insert(name_text, kind);
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Resolves the collection kind of the receiver ident at token `p`
+/// (the ident directly before a `.method(` call).
+pub(crate) fn resolve_receiver(
+    file: &SourceFile,
+    ctx: &Context,
+    locals: &BTreeMap<String, CollKind>,
+    impl_type: Option<&str>,
+    p: usize,
+) -> Option<CollKind> {
+    let tok = file.tokens.get(p)?;
+    if tok.kind != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    // A leading `.` marks field access — unless it is half of a range
+    // (`0..children`), which is not an access at all.
+    let field_access = p >= 2
+        && file.tokens[p - 1].is_punct('.')
+        && !file.tokens[p - 2].is_punct('.');
+    if field_access {
+        if file.tokens[p - 2].is_ident("self") {
+            if let Some(ty) = impl_type {
+                return ctx
+                    .structs
+                    .get(ty)
+                    .and_then(|fields| fields.get(&tok.text))
+                    .map(|(kind, _)| *kind);
+            }
+        }
+        return ctx.unambiguous_fields.get(&tok.text).copied();
+    }
+    locals.get(&tok.text).copied()
+}

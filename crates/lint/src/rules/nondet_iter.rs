@@ -1,0 +1,591 @@
+//! **nondet-iter**: `HashMap`/`HashSet` iteration flowing into ordered
+//! output without an intervening sort.
+//!
+//! This is the bug class the paper's pipeline is most exposed to: the
+//! schema-discovery layer is set/map-heavy, and hash iteration order is
+//! nondeterministic per process. The rule flags an iteration only when
+//! the elements demonstrably reach an *ordered* sink — a `collect` into
+//! `Vec`/`String` (resolved through type annotations, turbofish, or the
+//! struct-literal field the binding is stored into), a `push`/`extend`
+//! inside a `for` loop over the map, or a `write!` in the loop body —
+//! and no `sort*` is applied to the sink afterward in the same
+//! function. Order-insensitive terminals (`max_by_key`, `sum`,
+//! `count`, ...), collections into `BTreeMap`/`BTreeSet`, and
+//! sort-after-collect all pass clean, matching the workspace's
+//! existing deterministic idioms.
+
+use super::{fn_locals, resolve_receiver, Context, Rule};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::{CollKind, SourceFile};
+use std::collections::BTreeMap;
+
+pub struct NondetIter;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Iterator terminals whose result does not depend on element order.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "max", "min", "max_by", "min_by", "max_by_key", "min_by_key", "sum", "product", "count",
+    "any", "all", "len",
+];
+
+const SORTS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+impl Rule for NondetIter {
+    fn id(&self) -> &'static str {
+        "nondet-iter"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration feeding ordered output without a sort"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        for item in &file.fns {
+            if item.is_test || file.in_test(item.body.0) {
+                continue;
+            }
+            let locals = fn_locals(file, item);
+            let impl_type = item.impl_type.as_deref();
+            self.check_chains(file, ctx, item, &locals, impl_type, out);
+            self.check_for_loops(file, ctx, item, &locals, impl_type, out);
+        }
+    }
+}
+
+impl NondetIter {
+    fn check_chains(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        item: &crate::parser::FnItem,
+        locals: &BTreeMap<String, CollKind>,
+        impl_type: Option<&str>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let (open, close) = item.body;
+        for i in open + 1..close {
+            let tok = &file.tokens[i];
+            if tok.kind != TokenKind::Ident
+                || !ITER_METHODS.contains(&tok.text.as_str())
+                || !file.tokens[i - 1].is_punct('.')
+                || !file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                continue;
+            }
+            let receiver = i.checked_sub(2).and_then(|p| {
+                resolve_receiver(file, ctx, locals, impl_type, p)
+            });
+            if receiver != Some(CollKind::Hash) {
+                continue;
+            }
+            let line = tok.line;
+            // `sink.extend(map.iter()...)`: the wrapping call is the sink.
+            if let Some(flagged) = self.extend_wrap(file, ctx, item, locals, impl_type, i) {
+                if flagged {
+                    out.push(self.diag(file, line, "hash iteration extends an ordered collection"));
+                }
+                continue;
+            }
+            // Walk the method chain after the iteration call.
+            let mut j = file.close(i + 1) + 1;
+            let mut methods: Vec<(String, usize)> = Vec::new();
+            let mut collect_type: Option<CollKind> = None;
+            while j + 1 < close && file.tokens[j].is_punct('.') {
+                let m = &file.tokens[j + 1];
+                if m.kind != TokenKind::Ident {
+                    break;
+                }
+                let mut k = j + 2;
+                // Turbofish: `collect::<Vec<_>>(...)`.
+                if file.tokens.get(k).is_some_and(|t| t.is_punct(':'))
+                    && file.tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && file.tokens.get(k + 2).is_some_and(|t| t.is_punct('<'))
+                {
+                    let mut depth = 1i32;
+                    let start = k + 3;
+                    k += 3;
+                    while k < close && depth > 0 {
+                        if file.tokens[k].is_punct('<') {
+                            depth += 1;
+                        } else if file.tokens[k].is_punct('>') {
+                            depth -= 1;
+                        }
+                        k += 1;
+                    }
+                    if m.text == "collect" {
+                        collect_type =
+                            Some(crate::parser::classify_type(&file.tokens[start..k]).0);
+                    }
+                }
+                if !file.tokens.get(k).is_some_and(|t| t.is_punct('(')) {
+                    break;
+                }
+                methods.push((m.text.clone(), k));
+                j = file.close(k) + 1;
+            }
+            if methods
+                .iter()
+                .any(|(m, _)| ORDER_INSENSITIVE.contains(&m.as_str()))
+            {
+                continue;
+            }
+            if let Some((_, paren)) = methods.iter().find(|(m, _)| m == "for_each") {
+                if self.body_has_ordered_sink(file, *paren, file.close(*paren)) {
+                    out.push(self.diag(
+                        file,
+                        line,
+                        "hash iteration drives `for_each` into ordered output",
+                    ));
+                }
+                continue;
+            }
+            if !methods.iter().any(|(m, _)| m == "collect") {
+                continue;
+            }
+            match collect_type {
+                Some(CollKind::Hash) | Some(CollKind::BTree) => continue,
+                Some(CollKind::Ordered) => {
+                    if !self.binding_sorted_later(file, ctx, item, i) {
+                        out.push(self.diag(
+                            file,
+                            line,
+                            "hash iteration collects into an ordered collection without a sort",
+                        ));
+                    }
+                }
+                _ => {
+                    // Resolve through the binding's annotation or usage.
+                    match self.binding_verdict(file, ctx, item, i) {
+                        Verdict::Ordered => out.push(self.diag(
+                            file,
+                            line,
+                            "hash iteration collects into ordered storage without a sort",
+                        )),
+                        Verdict::Clean | Verdict::Unknown => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// When the iteration at `i` sits directly inside `X.extend(...)`,
+    /// returns whether that should be flagged (`Some`) or `None` when
+    /// not an extend-wrap.
+    fn extend_wrap(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        item: &crate::parser::FnItem,
+        locals: &BTreeMap<String, CollKind>,
+        impl_type: Option<&str>,
+        i: usize,
+    ) -> Option<bool> {
+        // Receiver path start: `map` in `map.iter()` or `self` in
+        // `self.map.iter()`.
+        let mut r0 = i - 2;
+        if r0 >= 2 && file.tokens[r0 - 1].is_punct('.') && file.tokens[r0 - 2].is_ident("self") {
+            r0 -= 2;
+        }
+        if r0 < 4
+            || !file.tokens[r0 - 1].is_punct('(')
+            || !file.tokens[r0 - 2].is_ident("extend")
+            || !file.tokens[r0 - 3].is_punct('.')
+        {
+            return None;
+        }
+        let target = r0 - 4;
+        let kind = resolve_receiver(file, ctx, locals, impl_type, target);
+        match kind {
+            Some(CollKind::Hash) | Some(CollKind::BTree) => Some(false),
+            _ => {
+                let name = file.tokens[target].text.clone();
+                Some(!self.sorted_later(file, item, file.close(r0 - 1), &name))
+            }
+        }
+    }
+
+    /// For a candidate collect at iteration token `i`: true when the
+    /// `let` binding receiving it is sorted later in the function.
+    fn binding_sorted_later(
+        &self,
+        file: &SourceFile,
+        _ctx: &Context,
+        item: &crate::parser::FnItem,
+        i: usize,
+    ) -> bool {
+        let (binding, _) = self.let_binding(file, i);
+        match binding {
+            Some(name) => self.sorted_later(file, item, super::stmt_end(file, i), &name),
+            None => false,
+        }
+    }
+
+    /// Resolves an un-annotated collect through its binding's usage.
+    fn binding_verdict(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        item: &crate::parser::FnItem,
+        i: usize,
+    ) -> Verdict {
+        let (binding, annotation) = self.let_binding(file, i);
+        match annotation {
+            Some(CollKind::Hash) | Some(CollKind::BTree) => return Verdict::Clean,
+            Some(CollKind::Ordered) => {
+                return match &binding {
+                    Some(name)
+                        if self.sorted_later(file, item, super::stmt_end(file, i), name) =>
+                    {
+                        Verdict::Clean
+                    }
+                    _ => Verdict::Ordered,
+                };
+            }
+            _ => {}
+        }
+        let Some(name) = binding else {
+            return Verdict::Unknown;
+        };
+        let from = super::stmt_end(file, i);
+        if self.sorted_later(file, item, from, &name) {
+            return Verdict::Clean;
+        }
+        // Does the binding land in a struct field whose type is ordered?
+        let (_, close) = item.body;
+        for u in from..close {
+            let tok = &file.tokens[u];
+            if tok.kind != TokenKind::Ident || tok.text != name {
+                continue;
+            }
+            let prev = &file.tokens[u - 1];
+            let next = file.tokens.get(u + 1);
+            let shorthand = (prev.is_punct('{') || prev.is_punct(','))
+                && next.is_some_and(|t| t.is_punct(',') || t.is_punct('}'));
+            let named_value = prev.is_punct(':')
+                && u >= 2
+                && file.tokens[u - 2].kind == TokenKind::Ident;
+            let field = if shorthand {
+                Some(name.clone())
+            } else if named_value {
+                Some(file.tokens[u - 2].text.clone())
+            } else {
+                None
+            };
+            let Some(field) = field else { continue };
+            let Some(struct_name) = self.literal_struct(file, u) else {
+                continue;
+            };
+            if let Some(fields) = ctx.structs.get(&struct_name) {
+                match fields.get(&field).map(|(k, _)| *k) {
+                    Some(CollKind::Ordered) => return Verdict::Ordered,
+                    Some(CollKind::Hash) | Some(CollKind::BTree) => return Verdict::Clean,
+                    _ => {}
+                }
+            }
+        }
+        Verdict::Unknown
+    }
+
+    /// The `let` binding name and annotation of the statement containing
+    /// token `i`, when it is a simple `let name [: Type] = ...`.
+    fn let_binding(&self, file: &SourceFile, i: usize) -> (Option<String>, Option<CollKind>) {
+        let s0 = super::stmt_start(file, i);
+        if !file.tokens.get(s0).is_some_and(|t| t.is_ident("let")) {
+            return (None, None);
+        }
+        let mut p = s0 + 1;
+        if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+            p += 1;
+        }
+        let name = match file.tokens.get(p) {
+            Some(t) if t.kind == TokenKind::Ident && t.text != "_" => t.text.clone(),
+            _ => return (None, None),
+        };
+        let annotation = if file.tokens.get(p + 1).is_some_and(|t| t.is_punct(':')) {
+            let mut end = p + 2;
+            let n = file.tokens.len();
+            while end < n {
+                let x = &file.tokens[end];
+                if x.is_punct('=') || x.is_punct(';') {
+                    break;
+                }
+                if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+                    end = file.close(end) + 1;
+                    continue;
+                }
+                end += 1;
+            }
+            Some(crate::parser::classify_type(&file.tokens[p + 2..end]).0)
+        } else {
+            None
+        };
+        (Some(name), annotation)
+    }
+
+    /// True when `name.sort*(...)` appears in `[from, body end)`.
+    fn sorted_later(
+        &self,
+        file: &SourceFile,
+        item: &crate::parser::FnItem,
+        from: usize,
+        name: &str,
+    ) -> bool {
+        let (_, close) = item.body;
+        for u in from..close {
+            let tok = &file.tokens[u];
+            if tok.kind == TokenKind::Ident
+                && tok.text == name
+                && file.tokens.get(u + 1).is_some_and(|t| t.is_punct('.'))
+                && file
+                    .tokens
+                    .get(u + 2)
+                    .is_some_and(|t| SORTS.contains(&t.text.as_str()))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when a closure/`for_each` body contains an ordered-output
+    /// sink: a `push`/`push_str`/`extend`/`append` method call or a
+    /// `write!`/`writeln!` macro.
+    fn body_has_ordered_sink(&self, file: &SourceFile, open: usize, close: usize) -> bool {
+        for b in open + 1..close {
+            let tok = &file.tokens[b];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if (tok.text == "write" || tok.text == "writeln")
+                && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                return true;
+            }
+            if matches!(tok.text.as_str(), "push" | "push_str" | "append" | "extend")
+                && b >= 1
+                && file.tokens[b - 1].is_punct('.')
+                && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('('))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The struct name of the literal whose braces directly enclose `u`.
+    fn literal_struct(&self, file: &SourceFile, u: usize) -> Option<String> {
+        let mut depth = 0i32;
+        let mut j = u;
+        while j > 0 {
+            let tok = &file.tokens[j - 1];
+            if tok.kind == TokenKind::Punct {
+                match tok.text.as_str() {
+                    ")" | "]" | "}" => depth += 1,
+                    "(" | "[" => {
+                        if depth == 0 {
+                            return None;
+                        }
+                        depth -= 1;
+                    }
+                    "{" => {
+                        if depth == 0 {
+                            let before = file.tokens.get(j.checked_sub(2)?)?;
+                            return (before.kind == TokenKind::Ident)
+                                .then(|| before.text.clone());
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            j -= 1;
+        }
+        None
+    }
+
+    fn check_for_loops(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        item: &crate::parser::FnItem,
+        locals: &BTreeMap<String, CollKind>,
+        impl_type: Option<&str>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let (open, close) = item.body;
+        let mut i = open + 1;
+        while i < close {
+            let tok = &file.tokens[i];
+            if !(tok.is_ident("for") && !file.in_test(i)) {
+                i += 1;
+                continue;
+            }
+            // Loop shape: `for PAT in EXPR {`; `impl Trait for Type` and
+            // HRTBs never have `in` before their brace.
+            let mut j = i + 1;
+            let mut in_pos = None;
+            while j < close {
+                let t = &file.tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    j = file.close(j) + 1;
+                    continue;
+                }
+                if t.is_punct('{') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("in") {
+                    in_pos = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(in_pos) = in_pos else {
+                i += 1;
+                continue;
+            };
+            // Find the loop body brace, skipping groups in the expr.
+            let mut b = in_pos + 1;
+            while b < close {
+                let t = &file.tokens[b];
+                if t.is_punct('(') || t.is_punct('[') {
+                    b = file.close(b) + 1;
+                    continue;
+                }
+                if t.is_punct('{') {
+                    break;
+                }
+                b += 1;
+            }
+            if b >= close {
+                i += 1;
+                continue;
+            }
+            let expr = (in_pos + 1, b);
+            let body = (b, file.close(b));
+            if self.expr_is_hash(file, ctx, locals, impl_type, expr) {
+                self.check_loop_body(file, ctx, item, locals, impl_type, tok.line, body, out);
+            }
+            i = b + 1;
+        }
+    }
+
+    /// True when the `for ... in EXPR` iterates a hash collection
+    /// directly (no conversion through a BTree or `collect`).
+    fn expr_is_hash(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        locals: &BTreeMap<String, CollKind>,
+        impl_type: Option<&str>,
+        (start, end): (usize, usize),
+    ) -> bool {
+        let mut saw_hash = false;
+        for k in start..end {
+            let tok = &file.tokens[k];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            match tok.text.as_str() {
+                "collect" | "BTreeMap" | "BTreeSet" => return false,
+                _ => {}
+            }
+            if file.tokens.get(k + 1).is_some_and(|t| t.is_punct('(')) {
+                continue; // a call, not a binding reference
+            }
+            if resolve_receiver(file, ctx, locals, impl_type, k) == Some(CollKind::Hash) {
+                saw_hash = true;
+            }
+        }
+        saw_hash
+    }
+
+    /// Scans a hash loop's body for ordered sinks; flags unless the sink
+    /// is sorted after the loop.
+    #[allow(clippy::too_many_arguments)]
+    fn check_loop_body(
+        &self,
+        file: &SourceFile,
+        ctx: &Context,
+        item: &crate::parser::FnItem,
+        locals: &BTreeMap<String, CollKind>,
+        impl_type: Option<&str>,
+        line: u32,
+        (open, close): (usize, usize),
+        out: &mut Vec<Diagnostic>,
+    ) {
+        for b in open + 1..close {
+            let tok = &file.tokens[b];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if (tok.text == "write" || tok.text == "writeln")
+                && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                out.push(self.diag(
+                    file,
+                    line,
+                    "loop over a hash collection writes output in iteration order",
+                ));
+                return;
+            }
+            let is_sink_method = matches!(tok.text.as_str(), "push" | "push_str" | "append" | "extend")
+                && b >= 2
+                && file.tokens[b - 1].is_punct('.')
+                && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('('));
+            if !is_sink_method {
+                continue;
+            }
+            let target = b - 2;
+            match resolve_receiver(file, ctx, locals, impl_type, target) {
+                Some(CollKind::Hash) | Some(CollKind::BTree) => continue,
+                _ => {}
+            }
+            let name = file.tokens[target].text.clone();
+            if !self.sorted_later(file, item, close, &name) {
+                out.push(self.diag(
+                    file,
+                    line,
+                    "loop over a hash collection pushes into ordered storage without a sort",
+                ));
+                return;
+            }
+        }
+    }
+
+    fn diag(&self, file: &SourceFile, line: u32, detail: &str) -> Diagnostic {
+        Diagnostic {
+            rule: self.id(),
+            path: file.rel_path.clone(),
+            line,
+            message: format!(
+                "{detail}; HashMap/HashSet iteration order is nondeterministic — use a \
+                 BTree collection or sort before emitting"
+            ),
+        }
+    }
+}
+
+enum Verdict {
+    Ordered,
+    Clean,
+    Unknown,
+}

@@ -1,0 +1,127 @@
+//! **panic-in-hot-path**: `unwrap`/`expect`/`panic!`-family calls and
+//! panic-prone indexing in the serve worker/handler path and the HTTP
+//! codec.
+//!
+//! The serving layer's contract is that a request can never take down a
+//! worker: panics inside `handle` are caught and answered `500`, and
+//! everything *around* the `catch_unwind` (connection setup, codec,
+//! acceptor) must simply not panic. This rule polices that region. The
+//! indexing check is intentionally narrow — a literal index (`buf[0]`)
+//! or index arithmetic (`buf[i + 1]`) — because those are the shapes
+//! that go out of bounds in practice; plain `slots[i]` over an
+//! invariant-maintained arena is the dominant false-positive source and
+//! is left to code review.
+
+use super::{in_scope, Context, Rule};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::SourceFile;
+
+pub struct PanicPath;
+
+/// The request-serving region: every worker/handler file plus the codec.
+const HOT_PREFIXES: &[&str] = &["crates/serve/src", "crates/substrate/src/http.rs"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+impl Rule for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/prone indexing in serve worker or HTTP codec code"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, ctx, HOT_PREFIXES) {
+            return;
+        }
+        let mut push = |line: u32, message: String| {
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line,
+                message,
+            });
+        };
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if file.in_test(i) {
+                continue;
+            }
+            if tok.kind == TokenKind::Ident {
+                let after_dot = i > 0 && file.tokens[i - 1].is_punct('.');
+                let called = file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if after_dot && called && (tok.text == "unwrap" || tok.text == "expect") {
+                    push(
+                        tok.line,
+                        format!(
+                            "`.{}()` can panic in the serve hot path; map the failure \
+                             to a degraded response (the 429/500 model) or propagate it",
+                            tok.text
+                        ),
+                    );
+                    continue;
+                }
+                let is_macro = file.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && !after_dot
+                    && PANIC_MACROS.contains(&tok.text.as_str());
+                if is_macro {
+                    push(
+                        tok.line,
+                        format!(
+                            "`{}!` aborts the worker thread in the serve hot path; \
+                             return an error response instead",
+                            tok.text
+                        ),
+                    );
+                }
+                continue;
+            }
+            // Panic-prone indexing: `expr[0]` or `expr[i + 1]`-style.
+            if tok.is_punct('[') && i > 0 {
+                let prev = &file.tokens[i - 1];
+                let indexable = prev.kind == TokenKind::Ident && !is_keyword(&prev.text)
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if !indexable {
+                    continue;
+                }
+                let close = file.close(i);
+                let inner = &file.tokens[i + 1..close];
+                if inner.is_empty() {
+                    continue;
+                }
+                let literal_index =
+                    inner.len() == 1 && inner[0].kind == TokenKind::Literal;
+                let has_range = inner.windows(2).any(|w| w[0].is_punct('.') && w[1].is_punct('.'));
+                let has_mod = inner.iter().any(|t| t.is_punct('%'));
+                let has_arith = inner.iter().any(|t| t.is_punct('+') || t.is_punct('-'));
+                if literal_index || (has_arith && !has_range && !has_mod) {
+                    push(
+                        tok.line,
+                        "index expression can go out of bounds and panic the worker; \
+                         use `.get()` and degrade on `None`"
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers that precede `[` without being an indexed expression.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "in" | "return" | "break" | "match" | "if" | "else" | "mut" | "let" | "const" | "static"
+    )
+}

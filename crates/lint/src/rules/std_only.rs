@@ -1,0 +1,51 @@
+//! **std-only**: `use`/`extern crate` of anything that is neither `std`
+//! nor a workspace crate.
+//!
+//! The workspace's zero-dependency invariant (PR 1 replaced every
+//! registry crate with `webre-substrate`) is enforced dynamically by
+//! the `Cargo.lock` guard in `scripts/verify.sh`; this rule catches the
+//! import at the source line where it happens, before a build even
+//! runs. `crates/substrate` itself is exempt — it is the designated
+//! shim layer, the one place an external facade would ever be wrapped.
+
+use super::{Context, Rule};
+use crate::diagnostics::Diagnostic;
+use crate::parser::SourceFile;
+
+pub struct StdOnly;
+
+const ALLOWED_ROOTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+
+impl Rule for StdOnly {
+    fn id(&self) -> &'static str {
+        "std-only"
+    }
+
+    fn description(&self) -> &'static str {
+        "use/extern crate of a non-std, non-workspace crate outside crates/substrate"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !ctx.scope_everything && file.rel_path.starts_with("crates/substrate") {
+            return;
+        }
+        for decl in &file.uses {
+            let root = decl.root.as_str();
+            if ALLOWED_ROOTS.contains(&root)
+                || ctx.crate_names.contains(root)
+                || file.mods.contains(root)
+            {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: decl.line,
+                message: format!(
+                    "import of external crate `{root}`; the workspace is std-only \
+                     (allowed roots: std/core/alloc and workspace crates)"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! **no-wall-clock**: `SystemTime`/`Instant`/environment reads in the
+//! pure pipeline crates.
+//!
+//! The differential oracles in `crates/check` (parse/serialize
+//! fixpoint, parallel ≡ sequential, serve ≡ batch) all assume the
+//! pipeline is a pure function of its input. A clock or environment
+//! read anywhere in `html`/`xml`/`tree`/`text`/`convert`/`schema`/
+//! `concepts`/`map` silently breaks that contract in ways the fuzzer
+//! can only find probabilistically; this rule rejects the call sites
+//! outright. The serving and bench layers read clocks on purpose and
+//! are out of scope.
+
+use super::{in_scope, Context, Rule};
+use crate::diagnostics::Diagnostic;
+use crate::parser::SourceFile;
+
+pub struct WallClock;
+
+/// The crates whose code must stay a pure function of its input.
+const PURE_PREFIXES: &[&str] = &[
+    "crates/html/src",
+    "crates/xml/src",
+    "crates/tree/src",
+    "crates/text/src",
+    "crates/convert/src",
+    "crates/schema/src",
+    "crates/concepts/src",
+    "crates/map/src",
+];
+
+/// `std::env` entry points that make output environment-dependent.
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os", "args", "args_os", "current_dir"];
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "SystemTime/Instant/env access in a pure pipeline crate"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, ctx, PURE_PREFIXES) {
+            return;
+        }
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if tok.kind != crate::lexer::TokenKind::Ident || file.in_test(i) {
+                continue;
+            }
+            let flagged = match tok.text.as_str() {
+                "SystemTime" | "Instant" => Some(format!(
+                    "`{}` in a pure pipeline crate makes output time-dependent; \
+                     pass timings in from the caller instead",
+                    tok.text
+                )),
+                "env" => {
+                    // `env::var(...)` etc. — require the `::reader` shape so
+                    // a local named `env` does not trip the rule.
+                    let is_read = file.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                        && file.tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                        && file
+                            .tokens
+                            .get(i + 3)
+                            .is_some_and(|t| ENV_READS.contains(&t.text.as_str()));
+                    is_read.then(|| {
+                        format!(
+                            "`env::{}` in a pure pipeline crate makes output \
+                             environment-dependent",
+                            file.tokens[i + 3].text
+                        )
+                    })
+                }
+                _ => None,
+            };
+            if let Some(message) = flagged {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: tok.line,
+                    message,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Workspace discovery: which files does `webre lint` check, and what
+//! crate names count as "ours" for the std-only rule.
+//!
+//! Membership comes from the root `Cargo.toml` — the same source of
+//! truth cargo uses — via a small hand parser (the workspace is
+//! std-only; no TOML crate). Only `src/` trees are linted: `tests/`,
+//! `benches/`, and `examples/` are developer-facing code where `unwrap`
+//! and friends are idiomatic, and `#[cfg(test)]` modules inside `src/`
+//! are excluded token-by-token by the parser instead.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The resolved workspace: root, member dirs, and package names.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    pub root: PathBuf,
+    /// Member directories relative to the root, sorted.
+    pub members: Vec<PathBuf>,
+    /// Package names (`webre-xml`, ...) in `use`-path form
+    /// (`webre_xml`), sorted.
+    pub crate_names: BTreeSet<String>,
+}
+
+impl Workspace {
+    /// Reads the workspace rooted at `root` (the directory holding the
+    /// `Cargo.toml` with a `[workspace]` table).
+    pub fn discover(root: &Path) -> io::Result<Workspace> {
+        let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+        let mut members = Vec::new();
+        for entry in parse_members(&manifest) {
+            if let Some(prefix) = entry.strip_suffix("/*") {
+                let dir = root.join(prefix);
+                let mut expanded: Vec<PathBuf> = std::fs::read_dir(&dir)?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.join("Cargo.toml").is_file())
+                    .filter_map(|p| p.strip_prefix(root).ok().map(Path::to_path_buf))
+                    .collect();
+                expanded.sort();
+                members.extend(expanded);
+            } else {
+                members.push(PathBuf::from(entry));
+            }
+        }
+        // The root manifest may also define a package (ours does:
+        // `webre-suite` hosting workspace-level tests).
+        let mut crate_names: BTreeSet<String> = BTreeSet::new();
+        if let Some(name) = parse_package_name(&manifest) {
+            crate_names.insert(name.replace('-', "_"));
+        }
+        for member in &members {
+            let manifest = std::fs::read_to_string(root.join(member).join("Cargo.toml"))?;
+            if let Some(name) = parse_package_name(&manifest) {
+                crate_names.insert(name.replace('-', "_"));
+            }
+        }
+        members.sort();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            members,
+            crate_names,
+        })
+    }
+
+    /// Walks upward from `start` to the nearest directory whose
+    /// `Cargo.toml` declares `[workspace]`.
+    pub fn find_root(start: &Path) -> Option<PathBuf> {
+        let mut dir = Some(start);
+        while let Some(d) = dir {
+            let manifest = d.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+            dir = d.parent();
+        }
+        None
+    }
+
+    /// Every linted `.rs` file: each member's `src/` tree plus the root
+    /// package's `src/`, as workspace-relative paths, sorted.
+    pub fn source_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let mut src_dirs: Vec<PathBuf> = self.members.iter().map(|m| m.join("src")).collect();
+        src_dirs.push(PathBuf::from("src"));
+        for dir in src_dirs {
+            let abs = self.root.join(&dir);
+            if abs.is_dir() {
+                collect_rs(&abs, &mut out)?;
+            }
+        }
+        let mut rel: Vec<PathBuf> = out
+            .into_iter()
+            .filter_map(|p| p.strip_prefix(&self.root).ok().map(Path::to_path_buf))
+            .collect();
+        rel.sort();
+        Ok(rel)
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the `members = [...]` entries from a manifest.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let Some(pos) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[pos..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[pos + open..].find(']') else {
+        return Vec::new();
+    };
+    manifest[pos + open + 1..pos + open + close]
+        .split(',')
+        .filter_map(|s| {
+            let s = s.trim().trim_matches('"');
+            (!s.is_empty()).then(|| s.to_owned())
+        })
+        .collect()
+}
+
+/// Extracts `name = "..."` from the `[package]` table.
+fn parse_package_name(manifest: &str) -> Option<String> {
+    let package = manifest.find("[package]")?;
+    let rest = &manifest[package..];
+    for line in rest.lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('[') {
+            break;
+        }
+        if let Some(value) = line.strip_prefix("name") {
+            let value = value.trim_start().strip_prefix('=')?.trim();
+            return Some(value.trim_matches('"').to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_globs_parse() {
+        let manifest = "[workspace]\nmembers = [\"crates/*\", \"tools/x\"]\n";
+        assert_eq!(parse_members(manifest), vec!["crates/*", "tools/x"]);
+    }
+
+    #[test]
+    fn package_name_parses() {
+        let manifest = "[workspace]\nx = 1\n[package]\nname = \"webre-lint\"\nversion = \"0.1.0\"\n";
+        assert_eq!(parse_package_name(manifest).as_deref(), Some("webre-lint"));
+    }
+
+    #[test]
+    fn this_workspace_discovers_itself() {
+        let root = Workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+        let ws = Workspace::discover(&root).expect("discover");
+        assert!(ws.crate_names.contains("webre_lint"));
+        assert!(ws.crate_names.contains("webre_substrate"));
+        let files = ws.source_files().expect("files");
+        assert!(files.iter().any(|f| f.ends_with("lexer.rs")));
+        assert!(
+            !files.iter().any(|f| f.to_string_lossy().contains("tests/")),
+            "tests trees must not be linted"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+// Negative fixture for dropped-result: Results that are handled,
+// propagated, deliberately consumed, or suppressed with a reason.
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn persist_neg(data: &str) -> Result<(), std::io::Error> {
+    std::fs::write("out.txt", data)
+}
+
+pub fn careful(stream: &mut TcpStream, data: &str) -> Result<(), std::io::Error> {
+    // Clean: propagated.
+    stream.write_all(data.as_bytes())?;
+    // Clean: bound and inspected.
+    let flushed = stream.flush();
+    if flushed.is_err() {
+        return flushed;
+    }
+    // Clean: propagated with `?`.
+    persist_neg(data)?;
+    Ok(())
+}
+
+pub fn best_effort(stream: &mut TcpStream) {
+    // webre::allow(dropped-result): TCP_NODELAY is a hint; losing it is harmless
+    let _ = stream.set_nodelay(true);
+    // Clean: a unit-returning call discarded as a statement is not a
+    // dropped Result.
+    log_line("done");
+}
+
+fn log_line(message: &str) {
+    eprintln!("{message}");
+}

@@ -1,0 +1,24 @@
+// Positive fixture for dropped-result: Result-returning calls whose
+// outcome is silently thrown away.
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn persist(data: &str) -> Result<(), std::io::Error> {
+    std::fs::write("out.txt", data)
+}
+
+pub fn fire_and_forget(stream: &mut TcpStream, data: &str) {
+    // Finding 1: `let _ =` discard of a std Result method.
+    let _ = stream.write_all(data.as_bytes());
+    // Finding 2: bare-statement discard of a std Result method.
+    stream.flush();
+    // Finding 3: socket option setter, Result ignored.
+    stream.set_nodelay(true);
+}
+
+pub fn save_quietly(data: &str) {
+    // Finding 4: discard of a local fn whose signature returns Result.
+    let _ = persist(data);
+    // Finding 5: same, as a bare statement.
+    persist(data);
+}

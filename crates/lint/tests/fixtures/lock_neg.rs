@@ -1,0 +1,68 @@
+// Negative fixture for lock-order: consistent global order, guards
+// dropped before the next acquisition, io `read` on a non-lock
+// receiver, and a documented file-wide suppression for a teardown
+// path that reverses the order on purpose.
+use std::io::Read;
+use webre_substrate::sync::{Mutex, RwLock};
+
+pub struct Calm {
+    first_stage: Mutex<u64>,
+    second_stage: Mutex<u64>,
+    snapshot: RwLock<Vec<u8>>,
+}
+
+impl Calm {
+    // Clean: both fns agree on first_stage -> second_stage.
+    pub fn advance(&self) {
+        let a = self.first_stage.lock();
+        let b = self.second_stage.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn reconcile(&self) {
+        let a = self.first_stage.lock();
+        let b = self.second_stage.lock();
+        drop(a);
+        drop(b);
+    }
+
+    // Clean: the first guard is dropped before the second acquisition.
+    pub fn staged(&self) {
+        let a = self.second_stage.lock();
+        drop(a);
+        let b = self.first_stage.lock();
+        drop(b);
+    }
+
+    // Clean: `read` on an io reader is not a lock acquisition.
+    pub fn ingest(&self, mut source: impl Read) -> usize {
+        let mut buf = [0u8; 64];
+        let n = source.read(&mut buf).unwrap_or(0);
+        let snap = self.snapshot.read();
+        n + snap.len()
+    }
+}
+
+// The teardown path reverses the gate order while single-threaded;
+// webre::allow-file(lock-order): teardown runs after every worker joined
+pub struct Nested {
+    outer_gate: Mutex<u64>,
+    inner_gate: Mutex<u64>,
+}
+
+impl Nested {
+    pub fn forward(&self) {
+        let o = self.outer_gate.lock();
+        let i = self.inner_gate.lock();
+        drop(i);
+        drop(o);
+    }
+
+    pub fn reverse_for_teardown(&self) {
+        let i = self.inner_gate.lock();
+        let o = self.outer_gate.lock();
+        drop(o);
+        drop(i);
+    }
+}

@@ -1,0 +1,24 @@
+// Positive fixture for lock-order: the classic ABBA shape — two
+// functions taking the same pair of mutexes in opposite orders.
+// (Lock API modeled on webre_substrate::sync, whose guards need no
+// unwrap; this file is lint data, not compiled.)
+use webre_substrate::sync::Mutex;
+
+pub struct Shared {
+    accounts: Mutex<Vec<u64>>,
+    audit_log: Mutex<Vec<String>>,
+}
+
+impl Shared {
+    pub fn transfer(&self) {
+        let accounts = self.accounts.lock();
+        let mut log = self.audit_log.lock();
+        log.push(format!("{} accounts", accounts.len()));
+    }
+
+    pub fn compact_log(&self) {
+        let mut log = self.audit_log.lock();
+        let accounts = self.accounts.lock();
+        log.truncate(accounts.len());
+    }
+}

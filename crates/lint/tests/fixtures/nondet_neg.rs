@@ -1,0 +1,61 @@
+// Negative fixture for nondet-iter: hash iteration that is fine —
+// sorted afterward, collected into ordered-by-key maps, reduced with
+// order-insensitive terminals, or explicitly suppressed.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub struct Tally {
+    votes: HashMap<String, usize>,
+}
+
+impl Tally {
+    // Clean: collected then sorted before anyone sees the order.
+    pub fn ranked(&self) -> Vec<(String, usize)> {
+        let mut ranked: Vec<(String, usize)> = self
+            .votes
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked
+    }
+
+    // Clean: a BTreeMap re-establishes a deterministic order.
+    pub fn as_sorted_map(&self) -> BTreeMap<String, usize> {
+        self.votes.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    // Clean: order-insensitive terminal.
+    pub fn heaviest(&self) -> usize {
+        self.votes.values().copied().max().unwrap_or(0)
+    }
+
+    // Clean: inserting into a BTreeSet inside the loop.
+    pub fn vocabulary(&self) -> BTreeSet<String> {
+        let mut vocab = BTreeSet::new();
+        for key in self.votes.keys() {
+            vocab.insert(key.clone());
+        }
+        vocab
+    }
+
+    // Clean: sink sorted after the loop closes.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for key in self.votes.keys() {
+            labels.push(key.clone());
+        }
+        labels.sort();
+        labels
+    }
+
+    // Suppressed: the scratch list is consumed by an order-insensitive
+    // fold, so iteration order never reaches an observable output.
+    pub fn checksum(&self) -> usize {
+        let mut scratch = Vec::new();
+        // webre::allow(nondet-iter): scratch is summed; order irrelevant
+        for (key, count) in &self.votes {
+            scratch.push(key.len() * count);
+        }
+        scratch.iter().sum()
+    }
+}

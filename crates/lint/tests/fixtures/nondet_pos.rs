@@ -1,0 +1,48 @@
+// Positive fixture for nondet-iter: hash iteration reaching ordered
+// output with no sort in between. Data for the lint engine, not
+// compiled into any crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    entries: HashMap<String, u32>,
+    tags: HashSet<String>,
+}
+
+pub struct Report {
+    lines: Vec<String>,
+}
+
+impl Registry {
+    // Finding 1: collect into a Vec landing in an ordered struct field.
+    pub fn to_report(self) -> Report {
+        let lines = self
+            .entries
+            .into_iter()
+            .map(|(name, count)| format!("{name}={count}"))
+            .collect();
+        Report { lines }
+    }
+
+    // Finding 2: for loop over a hash set pushing into a Vec.
+    pub fn tag_list(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for tag in &self.tags {
+            out.push(tag.clone());
+        }
+        out
+    }
+
+    // Finding 3: writing in hash iteration order.
+    pub fn dump(&self, buf: &mut String) {
+        use std::fmt::Write;
+        for (name, count) in &self.entries {
+            writeln!(buf, "{name}: {count}").ok();
+        }
+    }
+
+    // Finding 4: annotated collect into a Vec, never sorted.
+    pub fn names(&self) -> Vec<String> {
+        let snapshot: Vec<String> = self.entries.keys().cloned().collect();
+        snapshot
+    }
+}

@@ -1,0 +1,39 @@
+// Negative fixture for panic-in-hot-path: degraded-response idioms,
+// benign indexing shapes, test-only asserts, and a suppression.
+pub fn parse_header(line: &str) -> Option<(String, String)> {
+    let mut parts = line.splitn(2, ':');
+    let name = parts.next()?.to_owned();
+    let value = parts.next().unwrap_or("").to_owned();
+    Some((name, value))
+}
+
+// Clean: plain-variable indexing over an invariant-maintained arena.
+pub fn slot(slots: &[u32], i: usize) -> u32 {
+    slots[i]
+}
+
+// Clean: modulo keeps the index in range, and ranges are slicing.
+pub fn wrap(ring: &[u8], i: usize) -> u8 {
+    ring[i % ring.len()]
+}
+
+pub fn head(buf: &[u8]) -> &[u8] {
+    &buf[0..4.min(buf.len())]
+}
+
+// Suppressed: the caller contract guarantees non-empty input.
+pub fn checked_first(buf: &[u8]) -> u8 {
+    // webre::allow(panic-in-hot-path): caller guarantees non-empty input
+    buf[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        let buf = [7u8];
+        assert_eq!(super::slot(&[7], 0), 7);
+        assert_eq!(buf[0], 7);
+        super::head(&buf).first().unwrap();
+    }
+}

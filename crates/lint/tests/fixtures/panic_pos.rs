@@ -1,0 +1,25 @@
+// Positive fixture for panic-in-hot-path: panicking constructs in what
+// would be request-serving code.
+use std::collections::HashMap;
+
+pub fn parse_header(line: &str) -> (String, String) {
+    let mut parts = line.splitn(2, ':');
+    let name = parts.next().unwrap().to_owned();
+    let value = parts.next().expect("header has a value").to_owned();
+    (name, value)
+}
+
+pub fn route(table: &HashMap<String, usize>, path: &str) -> usize {
+    match table.get(path) {
+        Some(id) => *id,
+        None => panic!("unknown route {path}"),
+    }
+}
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+pub fn next_byte(buf: &[u8], i: usize) -> u8 {
+    buf[i + 1]
+}

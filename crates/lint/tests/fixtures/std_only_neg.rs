@@ -1,0 +1,19 @@
+// Negative fixture for std-only: std, workspace crates, sibling
+// modules, and one justified suppression.
+use std::collections::HashMap;
+use std::io::{self, Read};
+use core::fmt;
+use webre_substrate::json;
+use webre_tree::Tree;
+use crate::config::Settings;
+use super::shared;
+
+mod helper;
+use helper::Normalizer;
+
+// webre::allow(std-only): vendored shim, gated behind a cargo feature
+use vendored_ffi::RawHandle;
+
+pub struct Settings {
+    pub table: HashMap<String, String>,
+}

@@ -1,0 +1,11 @@
+// Positive fixture for std-only: imports of crates that are neither
+// std nor workspace members.
+use serde::{Deserialize, Serialize};
+use rand::Rng;
+
+extern crate libc;
+
+pub fn noise() -> u8 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

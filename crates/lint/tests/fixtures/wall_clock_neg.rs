@@ -1,0 +1,37 @@
+// Negative fixture for no-wall-clock: pure code, a local that merely
+// shares the `env` name, test-only clock use, and a suppression.
+use std::time::Duration;
+
+pub struct Budget {
+    pub deadline: Duration,
+}
+
+// Clean: timings are passed in by the caller, not read from a clock.
+pub fn within_budget(elapsed: Duration, budget: &Budget) -> bool {
+    elapsed <= budget.deadline
+}
+
+// Clean: a binding named `env` is not an environment read.
+pub fn render(env: &Budget) -> String {
+    format!("{:?}", env.deadline)
+}
+
+// Suppressed: one sanctioned clock read, isolated and justified.
+pub fn trace_epoch() -> u64 {
+    // webre::allow(no-wall-clock): trace-only; value never reaches output
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let start = Instant::now();
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

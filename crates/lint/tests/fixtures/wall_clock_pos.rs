@@ -1,0 +1,23 @@
+// Positive fixture for no-wall-clock: clock and environment reads in
+// what would be pure-pipeline code.
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+pub fn timed_parse(input: &str) -> (usize, u128) {
+    let start = Instant::now();
+    let n = input.split_whitespace().count();
+    (n, start.elapsed().as_nanos())
+}
+
+pub fn configured_limit() -> usize {
+    std::env::var("WEBRE_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}

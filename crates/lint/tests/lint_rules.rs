@@ -1,0 +1,175 @@
+//! Fixture-driven rule tests plus the workspace self-lint gate.
+//!
+//! Each rule has a positive fixture (expected findings, including the
+//! exact count), a negative fixture (expected silence, including a
+//! suppressed would-be finding), and the whole fixture directory is
+//! checked as one set so rules cannot contaminate each other's files.
+//! Finally, the workspace itself must lint clean — the same invariant
+//! `scripts/verify.sh` enforces with `webre lint --deny-warnings`.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use webre_lint::{lint_paths, lint_workspace, Diagnostic, LintConfig};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lints `files` (fixture names) with every rule enabled.
+fn lint_fixtures(files: &[&str]) -> Vec<Diagnostic> {
+    let paths: Vec<PathBuf> = files.iter().map(|f| fixture(f)).collect();
+    lint_paths(&repo_root(), &paths, &LintConfig::default()).expect("lint run")
+}
+
+/// Findings for one rule over a pos/neg fixture pair.
+fn rule_findings(rule: &str, files: &[&str]) -> Vec<Diagnostic> {
+    let paths: Vec<PathBuf> = files.iter().map(|f| fixture(f)).collect();
+    let config = LintConfig {
+        only: Some(rule.to_owned()),
+        ..LintConfig::default()
+    };
+    lint_paths(&repo_root(), &paths, &config).expect("lint run")
+}
+
+fn split_counts(diags: &[Diagnostic], pos: &str, neg: &str) -> (usize, usize) {
+    let in_file = |f: &str| diags.iter().filter(|d| d.path.ends_with(f)).count();
+    assert_eq!(
+        in_file(pos) + in_file(neg),
+        diags.len(),
+        "findings outside the pos/neg pair: {diags:?}"
+    );
+    (in_file(pos), in_file(neg))
+}
+
+#[test]
+fn nondet_iter_fires_on_positives_only() {
+    let diags = rule_findings("nondet-iter", &["nondet_pos.rs", "nondet_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "nondet_pos.rs", "nondet_neg.rs");
+    assert_eq!(pos, 4, "collect-to-field, loop-push, loop-write, annotated collect: {diags:?}");
+    assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
+}
+
+#[test]
+fn std_only_fires_on_positives_only() {
+    let diags = rule_findings("std-only", &["std_only_pos.rs", "std_only_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "std_only_pos.rs", "std_only_neg.rs");
+    assert_eq!(pos, 3, "serde, rand, extern crate libc: {diags:?}");
+    assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
+}
+
+#[test]
+fn wall_clock_fires_on_positives_only() {
+    let diags = rule_findings("no-wall-clock", &["wall_clock_pos.rs", "wall_clock_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "wall_clock_pos.rs", "wall_clock_neg.rs");
+    // Import line (SystemTime + Instant), one use of each, plus env::var.
+    assert_eq!(pos, 5, "{diags:?}");
+    assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
+}
+
+#[test]
+fn panic_path_fires_on_positives_only() {
+    let diags = rule_findings(
+        "panic-in-hot-path",
+        &["panic_pos.rs", "panic_neg.rs"],
+    );
+    let (pos, neg) = split_counts(&diags, "panic_pos.rs", "panic_neg.rs");
+    assert_eq!(pos, 5, "unwrap, expect, panic!, buf[0], buf[i + 1]: {diags:?}");
+    assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
+}
+
+#[test]
+fn dropped_result_fires_on_positives_only() {
+    let diags = rule_findings("dropped-result", &["dropped_pos.rs", "dropped_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "dropped_pos.rs", "dropped_neg.rs");
+    assert_eq!(pos, 5, "{diags:?}");
+    assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
+}
+
+#[test]
+fn lock_order_fires_on_positives_only() {
+    let diags = rule_findings("lock-order", &["lock_pos.rs", "lock_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "lock_pos.rs", "lock_neg.rs");
+    // One finding per side of the ABBA pair.
+    assert_eq!(pos, 2, "{diags:?}");
+    assert_eq!(neg, 0, "file-wide suppression must silence the teardown pair: {diags:?}");
+}
+
+/// The whole corpus linted as one set: every positive file fires exactly
+/// its own rule; every negative file is silent for all rules.
+#[test]
+fn fixture_corpus_findings_are_exactly_as_expected() {
+    let diags = lint_fixtures(&[
+        "nondet_pos.rs",
+        "nondet_neg.rs",
+        "std_only_pos.rs",
+        "std_only_neg.rs",
+        "wall_clock_pos.rs",
+        "wall_clock_neg.rs",
+        "panic_pos.rs",
+        "panic_neg.rs",
+        "dropped_pos.rs",
+        "dropped_neg.rs",
+        "lock_pos.rs",
+        "lock_neg.rs",
+    ]);
+    let got: BTreeSet<(String, &str)> = diags
+        .iter()
+        .map(|d| {
+            let file = d.path.rsplit('/').next().unwrap_or(&d.path).to_owned();
+            (file, d.rule)
+        })
+        .collect();
+    let expected: BTreeSet<(String, &str)> = [
+        ("nondet_pos.rs", "nondet-iter"),
+        ("std_only_pos.rs", "std-only"),
+        ("wall_clock_pos.rs", "no-wall-clock"),
+        ("panic_pos.rs", "panic-in-hot-path"),
+        ("dropped_pos.rs", "dropped-result"),
+        ("lock_pos.rs", "lock-order"),
+    ]
+    .into_iter()
+    .map(|(f, r)| (f.to_owned(), r))
+    .collect();
+    assert_eq!(got, expected, "full diagnostics: {diags:#?}");
+}
+
+/// Diagnostics come out sorted (path, line, rule) and deduplicated, so
+/// `--format json` output is stable across runs.
+#[test]
+fn diagnostics_are_sorted_and_unique() {
+    let diags = lint_fixtures(&[
+        "nondet_pos.rs",
+        "std_only_pos.rs",
+        "panic_pos.rs",
+        "dropped_pos.rs",
+    ]);
+    let keys: Vec<(&str, u32, &str)> = diags
+        .iter()
+        .map(|d| (d.path.as_str(), d.line, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "diagnostics must be canonicalized");
+}
+
+/// The workspace's own sources must produce zero findings — the gate
+/// `scripts/verify.sh` runs as `webre lint --deny-warnings`.
+#[test]
+fn workspace_lints_clean() {
+    let diags = lint_workspace(&repo_root(), &LintConfig::default()).expect("lint run");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        webre_lint::render_text(&diags)
+    );
+}

@@ -11,7 +11,7 @@
 
 use crate::handlers::{handle, App};
 use crate::metrics::Endpoint;
-use std::io::BufReader;
+use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -48,23 +48,24 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` threads consuming connections from `jobs`.
+    /// Fails if the OS refuses a thread; already-spawned workers then
+    /// exit via the dropped receiver, so nothing leaks.
     pub fn spawn(
         workers: usize,
         jobs: Receiver<TcpStream>,
         app: Arc<App>,
         limits: Limits,
-    ) -> Self {
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let jobs = jobs.clone();
-                let app = Arc::clone(&app);
-                std::thread::Builder::new()
-                    .name(format!("webre-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&jobs, &app, limits))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        WorkerPool { handles }
+    ) -> io::Result<Self> {
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let jobs = jobs.clone();
+            let app = Arc::clone(&app);
+            let handle = std::thread::Builder::new()
+                .name(format!("webre-serve-worker-{i}"))
+                .spawn(move || worker_loop(&jobs, &app, limits))?;
+            handles.push(handle);
+        }
+        Ok(WorkerPool { handles })
     }
 
     /// Waits for every worker to exit (the queue must be closed first or
@@ -92,8 +93,15 @@ fn worker_loop(jobs: &Receiver<TcpStream>, app: &App, limits: Limits) {
 /// Serves one connection's keep-alive loop until the peer closes, errors,
 /// asks to close, or the server starts draining.
 fn serve_connection(stream: TcpStream, app: &App, limits: Limits) {
-    let _ = stream.set_read_timeout(Some(limits.read_timeout));
-    let _ = stream.set_write_timeout(Some(limits.write_timeout));
+    // A socket that refuses deadlines could stall this worker forever
+    // (the slowloris guard depends on them); treat setup failure as a
+    // connection that died before the first request.
+    if stream.set_read_timeout(Some(limits.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(limits.write_timeout)).is_err()
+    {
+        return;
+    }
+    // webre::allow(dropped-result): TCP_NODELAY is a latency hint only
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
@@ -107,6 +115,8 @@ fn serve_connection(stream: TcpStream, app: &App, limits: Limits) {
             Err(error) => {
                 app.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
                 let response = error_response(&error);
+                // best-effort reply on an already-failed connection;
+                // webre::allow(dropped-result): closing is the degradation
                 let _ = write_response(&mut writer, &response, false);
                 return;
             }

@@ -87,13 +87,12 @@ impl Server {
             read_timeout: config.read_timeout,
             write_timeout: config.read_timeout,
         };
-        let pool = WorkerPool::spawn(config.workers, rx, Arc::clone(&app), limits);
+        let pool = WorkerPool::spawn(config.workers, rx, Arc::clone(&app), limits)?;
         let acceptor = {
             let app = Arc::clone(&app);
             std::thread::Builder::new()
                 .name("webre-serve-acceptor".to_owned())
-                .spawn(move || accept_loop(&listener, &tx, &app))
-                .expect("spawn acceptor thread")
+                .spawn(move || accept_loop(&listener, &tx, &app))?
         };
         Ok(Server {
             addr,
@@ -166,12 +165,18 @@ fn accept_loop(listener: &TcpListener, jobs: &Sender<TcpStream>, app: &App) {
 /// Answers 429 inline from the acceptor thread and closes. Never blocks
 /// long: the socket gets a short write deadline first.
 fn reject(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    // A deadline-less socket here could block the acceptor; skip the
+    // courtesy reply and just close, which sheds load either way.
+    if stream.set_write_timeout(Some(Duration::from_millis(250))).is_err() {
+        return;
+    }
     let response = Response::text(
         429,
         "server is at capacity (queue full); retry later\n",
     )
     .with_header("retry-after", "1");
+    // the 429 is a courtesy; if the peer is gone,
+    // webre::allow(dropped-result): the close alone communicates rejection
     let _ = write_response(&mut stream, &response, false);
 }
 

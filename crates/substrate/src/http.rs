@@ -166,6 +166,7 @@ fn read_line(
                 return Err(HttpError::Io("unexpected end of stream".into()));
             }
             Ok(_) => {
+                // webre::allow(panic-in-hot-path): `byte` is `[u8; 1]`; index 0 is infallible
                 if byte[0] == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
@@ -177,6 +178,7 @@ fn read_line(
                 if line.len() >= limit {
                     return Err(HttpError::TooLarge { limit });
                 }
+                // webre::allow(panic-in-hot-path): `byte` is `[u8; 1]`; index 0 is infallible
                 line.push(byte[0]);
             }
             Err(e) => return Err(HttpError::Io(e.to_string())),

@@ -13,13 +13,18 @@
 //! trained model is immutable and cheap to share.
 
 use crate::tokenize::words;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Accumulates labeled examples and produces a [`BayesClassifier`].
+///
+/// `classes` is a `BTreeMap` on purpose: [`build`](Self::build) turns it
+/// into the classifier's `Vec<Class>`, and label order there decides how
+/// exact score ties resolve in [`BayesClassifier::scores`]. A hash map
+/// here made tie winners change from process to process.
 #[derive(Clone, Debug, Default)]
 pub struct BayesTrainer {
     /// label → (document count, word → count, total word count)
-    classes: HashMap<String, ClassAcc>,
+    classes: BTreeMap<String, ClassAcc>,
     vocabulary: HashMap<String, ()>,
     total_docs: u64,
 }
@@ -119,7 +124,11 @@ impl BayesClassifier {
                 (c.label.as_str(), log_p)
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("log probs are finite"));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("log probs are finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
         out
     }
 

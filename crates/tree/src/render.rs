@@ -2,7 +2,6 @@
 //! examples and the experiment harnesses.
 
 use crate::{Edge, NodeId, Tree};
-use std::fmt::Write;
 
 /// Renders the subtree at `root` with two-space indentation, formatting each
 /// node through `fmt`.
@@ -22,7 +21,8 @@ pub fn render_with<T>(tree: &Tree<T>, root: NodeId, mut fmt: impl FnMut(&T) -> S
                 for _ in 0..depth {
                     out.push_str("  ");
                 }
-                let _ = writeln!(out, "{}", fmt(tree.value(id)));
+                out.push_str(&fmt(tree.value(id)));
+                out.push('\n');
                 depth += 1;
             }
             Edge::Close(_) => depth -= 1,

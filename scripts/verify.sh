@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 verification: hermetic build + full test suite + dependency guard.
+# Tier-1 verification: hermetic build + static analysis + full test suite
+# + dependency guard.
 #
 # The workspace must build and test offline with zero registry crates; the
 # guard fails if any non-workspace dependency reappears in Cargo.lock (for
@@ -8,8 +9,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+# --workspace matters: the root manifest is both a workspace and the
+# webre-suite package, so a bare `cargo build` only builds webre-suite
+# and would leave ./target/release/webre stale (or missing).
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> webre lint --deny-warnings (in-tree static analysis)"
+./target/release/webre lint --deny-warnings
 
 echo "==> cargo test -q"
 cargo test -q
