@@ -8,8 +8,10 @@
 //!   against an independently written reference ([`reference`]) on the
 //!   same random input — parse/serialize fixpoint, tidy idempotence,
 //!   parallel vs sequential corpus conversion, the Brzozowski content
-//!   model validator vs a backtracking position-set matcher, and the
-//!   anti-monotone frequent-path miner vs brute-force enumeration.
+//!   model validator vs a backtracking position-set matcher, the
+//!   anti-monotone frequent-path miner vs brute-force enumeration, the
+//!   live HTTP server vs the batch pipeline, and the traced pipeline vs
+//!   the untraced one (observability must be byte-for-byte invisible).
 //! - **Metamorphic** ([`metamorphic`]): relations between two runs of
 //!   the production miner — removing a document never increases any
 //!   path's document frequency, duplicating the corpus preserves the

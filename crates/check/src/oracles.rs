@@ -375,6 +375,15 @@ mod tests {
     }
 
     #[test]
+    fn trace_noop_holds_on_many_seeds() {
+        // Fewer seeds: each case runs the full chain twice.
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trace_noop(&mut rng).unwrap();
+        }
+    }
+
+    #[test]
     fn snippet_truncates_on_char_boundary() {
         let long = "é".repeat(400);
         let s = snippet(&long);
@@ -534,5 +543,116 @@ pub fn serve_vs_batch(rng: &mut StdRng) -> Result<(), String> {
 
     server.request_drain();
     server.join();
+    Ok(())
+}
+
+/// Oracle 7 — tracing is non-perturbing: the full convert → mine →
+/// derive chain run under a live trace recorder must produce output
+/// byte-identical to the untraced run. The observability layer may watch
+/// the pipeline but never steer it — no counter, span, or clock read is
+/// allowed to leak into a branch.
+pub fn trace_noop(rng: &mut StdRng) -> Result<(), String> {
+    use webre_obs::clock::FakeClock;
+    use webre_obs::trace::TraceRecorder;
+    use webre_obs::{counter, stage, Ctx};
+    use webre_schema::derive_dtd_obs;
+
+    let converter = Converter::new(webre_concepts::resume::concepts());
+    let n = rng.gen_range(1..=6usize);
+    let htmls: Vec<String> = (0..n).map(|_| soup_input(rng)).collect();
+
+    let recorder = TraceRecorder::new(Box::new(FakeClock::new(1_000)));
+    let ctx = Ctx::new(&recorder);
+
+    // Conversion, document by document.
+    let mut docs = Vec::with_capacity(n);
+    for (i, html) in htmls.iter().enumerate() {
+        let (plain_doc, plain_stats) = converter.convert_str(html);
+        let (traced_doc, traced_stats) = converter.convert_str_obs(html, ctx);
+        let (plain_xml, traced_xml) =
+            (webre_xml::to_xml(&plain_doc), webre_xml::to_xml(&traced_doc));
+        if plain_xml != traced_xml {
+            return Err(format!(
+                "conversion diverges under tracing on doc {i}\n  input: {}\n  untraced: {}\n  traced:   {}",
+                snippet(html),
+                snippet(&plain_xml),
+                snippet(&traced_xml)
+            ));
+        }
+        if plain_stats != traced_stats {
+            return Err(format!(
+                "conversion stats diverge under tracing on doc {i}\n  input: {}\n  untraced: {plain_stats:?}\n  traced:   {traced_stats:?}",
+                snippet(html)
+            ));
+        }
+        docs.push(traced_doc);
+    }
+
+    // Mining and DTD derivation over the converted corpus.
+    let paths: Vec<DocPaths> = docs.iter().map(extract_paths).collect();
+    let miner = FrequentPathMiner {
+        constraints: Some(webre_concepts::resume::constraints()),
+        ..FrequentPathMiner::default()
+    };
+    let plain = miner.mine(&paths);
+    let traced = miner.mine_view_obs(paths.as_slice(), ctx);
+    let context = || {
+        let inputs: Vec<String> = htmls.iter().map(|h| snippet(h)).collect();
+        format!("corpus: {}", inputs.join(" | "))
+    };
+    match (plain, traced) {
+        (None, None) => {}
+        (Some(_), None) | (None, Some(_)) => {
+            return Err(format!(
+                "mining outcome presence differs under tracing\n  {}",
+                context()
+            ));
+        }
+        (Some(p), Some(t)) => {
+            if p.schema.render() != t.schema.render()
+                || p.nodes_explored != t.nodes_explored
+                || p.nodes_accepted != t.nodes_accepted
+            {
+                return Err(format!(
+                    "mining diverges under tracing\n  {}\n  untraced: explored={} accepted={}\n{}\n  traced: explored={} accepted={}\n{}",
+                    context(),
+                    p.nodes_explored,
+                    p.nodes_accepted,
+                    p.schema.render(),
+                    t.nodes_explored,
+                    t.nodes_accepted,
+                    t.schema.render()
+                ));
+            }
+            let config = webre_schema::DtdConfig::default();
+            let plain_dtd = webre_schema::derive_dtd(&p.schema, &paths, &config).to_dtd_string();
+            let traced_dtd = derive_dtd_obs(&t.schema, &paths, &config, ctx).to_dtd_string();
+            if plain_dtd != traced_dtd {
+                return Err(format!(
+                    "DTD diverges under tracing\n  {}\n  untraced: {}\n  traced:   {}",
+                    context(),
+                    snippet(&plain_dtd),
+                    snippet(&traced_dtd)
+                ));
+            }
+        }
+    }
+
+    // The recorder must actually have been live — a silently disabled
+    // context would make this oracle vacuous.
+    let spans = recorder.spans();
+    if !spans.iter().any(|s| s.name == stage::CONVERT) {
+        return Err("trace recorder saw no convert span; the traced path did not record".into());
+    }
+    if spans.iter().any(|s| s.end_ns.is_none()) {
+        return Err("trace recorder holds an unclosed span after the run".into());
+    }
+    for span in &spans {
+        for (name, _) in &span.counters {
+            if counter::index_of(name).is_none() {
+                return Err(format!("uncatalogued counter {name:?} recorded"));
+            }
+        }
+    }
     Ok(())
 }

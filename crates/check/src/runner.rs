@@ -46,6 +46,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("brzozowski-vs-backtracking", Kind::Differential, crate::oracles::brzozowski),
     ("miner-vs-bruteforce", Kind::Differential, crate::oracles::miner),
     ("serve-vs-batch", Kind::Differential, crate::oracles::serve_vs_batch),
+    ("trace-noop", Kind::Differential, crate::oracles::trace_noop),
     ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
     ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
     ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
@@ -234,12 +235,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Six differential + three metamorphic + one fuzz oracle; the
+        // Seven differential + three metamorphic + one fuzz oracle; the
         // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 10);
+        assert_eq!(a.oracles.len(), 11);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            6
+            7
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

@@ -2,9 +2,10 @@
 //! [`Converter`] that wires the four restructuring rules together.
 
 use crate::node::{finalize, ingest};
-use crate::structure_rules::grouping_rule;
-use crate::text_rules::{concept_instance_rule, tokenization_rule};
+use crate::structure_rules::grouping_rule_obs;
+use crate::text_rules::{concept_instance_rule_obs, tokenization_rule_obs};
 use webre_concepts::{ConceptSet, ConstraintSet};
+use webre_obs::{stage, Ctx};
 use webre_html::HtmlDocument;
 use webre_text::tokenize::Delimiters;
 use webre_text::BayesClassifier;
@@ -173,27 +174,50 @@ impl Converter {
     /// Converts one parsed HTML document, returning the XML document and
     /// the conversion statistics.
     pub fn convert(&self, html: &HtmlDocument) -> (XmlDocument, ConvertStats) {
+        self.convert_obs(html, Ctx::disabled())
+    }
+
+    /// [`Converter::convert`] with observability: the conversion runs
+    /// under a `convert` span with one child span per pipeline stage
+    /// (tidy plus the four restructuring rules), and the rules feed
+    /// their firing counters. Output is byte-identical to the
+    /// uninstrumented path — the `trace-noop` oracle in `webre-check`
+    /// holds this over fuzzed corpora.
+    pub fn convert_obs(&self, html: &HtmlDocument, ctx: Ctx<'_>) -> (XmlDocument, ConvertStats) {
+        let scope = ctx.span(stage::CONVERT);
+        let ctx = scope.ctx();
         let mut html = html.clone();
         if self.config.tidy {
+            let _tidy = ctx.span(stage::TIDY);
             webre_html::tidy(&mut html);
         }
         let mut tree = ingest(&html);
         let mut stats = ConvertStats::default();
-        tokenization_rule(&mut tree, &self.config.delimiters);
-        concept_instance_rule(
-            &mut tree,
-            &self.concepts,
-            &self.config.classifier,
-            self.config.constraints.as_ref(),
-            &mut stats,
-        );
+        {
+            let rule = ctx.span(stage::TOKENIZATION);
+            tokenization_rule_obs(&mut tree, &self.config.delimiters, rule.ctx());
+        }
+        {
+            let rule = ctx.span(stage::CONCEPT_INSTANCE);
+            concept_instance_rule_obs(
+                &mut tree,
+                &self.concepts,
+                &self.config.classifier,
+                self.config.constraints.as_ref(),
+                &mut stats,
+                rule.ctx(),
+            );
+        }
         if self.config.grouping {
-            grouping_rule(&mut tree);
+            let rule = ctx.span(stage::GROUPING);
+            grouping_rule_obs(&mut tree, rule.ctx());
         }
         if self.config.consolidation {
-            crate::structure_rules::consolidation_rule_with(
+            let rule = ctx.span(stage::CONSOLIDATION);
+            crate::structure_rules::consolidation_rule_with_obs(
                 &mut tree,
                 self.config.constraints.as_ref(),
+                rule.ctx(),
             );
         }
         (finalize(&tree, &self.config.root_concept), stats)
@@ -202,6 +226,12 @@ impl Converter {
     /// Convenience: parse and convert HTML text.
     pub fn convert_str(&self, html: &str) -> (XmlDocument, ConvertStats) {
         self.convert(&webre_html::parse(html))
+    }
+
+    /// [`Converter::convert_str`] with observability; see
+    /// [`Converter::convert_obs`].
+    pub fn convert_str_obs(&self, html: &str, ctx: Ctx<'_>) -> (XmlDocument, ConvertStats) {
+        self.convert_obs(&webre_html::parse(html), ctx)
     }
 
     /// Converts a corpus of HTML documents sequentially.

@@ -3,6 +3,7 @@
 use crate::node::ConvNode;
 use webre_concepts::{Constraint, ConstraintSet};
 use webre_html::taxonomy::{group_tag_weight, is_list_tag};
+use webre_obs::{counter, Ctx};
 use webre_tree::{NodeId, Tree};
 
 /// Applies the grouping rule top-down.
@@ -14,24 +15,36 @@ use webre_tree::{NodeId, Tree};
 /// `Nᵢ`. Because groups sink, group tags of lower priority are handled at
 /// the next lower level on the following top-down step.
 pub fn grouping_rule(tree: &mut Tree<ConvNode>) {
+    grouping_rule_obs(tree, Ctx::disabled());
+}
+
+/// [`grouping_rule`] with observability: every `GROUP` node sunk feeds
+/// the `groups_sunk` counter. The tree transformation is identical.
+pub fn grouping_rule_obs(tree: &mut Tree<ConvNode>, ctx: Ctx<'_>) {
     // Worklist DFS: children may gain GROUP nodes while we walk, so we
     // re-fetch child lists after processing each node.
+    let mut groups_sunk = 0u64;
     let mut work = vec![tree.root()];
     while let Some(node) = work.pop() {
-        group_children(tree, node);
+        groups_sunk += group_children(tree, node);
         work.extend(tree.children(node));
+    }
+    if groups_sunk > 0 {
+        ctx.count(counter::GROUPS_SUNK, groups_sunk);
     }
 }
 
-/// Runs one grouping step over the direct children of `parent`.
-fn group_children(tree: &mut Tree<ConvNode>, parent: NodeId) {
+/// Runs one grouping step over the direct children of `parent`, returning
+/// the number of `GROUP` nodes created.
+fn group_children(tree: &mut Tree<ConvNode>, parent: NodeId) -> u64 {
     // Find the highest-priority group tag among element children.
     let best: Option<(u32, String)> = tree
         .children(parent)
         .filter_map(|c| tree.value(c).html_name())
         .filter_map(|name| group_tag_weight(name).map(|w| (w, name.to_owned())))
         .max();
-    let Some((_, tag)) = best else { return };
+    let Some((_, tag)) = best else { return 0 };
+    let mut created = 0u64;
 
     let children = tree.children_vec(parent);
     let marker_positions: Vec<usize> = children
@@ -50,12 +63,14 @@ fn group_children(tree: &mut Tree<ConvNode>, parent: NodeId) {
             continue;
         }
         let group = tree.orphan(ConvNode::Group { val: String::new() });
+        created += 1;
         tree.append(children[pos], group);
         for &sib in span {
             tree.detach(sib);
             tree.append(group, sib);
         }
     }
+    created
 }
 
 /// Applies the consolidation rule bottom-up, eliminating all remaining
@@ -79,6 +94,18 @@ pub fn consolidation_rule(tree: &mut Tree<ConvNode>) {
 /// another node" — the promoted child is the first concept child that the
 /// constraints admit as a parent of its siblings-to-be.
 pub fn consolidation_rule_with(tree: &mut Tree<ConvNode>, constraints: Option<&ConstraintSet>) {
+    consolidation_rule_with_obs(tree, constraints, Ctx::disabled());
+}
+
+/// [`consolidation_rule_with`] with observability: every structural
+/// (HTML/`GROUP`) node the rule eliminates feeds the
+/// `nodes_consolidated` counter. The tree transformation is identical.
+pub fn consolidation_rule_with_obs(
+    tree: &mut Tree<ConvNode>,
+    constraints: Option<&ConstraintSet>,
+    ctx: Ctx<'_>,
+) {
+    let mut consolidated = 0u64;
     let order: Vec<NodeId> = tree.post_order(tree.root()).collect();
     for id in order {
         if id == tree.root() || !tree.is_attached(id) {
@@ -91,6 +118,7 @@ pub fn consolidation_rule_with(tree: &mut Tree<ConvNode>, constraints: Option<&C
         if !is_structural {
             continue;
         }
+        consolidated += 1;
         let parent = tree.parent(id).expect("attached non-root");
         if tree.is_leaf(id) {
             if let Some(val) = tree.value(id).val().map(str::to_owned) {
@@ -111,6 +139,9 @@ pub fn consolidation_rule_with(tree: &mut Tree<ConvNode>, constraints: Option<&C
         } else {
             promote_first_concept(tree, id, &children, constraints);
         }
+    }
+    if consolidated > 0 {
+        ctx.count(counter::NODES_CONSOLIDATED, consolidated);
     }
 }
 

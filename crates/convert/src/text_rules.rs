@@ -5,7 +5,8 @@ use crate::convert::{ClassifierMode, ConvertStats};
 use crate::node::ConvNode;
 use webre_concepts::matcher::find_matches;
 use webre_concepts::{ConceptSet, ConstraintSet};
-use webre_text::tokenize::{split_tokens, Delimiters};
+use webre_obs::{counter, Ctx};
+use webre_text::tokenize::{split_tokens_obs, Delimiters};
 use webre_tree::{NodeId, Tree};
 
 /// Applies the tokenization rule to the whole tree, top-down: every text
@@ -14,12 +15,18 @@ use webre_tree::{NodeId, Tree};
 /// Text nodes containing no token content (delimiters/whitespace only)
 /// simply disappear.
 pub fn tokenization_rule(tree: &mut Tree<ConvNode>, delimiters: &Delimiters) {
+    tokenization_rule_obs(tree, delimiters, Ctx::disabled());
+}
+
+/// [`tokenization_rule`] with observability: produced tokens feed the
+/// `tokens_split` counter. The tree transformation is identical.
+pub fn tokenization_rule_obs(tree: &mut Tree<ConvNode>, delimiters: &Delimiters, ctx: Ctx<'_>) {
     let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
     for id in ids {
         let ConvNode::Text(text) = tree.value(id) else {
             continue;
         };
-        let tokens = split_tokens(text, delimiters);
+        let tokens = split_tokens_obs(text, delimiters, ctx);
         let mut anchor = id;
         for tok in tokens {
             let node = tree.orphan(ConvNode::Token(tok));
@@ -45,6 +52,21 @@ pub fn concept_instance_rule(
     constraints: Option<&ConstraintSet>,
     stats: &mut ConvertStats,
 ) {
+    concept_instance_rule_obs(tree, concepts, classifier, constraints, stats, Ctx::disabled());
+}
+
+/// [`concept_instance_rule`] with observability: every concept node the
+/// rule creates feeds the `concepts_matched` counter. The tree
+/// transformation and statistics are identical.
+pub fn concept_instance_rule_obs(
+    tree: &mut Tree<ConvNode>,
+    concepts: &ConceptSet,
+    classifier: &ClassifierMode,
+    constraints: Option<&ConstraintSet>,
+    stats: &mut ConvertStats,
+    ctx: Ctx<'_>,
+) {
+    let mut concepts_matched = 0u64;
     let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
     for id in ids {
         let ConvNode::Token(text) = tree.value(id) else {
@@ -84,6 +106,7 @@ pub fn concept_instance_rule(
                 if let Some(label) = classifier.classify(&text) {
                     stats.tokens_identified += 1;
                     stats.tokens_via_classifier += 1;
+                    concepts_matched += 1;
                     *tree.value_mut(id) = ConvNode::Concept {
                         name: label.to_owned(),
                         val: text,
@@ -97,6 +120,7 @@ pub fn concept_instance_rule(
             }
             1 => {
                 stats.tokens_identified += 1;
+                concepts_matched += 1;
                 *tree.value_mut(id) = ConvNode::Concept {
                     name: matches[0].concept.clone(),
                     val: text,
@@ -108,6 +132,7 @@ pub fn concept_instance_rule(
                 // before the first instance goes to the parent.
                 stats.tokens_identified += 1;
                 stats.tokens_decomposed += 1;
+                concepts_matched += matches.len() as u64;
                 let parent = tree.parent(id).expect("token is never the root");
                 let first_start = matches[0].start;
                 if first_start > 0 {
@@ -130,6 +155,9 @@ pub fn concept_instance_rule(
                 tree.detach(id);
             }
         }
+    }
+    if concepts_matched > 0 {
+        ctx.count(counter::CONCEPTS_MATCHED, concepts_matched);
     }
 }
 

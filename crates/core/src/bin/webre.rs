@@ -5,6 +5,7 @@
 //! webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
 //! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
 //! webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
+//! webre stats    <trace.json>...
 //! webre validate <file.xml>...   --dtd <file.dtd>
 //! webre generate --count N [--seed S] --out-dir DIR
 //! webre check    [--seed S] [--iters N] [--only ORACLE]
@@ -14,7 +15,9 @@
 //! `convert` prints concept-tagged XML for each input; `discover` prints
 //! the majority schema and derived DTD; `run` converts, discovers, maps
 //! every document onto the DTD and writes conforming XML files; `serve`
-//! exposes the pipeline over HTTP (see `webre-serve`); `validate` checks
+//! exposes the pipeline over HTTP (see `webre-serve`); `stats` summarizes
+//! trace files written by `--trace-out` (per-stage span counts and
+//! latencies plus rule-counter totals); `validate` checks
 //! XML files against a DTD; `generate` materializes a synthetic resume
 //! corpus (HTML plus ground-truth XML); `check` runs the differential/
 //! metamorphic/fuzzing oracle battery from `webre-check` and prints a
@@ -23,18 +26,30 @@
 //! (or explicit paths) and, under `--deny-warnings`, fails the build on
 //! any finding.
 //!
+//! `discover`, `run`, and `serve` accept `--trace-out FILE`: the whole
+//! run records hierarchical pipeline spans into a trace recorder and
+//! writes a chrome://tracing-compatible JSON file on completion (for
+//! `serve`, after drain). Tracing never changes output — `webre check
+//! --only trace-noop` holds the pipeline to that byte-for-byte.
+//!
 //! Exit codes: `0` success, `1` runtime failure (unreadable input, failed
 //! validation, failed oracle), `2` usage error (unknown command or flag,
 //! missing argument, malformed flag value).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use webre::concepts::Domain;
 use webre::convert::ConvertConfig;
+use webre::obs::clock::MonotonicClock;
+use webre::obs::trace::TraceRecorder;
+use webre::obs::Ctx;
+use webre::serve::obs::ObsLayer;
 use webre::serve::server::{ServeConfig, Server};
 use webre::Pipeline;
 use webre_corpus::CorpusGenerator;
 use webre_schema::FrequentPathMiner;
+use webre_substrate::json::Json;
 use webre_xml::XmlDocument;
 
 fn main() -> ExitCode {
@@ -48,6 +63,7 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(rest),
         "run" => cmd_run(rest),
         "serve" => cmd_serve(rest),
+        "stats" => cmd_stats(rest),
         "validate" => cmd_validate(rest),
         "generate" => cmd_generate(rest),
         "check" => cmd_check(rest),
@@ -86,9 +102,13 @@ const USAGE: &str = "\
 usage:
   webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
   webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
+                 [--trace-out FILE]
   webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+                 [--trace-out FILE]
   webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
                  [--max-body BYTES] [--domain d.json] [--root NAME] [--sup F] [--ratio F]
+                 [--trace-out FILE]
+  webre stats    <trace.json>...
   webre validate <file.xml>...   --dtd <file.dtd>
   webre generate --count N [--seed S] --out-dir DIR
   webre check    [--seed S] [--iters N] [--only ORACLE]
@@ -186,6 +206,36 @@ fn read(path: &str) -> Result<String, CliError> {
     std::fs::read_to_string(path).map_err(|e| runtime_err(format!("cannot read {path}: {e}")))
 }
 
+/// `--trace-out FILE` support: a trace recorder (wall-clock driven) paired
+/// with the destination path, or `None` when the flag is absent.
+fn trace_from(parsed: &Parsed) -> Option<(TraceRecorder, String)> {
+    parsed.value("trace-out").map(|path| {
+        (
+            TraceRecorder::new(Box::new(MonotonicClock::new())),
+            path.to_owned(),
+        )
+    })
+}
+
+/// The recording context for an optional trace: parented at the recorder
+/// when tracing, the shared no-op context otherwise.
+fn trace_ctx(trace: &Option<(TraceRecorder, String)>) -> Ctx<'_> {
+    match trace {
+        Some((recorder, _)) => Ctx::new(recorder),
+        None => Ctx::disabled(),
+    }
+}
+
+/// Writes the chrome://tracing export once the traced work is done.
+fn write_trace(trace: Option<(TraceRecorder, String)>) -> Result<(), CliError> {
+    if let Some((recorder, path)) = trace {
+        std::fs::write(&path, recorder.to_chrome_json())
+            .map_err(|e| runtime_err(format!("cannot write trace {path}: {e}")))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
+}
+
 /// Streams the input files through conversion one at a time: each
 /// document is read, converted, and its HTML dropped before the next is
 /// touched, so peak memory is one document (not the whole corpus).
@@ -194,6 +244,7 @@ fn read(path: &str) -> Result<String, CliError> {
 fn convert_inputs(
     pipeline: &Pipeline,
     paths: &[String],
+    ctx: Ctx<'_>,
 ) -> Result<(Vec<String>, Vec<XmlDocument>, usize), CliError> {
     let mut survivors = Vec::new();
     let mut docs = Vec::new();
@@ -201,7 +252,7 @@ fn convert_inputs(
     for path in paths {
         match std::fs::read_to_string(path) {
             Ok(html) => {
-                docs.push(pipeline.convert_html(&html).0);
+                docs.push(pipeline.convert_html_obs(&html, ctx).0);
                 survivors.push(path.clone());
             }
             Err(e) => {
@@ -296,17 +347,20 @@ fn cmd_convert(args: &[String]) -> Result<ExitCode, CliError> {
 fn cmd_discover(args: &[String]) -> Result<ExitCode, CliError> {
     let parsed = parse_flags(
         args,
-        &["domain", "root", "sup", "ratio"],
+        &["domain", "root", "sup", "ratio", "trace-out"],
         &["group-patterns"],
     )?;
     if parsed.positional.is_empty() {
         return Err(usage_err("discover needs at least one input file"));
     }
     let pipeline = pipeline_from(&parsed)?;
-    let (_, docs, failures) = convert_inputs(&pipeline, &parsed.positional)?;
+    let trace = trace_from(&parsed);
+    let ctx = trace_ctx(&trace);
+    let (_, docs, failures) = convert_inputs(&pipeline, &parsed.positional, ctx)?;
     let discovery = pipeline
-        .discover_schema(&docs)
+        .discover_schema_obs(&docs, ctx)
         .ok_or_else(|| runtime_err("empty corpus or root below support threshold"))?;
+    write_trace(trace)?;
     println!("majority schema ({} paths):", discovery.schema.len());
     print!("{}", discovery.schema.render());
     println!();
@@ -322,7 +376,7 @@ fn cmd_discover(args: &[String]) -> Result<ExitCode, CliError> {
 fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     let parsed = parse_flags(
         args,
-        &["domain", "root", "sup", "ratio", "out-dir"],
+        &["domain", "root", "sup", "ratio", "out-dir", "trace-out"],
         &["group-patterns"],
     )?;
     if parsed.positional.is_empty() {
@@ -336,15 +390,17 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| runtime_err(format!("cannot create out dir: {e}")))?;
     let pipeline = pipeline_from(&parsed)?;
-    let (survivors, docs, failures) = convert_inputs(&pipeline, &parsed.positional)?;
+    let trace = trace_from(&parsed);
+    let ctx = trace_ctx(&trace);
+    let (survivors, docs, failures) = convert_inputs(&pipeline, &parsed.positional, ctx)?;
     let discovery = pipeline
-        .discover_schema(&docs)
+        .discover_schema_obs(&docs, ctx)
         .ok_or_else(|| runtime_err("empty corpus or root below support threshold"))?;
     std::fs::write(out_dir.join("schema.dtd"), discovery.dtd.to_dtd_string())
         .map_err(|e| runtime_err(e.to_string()))?;
     let mut conforming = 0usize;
     for (input, doc) in survivors.iter().zip(&docs) {
-        let outcome = pipeline.map_document(doc, &discovery);
+        let outcome = pipeline.map_document_obs(doc, &discovery, ctx);
         let stem = Path::new(input)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
@@ -356,6 +412,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
             conforming += 1;
         }
     }
+    write_trace(trace)?;
     println!(
         "wrote {} mapped documents + schema.dtd to {} ({conforming} conforming)",
         docs.len(),
@@ -384,6 +441,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             "root",
             "sup",
             "ratio",
+            "trace-out",
         ],
         &["group-patterns"],
     )?;
@@ -407,7 +465,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let pipeline = pipeline_from(&parsed)?;
     let workers = config.workers;
-    let server = Server::start(config, pipeline.serve_engine())
+    // A traced server tees every request's span tree into this recorder;
+    // the export happens after drain so the file captures the full run.
+    let trace_path = parsed.value("trace-out").map(str::to_owned);
+    let trace = trace_path
+        .as_ref()
+        .map(|_| Arc::new(TraceRecorder::new(Box::new(MonotonicClock::new()))));
+    let obs = ObsLayer::new(trace.clone());
+    let server = Server::start_with_obs(config, pipeline.serve_engine(), obs)
         .map_err(|e| runtime_err(format!("cannot bind: {e}")))?;
     println!(
         "serving on http://{} ({workers} workers; POST /shutdown to drain)",
@@ -415,6 +480,102 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     );
     server.join();
     println!("drained, all workers exited");
+    if let (Some(path), Some(recorder)) = (trace_path, trace) {
+        std::fs::write(&path, recorder.to_chrome_json())
+            .map_err(|e| runtime_err(format!("cannot write trace {path}: {e}")))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Per-stage aggregate over one or more trace files.
+#[derive(Default)]
+struct StageSummary {
+    spans: u64,
+    total_us: f64,
+    max_us: f64,
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(args, &[], &[])?;
+    if parsed.positional.is_empty() {
+        return Err(usage_err("stats needs at least one trace file"));
+    }
+    // Keyed by first-seen name; printed in pipeline order (stage::ALL)
+    // with uncatalogued names, if any, trailing in file order.
+    let mut names: Vec<String> = Vec::new();
+    let mut stages: Vec<StageSummary> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    for path in &parsed.positional {
+        let doc = Json::parse(&read(path)?)
+            .map_err(|e| runtime_err(format!("bad trace file {path}: {e}")))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| runtime_err(format!("{path}: no traceEvents array")))?;
+        for event in events {
+            let Some(name) = event.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let dur = event.get("dur").and_then(Json::as_f64).unwrap_or(0.0);
+            let idx = match names.iter().position(|n| n == name) {
+                Some(idx) => idx,
+                None => {
+                    names.push(name.to_owned());
+                    stages.push(StageSummary::default());
+                    names.len() - 1
+                }
+            };
+            let summary = &mut stages[idx];
+            summary.spans += 1;
+            summary.total_us += dur;
+            summary.max_us = summary.max_us.max(dur);
+            let Some(args) = event.get("args") else {
+                continue;
+            };
+            for counter in webre::obs::counter::ALL.iter().copied() {
+                let Some(n) = args.get(counter).and_then(Json::as_f64) else {
+                    continue;
+                };
+                match counters.iter_mut().find(|(k, _)| k == counter) {
+                    Some(entry) => entry.1 += n as u64,
+                    None => counters.push((counter.to_owned(), n as u64)),
+                }
+            }
+        }
+    }
+    let order: Vec<usize> = webre::obs::stage::ALL
+        .iter()
+        .filter_map(|stage| names.iter().position(|n| n == stage))
+        .chain(
+            (0..names.len()).filter(|&i| webre::obs::stage::index_of(&names[i]).is_none()),
+        )
+        .collect();
+    println!(
+        "{:<24} {:>8} {:>12} {:>10} {:>10}",
+        "stage", "spans", "total(us)", "mean(us)", "max(us)"
+    );
+    for i in order {
+        let s = &stages[i];
+        let mean = if s.spans == 0 {
+            0.0
+        } else {
+            s.total_us / s.spans as f64
+        };
+        println!(
+            "{:<24} {:>8} {:>12.1} {:>10.1} {:>10.1}",
+            names[i], s.spans, s.total_us, mean, s.max_us
+        );
+    }
+    if !counters.is_empty() {
+        println!();
+        println!("{:<24} {:>8}", "counter", "total");
+        for counter in webre::obs::counter::ALL.iter().copied() {
+            if let Some((name, total)) = counters.iter().find(|(k, _)| k == counter) {
+                println!("{name:<24} {total:>8}");
+            }
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

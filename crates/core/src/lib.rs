@@ -35,12 +35,14 @@
 //! | frequent paths, majority schema, DTD | [`webre_schema`] |
 //! | tree edit distance, document mapping | [`webre_map`] |
 //! | synthetic corpus + crawler substrate | [`webre_corpus`] |
+//! | spans, stage counters, trace export | [`webre_obs`] |
 
 pub use webre_concepts as concepts;
 pub use webre_convert as convert;
 pub use webre_corpus as corpus;
 pub use webre_html as html;
 pub use webre_map as map;
+pub use webre_obs as obs;
 pub use webre_schema as schema;
 pub use webre_serve as serve;
 pub use webre_text as text;
@@ -50,9 +52,7 @@ pub use webre_xml as xml;
 use webre_concepts::{ConceptSet, ConstraintSet};
 use webre_convert::{ConvertConfig, ConvertStats, Converter};
 use webre_map::MapOutcome;
-use webre_schema::{
-    derive_dtd, extract_paths, DocPaths, DtdConfig, FrequentPathMiner, MajoritySchema,
-};
+use webre_schema::{extract_paths, DocPaths, DtdConfig, FrequentPathMiner, MajoritySchema};
 use webre_xml::{Dtd, XmlDocument};
 
 /// End-to-end pipeline: HTML documents in, majority schema + DTD +
@@ -156,6 +156,12 @@ impl Pipeline {
         self.converter.convert_str(html)
     }
 
+    /// [`Pipeline::convert_html`] with observability; spans and counters
+    /// are recorded through `ctx` and the output is identical.
+    pub fn convert_html_obs(&self, html: &str, ctx: obs::Ctx<'_>) -> (XmlDocument, ConvertStats) {
+        self.converter.convert_str_obs(html, ctx)
+    }
+
     /// Converts a corpus of HTML documents.
     pub fn convert_corpus(&self, htmls: &[String]) -> Vec<XmlDocument> {
         self.converter.convert_corpus(htmls)
@@ -177,9 +183,23 @@ impl Pipeline {
     ///
     /// Returns `None` for an empty corpus.
     pub fn discover_schema(&self, docs: &[XmlDocument]) -> Option<DiscoveryResult> {
-        let paths: Vec<DocPaths> = docs.iter().map(extract_paths).collect();
-        let outcome = self.miner.mine(&paths)?;
-        let dtd = derive_dtd(&outcome.schema, &paths, &self.dtd_config);
+        self.discover_schema_obs(docs, obs::Ctx::disabled())
+    }
+
+    /// [`Pipeline::discover_schema`] with observability: path extraction,
+    /// mining, and DTD derivation each run under their own span. The
+    /// discovery result is identical.
+    pub fn discover_schema_obs(
+        &self,
+        docs: &[XmlDocument],
+        ctx: obs::Ctx<'_>,
+    ) -> Option<DiscoveryResult> {
+        let paths: Vec<DocPaths> = {
+            let _span = ctx.span(obs::stage::EXTRACT_PATHS);
+            docs.iter().map(extract_paths).collect()
+        };
+        let outcome = self.miner.mine_view_obs(paths.as_slice(), ctx)?;
+        let dtd = schema::derive_dtd_obs(&outcome.schema, &paths, &self.dtd_config, ctx);
         Some(DiscoveryResult {
             schema: outcome.schema,
             dtd,
@@ -197,14 +217,40 @@ impl Pipeline {
         webre_map::map_to_dtd(doc, &discovery.schema, &discovery.dtd)
     }
 
+    /// [`Pipeline::map_document`] with observability: the mapping runs
+    /// under a `map-to-dtd` span. The outcome is identical.
+    pub fn map_document_obs(
+        &self,
+        doc: &XmlDocument,
+        discovery: &DiscoveryResult,
+        ctx: obs::Ctx<'_>,
+    ) -> MapOutcome {
+        let _span = ctx.span(obs::stage::MAP);
+        webre_map::map_to_dtd(doc, &discovery.schema, &discovery.dtd)
+    }
+
     /// Full run: convert every HTML document, discover the schema, and map
     /// every document onto the derived DTD.
     pub fn run(&self, htmls: &[String]) -> Option<(DiscoveryResult, Vec<MapOutcome>)> {
-        let docs = self.convert_corpus(htmls);
-        let discovery = self.discover_schema(&docs)?;
+        self.run_obs(htmls, obs::Ctx::disabled())
+    }
+
+    /// [`Pipeline::run`] with observability: every conversion, the
+    /// discovery stages, and every mapping record spans and counters
+    /// through `ctx`. The result is identical to [`Pipeline::run`].
+    pub fn run_obs(
+        &self,
+        htmls: &[String],
+        ctx: obs::Ctx<'_>,
+    ) -> Option<(DiscoveryResult, Vec<MapOutcome>)> {
+        let docs: Vec<XmlDocument> = htmls
+            .iter()
+            .map(|h| self.converter.convert_str_obs(h, ctx).0)
+            .collect();
+        let discovery = self.discover_schema_obs(&docs, ctx)?;
         let mapped = docs
             .iter()
-            .map(|d| self.map_document(d, &discovery))
+            .map(|d| self.map_document_obs(d, &discovery, ctx))
             .collect();
         Some((discovery, mapped))
     }

@@ -41,7 +41,7 @@ fn usage_lists_every_subcommand() {
     assert!(out.status.success());
     let usage = String::from_utf8_lossy(&out.stdout).into_owned();
     for subcommand in [
-        "convert", "discover", "run", "serve", "validate", "generate", "check", "lint",
+        "convert", "discover", "run", "serve", "stats", "validate", "generate", "check", "lint",
     ] {
         assert!(
             usage.contains(&format!("webre {subcommand}")),
@@ -64,7 +64,7 @@ fn version_flag_prints_package_version() {
 #[test]
 fn unknown_flag_is_a_usage_error_on_every_subcommand() {
     for subcommand in [
-        "convert", "discover", "run", "serve", "validate", "generate", "check", "lint",
+        "convert", "discover", "run", "serve", "stats", "validate", "generate", "check", "lint",
     ] {
         let out = bin()
             .args([subcommand, "--no-such-flag"])
@@ -251,6 +251,64 @@ fn generate_convert_discover_run_validate_round_trip() {
 }
 
 #[test]
+fn run_trace_out_emits_chrome_trace_and_stats_summarizes_it() {
+    let dir = temp_dir("trace-out");
+    let corpus = dir.join("corpus");
+    let mapped = dir.join("mapped");
+    let trace = dir.join("trace.json");
+    let out = bin()
+        .args(["generate", "--count", "4", "--seed", "11", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let htmls: Vec<PathBuf> = (0..4).map(|i| corpus.join(format!("resume{i:04}.html"))).collect();
+    let out = bin()
+        .arg("run")
+        .args(&htmls)
+        .arg("--out-dir")
+        .arg(&mapped)
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Mapped output is unaffected by tracing; the trace file is valid
+    // chrome://tracing JSON naming every restructuring rule plus the
+    // mining and DTD stages.
+    assert!(mapped.join("schema.dtd").exists());
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = webre_substrate::json::Json::parse(&text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(webre_substrate::json::Json::as_arr)
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(webre_substrate::json::Json::as_str))
+        .collect();
+    for stage in [
+        "tokenization-rule",
+        "concept-instance-rule",
+        "grouping-rule",
+        "consolidation-rule",
+        "mine-frequent-paths",
+        "derive-dtd",
+        "map-to-dtd",
+    ] {
+        assert!(names.contains(&stage), "trace missing stage {stage}: {names:?}");
+    }
+    // `webre stats` summarizes the file into a per-stage table.
+    let out = bin().arg("stats").arg(&trace).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let summary = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(summary.contains("stage"), "{summary}");
+    assert!(summary.contains("mine-frequent-paths"), "{summary}");
+    assert!(summary.contains("tokens_split"), "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn validate_fails_on_nonconforming_document() {
     let dir = temp_dir("nonconforming");
     std::fs::write(dir.join("doc.xml"), "<resume><bogus/></resume>").unwrap();
@@ -318,8 +376,8 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All six differential oracles, all three metamorphic invariants and
-    // the fuzzer ran.
+    // All seven differential oracles, all three metamorphic invariants
+    // and the fuzzer ran.
     for oracle in [
         "fixpoint",
         "tidy-idempotence",
@@ -327,6 +385,7 @@ fn check_passes_and_is_deterministic() {
         "brzozowski-vs-backtracking",
         "miner-vs-bruteforce",
         "serve-vs-batch",
+        "trace-noop",
         "remove-document",
         "duplicate-corpus",
         "permute-order",
@@ -334,7 +393,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 10 oracles passed"), "{text}");
+    assert!(text.contains("all 11 oracles passed"), "{text}");
 }
 
 #[test]

@@ -26,6 +26,7 @@ const PURE_PREFIXES: &[&str] = &[
     "crates/schema/src",
     "crates/concepts/src",
     "crates/map/src",
+    "crates/obs/src",
 ];
 
 /// `std::env` entry points that make output environment-dependent.

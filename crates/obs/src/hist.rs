@@ -1,0 +1,99 @@
+//! Power-of-two latency histogram.
+//!
+//! Extracted from the serving layer's `/metrics` implementation so the
+//! per-stage pipeline aggregates and the per-endpoint request metrics
+//! share one bucketing scheme: bucket `i` covers latencies in
+//! `(2^(i-1), 2^i]` microseconds (bucket 0 is `[0, 1]`), with the last
+//! bucket open-ended.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets; the last one is the overflow (`+Inf`) bucket.
+pub const BUCKETS: usize = 31;
+
+/// The bucket index for a latency of `us` microseconds.
+pub fn bucket_index(us: u64) -> usize {
+    (64 - us.saturating_sub(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` in microseconds, or `None`
+/// for the open-ended last bucket (rendered as `+Inf`).
+pub fn upper_bound(i: usize) -> Option<u64> {
+    if i + 1 < BUCKETS {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+/// A lock-free histogram over power-of-two microsecond buckets.
+#[derive(Default)]
+pub struct PowHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl PowHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        PowHistogram::default()
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The per-bucket (non-cumulative) counts.
+    pub fn counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_bucket_upper_bound_admits_exactly_its_boundary() {
+        for i in 0..BUCKETS - 1 {
+            let bound = upper_bound(i).unwrap();
+            assert_eq!(bucket_index(bound), i, "bound {bound} must land in bucket {i}");
+            assert_eq!(bucket_index(bound + 1), i + 1);
+        }
+        assert_eq!(upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let h = PowHistogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(100);
+        let counts = h.counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[bucket_index(100)], 1);
+        assert_eq!(h.total(), 3);
+    }
+}

@@ -1,0 +1,405 @@
+//! Structured observability for the webre pipeline: hierarchical spans,
+//! per-stage counters, power-of-two latency histograms and a
+//! chrome://tracing-compatible export.
+//!
+//! # Design
+//!
+//! Instrumentation points never talk to a concrete backend. They hold a
+//! [`Ctx`] — a copyable `(recorder, parent span)` pair — and call
+//! [`Ctx::span`] / [`Ctx::count`] on it. The recorder behind the context
+//! is chosen **once** at startup:
+//!
+//! * [`NoopRecorder`] (the default): `enabled()` is `false`, every call
+//!   returns immediately, and the instrumented code paths stay
+//!   byte-identical to the uninstrumented ones — a contract the
+//!   `trace-noop` differential oracle in `webre-check` holds over fuzzed
+//!   corpora.
+//! * [`trace::TraceRecorder`]: records every span with timestamps from an
+//!   injectable [`clock::Clock`], exportable as chrome://tracing JSON
+//!   (`webre run --trace-out`), a deterministic span-tree (the golden
+//!   trace test uses a [`clock::FakeClock`]), or a per-stage summary
+//!   (`webre stats`).
+//! * [`stats::StatsRecorder`]: lock-free per-stage aggregates (span
+//!   counts, total time, power-of-two histograms) for the serving
+//!   layer's extended `/metrics`.
+//! * [`TeeRecorder`]: fans out to two recorders, so `webre serve
+//!   --trace-out` can feed `/metrics` aggregates *and* a trace file.
+//!
+//! Time never comes from the instrumented crates themselves: the pure
+//! pipeline crates (`convert`, `text`, `schema`, …) stay free of
+//! `Instant`/`SystemTime` (the `no-wall-clock` lint rule enforces this,
+//! and covers this crate too) — the clock is injected into the recorder
+//! at construction.
+//!
+//! # Stage and counter catalogue
+//!
+//! Span names come from [`stage`] and counter names from [`counter`];
+//! both are closed catalogues (`ALL` arrays) so exports can be validated
+//! against them — the verify-script trace smoke gate cross-checks every
+//! span name in a `--trace-out` file against [`stage::ALL`].
+
+pub mod clock;
+pub mod hist;
+pub mod stats;
+pub mod trace;
+
+/// Span names: one per pipeline stage. Instrumentation must use these
+/// constants (never ad-hoc strings) so traces stay machine-checkable.
+pub mod stage {
+    /// Whole-document conversion (parent of the four rule spans).
+    pub const CONVERT: &str = "convert";
+    /// The HTML-Tidy-like cleanup pass.
+    pub const TIDY: &str = "tidy";
+    /// Restructuring rule 1: delimiter tokenization.
+    pub const TOKENIZATION: &str = "tokenization-rule";
+    /// Restructuring rule 2: concept instance identification.
+    pub const CONCEPT_INSTANCE: &str = "concept-instance-rule";
+    /// Restructuring rule 3: grouping.
+    pub const GROUPING: &str = "grouping-rule";
+    /// Restructuring rule 4: consolidation.
+    pub const CONSOLIDATION: &str = "consolidation-rule";
+    /// Label-path extraction over a converted corpus.
+    pub const EXTRACT_PATHS: &str = "extract-paths";
+    /// Anti-monotone frequent-path mining.
+    pub const MINE: &str = "mine-frequent-paths";
+    /// DTD derivation (ordering + repetition rules).
+    pub const DERIVE_DTD: &str = "derive-dtd";
+    /// Mapping one document onto the derived DTD.
+    pub const MAP: &str = "map-to-dtd";
+    /// One served HTTP request (root span in the serving layer).
+    pub const REQUEST: &str = "request";
+
+    /// The closed catalogue, in pipeline order.
+    pub const ALL: &[&str] = &[
+        CONVERT,
+        TIDY,
+        TOKENIZATION,
+        CONCEPT_INSTANCE,
+        GROUPING,
+        CONSOLIDATION,
+        EXTRACT_PATHS,
+        MINE,
+        DERIVE_DTD,
+        MAP,
+        REQUEST,
+    ];
+
+    /// Index of `name` in [`ALL`], if it is a catalogued stage.
+    pub fn index_of(name: &str) -> Option<usize> {
+        ALL.iter().position(|s| *s == name)
+    }
+}
+
+/// Counter names: one per rule-firing statistic.
+pub mod counter {
+    /// Tokens produced by the tokenization rule.
+    pub const TOKENS_SPLIT: &str = "tokens_split";
+    /// Concept nodes created by the concept instance rule.
+    pub const CONCEPTS_MATCHED: &str = "concepts_matched";
+    /// GROUP nodes sunk by the grouping rule.
+    pub const GROUPS_SUNK: &str = "groups_sunk";
+    /// Structural (HTML/GROUP) nodes eliminated by consolidation.
+    pub const NODES_CONSOLIDATED: &str = "nodes_consolidated";
+    /// Candidate paths tested by the miner.
+    pub const PATHS_EXPLORED: &str = "paths_explored";
+    /// Candidate paths accepted as frequent.
+    pub const PATHS_ACCEPTED: &str = "paths_accepted";
+    /// Candidates cut by anti-monotone support pruning (not extended).
+    pub const PATHS_PRUNED: &str = "paths_pruned";
+
+    /// The closed catalogue, in pipeline order.
+    pub const ALL: &[&str] = &[
+        TOKENS_SPLIT,
+        CONCEPTS_MATCHED,
+        GROUPS_SUNK,
+        NODES_CONSOLIDATED,
+        PATHS_EXPLORED,
+        PATHS_ACCEPTED,
+        PATHS_PRUNED,
+    ];
+
+    /// Index of `name` in [`ALL`], if it is a catalogued counter.
+    pub fn index_of(name: &str) -> Option<usize> {
+        ALL.iter().position(|s| *s == name)
+    }
+}
+
+/// An opaque span handle. Meaning is recorder-private (the trace recorder
+/// uses indices, the stats recorder packs stage + start time); `NONE`
+/// marks "no span" and is what the no-op recorder always returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (no-op recorder, root contexts).
+    pub const NONE: SpanId = SpanId(u64::MAX);
+
+    /// Whether this is the absent span.
+    pub fn is_none(self) -> bool {
+        self == SpanId::NONE
+    }
+}
+
+/// The recorder interface. Object-safe on purpose: the pipeline holds a
+/// `&dyn Recorder` chosen once at startup, so disabling observability
+/// costs one virtual `enabled()` check per instrumentation point.
+pub trait Recorder: Send + Sync {
+    /// `false` means every other method is a no-op; instrumentation
+    /// points skip argument preparation entirely when this is `false`.
+    fn enabled(&self) -> bool;
+    /// Opens a span named `name` (a [`stage`] constant) under `parent`.
+    fn span_start(&self, name: &'static str, parent: SpanId) -> SpanId;
+    /// Closes a span returned by [`Recorder::span_start`].
+    fn span_end(&self, id: SpanId);
+    /// Adds `n` to the counter `name` (a [`counter`] constant),
+    /// attributed to `span` where the recorder keeps per-span counters.
+    fn count(&self, span: SpanId, name: &'static str, n: u64);
+}
+
+/// The disabled recorder: never records anything.
+pub struct NoopRecorder;
+
+/// The shared no-op instance behind [`Ctx::disabled`].
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_start(&self, _name: &'static str, _parent: SpanId) -> SpanId {
+        SpanId::NONE
+    }
+
+    fn span_end(&self, _id: SpanId) {}
+
+    fn count(&self, _span: SpanId, _name: &'static str, _n: u64) {}
+}
+
+/// An instrumentation context: the recorder plus the current parent
+/// span. `Copy`, two words — cheap to pass down every call that might
+/// want to record something.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    recorder: &'a dyn Recorder,
+    parent: SpanId,
+}
+
+impl<'a> Ctx<'a> {
+    /// A root context over `recorder`.
+    pub fn new(recorder: &'a dyn Recorder) -> Ctx<'a> {
+        Ctx {
+            recorder,
+            parent: SpanId::NONE,
+        }
+    }
+
+    /// The context every un-instrumented caller uses: the static no-op
+    /// recorder, zero-cost by construction.
+    pub fn disabled() -> Ctx<'static> {
+        Ctx::new(&NOOP)
+    }
+
+    /// Whether the recorder behind this context records anything.
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Opens a child span; the returned [`Scope`] closes it on drop and
+    /// exposes (via [`Scope::ctx`]) a context parented at the new span.
+    pub fn span(&self, name: &'static str) -> Scope<'a> {
+        if !self.recorder.enabled() {
+            return Scope {
+                ctx: *self,
+                opened: false,
+            };
+        }
+        let id = self.recorder.span_start(name, self.parent);
+        Scope {
+            ctx: Ctx {
+                recorder: self.recorder,
+                parent: id,
+            },
+            opened: true,
+        }
+    }
+
+    /// Adds `n` to counter `name`, attributed to this context's span.
+    pub fn count(&self, name: &'static str, n: u64) {
+        if self.recorder.enabled() {
+            self.recorder.count(self.parent, name, n);
+        }
+    }
+}
+
+/// RAII guard for an open span; dropping it ends the span.
+pub struct Scope<'a> {
+    ctx: Ctx<'a>,
+    opened: bool,
+}
+
+impl<'a> Scope<'a> {
+    /// A context whose parent is this scope's span — pass it to callees
+    /// so their spans and counters nest under this one.
+    pub fn ctx(&self) -> Ctx<'a> {
+        self.ctx
+    }
+}
+
+impl Drop for Scope<'_> {
+    fn drop(&mut self) {
+        if self.opened {
+            self.ctx.recorder.span_end(self.ctx.parent);
+        }
+    }
+}
+
+/// Fans every call out to two recorders (aggregates + trace, for
+/// `webre serve --trace-out`). Span ids are indices into a pair table;
+/// the table is mutex-guarded, which is acceptable because the tee only
+/// runs in explicit tracing mode.
+pub struct TeeRecorder {
+    a: std::sync::Arc<dyn Recorder>,
+    b: std::sync::Arc<dyn Recorder>,
+    pairs: std::sync::Mutex<Vec<(SpanId, SpanId)>>,
+}
+
+impl TeeRecorder {
+    /// Tees `a` and `b`.
+    pub fn new(a: std::sync::Arc<dyn Recorder>, b: std::sync::Arc<dyn Recorder>) -> Self {
+        TeeRecorder {
+            a,
+            b,
+            pairs: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn pairs(&self) -> std::sync::MutexGuard<'_, Vec<(SpanId, SpanId)>> {
+        self.pairs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn span_start(&self, name: &'static str, parent: SpanId) -> SpanId {
+        let (pa, pb) = if parent.is_none() {
+            (SpanId::NONE, SpanId::NONE)
+        } else {
+            self.pairs()
+                .get(parent.0 as usize)
+                .copied()
+                .unwrap_or((SpanId::NONE, SpanId::NONE))
+        };
+        let ida = self.a.span_start(name, pa);
+        let idb = self.b.span_start(name, pb);
+        let mut pairs = self.pairs();
+        pairs.push((ida, idb));
+        SpanId(pairs.len() as u64 - 1)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        let Some((ida, idb)) = self.pairs().get(id.0 as usize).copied() else {
+            return;
+        };
+        self.a.span_end(ida);
+        self.b.span_end(idb);
+    }
+
+    fn count(&self, span: SpanId, name: &'static str, n: u64) {
+        let (sa, sb) = if span.is_none() {
+            (SpanId::NONE, SpanId::NONE)
+        } else {
+            self.pairs()
+                .get(span.0 as usize)
+                .copied()
+                .unwrap_or((SpanId::NONE, SpanId::NONE))
+        };
+        self.a.count(sa, name, n);
+        self.b.count(sb, name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+    use crate::trace::TraceRecorder;
+
+    #[test]
+    fn catalogues_are_duplicate_free_and_indexable() {
+        for list in [stage::ALL, counter::ALL] {
+            let mut names = list.to_vec();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), list.len());
+        }
+        for (i, name) in stage::ALL.iter().enumerate() {
+            assert_eq!(stage::index_of(name), Some(i));
+        }
+        for (i, name) in counter::ALL.iter().enumerate() {
+            assert_eq!(counter::index_of(name), Some(i));
+        }
+        assert_eq!(stage::index_of("no-such-stage"), None);
+        assert_eq!(counter::index_of("no_such_counter"), None);
+    }
+
+    #[test]
+    fn disabled_ctx_records_nothing_and_costs_no_spans() {
+        let ctx = Ctx::disabled();
+        assert!(!ctx.enabled());
+        let scope = ctx.span(stage::CONVERT);
+        scope.ctx().count(counter::TOKENS_SPLIT, 3);
+        drop(scope);
+        // The no-op recorder has no state to assert against; the contract
+        // is that nothing panics and ids stay NONE.
+        assert!(NOOP.span_start(stage::MINE, SpanId::NONE).is_none());
+    }
+
+    #[test]
+    fn scope_nesting_threads_parents() {
+        let recorder = TraceRecorder::new(Box::new(FakeClock::new(1_000)));
+        let ctx = Ctx::new(&recorder);
+        {
+            let outer = ctx.span(stage::CONVERT);
+            let inner = outer.ctx().span(stage::TOKENIZATION);
+            inner.ctx().count(counter::TOKENS_SPLIT, 2);
+        }
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, stage::CONVERT);
+        assert_eq!(spans[1].name, stage::TOKENIZATION);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].counters, vec![(counter::TOKENS_SPLIT, 2)]);
+    }
+
+    #[test]
+    fn tee_mirrors_spans_and_counters_into_both_recorders() {
+        use std::sync::Arc;
+        let a = Arc::new(TraceRecorder::new(Box::new(FakeClock::new(1_000))));
+        let b = Arc::new(TraceRecorder::new(Box::new(FakeClock::new(5))));
+        let tee = TeeRecorder::new(
+            Arc::clone(&a) as Arc<dyn Recorder>,
+            Arc::clone(&b) as Arc<dyn Recorder>,
+        );
+        let ctx = Ctx::new(&tee);
+        {
+            let outer = ctx.span(stage::MINE);
+            outer.ctx().count(counter::PATHS_EXPLORED, 7);
+            let _inner = outer.ctx().span(stage::DERIVE_DTD);
+        }
+        for rec in [&a, &b] {
+            let spans = rec.spans();
+            assert_eq!(spans.len(), 2);
+            assert_eq!(spans[0].name, stage::MINE);
+            assert_eq!(spans[0].counters, vec![(counter::PATHS_EXPLORED, 7)]);
+            assert_eq!(spans[1].parent, Some(0));
+            assert!(spans.iter().all(|s| s.end_ns.is_some()));
+        }
+    }
+}

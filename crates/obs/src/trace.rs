@@ -1,0 +1,279 @@
+//! The tracing recorder: every span is kept with its parent link,
+//! timestamps from the injected clock, and any counters attributed to
+//! it. Exports:
+//!
+//! * [`TraceRecorder::to_chrome_json`] — the chrome://tracing "trace
+//!   event" format (`{"traceEvents": [{"ph": "X", ...}]}`), loadable in
+//!   `chrome://tracing` or Perfetto; written by `--trace-out`.
+//! * [`TraceRecorder::span_tree_json`] — a nested, deterministic span
+//!   tree (stable under a fake clock) used by the golden trace test.
+
+use crate::clock::Clock;
+use crate::{counter, Recorder, SpanId};
+use std::sync::Mutex;
+use webre_substrate::json::Json;
+
+/// One recorded span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRec {
+    /// Stage name (a `stage::*` constant).
+    pub name: &'static str,
+    /// Index of the parent span in the recorder's span list.
+    pub parent: Option<usize>,
+    /// Start timestamp (clock nanoseconds).
+    pub start_ns: u64,
+    /// End timestamp; `None` while the span is still open.
+    pub end_ns: Option<u64>,
+    /// Counters attributed to this span, in first-touch order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Records every span and counter; see the module docs for exports.
+pub struct TraceRecorder {
+    clock: Box<dyn Clock>,
+    inner: Mutex<Vec<SpanRec>>,
+}
+
+impl TraceRecorder {
+    /// A recorder reading time from `clock`.
+    pub fn new(clock: Box<dyn Clock>) -> Self {
+        TraceRecorder {
+            clock,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<SpanRec>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A snapshot of all recorded spans, in start order.
+    pub fn spans(&self) -> Vec<SpanRec> {
+        self.lock().clone()
+    }
+
+    /// The index of the root ancestor of span `i`.
+    fn root_of(spans: &[SpanRec], mut i: usize) -> usize {
+        while let Some(p) = spans[i].parent {
+            i = p;
+        }
+        i
+    }
+
+    /// chrome://tracing trace-event JSON. Each span becomes a complete
+    /// (`"ph": "X"`) event; `tid` groups spans by root ancestor so
+    /// concurrent span trees (e.g. served requests) land on separate
+    /// tracks.
+    pub fn to_chrome_json(&self) -> String {
+        let spans = self.lock();
+        let roots: Vec<usize> = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let events: Vec<Json> = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let root = Self::root_of(&spans, i);
+                let track = roots.iter().position(|r| *r == root).unwrap_or(0) + 1;
+                let end = s.end_ns.unwrap_or(s.start_ns);
+                let args = Json::obj(
+                    s.counters
+                        .iter()
+                        .map(|(name, n)| (*name, Json::Num(*n as f64))),
+                );
+                Json::obj([
+                    ("name", Json::Str(s.name.to_string())),
+                    ("ph", Json::Str("X".to_string())),
+                    ("ts", Json::Num(s.start_ns as f64 / 1_000.0)),
+                    ("dur", Json::Num(end.saturating_sub(s.start_ns) as f64 / 1_000.0)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(track as f64)),
+                    ("args", args),
+                ])
+            })
+            .collect();
+        Json::obj([("traceEvents", Json::Arr(events))]).to_string_pretty()
+    }
+
+    /// A nested span-tree JSON document: each node carries `name`,
+    /// `start_us`, `dur_us`, `counters`, `children`. Deterministic when
+    /// the recorder runs under a fake clock, which is what the golden
+    /// trace test commits.
+    pub fn span_tree_json(&self) -> String {
+        let spans = self.lock();
+        fn node(spans: &[SpanRec], i: usize) -> Json {
+            let s = &spans[i];
+            let end = s.end_ns.unwrap_or(s.start_ns);
+            let children: Vec<Json> = spans
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.parent == Some(i))
+                .map(|(j, _)| node(spans, j))
+                .collect();
+            Json::obj([
+                ("name", Json::Str(s.name.to_string())),
+                ("start_us", Json::Num(s.start_ns as f64 / 1_000.0)),
+                ("dur_us", Json::Num(end.saturating_sub(s.start_ns) as f64 / 1_000.0)),
+                (
+                    "counters",
+                    Json::obj(
+                        s.counters
+                            .iter()
+                            .map(|(name, n)| (*name, Json::Num(*n as f64))),
+                    ),
+                ),
+                ("children", Json::Arr(children)),
+            ])
+        }
+        let roots: Vec<Json> = spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent.is_none())
+            .map(|(i, _)| node(&spans, i))
+            .collect();
+        Json::obj([("spans", Json::Arr(roots))]).to_string_pretty()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &'static str, parent: SpanId) -> SpanId {
+        let start_ns = self.clock.now_ns();
+        let mut spans = self.lock();
+        spans.push(SpanRec {
+            name,
+            parent: if parent.is_none() {
+                None
+            } else {
+                Some(parent.0 as usize)
+            },
+            start_ns,
+            end_ns: None,
+            counters: Vec::new(),
+        });
+        SpanId(spans.len() as u64 - 1)
+    }
+
+    fn span_end(&self, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        let end_ns = self.clock.now_ns();
+        let mut spans = self.lock();
+        if let Some(span) = spans.get_mut(id.0 as usize) {
+            span.end_ns = Some(end_ns);
+        }
+    }
+
+    fn count(&self, span: SpanId, name: &'static str, n: u64) {
+        debug_assert!(counter::index_of(name).is_some(), "uncatalogued counter {name}");
+        let mut spans = self.lock();
+        let Some(rec) = (if span.is_none() {
+            None
+        } else {
+            spans.get_mut(span.0 as usize)
+        }) else {
+            return;
+        };
+        if let Some(entry) = rec.counters.iter_mut().find(|(k, _)| *k == name) {
+            entry.1 += n;
+        } else {
+            rec.counters.push((name, n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+    use crate::{stage, Ctx};
+
+    fn sample() -> TraceRecorder {
+        let rec = TraceRecorder::new(Box::new(FakeClock::new(1_000)));
+        {
+            let ctx = Ctx::new(&rec);
+            let convert = ctx.span(stage::CONVERT);
+            {
+                let tok = convert.ctx().span(stage::TOKENIZATION);
+                tok.ctx().count(counter::TOKENS_SPLIT, 4);
+                tok.ctx().count(counter::TOKENS_SPLIT, 2);
+            }
+            let _mine = ctx.span(stage::MINE);
+        }
+        rec
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let rec = sample();
+        let doc = Json::parse(&rec.to_chrome_json()).expect("chrome export parses");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 3);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(ev.get("pid").and_then(Json::as_f64), Some(1.0));
+            let name = ev.get("name").and_then(Json::as_str).unwrap();
+            assert!(stage::index_of(name).is_some(), "uncatalogued stage {name}");
+        }
+        // Both roots get distinct tracks; the child shares its parent's.
+        let tids: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("tid").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(tids, vec![1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn counters_merge_per_span_and_survive_export() {
+        let rec = sample();
+        let spans = rec.spans();
+        assert_eq!(spans[1].counters, vec![(counter::TOKENS_SPLIT, 6)]);
+        let doc = Json::parse(&rec.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let tok = &events[1];
+        assert_eq!(
+            tok.get("args")
+                .and_then(|a| a.get(counter::TOKENS_SPLIT))
+                .and_then(Json::as_f64),
+            Some(6.0)
+        );
+    }
+
+    #[test]
+    fn span_tree_nests_children_under_parents_deterministically() {
+        let a = sample().span_tree_json();
+        let b = sample().span_tree_json();
+        assert_eq!(a, b, "fake-clock traces must be byte-identical");
+        let doc = Json::parse(&a).unwrap();
+        let roots = doc.get("spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].get("name").and_then(Json::as_str), Some(stage::CONVERT));
+        let children = roots[0].get("children").and_then(Json::as_arr).unwrap();
+        assert_eq!(children.len(), 1);
+        assert_eq!(
+            children[0].get("name").and_then(Json::as_str),
+            Some(stage::TOKENIZATION)
+        );
+    }
+
+    #[test]
+    fn fake_clock_timestamps_are_exact() {
+        let rec = sample();
+        let spans = rec.spans();
+        // Clock readings in order: convert start, tok start, tok end,
+        // mine start, mine end, convert end — 1µs apart.
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[1].start_ns, 1_000);
+        assert_eq!(spans[1].end_ns, Some(2_000));
+        assert_eq!(spans[2].start_ns, 3_000);
+        assert_eq!(spans[2].end_ns, Some(4_000));
+        assert_eq!(spans[0].end_ns, Some(5_000));
+    }
+}

@@ -137,6 +137,18 @@ struct ChildAgg {
 /// context becomes optional (required for soundness: a document following
 /// the child-free context must still validate).
 pub fn derive_dtd(schema: &MajoritySchema, corpus: &[DocPaths], config: &DtdConfig) -> Dtd {
+    derive_dtd_obs(schema, corpus, config, webre_obs::Ctx::disabled())
+}
+
+/// [`derive_dtd`] with observability: the derivation runs under a
+/// `derive-dtd` span. The resulting DTD is identical.
+pub fn derive_dtd_obs(
+    schema: &MajoritySchema,
+    corpus: &[DocPaths],
+    config: &DtdConfig,
+    ctx: webre_obs::Ctx<'_>,
+) -> Dtd {
+    let _span = ctx.span(webre_obs::stage::DERIVE_DTD);
     let mut dtd = Dtd::new(schema.root_label());
 
     // Group schema nodes by label, preserving first-seen (pre-order) order.

@@ -19,6 +19,7 @@ use crate::majority::{MajoritySchema, SchemaNode};
 use crate::paths::{DocPaths, LabelPath};
 use std::collections::BTreeSet;
 use webre_concepts::ConstraintSet;
+use webre_obs::{counter, stage, Ctx};
 use webre_tree::NodeId;
 
 /// The corpus interface the miner actually needs. A plain `[DocPaths]`
@@ -108,6 +109,29 @@ pub struct MiningOutcome {
     pub nodes_accepted: usize,
 }
 
+/// Candidate-path counters accumulated by one mining run. `explored` and
+/// `accepted` surface in [`MiningOutcome`]; `pruned` (support-threshold
+/// cuts, the anti-monotone short-circuit) is reported through the
+/// observability context only.
+#[derive(Clone, Copy, Debug, Default)]
+struct MineCounters {
+    explored: usize,
+    accepted: usize,
+    pruned: usize,
+}
+
+impl MineCounters {
+    fn report(&self, ctx: Ctx<'_>) {
+        ctx.count(counter::PATHS_EXPLORED, self.explored as u64);
+        if self.accepted > 0 {
+            ctx.count(counter::PATHS_ACCEPTED, self.accepted as u64);
+        }
+        if self.pruned > 0 {
+            ctx.count(counter::PATHS_PRUNED, self.pruned as u64);
+        }
+    }
+}
+
 impl FrequentPathMiner {
     /// Mines the corpus. The root label is the most common document root.
     ///
@@ -121,20 +145,37 @@ impl FrequentPathMiner {
     /// runs, reachable for incrementally accreted corpora
     /// ([`crate::CorpusIndex`]).
     pub fn mine_view(&self, corpus: &(impl CorpusView + ?Sized)) -> Option<MiningOutcome> {
+        self.mine_view_obs(corpus, Ctx::disabled())
+    }
+
+    /// [`mine_view`](Self::mine_view) with observability: the run opens a
+    /// `mine-frequent-paths` span and reports explored/accepted/pruned
+    /// candidate counts. The mining result is identical.
+    pub fn mine_view_obs(
+        &self,
+        corpus: &(impl CorpusView + ?Sized),
+        ctx: Ctx<'_>,
+    ) -> Option<MiningOutcome> {
+        let scope = ctx.span(stage::MINE);
+        let ctx = scope.ctx();
         if corpus.doc_count() == 0 {
             return None;
         }
         let root_label = corpus.root_votes()[0].0.clone();
 
-        let mut explored = 1usize;
-        let mut accepted = 0usize;
+        let mut counters = MineCounters {
+            explored: 1,
+            ..MineCounters::default()
+        };
         let root_path = vec![root_label.clone()];
         let root_count = corpus.frequency(&root_path);
         let root_support = root_count as f64 / corpus.doc_count() as f64;
         if root_support < self.sup_threshold {
+            counters.pruned += 1;
+            counters.report(ctx);
             return None;
         }
-        accepted += 1;
+        counters.accepted += 1;
         let mut schema =
             MajoritySchema::new(root_label, root_support, root_count, corpus.doc_count());
         let root = schema.tree.root();
@@ -144,17 +185,16 @@ impl FrequentPathMiner {
             root,
             &root_path,
             root_support,
-            &mut explored,
-            &mut accepted,
+            &mut counters,
         );
+        counters.report(ctx);
         Some(MiningOutcome {
             schema,
-            nodes_explored: explored,
-            nodes_accepted: accepted,
+            nodes_explored: counters.explored,
+            nodes_accepted: counters.accepted,
         })
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn extend(
         &self,
         corpus: &(impl CorpusView + ?Sized),
@@ -162,8 +202,7 @@ impl FrequentPathMiner {
         node: NodeId,
         prefix: &LabelPath,
         prefix_support: f64,
-        explored: &mut usize,
-        accepted: &mut usize,
+        counters: &mut MineCounters,
     ) {
         if self.max_len.is_some_and(|m| prefix.len() >= m) {
             return;
@@ -171,7 +210,7 @@ impl FrequentPathMiner {
         // Candidate child labels observed in documents containing the
         // prefix, in deterministic order.
         for label in corpus.child_labels(prefix) {
-            *explored += 1;
+            counters.explored += 1;
             let mut path = prefix.clone();
             path.push(label.clone());
             if let Some(cs) = &self.constraints {
@@ -183,6 +222,7 @@ impl FrequentPathMiner {
             let count = corpus.frequency(&path);
             let support = count as f64 / corpus.doc_count() as f64;
             if support < self.sup_threshold {
+                counters.pruned += 1;
                 continue; // anti-monotone: no extension can succeed
             }
             let ratio = if prefix_support > 0.0 {
@@ -193,7 +233,7 @@ impl FrequentPathMiner {
             if ratio < self.ratio_threshold {
                 continue;
             }
-            *accepted += 1;
+            counters.accepted += 1;
             let child = schema.tree.append_child(
                 node,
                 SchemaNode {
@@ -202,7 +242,7 @@ impl FrequentPathMiner {
                     doc_count: count,
                 },
             );
-            self.extend(corpus, schema, child, &path, support, explored, accepted);
+            self.extend(corpus, schema, child, &path, support, counters);
         }
     }
 }

@@ -223,6 +223,110 @@ mod tests {
         }
     }
 
+    /// A random label-tree corpus: documents mostly share one root so
+    /// mining usually clears the support threshold.
+    fn random_corpus(rng: &mut webre_substrate::rand::rngs::StdRng) -> Vec<DocPaths> {
+        use webre_substrate::rand::seq::SliceRandom;
+        use webre_substrate::rand::Rng;
+        const LABELS: &[&str] = &["a", "b", "c", "d"];
+        fn random_element(
+            rng: &mut webre_substrate::rand::rngs::StdRng,
+            label: &str,
+            depth: u32,
+        ) -> String {
+            let arity = if depth == 0 { 0 } else { rng.gen_range(0..=3u32) };
+            if arity == 0 {
+                return format!("<{label}/>");
+            }
+            let children: String = (0..arity)
+                .map(|_| {
+                    let child = *LABELS.choose(rng).expect("non-empty");
+                    random_element(rng, child, depth - 1)
+                })
+                .collect();
+            format!("<{label}>{children}</{label}>")
+        }
+        let n = rng.gen_range(2..=6usize);
+        (0..n)
+            .map(|_| {
+                let root = if rng.gen_bool(0.85) { "r" } else { "s" };
+                let xml = random_element(rng, root, 3);
+                extract_paths(&parse_xml(&xml).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_mining_equals_batch_mining_on_random_corpora() {
+        use webre_substrate::rand::seq::SliceRandom;
+        use webre_substrate::rand::{Rng, SeedableRng};
+        const SUPS: &[f64] = &[0.0, 0.25, 0.5, 0.75];
+        const RATIOS: &[f64] = &[0.0, 0.3, 0.8];
+        for seed in 0..40u64 {
+            let mut rng = webre_substrate::rand::rngs::StdRng::seed_from_u64(seed);
+            let docs = random_corpus(&mut rng);
+            let index = CorpusIndex::from_docs(docs.clone());
+            let miner = FrequentPathMiner {
+                sup_threshold: *SUPS.choose(&mut rng).unwrap(),
+                ratio_threshold: *RATIOS.choose(&mut rng).unwrap(),
+                max_len: rng.gen_bool(0.25).then(|| rng.gen_range(1..=3usize)),
+                constraints: None,
+            };
+            match (miner.mine(&docs), miner.mine_view(&index)) {
+                (None, None) => {}
+                (Some(batch), Some(incremental)) => {
+                    assert_eq!(
+                        batch.schema.render(),
+                        incremental.schema.render(),
+                        "seed {seed}: schemas diverge"
+                    );
+                    assert_eq!(batch.nodes_explored, incremental.nodes_explored, "seed {seed}");
+                    assert_eq!(batch.nodes_accepted, incremental.nodes_accepted, "seed {seed}");
+                }
+                (batch, incremental) => panic!(
+                    "seed {seed}: batch mined {} but incremental mined {}",
+                    if batch.is_some() { "a schema" } else { "nothing" },
+                    if incremental.is_some() { "a schema" } else { "nothing" },
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn random_accretion_order_never_changes_the_index_answers() {
+        use webre_substrate::rand::seq::SliceRandom;
+        use webre_substrate::rand::SeedableRng;
+        for seed in 0..20u64 {
+            let mut rng = webre_substrate::rand::rngs::StdRng::seed_from_u64(seed);
+            let docs = random_corpus(&mut rng);
+            let mut shuffled = docs.clone();
+            shuffled.shuffle(&mut rng);
+            let (a, b) = (
+                CorpusIndex::from_docs(docs.clone()),
+                CorpusIndex::from_docs(shuffled),
+            );
+            // Table-level equality, not just equal mining output: every
+            // path in the universe answers identically.
+            let mut universe: Vec<&LabelPath> =
+                docs.iter().flat_map(|d| d.paths.iter()).collect();
+            universe.sort();
+            universe.dedup();
+            for path in universe {
+                assert_eq!(
+                    CorpusView::frequency(&a, path),
+                    CorpusView::frequency(&b, path),
+                    "seed {seed}: frequency diverges on {path:?}"
+                );
+                assert_eq!(
+                    a.child_labels(path),
+                    b.child_labels(path),
+                    "seed {seed}: children diverge under {path:?}"
+                );
+            }
+            assert_eq!(a.root_votes(), b.root_votes(), "seed {seed}");
+        }
+    }
+
     #[test]
     fn minority_root_is_outvoted() {
         let docs = corpus(&["<cv><a/></cv>", "<resume><a/></resume>", "<resume><b/></resume>"]);

@@ -20,7 +20,7 @@ pub mod majority;
 pub mod paths;
 pub mod search_space;
 
-pub use dtd_rules::{derive_dtd, DtdConfig};
+pub use dtd_rules::{derive_dtd, derive_dtd_obs, DtdConfig};
 pub use frequent::{CorpusView, FrequentPathMiner, MiningOutcome};
 pub use incremental::CorpusIndex;
 pub use majority::{MajoritySchema, SchemaNode};

@@ -216,4 +216,118 @@ mod tests {
             constrained_enumeration(&concepts, &resume::constraints(), "resume", 3);
         assert!(constrained.admissible < unconstrained.admissible);
     }
+
+    #[test]
+    fn trie_and_exhaustive_formulas_agree_via_geometric_identity() {
+        // (n − 1) · Σ_{k=0..len} n^k = n^(len+1) − 1: the paper's count is
+        // the trie count scaled by the branching factor minus one.
+        for n in 2..=24usize {
+            for len in 0..=4usize {
+                assert_eq!(
+                    (n as u64 - 1) * trie_size(n, len),
+                    exhaustive_size(n, len),
+                    "identity fails for n={n}, len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_are_monotone_in_max_len() {
+        let concepts = resume::concepts();
+        let constraints = resume::constraints();
+        let mut previous = EnumerationResult {
+            admissible: 0,
+            tested: 0,
+        };
+        for max_len in 1..=5usize {
+            let result =
+                constrained_enumeration(&concepts, &constraints, "resume", max_len);
+            assert!(result.admissible <= result.tested, "max_len {max_len}");
+            assert!(
+                result.admissible >= previous.admissible
+                    && result.tested >= previous.tested,
+                "counts shrank going to max_len {max_len}"
+            );
+            previous = result;
+        }
+    }
+
+    /// A random corpus whose labels all come from the resume concept
+    /// alphabet and whose documents all share the `resume` root, so the
+    /// miner's candidate space and the alphabet-driven exploration range
+    /// over the same labels.
+    fn random_resume_corpus(
+        rng: &mut webre_substrate::rand::rngs::StdRng,
+        labels: &[&str],
+    ) -> Vec<DocPaths> {
+        use webre_substrate::rand::seq::SliceRandom;
+        use webre_substrate::rand::Rng;
+        fn element(
+            rng: &mut webre_substrate::rand::rngs::StdRng,
+            labels: &[&str],
+            name: &str,
+            depth: u32,
+        ) -> String {
+            let arity = if depth == 0 { 0 } else { rng.gen_range(0..=3u32) };
+            if arity == 0 {
+                return format!("<{name}/>");
+            }
+            let children: String = (0..arity)
+                .map(|_| {
+                    let child = *labels.choose(rng).expect("non-empty");
+                    element(rng, labels, child, depth - 1)
+                })
+                .collect();
+            format!("<{name}>{children}</{name}>")
+        }
+        let n = rng.gen_range(1..=5usize);
+        (0..n)
+            .map(|_| {
+                let xml = element(rng, labels, "resume", 4);
+                extract_paths(&parse_xml(&xml).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn data_driven_count_matches_miner_acceptance_on_random_corpora() {
+        // With the support threshold at zero (every observed path is
+        // frequent) and no ratio cut, the miner accepts exactly the
+        // constraint-admissible paths with non-zero corpus support — the
+        // set `data_driven_exploration` counts. Randomized corpora over
+        // the concept alphabet exercise the equivalence beyond the paper's
+        // single fixture.
+        use crate::frequent::FrequentPathMiner;
+        use webre_substrate::rand::{Rng, SeedableRng};
+        let concepts = resume::concepts();
+        let constraints = resume::constraints();
+        let labels: Vec<&str> = concepts.names().collect();
+        for seed in 0..30u64 {
+            let mut rng = webre_substrate::rand::rngs::StdRng::seed_from_u64(seed);
+            let corpus = random_resume_corpus(&mut rng, &labels);
+            let max_len = rng.gen_range(2..=5usize);
+            let counted = data_driven_exploration(
+                &concepts,
+                &constraints,
+                &corpus,
+                "resume",
+                max_len,
+            );
+            let miner = FrequentPathMiner {
+                sup_threshold: 0.0,
+                ratio_threshold: 0.0,
+                constraints: Some(constraints.clone()),
+                max_len: Some(max_len),
+            };
+            let accepted = miner
+                .mine(&corpus)
+                .map_or(0, |outcome| outcome.nodes_accepted as u64);
+            assert_eq!(
+                counted, accepted,
+                "seed {seed}, max_len {max_len}: exploration count diverges \
+                 from miner acceptance"
+            );
+        }
+    }
 }

@@ -10,9 +10,11 @@
 use crate::cache::{content_hash, ShardedLru};
 use crate::engine::Engine;
 use crate::metrics::Metrics;
+use crate::obs::ObsLayer;
 use crate::router::{route, Route};
 use crate::state::LiveCorpus;
 use std::sync::atomic::{AtomicBool, Ordering};
+use webre_obs::Ctx;
 use webre_substrate::http::{Request, Response};
 use webre_substrate::json::Json;
 
@@ -27,6 +29,8 @@ pub struct App {
     pub corpus: LiveCorpus,
     /// Counters and histograms.
     pub metrics: Metrics,
+    /// Per-stage span recording (stats for `/metrics`, optional trace).
+    pub obs: ObsLayer,
     /// Set by `/shutdown`; the acceptor polls it and workers stop
     /// keep-alive once draining.
     pub draining: AtomicBool,
@@ -36,11 +40,18 @@ impl App {
     /// Fresh state for `workers` worker threads and a `cache_cap`-entry
     /// cache.
     pub fn new(engine: Engine, cache_cap: usize, workers: usize) -> Self {
+        App::with_obs(engine, cache_cap, workers, ObsLayer::default())
+    }
+
+    /// [`App::new`] with an explicit observability layer (the server
+    /// passes a tracing layer when started with a trace recorder).
+    pub fn with_obs(engine: Engine, cache_cap: usize, workers: usize, obs: ObsLayer) -> Self {
         App {
             engine,
             cache: ShardedLru::new(cache_cap),
             corpus: LiveCorpus::new(),
             metrics: Metrics::new(workers),
+            obs,
             draining: AtomicBool::new(false),
         }
     }
@@ -54,15 +65,23 @@ impl App {
 /// Dispatches one parsed request. Infallible by contract: every error
 /// becomes a status-coded response.
 pub fn handle(app: &App, request: &Request) -> Response {
+    handle_obs(app, request, Ctx::disabled())
+}
+
+/// [`handle`] with observability: pipeline stages invoked by the
+/// handlers record spans and counters under `ctx` (the worker pool
+/// passes a context parented at the per-request span). The response is
+/// identical.
+pub fn handle_obs(app: &App, request: &Request, ctx: Ctx<'_>) -> Response {
     let resolved = match route(&request.method, request.path()) {
         Ok(route) => route,
         Err(response) => return response,
     };
     match resolved {
-        Route::Convert => convert(app, &request.body),
-        Route::CorpusDocs => corpus_docs(app, &request.body),
-        Route::Schema => schema(app, false),
-        Route::SchemaDtd => schema(app, true),
+        Route::Convert => convert(app, &request.body, ctx),
+        Route::CorpusDocs => corpus_docs(app, &request.body, ctx),
+        Route::Schema => schema(app, false, ctx),
+        Route::SchemaDtd => schema(app, true, ctx),
         Route::Metrics => metrics(app),
         Route::Healthz => Response::text(200, "ok\n"),
         Route::Shutdown => shutdown(app),
@@ -71,24 +90,24 @@ pub fn handle(app: &App, request: &Request) -> Response {
 
 /// `POST /convert`: HTML → pretty-printed concept-tagged XML, through
 /// the content-hash cache.
-fn convert(app: &App, body: &[u8]) -> Response {
+fn convert(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
     let key = content_hash(body);
     if let Some(cached) = app.cache.get(key) {
         return Response::xml(200, cached.as_str()).with_header("x-cache", "hit");
     }
     let html = String::from_utf8_lossy(body);
-    let (_, _, xml) = app.engine.convert_to_xml(&html);
+    let (_, _, xml) = app.engine.convert_to_xml_obs(&html, ctx);
     let xml = std::sync::Arc::new(xml);
     app.cache.insert(key, std::sync::Arc::clone(&xml));
     Response::xml(200, xml.as_str()).with_header("x-cache", "miss")
 }
 
 /// `POST /corpus/docs`: convert, then accrete into the live corpus.
-fn corpus_docs(app: &App, body: &[u8]) -> Response {
+fn corpus_docs(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
     let html = String::from_utf8_lossy(body);
     // Conversion (the fallible, slow part) happens before the corpus
     // lock inside `accrete` is ever taken.
-    let (doc, stats) = app.engine.converter.convert_str(&html);
+    let (doc, stats) = app.engine.converter.convert_str_obs(&html, ctx);
     let (version, docs) = app.corpus.accrete(&doc, &stats);
     let reply = Json::Obj(vec![
         ("accepted".to_owned(), Json::Bool(true)),
@@ -100,8 +119,8 @@ fn corpus_docs(app: &App, body: &[u8]) -> Response {
 }
 
 /// `GET /schema` and `GET /schema/dtd`: the current snapshot.
-fn schema(app: &App, dtd: bool) -> Response {
-    let snapshot = app.corpus.snapshot(&app.engine);
+fn schema(app: &App, dtd: bool, ctx: Ctx<'_>) -> Response {
+    let snapshot = app.corpus.snapshot_obs(&app.engine, ctx);
     let text = if dtd {
         &snapshot.dtd_text
     } else {
@@ -118,19 +137,21 @@ fn schema(app: &App, dtd: bool) -> Response {
     }
 }
 
-/// `GET /metrics`: core counters plus cache lines.
+/// `GET /metrics`: core counters plus cache, corpus, and per-stage
+/// pipeline lines.
 fn metrics(app: &App) -> Response {
     let cache = app.cache.stats();
     let corpus_stats = app.corpus.stats();
     let extra = format!(
         "cache_hits_total {}\ncache_misses_total {}\ncache_entries {}\n\
-         corpus_docs {}\ncorpus_tokens_total {}\ncorpus_tokens_identified {}\n",
+         corpus_docs {}\ncorpus_tokens_total {}\ncorpus_tokens_identified {}\n{}",
         cache.hits,
         cache.misses,
         cache.entries,
         app.corpus.len(),
         corpus_stats.tokens_total,
         corpus_stats.tokens_identified,
+        app.obs.stats().render(),
     );
     Response::text(200, app.metrics.render(&extra))
 }

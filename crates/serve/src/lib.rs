@@ -46,6 +46,7 @@
 //! | [`cache`] | sharded LRU keyed by content hash |
 //! | [`state`] | live corpus: incremental index + versioned, lazily recomputed schema snapshot |
 //! | [`metrics`] | atomic counters and log-scale latency histograms |
+//! | [`obs`] | per-request span recording: stats aggregation + optional trace tee |
 //! | [`router`] | method/path → route resolution |
 //! | [`handlers`] | per-route request handling over shared [`handlers::App`] state |
 //! | [`pool`] | panic-isolated worker threads draining the job queue |
@@ -55,6 +56,7 @@ pub mod cache;
 pub mod engine;
 pub mod handlers;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod router;
 pub mod server;

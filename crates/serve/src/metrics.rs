@@ -10,14 +10,13 @@
 //! (`≤1µs, ≤2µs, …, ≤2³⁰µs ≈ 18min`, plus overflow), which bounds the
 //! histogram at 32 counters per endpoint while still resolving both
 //! cache hits (microseconds) and heavyweight conversions
-//! (milliseconds-to-seconds).
+//! (milliseconds-to-seconds). The bucketing scheme is shared with the
+//! per-stage pipeline aggregates (`webre_obs::hist::PowHistogram`), so
+//! endpoint and stage latencies line up bucket-for-bucket.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-
-/// Histogram bucket count: bucket `i` counts samples ≤ 2^i µs; the last
-/// bucket absorbs everything larger.
-const BUCKETS: usize = 31;
+use webre_obs::hist::{upper_bound, PowHistogram};
 
 /// The endpoints metrics are tracked for, in render order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,7 +84,7 @@ impl Endpoint {
 struct EndpointStats {
     requests: AtomicU64,
     total_us: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
+    hist: PowHistogram,
 }
 
 /// Shared server metrics. One instance per server, shared by acceptor
@@ -131,10 +130,7 @@ impl Metrics {
         stats.requests.fetch_add(1, Ordering::Relaxed);
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         stats.total_us.fetch_add(us, Ordering::Relaxed);
-        // Bucket = ⌈log₂ us⌉ so bucket i counts samples ≤ 2^i µs.
-        let bucket =
-            (64 - us.saturating_sub(1).leading_zeros() as usize).min(BUCKETS - 1);
-        stats.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        stats.hist.record(us);
     }
 
     /// Total requests served across endpoints.
@@ -195,17 +191,15 @@ impl Metrics {
             ));
             // Cumulative buckets, empty ones elided; +Inf always printed.
             let mut cumulative = 0u64;
-            for (i, bucket) in stats.buckets.iter().enumerate() {
-                let count = bucket.load(Ordering::Relaxed);
-                if count == 0 {
+            for (i, count) in stats.hist.counts().iter().enumerate() {
+                if *count == 0 {
                     continue;
                 }
                 cumulative += count;
-                let le = if i >= BUCKETS - 1 {
-                    "+Inf".to_owned()
-                } else {
-                    // Bucket i holds samples ≤ 2^i µs (i = 0 → ≤ 1µs).
-                    format!("{}", 1u64 << i)
+                // Bucket i holds samples ≤ 2^i µs (i = 0 → ≤ 1µs).
+                let le = match upper_bound(i) {
+                    Some(bound) => format!("{bound}"),
+                    None => "+Inf".to_owned(),
                 };
                 out.push_str(&format!(
                     "latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",

@@ -9,8 +9,9 @@
 //! acceptor stops), which by [`webre_substrate::sync`]'s contract
 //! happens only after every queued job has been drained.
 
-use crate::handlers::{handle, App};
+use crate::handlers::{handle_obs, App};
 use crate::metrics::Endpoint;
+use webre_obs::{stage, Ctx};
 use std::io::{self, BufReader};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -122,8 +123,15 @@ fn serve_connection(stream: TcpStream, app: &App, limits: Limits) {
             }
         };
         let started = Instant::now();
+        // The request span opens and closes inside the unwind guard, so
+        // a panicking handler still ends its span during unwinding and
+        // the span tally matches `requests_total` exactly.
         let (endpoint, response) =
-            match catch_unwind(AssertUnwindSafe(|| handle(app, &request))) {
+            match catch_unwind(AssertUnwindSafe(|| {
+                let ctx = Ctx::new(app.obs.recorder());
+                let scope = ctx.span(stage::REQUEST);
+                handle_obs(app, &request, scope.ctx())
+            })) {
                 Ok(response) => {
                     let endpoint = crate::router::route(&request.method, request.path())
                         .map(|r| r.endpoint())

@@ -22,6 +22,7 @@
 
 use crate::engine::Engine;
 use crate::handlers::App;
+use crate::obs::ObsLayer;
 use crate::pool::{Limits, WorkerPool};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -75,12 +76,23 @@ impl Server {
     /// Binds, spawns the worker pool and the acceptor, and returns
     /// immediately.
     pub fn start(config: ServeConfig, engine: Engine) -> io::Result<Server> {
+        Server::start_with_obs(config, engine, ObsLayer::default())
+    }
+
+    /// [`Server::start`] with an explicit observability layer — pass a
+    /// layer built over a trace recorder to capture per-request span
+    /// trees (`webre serve --trace-out`).
+    pub fn start_with_obs(
+        config: ServeConfig,
+        engine: Engine,
+        obs: ObsLayer,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking so the acceptor can poll the drain flag even when
         // no connection ever arrives.
         listener.set_nonblocking(true)?;
-        let app = Arc::new(App::new(engine, config.cache_cap, config.workers));
+        let app = Arc::new(App::with_obs(engine, config.cache_cap, config.workers, obs));
         let (tx, rx) = bounded::<TcpStream>(config.queue_cap);
         let limits = Limits {
             max_body: config.max_body,

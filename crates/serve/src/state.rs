@@ -19,7 +19,8 @@
 use crate::engine::Engine;
 use std::sync::{Arc, RwLock};
 use webre_convert::ConvertStats;
-use webre_schema::{derive_dtd, extract_paths, CorpusIndex};
+use webre_obs::Ctx;
+use webre_schema::{derive_dtd_obs, extract_paths, CorpusIndex};
 use webre_xml::XmlDocument;
 
 /// An immutable view of the discovered schema at some corpus version.
@@ -81,6 +82,14 @@ impl LiveCorpus {
 
     /// The current snapshot, recomputing at most once per corpus version.
     pub fn snapshot(&self, engine: &Engine) -> Arc<Snapshot> {
+        self.snapshot_obs(engine, Ctx::disabled())
+    }
+
+    /// [`LiveCorpus::snapshot`] with observability: a recompute (at most
+    /// one per corpus version) records mining and DTD-derivation spans
+    /// through `ctx`; cache hits record nothing. The snapshot is
+    /// identical.
+    pub fn snapshot_obs(&self, engine: &Engine, ctx: Ctx<'_>) -> Arc<Snapshot> {
         if let Some(snapshot) = self.read().snapshot.clone() {
             return snapshot;
         }
@@ -89,10 +98,15 @@ impl LiveCorpus {
         if let Some(snapshot) = inner.snapshot.clone() {
             return snapshot;
         }
-        let (schema_text, dtd_text) = match engine.miner.mine_view(&inner.index) {
+        let (schema_text, dtd_text) = match engine.miner.mine_view_obs(&inner.index, ctx) {
             None => (None, None),
             Some(outcome) => {
-                let dtd = derive_dtd(&outcome.schema, inner.index.docs(), &engine.dtd_config);
+                let dtd = derive_dtd_obs(
+                    &outcome.schema,
+                    inner.index.docs(),
+                    &engine.dtd_config,
+                    ctx,
+                );
                 (
                     Some(outcome.schema.render()),
                     Some(dtd.to_dtd_string()),

@@ -34,3 +34,14 @@ case "$serve_out" in
 esac
 WEBRE_BENCH_SERVE_OUT="$serve_out" cargo run --release -p webre-bench --bin serve_throughput
 echo "==> serve benchmark record(s) in $serve_out"
+
+# Observability overhead: full pipeline runs with tracing disabled vs the
+# stats recorder vs the full trace recorder; the summary record holds the
+# overhead percentages against the <3% target.
+obs_out="${WEBRE_BENCH_OBS_OUT:-$PWD/BENCH_obs.json}"
+case "$obs_out" in
+    /*) ;;
+    *) obs_out="$PWD/$obs_out" ;;
+esac
+WEBRE_BENCH_OBS_OUT="$obs_out" cargo run --release -p webre-bench --bin obs_overhead
+echo "==> observability benchmark record(s) in $obs_out"

@@ -58,6 +58,36 @@ trap - EXIT
 rm -rf "$smoke_dir"
 echo "    serve round-trip, cache hit and graceful drain all verified"
 
+echo "==> trace smoke gate (--trace-out emits valid chrome://tracing JSON)"
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+./target/release/webre generate --count 4 --seed 11 --out-dir "$trace_dir/docs"
+./target/release/webre run "$trace_dir"/docs/*.html \
+    --out-dir "$trace_dir/out" --trace-out "$trace_dir/trace.json" > /dev/null
+# The trace must parse as JSON and cover every pipeline stage the run
+# exercises: all four restructuring rules plus mining and DTD derivation.
+python3 - "$trace_dir/trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+names = {event["name"] for event in doc["traceEvents"]}
+required = {"tokenization-rule", "concept-instance-rule", "grouping-rule",
+            "consolidation-rule", "mine-frequent-paths", "derive-dtd"}
+missing = required - names
+assert not missing, f"trace missing stages: {sorted(missing)}"
+PY
+# Captured to a file, not piped into `grep -q`: an early-exiting grep
+# closes the pipe and the binary dies on SIGPIPE mid-print.
+./target/release/webre stats "$trace_dir/trace.json" > "$trace_dir/stats.txt"
+grep -q 'mine-frequent-paths' "$trace_dir/stats.txt" \
+    || { echo "FAIL: webre stats did not summarize the trace" >&2; exit 1; }
+# Tracing must be provably non-perturbing: the dedicated differential
+# oracle re-runs the pipeline traced vs untraced and compares bytes.
+./target/release/webre check --only trace-noop --iters 50 --seed 1
+trap - EXIT
+rm -rf "$trace_dir"
+echo "    trace export, stats summary and trace-noop oracle all verified"
+
 echo "==> dependency guard (Cargo.lock must contain only workspace crates)"
 # Registry/git dependencies carry a `source = ...` line in Cargo.lock;
 # path-only workspace members never do.
