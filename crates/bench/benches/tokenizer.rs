@@ -1,7 +1,7 @@
 //! Benchmark: topic-sentence tokenization and concept-instance matching.
 
 use webre_substrate::bench::{criterion_group, criterion_main, Criterion, Throughput};
-use webre_concepts::{matcher::find_matches, resume};
+use webre_concepts::{matcher::find_matches, resume, ConceptMatcher};
 use webre_text::tokenize::{split_tokens, Delimiters};
 
 fn bench_tokenizer(c: &mut Criterion) {
@@ -9,6 +9,7 @@ fn bench_tokenizer(c: &mut Criterion) {
         "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0";
     let delims = Delimiters::default();
     let concepts = resume::concepts();
+    let matcher = ConceptMatcher::new(&concepts);
 
     let mut group = c.benchmark_group("text");
     group.throughput(Throughput::Bytes(sentence.len() as u64));
@@ -18,6 +19,9 @@ fn bench_tokenizer(c: &mut Criterion) {
     group.bench_function("find_matches", |b| {
         b.iter(|| std::hint::black_box(find_matches(&concepts, sentence)))
     });
+    group.bench_function("automaton_find_matches", |b| {
+        b.iter(|| std::hint::black_box(matcher.find_matches(sentence)))
+    });
     group.bench_function("tokenize_then_match", |b| {
         b.iter(|| {
             for tok in split_tokens(sentence, &delims) {
@@ -25,7 +29,20 @@ fn bench_tokenizer(c: &mut Criterion) {
             }
         })
     });
+    group.bench_function("tokenize_then_match_automaton", |b| {
+        b.iter(|| {
+            for tok in split_tokens(sentence, &delims) {
+                std::hint::black_box(matcher.find_matches(&tok));
+            }
+        })
+    });
     group.finish();
+
+    // One-time cost of compiling the resume catalogue into the dense DFA
+    // (paid once per `Converter`, amortized over every conversion).
+    c.bench_function("text/automaton_build", |b| {
+        b.iter(|| std::hint::black_box(ConceptMatcher::new(&concepts)))
+    });
 }
 
 criterion_group!(benches, bench_tokenizer);

@@ -9,6 +9,8 @@
 
 use crate::gen;
 use crate::reference::{ref_matches, ref_mine, sample_word};
+use std::sync::OnceLock;
+use webre_concepts::{Concept, ConceptMatcher, ConceptRole, ConceptSet};
 use webre_convert::Converter;
 use webre_schema::{extract_paths, DocPaths, FrequentPathMiner};
 use webre_substrate::rand::rngs::StdRng;
@@ -331,6 +333,150 @@ pub fn miner(rng: &mut StdRng) -> Result<(), String> {
     }
 }
 
+/// Instance pool for the fuzzed concept catalogues: deliberately stacked
+/// with prefixes/suffixes of each other (`uni` / `university` /
+/// `universality`, `ver` / `versity`), multi-word instances that overlap
+/// single-word ones, punctuation-heavy degree strings, and unicode whose
+/// lowercase form changes byte length (`İstanbul`).
+const INSTANCE_POOL: &[&str] = &[
+    "uni",
+    "university",
+    "universality",
+    "college",
+    "state college",
+    "b.s.",
+    "b.s. degree",
+    "m.s.",
+    "science",
+    "bachelor of science",
+    "june",
+    "june 1996",
+    "1996",
+    "gpa",
+    "c++",
+    "ver",
+    "versity",
+    "résumé",
+    "istanbul",
+    "İstanbul",
+];
+
+/// Filler that must never match (plus delimiters and whitespace shapes).
+const NOISE_POOL: &[&str] = &[
+    "zorp", "the", "of", "at", ",", ";", ":", "  ", " ", "universit", "ollege", "",
+];
+
+/// A random concept catalogue: a handful of concepts, each with a few
+/// instances drawn (with cross-concept repetition, to force equal-span
+/// tie-breaks) from [`INSTANCE_POOL`].
+fn random_concept_set(rng: &mut StdRng) -> ConceptSet {
+    let concepts = rng.gen_range(1..=5usize);
+    (0..concepts)
+        .map(|i| {
+            let instances: Vec<&str> = (0..rng.gen_range(1..=4usize))
+                .map(|_| *INSTANCE_POOL.choose(rng).expect("non-empty"))
+                .collect();
+            Concept::new(format!("c{i}"), ConceptRole::Content, instances)
+        })
+        .collect()
+}
+
+/// A random token text: instance words and noise glued together, with
+/// random per-character case flips so the lowercasing path is always hot.
+fn random_token_text(rng: &mut StdRng) -> String {
+    let mut text = String::new();
+    for _ in 0..rng.gen_range(0..=8usize) {
+        let piece = if rng.gen_bool(0.6) {
+            *INSTANCE_POOL.choose(rng).expect("non-empty")
+        } else {
+            *NOISE_POOL.choose(rng).expect("non-empty")
+        };
+        for c in piece.chars() {
+            if rng.gen_bool(0.3) {
+                text.extend(c.to_uppercase());
+            } else {
+                text.push(c);
+            }
+        }
+        if rng.gen_bool(0.7) {
+            text.push(' ');
+        }
+    }
+    text
+}
+
+/// The resume catalogue compiled once, plus every token the golden
+/// fixtures produce — the fixed half of the matcher oracle. Compiled
+/// lazily and cached: the catalogue and fixtures are constants, so
+/// rebuilding the automaton per case would only add noise.
+fn resume_fixture_state() -> &'static (ConceptSet, ConceptMatcher, Vec<String>) {
+    static STATE: OnceLock<(ConceptSet, ConceptMatcher, Vec<String>)> = OnceLock::new();
+    STATE.get_or_init(|| {
+        const FIXTURES: &[&str] = &[
+            include_str!("../../../tests/fixtures/resume_clean.html"),
+            include_str!("../../../tests/fixtures/resume_nested.html"),
+            include_str!("../../../tests/fixtures/resume_soup.html"),
+            include_str!("../../../tests/fixtures/resume_table.html"),
+        ];
+        let set = webre_concepts::resume::concepts();
+        let matcher = ConceptMatcher::new(&set);
+        let delims = webre_text::tokenize::Delimiters::default();
+        let mut tokens = Vec::new();
+        for fixture in FIXTURES {
+            let doc = webre_html::parse(fixture);
+            for id in doc.tree.descendants(doc.tree.root()) {
+                if let webre_html::HtmlNode::Text(t) = doc.tree.value(id) {
+                    tokens.extend(webre_text::tokenize::split_tokens(t, &delims));
+                }
+            }
+        }
+        (set, matcher, tokens)
+    })
+}
+
+/// One automaton-vs-naive comparison, with a divergence report that shows
+/// both match lists.
+fn compare_matchers(
+    set: &ConceptSet,
+    automaton: &ConceptMatcher,
+    text: &str,
+) -> Result<(), String> {
+    let naive = webre_concepts::find_matches(set, text);
+    let fast = automaton.find_matches(text);
+    if naive != fast {
+        return Err(format!(
+            "automaton diverges from naive scanner\n  text: {}\n  naive:     {naive:?}\n  automaton: {fast:?}",
+            snippet(text)
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 8 — matcher-vs-naive: the Aho–Corasick concept automaton must
+/// produce *identical* match sets (positions, concept attribution,
+/// overlap/tie resolution) to the retained naive per-instance scanner —
+/// on fuzzed catalogues over fuzzed token streams, and with the full
+/// resume catalogue over every token of the golden fixtures. This is the
+/// oracle that licenses routing the conversion hot path through the
+/// automaton: any divergence is a byte-visible output change.
+pub fn matcher_vs_naive(rng: &mut StdRng) -> Result<(), String> {
+    // Fuzzed half: a fresh catalogue, compiled fresh, against a batch of
+    // adversarial token texts.
+    let set = random_concept_set(rng);
+    let automaton = ConceptMatcher::new(&set);
+    for _ in 0..8 {
+        let text = random_token_text(rng);
+        compare_matchers(&set, &automaton, &text)?;
+    }
+    // Fixed half: the production catalogue against the golden fixtures'
+    // real token population.
+    let (set, matcher, tokens) = resume_fixture_state();
+    for token in tokens {
+        compare_matchers(set, matcher, token)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +527,19 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             trace_noop(&mut rng).unwrap();
         }
+    }
+
+    #[test]
+    fn matcher_vs_naive_holds_on_many_seeds() {
+        run_many(matcher_vs_naive, "matcher-vs-naive");
+    }
+
+    #[test]
+    fn fixture_tokens_are_nonempty() {
+        // The fixed half of the matcher oracle would be vacuous if fixture
+        // tokenization ever produced nothing.
+        let (_, _, tokens) = resume_fixture_state();
+        assert!(tokens.len() >= 40, "only {} fixture tokens", tokens.len());
     }
 
     #[test]

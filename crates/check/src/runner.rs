@@ -47,6 +47,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("miner-vs-bruteforce", Kind::Differential, crate::oracles::miner),
     ("serve-vs-batch", Kind::Differential, crate::oracles::serve_vs_batch),
     ("trace-noop", Kind::Differential, crate::oracles::trace_noop),
+    ("matcher-vs-naive", Kind::Differential, crate::oracles::matcher_vs_naive),
     ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
     ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
     ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
@@ -235,12 +236,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Seven differential + three metamorphic + one fuzz oracle; the
+        // Eight differential + three metamorphic + one fuzz oracle; the
         // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 11);
+        assert_eq!(a.oracles.len(), 12);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            7
+            8
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

@@ -13,6 +13,9 @@
 //! * [`matcher`] — position-aware instance matching inside tokens, the
 //!   engine of the concept instance rule (including the multi-instance
 //!   decomposition case);
+//! * [`automaton`] — the Aho–Corasick fast path: the whole catalogue
+//!   compiled once into a byte-level DFA, match-equivalent to [`matcher`]
+//!   (enforced by the `matcher-vs-naive` oracle);
 //! * [`constraints`] — the constraint algebra and path admission checks;
 //! * [`discovery`] — automatic extraction of new concept instances from
 //!   labeled tokens (the paper's Section 5 future work);
@@ -20,12 +23,14 @@
 //!   24 concepts, 233 instances, 11 title names and 13 content names,
 //!   mirroring the paper's setup.
 
+pub mod automaton;
 pub mod concept;
 pub mod constraints;
 pub mod discovery;
 pub mod matcher;
 pub mod resume;
 
+pub use automaton::ConceptMatcher;
 pub use concept::{Concept, ConceptRole, ConceptSet, Domain};
 pub use constraints::{Comparator, Constraint, ConstraintSet};
 pub use matcher::{find_matches, ConceptMatch};

@@ -32,7 +32,9 @@ impl ConceptMatch {
 
 /// Lowercases `text` while keeping a map from each byte of the lowered
 /// string back to the byte offset of the originating character in `text`.
-fn lower_with_map(text: &str) -> (String, Vec<usize>) {
+/// Shared with the automaton fast path so both matchers see the exact
+/// same lowered text and offset mapping.
+pub(crate) fn lower_with_map(text: &str) -> (String, Vec<usize>) {
     let mut lower = String::with_capacity(text.len());
     let mut map = Vec::with_capacity(text.len());
     for (orig_idx, ch) in text.char_indices() {
@@ -48,7 +50,7 @@ fn lower_with_map(text: &str) -> (String, Vec<usize>) {
     (lower, map)
 }
 
-fn is_word_char(c: char) -> bool {
+pub(crate) fn is_word_char(c: char) -> bool {
     c.is_alphanumeric()
 }
 
@@ -56,6 +58,13 @@ fn is_word_char(c: char) -> bool {
 /// in `text`. Matches are returned sorted by start position; overlapping
 /// matches are resolved longest-first (so `"B.S. degree"` beats `"degree"`),
 /// and at equal spans the earlier concept in the set wins.
+///
+/// This is the *naive* per-instance scanner: every instance of every
+/// concept is searched independently, which is O(instances × text). The
+/// conversion hot path uses [`crate::automaton::ConceptMatcher`] instead
+/// (one automaton pass over the text); this scanner is retained as the
+/// independent reference the `matcher-vs-naive` differential oracle
+/// checks the automaton against.
 pub fn find_matches(set: &ConceptSet, text: &str) -> Vec<ConceptMatch> {
     let (lower, map) = lower_with_map(text);
     let mut candidates: Vec<ConceptMatch> = Vec::new();

@@ -1,10 +1,10 @@
 //! The conversion pipeline: configuration, statistics, and the
 //! [`Converter`] that wires the four restructuring rules together.
 
-use crate::node::{finalize, ingest};
+use crate::node::{finalize, ingest_owned};
 use crate::structure_rules::grouping_rule_obs;
 use crate::text_rules::{concept_instance_rule_obs, tokenization_rule_obs};
-use webre_concepts::{ConceptSet, ConstraintSet};
+use webre_concepts::{ConceptMatcher, ConceptSet, ConstraintSet};
 use webre_obs::{stage, Ctx};
 use webre_html::HtmlDocument;
 use webre_text::tokenize::Delimiters;
@@ -140,30 +140,43 @@ impl std::ops::AddAssign<&ConvertStats> for ConvertStats {
 }
 
 /// Converts topic-specific HTML documents into concept-tagged XML.
+///
+/// Construction compiles the concept catalogue into an Aho–Corasick
+/// [`ConceptMatcher`] once; every subsequent conversion reuses it, so the
+/// per-document cost of concept matching no longer scales with catalogue
+/// size.
 #[derive(Clone, Debug)]
 pub struct Converter {
     concepts: ConceptSet,
     config: ConvertConfig,
+    matcher: ConceptMatcher,
 }
 
 impl Converter {
     /// Creates a converter over the given topic concepts with default
     /// configuration.
     pub fn new(concepts: ConceptSet) -> Self {
-        Converter {
-            concepts,
-            config: ConvertConfig::default(),
-        }
+        Self::with_config(concepts, ConvertConfig::default())
     }
 
     /// Creates a converter with explicit configuration.
     pub fn with_config(concepts: ConceptSet, config: ConvertConfig) -> Self {
-        Converter { concepts, config }
+        let matcher = ConceptMatcher::new(&concepts);
+        Converter {
+            concepts,
+            config,
+            matcher,
+        }
     }
 
     /// The concept set in use.
     pub fn concepts(&self) -> &ConceptSet {
         &self.concepts
+    }
+
+    /// The precompiled concept-matching automaton.
+    pub fn matcher(&self) -> &ConceptMatcher {
+        &self.matcher
     }
 
     /// The configuration in use.
@@ -177,31 +190,52 @@ impl Converter {
         self.convert_obs(html, Ctx::disabled())
     }
 
-    /// [`Converter::convert`] with observability: the conversion runs
-    /// under a `convert` span with one child span per pipeline stage
+    /// [`Converter::convert`] with observability; see
+    /// [`Converter::convert_owned_obs`] for the span structure.
+    ///
+    /// Borrows the input, so the document is cloned before the (mutating)
+    /// tidy pass. Callers that can give up the document should prefer
+    /// [`Converter::convert_owned_obs`] — the clone duplicated every
+    /// element's attribute vector on each conversion, which is exactly the
+    /// overhead the owned path removes.
+    pub fn convert_obs(&self, html: &HtmlDocument, ctx: Ctx<'_>) -> (XmlDocument, ConvertStats) {
+        self.convert_owned_obs(html.clone(), ctx)
+    }
+
+    /// Converts one parsed HTML document, consuming it: names and text
+    /// move into the conversion arena instead of being copied.
+    pub fn convert_owned(&self, html: HtmlDocument) -> (XmlDocument, ConvertStats) {
+        self.convert_owned_obs(html, Ctx::disabled())
+    }
+
+    /// [`Converter::convert_owned`] with observability: the conversion
+    /// runs under a `convert` span with one child span per pipeline stage
     /// (tidy plus the four restructuring rules), and the rules feed
     /// their firing counters. Output is byte-identical to the
     /// uninstrumented path — the `trace-noop` oracle in `webre-check`
     /// holds this over fuzzed corpora.
-    pub fn convert_obs(&self, html: &HtmlDocument, ctx: Ctx<'_>) -> (XmlDocument, ConvertStats) {
+    pub fn convert_owned_obs(
+        &self,
+        mut html: HtmlDocument,
+        ctx: Ctx<'_>,
+    ) -> (XmlDocument, ConvertStats) {
         let scope = ctx.span(stage::CONVERT);
         let ctx = scope.ctx();
-        let mut html = html.clone();
         if self.config.tidy {
             let _tidy = ctx.span(stage::TIDY);
             webre_html::tidy(&mut html);
         }
-        let mut tree = ingest(&html);
+        let mut conv = ingest_owned(html);
         let mut stats = ConvertStats::default();
         {
             let rule = ctx.span(stage::TOKENIZATION);
-            tokenization_rule_obs(&mut tree, &self.config.delimiters, rule.ctx());
+            tokenization_rule_obs(&mut conv, &self.config.delimiters, rule.ctx());
         }
         {
             let rule = ctx.span(stage::CONCEPT_INSTANCE);
             concept_instance_rule_obs(
-                &mut tree,
-                &self.concepts,
+                &mut conv,
+                &self.matcher,
                 &self.config.classifier,
                 self.config.constraints.as_ref(),
                 &mut stats,
@@ -210,28 +244,29 @@ impl Converter {
         }
         if self.config.grouping {
             let rule = ctx.span(stage::GROUPING);
-            grouping_rule_obs(&mut tree, rule.ctx());
+            grouping_rule_obs(&mut conv.tree, rule.ctx());
         }
         if self.config.consolidation {
             let rule = ctx.span(stage::CONSOLIDATION);
             crate::structure_rules::consolidation_rule_with_obs(
-                &mut tree,
+                &mut conv.tree,
                 self.config.constraints.as_ref(),
                 rule.ctx(),
             );
         }
-        (finalize(&tree, &self.config.root_concept), stats)
+        (finalize(&conv, &self.config.root_concept), stats)
     }
 
-    /// Convenience: parse and convert HTML text.
+    /// Convenience: parse and convert HTML text. The parsed document is
+    /// fed straight into the owned path — no clone.
     pub fn convert_str(&self, html: &str) -> (XmlDocument, ConvertStats) {
-        self.convert(&webre_html::parse(html))
+        self.convert_owned(webre_html::parse(html))
     }
 
     /// [`Converter::convert_str`] with observability; see
-    /// [`Converter::convert_obs`].
+    /// [`Converter::convert_owned_obs`].
     pub fn convert_str_obs(&self, html: &str, ctx: Ctx<'_>) -> (XmlDocument, ConvertStats) {
-        self.convert_obs(&webre_html::parse(html), ctx)
+        self.convert_owned_obs(webre_html::parse(html), ctx)
     }
 
     /// Converts a corpus of HTML documents sequentially.

@@ -4,10 +4,47 @@
 //! every element carries a `val` attribute of type CDATA (Section 2.3). The
 //! conversion tree therefore gives every structural node a `val`
 //! accumulator; text flows upward through it as rules delete nodes.
+//!
+//! Text is arena-backed: [`ConvTree`] owns every text buffer the document
+//! contributed, and `Text`/`Token` nodes carry a [`Span`] into those
+//! buffers instead of an owned `String`. Tokenization then splits a text
+//! run into tokens without allocating per token (each token is a
+//! sub-span of its text run's buffer), and [`ingest_owned`] moves the
+//! HTML document's strings straight into the arena so the cold conversion
+//! path never copies element names, text runs — or, transitively, the
+//! attribute vectors a whole-document clone would have duplicated.
 
 use webre_html::{HtmlDocument, HtmlNode};
 use webre_tree::{NodeId, Tree};
 use webre_xml::{XmlDocument, XmlNode};
+
+/// A byte range inside one of a [`ConvTree`]'s text buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Index into [`ConvTree`]'s buffer list.
+    buf: u32,
+    /// Byte offset of the range start within the buffer.
+    start: u32,
+    /// Byte offset one past the range end.
+    end: u32,
+}
+
+impl Span {
+    /// The spanned text inside `texts`.
+    fn slice<'a>(&self, texts: &'a [String]) -> &'a str {
+        &texts[self.buf as usize][self.start as usize..self.end as usize]
+    }
+
+    /// A sub-span of this span; `start..end` are byte offsets relative to
+    /// this span's start.
+    fn sub(self, start: usize, end: usize) -> Span {
+        Span {
+            buf: self.buf,
+            start: self.start + start as u32,
+            end: self.start + end as u32,
+        }
+    }
+}
 
 /// One node of the in-flight conversion tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,10 +53,10 @@ pub enum ConvNode {
     Document { val: String },
     /// A surviving HTML element.
     Html { name: String, val: String },
-    /// An unprocessed text run.
-    Text(String),
-    /// A `<TOKEN>` produced by the tokenization rule.
-    Token(String),
+    /// An unprocessed text run (a span into the owning [`ConvTree`]).
+    Text(Span),
+    /// A `<TOKEN>` produced by the tokenization rule (also a span).
+    Token(Span),
     /// A temporary `GROUP` introduced by the grouping rule.
     Group { val: String },
     /// An identified concept element, destined for the XML output.
@@ -28,7 +65,7 @@ pub enum ConvNode {
 
 impl ConvNode {
     /// Appends text to this node's `val` accumulator (no-op for text and
-    /// token nodes, which carry their payload directly).
+    /// token nodes, which carry their payload as spans).
     pub fn push_val(&mut self, text: &str) {
         let text = text.trim();
         if text.is_empty() {
@@ -78,14 +115,104 @@ impl ConvNode {
     }
 }
 
-/// Ingests a (tidied) HTML document into a conversion tree. Comments and
-/// doctypes are dropped; elements and text map one-to-one.
-pub fn ingest(html: &HtmlDocument) -> Tree<ConvNode> {
-    let mut tree = Tree::with_capacity(
-        ConvNode::Document { val: String::new() },
-        html.tree.arena_len(),
-    );
-    let root = tree.root();
+/// The in-flight conversion tree plus the text arena its `Text`/`Token`
+/// spans point into.
+///
+/// The two fields are deliberately independent: rules destructure the pair
+/// to read token text (immutably, out of `texts`) while restructuring
+/// `tree` (mutably) — the split borrow that lets the text rules work on
+/// borrowed slices instead of cloning every token.
+#[derive(Clone, Debug)]
+pub struct ConvTree {
+    /// The node tree.
+    pub tree: Tree<ConvNode>,
+    /// Every text buffer the document contributed, in ingest order.
+    /// Spans index into this; buffers are never mutated after creation.
+    pub(crate) texts: Vec<String>,
+}
+
+impl Default for ConvTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConvTree {
+    /// An empty conversion tree: just the document root.
+    pub fn new() -> Self {
+        ConvTree {
+            tree: Tree::new(ConvNode::Document { val: String::new() }),
+            texts: Vec::new(),
+        }
+    }
+
+    /// An empty conversion tree with arena capacity for `nodes` nodes.
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        ConvTree {
+            tree: Tree::with_capacity(ConvNode::Document { val: String::new() }, nodes),
+            texts: Vec::new(),
+        }
+    }
+
+    /// Moves `text` into the arena, returning the span covering all of it.
+    pub fn intern(&mut self, text: String) -> Span {
+        let buf = self.texts.len() as u32;
+        let end = text.len() as u32;
+        self.texts.push(text);
+        Span { buf, start: 0, end }
+    }
+
+    /// Appends a text node holding `text` under `parent` (test/builder
+    /// convenience — ingest interns directly).
+    pub fn append_text(&mut self, parent: NodeId, text: String) -> NodeId {
+        let span = self.intern(text);
+        self.tree.append_child(parent, ConvNode::Text(span))
+    }
+
+    /// The text a span points at.
+    pub fn text(&self, span: Span) -> &str {
+        span.slice(&self.texts)
+    }
+
+    /// The text of `id` if it is a text or token node.
+    pub fn node_text(&self, id: NodeId) -> Option<&str> {
+        match self.tree.value(id) {
+            ConvNode::Text(span) | ConvNode::Token(span) => Some(self.text(*span)),
+            _ => None,
+        }
+    }
+
+    /// Number of text buffers in the arena.
+    pub fn buffer_count(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+/// Splits a text-run span into token sub-spans; shared by the tokenization
+/// rule. Lives here so [`Span`]'s fields can stay private.
+pub(crate) fn token_subspans(
+    span: Span,
+    texts: &[String],
+    delimiters: &webre_text::tokenize::Delimiters,
+) -> Vec<Span> {
+    webre_text::tokenize::split_token_spans(span.slice(texts), delimiters)
+        .into_iter()
+        .map(|(s, e)| span.sub(s, e))
+        .collect()
+}
+
+/// Resolves a span against a borrowed arena (the text rules' split-borrow
+/// accessor).
+pub(crate) fn span_text<'a>(span: Span, texts: &'a [String]) -> &'a str {
+    span.slice(texts)
+}
+
+/// Ingests a (tidied) HTML document into a conversion tree, borrowing the
+/// input: element names and text runs are copied. Comments and doctypes
+/// are dropped; elements and text map one-to-one.
+pub fn ingest(html: &HtmlDocument) -> ConvTree {
+    let mut conv = ConvTree::with_node_capacity(html.tree.arena_len());
+    let root = conv.tree.root();
     let mut stack: Vec<(NodeId, NodeId)> = vec![(html.tree.root(), root)];
     // Simple explicit DFS keeping (source, copied-parent) pairs.
     while let Some((src, dst_parent)) = stack.pop() {
@@ -98,22 +225,62 @@ pub fn ingest(html: &HtmlDocument) -> Tree<ConvNode> {
         {
             match html.tree.value(child) {
                 HtmlNode::Element { name, .. } => {
-                    let node = tree.orphan(ConvNode::Html {
+                    let node = conv.tree.orphan(ConvNode::Html {
                         name: name.clone(),
                         val: String::new(),
                     });
-                    tree.prepend(dst_parent, node);
+                    conv.tree.prepend(dst_parent, node);
                     stack.push((child, node));
                 }
                 HtmlNode::Text(t) => {
-                    let node = tree.orphan(ConvNode::Text(t.clone()));
-                    tree.prepend(dst_parent, node);
+                    let span = conv.intern(t.clone());
+                    let node = conv.tree.orphan(ConvNode::Text(span));
+                    conv.tree.prepend(dst_parent, node);
                 }
                 HtmlNode::Comment(_) | HtmlNode::Doctype(_) | HtmlNode::Document => {}
             }
         }
     }
-    tree
+    conv
+}
+
+/// [`ingest`] consuming the document: element names and text runs are
+/// *moved* into the conversion tree, not copied. This is the cold-path
+/// entry — combined with [`crate::convert::Converter::convert_owned`] it
+/// removes the whole-document clone (and its per-element attribute-vector
+/// duplication) from every conversion.
+pub fn ingest_owned(html: HtmlDocument) -> ConvTree {
+    let mut html = html;
+    let mut conv = ConvTree::with_node_capacity(html.tree.arena_len());
+    let root = conv.tree.root();
+    let mut stack: Vec<(NodeId, NodeId)> = vec![(html.tree.root(), root)];
+    while let Some((src, dst_parent)) = stack.pop() {
+        for child in html
+            .tree
+            .children_vec(src)
+            .into_iter()
+            .rev()
+            .collect::<Vec<_>>()
+        {
+            match html.tree.value_mut(child) {
+                HtmlNode::Element { name, .. } => {
+                    let node = conv.tree.orphan(ConvNode::Html {
+                        name: std::mem::take(name),
+                        val: String::new(),
+                    });
+                    conv.tree.prepend(dst_parent, node);
+                    stack.push((child, node));
+                }
+                HtmlNode::Text(t) => {
+                    let span = conv.intern(std::mem::take(t));
+                    let node = conv.tree.orphan(ConvNode::Text(span));
+                    conv.tree.prepend(dst_parent, node);
+                }
+                HtmlNode::Comment(_) | HtmlNode::Doctype(_) | HtmlNode::Document => {}
+            }
+        }
+    }
+    conv
 }
 
 /// Finalizes a fully consolidated conversion tree into an [`XmlDocument`]
@@ -122,7 +289,8 @@ pub fn ingest(html: &HtmlDocument) -> Tree<ConvNode> {
 /// Any remaining document-level `val` text becomes the root's `val`. If a
 /// direct child carries the root concept's own name (e.g. a "Resume" page
 /// title), it is merged into the root rather than nested.
-pub fn finalize(tree: &Tree<ConvNode>, root_concept: &str) -> XmlDocument {
+pub fn finalize(conv: &ConvTree, root_concept: &str) -> XmlDocument {
+    let tree = &conv.tree;
     let root_name = webre_xml::name::sanitize(root_concept);
     let mut doc = XmlDocument::new(root_name.clone());
     let doc_root = doc.root();
@@ -132,7 +300,7 @@ pub fn finalize(tree: &Tree<ConvNode>, root_concept: &str) -> XmlDocument {
         }
     }
     for child in tree.children(tree.root()) {
-        copy_concepts(tree, child, &mut doc, doc_root);
+        copy_concepts(conv, child, &mut doc, doc_root);
     }
     // Merge a child that duplicates the root concept.
     for child in doc.tree.children_vec(doc_root) {
@@ -146,12 +314,8 @@ pub fn finalize(tree: &Tree<ConvNode>, root_concept: &str) -> XmlDocument {
     doc
 }
 
-fn copy_concepts(
-    tree: &Tree<ConvNode>,
-    src: NodeId,
-    doc: &mut XmlDocument,
-    dst_parent: NodeId,
-) {
+fn copy_concepts(conv: &ConvTree, src: NodeId, doc: &mut XmlDocument, dst_parent: NodeId) {
+    let tree = &conv.tree;
     match tree.value(src) {
         ConvNode::Concept { name, val } => {
             let name = webre_xml::name::sanitize(name);
@@ -162,7 +326,7 @@ fn copy_concepts(
             };
             let copied = doc.tree.append_child(dst_parent, node);
             for child in tree.children(src) {
-                copy_concepts(tree, child, doc, copied);
+                copy_concepts(conv, child, doc, copied);
             }
         }
         // Non-concept nodes should be gone by now; if the structure rules
@@ -173,11 +337,11 @@ fn copy_concepts(
                     doc.tree.value_mut(dst_parent).push_val(val);
                 }
             }
-            if let ConvNode::Text(t) | ConvNode::Token(t) = tree.value(src) {
-                doc.tree.value_mut(dst_parent).push_val(t);
+            if let ConvNode::Text(span) | ConvNode::Token(span) = tree.value(src) {
+                doc.tree.value_mut(dst_parent).push_val(conv.text(*span));
             }
             for child in tree.children(src) {
-                copy_concepts(tree, child, doc, dst_parent);
+                copy_concepts(conv, child, doc, dst_parent);
             }
         }
     }
@@ -191,13 +355,14 @@ mod tests {
     #[test]
     fn ingest_preserves_structure_and_order() {
         let html = parse("<div><p>a</p><p>b</p></div>");
-        let tree = ingest(&html);
+        let conv = ingest(&html);
+        let tree = &conv.tree;
         let labels: Vec<String> = tree
             .descendants(tree.root())
             .map(|n| match tree.value(n) {
                 ConvNode::Document { .. } => "#doc".into(),
                 ConvNode::Html { name, .. } => name.clone(),
-                ConvNode::Text(t) => format!("#{t}"),
+                ConvNode::Text(span) => format!("#{}", conv.text(*span)),
                 other => format!("{other:?}"),
             })
             .collect();
@@ -205,10 +370,33 @@ mod tests {
     }
 
     #[test]
+    fn ingest_owned_matches_borrowing_ingest() {
+        let src = "<div class=\"x\" id=\"y\"><p>a</p><!-- gone --><p>b c</p></div>";
+        let borrowed = ingest(&parse(src));
+        let owned = ingest_owned(parse(src));
+        let label = |conv: &ConvTree, n| match conv.tree.value(n) {
+            ConvNode::Html { name, .. } => name.clone(),
+            ConvNode::Text(span) => format!("#{}", conv.text(*span)),
+            other => format!("{other:?}"),
+        };
+        let a: Vec<String> = borrowed
+            .tree
+            .descendants(borrowed.tree.root())
+            .map(|n| label(&borrowed, n))
+            .collect();
+        let b: Vec<String> = owned
+            .tree
+            .descendants(owned.tree.root())
+            .map(|n| label(&owned, n))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn ingest_drops_comments() {
         let html = parse("<!-- c --><p>x</p>");
-        let tree = ingest(&html);
-        assert_eq!(tree.subtree_size(tree.root()), 3);
+        let conv = ingest(&html);
+        assert_eq!(conv.tree.subtree_size(conv.tree.root()), 3);
     }
 
     #[test]
@@ -224,24 +412,37 @@ mod tests {
     }
 
     #[test]
+    fn spans_resolve_and_subdivide() {
+        let mut conv = ConvTree::new();
+        let root = conv.tree.root();
+        let id = conv.append_text(root, "hello world".into());
+        assert_eq!(conv.node_text(id), Some("hello world"));
+        let ConvNode::Text(span) = *conv.tree.value(id) else {
+            panic!("text node expected");
+        };
+        assert_eq!(conv.text(span.sub(6, 11)), "world");
+        assert_eq!(conv.buffer_count(), 1);
+    }
+
+    #[test]
     fn finalize_builds_rooted_document() {
-        let mut tree = Tree::new(ConvNode::Document { val: String::new() });
-        let root = tree.root();
-        let edu = tree.append_child(
+        let mut conv = ConvTree::new();
+        let root = conv.tree.root();
+        let edu = conv.tree.append_child(
             root,
             ConvNode::Concept {
                 name: "education".into(),
                 val: "Education".into(),
             },
         );
-        tree.append_child(
+        conv.tree.append_child(
             edu,
             ConvNode::Concept {
                 name: "degree".into(),
                 val: "B.S.".into(),
             },
         );
-        let doc = finalize(&tree, "resume");
+        let doc = finalize(&conv, "resume");
         assert_eq!(doc.root_name(), "resume");
         assert_eq!(
             webre_xml::to_xml(&doc),
@@ -251,23 +452,23 @@ mod tests {
 
     #[test]
     fn finalize_merges_duplicate_root_concept() {
-        let mut tree = Tree::new(ConvNode::Document { val: String::new() });
-        let root = tree.root();
-        let dup = tree.append_child(
+        let mut conv = ConvTree::new();
+        let root = conv.tree.root();
+        let dup = conv.tree.append_child(
             root,
             ConvNode::Concept {
                 name: "resume".into(),
                 val: "My Resume".into(),
             },
         );
-        tree.append_child(
+        conv.tree.append_child(
             dup,
             ConvNode::Concept {
                 name: "contact".into(),
                 val: "x".into(),
             },
         );
-        let doc = finalize(&tree, "resume");
+        let doc = finalize(&conv, "resume");
         assert_eq!(doc.root_name(), "resume");
         assert_eq!(doc.tree.value(doc.root()).val(), Some("My Resume"));
         let child = doc.tree.first_child(doc.root()).unwrap();

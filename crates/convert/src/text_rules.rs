@@ -1,32 +1,44 @@
 //! The text rules: tokenization and concept instance identification
 //! (Section 2.3.1).
+//!
+//! Both rules work on the [`ConvTree`] arena: token text is read through
+//! spans borrowed from the tree's text buffers (a split borrow — `texts`
+//! immutably, `tree` mutably), so neither rule clones token strings while
+//! restructuring. Concept identification goes through the precompiled
+//! [`ConceptMatcher`] automaton, one pass per token regardless of
+//! catalogue size; the `matcher-vs-naive` oracle in `webre-check` pins its
+//! equivalence to the naive reference scanner.
 
 use crate::convert::{ClassifierMode, ConvertStats};
-use crate::node::ConvNode;
-use webre_concepts::matcher::find_matches;
-use webre_concepts::{ConceptSet, ConstraintSet};
+use crate::node::{span_text, token_subspans, ConvNode, ConvTree};
+use webre_concepts::{ConceptMatcher, ConstraintSet};
 use webre_obs::{counter, Ctx};
-use webre_text::tokenize::{split_tokens_obs, Delimiters};
-use webre_tree::{NodeId, Tree};
+use webre_text::tokenize::Delimiters;
+use webre_tree::NodeId;
 
 /// Applies the tokenization rule to the whole tree, top-down: every text
 /// node is replaced by `n ≥ 1` token nodes split on the delimiter set.
 ///
 /// Text nodes containing no token content (delimiters/whitespace only)
-/// simply disappear.
-pub fn tokenization_rule(tree: &mut Tree<ConvNode>, delimiters: &Delimiters) {
-    tokenization_rule_obs(tree, delimiters, Ctx::disabled());
+/// simply disappear. Tokens are sub-spans of their text run's buffer — no
+/// text is copied.
+pub fn tokenization_rule(conv: &mut ConvTree, delimiters: &Delimiters) {
+    tokenization_rule_obs(conv, delimiters, Ctx::disabled());
 }
 
 /// [`tokenization_rule`] with observability: produced tokens feed the
 /// `tokens_split` counter. The tree transformation is identical.
-pub fn tokenization_rule_obs(tree: &mut Tree<ConvNode>, delimiters: &Delimiters, ctx: Ctx<'_>) {
+pub fn tokenization_rule_obs(conv: &mut ConvTree, delimiters: &Delimiters, ctx: Ctx<'_>) {
+    let ConvTree { tree, texts } = conv;
     let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
     for id in ids {
-        let ConvNode::Text(text) = tree.value(id) else {
+        let ConvNode::Text(span) = *tree.value(id) else {
             continue;
         };
-        let tokens = split_tokens_obs(text, delimiters, ctx);
+        let tokens = token_subspans(span, texts, delimiters);
+        if !tokens.is_empty() {
+            ctx.count(counter::TOKENS_SPLIT, tokens.len() as u64);
+        }
         let mut anchor = id;
         for tok in tokens {
             let node = tree.orphan(ConvNode::Token(tok));
@@ -46,37 +58,38 @@ pub fn tokenization_rule_obs(tree: &mut Tree<ConvNode>, delimiters: &Delimiters,
 ///   both fail) → the token is deleted and its text passed to the parent's
 ///   `val`, so no information is lost.
 pub fn concept_instance_rule(
-    tree: &mut Tree<ConvNode>,
-    concepts: &ConceptSet,
+    conv: &mut ConvTree,
+    matcher: &ConceptMatcher,
     classifier: &ClassifierMode,
     constraints: Option<&ConstraintSet>,
     stats: &mut ConvertStats,
 ) {
-    concept_instance_rule_obs(tree, concepts, classifier, constraints, stats, Ctx::disabled());
+    concept_instance_rule_obs(conv, matcher, classifier, constraints, stats, Ctx::disabled());
 }
 
 /// [`concept_instance_rule`] with observability: every concept node the
 /// rule creates feeds the `concepts_matched` counter. The tree
 /// transformation and statistics are identical.
 pub fn concept_instance_rule_obs(
-    tree: &mut Tree<ConvNode>,
-    concepts: &ConceptSet,
+    conv: &mut ConvTree,
+    matcher: &ConceptMatcher,
     classifier: &ClassifierMode,
     constraints: Option<&ConstraintSet>,
     stats: &mut ConvertStats,
     ctx: Ctx<'_>,
 ) {
+    let ConvTree { tree, texts } = conv;
     let mut concepts_matched = 0u64;
     let ids: Vec<NodeId> = tree.descendants(tree.root()).collect();
     for id in ids {
-        let ConvNode::Token(text) = tree.value(id) else {
+        let ConvNode::Token(span) = *tree.value(id) else {
             continue;
         };
-        let text = text.clone();
+        let text = span_text(span, texts);
         stats.tokens_total += 1;
         let mut matches = match classifier {
             ClassifierMode::BayesOnly { .. } => Vec::new(),
-            _ => find_matches(concepts, &text),
+            _ => matcher.find_matches(text),
         };
         // Constraint-guided decomposition: a match whose concept is
         // forbidden as a sibling of an earlier accepted match is dropped
@@ -103,18 +116,18 @@ pub fn concept_instance_rule_obs(
         match distinct.len() {
             0 => {
                 // Synonyms failed; give the classifier a chance.
-                if let Some(label) = classifier.classify(&text) {
+                if let Some(label) = classifier.classify(text) {
                     stats.tokens_identified += 1;
                     stats.tokens_via_classifier += 1;
                     concepts_matched += 1;
                     *tree.value_mut(id) = ConvNode::Concept {
                         name: label.to_owned(),
-                        val: text,
+                        val: text.to_owned(),
                     };
                 } else {
                     stats.tokens_unidentified += 1;
                     let parent = tree.parent(id).expect("token is never the root");
-                    tree.value_mut(parent).push_val(&text);
+                    tree.value_mut(parent).push_val(text);
                     tree.detach(id);
                 }
             }
@@ -123,7 +136,7 @@ pub fn concept_instance_rule_obs(
                 concepts_matched += 1;
                 *tree.value_mut(id) = ConvNode::Concept {
                     name: matches[0].concept.clone(),
-                    val: text,
+                    val: text.to_owned(),
                 };
             }
             _ => {
@@ -165,21 +178,27 @@ pub fn concept_instance_rule_obs(
 mod tests {
     use super::*;
     use crate::node::ingest;
-    use webre_concepts::resume;
+    use webre_concepts::{resume, ConceptSet};
     use webre_html::parse;
 
-    fn tokens_of(tree: &Tree<ConvNode>) -> Vec<String> {
-        tree.descendants(tree.root())
-            .filter_map(|n| match tree.value(n) {
-                ConvNode::Token(t) => Some(t.clone()),
+    fn resume_matcher() -> ConceptMatcher {
+        ConceptMatcher::new(&resume::concepts())
+    }
+
+    fn tokens_of(conv: &ConvTree) -> Vec<String> {
+        conv.tree
+            .descendants(conv.tree.root())
+            .filter_map(|n| match conv.tree.value(n) {
+                ConvNode::Token(span) => Some(conv.text(*span).to_owned()),
                 _ => None,
             })
             .collect()
     }
 
-    fn concepts_of(tree: &Tree<ConvNode>) -> Vec<(String, String)> {
-        tree.descendants(tree.root())
-            .filter_map(|n| match tree.value(n) {
+    fn concepts_of(conv: &ConvTree) -> Vec<(String, String)> {
+        conv.tree
+            .descendants(conv.tree.root())
+            .filter_map(|n| match conv.tree.value(n) {
                 ConvNode::Concept { name, val } => Some((name.clone(), val.clone())),
                 _ => None,
             })
@@ -189,17 +208,29 @@ mod tests {
     #[test]
     fn tokenization_splits_topic_sentence() {
         let html = parse("<li>UC Davis, B.S., June 1996</li>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
-        assert_eq!(tokens_of(&tree), ["UC Davis", "B.S.", "June 1996"]);
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
+        assert_eq!(tokens_of(&conv), ["UC Davis", "B.S.", "June 1996"]);
     }
 
     #[test]
     fn tokenization_drops_empty_text() {
         let html = parse("<p>;;;</p>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
-        assert!(tokens_of(&tree).is_empty());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
+        assert!(tokens_of(&conv).is_empty());
+    }
+
+    #[test]
+    fn tokenization_allocates_no_token_strings() {
+        // The whole point of the span representation: tokenizing adds
+        // nodes but never new text buffers.
+        let html = parse("<li>UC Davis, B.S., June 1996</li><p>Skills: C++; Perl</p>");
+        let mut conv = ingest(&html);
+        let buffers_before = conv.buffer_count();
+        tokenization_rule(&mut conv, &Delimiters::default());
+        assert_eq!(conv.buffer_count(), buffers_before);
+        assert_eq!(tokens_of(&conv).len(), 6);
     }
 
     #[test]
@@ -208,17 +239,17 @@ mod tests {
         let html = parse(
             "<p>University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0</p>",
         );
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
         concept_instance_rule(
-            &mut tree,
-            &resume::concepts(),
+            &mut conv,
+            &resume_matcher(),
             &ClassifierMode::SynonymsOnly,
             None,
             &mut stats,
         );
-        let found = concepts_of(&tree);
+        let found = concepts_of(&conv);
         assert_eq!(found.len(), 4, "{found:?}");
         assert_eq!(found[0].0, "institution");
         assert_eq!(found[0].1, "University of California at Davis");
@@ -232,22 +263,22 @@ mod tests {
     #[test]
     fn unidentified_token_passes_text_to_parent() {
         let html = parse("<p>completely unrecognizable zorp</p>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
         concept_instance_rule(
-            &mut tree,
-            &resume::concepts(),
+            &mut conv,
+            &resume_matcher(),
             &ClassifierMode::SynonymsOnly,
             None,
             &mut stats,
         );
-        assert!(concepts_of(&tree).is_empty());
+        assert!(concepts_of(&conv).is_empty());
         assert_eq!(stats.tokens_unidentified, 1);
         // The <p> keeps the text in its val.
-        let p = tree.first_child(tree.root()).unwrap();
+        let p = conv.tree.first_child(conv.tree.root()).unwrap();
         assert_eq!(
-            tree.value(p).val(),
+            conv.tree.value(p).val(),
             Some("completely unrecognizable zorp")
         );
     }
@@ -257,24 +288,24 @@ mod tests {
         // No delimiters at all: one token holding two concepts plus a
         // leading unidentified fragment.
         let html = parse("<p>worked hard B.S. Computer Science June 1996</p>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
         concept_instance_rule(
-            &mut tree,
-            &resume::concepts(),
+            &mut conv,
+            &resume_matcher(),
             &ClassifierMode::SynonymsOnly,
             None,
             &mut stats,
         );
-        let found = concepts_of(&tree);
+        let found = concepts_of(&conv);
         assert_eq!(found.len(), 2, "{found:?}");
         assert_eq!(found[0].0, "degree");
         assert_eq!(found[0].1, "B.S. Computer Science");
         assert_eq!(found[1].0, "date");
         assert_eq!(found[1].1, "June 1996");
-        let p = tree.first_child(tree.root()).unwrap();
-        assert_eq!(tree.value(p).val(), Some("worked hard"));
+        let p = conv.tree.first_child(conv.tree.root()).unwrap();
+        assert_eq!(conv.tree.value(p).val(), Some("worked hard"));
         assert_eq!(stats.tokens_decomposed, 1);
     }
 
@@ -290,17 +321,17 @@ mod tests {
             [Constraint::sibling("degree", "date").negate()]
                 .into_iter()
                 .collect();
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
         concept_instance_rule(
-            &mut tree,
-            &resume::concepts(),
+            &mut conv,
+            &resume_matcher(),
             &ClassifierMode::SynonymsOnly,
             Some(&constraints),
             &mut stats,
         );
-        let found = concepts_of(&tree);
+        let found = concepts_of(&conv);
         assert_eq!(found.len(), 1, "{found:?}");
         assert_eq!(found[0].0, "degree");
         assert!(found[0].1.contains("June 1996"), "{found:?}");
@@ -321,12 +352,13 @@ mod tests {
             unknown_label: "unknown".into(),
         };
         let html = parse("<p>staff engineer</p>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
         // Use an empty concept set so synonyms cannot match.
-        concept_instance_rule(&mut tree, &ConceptSet::new(), &mode, None, &mut stats);
-        let found = concepts_of(&tree);
+        let empty = ConceptMatcher::new(&ConceptSet::new());
+        concept_instance_rule(&mut conv, &empty, &mode, None, &mut stats);
+        let found = concepts_of(&conv);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].0, "position");
         assert_eq!(stats.tokens_via_classifier, 1);
@@ -345,11 +377,12 @@ mod tests {
             unknown_label: "unknown".into(),
         };
         let html = parse("<p>random filler words</p>");
-        let mut tree = ingest(&html);
-        tokenization_rule(&mut tree, &Delimiters::default());
+        let mut conv = ingest(&html);
+        tokenization_rule(&mut conv, &Delimiters::default());
         let mut stats = ConvertStats::default();
-        concept_instance_rule(&mut tree, &ConceptSet::new(), &mode, None, &mut stats);
-        assert!(concepts_of(&tree).is_empty());
+        let empty = ConceptMatcher::new(&ConceptSet::new());
+        concept_instance_rule(&mut conv, &empty, &mode, None, &mut stats);
+        assert!(concepts_of(&conv).is_empty());
         assert_eq!(stats.tokens_unidentified, 1);
     }
 }

@@ -1,0 +1,163 @@
+//! Allocation-count regression tests for the conversion fast path.
+//!
+//! A counting `#[global_allocator]` (thread-local counters, so parallel
+//! test threads do not pollute each other) pins two properties per golden
+//! fixture:
+//!
+//! 1. the owned conversion path allocates strictly less than the
+//!    borrow-and-clone path — the clone duplicated every attribute
+//!    vector of every element per conversion, which is exactly the
+//!    latent bug `convert_owned` fixed; and
+//! 2. absolute allocation counts stay under a pinned ceiling, so a
+//!    reintroduced per-token `String` or per-node clone shows up as a
+//!    test failure rather than a silent throughput regression.
+//!
+//! Node counts (HTML in, XML out) are pinned exactly; allocation counts
+//! are pinned as ceilings because the allocator call pattern may shift
+//! slightly across rustc/std versions.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use webre_concepts::resume;
+use webre_convert::convert::Converter;
+use webre_html::parse;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_CALLS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Number of heap allocations (alloc + realloc) made by `f` on this
+/// thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.with(Cell::get);
+    f();
+    ALLOC_CALLS.with(Cell::get) - before
+}
+
+struct Fixture {
+    name: &'static str,
+    html: &'static str,
+    /// Exact node count of the parsed HTML tree (including the root).
+    html_nodes: usize,
+    /// Exact element count of the converted XML document.
+    xml_elements: usize,
+    /// Ceiling on heap allocations for one owned-path conversion of an
+    /// already-parsed document (measured ~60% of this; headroom covers
+    /// allocator-pattern drift, not algorithmic regressions).
+    max_allocs: u64,
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "resume_clean",
+        html: include_str!("../../../tests/fixtures/resume_clean.html"),
+        html_nodes: 63,
+        xml_elements: 22,
+        max_allocs: 1200,
+    },
+    Fixture {
+        name: "resume_nested",
+        html: include_str!("../../../tests/fixtures/resume_nested.html"),
+        html_nodes: 147,
+        xml_elements: 28,
+        max_allocs: 2100,
+    },
+    Fixture {
+        name: "resume_soup",
+        html: include_str!("../../../tests/fixtures/resume_soup.html"),
+        html_nodes: 60,
+        xml_elements: 21,
+        max_allocs: 1200,
+    },
+    Fixture {
+        name: "resume_table",
+        html: include_str!("../../../tests/fixtures/resume_table.html"),
+        html_nodes: 97,
+        xml_elements: 21,
+        max_allocs: 1450,
+    },
+];
+
+#[test]
+fn node_counts_are_pinned() {
+    let converter = Converter::new(resume::concepts());
+    for fixture in FIXTURES {
+        let html = parse(fixture.html);
+        let nodes = html.tree.descendants(html.tree.root()).count();
+        assert_eq!(
+            nodes, fixture.html_nodes,
+            "{}: parsed HTML node count changed",
+            fixture.name
+        );
+        let (xml, _) = converter.convert_owned(html);
+        assert_eq!(
+            xml.element_count(),
+            fixture.xml_elements,
+            "{}: converted XML element count changed",
+            fixture.name
+        );
+    }
+}
+
+#[test]
+fn owned_path_allocates_less_than_clone_path() {
+    let converter = Converter::new(resume::concepts());
+    for fixture in FIXTURES {
+        let html = parse(fixture.html);
+        // Warm up so lazily initialized state is excluded from both sides.
+        let _ = converter.convert(&html);
+
+        // Borrowing path: clones the whole document (attribute vectors
+        // included) before converting.
+        let clone_allocs = count_allocs(|| {
+            let _ = converter.convert(&html);
+        });
+        // Owned path: the clone happens outside the measured region, so
+        // this measures conversion alone — what `convert_str` pays.
+        let owned_doc = html.clone();
+        let owned_allocs = count_allocs(|| {
+            let _ = converter.convert_owned(owned_doc);
+        });
+
+        assert!(
+            owned_allocs < clone_allocs,
+            "{}: owned path ({owned_allocs} allocs) should beat clone path ({clone_allocs})",
+            fixture.name
+        );
+        assert!(
+            owned_allocs > 0,
+            "{}: counter not wired up",
+            fixture.name
+        );
+        assert!(
+            owned_allocs <= fixture.max_allocs,
+            "{}: owned conversion now makes {owned_allocs} allocations \
+             (ceiling {}); a per-token or per-node copy has probably crept \
+             back into the pipeline",
+            fixture.name,
+            fixture.max_allocs
+        );
+    }
+}

@@ -1,15 +1,14 @@
 //! Property tests for the restructuring rules: the invariants that make
 //! the conversion sound regardless of input shape.
 
-use webre_concepts::resume;
+use webre_concepts::{resume, ConceptMatcher};
 use webre_convert::convert::{ClassifierMode, ConvertStats};
-use webre_convert::node::ConvNode;
+use webre_convert::node::{ConvNode, ConvTree};
 use webre_convert::structure_rules::{consolidation_rule, grouping_rule};
 use webre_convert::text_rules::{concept_instance_rule, tokenization_rule};
 use webre_substrate::prop::{self, Gen};
 use webre_substrate::{prop_assert, prop_assert_eq};
 use webre_text::tokenize::Delimiters;
-use webre_tree::Tree;
 
 const CASES: u32 = 128;
 
@@ -27,20 +26,20 @@ const TEXTS: &[&str] = &[
 ];
 
 /// Random conversion trees: HTML elements with text sprinkled in.
-fn gen_conv_tree(g: &mut Gen) -> Tree<ConvNode> {
+fn gen_conv_tree(g: &mut Gen) -> ConvTree {
     let nodes = g.vec(0, 23, |g| {
         (g.int(0usize..12), *g.pick(TAGS), *g.pick(TEXTS), g.bool(0.5))
     });
-    let mut tree = Tree::new(ConvNode::Document { val: String::new() });
-    let mut ids = vec![tree.root()];
+    let mut conv = ConvTree::new();
+    let mut ids = vec![conv.tree.root()];
     for (parent, tag, text, is_text) in nodes {
         let p = ids[parent % ids.len()];
         // Text may not have children: only attach elements under
         // elements/document; text becomes a leaf.
         if is_text {
-            tree.append_child(p, ConvNode::Text(text.to_owned()));
+            conv.append_text(p, text.to_owned());
         } else {
-            ids.push(tree.append_child(
+            ids.push(conv.tree.append_child(
                 p,
                 ConvNode::Html {
                     name: tag.to_owned(),
@@ -49,27 +48,32 @@ fn gen_conv_tree(g: &mut Gen) -> Tree<ConvNode> {
             ));
         }
     }
-    tree
+    conv
 }
 
-fn run_pipeline(tree: &mut Tree<ConvNode>) -> ConvertStats {
+fn resume_matcher() -> ConceptMatcher {
+    ConceptMatcher::new(&resume::concepts())
+}
+
+fn run_pipeline(conv: &mut ConvTree) -> ConvertStats {
     let mut stats = ConvertStats::default();
-    tokenization_rule(tree, &Delimiters::default());
+    tokenization_rule(conv, &Delimiters::default());
     concept_instance_rule(
-        tree,
-        &resume::concepts(),
+        conv,
+        &resume_matcher(),
         &ClassifierMode::SynonymsOnly,
         None,
         &mut stats,
     );
-    grouping_rule(tree);
-    consolidation_rule(tree);
+    grouping_rule(&mut conv.tree);
+    consolidation_rule(&mut conv.tree);
     stats
 }
 
-fn concept_count(tree: &Tree<ConvNode>) -> usize {
-    tree.descendants(tree.root())
-        .filter(|n| tree.value(*n).concept_name().is_some())
+fn concept_count(conv: &ConvTree) -> usize {
+    conv.tree
+        .descendants(conv.tree.root())
+        .filter(|n| conv.tree.value(*n).concept_name().is_some())
         .count()
 }
 
@@ -78,8 +82,9 @@ fn concept_count(tree: &Tree<ConvNode>) -> usize {
 #[test]
 fn consolidation_eliminates_all_markup() {
     prop::check_cases("consolidation_eliminates_all_markup", CASES, |g| {
-        let mut tree = gen_conv_tree(g);
-        run_pipeline(&mut tree);
+        let mut conv = gen_conv_tree(g);
+        run_pipeline(&mut conv);
+        let tree = &conv.tree;
         for id in tree.descendants(tree.root()) {
             if id == tree.root() {
                 continue;
@@ -101,22 +106,22 @@ fn consolidation_eliminates_all_markup() {
 #[test]
 fn structure_rules_preserve_concepts() {
     prop::check_cases("structure_rules_preserve_concepts", CASES, |g| {
-        let mut tree = gen_conv_tree(g);
+        let mut conv = gen_conv_tree(g);
         let mut stats = ConvertStats::default();
-        tokenization_rule(&mut tree, &Delimiters::default());
+        tokenization_rule(&mut conv, &Delimiters::default());
         concept_instance_rule(
-            &mut tree,
-            &resume::concepts(),
+            &mut conv,
+            &resume_matcher(),
             &ClassifierMode::SynonymsOnly,
             None,
             &mut stats,
         );
-        let before = concept_count(&tree);
-        grouping_rule(&mut tree);
-        prop_assert_eq!(concept_count(&tree), before, "grouping changed concepts");
-        consolidation_rule(&mut tree);
+        let before = concept_count(&conv);
+        grouping_rule(&mut conv.tree);
+        prop_assert_eq!(concept_count(&conv), before, "grouping changed concepts");
+        consolidation_rule(&mut conv.tree);
         prop_assert_eq!(
-            concept_count(&tree),
+            concept_count(&conv),
             before,
             "consolidation changed concepts"
         );
@@ -129,13 +134,14 @@ fn structure_rules_preserve_concepts() {
 #[test]
 fn grouping_only_adds_groups() {
     prop::check_cases("grouping_only_adds_groups", CASES, |g| {
-        let mut tree = gen_conv_tree(g);
+        let mut conv = gen_conv_tree(g);
+        let tree = &mut conv.tree;
         let before: usize = tree.subtree_size(tree.root());
         let groups_before = tree
             .descendants(tree.root())
             .filter(|n| matches!(tree.value(*n), ConvNode::Group { .. }))
             .count();
-        grouping_rule(&mut tree);
+        grouping_rule(tree);
         let after_non_group = tree
             .descendants(tree.root())
             .filter(|n| !matches!(tree.value(*n), ConvNode::Group { .. }))
@@ -151,21 +157,21 @@ fn grouping_only_adds_groups() {
 #[test]
 fn text_is_never_lost() {
     prop::check_cases("text_is_never_lost", CASES, |g| {
-        let mut tree = gen_conv_tree(g);
+        let mut conv = gen_conv_tree(g);
         // Gather all non-whitespace text before.
         let mut before = String::new();
-        for id in tree.descendants(tree.root()) {
-            if let ConvNode::Text(t) = tree.value(id) {
+        for id in conv.tree.descendants(conv.tree.root()) {
+            if let Some(t) = conv.node_text(id) {
                 before.extend(
                     t.chars()
                         .filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')),
                 );
             }
         }
-        run_pipeline(&mut tree);
+        run_pipeline(&mut conv);
         let mut after = String::new();
-        for id in tree.descendants(tree.root()) {
-            if let Some(v) = tree.value(id).val() {
+        for id in conv.tree.descendants(conv.tree.root()) {
+            if let Some(v) = conv.tree.value(id).val() {
                 after.extend(
                     v.chars()
                         .filter(|c| !c.is_whitespace() && !matches!(c, ';' | ',' | ':')),
@@ -187,8 +193,8 @@ fn text_is_never_lost() {
 #[test]
 fn stats_add_up() {
     prop::check_cases("stats_add_up", CASES, |g| {
-        let mut tree = gen_conv_tree(g);
-        let stats = run_pipeline(&mut tree);
+        let mut conv = gen_conv_tree(g);
+        let stats = run_pipeline(&mut conv);
         prop_assert_eq!(
             stats.tokens_identified + stats.tokens_unidentified,
             stats.tokens_total

@@ -376,7 +376,7 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All seven differential oracles, all three metamorphic invariants
+    // All eight differential oracles, all three metamorphic invariants
     // and the fuzzer ran.
     for oracle in [
         "fixpoint",
@@ -386,6 +386,7 @@ fn check_passes_and_is_deterministic() {
         "miner-vs-bruteforce",
         "serve-vs-batch",
         "trace-noop",
+        "matcher-vs-naive",
         "remove-document",
         "duplicate-corpus",
         "permute-order",
@@ -393,7 +394,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 11 oracles passed"), "{text}");
+    assert!(text.contains("all 12 oracles passed"), "{text}");
 }
 
 #[test]

@@ -43,6 +43,34 @@ fn collapse_ws(text: &str) -> String {
     out
 }
 
+/// Whether `collapse_ws` would return `text` unchanged — true for the
+/// common pre-collapsed text node, which then needs no new allocation.
+fn is_collapsed(text: &str) -> bool {
+    let mut prev_space = false;
+    for ch in text.chars() {
+        if ch == ' ' {
+            if prev_space {
+                return false;
+            }
+            prev_space = true;
+        } else if ch.is_whitespace() || ch == '\u{a0}' {
+            return false;
+        } else {
+            prev_space = false;
+        }
+    }
+    true
+}
+
+/// What the main pass decided to do with a node; decisions are computed
+/// against a borrowed value so clean nodes cost no allocation.
+enum Action {
+    Keep,
+    Detach,
+    SetText(String),
+    UnwrapChild(NodeId),
+}
+
 /// Runs the cleanup pass in place.
 pub fn tidy(doc: &mut HtmlDocument) {
     let root = doc.tree.root();
@@ -53,31 +81,49 @@ pub fn tidy(doc: &mut HtmlDocument) {
         if id == root || !doc.tree.is_attached(id) {
             continue;
         }
-        match doc.tree.value(id).clone() {
-            HtmlNode::Comment(_) | HtmlNode::Doctype(_) => doc.tree.detach(id),
+        let action = match doc.tree.value(id) {
+            HtmlNode::Comment(_) | HtmlNode::Doctype(_) => Action::Detach,
             HtmlNode::Text(text) => {
-                let collapsed = collapse_ws(&text);
-                if collapsed.trim().is_empty() {
-                    doc.tree.detach(id);
+                if is_collapsed(text) {
+                    if text.trim().is_empty() {
+                        Action::Detach
+                    } else {
+                        Action::Keep
+                    }
                 } else {
-                    *doc.tree.value_mut(id) = HtmlNode::Text(collapsed);
-                }
-            }
-            HtmlNode::Element { name, .. } => {
-                if is_dropped(&name) || is_metadata(&name) {
-                    doc.tree.detach(id);
-                } else if doc.tree.is_leaf(id) && !is_void(&name) {
-                    // Empty non-void element: contributes nothing.
-                    doc.tree.detach(id);
-                } else if is_text_level(&name) && doc.tree.child_count(id) == 1 {
-                    let child = doc.tree.first_child(id).unwrap();
-                    if doc.tree.value(child).is_element(&name) {
-                        // <b><b>x</b></b> → <b>x</b>
-                        doc.tree.replace_with_children(child);
+                    let collapsed = collapse_ws(text);
+                    if collapsed.trim().is_empty() {
+                        Action::Detach
+                    } else {
+                        Action::SetText(collapsed)
                     }
                 }
             }
-            HtmlNode::Document => {}
+            HtmlNode::Element { name, .. } => {
+                if is_dropped(name) || is_metadata(name) {
+                    Action::Detach
+                } else if doc.tree.is_leaf(id) && !is_void(name) {
+                    // Empty non-void element: contributes nothing.
+                    Action::Detach
+                } else if is_text_level(name) && doc.tree.child_count(id) == 1 {
+                    let child = doc.tree.first_child(id).unwrap();
+                    if doc.tree.value(child).is_element(name) {
+                        // <b><b>x</b></b> → <b>x</b>
+                        Action::UnwrapChild(child)
+                    } else {
+                        Action::Keep
+                    }
+                } else {
+                    Action::Keep
+                }
+            }
+            HtmlNode::Document => Action::Keep,
+        };
+        match action {
+            Action::Keep => {}
+            Action::Detach => doc.tree.detach(id),
+            Action::SetText(text) => *doc.tree.value_mut(id) = HtmlNode::Text(text),
+            Action::UnwrapChild(child) => doc.tree.replace_with_children(child),
         }
     }
     trim_block_boundaries(doc);
@@ -88,6 +134,7 @@ pub fn tidy(doc: &mut HtmlDocument) {
 fn trim_block_boundaries(doc: &mut HtmlDocument) {
     let root = doc.tree.root();
     let ids: Vec<NodeId> = doc.tree.descendants(root).collect();
+    let mut emptied: Vec<NodeId> = Vec::new();
     for id in ids {
         let Some(parent) = doc.tree.parent(id) else {
             continue;
@@ -103,20 +150,26 @@ fn trim_block_boundaries(doc: &mut HtmlDocument) {
         let is_first = doc.tree.prev_sibling(id).is_none();
         let is_last = doc.tree.next_sibling(id).is_none();
         if let HtmlNode::Text(t) = doc.tree.value_mut(id) {
-            if is_first {
-                *t = t.trim_start().to_owned();
-            }
             if is_last {
-                *t = t.trim_end().to_owned();
+                // In-place: dropping a tail never moves the head.
+                t.truncate(t.trim_end().len());
+            }
+            if is_first {
+                let lead = t.len() - t.trim_start().len();
+                if lead > 0 {
+                    t.drain(..lead);
+                }
+            }
+            if t.is_empty() {
+                emptied.push(id);
             }
         }
     }
-    // Trimming may have produced empty text nodes; sweep them.
-    let ids: Vec<NodeId> = doc.tree.descendants(root).collect();
-    for id in ids {
-        if matches!(doc.tree.value(id), HtmlNode::Text(t) if t.is_empty()) {
-            doc.tree.detach(id);
-        }
+    // Trimming may have produced empty text nodes. The sweep stays a
+    // separate pass: detaching mid-loop would promote neighbours to
+    // first/last and trim them more aggressively than one pass should.
+    for id in emptied {
+        doc.tree.detach(id);
     }
 }
 

@@ -11,6 +11,18 @@
 //! smoothing, computed in log space. Training is separated from
 //! classification by the [`BayesTrainer`] → [`BayesClassifier`] split so a
 //! trained model is immutable and cheap to share.
+//!
+//! Two classifier shapes exist on purpose. [`BayesClassifier`] is the hot
+//! path: at build time every `ln()` is precomputed into a dense row-major
+//! table (vocabulary word × class), so scoring a token is one hash lookup
+//! per word plus a row of float additions — no transcendental math at
+//! classification time. [`ReferenceBayes`] is the original per-class
+//! hash-map formulation, retained as the independent reference that the
+//! table-vs-direct equivalence test checks the fast path against. The two
+//! are *bit-identical*, not merely approximately equal: the table stores
+//! the very values the reference computes, and both add them to each
+//! class's accumulator in the same order (prior first, then features in
+//! token order), so every intermediate `f64` is the same.
 
 use crate::tokenize::words;
 use std::collections::{BTreeMap, HashMap};
@@ -18,7 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 /// Accumulates labeled examples and produces a [`BayesClassifier`].
 ///
 /// `classes` is a `BTreeMap` on purpose: [`build`](Self::build) turns it
-/// into the classifier's `Vec<Class>`, and label order there decides how
+/// into the classifier's class columns, and label order there decides how
 /// exact score ties resolve in [`BayesClassifier::scores`]. A hash map
 /// here made tie winners change from process to process.
 #[derive(Clone, Debug, Default)]
@@ -60,8 +72,70 @@ impl BayesTrainer {
         self.total_docs
     }
 
-    /// Finishes training. Returns `None` if no examples were added.
+    /// Finishes training into the table-based fast path. Returns `None` if
+    /// no examples were added.
+    ///
+    /// Row assignment iterates the vocabulary in sorted order so the table
+    /// layout — and therefore any future serialization of it — is
+    /// deterministic; classification itself only reaches rows through the
+    /// word→row map, so layout never affects scores.
     pub fn build(self) -> Option<BayesClassifier> {
+        if self.total_docs == 0 {
+            return None;
+        }
+        let vocab_size = self.vocabulary.len().max(1) as f64;
+        let total_docs = self.total_docs as f64;
+
+        let mut vocab_words: Vec<String> = self.vocabulary.into_keys().collect();
+        vocab_words.sort_unstable();
+        let vocab: HashMap<String, u32> = vocab_words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+
+        let class_count = self.classes.len();
+        let mut labels = Vec::with_capacity(class_count);
+        let mut log_priors = Vec::with_capacity(class_count);
+        let mut unseen = Vec::with_capacity(class_count);
+        // Row-major: table[row * class_count + class] is the add-one log
+        // probability of vocabulary word `row` under `class`. A word the
+        // class never saw has count 0, and ln(0 + 1) − denom == −denom is
+        // bitwise the reference's `unseen_log_prob`, so pre-filling each
+        // column with it is exact, not an approximation.
+        let mut table = vec![0.0f64; vocab_words.len() * class_count];
+        for (col, (label, acc)) in self.classes.into_iter().enumerate() {
+            let prior = ((acc.docs as f64) / total_docs).ln();
+            let denom = (acc.total_words as f64 + vocab_size).ln();
+            let unseen_log_prob = (1.0f64).ln() - denom;
+            for row in 0..vocab_words.len() {
+                table[row * class_count + col] = unseen_log_prob;
+            }
+            for (w, c) in acc.words {
+                let row = vocab[&w] as usize;
+                table[row * class_count + col] = ((c as f64) + 1.0).ln() - denom;
+            }
+            labels.push(label);
+            log_priors.push(prior);
+            unseen.push(unseen_log_prob);
+        }
+        Some(BayesClassifier {
+            labels,
+            log_priors,
+            unseen,
+            vocab,
+            table,
+        })
+    }
+
+    /// Finishes training into the original per-class hash-map formulation.
+    ///
+    /// This borrows rather than consumes so equivalence tests can build
+    /// both shapes from one trainer. It is the *reference*: scoring
+    /// recomputes nothing, but every word probability lives in a per-class
+    /// `HashMap`, costing a hash lookup per (word, class) pair instead of
+    /// one per word.
+    pub fn build_reference(&self) -> Option<ReferenceBayes> {
         if self.total_docs == 0 {
             return None;
         }
@@ -69,24 +143,24 @@ impl BayesTrainer {
         let total_docs = self.total_docs as f64;
         let classes = self
             .classes
-            .into_iter()
+            .iter()
             .map(|(label, acc)| {
                 let prior = ((acc.docs as f64) / total_docs).ln();
                 let denom = (acc.total_words as f64 + vocab_size).ln();
                 let word_log_probs = acc
                     .words
-                    .into_iter()
-                    .map(|(w, c)| (w, ((c as f64) + 1.0).ln() - denom))
+                    .iter()
+                    .map(|(w, c)| (w.clone(), ((*c as f64) + 1.0).ln() - denom))
                     .collect();
                 Class {
-                    label,
+                    label: label.clone(),
                     log_prior: prior,
                     word_log_probs,
                     unseen_log_prob: (1.0f64).ln() - denom,
                 }
             })
             .collect();
-        Some(BayesClassifier { classes })
+        Some(ReferenceBayes { classes })
     }
 }
 
@@ -98,31 +172,52 @@ struct Class {
     unseen_log_prob: f64,
 }
 
-/// A trained multinomial naive Bayes model.
+/// A trained multinomial naive Bayes model: the table-based fast path.
+///
+/// All per-(word, class) log probabilities live in one dense row-major
+/// `Vec<f64>`; scoring walks each feature word's row once, so the cost is
+/// O(words × classes) float additions with a single vocabulary lookup per
+/// word. Produces scores bit-identical to [`ReferenceBayes`].
 #[derive(Clone, Debug)]
 pub struct BayesClassifier {
-    classes: Vec<Class>,
+    /// Class labels in `BTreeMap` (sorted) order — the tie-break order.
+    labels: Vec<String>,
+    /// Per-class ln(docs / total_docs), indexed like `labels`.
+    log_priors: Vec<f64>,
+    /// Per-class log probability of a word outside the vocabulary.
+    unseen: Vec<f64>,
+    /// Word → table row.
+    vocab: HashMap<String, u32>,
+    /// `table[row * labels.len() + class]`, see [`BayesTrainer::build`].
+    table: Vec<f64>,
 }
 
 impl BayesClassifier {
     /// Scores every class for `token_text`, returning `(label, log p)` pairs
     /// sorted best-first.
     pub fn scores(&self, token_text: &str) -> Vec<(&str, f64)> {
-        let features = words(token_text);
-        let mut out: Vec<(&str, f64)> = self
-            .classes
-            .iter()
-            .map(|c| {
-                let mut log_p = c.log_prior;
-                for w in &features {
-                    log_p += c
-                        .word_log_probs
-                        .get(w)
-                        .copied()
-                        .unwrap_or(c.unseen_log_prob);
+        let class_count = self.labels.len();
+        let mut acc = self.log_priors.clone();
+        for w in words(token_text) {
+            match self.vocab.get(&w) {
+                Some(&row) => {
+                    let row = &self.table[row as usize * class_count..][..class_count];
+                    for (a, p) in acc.iter_mut().zip(row) {
+                        *a += p;
+                    }
                 }
-                (c.label.as_str(), log_p)
-            })
+                None => {
+                    for (a, p) in acc.iter_mut().zip(&self.unseen) {
+                        *a += p;
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(&str, f64)> = self
+            .labels
+            .iter()
+            .zip(acc)
+            .map(|(label, log_p)| (label.as_str(), log_p))
             .collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
@@ -152,7 +247,56 @@ impl BayesClassifier {
 
     /// Labels known to the model.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.classes.iter().map(|c| c.label.as_str())
+        self.labels.iter().map(|s| s.as_str())
+    }
+
+    /// Vocabulary size (number of table rows) — exposed for benchmarks and
+    /// the equivalence tests.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+/// The original per-class hash-map naive Bayes formulation, kept as the
+/// independent reference for the table-vs-direct equivalence test.
+#[derive(Clone, Debug)]
+pub struct ReferenceBayes {
+    classes: Vec<Class>,
+}
+
+impl ReferenceBayes {
+    /// Scores every class for `token_text`, returning `(label, log p)` pairs
+    /// sorted best-first. This is the direct computation: per class, the
+    /// prior plus one hash lookup per feature word.
+    pub fn scores(&self, token_text: &str) -> Vec<(&str, f64)> {
+        let features = words(token_text);
+        let mut out: Vec<(&str, f64)> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let mut log_p = c.log_prior;
+                for w in &features {
+                    log_p += c
+                        .word_log_probs
+                        .get(w)
+                        .copied()
+                        .unwrap_or(c.unseen_log_prob);
+                }
+                (c.label.as_str(), log_p)
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("log probs are finite")
+                .then_with(|| a.0.cmp(b.0))
+        });
+        out
+    }
+
+    /// The highest-probability label for `token_text`, or `None` if the
+    /// model has no classes.
+    pub fn classify(&self, token_text: &str) -> Option<&str> {
+        self.scores(token_text).first().map(|(l, _)| *l)
     }
 }
 
@@ -195,6 +339,7 @@ mod tests {
     #[test]
     fn empty_trainer_builds_none() {
         assert!(BayesTrainer::new().build().is_none());
+        assert!(BayesTrainer::new().build_reference().is_none());
     }
 
     #[test]
@@ -261,5 +406,37 @@ mod tests {
         let c = t.build().unwrap();
         assert_eq!(c.classify("anything else"), Some("only"));
         assert_eq!(c.classify_with_margin("anything", 10.0), Some("only"));
+    }
+
+    #[test]
+    fn table_scores_bit_identical_to_reference() {
+        let mut t = BayesTrainer::new();
+        for ex in ["University of California", "Stanford University", "MIT"] {
+            t.add("institution", ex);
+        }
+        for ex in ["B.S. Computer Science", "Ph.D. Physics"] {
+            t.add("degree", ex);
+        }
+        let reference = t.build_reference().unwrap();
+        let table = t.build().unwrap();
+        for text in [
+            "University of Texas",
+            "B.S. Mathematics 1996",
+            "completely unseen words here",
+            "",
+            "University",
+        ] {
+            let a = table.scores(text);
+            let b = reference.scores(text);
+            assert_eq!(a.len(), b.len());
+            for ((la, sa), (lb, sb)) in a.iter().zip(&b) {
+                assert_eq!(la, lb, "label order differs on {text:?}");
+                assert_eq!(
+                    sa.to_bits(),
+                    sb.to_bits(),
+                    "scores not bit-identical on {text:?}: {sa} vs {sb}"
+                );
+            }
+        }
     }
 }

@@ -16,6 +16,6 @@ pub mod bayes;
 pub mod metrics;
 pub mod tokenize;
 
-pub use bayes::{BayesClassifier, BayesTrainer};
+pub use bayes::{BayesClassifier, BayesTrainer, ReferenceBayes};
 pub use metrics::ConfusionMatrix;
 pub use tokenize::{split_tokens, words, Delimiters};

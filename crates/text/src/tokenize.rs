@@ -80,31 +80,85 @@ pub fn split_tokens_obs(
 }
 
 fn split_tokens_impl(text: &str, delims: &Delimiters) -> Vec<String> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    for (i, &c) in chars.iter().enumerate() {
+    split_token_spans(text, delims)
+        .into_iter()
+        .map(|(start, end)| text[start..end].to_owned())
+        .collect()
+}
+
+/// Like [`split_tokens`] but returning the trimmed byte range of each token
+/// in `text` instead of owned copies. `split_tokens(text, d)` is exactly
+/// `split_token_spans(text, d)` with each range sliced out of `text` — the
+/// zero-copy shape the converter's arena representation stores, so token
+/// text is borrowed from the originating text buffer instead of allocated
+/// per token.
+pub fn split_token_spans(text: &str, delims: &Delimiters) -> Vec<(usize, usize)> {
+    if text.is_ascii() && delims.chars.iter().all(char::is_ascii) {
+        return split_token_spans_ascii(text, delims);
+    }
+    split_token_spans_chars(text, delims)
+}
+
+/// The general char-decoding walk; reference semantics for the ASCII
+/// fast path below.
+fn split_token_spans_chars(text: &str, delims: &Delimiters) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut run_start = 0usize;
+    let mut prev: Option<char> = None;
+    let mut iter = text.char_indices().peekable();
+    while let Some((i, c)) = iter.next() {
         if delims.contains(c) {
-            let prev_digit = i > 0 && chars[i - 1].is_ascii_digit();
-            let next_digit = chars.get(i + 1).is_some_and(|n| n.is_ascii_digit());
-            if prev_digit && next_digit {
-                current.push(c);
-                continue;
+            // A delimiter inside a number (10,000 / 10:30) is part of the
+            // value, not a split point — same rule as `split_tokens`.
+            let prev_digit = prev.is_some_and(|p| p.is_ascii_digit());
+            let next_digit = iter.peek().is_some_and(|&(_, n)| n.is_ascii_digit());
+            if !(prev_digit && next_digit) {
+                push_trimmed_span(text, run_start, i, &mut spans);
+                run_start = i + c.len_utf8();
             }
-            let trimmed = current.trim();
-            if !trimmed.is_empty() {
-                tokens.push(trimmed.to_owned());
+        }
+        prev = Some(c);
+    }
+    push_trimmed_span(text, run_start, text.len(), &mut spans);
+    spans
+}
+
+/// Byte-scan fast path for ASCII text with ASCII delimiters (the paper's
+/// `; , :` set): for ASCII input, byte positions are char positions, so
+/// the char-decoding walk above reduces to a plain byte loop. Behavior is
+/// identical — same delimiter test, same digit-flanked exemption, same
+/// trimming.
+fn split_token_spans_ascii(text: &str, delims: &Delimiters) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut is_delim = [false; 128];
+    for &c in delims.chars.iter() {
+        is_delim[c as usize] = true;
+    }
+    let mut spans = Vec::new();
+    let mut run_start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if is_delim[b as usize] {
+            let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+            let next_digit = i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit();
+            if !(prev_digit && next_digit) {
+                push_trimmed_span(text, run_start, i, &mut spans);
+                run_start = i + 1;
             }
-            current.clear();
-        } else {
-            current.push(c);
         }
     }
-    let trimmed = current.trim();
+    push_trimmed_span(text, run_start, text.len(), &mut spans);
+    spans
+}
+
+/// Trims whitespace off `text[start..end]` and records the remaining range
+/// if non-empty.
+fn push_trimmed_span(text: &str, start: usize, end: usize, spans: &mut Vec<(usize, usize)>) {
+    let slice = &text[start..end];
+    let lead = slice.len() - slice.trim_start().len();
+    let trimmed = slice.trim();
     if !trimmed.is_empty() {
-        tokens.push(trimmed.to_owned());
+        spans.push((start + lead, start + lead + trimmed.len()));
     }
-    tokens
 }
 
 /// Extracts lowercase word features from a token for classification:
@@ -216,6 +270,52 @@ mod tests {
     fn whole_text_is_one_token_without_delimiters() {
         let toks = split_tokens("just one component", &Delimiters::default());
         assert_eq!(toks, ["just one component"]);
+    }
+
+    #[test]
+    fn spans_slice_back_to_tokens() {
+        for text in [
+            "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0",
+            "Skills: C++; Java; Perl",
+            "Managed 10,000 users, saved $1,500",
+            "Meeting at 10:30, room 5",
+            " ;,; ",
+            "",
+            "  padded , tokens  ",
+            "résumé, naïve; 1996",
+        ] {
+            let d = Delimiters::default();
+            let from_spans: Vec<&str> = split_token_spans(text, &d)
+                .into_iter()
+                .map(|(s, e)| &text[s..e])
+                .collect();
+            assert_eq!(from_spans, split_tokens(text, &d), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn ascii_span_fast_path_matches_char_walk() {
+        let d = Delimiters::default();
+        for text in [
+            "University of California at Davis, B.S.(Computer Science), June 1996, GPA 3.8/4.0",
+            "Skills: C++; Java; Perl",
+            "Managed 10,000 users, saved $1,500",
+            "Meeting at 10:30, room 5",
+            " ;,; ",
+            "",
+            ",",
+            "1,2",
+            "a,1",
+            "1,a",
+            "  padded , tokens  ",
+        ] {
+            assert!(text.is_ascii());
+            assert_eq!(
+                split_token_spans(text, &d),
+                split_token_spans_chars(text, &d),
+                "fast path diverged on {text:?}"
+            );
+        }
     }
 
     #[test]

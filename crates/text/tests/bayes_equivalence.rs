@@ -1,0 +1,140 @@
+//! Randomized equivalence between the precomputed-table Bayes classifier
+//! and the direct per-class HashMap formulation it replaced. The table is
+//! a pure layout change: every score must be *bit-identical* (same float
+//! addition order), so ranking — including exact ties — can never differ.
+
+use webre_substrate::prop::{self, Gen};
+use webre_substrate::{prop_assert, prop_assert_eq};
+use webre_text::BayesTrainer;
+
+const CASES: u32 = 128;
+
+const LABELS: &[&str] = &["education", "experience", "skills", "awards"];
+
+const VOCAB: &[&str] = &[
+    "university", "college", "b.s.", "degree", "gpa", "june", "1996",
+    "verity", "c++", "java", "intern", "dean", "list", "honors", "résumé",
+];
+
+fn gen_trainer(g: &mut Gen) -> BayesTrainer {
+    let mut trainer = BayesTrainer::new();
+    let examples = g.vec(0, 30, |g| {
+        let label = *g.pick(LABELS);
+        let words = g.vec(1, 6, |g| *g.pick(VOCAB));
+        (label, words.join(" "))
+    });
+    for (label, text) in examples {
+        trainer.add(label, &text);
+    }
+    trainer
+}
+
+fn gen_query(g: &mut Gen) -> String {
+    let words = g.vec(0, 8, |g| {
+        if g.bool(0.8) {
+            (*g.pick(VOCAB)).to_owned()
+        } else {
+            // Out-of-vocabulary words exercise the unseen column.
+            format!("novel{}", g.int(0u32..50))
+        }
+    });
+    words.join(" ")
+}
+
+/// Table scores are bit-identical to the reference formulation on random
+/// training sets and queries (seen and unseen words mixed).
+#[test]
+fn table_matches_reference_bitwise() {
+    prop::check_cases("table_matches_reference_bitwise", CASES, |g| {
+        let trainer = gen_trainer(g);
+        let reference = trainer.build_reference();
+        let table = trainer.build();
+        prop_assert_eq!(
+            table.is_some(),
+            reference.is_some(),
+            "builders disagree on trainability"
+        );
+        let (Some(table), Some(reference)) = (table, reference) else {
+            return Ok(());
+        };
+        let query = gen_query(g);
+        let ts = table.scores(&query);
+        let rs = reference.scores(&query);
+        prop_assert_eq!(ts.len(), rs.len());
+        for (t, r) in ts.iter().zip(rs.iter()) {
+            prop_assert_eq!(t.0, r.0, "label order diverged on {:?}", query);
+            prop_assert!(
+                t.1.to_bits() == r.1.to_bits(),
+                "score for {:?} not bit-identical on {:?}: {} vs {}",
+                t.0,
+                query,
+                t.1,
+                r.1
+            );
+        }
+        prop_assert_eq!(
+            table.classify(&query),
+            reference.classify(&query),
+            "classification diverged on {:?}",
+            query
+        );
+        Ok(())
+    });
+}
+
+/// Deliberately symmetric classes: identical word distributions produce
+/// exactly tied log-probabilities, so both formulations must fall back to
+/// the same deterministic label tie-break.
+#[test]
+fn exact_ties_break_identically() {
+    prop::check_cases("exact_ties_break_identically", CASES, |g| {
+        let mut trainer = BayesTrainer::new();
+        // The same documents under every label — all posteriors tie.
+        let docs = g.vec(1, 5, |g| g.vec(1, 4, |g| *g.pick(VOCAB)).join(" "));
+        for label in LABELS {
+            for doc in &docs {
+                trainer.add(label, doc);
+            }
+        }
+        let reference = trainer.build_reference().expect("trained");
+        let table = trainer.build().expect("trained");
+        let query = gen_query(g);
+        let ts = table.scores(&query);
+        let rs = reference.scores(&query);
+        // Sanity: the tie is real — every class scored identically.
+        prop_assert!(
+            ts.windows(2).all(|w| w[0].1.to_bits() == w[1].1.to_bits()),
+            "expected all-tied scores, got {:?}",
+            ts
+        );
+        prop_assert_eq!(&ts, &rs, "tied ranking diverged on {:?}", query);
+        // Ties resolve to the lexicographically smallest label.
+        prop_assert_eq!(table.classify(&query), Some("awards"));
+        prop_assert_eq!(reference.classify(&query), Some("awards"));
+        // A tie is never a confident margin win.
+        prop_assert_eq!(table.classify_with_margin(&query, 0.1), None);
+        Ok(())
+    });
+}
+
+/// Untrained and single-class trainers behave identically across both
+/// formulations.
+#[test]
+fn degenerate_trainers_agree() {
+    assert!(BayesTrainer::new().build().is_none());
+    assert!(BayesTrainer::new().build_reference().is_none());
+
+    let mut trainer = BayesTrainer::new();
+    trainer.add("only", "university degree");
+    let reference = trainer.build_reference().expect("trained");
+    let table = trainer.build().expect("trained");
+    for query in ["university", "zzz unseen", ""] {
+        assert_eq!(table.classify(query), reference.classify(query));
+        assert_eq!(table.classify(query), Some("only"));
+        let ts = table.scores(query);
+        let rs = reference.scores(query);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].0, rs[0].0);
+        assert_eq!(ts[0].1.to_bits(), rs[0].1.to_bits());
+    }
+}

@@ -45,3 +45,19 @@ case "$obs_out" in
 esac
 WEBRE_BENCH_OBS_OUT="$obs_out" cargo run --release -p webre-bench --bin obs_overhead
 echo "==> observability benchmark record(s) in $obs_out"
+
+# Append the headline conversion numbers — convert/* throughput and cold
+# /convert rps — to an append-only dated history, so trend lines across
+# runs survive the snapshot files being rewritten from scratch. Unlike
+# the snapshots this file is never truncated.
+history="${WEBRE_BENCH_HISTORY:-$PWD/BENCH_history.jsonl}"
+case "$history" in
+    /*) ;;
+    *) history="$PWD/$history" ;;
+esac
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+{
+    grep '"bench":"convert/' "$out" || true
+    grep '"name":"serve_convert_cold"' "$serve_out" || true
+} | sed "s/^{/{\"date\":\"$stamp\",/" >> "$history"
+echo "==> $(wc -l <"$history") dated record(s) in $history"

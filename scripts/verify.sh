@@ -24,6 +24,12 @@ cargo test -q
 echo "==> webre check (bounded differential/fuzz oracle smoke run)"
 ./target/release/webre check --iters 50 --seed 1
 
+echo "==> matcher smoke gate (automaton vs naive scanner equivalence)"
+# The conversion hot path matches concepts with the Aho-Corasick
+# automaton; the naive per-instance scanner is the reference. A deeper
+# run than the battery above catches tie-break divergences early.
+./target/release/webre check --only matcher-vs-naive --iters 200 --seed 1
+
 echo "==> serve smoke gate (HTTP round-trip against the release binary)"
 smoke_dir=$(mktemp -d)
 serve_log="$smoke_dir/serve.log"
