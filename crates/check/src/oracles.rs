@@ -815,3 +815,138 @@ pub fn trace_noop(rng: &mut StdRng) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// Oracle 13 — sharded mining merges back to batch mining. The
+/// frequent-path statistics are associative aggregates, so for a random
+/// corpus, a random shard count and random thresholds, four independent
+/// routes must agree byte-for-byte:
+///
+/// 1. batch mining over the document slice,
+/// 2. mining the [`webre_schema::ShardedCorpus`] union view,
+/// 3. mining the merge of the per-shard [`webre_schema::PathTable`]s,
+/// 4. mining the merged table after a JSON round-trip (the
+///    `/corpus/table` wire format).
+///
+/// DTD derivation over the shard slices must likewise equal batch
+/// derivation (group patterns stay off: group detection is seeded by the
+/// first observed child sequence, so it is order-sensitive by design and
+/// excluded from the identity).
+pub fn shard_merge_vs_batch(rng: &mut StdRng) -> Result<(), String> {
+    use webre_substrate::json::{FromJson, Json, ToJson};
+
+    let docs = random_xml_corpus(rng);
+    let corpus: Vec<DocPaths> = docs.iter().map(extract_paths).collect();
+    let shard_count = rng.gen_range(1..=5usize);
+    let (sup, ratio, max_len) = random_thresholds(rng);
+    let context = || {
+        let xmls: Vec<String> = docs.iter().map(webre_xml::to_xml).collect();
+        format!(
+            "shards={shard_count} sup={sup} ratio={ratio} max_len={max_len:?}\n  corpus: {}",
+            xmls.join(" | ")
+        )
+    };
+
+    // Route documents by real content hash, as the serving layer does.
+    let mut sharded = webre_schema::ShardedCorpus::new(shard_count);
+    for (doc, paths) in docs.iter().zip(&corpus) {
+        let hash = webre_substrate::wal::checksum(webre_xml::to_xml(doc).as_bytes());
+        sharded.push(hash, paths.clone());
+    }
+
+    let merged = webre_schema::PathTable::merged(
+        &sharded
+            .shards()
+            .iter()
+            .map(webre_schema::CorpusIndex::table)
+            .collect::<Vec<_>>(),
+    );
+    let wire = merged.to_json().to_string();
+    let decoded = Json::parse(&wire)
+        .map_err(|e| format!("merged table serialized unparseably: {e}\n  {}", context()))
+        .and_then(|v| {
+            webre_schema::PathTable::from_json(&v)
+                .map_err(|e| format!("merged table failed to decode: {e}\n  {}", context()))
+        })?;
+    if decoded != merged {
+        return Err(format!(
+            "merged table changed across its JSON round-trip\n  {}",
+            context()
+        ));
+    }
+
+    let miner = FrequentPathMiner {
+        sup_threshold: sup,
+        ratio_threshold: ratio,
+        constraints: None,
+        max_len,
+    };
+    let batch = miner.mine(&corpus);
+    let routes: [(&str, Option<webre_schema::MiningOutcome>); 3] = [
+        ("sharded view", miner.mine_view(&sharded)),
+        ("merged table", miner.mine_view(&merged)),
+        ("round-tripped table", miner.mine_view(&decoded)),
+    ];
+    for (route, outcome) in routes {
+        match (&batch, outcome) {
+            (None, None) => {}
+            (Some(b), Some(o)) => {
+                if b.schema.render() != o.schema.render() {
+                    return Err(format!(
+                        "{route} mined a different schema than batch\n  {}\n  batch:\n{}\n  {route}:\n{}",
+                        context(),
+                        b.schema.render(),
+                        o.schema.render()
+                    ));
+                }
+                if b.nodes_explored != o.nodes_explored || b.nodes_accepted != o.nodes_accepted {
+                    return Err(format!(
+                        "{route} explored a different search space than batch \
+                         (batch {}de/{}da, {route} {}de/{}da)\n  {}",
+                        b.nodes_explored,
+                        b.nodes_accepted,
+                        o.nodes_explored,
+                        o.nodes_accepted,
+                        context()
+                    ));
+                }
+            }
+            (b, o) => {
+                return Err(format!(
+                    "mining presence diverges: batch {} but {route} {}\n  {}",
+                    if b.is_some() { "found a schema" } else { "found none" },
+                    if o.is_some() { "found a schema" } else { "found none" },
+                    context()
+                ));
+            }
+        }
+    }
+
+    // DTD derivation over shard slices, two configurations.
+    if let Some(b) = &batch {
+        for config in [
+            webre_schema::DtdConfig::default(),
+            webre_schema::DtdConfig {
+                rep_threshold: 2,
+                optional_below: Some(0.75),
+                ..webre_schema::DtdConfig::default()
+            },
+        ] {
+            let batch_dtd = webre_schema::derive_dtd(&b.schema, &corpus, &config).to_dtd_string();
+            let sharded_dtd =
+                webre_schema::derive_dtd_sharded(&b.schema, &sharded.docs_by_shard(), &config)
+                    .to_dtd_string();
+            if batch_dtd != sharded_dtd {
+                return Err(format!(
+                    "sharded DTD derivation diverged from batch \
+                     (rep_threshold={}, optional_below={:?})\n  {}\n  batch:   {}\n  sharded: {}",
+                    config.rep_threshold,
+                    config.optional_below,
+                    context(),
+                    snippet(&batch_dtd),
+                    snippet(&sharded_dtd)
+                ));
+            }
+        }
+    }
+    Ok(())
+}

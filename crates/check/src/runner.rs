@@ -48,6 +48,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("serve-vs-batch", Kind::Differential, crate::oracles::serve_vs_batch),
     ("trace-noop", Kind::Differential, crate::oracles::trace_noop),
     ("matcher-vs-naive", Kind::Differential, crate::oracles::matcher_vs_naive),
+    ("shard-merge-vs-batch", Kind::Differential, crate::oracles::shard_merge_vs_batch),
     ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
     ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
     ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
@@ -236,12 +237,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Eight differential + three metamorphic + one fuzz oracle; the
+        // Nine differential + three metamorphic + one fuzz oracle; the
         // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 12);
+        assert_eq!(a.oracles.len(), 13);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            8
+            9
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

@@ -4,7 +4,8 @@
 //! webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
 //! webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
 //! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
-//! webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
+//! webre serve    [--addr HOST:PORT] [--workers N] [--data-dir DIR] [--shards N] ...
+//! webre scale    [--instances K] [--docs N] [--data-dir DIR] ...
 //! webre stats    <trace.json>...
 //! webre validate <file.xml>...   --dtd <file.dtd>
 //! webre generate --count N [--seed S] --out-dir DIR
@@ -15,7 +16,13 @@
 //! `convert` prints concept-tagged XML for each input; `discover` prints
 //! the majority schema and derived DTD; `run` converts, discovers, maps
 //! every document onto the DTD and writes conforming XML files; `serve`
-//! exposes the pipeline over HTTP (see `webre-serve`); `stats` summarizes
+//! exposes the pipeline over HTTP (see `webre-serve`); `scale` spawns a
+//! fleet of `webre serve` child processes, routes a synthetic XML stream
+//! across them with a consistent-hash ring, and proves at every
+//! checkpoint that the merged per-instance path tables equal a locally
+//! maintained batch reference (the distributed incremental ≡ batch
+//! identity), reporting docs/s, time-to-fresh-schema, and — when
+//! durable — WAL replay time as a JSON line; `stats` summarizes
 //! trace files written by `--trace-out` (per-stage span counts and
 //! latencies plus rule-counter totals); `validate` checks
 //! XML files against a DTD; `generate` materializes a synthetic resume
@@ -63,6 +70,7 @@ fn main() -> ExitCode {
         "discover" => cmd_discover(rest),
         "run" => cmd_run(rest),
         "serve" => cmd_serve(rest),
+        "scale" => cmd_scale(rest),
         "stats" => cmd_stats(rest),
         "validate" => cmd_validate(rest),
         "generate" => cmd_generate(rest),
@@ -106,8 +114,11 @@ usage:
   webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
                  [--trace-out FILE]
   webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
-                 [--max-body BYTES] [--domain d.json] [--root NAME] [--sup F] [--ratio F]
+                 [--max-body BYTES] [--data-dir DIR] [--shards N] [--fsync-every N]
+                 [--compact-min N] [--domain d.json] [--root NAME] [--sup F] [--ratio F]
                  [--trace-out FILE]
+  webre scale    [--instances K] [--docs N] [--seed S] [--batch B] [--checkpoints C]
+                 [--data-dir DIR] [--shards N] [--workers N]
   webre stats    <trace.json>...
   webre validate <file.xml>...   --dtd <file.dtd>
   webre generate --count N [--seed S] --out-dir DIR
@@ -437,6 +448,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             "cache-cap",
             "queue-cap",
             "max-body",
+            "data-dir",
+            "shards",
+            "fsync-every",
+            "compact-min",
             "domain",
             "root",
             "sup",
@@ -462,6 +477,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         cache_cap: parsed.uint("cache-cap", defaults.cache_cap)?,
         max_body: parsed.uint("max-body", defaults.max_body)?,
         read_timeout: defaults.read_timeout,
+        data_dir: parsed.value("data-dir").map(PathBuf::from),
+        shards: parsed.uint("shards", defaults.shards)?.max(1),
+        sync_every: parsed.uint("fsync-every", defaults.sync_every)?.max(1),
+        compact_min: parsed.uint("compact-min", defaults.compact_min)?.max(1),
     };
     let pipeline = pipeline_from(&parsed)?;
     let workers = config.workers;
@@ -749,5 +768,441 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, CliError> {
         .map_err(|e| runtime_err(e.to_string()))?;
     }
     println!("wrote {count} documents (+ ground truth) to {}", out_dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+// --- webre scale: multi-process sharded-ingest demonstration ----------
+
+/// One spawned `webre serve` child plus its keep-alive client
+/// connection. The child's stdout pipe stays open for its lifetime so
+/// its drain banner never hits a closed pipe.
+struct ScaleNode {
+    child: std::process::Child,
+    #[allow(dead_code)]
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+    addr: String,
+    writer: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+    /// Pipelined requests written but not yet answered.
+    pending: usize,
+}
+
+/// Opens a keep-alive connection to a scale instance.
+fn scale_connect(
+    addr: &str,
+) -> Result<(std::net::TcpStream, std::io::BufReader<std::net::TcpStream>), CliError> {
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| runtime_err(format!("cannot connect to instance at {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+        .map_err(|e| runtime_err(format!("cannot set read timeout: {e}")))?;
+    let writer = stream
+        .try_clone()
+        .map_err(|e| runtime_err(format!("cannot clone stream: {e}")))?;
+    Ok((writer, std::io::BufReader::new(stream)))
+}
+
+/// The fleet guard: on drop (normal exit or error unwind) every child
+/// that has not already exited is killed and reaped, so a failed run
+/// never leaks listening processes.
+struct Fleet(Vec<ScaleNode>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for node in &mut self.0 {
+            // webre::allow(dropped-result): best-effort teardown; the child may already be gone
+            let _ = node.child.kill();
+            // webre::allow(dropped-result): reap only; exit status of a killed child is meaningless
+            let _ = node.child.wait();
+        }
+    }
+}
+
+/// Spawns one `webre serve` child on an ephemeral port, parses the
+/// "serving on http://HOST:PORT" banner, and opens one keep-alive
+/// connection to it. With one worker per child, that single connection
+/// pins the worker, so every request to the instance must flow through
+/// it — exactly the pipelined discipline the sender uses.
+fn spawn_scale_node(
+    exe: &Path,
+    index: usize,
+    workers: usize,
+    shards: usize,
+    data_dir: Option<&Path>,
+) -> Result<ScaleNode, CliError> {
+    use std::io::BufRead;
+    let mut command = std::process::Command::new(exe);
+    command
+        .arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--queue-cap")
+        .arg("256")
+        .arg("--cache-cap")
+        .arg("16")
+        .stdout(std::process::Stdio::piped());
+    if let Some(dir) = data_dir {
+        // Bulk-load posture: big fsync batches, compaction off. A
+        // mid-stream compaction rewrites the whole shard snapshot, and
+        // past ~100k docs that stall outlives the sibling instances'
+        // keep-alive read timeout; the raw WAL for a million stream docs
+        // is only ~150 MB, so deferring compaction to the next restart
+        // is the cheaper trade. Compaction itself is exercised by the
+        // persistence tests and the verify-script smoke run.
+        command
+            .arg("--data-dir")
+            .arg(dir.join(format!("instance-{index}")))
+            .arg("--shards")
+            .arg(shards.to_string())
+            .arg("--fsync-every")
+            .arg("2048")
+            .arg("--compact-min")
+            .arg("1000000000");
+    }
+    let mut child = command
+        .spawn()
+        .map_err(|e| runtime_err(format!("cannot spawn serve instance {index}: {e}")))?;
+    let Some(stdout) = child.stdout.take() else {
+        // webre::allow(dropped-result): spawn failed; kill is cleanup only
+        let _ = child.kill();
+        return Err(runtime_err("child stdout was not piped"));
+    };
+    let mut stdout = std::io::BufReader::new(stdout);
+    let mut banner = String::new();
+    if stdout.read_line(&mut banner).is_err() || banner.is_empty() {
+        // webre::allow(dropped-result): spawn failed; kill is cleanup only
+        let _ = child.kill();
+        return Err(runtime_err(format!(
+            "serve instance {index} exited before announcing its address"
+        )));
+    }
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| runtime_err(format!("unparseable serve banner: {banner:?}")))?
+        .to_owned();
+    let (writer, reader) = scale_connect(&addr)?;
+    Ok(ScaleNode {
+        child,
+        stdout,
+        addr,
+        writer,
+        reader,
+        pending: 0,
+    })
+}
+
+/// Reads every pipelined response still owed by a node; each must be a
+/// 202 accretion acknowledgment.
+fn drain_scale_node(node: &mut ScaleNode) -> Result<(), CliError> {
+    while node.pending > 0 {
+        let response = webre_substrate::http::read_response(&mut node.reader, 1 << 20)
+            .map_err(|e| runtime_err(format!("ingest response: {e}")))?;
+        if response.status != 202 {
+            return Err(runtime_err(format!(
+                "ingest rejected: {} {}",
+                response.status,
+                response.text()
+            )));
+        }
+        node.pending -= 1;
+    }
+    Ok(())
+}
+
+/// One request/response exchange on a node's keep-alive connection.
+/// Only valid when no pipelined responses are outstanding. If the
+/// server closed the idle connection (its keep-alive read timeout can
+/// fire while a slow request to a *sibling* instance is in flight),
+/// the exchange reconnects once and retries — safe for these
+/// idempotent GETs, never used on the accretion path.
+fn scale_roundtrip(
+    node: &mut ScaleNode,
+    method: &str,
+    target: &str,
+) -> Result<webre_substrate::http::ParsedResponse, CliError> {
+    for attempt in 0..2 {
+        let sent = webre_substrate::http::write_request(
+            &mut node.writer,
+            method,
+            target,
+            b"",
+            true,
+        );
+        if sent.is_ok() {
+            match webre_substrate::http::read_response(&mut node.reader, 256 << 20) {
+                // A 408 is the server timing out the *idle* connection:
+                // it was queued before our request arrived, so the
+                // request was never processed. Treat it like a closed
+                // connection — reconnect and resend.
+                Ok(response) if response.status == 408 && attempt == 0 => {}
+                Ok(response) => return Ok(response),
+                Err(e) if attempt == 1 => {
+                    return Err(runtime_err(format!("{method} {target}: {e}")));
+                }
+                Err(_) => {}
+            }
+        } else if attempt == 1 {
+            return Err(runtime_err(format!(
+                "{method} {target}: {}",
+                sent.expect_err("checked")
+            )));
+        }
+        let (writer, reader) = scale_connect(&node.addr)?;
+        node.writer = writer;
+        node.reader = reader;
+    }
+    unreachable!("loop returns on success or second failure")
+}
+
+/// Fetches every instance's path table and merges them — the
+/// distributed corpus seen through the merge algebra.
+fn merged_remote_table(fleet: &mut Fleet) -> Result<webre_schema::PathTable, CliError> {
+    use webre_substrate::json::FromJson;
+    let mut tables = Vec::with_capacity(fleet.0.len());
+    for node in &mut fleet.0 {
+        let response = scale_roundtrip(node, "GET", "/corpus/table")?;
+        if response.status != 200 {
+            return Err(runtime_err(format!(
+                "/corpus/table returned {}",
+                response.status
+            )));
+        }
+        let value = Json::parse(response.text().trim())
+            .map_err(|e| runtime_err(format!("bad /corpus/table JSON: {e}")))?;
+        tables.push(
+            webre_schema::PathTable::from_json(&value)
+                .map_err(|e| runtime_err(format!("bad /corpus/table payload: {e}")))?,
+        );
+    }
+    Ok(webre_schema::PathTable::merged(tables.iter()))
+}
+
+fn cmd_scale(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &[
+            "instances",
+            "docs",
+            "seed",
+            "batch",
+            "checkpoints",
+            "data-dir",
+            "shards",
+            "workers",
+        ],
+        &[],
+    )?;
+    if !parsed.positional.is_empty() {
+        return Err(usage_err(format!(
+            "scale takes no positional arguments, got {:?}",
+            parsed.positional
+        )));
+    }
+    let instances = parsed.uint("instances", 2)?.max(1);
+    let docs = parsed.uint("docs", 100_000)?.max(1) as u64;
+    let seed = parsed.uint("seed", 2002)? as u64;
+    let batch = parsed.uint("batch", 64)?.max(1);
+    let checkpoints = parsed.uint("checkpoints", 4)?.max(1) as u64;
+    let workers = parsed.uint("workers", 1)?.max(1);
+    let shards = parsed.uint("shards", 2)?.max(1);
+    let data_dir = parsed.value("data-dir").map(PathBuf::from);
+    let exe = std::env::current_exe()
+        .map_err(|e| runtime_err(format!("cannot locate own executable: {e}")))?;
+    if let Some(dir) = &data_dir {
+        // A fresh run must not replay a previous run's corpus.
+        if dir.exists() {
+            std::fs::remove_dir_all(dir)
+                .map_err(|e| runtime_err(format!("cannot clear {}: {e}", dir.display())))?;
+        }
+    }
+
+    let mut fleet = Fleet(Vec::with_capacity(instances));
+    for k in 0..instances {
+        fleet
+            .0
+            .push(spawn_scale_node(&exe, k, workers, shards, data_dir.as_deref())?);
+    }
+    eprintln!(
+        "scale: {instances} instance(s) up, streaming {docs} docs (batch {batch}, {checkpoints} checkpoint(s){})",
+        if data_dir.is_some() { ", durable" } else { "" }
+    );
+
+    // Ingest: route each generated document by content hash through the
+    // consistent-hash ring, pipelining `batch` requests per connection,
+    // while maintaining the local batch reference table.
+    let stream = webre_corpus::XmlStream::new(seed);
+    let ring = webre_substrate::ring::HashRing::with_nodes(instances as u32);
+    let mut reference = webre_schema::PathTable::new();
+    // The stream draws from a few hundred distinct document shapes, so
+    // the reference table can memoize extraction per shape instead of
+    // re-parsing every document — the client shares one core with the
+    // whole fleet and its parse time would otherwise rival the servers'.
+    let mut extracted: std::collections::BTreeMap<String, webre_schema::DocPaths> =
+        std::collections::BTreeMap::new();
+    let checkpoint_every = (docs / checkpoints).max(1);
+    let mut checks = 0u64;
+    let ingest_start = std::time::Instant::now();
+    for i in 0..docs {
+        let xml = stream.doc(i);
+        let hash = webre_substrate::wal::checksum(xml.as_bytes());
+        let Some(node) = ring.route(hash) else {
+            return Err(runtime_err("empty hash ring"));
+        };
+        let node = &mut fleet.0[node as usize];
+        webre_substrate::http::write_request(
+            &mut node.writer,
+            "POST",
+            "/corpus/xml",
+            xml.as_bytes(),
+            true,
+        )
+        .map_err(|e| runtime_err(format!("ingest write: {e}")))?;
+        node.pending += 1;
+        if node.pending >= batch {
+            drain_scale_node(node)?;
+        }
+        match extracted.get(&xml) {
+            Some(paths) => reference.add_doc(paths),
+            None => {
+                let paths = webre_schema::extract_paths(
+                    &webre::xml::parse_xml(&xml)
+                        .map_err(|e| runtime_err(format!("generated doc {i} is not XML: {e}")))?,
+                );
+                reference.add_doc(&paths);
+                extracted.insert(xml, paths);
+            }
+        }
+        if (i + 1) % checkpoint_every == 0 || i + 1 == docs {
+            for node in &mut fleet.0 {
+                drain_scale_node(node)?;
+            }
+            let merged = merged_remote_table(&mut fleet)?;
+            if merged != reference {
+                return Err(runtime_err(format!(
+                    "checkpoint at doc {}: merged shard tables diverge from the batch reference",
+                    i + 1
+                )));
+            }
+            checks += 1;
+            eprintln!(
+                "scale: checkpoint {}/{} at {} docs — merged table ≡ batch reference",
+                checks,
+                checkpoints,
+                i + 1
+            );
+        }
+    }
+    let ingest_s = ingest_start.elapsed().as_secs_f64();
+    let docs_per_s = docs as f64 / ingest_s.max(f64::EPSILON);
+
+    // Time-to-fresh-schema: every instance mines its share from scratch
+    // (accretion invalidated the cached snapshot on every doc).
+    let schema_start = std::time::Instant::now();
+    for node in &mut fleet.0 {
+        let response = scale_roundtrip(node, "GET", "/schema")?;
+        if response.status != 200 {
+            return Err(runtime_err(format!("/schema returned {}", response.status)));
+        }
+    }
+    let schema_s = schema_start.elapsed().as_secs_f64();
+
+    // The mined view of the merged tables must match mining the local
+    // reference — the identity the shard-merge-vs-batch oracle checks,
+    // here across real process boundaries.
+    let merged = merged_remote_table(&mut fleet)?;
+    let miner = FrequentPathMiner::default();
+    let agreement = match (miner.mine_view(&reference), miner.mine_view(&merged)) {
+        (None, None) => true,
+        (Some(a), Some(b)) => a.schema.render() == b.schema.render(),
+        _ => false,
+    };
+    if !agreement {
+        return Err(runtime_err(
+            "schema mined from merged shard tables diverges from the batch schema",
+        ));
+    }
+
+    // Orderly shutdown: drain each instance over its own connection.
+    // The roundtrip's reconnect-and-retry matters here: an undelivered
+    // drain request would leave `wait` below blocking forever.
+    for node in &mut fleet.0 {
+        let response = scale_roundtrip(node, "POST", "/shutdown")?;
+        if response.status != 200 {
+            return Err(runtime_err(format!(
+                "/shutdown returned {}",
+                response.status
+            )));
+        }
+    }
+    for (k, node) in fleet.0.iter_mut().enumerate() {
+        let status = node
+            .child
+            .wait()
+            .map_err(|e| runtime_err(format!("waiting for instance {k}: {e}")))?;
+        if !status.success() {
+            return Err(runtime_err(format!("instance {k} exited with {status}")));
+        }
+    }
+
+    // Durable runs: reopen every instance's store and time the replay.
+    let (replay_s, replay_docs) = match &data_dir {
+        None => (0.0, 0usize),
+        Some(dir) => {
+            let replay_start = std::time::Instant::now();
+            let mut total = 0usize;
+            for k in 0..instances {
+                let config = webre::serve::persist::StoreConfig {
+                    data_dir: dir.join(format!("instance-{k}")),
+                    shards,
+                    sync_every: 256,
+                    compact_min: 1024,
+                };
+                let (_, corpus, report) = webre::serve::persist::CorpusStore::open(&config)
+                    .map_err(|e| runtime_err(format!("replay of instance {k} failed: {e}")))?;
+                if !report.warnings.is_empty() {
+                    return Err(runtime_err(format!(
+                        "replay of instance {k} warned: {:?}",
+                        report.warnings
+                    )));
+                }
+                total += corpus.len();
+            }
+            (replay_start.elapsed().as_secs_f64(), total)
+        }
+    };
+    if data_dir.is_some() && replay_docs as u64 != docs {
+        return Err(runtime_err(format!(
+            "replay recovered {replay_docs} docs, expected {docs}"
+        )));
+    }
+
+    eprintln!(
+        "scale: {docs} docs through {instances} instance(s) in {ingest_s:.2}s ({docs_per_s:.0} docs/s); \
+         fresh schema in {schema_s:.3}s{}",
+        if data_dir.is_some() {
+            format!("; replayed {replay_docs} docs in {replay_s:.2}s")
+        } else {
+            String::new()
+        }
+    );
+    let summary = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("corpus_scale".to_owned())),
+        ("docs".to_owned(), Json::Num(docs as f64)),
+        ("instances".to_owned(), Json::Num(instances as f64)),
+        ("shards".to_owned(), Json::Num(shards as f64)),
+        ("ingest_s".to_owned(), Json::Num(ingest_s)),
+        ("docs_per_s".to_owned(), Json::Num(docs_per_s)),
+        ("schema_s".to_owned(), Json::Num(schema_s)),
+        ("checkpoints".to_owned(), Json::Num(checks as f64)),
+        ("agreement".to_owned(), Json::Bool(true)),
+        ("durable".to_owned(), Json::Bool(data_dir.is_some())),
+        ("replay_s".to_owned(), Json::Num(replay_s)),
+        ("replay_docs".to_owned(), Json::Num(replay_docs as f64)),
+    ]);
+    println!("{summary}");
     Ok(ExitCode::SUCCESS)
 }

@@ -376,7 +376,7 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All eight differential oracles, all three metamorphic invariants
+    // All nine differential oracles, all three metamorphic invariants
     // and the fuzzer ran.
     for oracle in [
         "fixpoint",
@@ -387,6 +387,7 @@ fn check_passes_and_is_deterministic() {
         "serve-vs-batch",
         "trace-noop",
         "matcher-vs-naive",
+        "shard-merge-vs-batch",
         "remove-document",
         "duplicate-corpus",
         "permute-order",
@@ -394,7 +395,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 12 oracles passed"), "{text}");
+    assert!(text.contains("all 13 oracles passed"), "{text}");
 }
 
 #[test]

@@ -21,7 +21,9 @@
 //!   substrate, simulated);
 //! * [`catalog`] — a second topic (product catalogs, the paper's Section 5
 //!   future-work target) with its own domain and generator, used by the
-//!   generality experiment.
+//!   generality experiment;
+//! * [`stream`] — an index-addressed, microsecond-per-document XML
+//!   stream for the million-document scale harness (`webre scale`).
 
 pub mod catalog;
 pub mod crawler;
@@ -29,8 +31,10 @@ pub mod data;
 pub mod generator;
 pub mod pools;
 pub mod render;
+pub mod stream;
 pub mod style;
 
 pub use data::ResumeData;
 pub use generator::{CorpusGenerator, GeneratedResume};
+pub use stream::XmlStream;
 pub use style::StyleModel;

@@ -23,7 +23,7 @@
 //! `<!ELEMENT resume ((#PCDATA), contact+, ...)>`).
 
 use crate::majority::MajoritySchema;
-use crate::paths::{doc_frequency, DocPaths};
+use crate::paths::DocPaths;
 use webre_xml::{ContentExpr, Dtd};
 
 /// Thresholds for DTD derivation.
@@ -137,7 +137,12 @@ struct ChildAgg {
 /// context becomes optional (required for soundness: a document following
 /// the child-free context must still validate).
 pub fn derive_dtd(schema: &MajoritySchema, corpus: &[DocPaths], config: &DtdConfig) -> Dtd {
-    derive_dtd_obs(schema, corpus, config, webre_obs::Ctx::disabled())
+    derive_dtd_sharded_obs(
+        schema,
+        &[corpus.iter().collect()],
+        config,
+        webre_obs::Ctx::disabled(),
+    )
 }
 
 /// [`derive_dtd`] with observability: the derivation runs under a
@@ -145,6 +150,34 @@ pub fn derive_dtd(schema: &MajoritySchema, corpus: &[DocPaths], config: &DtdConf
 pub fn derive_dtd_obs(
     schema: &MajoritySchema,
     corpus: &[DocPaths],
+    config: &DtdConfig,
+    ctx: webre_obs::Ctx<'_>,
+) -> Dtd {
+    derive_dtd_sharded_obs(schema, &[corpus.iter().collect()], config, ctx)
+}
+
+/// [`derive_dtd`] over a corpus split into shard slices.
+///
+/// Every statistic the two derivation rules consume is an associative
+/// aggregate over documents — position sums, per-path document counts,
+/// repetition counts — so deriving from shard slices is byte-identical
+/// to deriving from the concatenated corpus under the default
+/// configuration. The one exception is [`DtdConfig::group_patterns`]:
+/// group detection seeds from the *first* non-empty child sequence, so
+/// with it enabled the derived DTD depends on document order and the
+/// identity only holds when shard order is arrival order.
+pub fn derive_dtd_sharded(
+    schema: &MajoritySchema,
+    shards: &[Vec<&DocPaths>],
+    config: &DtdConfig,
+) -> Dtd {
+    derive_dtd_sharded_obs(schema, shards, config, webre_obs::Ctx::disabled())
+}
+
+/// [`derive_dtd_sharded`] with observability; the DTD is identical.
+pub fn derive_dtd_sharded_obs(
+    schema: &MajoritySchema,
+    shards: &[Vec<&DocPaths>],
     config: &DtdConfig,
     ctx: webre_obs::Ctx<'_>,
 ) -> Dtd {
@@ -170,7 +203,7 @@ pub fn derive_dtd_obs(
         // precedence over the per-element ordering/repetition rules, but
         // only when it holds across every context of the label.
         if config.group_patterns {
-            if let Some(content) = group_pattern_content(schema, corpus, nodes, config) {
+            if let Some(content) = group_pattern_content(schema, shards, nodes, config) {
                 dtd.declare(label, content);
                 continue;
             }
@@ -182,7 +215,7 @@ pub fn derive_dtd_obs(
             std::collections::HashMap::new();
         for &id in nodes {
             let prefix = schema.path_of(id);
-            let prefix_docs = doc_frequency(corpus, &prefix).max(1);
+            let prefix_docs = sharded_doc_frequency(shards, &prefix).max(1);
             for child in schema.tree.children(id) {
                 let child_label = schema.tree.value(child).label.clone();
                 let mut path = prefix.clone();
@@ -191,17 +224,16 @@ pub fn derive_dtd_obs(
                     child_order.push(child_label.clone());
                 }
                 let entry = agg.entry(child_label).or_default();
-                for doc in corpus {
+                for doc in all_docs(shards) {
                     if let Some((s, c)) = doc.positions.get(&path) {
                         entry.pos_sum += s;
                         entry.pos_count += c;
                     }
                 }
-                let rep_docs = corpus
-                    .iter()
+                let rep_docs = all_docs(shards)
                     .filter(|d| d.multiplicity_of(&path) >= config.rep_threshold)
                     .count();
-                let path_docs = doc_frequency(corpus, &path);
+                let path_docs = sharded_doc_frequency(shards, &path);
                 if rep_docs as f64 > config.mult_threshold * path_docs.max(1) as f64 {
                     entry.repetitive = true;
                 }
@@ -253,11 +285,25 @@ pub fn derive_dtd_obs(
     dtd
 }
 
+/// Documents of every shard, in shard order then arrival order.
+fn all_docs<'a>(shards: &'a [Vec<&'a DocPaths>]) -> impl Iterator<Item = &'a DocPaths> {
+    shards.iter().flatten().copied()
+}
+
+/// Document frequency of a path summed across shard views (shards hold
+/// disjoint document sets, so the sum is the union's frequency).
+fn sharded_doc_frequency(shards: &[Vec<&DocPaths>], path: &[String]) -> usize {
+    shards
+        .iter()
+        .map(|s| s.iter().filter(|d| d.contains(path)).count())
+        .sum()
+}
+
 /// Group-pattern content model for a label, if one group explains every
 /// context's sequences.
 fn group_pattern_content(
     schema: &MajoritySchema,
-    corpus: &[DocPaths],
+    shards: &[Vec<&DocPaths>],
     nodes: &[webre_tree::NodeId],
     config: &DtdConfig,
 ) -> Option<ContentExpr> {
@@ -271,7 +317,7 @@ fn group_pattern_content(
             }
         }
         let prefix = schema.path_of(id);
-        for doc in corpus {
+        for doc in all_docs(shards) {
             if let Some(seqs) = doc.child_sequences.get(&prefix) {
                 sequences.extend(seqs.iter().cloned());
             }
@@ -527,6 +573,53 @@ mod tests {
 {}",
                 dtd.to_dtd_string()
             );
+        }
+    }
+
+    #[test]
+    fn sharded_derivation_equals_batch_for_every_split() {
+        // The derivation rules consume only associative aggregates, so
+        // any 2-way split of the corpus must derive the identical DTD
+        // (group_patterns off — the default — is the documented scope).
+        let docs = corpus(&[
+            "<r><a/><a/><a/><b><c/></b></r>",
+            "<r><b><c/></b><a/></r>",
+            "<r><a/><a/><a/><b><c/></b></r>",
+            "<s><a/></s>",
+            "<r><a/><b><c/><c/><c/></b></r>",
+        ]);
+        let schema = mine(&docs, 0.4);
+        for config in [
+            DtdConfig::default(),
+            DtdConfig {
+                rep_threshold: 2,
+                optional_below: Some(0.75),
+                ..DtdConfig::default()
+            },
+        ] {
+            let batch = derive_dtd(&schema, &docs, &config).to_dtd_string();
+            for split in 0..=docs.len() {
+                let (left, right) = docs.split_at(split);
+                let sharded = derive_dtd_sharded(
+                    &schema,
+                    &[left.iter().collect(), right.iter().collect()],
+                    &config,
+                )
+                .to_dtd_string();
+                assert_eq!(batch, sharded, "split at {split}");
+            }
+            // Three-way split, shards of unequal size.
+            let sharded = derive_dtd_sharded(
+                &schema,
+                &[
+                    docs[..1].iter().collect(),
+                    docs[1..4].iter().collect(),
+                    docs[4..].iter().collect(),
+                ],
+                &config,
+            )
+            .to_dtd_string();
+            assert_eq!(batch, sharded);
         }
     }
 

@@ -19,6 +19,20 @@
 //! and child-sequence bookkeeping DTD derivation needs), so
 //! [`CorpusIndex::docs`] slots directly into [`crate::derive_dtd`].
 //!
+//! # Shape interning
+//!
+//! Real corpora — and the synthetic streams the scale harness pushes —
+//! repeat a modest set of structural *shapes* across millions of
+//! documents. Storing a full `DocPaths` per document costs several KiB
+//! each (dozens of small heap allocations), which at 10⁶ documents is
+//! gigabytes of resident memory for what is mostly duplication. The
+//! index therefore interns documents: distinct shapes live once in a
+//! shape table and each accreted document is a 4-byte id in arrival
+//! order. Equality is exact (hash buckets are confirmed with a full
+//! `DocPaths` comparison), so [`CorpusIndex::docs`] yields precisely
+//! the accreted multiset in arrival order — byte-identical mining and
+//! DTD derivation, at ~4 bytes per duplicate document.
+//!
 //! The index is append-only by design: document *removal* would require
 //! decrementing every table, and no current workload retires documents
 //! from a live corpus. A version counter increments on every push so
@@ -29,10 +43,71 @@ use crate::frequent::CorpusView;
 use crate::paths::{DocPaths, LabelPath};
 use std::collections::{BTreeSet, HashMap};
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV over a label path with segment separators (so `["ab","c"]` and
+/// `["a","bc"]` hash apart).
+fn fnv_path(path: &[String]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for segment in path {
+        h = fnv_bytes(h, segment.as_bytes());
+        h ^= 0xff;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A content hash of a document shape. Map iteration order is
+/// unspecified, so per-entry hashes are combined with XOR (commutative)
+/// — the result is deterministic for equal shapes. Collisions are
+/// harmless: interning confirms every bucket hit with full equality.
+fn shape_hash(doc: &DocPaths) -> u64 {
+    let mut h = fnv_bytes(FNV_OFFSET, doc.root_label.as_bytes());
+    h = h.wrapping_mul(FNV_PRIME) ^ doc.node_count as u64;
+    let mut acc = 0u64;
+    for path in &doc.paths {
+        acc ^= fnv_path(path);
+    }
+    for (path, num) in &doc.multiplicity {
+        acc ^= fnv_path(path).wrapping_add(u64::from(*num));
+    }
+    for (path, (sum, count)) in &doc.positions {
+        acc ^= fnv_path(path) ^ sum.to_bits().wrapping_add(*count);
+    }
+    for (path, seqs) in &doc.child_sequences {
+        let mut sh = fnv_path(path);
+        for seq in seqs {
+            for label in seq {
+                sh = fnv_bytes(sh, label.as_bytes());
+                sh ^= 0xfe;
+                sh = sh.wrapping_mul(FNV_PRIME);
+            }
+            sh ^= 0xfd;
+            sh = sh.wrapping_mul(FNV_PRIME);
+        }
+        acc ^= sh;
+    }
+    h ^ acc
+}
+
 /// An append-only corpus with the miner's query tables kept incrementally.
 #[derive(Clone, Debug, Default)]
 pub struct CorpusIndex {
-    docs: Vec<DocPaths>,
+    /// Distinct document shapes, in first-arrival order.
+    shapes: Vec<DocPaths>,
+    /// One shape id per accreted document, in arrival order.
+    order: Vec<u32>,
+    /// Shape-hash → candidate shape ids (collision bucket).
+    intern: HashMap<u64, Vec<u32>>,
     frequency: HashMap<LabelPath, usize>,
     children: HashMap<LabelPath, BTreeSet<String>>,
     root_votes: HashMap<String, usize>,
@@ -66,35 +141,91 @@ impl CorpusIndex {
             }
         }
         *self.root_votes.entry(doc.root_label.clone()).or_insert(0) += 1;
-        self.docs.push(doc);
+        let id = self.intern_shape(doc);
+        self.order.push(id);
         self.version += 1;
     }
 
-    /// The accreted documents, in arrival order (feeds
-    /// [`crate::derive_dtd`]).
-    pub fn docs(&self) -> &[DocPaths] {
-        &self.docs
+    /// Returns the id of `doc`'s shape, storing it if unseen. Bucket
+    /// hits are confirmed with full equality, so two documents share an
+    /// id exactly when their `DocPaths` are equal.
+    fn intern_shape(&mut self, doc: DocPaths) -> u32 {
+        let bucket = self.intern.entry(shape_hash(&doc)).or_default();
+        for &id in bucket.iter() {
+            if self.shapes[id as usize] == doc {
+                return id;
+            }
+        }
+        let id = u32::try_from(self.shapes.len()).expect("shape table overflow");
+        self.shapes.push(doc);
+        bucket.push(id);
+        id
+    }
+
+    /// The accreted documents, in arrival order with repetitions (feeds
+    /// [`crate::derive_dtd`]). Duplicates yield the same interned
+    /// `DocPaths` reference.
+    pub fn docs(&self) -> impl Iterator<Item = &DocPaths> + '_ {
+        self.order.iter().map(|&id| &self.shapes[id as usize])
     }
 
     /// Number of accreted documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.order.len()
     }
 
     /// Whether no document has been accreted yet.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.order.is_empty()
+    }
+
+    /// Number of distinct document shapes interned.
+    pub fn distinct_shapes(&self) -> usize {
+        self.shapes.len()
     }
 
     /// Monotone counter, bumped once per accreted document.
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Merges another index into this one: tables add pointwise, the
+    /// children relation unions, and `other`'s documents append after
+    /// this index's. Absorbing indexes built over disjoint document sets
+    /// yields exactly the index of the concatenation.
+    pub fn absorb(&mut self, other: CorpusIndex) {
+        for (path, count) in other.frequency {
+            *self.frequency.entry(path).or_insert(0) += count;
+        }
+        // webre::allow(nondet-iter): each entry extends its own BTreeSet, which sorts itself
+        for (prefix, labels) in other.children {
+            self.children.entry(prefix).or_default().extend(labels);
+        }
+        for (label, votes) in other.root_votes {
+            *self.root_votes.entry(label).or_insert(0) += votes;
+        }
+        // Re-intern `other`'s shape table (ids are index-local), then
+        // remap its arrival order onto ours.
+        let remap: Vec<u32> = other
+            .shapes
+            .into_iter()
+            .map(|shape| self.intern_shape(shape))
+            .collect();
+        self.order
+            .extend(other.order.iter().map(|&id| remap[id as usize]));
+        self.version += other.version;
+    }
+
+    /// The mergeable [`crate::PathTable`] aggregate of this index's
+    /// documents.
+    pub fn table(&self) -> crate::PathTable {
+        crate::PathTable::from_docs(self.docs())
+    }
 }
 
 impl CorpusView for CorpusIndex {
     fn doc_count(&self) -> usize {
-        self.docs.len()
+        self.order.len()
     }
 
     fn frequency(&self, path: &[String]) -> usize {
@@ -211,6 +342,47 @@ mod tests {
         let index = CorpusIndex::new();
         assert!(index.is_empty());
         assert!(FrequentPathMiner::default().mine_view(&index).is_none());
+    }
+
+    #[test]
+    fn duplicate_shapes_are_interned_once_and_replayed_in_order() {
+        let docs = corpus(FIGURE2);
+        let mut index = CorpusIndex::new();
+        // Push the corpus three times over: 9 documents, 3 shapes.
+        for _ in 0..3 {
+            for doc in docs.clone() {
+                index.push(doc);
+            }
+        }
+        assert_eq!(index.len(), 9);
+        assert_eq!(index.distinct_shapes(), 3);
+        // Arrival order (with repetitions) is preserved exactly.
+        let replayed: Vec<&DocPaths> = index.docs().collect();
+        assert_eq!(replayed.len(), 9);
+        for (i, doc) in replayed.iter().enumerate() {
+            assert_eq!(**doc, docs[i % 3], "doc {i} diverges");
+        }
+        // Interning is invisible to the aggregate view.
+        assert_eq!(
+            index.table(),
+            crate::PathTable::from_docs(
+                docs.iter().cycle().take(9).collect::<Vec<_>>().into_iter()
+            )
+        );
+    }
+
+    #[test]
+    fn absorb_reinterns_the_other_index_shapes() {
+        let docs = corpus(FIGURE2);
+        let mut a = CorpusIndex::from_docs(docs.clone());
+        let b = CorpusIndex::from_docs(docs.clone());
+        a.absorb(b);
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.distinct_shapes(), 3, "absorb must not duplicate shapes");
+        let replayed: Vec<&DocPaths> = a.docs().collect();
+        for (i, doc) in replayed.iter().enumerate() {
+            assert_eq!(**doc, docs[i % 3], "doc {i} diverges");
+        }
     }
 
     #[test]

@@ -13,15 +13,21 @@
 //! experiment.
 
 pub mod baselines;
+pub mod codec;
 pub mod dtd_rules;
 pub mod frequent;
 pub mod incremental;
 pub mod majority;
 pub mod paths;
 pub mod search_space;
+pub mod sharded;
 
-pub use dtd_rules::{derive_dtd, derive_dtd_obs, DtdConfig};
+pub use codec::{doc_from_record, doc_to_record};
+pub use dtd_rules::{
+    derive_dtd, derive_dtd_obs, derive_dtd_sharded, derive_dtd_sharded_obs, DtdConfig,
+};
 pub use frequent::{CorpusView, FrequentPathMiner, MiningOutcome};
 pub use incremental::CorpusIndex;
 pub use majority::{MajoritySchema, SchemaNode};
 pub use paths::{average_position, doc_frequency, extract_paths, DocPaths, LabelPath};
+pub use sharded::{PathTable, ShardedCorpus};

@@ -18,7 +18,7 @@ use webre_xml::{XmlDocument, XmlNode};
 pub type LabelPath = Vec<String>;
 
 /// The path-level view of one XML document.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DocPaths {
     /// The root element label.
     pub root_label: String,

@@ -14,9 +14,11 @@ use crate::obs::ObsLayer;
 use crate::router::{route, Route};
 use crate::state::LiveCorpus;
 use std::sync::atomic::{AtomicBool, Ordering};
+use webre_convert::ConvertStats;
 use webre_obs::Ctx;
+use webre_schema::extract_paths;
 use webre_substrate::http::{Request, Response};
-use webre_substrate::json::Json;
+use webre_substrate::json::{Json, ToJson};
 
 /// Shared server state: engine, cache, live corpus, metrics, and the
 /// drain flag. One instance per server, `Arc`-shared across workers.
@@ -46,10 +48,22 @@ impl App {
     /// [`App::new`] with an explicit observability layer (the server
     /// passes a tracing layer when started with a trace recorder).
     pub fn with_obs(engine: Engine, cache_cap: usize, workers: usize, obs: ObsLayer) -> Self {
+        App::with_corpus(engine, cache_cap, workers, obs, LiveCorpus::new())
+    }
+
+    /// [`App::with_obs`] over an explicit corpus — the server passes a
+    /// sharded (and possibly durable, WAL-replayed) [`LiveCorpus`].
+    pub fn with_corpus(
+        engine: Engine,
+        cache_cap: usize,
+        workers: usize,
+        obs: ObsLayer,
+        corpus: LiveCorpus,
+    ) -> Self {
         App {
             engine,
             cache: ShardedLru::new(cache_cap),
-            corpus: LiveCorpus::new(),
+            corpus,
             metrics: Metrics::new(workers),
             obs,
             draining: AtomicBool::new(false),
@@ -80,6 +94,8 @@ pub fn handle_obs(app: &App, request: &Request, ctx: Ctx<'_>) -> Response {
     match resolved {
         Route::Convert => convert(app, &request.body, ctx),
         Route::CorpusDocs => corpus_docs(app, &request.body, ctx),
+        Route::CorpusXml => corpus_xml(app, &request.body),
+        Route::CorpusTable => corpus_table(app),
         Route::Schema => schema(app, false, ctx),
         Route::SchemaDtd => schema(app, true, ctx),
         Route::Metrics => metrics(app),
@@ -108,7 +124,38 @@ fn corpus_docs(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
     // Conversion (the fallible, slow part) happens before the corpus
     // lock inside `accrete` is ever taken.
     let (doc, stats) = app.engine.converter.convert_str_obs(&html, ctx);
-    let (version, docs) = app.corpus.accrete(&doc, &stats);
+    accreted(app.corpus.accrete(&doc, &stats))
+}
+
+/// `POST /corpus/xml`: accrete an already-converted document without
+/// running HTML conversion — the high-throughput ingest path the scale
+/// harness streams synthetic corpora through.
+fn corpus_xml(app: &App, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::text(400, "body is not UTF-8\n");
+    };
+    let doc = match webre_xml::parse_xml(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::text(400, format!("bad xml: {e}\n")),
+    };
+    // Route by the raw body hash: cheaper than re-serializing, and any
+    // deterministic content hash yields the same mining result (the
+    // shard-merge-vs-batch identity is split-independent).
+    let hash = webre_substrate::wal::checksum(body);
+    let paths = extract_paths(&doc);
+    accreted(
+        app.corpus
+            .accrete_paths(hash, paths, &ConvertStats::default()),
+    )
+}
+
+/// Renders an accretion result: 202 + JSON on success, 500 when the
+/// write-ahead log could not be appended.
+fn accreted(result: std::io::Result<(u64, usize)>) -> Response {
+    let (version, docs) = match result {
+        Ok(outcome) => outcome,
+        Err(e) => return Response::text(500, format!("corpus write failed: {e}\n")),
+    };
     let reply = Json::Obj(vec![
         ("accepted".to_owned(), Json::Bool(true)),
         ("docs".to_owned(), Json::Num(docs as f64)),
@@ -116,6 +163,16 @@ fn corpus_docs(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
     ]);
     Response::text(202, format!("{reply}\n"))
         .with_header("x-corpus-version", version.to_string())
+}
+
+/// `GET /corpus/table`: the merged frequent-path table as canonical
+/// JSON — what the scale harness's checkpoint merges compare against
+/// batch mining.
+fn corpus_table(app: &App) -> Response {
+    let (table, version, docs) = app.corpus.table();
+    Response::text(200, format!("{}\n", table.to_json()))
+        .with_header("x-corpus-version", version.to_string())
+        .with_header("x-corpus-docs", docs.to_string())
 }
 
 /// `GET /schema` and `GET /schema/dtd`: the current snapshot.
@@ -144,11 +201,12 @@ fn metrics(app: &App) -> Response {
     let corpus_stats = app.corpus.stats();
     let extra = format!(
         "cache_hits_total {}\ncache_misses_total {}\ncache_entries {}\n\
-         corpus_docs {}\ncorpus_tokens_total {}\ncorpus_tokens_identified {}\n{}",
+         corpus_docs {}\ncorpus_shards {}\ncorpus_tokens_total {}\ncorpus_tokens_identified {}\n{}",
         cache.hits,
         cache.misses,
         cache.entries,
         app.corpus.len(),
+        app.corpus.shard_count(),
         corpus_stats.tokens_total,
         corpus_stats.tokens_identified,
         app.obs.stats().render(),
@@ -232,6 +290,50 @@ mod tests {
             .headers
             .iter()
             .any(|(n, v)| n == "x-corpus-version" && v == "3"));
+    }
+
+    #[test]
+    fn corpus_xml_ingests_without_conversion() {
+        let app = app();
+        // Equivalent content by the two routes: converting RESUME via
+        // /corpus/docs and posting the converted XML via /corpus/xml
+        // must produce the same schema.
+        let xml = app.engine.convert_to_xml(RESUME).2;
+        for _ in 0..3 {
+            let response = handle(&app, &post("/corpus/xml", &xml));
+            assert_eq!(response.status, 202);
+        }
+        let schema = handle(&app, &get("/schema"));
+        assert_eq!(schema.status, 200);
+        let reference = self::app();
+        for _ in 0..3 {
+            handle(&reference, &post("/corpus/docs", RESUME));
+        }
+        assert_eq!(schema.body, handle(&reference, &get("/schema")).body);
+        // Malformed bodies are rejected, not accreted.
+        assert_eq!(handle(&app, &post("/corpus/xml", "<r><unclosed>")).status, 400);
+        assert_eq!(app.corpus.len(), 3);
+    }
+
+    #[test]
+    fn corpus_table_returns_canonical_json() {
+        use webre_substrate::json::FromJson;
+        let app = app();
+        let empty = handle(&app, &get("/corpus/table"));
+        assert_eq!(empty.status, 200);
+        handle(&app, &post("/corpus/docs", RESUME));
+        let response = handle(&app, &get("/corpus/table"));
+        assert_eq!(response.status, 200);
+        let text = String::from_utf8(response.body).unwrap();
+        let json = Json::parse(text.trim()).unwrap();
+        assert_eq!(json.get("docs").and_then(Json::as_f64), Some(1.0));
+        // Round-trips through the schema-side codec.
+        let table = webre_schema::PathTable::from_json(&json).unwrap();
+        assert_eq!(table, app.corpus.table().0);
+        assert!(response
+            .headers
+            .iter()
+            .any(|(n, v)| n == "x-corpus-docs" && v == "1"));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! | Route | Behaviour |
 //! |---|---|
 //! | `POST /convert` | HTML body → concept-tagged XML, through a sharded content-hash LRU cache |
-//! | `POST /corpus/docs` | accrete the document into the live corpus (incremental index) |
+//! | `POST /corpus/docs` | convert, then accrete the document into the live corpus |
+//! | `POST /corpus/xml` | accrete an already-converted XML document (high-throughput ingest) |
+//! | `GET /corpus/table` | merged frequent-path table over every shard, as canonical JSON |
 //! | `GET /schema` | current majority-schema snapshot (recomputed lazily, versioned) |
 //! | `GET /schema/dtd` | current derived DTD snapshot |
 //! | `GET /metrics` | plain-text counters: requests, cache, queue depth, latency histograms, worker utilization |
@@ -32,7 +34,13 @@
 //!   happens before any lock is taken).
 //! * **Graceful drain** — `POST /shutdown` stops the accept loop, the
 //!   queue is closed, workers finish every queued and in-flight request,
-//!   then the server joins. No accepted request is dropped.
+//!   the corpus log takes a final fsync, then the server joins. No
+//!   accepted request is dropped.
+//! * **Durability (opt-in)** — with a data directory configured, every
+//!   accreted document is appended to a per-shard write-ahead log
+//!   (batched fsync) and periodically compacted into snapshots; a
+//!   restart replays the logs into a byte-identical corpus, tolerating
+//!   a torn or corrupted tail from a crash mid-append.
 //! * **Serve ≡ batch** — responses are byte-identical to the batch
 //!   pipeline's output for the same input; the `serve-vs-batch`
 //!   differential oracle in `webre-check` hammers the server with
@@ -44,7 +52,8 @@
 //! |---|---|
 //! | [`engine`] | the pipeline bundle (converter + miner + DTD config) |
 //! | [`cache`] | sharded LRU keyed by content hash |
-//! | [`state`] | live corpus: incremental index + versioned, lazily recomputed schema snapshot |
+//! | [`state`] | live corpus: sharded incremental index + versioned, lazily recomputed schema snapshot |
+//! | [`persist`] | per-shard WAL + snapshot persistence with crash-tolerant replay |
 //! | [`metrics`] | atomic counters and log-scale latency histograms |
 //! | [`obs`] | per-request span recording: stats aggregation + optional trace tee |
 //! | [`router`] | method/path → route resolution |
@@ -57,6 +66,7 @@ pub mod engine;
 pub mod handlers;
 pub mod metrics;
 pub mod obs;
+pub mod persist;
 pub mod pool;
 pub mod router;
 pub mod server;

@@ -25,6 +25,10 @@ pub enum Endpoint {
     Convert,
     /// `POST /corpus/docs`
     CorpusDocs,
+    /// `POST /corpus/xml`
+    CorpusXml,
+    /// `GET /corpus/table`
+    CorpusTable,
     /// `GET /schema`
     Schema,
     /// `GET /schema/dtd`
@@ -41,9 +45,11 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in render order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 10] = [
         Endpoint::Convert,
         Endpoint::CorpusDocs,
+        Endpoint::CorpusXml,
+        Endpoint::CorpusTable,
         Endpoint::Schema,
         Endpoint::SchemaDtd,
         Endpoint::Metrics,
@@ -57,6 +63,8 @@ impl Endpoint {
         match self {
             Endpoint::Convert => "convert",
             Endpoint::CorpusDocs => "corpus_docs",
+            Endpoint::CorpusXml => "corpus_xml",
+            Endpoint::CorpusTable => "corpus_table",
             Endpoint::Schema => "schema",
             Endpoint::SchemaDtd => "schema_dtd",
             Endpoint::Metrics => "metrics",
@@ -70,12 +78,14 @@ impl Endpoint {
         match self {
             Endpoint::Convert => 0,
             Endpoint::CorpusDocs => 1,
-            Endpoint::Schema => 2,
-            Endpoint::SchemaDtd => 3,
-            Endpoint::Metrics => 4,
-            Endpoint::Healthz => 5,
-            Endpoint::Shutdown => 6,
-            Endpoint::Other => 7,
+            Endpoint::CorpusXml => 2,
+            Endpoint::CorpusTable => 3,
+            Endpoint::Schema => 4,
+            Endpoint::SchemaDtd => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Healthz => 7,
+            Endpoint::Shutdown => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -92,7 +102,7 @@ struct EndpointStats {
 pub struct Metrics {
     started: Instant,
     workers: usize,
-    endpoints: [EndpointStats; 8],
+    endpoints: [EndpointStats; 10],
     /// Connections accepted (including ones answered 429).
     pub connections: AtomicU64,
     /// Connections rejected with 429 because the queue was full.

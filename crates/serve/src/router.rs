@@ -15,6 +15,10 @@ pub enum Route {
     Convert,
     /// `POST /corpus/docs`
     CorpusDocs,
+    /// `POST /corpus/xml`
+    CorpusXml,
+    /// `GET /corpus/table`
+    CorpusTable,
     /// `GET /schema`
     Schema,
     /// `GET /schema/dtd`
@@ -33,6 +37,8 @@ impl Route {
         match self {
             Route::Convert => Endpoint::Convert,
             Route::CorpusDocs => Endpoint::CorpusDocs,
+            Route::CorpusXml => Endpoint::CorpusXml,
+            Route::CorpusTable => Endpoint::CorpusTable,
             Route::Schema => Endpoint::Schema,
             Route::SchemaDtd => Endpoint::SchemaDtd,
             Route::Metrics => Endpoint::Metrics,
@@ -47,6 +53,8 @@ pub fn route(method: &str, path: &str) -> Result<Route, Response> {
     let (expected, route) = match path {
         "/convert" => ("POST", Route::Convert),
         "/corpus/docs" => ("POST", Route::CorpusDocs),
+        "/corpus/xml" => ("POST", Route::CorpusXml),
+        "/corpus/table" => ("GET", Route::CorpusTable),
         "/schema" => ("GET", Route::Schema),
         "/schema/dtd" => ("GET", Route::SchemaDtd),
         "/metrics" => ("GET", Route::Metrics),
@@ -77,6 +85,8 @@ mod tests {
     fn every_route_resolves() {
         assert_eq!(route("POST", "/convert"), Ok(Route::Convert));
         assert_eq!(route("POST", "/corpus/docs"), Ok(Route::CorpusDocs));
+        assert_eq!(route("POST", "/corpus/xml"), Ok(Route::CorpusXml));
+        assert_eq!(route("GET", "/corpus/table"), Ok(Route::CorpusTable));
         assert_eq!(route("GET", "/schema"), Ok(Route::Schema));
         assert_eq!(route("GET", "/schema/dtd"), Ok(Route::SchemaDtd));
         assert_eq!(route("GET", "/metrics"), Ok(Route::Metrics));

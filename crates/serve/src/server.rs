@@ -23,9 +23,12 @@
 use crate::engine::Engine;
 use crate::handlers::App;
 use crate::obs::ObsLayer;
+use crate::persist::{CorpusStore, StoreConfig};
 use crate::pool::{Limits, WorkerPool};
+use crate::state::LiveCorpus;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,6 +51,16 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Socket read deadline per request.
     pub read_timeout: Duration,
+    /// Data directory for WAL + snapshot persistence; `None` keeps the
+    /// corpus in memory only.
+    pub data_dir: Option<PathBuf>,
+    /// Corpus shard count (for a fresh data directory; an existing one
+    /// keeps its recorded count).
+    pub shards: usize,
+    /// WAL records per fsync batch, per shard.
+    pub sync_every: usize,
+    /// Minimum WAL tail length before shard compaction can trigger.
+    pub compact_min: usize,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +72,10 @@ impl Default for ServeConfig {
             cache_cap: 1024,
             max_body: 1024 * 1024,
             read_timeout: Duration::from_secs(10),
+            data_dir: None,
+            shards: 4,
+            sync_every: 64,
+            compact_min: 1024,
         }
     }
 }
@@ -92,7 +109,36 @@ impl Server {
         // Non-blocking so the acceptor can poll the drain flag even when
         // no connection ever arrives.
         listener.set_nonblocking(true)?;
-        let app = Arc::new(App::with_obs(engine, config.cache_cap, config.workers, obs));
+        let corpus = match &config.data_dir {
+            None => LiveCorpus::in_memory(config.shards),
+            Some(dir) => {
+                let (store, sharded, report) = CorpusStore::open(&StoreConfig {
+                    data_dir: dir.clone(),
+                    shards: config.shards,
+                    sync_every: config.sync_every,
+                    compact_min: config.compact_min,
+                })?;
+                for warning in &report.warnings {
+                    eprintln!("warning: {warning}");
+                }
+                if report.docs > 0 {
+                    eprintln!(
+                        "replayed {} document(s) across {} shard(s) from {}",
+                        report.docs,
+                        report.shards,
+                        dir.display()
+                    );
+                }
+                LiveCorpus::durable(sharded, store)
+            }
+        };
+        let app = Arc::new(App::with_corpus(
+            engine,
+            config.cache_cap,
+            config.workers,
+            obs,
+            corpus,
+        ));
         let (tx, rx) = bounded::<TcpStream>(config.queue_cap);
         let limits = Limits {
             max_body: config.max_body,
@@ -138,6 +184,11 @@ impl Server {
         // The acceptor dropped its sender on exit; workers drain the
         // queue and then see the channel close.
         self.pool.join();
+        // Every accepted write is in the log by now; force the final
+        // fsync batch out so a drained server is fully durable.
+        if let Err(e) = self.app.corpus.sync_to_disk() {
+            eprintln!("warning: final corpus sync failed: {e}");
+        }
     }
 }
 

@@ -22,7 +22,12 @@
 //!   `webre-serve` job queue, replacing `crossbeam-channel`;
 //! * [`http`] — a minimal HTTP/1.1 request/response codec (no chunked
 //!   encoding, no TLS) for the serving subsystem and its in-process test
-//!   clients, replacing `httparse`/`hyper`-class dependencies.
+//!   clients, replacing `httparse`/`hyper`-class dependencies;
+//! * [`wal`] — length-prefixed, checksummed record framing with a
+//!   torn-tail-tolerant decoder and an fsync-batching appender, the file
+//!   format under the durable corpus;
+//! * [`ring`] — a consistent-hash ring with virtual nodes, routing
+//!   content hashes across corpus shards and server instances.
 //!
 //! Everything in here is `std`-only and deterministic under a fixed seed;
 //! there is no ambient entropy anywhere (the bench harness reads the clock,
@@ -33,4 +38,6 @@ pub mod http;
 pub mod json;
 pub mod prop;
 pub mod rand;
+pub mod ring;
 pub mod sync;
+pub mod wal;

@@ -1,0 +1,246 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Routes `u64` keys (content hashes) to node indices such that (a) keys
+//! spread evenly across nodes and (b) adding or removing one node remaps
+//! only roughly `K/N` of `K` keys — the two properties the scale harness
+//! needs to front several `webre serve` instances without reshuffling
+//! the whole corpus on membership changes.
+//!
+//! Each node contributes `replicas` points on a `u64` circle; a key
+//! routes to the node owning the first point at or clockwise of the
+//! key's position. Point positions are derived deterministically from
+//! `(node, replica)` via SplitMix64, so two rings built with the same
+//! membership — in any insertion order — route identically.
+
+use crate::rand::{RngCore, SplitMix64};
+
+/// Default virtual-node count per physical node: enough for the max/min
+/// load ratio to stay comfortably under 2 at small cluster sizes.
+pub const DEFAULT_REPLICAS: usize = 128;
+
+/// A consistent-hash ring mapping `u64` keys to `u32` node ids.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    replicas: usize,
+    /// Sorted `(position, node)` points on the circle.
+    points: Vec<(u64, u32)>,
+    nodes: Vec<u32>,
+}
+
+/// Position on the circle of virtual point `replica` of `node`.
+fn point(node: u32, replica: usize) -> u64 {
+    // Mix node and replica into one seed; SplitMix64's output pass
+    // spreads consecutive seeds uniformly over the u64 circle.
+    let seed = (u64::from(node) << 32) ^ (replica as u64);
+    SplitMix64::new(seed).next_u64()
+}
+
+impl HashRing {
+    /// An empty ring with the given virtual-node count per node.
+    pub fn new(replicas: usize) -> HashRing {
+        HashRing {
+            replicas: replicas.max(1),
+            points: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// A ring containing nodes `0..n` with [`DEFAULT_REPLICAS`].
+    pub fn with_nodes(n: u32) -> HashRing {
+        let mut ring = HashRing::new(DEFAULT_REPLICAS);
+        for node in 0..n {
+            ring.add(node);
+        }
+        ring
+    }
+
+    /// Adds a node. Adding an existing node is a no-op.
+    pub fn add(&mut self, node: u32) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        self.nodes.sort_unstable();
+        for replica in 0..self.replicas {
+            self.points.push((point(node, replica), node));
+        }
+        // Sort by position, with node id as tie-break so collisions (if
+        // any) resolve identically regardless of insertion order.
+        self.points.sort_unstable();
+    }
+
+    /// Removes a node. Removing an absent node is a no-op.
+    pub fn remove(&mut self, node: u32) {
+        self.nodes.retain(|n| *n != node);
+        self.points.retain(|(_, n)| *n != node);
+    }
+
+    /// Routes a key to a node: the owner of the first point at or after
+    /// the key, wrapping around. `None` only on an empty ring.
+    pub fn route(&self, key: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|(pos, _)| *pos < key);
+        let (_, node) = self.points[if idx == self.points.len() { 0 } else { idx }];
+        Some(node)
+    }
+
+    /// Current members, sorted.
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic stream of well-spread keys for load tests.
+    fn keys(n: usize) -> Vec<u64> {
+        let mut mixer = SplitMix64::new(0x5eed);
+        (0..n).map(|_| mixer.next_u64()).collect()
+    }
+
+    fn load(ring: &HashRing, keys: &[u64]) -> std::collections::HashMap<u32, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for key in keys {
+            *counts.entry(ring.route(*key).unwrap()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn empty_ring_routes_nothing() {
+        assert_eq!(HashRing::new(8).route(42), None);
+        assert!(HashRing::new(8).is_empty());
+    }
+
+    #[test]
+    fn single_node_takes_everything() {
+        let ring = HashRing::with_nodes(1);
+        for key in keys(100) {
+            assert_eq!(ring.route(key), Some(0));
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_insertion_order_independent() {
+        let mut forward = HashRing::new(64);
+        for node in 0..5 {
+            forward.add(node);
+        }
+        let mut backward = HashRing::new(64);
+        for node in (0..5).rev() {
+            backward.add(node);
+        }
+        for key in keys(2000) {
+            assert_eq!(forward.route(key), backward.route(key));
+        }
+        assert_eq!(forward.nodes(), backward.nodes());
+    }
+
+    #[test]
+    fn duplicate_add_and_absent_remove_are_noops() {
+        let mut ring = HashRing::with_nodes(3);
+        let before = ring.clone();
+        ring.add(1);
+        ring.remove(99);
+        for key in keys(500) {
+            assert_eq!(ring.route(key), before.route(key));
+        }
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn load_is_balanced_across_nodes() {
+        // Property: with DEFAULT_REPLICAS virtual nodes, every node's
+        // share of a large uniform key stream stays within 2x of the
+        // fair share in both directions, for several cluster sizes.
+        let sample = keys(40_000);
+        for n in [2u32, 3, 4, 5, 8] {
+            let ring = HashRing::with_nodes(n);
+            let counts = load(&ring, &sample);
+            assert_eq!(counts.len(), n as usize, "every node owns keys at n={n}");
+            let fair = sample.len() as f64 / f64::from(n);
+            for (node, count) in &counts {
+                let share = *count as f64 / fair;
+                assert!(
+                    (0.5..=2.0).contains(&share),
+                    "node {node} of {n} holds {count} keys ({share:.2}x fair share)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_only_its_fair_share() {
+        // Property: growing N -> N+1 nodes remaps ~K/(N+1) keys, and
+        // every remapped key lands on the new node (no churn between
+        // surviving nodes).
+        let sample = keys(20_000);
+        for n in [2u32, 4, 7] {
+            let old = HashRing::with_nodes(n);
+            let mut new = old.clone();
+            new.add(n);
+            let mut moved = 0usize;
+            for key in &sample {
+                let before = old.route(*key).unwrap();
+                let after = new.route(*key).unwrap();
+                if before != after {
+                    moved += 1;
+                    assert_eq!(after, n, "a remapped key must land on the new node");
+                }
+            }
+            let expected = sample.len() as f64 / f64::from(n + 1);
+            let ratio = moved as f64 / expected;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "n={n}: {moved} keys moved, expected ~{expected:.0} ({ratio:.2}x)"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_keys() {
+        // Property: shrinking by one node remaps exactly the removed
+        // node's keys; keys on surviving nodes never move.
+        let sample = keys(20_000);
+        let full = HashRing::with_nodes(5);
+        for victim in 0..5u32 {
+            let mut shrunk = full.clone();
+            shrunk.remove(victim);
+            for key in &sample {
+                let before = full.route(*key).unwrap();
+                let after = shrunk.route(*key).unwrap();
+                if before != victim {
+                    assert_eq!(before, after, "keys on surviving nodes must not move");
+                } else {
+                    assert_ne!(after, victim);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remove_then_readd_restores_routing() {
+        let sample = keys(5000);
+        let original = HashRing::with_nodes(4);
+        let mut cycled = original.clone();
+        cycled.remove(2);
+        cycled.add(2);
+        for key in &sample {
+            assert_eq!(original.route(*key), cycled.route(*key));
+        }
+    }
+}

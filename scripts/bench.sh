@@ -46,6 +46,24 @@ esac
 WEBRE_BENCH_OBS_OUT="$obs_out" cargo run --release -p webre-bench --bin obs_overhead
 echo "==> observability benchmark record(s) in $obs_out"
 
+# Distributed ingest at scale: `webre scale` spawns several serve
+# instances, streams synthetic XML documents through a consistent-hash
+# router with checkpointed merged ≡ batch verification, and reports
+# docs/s, time-to-fresh-schema and WAL replay time as one JSON record.
+# WEBRE_BENCH_SCALE_DOCS trims the stream for quick local runs.
+scale_out="${WEBRE_BENCH_SCALE_OUT:-$PWD/BENCH_scale.json}"
+case "$scale_out" in
+    /*) ;;
+    *) scale_out="$PWD/$scale_out" ;;
+esac
+scale_docs="${WEBRE_BENCH_SCALE_DOCS:-1000000}"
+scale_dir=$(mktemp -d)
+cargo build --release -q -p webre
+./target/release/webre scale --instances 2 --docs "$scale_docs" \
+    --data-dir "$scale_dir/corpus" > "$scale_out"
+rm -rf "$scale_dir"
+echo "==> scale benchmark record(s) in $scale_out"
+
 # Append the headline conversion numbers — convert/* throughput and cold
 # /convert rps — to an append-only dated history, so trend lines across
 # runs survive the snapshot files being rewritten from scratch. Unlike
@@ -59,5 +77,6 @@ stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 {
     grep '"bench":"convert/' "$out" || true
     grep '"name":"serve_convert_cold"' "$serve_out" || true
+    grep '"bench":"corpus_scale"' "$scale_out" || true
 } | sed "s/^{/{\"date\":\"$stamp\",/" >> "$history"
 echo "==> $(wc -l <"$history") dated record(s) in $history"

@@ -30,6 +30,25 @@ echo "==> matcher smoke gate (automaton vs naive scanner equivalence)"
 # run than the battery above catches tie-break divergences early.
 ./target/release/webre check --only matcher-vs-naive --iters 200 --seed 1
 
+echo "==> shard-merge oracle gate (per-shard mining + merge ≡ batch mining)"
+# The durable corpus splits documents across shards; this differential
+# oracle holds per-shard accretion + table merge to byte-equality with
+# mining the unsharded corpus, across random shard counts and routings.
+./target/release/webre check --only shard-merge-vs-batch --iters 100 --seed 1
+
+echo "==> scale smoke gate (multi-process sharded ingest, durable, merged ≡ batch)"
+scale_dir=$(mktemp -d)
+trap 'rm -rf "$scale_dir"' EXIT
+./target/release/webre scale --instances 2 --docs 5000 --checkpoints 2 \
+    --data-dir "$scale_dir/corpus" > "$scale_dir/scale.json"
+grep -q '"agreement":true' "$scale_dir/scale.json" \
+    || { echo "FAIL: scale run did not report checkpoint agreement" >&2; cat "$scale_dir/scale.json" >&2; exit 1; }
+grep -q '"replay_docs":5000' "$scale_dir/scale.json" \
+    || { echo "FAIL: scale replay recovered the wrong doc count" >&2; cat "$scale_dir/scale.json" >&2; exit 1; }
+trap - EXIT
+rm -rf "$scale_dir"
+echo "    multi-process ingest, checkpoint agreement and WAL replay all verified"
+
 echo "==> serve smoke gate (HTTP round-trip against the release binary)"
 smoke_dir=$(mktemp -d)
 serve_log="$smoke_dir/serve.log"
