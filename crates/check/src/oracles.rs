@@ -530,6 +530,16 @@ mod tests {
     }
 
     #[test]
+    fn map_vs_batch_holds_on_a_few_seeds() {
+        // Fewer seeds: each case boots a server and runs exact tree-edit
+        // mappings over the whole corpus.
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            map_vs_batch(&mut rng).unwrap();
+        }
+    }
+
+    #[test]
     fn matcher_vs_naive_holds_on_many_seeds() {
         run_many(matcher_vs_naive, "matcher-vs-naive");
     }
@@ -948,5 +958,151 @@ pub fn shard_merge_vs_batch(rng: &mut StdRng) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+/// Oracle 14 — served mapping ≡ batch planning: `POST /map` answered by
+/// a live server under concurrent clients must be byte-identical to the
+/// sequential batch planner over the same corpus — same JSON body
+/// (mapped XML, canonical edit script, cost, tier) and same status code,
+/// with a randomized reject budget exercising all three tiers. The
+/// response cache, the snapshot coalescing, and client interleaving must
+/// all be invisible.
+pub fn map_vs_batch(rng: &mut StdRng) -> Result<(), String> {
+    use std::io::BufReader;
+    use std::net::TcpStream;
+    use webre_map::{MapPlanner, MapTier};
+    use webre_serve::server::{ServeConfig, Server};
+    use webre_serve::Engine;
+    use webre_substrate::http::{read_response, write_request};
+
+    let docs: Vec<String> = (0..rng.gen_range(3..=6))
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                gen::resume_like(rng)
+            } else {
+                soup_input(rng)
+            }
+        })
+        .collect();
+    // All three tiers get exercised across seeds: no budget (never
+    // rejects), zero (rejects anything non-conformant), and a small one.
+    let budget = match rng.gen_range(0..3u8) {
+        0 => None,
+        1 => Some(0),
+        _ => Some(rng.gen_range(1..=40u32)),
+    };
+
+    // Sequential batch reference, computed before the server exists.
+    let engine = Engine::resume_domain();
+    let converted: Vec<_> = docs.iter().map(|d| engine.converter.convert_str(d).0).collect();
+    let paths: Vec<DocPaths> = converted.iter().map(extract_paths).collect();
+    let expected: Option<Vec<(u16, String)>> = engine.miner.mine(&paths).map(|outcome| {
+        let dtd = webre_schema::derive_dtd(&outcome.schema, &paths, &engine.dtd_config);
+        let planner = MapPlanner {
+            budget,
+            ..MapPlanner::default()
+        };
+        converted
+            .iter()
+            .map(|doc| {
+                let planned = planner.plan(doc, &outcome.schema, &dtd);
+                let status = if planned.tier == MapTier::Rejected { 422 } else { 200 };
+                (status, format!("{}\n", webre_map::render_json(&planned, budget)))
+            })
+            .collect()
+    });
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: rng.gen_range(2..=4),
+        queue_cap: 64,
+        map_budget: budget,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start(config, engine).map_err(|e| format!("cannot bind test server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Accrete the whole corpus first so every /map sees the final schema.
+    {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream);
+        for (i, doc) in docs.iter().enumerate() {
+            write_request(&mut writer, "POST", "/corpus/docs", doc.as_bytes(), true)
+                .map_err(|e| e.to_string())?;
+            let response = read_response(&mut reader, 1 << 20)
+                .map_err(|e| format!("/corpus/docs doc {i}: {e}"))?;
+            if response.status != 202 {
+                return Err(format!("/corpus/docs doc {i}: status {}", response.status));
+            }
+        }
+    }
+
+    // Concurrent clients; client c maps documents c, c+n, c+2n, … with a
+    // duplicate pass to drive both cache misses and hits.
+    let clients = rng.gen_range(2..=3usize);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let docs = docs.clone();
+            std::thread::spawn(move || -> Result<Vec<(usize, u16, String)>, String> {
+                let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+                let mut reader = BufReader::new(stream);
+                let mut mapped = Vec::new();
+                for pass in 0..2 {
+                    for (i, doc) in docs.iter().enumerate() {
+                        if i % clients != c {
+                            continue;
+                        }
+                        write_request(&mut writer, "POST", "/map", doc.as_bytes(), true)
+                            .map_err(|e| e.to_string())?;
+                        let response = read_response(&mut reader, 64 << 20)
+                            .map_err(|e| format!("/map doc {i} pass {pass}: {e}"))?;
+                        mapped.push((i, response.status, response.text()));
+                    }
+                }
+                Ok(mapped)
+            })
+        })
+        .collect();
+    let mut served: Vec<(usize, u16, String)> = Vec::new();
+    for handle in handles {
+        served.extend(
+            handle
+                .join()
+                .map_err(|_| "client thread panicked".to_owned())??,
+        );
+    }
+
+    match &expected {
+        None => {
+            for (i, status, _) in &served {
+                if *status != 404 {
+                    return Err(format!(
+                        "batch mined no schema but /map on doc {i} answered {status} (expected 404)"
+                    ));
+                }
+            }
+        }
+        Some(expected) => {
+            for (i, status, body) in &served {
+                let (want_status, want_body) = &expected[*i];
+                if status != want_status || body != want_body {
+                    return Err(format!(
+                        "/map diverged from the batch planner on doc {i} \
+                         (status {status}, batch {want_status})\n  input: {}\n  served: {}\n  batch:  {}",
+                        snippet(&docs[*i]),
+                        snippet(body),
+                        snippet(want_body)
+                    ));
+                }
+            }
+        }
+    }
+
+    server.request_drain();
+    server.join();
     Ok(())
 }

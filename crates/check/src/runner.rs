@@ -49,6 +49,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("trace-noop", Kind::Differential, crate::oracles::trace_noop),
     ("matcher-vs-naive", Kind::Differential, crate::oracles::matcher_vs_naive),
     ("shard-merge-vs-batch", Kind::Differential, crate::oracles::shard_merge_vs_batch),
+    ("map-vs-batch", Kind::Differential, crate::oracles::map_vs_batch),
     ("remove-document", Kind::Metamorphic, crate::metamorphic::remove_document),
     ("duplicate-corpus", Kind::Metamorphic, crate::metamorphic::duplicate_corpus),
     ("permute-order", Kind::Metamorphic, crate::metamorphic::permute_order),
@@ -237,12 +238,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Nine differential + three metamorphic + one fuzz oracle; the
+        // Ten differential + three metamorphic + one fuzz oracle; the
         // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 13);
+        assert_eq!(a.oracles.len(), 14);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            9
+            10
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

@@ -4,6 +4,7 @@
 //! webre convert  <file.html>...  [--domain d.json] [--root NAME] [--compact] [--stats]
 //! webre discover <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--group-patterns]
 //! webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
+//! webre map      <file.html>...  [--budget N] [--no-filter] [--json] [--out-dir DIR]
 //! webre serve    [--addr HOST:PORT] [--workers N] [--data-dir DIR] [--shards N] ...
 //! webre scale    [--instances K] [--docs N] [--data-dir DIR] ...
 //! webre stats    <trace.json>...
@@ -15,7 +16,11 @@
 //!
 //! `convert` prints concept-tagged XML for each input; `discover` prints
 //! the majority schema and derived DTD; `run` converts, discovers, maps
-//! every document onto the DTD and writes conforming XML files; `serve`
+//! every document onto the DTD and writes conforming XML files; `map`
+//! runs the tiered mapping planner (lower-bound filter → exact
+//! Zhang–Shasha) over each input against the schema mined from the whole
+//! batch, printing one summary (or, with `--json`, exactly the JSON
+//! document `POST /map` serves) per input; `serve`
 //! exposes the pipeline over HTTP (see `webre-serve`); `scale` spawns a
 //! fleet of `webre serve` child processes, routes a synthetic XML stream
 //! across them with a consistent-hash ring, and proves at every
@@ -69,6 +74,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(rest),
         "discover" => cmd_discover(rest),
         "run" => cmd_run(rest),
+        "map" => cmd_map(rest),
         "serve" => cmd_serve(rest),
         "scale" => cmd_scale(rest),
         "stats" => cmd_stats(rest),
@@ -113,10 +119,12 @@ usage:
                  [--trace-out FILE]
   webre run      <file.html>...  [--domain d.json] [--sup F] [--ratio F] --out-dir DIR
                  [--trace-out FILE]
+  webre map      <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--budget N]
+                 [--no-filter] [--json] [--out-dir DIR] [--trace-out FILE]
   webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
                  [--max-body BYTES] [--data-dir DIR] [--shards N] [--fsync-every N]
-                 [--compact-min N] [--domain d.json] [--root NAME] [--sup F] [--ratio F]
-                 [--trace-out FILE]
+                 [--compact-min N] [--map-budget N] [--domain d.json] [--root NAME]
+                 [--sup F] [--ratio F] [--trace-out FILE]
   webre scale    [--instances K] [--docs N] [--seed S] [--batch B] [--checkpoints C]
                  [--data-dir DIR] [--shards N] [--workers N]
   webre stats    <trace.json>...
@@ -439,6 +447,85 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, CliError> {
     })
 }
 
+/// An optional `u32` edit-cost budget flag (absent means "no budget").
+fn budget_flag(parsed: &Parsed, name: &str) -> Result<Option<u32>, CliError> {
+    match parsed.value(name) {
+        Some(v) => v.parse::<u32>().map(Some).map_err(|_| {
+            usage_err(format!("--{name} expects a non-negative integer, got {v:?}"))
+        }),
+        None => Ok(None),
+    }
+}
+
+fn cmd_map(args: &[String]) -> Result<ExitCode, CliError> {
+    let parsed = parse_flags(
+        args,
+        &["domain", "root", "sup", "ratio", "budget", "out-dir", "trace-out"],
+        &["group-patterns", "no-filter", "json"],
+    )?;
+    if parsed.positional.is_empty() {
+        return Err(usage_err("map needs at least one input file"));
+    }
+    let out_dir = parsed.value("out-dir").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| runtime_err(format!("cannot create out dir: {e}")))?;
+    }
+    let budget = budget_flag(&parsed, "budget")?;
+    let planner = webre::map::MapPlanner {
+        budget,
+        filter: !parsed.switch("no-filter"),
+        ..webre::map::MapPlanner::default()
+    };
+    let pipeline = pipeline_from(&parsed)?;
+    let trace = trace_from(&parsed);
+    let ctx = trace_ctx(&trace);
+    let (survivors, docs, failures) = convert_inputs(&pipeline, &parsed.positional, ctx)?;
+    let discovery = pipeline
+        .discover_schema_obs(&docs, ctx)
+        .ok_or_else(|| runtime_err("empty corpus or root below support threshold"))?;
+    for (input, doc) in survivors.iter().zip(&docs) {
+        let planned = pipeline.plan_document_obs(doc, &discovery, &planner, ctx);
+        if parsed.switch("json") {
+            // Exactly the body `POST /map` serves for this document.
+            println!("{}", webre::map::render_json(&planned, budget));
+        } else {
+            let cost = match planned.cost {
+                Some(cost) => cost.to_string(),
+                None => "-".to_owned(),
+            };
+            println!(
+                "{input}: tier={} cost={cost} lower-bound={} conforms={}",
+                planned.tier.label(),
+                planned.lower_bound,
+                planned.conforms
+            );
+        }
+        if let Some(dir) = &out_dir {
+            if planned.tier != webre::map::MapTier::Rejected {
+                let stem = Path::new(input)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "doc".into());
+                std::fs::write(
+                    dir.join(format!("{stem}.xml")),
+                    webre::xml::to_xml_pretty(&planned.document),
+                )
+                .map_err(|e| runtime_err(e.to_string()))?;
+            }
+        }
+    }
+    write_trace(trace)?;
+    if failures > 0 {
+        eprintln!("{failures} input(s) skipped due to read errors");
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let parsed = parse_flags(
         args,
@@ -452,6 +539,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             "shards",
             "fsync-every",
             "compact-min",
+            "map-budget",
             "domain",
             "root",
             "sup",
@@ -481,6 +569,7 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         shards: parsed.uint("shards", defaults.shards)?.max(1),
         sync_every: parsed.uint("fsync-every", defaults.sync_every)?.max(1),
         compact_min: parsed.uint("compact-min", defaults.compact_min)?.max(1),
+        map_budget: budget_flag(&parsed, "map-budget")?,
     };
     let pipeline = pipeline_from(&parsed)?;
     let workers = config.workers;

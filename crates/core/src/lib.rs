@@ -229,6 +229,32 @@ impl Pipeline {
         webre_map::map_to_dtd(doc, &discovery.schema, &discovery.dtd)
     }
 
+    /// Maps `doc` through the tiered planner (conformant / rejected /
+    /// exact) instead of the always-exact [`Pipeline::map_document`] —
+    /// the batch twin of `POST /map`.
+    pub fn plan_document(
+        &self,
+        doc: &XmlDocument,
+        discovery: &DiscoveryResult,
+        planner: &webre_map::MapPlanner,
+    ) -> webre_map::PlannedMap {
+        self.plan_document_obs(doc, discovery, planner, obs::Ctx::disabled())
+    }
+
+    /// [`Pipeline::plan_document`] with observability: the plan runs
+    /// under a `map-to-dtd` span with the filter and exact tiers nested
+    /// beneath it.
+    pub fn plan_document_obs(
+        &self,
+        doc: &XmlDocument,
+        discovery: &DiscoveryResult,
+        planner: &webre_map::MapPlanner,
+        ctx: obs::Ctx<'_>,
+    ) -> webre_map::PlannedMap {
+        let scope = ctx.span(obs::stage::MAP);
+        planner.plan_obs(doc, &discovery.schema, &discovery.dtd, scope.ctx())
+    }
+
     /// Full run: convert every HTML document, discover the schema, and map
     /// every document onto the derived DTD.
     pub fn run(&self, htmls: &[String]) -> Option<(DiscoveryResult, Vec<MapOutcome>)> {

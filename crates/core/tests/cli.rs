@@ -41,7 +41,8 @@ fn usage_lists_every_subcommand() {
     assert!(out.status.success());
     let usage = String::from_utf8_lossy(&out.stdout).into_owned();
     for subcommand in [
-        "convert", "discover", "run", "serve", "stats", "validate", "generate", "check", "lint",
+        "convert", "discover", "run", "map", "serve", "stats", "validate", "generate", "check",
+        "lint",
     ] {
         assert!(
             usage.contains(&format!("webre {subcommand}")),
@@ -64,7 +65,8 @@ fn version_flag_prints_package_version() {
 #[test]
 fn unknown_flag_is_a_usage_error_on_every_subcommand() {
     for subcommand in [
-        "convert", "discover", "run", "serve", "stats", "validate", "generate", "check", "lint",
+        "convert", "discover", "run", "map", "serve", "stats", "validate", "generate", "check",
+        "lint",
     ] {
         let out = bin()
             .args([subcommand, "--no-such-flag"])
@@ -142,6 +144,128 @@ fn discover_reports_each_unreadable_input_with_its_path() {
     let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(stdout.contains("majority schema"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn map_without_inputs_is_a_usage_error() {
+    let out = bin().arg("map").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("at least one input"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn map_reports_a_tier_per_input_and_writes_mapped_xml() {
+    let dir = temp_dir("map-tiers");
+    let corpus = dir.join("corpus");
+    let mapped = dir.join("mapped");
+    let out = bin()
+        .args(["generate", "--count", "6", "--seed", "17", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let htmls: Vec<PathBuf> = (0..6)
+        .map(|i| corpus.join(format!("resume{i:04}.html")))
+        .collect();
+    let out = bin()
+        .arg("map")
+        .args(&htmls)
+        .arg("--out-dir")
+        .arg(&mapped)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    // One summary line per input, each naming its tier.
+    assert_eq!(stdout.lines().count(), 6, "{stdout}");
+    for line in stdout.lines() {
+        assert!(line.contains("tier="), "{line}");
+        assert!(line.contains("lower-bound="), "{line}");
+    }
+    for i in 0..6 {
+        assert!(mapped.join(format!("resume{i:04}.xml")).exists(), "doc {i}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn map_json_emits_one_parseable_object_per_input() {
+    let dir = temp_dir("map-json");
+    let corpus = dir.join("corpus");
+    let out = bin()
+        .args(["generate", "--count", "4", "--seed", "23", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let htmls: Vec<PathBuf> = (0..4)
+        .map(|i| corpus.join(format!("resume{i:04}.html")))
+        .collect();
+    let out = bin().arg("map").args(&htmls).arg("--json").output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    for line in lines {
+        let json = webre_substrate::json::Json::parse(line).expect("line parses as JSON");
+        let tier = json
+            .get("tier")
+            .and_then(webre_substrate::json::Json::as_str)
+            .expect("tier field");
+        assert!(
+            ["conformant", "rejected", "exact"].contains(&tier),
+            "unexpected tier {tier:?}"
+        );
+        assert!(json.get("lower_bound").is_some(), "{line}");
+        assert!(json.get("edits").is_some(), "{line}");
+    }
+    // --no-filter must not change a single byte of the output.
+    let out2 = bin()
+        .arg("map")
+        .args(&htmls)
+        .args(["--json", "--no-filter"])
+        .output()
+        .expect("spawn");
+    assert!(out2.status.success());
+    assert_eq!(out.stdout, out2.stdout, "filter changed the mapping output");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn map_skips_unreadable_inputs_and_reports_each_path() {
+    let dir = temp_dir("map-unreadable");
+    let corpus = dir.join("corpus");
+    let out = bin()
+        .args(["generate", "--count", "4", "--seed", "29", "--out-dir"])
+        .arg(&corpus)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let mut inputs: Vec<PathBuf> = (0..4)
+        .map(|i| corpus.join(format!("resume{i:04}.html")))
+        .collect();
+    inputs.insert(2, corpus.join("vanished.html")); // does not exist
+    let out = bin().arg("map").args(&inputs).output().expect("spawn");
+    // The batch completed over the readable majority; the exit code
+    // still reports the skipped file.
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("vanished.html"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(stdout.lines().count(), 4, "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn map_budget_flag_rejects_bad_values() {
+    let out = bin()
+        .args(["map", "x.html", "--budget", "many"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--budget"), "stderr");
 }
 
 #[test]
@@ -376,7 +500,7 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All nine differential oracles, all three metamorphic invariants
+    // All ten differential oracles, all three metamorphic invariants
     // and the fuzzer ran.
     for oracle in [
         "fixpoint",
@@ -388,6 +512,7 @@ fn check_passes_and_is_deterministic() {
         "trace-noop",
         "matcher-vs-naive",
         "shard-merge-vs-batch",
+        "map-vs-batch",
         "remove-document",
         "duplicate-corpus",
         "permute-order",
@@ -395,7 +520,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 13 oracles passed"), "{text}");
+    assert!(text.contains("all 14 oracles passed"), "{text}");
 }
 
 #[test]

@@ -16,12 +16,24 @@
 //!   delete / insert per node) by backtracking the same dynamic program;
 //! * [`mapper`] — the schema-guided transformation that edits a document
 //!   into DTD conformance (relocating, demoting, inserting and reordering
-//!   elements) and reports the edit cost.
+//!   elements) and reports the edit cost;
+//! * [`filter`] — admissible lower bounds on the edit distance (label
+//!   histogram + leaf/depth invariants) cheap enough to run on every
+//!   document;
+//! * [`planner`] — the tiered planner (conformant / rejected / exact)
+//!   that short-circuits the quadratic dynamic program whenever the
+//!   filter already decides the outcome, plus the shared JSON rendering
+//!   used by `POST /map`, `webre map --json` and the `map-vs-batch`
+//!   oracle.
 
 pub mod edit_script;
+pub mod filter;
 pub mod mapper;
+pub mod planner;
 pub mod zhang_shasha;
 
 pub use edit_script::{edit_script, EditOp};
+pub use filter::{lower_bound, lower_bound_docs, TreeProfile};
 pub use mapper::{map_to_dtd, MapOutcome};
+pub use planner::{canonical_sort, render_json, MapPlanner, MapTier, PlannedMap};
 pub use zhang_shasha::{edit_distance, edit_distance_docs, EditCosts};

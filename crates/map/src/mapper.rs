@@ -46,6 +46,28 @@ pub struct MapOutcome {
 
 /// Maps `doc` onto the majority schema/DTD.
 pub fn map_to_dtd(doc: &XmlDocument, schema: &MajoritySchema, dtd: &Dtd) -> MapOutcome {
+    let (out, stats, conforms) = transform(doc, schema, dtd);
+    let edit_distance = edit_distance_docs(doc, &out, &EditCosts::default());
+    MapOutcome {
+        document: out,
+        demoted: stats.demoted,
+        wrapped: stats.wrapped,
+        inserted: stats.inserted,
+        merged: stats.merged,
+        reordered: stats.reordered,
+        edit_distance,
+        conforms,
+    }
+}
+
+/// The structural transform alone — everything [`map_to_dtd`] does except
+/// the quadratic edit-distance computation. The tiered planner uses this
+/// so its filter tiers can skip the dynamic program entirely.
+pub(crate) fn transform(
+    doc: &XmlDocument,
+    schema: &MajoritySchema,
+    dtd: &Dtd,
+) -> (XmlDocument, Stats, bool) {
     let mut out = doc.clone();
     let mut stats = Stats::default();
 
@@ -62,27 +84,17 @@ pub fn map_to_dtd(doc: &XmlDocument, schema: &MajoritySchema, dtd: &Dtd) -> MapO
     restructure(&mut out, out_root, schema, schema.tree.root(), &mut stats);
     reorder_and_complete(&mut out, out_root, schema, schema.tree.root(), dtd, &mut stats);
 
-    let edit_distance = edit_distance_docs(doc, &out, &EditCosts::default());
     let conforms = conforms(&out, dtd);
-    MapOutcome {
-        document: out,
-        demoted: stats.demoted,
-        wrapped: stats.wrapped,
-        inserted: stats.inserted,
-        merged: stats.merged,
-        reordered: stats.reordered,
-        edit_distance,
-        conforms,
-    }
+    (out, stats, conforms)
 }
 
 #[derive(Default)]
-struct Stats {
-    demoted: u32,
-    wrapped: u32,
-    inserted: u32,
-    merged: u32,
-    reordered: u32,
+pub(crate) struct Stats {
+    pub(crate) demoted: u32,
+    pub(crate) wrapped: u32,
+    pub(crate) inserted: u32,
+    pub(crate) merged: u32,
+    pub(crate) reordered: u32,
 }
 
 /// Pass 1: make every element's label admissible under its parent's schema

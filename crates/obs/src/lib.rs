@@ -66,6 +66,11 @@ pub mod stage {
     pub const DERIVE_DTD: &str = "derive-dtd";
     /// Mapping one document onto the derived DTD.
     pub const MAP: &str = "map-to-dtd";
+    /// The admissible lower-bound filter tier of a planned mapping
+    /// (profiles + histogram/structural bounds, no dynamic program).
+    pub const MAP_FILTER: &str = "map-filter";
+    /// The exact Zhang–Shasha tier of a planned mapping (edit-script DP).
+    pub const MAP_EXACT: &str = "map-exact";
     /// One served HTTP request (root span in the serving layer).
     pub const REQUEST: &str = "request";
 
@@ -81,6 +86,8 @@ pub mod stage {
         MINE,
         DERIVE_DTD,
         MAP,
+        MAP_FILTER,
+        MAP_EXACT,
         REQUEST,
     ];
 
@@ -106,6 +113,14 @@ pub mod counter {
     pub const PATHS_ACCEPTED: &str = "paths_accepted";
     /// Candidates cut by anti-monotone support pruning (not extended).
     pub const PATHS_PRUNED: &str = "paths_pruned";
+    /// Planned mappings resolved by the conformant fast path (label-tree
+    /// equality after transform; no dynamic program).
+    pub const MAP_CONFORMANT: &str = "map_conformant";
+    /// Planned mappings rejected because the admissible lower bound (or
+    /// the exact cost, with the filter off) exceeded the budget.
+    pub const MAP_REJECTED: &str = "map_rejected";
+    /// Planned mappings that ran the exact Zhang–Shasha tier.
+    pub const MAP_EXACT: &str = "map_exact";
 
     /// The closed catalogue, in pipeline order.
     pub const ALL: &[&str] = &[
@@ -116,6 +131,9 @@ pub mod counter {
         PATHS_EXPLORED,
         PATHS_ACCEPTED,
         PATHS_PRUNED,
+        MAP_CONFORMANT,
+        MAP_REJECTED,
+        MAP_EXACT,
     ];
 
     /// Index of `name` in [`ALL`], if it is a catalogued counter.

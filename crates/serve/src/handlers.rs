@@ -15,7 +15,8 @@ use crate::router::{route, Route};
 use crate::state::LiveCorpus;
 use std::sync::atomic::{AtomicBool, Ordering};
 use webre_convert::ConvertStats;
-use webre_obs::Ctx;
+use webre_map::{MapPlanner, MapTier};
+use webre_obs::{stage, Ctx};
 use webre_schema::extract_paths;
 use webre_substrate::http::{Request, Response};
 use webre_substrate::json::{Json, ToJson};
@@ -36,6 +37,10 @@ pub struct App {
     /// Set by `/shutdown`; the acceptor polls it and workers stop
     /// keep-alive once draining.
     pub draining: AtomicBool,
+    /// Reject budget for `POST /map`: documents whose edit cost provably
+    /// exceeds this are answered 422 without running the exact tier.
+    /// `None` (the default) maps everything.
+    pub map_budget: Option<u32>,
 }
 
 impl App {
@@ -67,7 +72,14 @@ impl App {
             metrics: Metrics::new(workers),
             obs,
             draining: AtomicBool::new(false),
+            map_budget: None,
         }
+    }
+
+    /// Sets the `POST /map` reject budget (the `--map-budget` knob).
+    pub fn with_map_budget(mut self, budget: Option<u32>) -> Self {
+        self.map_budget = budget;
+        self
     }
 
     /// Whether `/shutdown` has been requested.
@@ -93,6 +105,7 @@ pub fn handle_obs(app: &App, request: &Request, ctx: Ctx<'_>) -> Response {
     };
     match resolved {
         Route::Convert => convert(app, &request.body, ctx),
+        Route::Map => map(app, &request.body, ctx),
         Route::CorpusDocs => corpus_docs(app, &request.body, ctx),
         Route::CorpusXml => corpus_xml(app, &request.body),
         Route::CorpusTable => corpus_table(app),
@@ -116,6 +129,57 @@ fn convert(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
     let xml = std::sync::Arc::new(xml);
     app.cache.insert(key, std::sync::Arc::clone(&xml));
     Response::xml(200, xml.as_str()).with_header("x-cache", "miss")
+}
+
+/// Distinguishes `/map` cache entries from `/convert` entries sharing
+/// the same body bytes.
+const MAP_CACHE_TAG: u64 = 0x6D61_702F_7631;
+
+/// A JSON response (the substrate codec has no dedicated constructor).
+fn json_response(status: u16, body: impl Into<String>) -> Response {
+    let mut response = Response::text(status, body);
+    response.content_type = "application/json".into();
+    response
+}
+
+/// `POST /map`: HTML body → convert → tiered mapping onto the current
+/// majority schema/DTD. 200 with `{tier, cost, xml, script, …}` JSON on
+/// success (cached per corpus version), 422 when the edit cost exceeds
+/// the configured budget (cheap to recompute, so never cached), 404
+/// while no schema exists.
+fn map(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {
+    let snapshot = app.corpus.snapshot_obs(&app.engine, ctx);
+    let Some((schema, dtd)) = snapshot.mapping.as_ref() else {
+        return Response::text(
+            404,
+            "no schema yet: corpus is empty or its root is below the support threshold\n",
+        );
+    };
+    // Key mixes the body hash with the corpus version (a new schema must
+    // never serve stale mappings) and a tag distinct from `/convert`.
+    let key = content_hash(body)
+        ^ snapshot.version.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ MAP_CACHE_TAG;
+    if let Some(cached) = app.cache.get(key) {
+        return json_response(200, cached.as_str()).with_header("x-cache", "hit");
+    }
+    let html = String::from_utf8_lossy(body);
+    let (doc, _) = app.engine.converter.convert_str_obs(&html, ctx);
+    let planner = MapPlanner {
+        budget: app.map_budget,
+        ..MapPlanner::default()
+    };
+    let planned = {
+        let scope = ctx.span(stage::MAP);
+        planner.plan_obs(&doc, schema, dtd, scope.ctx())
+    };
+    let json = format!("{}\n", webre_map::render_json(&planned, app.map_budget));
+    if planned.tier == MapTier::Rejected {
+        return json_response(422, json).with_header("x-cache", "miss");
+    }
+    let json = std::sync::Arc::new(json);
+    app.cache.insert(key, std::sync::Arc::clone(&json));
+    json_response(200, json.as_str()).with_header("x-cache", "miss")
 }
 
 /// `POST /corpus/docs`: convert, then accrete into the live corpus.
@@ -359,6 +423,85 @@ mod tests {
         assert!(app.is_draining());
         // Idempotent.
         assert_eq!(handle(&app, &post("/shutdown", "")).status, 200);
+    }
+
+    fn cache_header(response: &Response) -> Option<String> {
+        response
+            .headers
+            .iter()
+            .find(|(n, _)| n == "x-cache")
+            .map(|(_, v)| v.clone())
+    }
+
+    #[test]
+    fn map_requires_a_schema() {
+        let app = app();
+        assert_eq!(handle(&app, &post("/map", RESUME)).status, 404);
+    }
+
+    #[test]
+    fn map_returns_planned_json_and_caches() {
+        let app = app();
+        for _ in 0..3 {
+            handle(&app, &post("/corpus/docs", RESUME));
+        }
+        let first = handle(&app, &post("/map", RESUME));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.content_type, "application/json");
+        assert_eq!(cache_header(&first).as_deref(), Some("miss"));
+        let second = handle(&app, &post("/map", RESUME));
+        assert_eq!(cache_header(&second).as_deref(), Some("hit"));
+        assert_eq!(first.body, second.body);
+        // The body is exactly the batch planner's rendering.
+        let snapshot = app.corpus.snapshot(&app.engine);
+        let (schema, dtd) = snapshot.mapping.as_ref().unwrap();
+        let (doc, _) = app.engine.converter.convert_str(RESUME);
+        let planner = MapPlanner::default();
+        let planned = planner.plan(&doc, schema, dtd);
+        let batch = format!("{}\n", webre_map::render_json(&planned, None));
+        assert_eq!(String::from_utf8(first.body).unwrap(), batch);
+        let json = Json::parse(batch.trim()).expect("body parses as JSON");
+        assert!(json.get("tier").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn map_budget_rejects_with_422_and_skips_the_cache() {
+        let app = app().with_map_budget(Some(0));
+        for _ in 0..3 {
+            handle(&app, &post("/corpus/docs", RESUME));
+        }
+        // A document whose mapping needs edits: cost > 0 > budget.
+        let alien = "<h2>Experience</h2><p>IBM, staff engineer</p>\
+                     <h2>Education</h2><ul><li>MIT, Ph.D., 1990</li></ul>";
+        let response = handle(&app, &post("/map", alien));
+        if response.status == 422 {
+            let text = String::from_utf8(response.body).unwrap();
+            assert!(text.contains("\"tier\":\"rejected\""), "{text}");
+            assert!(!text.contains("\"cost\""), "rejected bodies carry no cost: {text}");
+            // Rejections are recomputed, never cached.
+            let again = handle(&app, &post("/map", alien));
+            assert_eq!(again.status, 422);
+            assert_eq!(cache_header(&again).as_deref(), Some("miss"));
+        } else {
+            // The document happened to conform exactly; still a valid plan.
+            assert_eq!(response.status, 200);
+        }
+    }
+
+    #[test]
+    fn map_cache_invalidates_when_the_corpus_grows() {
+        let app = app();
+        for _ in 0..3 {
+            handle(&app, &post("/corpus/docs", RESUME));
+        }
+        let first = handle(&app, &post("/map", RESUME));
+        assert_eq!(cache_header(&first).as_deref(), Some("miss"));
+        assert_eq!(cache_header(&handle(&app, &post("/map", RESUME))).as_deref(), Some("hit"));
+        // New corpus version → new schema snapshot → the old entry no
+        // longer matches the key.
+        handle(&app, &post("/corpus/docs", RESUME));
+        let after = handle(&app, &post("/map", RESUME));
+        assert_eq!(cache_header(&after).as_deref(), Some("miss"));
     }
 
     #[test]

@@ -23,6 +23,8 @@ use webre_obs::hist::{upper_bound, PowHistogram};
 pub enum Endpoint {
     /// `POST /convert`
     Convert,
+    /// `POST /map`
+    Map,
     /// `POST /corpus/docs`
     CorpusDocs,
     /// `POST /corpus/xml`
@@ -45,8 +47,9 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in render order.
-    pub const ALL: [Endpoint; 10] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Convert,
+        Endpoint::Map,
         Endpoint::CorpusDocs,
         Endpoint::CorpusXml,
         Endpoint::CorpusTable,
@@ -62,6 +65,7 @@ impl Endpoint {
     pub fn label(self) -> &'static str {
         match self {
             Endpoint::Convert => "convert",
+            Endpoint::Map => "map",
             Endpoint::CorpusDocs => "corpus_docs",
             Endpoint::CorpusXml => "corpus_xml",
             Endpoint::CorpusTable => "corpus_table",
@@ -77,15 +81,16 @@ impl Endpoint {
     fn index(self) -> usize {
         match self {
             Endpoint::Convert => 0,
-            Endpoint::CorpusDocs => 1,
-            Endpoint::CorpusXml => 2,
-            Endpoint::CorpusTable => 3,
-            Endpoint::Schema => 4,
-            Endpoint::SchemaDtd => 5,
-            Endpoint::Metrics => 6,
-            Endpoint::Healthz => 7,
-            Endpoint::Shutdown => 8,
-            Endpoint::Other => 9,
+            Endpoint::Map => 1,
+            Endpoint::CorpusDocs => 2,
+            Endpoint::CorpusXml => 3,
+            Endpoint::CorpusTable => 4,
+            Endpoint::Schema => 5,
+            Endpoint::SchemaDtd => 6,
+            Endpoint::Metrics => 7,
+            Endpoint::Healthz => 8,
+            Endpoint::Shutdown => 9,
+            Endpoint::Other => 10,
         }
     }
 }
@@ -102,7 +107,7 @@ struct EndpointStats {
 pub struct Metrics {
     started: Instant,
     workers: usize,
-    endpoints: [EndpointStats; 10],
+    endpoints: [EndpointStats; 11],
     /// Connections accepted (including ones answered 429).
     pub connections: AtomicU64,
     /// Connections rejected with 429 because the queue was full.

@@ -13,6 +13,8 @@ use webre_substrate::http::Response;
 pub enum Route {
     /// `POST /convert`
     Convert,
+    /// `POST /map`
+    Map,
     /// `POST /corpus/docs`
     CorpusDocs,
     /// `POST /corpus/xml`
@@ -36,6 +38,7 @@ impl Route {
     pub fn endpoint(self) -> Endpoint {
         match self {
             Route::Convert => Endpoint::Convert,
+            Route::Map => Endpoint::Map,
             Route::CorpusDocs => Endpoint::CorpusDocs,
             Route::CorpusXml => Endpoint::CorpusXml,
             Route::CorpusTable => Endpoint::CorpusTable,
@@ -52,6 +55,7 @@ impl Route {
 pub fn route(method: &str, path: &str) -> Result<Route, Response> {
     let (expected, route) = match path {
         "/convert" => ("POST", Route::Convert),
+        "/map" => ("POST", Route::Map),
         "/corpus/docs" => ("POST", Route::CorpusDocs),
         "/corpus/xml" => ("POST", Route::CorpusXml),
         "/corpus/table" => ("GET", Route::CorpusTable),
@@ -84,6 +88,7 @@ mod tests {
     #[test]
     fn every_route_resolves() {
         assert_eq!(route("POST", "/convert"), Ok(Route::Convert));
+        assert_eq!(route("POST", "/map"), Ok(Route::Map));
         assert_eq!(route("POST", "/corpus/docs"), Ok(Route::CorpusDocs));
         assert_eq!(route("POST", "/corpus/xml"), Ok(Route::CorpusXml));
         assert_eq!(route("GET", "/corpus/table"), Ok(Route::CorpusTable));

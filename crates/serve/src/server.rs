@@ -61,6 +61,9 @@ pub struct ServeConfig {
     pub sync_every: usize,
     /// Minimum WAL tail length before shard compaction can trigger.
     pub compact_min: usize,
+    /// `POST /map` reject budget (`--map-budget`); `None` maps
+    /// everything regardless of edit cost.
+    pub map_budget: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +79,7 @@ impl Default for ServeConfig {
             shards: 4,
             sync_every: 64,
             compact_min: 1024,
+            map_budget: None,
         }
     }
 }
@@ -132,13 +136,10 @@ impl Server {
                 LiveCorpus::durable(sharded, store)
             }
         };
-        let app = Arc::new(App::with_corpus(
-            engine,
-            config.cache_cap,
-            config.workers,
-            obs,
-            corpus,
-        ));
+        let app = Arc::new(
+            App::with_corpus(engine, config.cache_cap, config.workers, obs, corpus)
+                .with_map_budget(config.map_budget),
+        );
         let (tx, rx) = bounded::<TcpStream>(config.queue_cap);
         let limits = Limits {
             max_body: config.max_body,

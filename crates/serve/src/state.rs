@@ -37,10 +37,11 @@ use std::sync::{Arc, RwLock};
 use webre_convert::ConvertStats;
 use webre_obs::Ctx;
 use webre_schema::{
-    derive_dtd_sharded_obs, doc_to_record, extract_paths, DocPaths, PathTable, ShardedCorpus,
+    derive_dtd_sharded_obs, doc_to_record, extract_paths, DocPaths, MajoritySchema, PathTable,
+    ShardedCorpus,
 };
 use webre_substrate::wal::checksum;
-use webre_xml::XmlDocument;
+use webre_xml::{Dtd, XmlDocument};
 
 /// An immutable view of the discovered schema at some corpus version.
 #[derive(Clone, Debug)]
@@ -55,6 +56,9 @@ pub struct Snapshot {
     pub schema_text: Option<String>,
     /// Serialized DTD, `None` under the same conditions.
     pub dtd_text: Option<String>,
+    /// The structured schema + DTD the mapping planner needs (`POST
+    /// /map`); `None` exactly when the rendered forms are.
+    pub mapping: Option<(MajoritySchema, Dtd)>,
 }
 
 struct Inner {
@@ -163,8 +167,9 @@ impl LiveCorpus {
         if let Some(snapshot) = inner.snapshot.clone() {
             return snapshot;
         }
-        let (schema_text, dtd_text) = match engine.miner.mine_view_obs(&inner.corpus, ctx) {
-            None => (None, None),
+        let (schema_text, dtd_text, mapping) = match engine.miner.mine_view_obs(&inner.corpus, ctx)
+        {
+            None => (None, None, None),
             Some(outcome) => {
                 let dtd = derive_dtd_sharded_obs(
                     &outcome.schema,
@@ -175,6 +180,7 @@ impl LiveCorpus {
                 (
                     Some(outcome.schema.render()),
                     Some(dtd.to_dtd_string()),
+                    Some((outcome.schema, dtd)),
                 )
             }
         };
@@ -183,6 +189,7 @@ impl LiveCorpus {
             docs: inner.corpus.len(),
             schema_text,
             dtd_text,
+            mapping,
         });
         inner.snapshot = Some(Arc::clone(&snapshot));
         snapshot

@@ -35,6 +35,17 @@ esac
 WEBRE_BENCH_SERVE_OUT="$serve_out" cargo run --release -p webre-bench --bin serve_throughput
 echo "==> serve benchmark record(s) in $serve_out"
 
+# Mapping throughput: the tiered planner over a mixed synthetic corpus
+# at growing sizes, filter on vs off; one JSON record per scale with the
+# measured speedup (the regression guard holds the 100x floor).
+map_out="${WEBRE_BENCH_MAP_OUT:-$PWD/BENCH_map.json}"
+case "$map_out" in
+    /*) ;;
+    *) map_out="$PWD/$map_out" ;;
+esac
+WEBRE_BENCH_MAP_OUT="$map_out" cargo run --release -p webre-bench --bin map_throughput
+echo "==> map benchmark record(s) in $map_out"
+
 # Observability overhead: full pipeline runs with tracing disabled vs the
 # stats recorder vs the full trace recorder; the summary record holds the
 # overhead percentages against the <3% target.
@@ -77,6 +88,7 @@ stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 {
     grep '"bench":"convert/' "$out" || true
     grep '"name":"serve_convert_cold"' "$serve_out" || true
+    grep '"name":"map_throughput/100x"' "$map_out" || true
     grep '"bench":"corpus_scale"' "$scale_out" || true
 } | sed "s/^{/{\"date\":\"$stamp\",/" >> "$history"
 echo "==> $(wc -l <"$history") dated record(s) in $history"

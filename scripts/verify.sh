@@ -36,6 +36,12 @@ echo "==> shard-merge oracle gate (per-shard mining + merge ≡ batch mining)"
 # mining the unsharded corpus, across random shard counts and routings.
 ./target/release/webre check --only shard-merge-vs-batch --iters 100 --seed 1
 
+echo "==> map oracle gate (served /map ≡ batch planner, byte-identical)"
+# POST /map answered under concurrent clients must match the sequential
+# batch planner byte-for-byte — mapped XML, canonical edit script, cost
+# and tier — across randomized reject budgets.
+./target/release/webre check --only map-vs-batch --iters 100 --seed 1
+
 echo "==> scale smoke gate (multi-process sharded ingest, durable, merged ≡ batch)"
 scale_dir=$(mktemp -d)
 trap 'rm -rf "$scale_dir"' EXIT
@@ -76,6 +82,18 @@ grep -q '^cache_hits_total [1-9]' "$smoke_dir/metrics.txt" \
     || { echo "FAIL: no cache hit recorded in /metrics" >&2; cat "$smoke_dir/metrics.txt" >&2; exit 1; }
 grep -q '^requests_total{endpoint="convert"} 2' "$smoke_dir/metrics.txt" \
     || { echo "FAIL: convert request count wrong in /metrics" >&2; exit 1; }
+# Mapping as a service: before any corpus, /map must 404; after accreting
+# the golden fixture, POST /map must return exactly the bytes the batch
+# planner (`webre map --json`) produces over the same one-document corpus.
+map_status=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary @tests/fixtures/resume_clean.html "$base/map")
+[ "$map_status" = "404" ] \
+    || { echo "FAIL: /map before any schema answered $map_status (expected 404)" >&2; exit 1; }
+curl -sf -X POST --data-binary @tests/fixtures/resume_clean.html "$base/corpus/docs" > /dev/null
+curl -sf -X POST --data-binary @tests/fixtures/resume_clean.html "$base/map" -o "$smoke_dir/served-map.json"
+./target/release/webre map tests/fixtures/resume_clean.html --json > "$smoke_dir/batch-map.json"
+diff -u "$smoke_dir/batch-map.json" "$smoke_dir/served-map.json" \
+    || { echo "FAIL: served /map diverges from the batch planner" >&2; exit 1; }
 # Graceful drain: /shutdown must cause a clean exit.
 curl -sf -X POST "$base/shutdown" > /dev/null
 wait "$serve_pid" || { echo "FAIL: serve exited non-zero after /shutdown" >&2; exit 1; }
