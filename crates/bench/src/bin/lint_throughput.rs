@@ -1,0 +1,83 @@
+//! Lint throughput: wall time for a full `webre lint` pass over this
+//! workspace's own sources, with the flow-sensitive engine (CFG build,
+//! dataflow solves, call-graph fixpoint) on every function body.
+//!
+//! The lint gate runs on every `scripts/verify.sh` invocation, so its
+//! wall time is developer-loop latency. This harness measures the
+//! workspace pass end to end — discovery, lexing, parsing, call-graph
+//! fixpoint, all nine rules, suppression filtering — the same work
+//! `webre lint --deny-warnings` does, and holds two lines:
+//!
+//! * the pass stays fast (files/s floor held by the regression guard),
+//! * the workspace stays clean (zero findings attested in the record).
+//!
+//! Results go to stdout as a table and to `BENCH_lint.json` (override
+//! with `WEBRE_BENCH_LINT_OUT`) as one JSON-lines record.
+//!
+//! Run with: `cargo run --release -p webre-bench --bin lint_throughput`
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+use webre_lint::{lint_workspace, LintConfig, Workspace};
+
+/// Timed passes; the median is reported so one scheduler hiccup does
+/// not define the snapshot.
+const RUNS: usize = 5;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = Workspace::discover(&root).expect("discover workspace");
+    let rel_files = ws.source_files().expect("enumerate sources");
+    let files = rel_files.len();
+    let lines: usize = rel_files
+        .iter()
+        .map(|rel| {
+            std::fs::read_to_string(root.join(rel))
+                .map(|s| s.lines().count())
+                .unwrap_or(0)
+        })
+        .sum();
+
+    let config = LintConfig::default();
+    // Warm-up pass: page cache, allocator, lazy statics.
+    let warm = lint_workspace(&root, &config).expect("lint run");
+    let findings = warm.len();
+
+    let mut seconds: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let started = Instant::now();
+            let diags = lint_workspace(&root, &config).expect("lint run");
+            assert_eq!(diags.len(), findings, "lint output changed between passes");
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = seconds[RUNS / 2];
+    let files_per_s = files as f64 / median;
+    let klines_per_s = lines as f64 / median / 1000.0;
+
+    println!("lint_throughput: full workspace pass, all rules, {RUNS} runs");
+    println!(
+        "  {:>6} {:>8} {:>10} {:>12} {:>14} {:>9}",
+        "files", "lines", "median s", "files/s", "klines/s", "findings"
+    );
+    println!(
+        "  {files:>6} {lines:>8} {median:>10.4} {files_per_s:>12.1} {klines_per_s:>14.1} {findings:>9}"
+    );
+
+    let out_path = std::env::var("WEBRE_BENCH_LINT_OUT")
+        .unwrap_or_else(|_| "BENCH_lint.json".to_owned());
+    let mut out = std::fs::File::create(&out_path).expect("create bench output");
+    writeln!(
+        out,
+        "{{\"name\":\"lint_throughput\",\"files\":{files},\"lines\":{lines},\
+         \"runs\":{RUNS},\"seconds\":{median:.6},\"files_per_s\":{files_per_s:.1},\
+         \"klines_per_s\":{klines_per_s:.1},\"findings\":{findings}}}"
+    )
+    .expect("write bench record");
+    println!("==> wrote 1 record to {out_path}");
+}

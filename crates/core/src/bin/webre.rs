@@ -771,7 +771,7 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, CliError> {
     let rules = webre_lint::all_rules();
     if parsed.switch("list-rules") {
         for rule in &rules {
-            println!("{:<18} {}", rule.id(), rule.description());
+            println!("{:<24} {}", rule.id(), rule.description());
         }
         return Ok(ExitCode::SUCCESS);
     }

@@ -635,20 +635,24 @@ fn lint_json_output_is_stable() {
 }
 
 #[test]
-fn lint_list_rules_names_all_six() {
+fn lint_list_rules_names_all_nine() {
     let out = bin().args(["lint", "--list-rules"]).output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).into_owned();
     for rule in [
         "dropped-result",
+        "lock-across-blocking",
         "lock-order",
         "no-wall-clock",
         "nondet-iter",
         "panic-in-hot-path",
         "std-only",
+        "unbounded-request-alloc",
+        "unjoined-thread",
     ] {
         assert!(text.contains(rule), "missing rule {rule}:\n{text}");
     }
+    assert_eq!(text.lines().count(), 9, "one line per rule:\n{text}");
 }
 
 #[test]

@@ -1,0 +1,734 @@
+//! Workspace call graph with per-function effect summaries.
+//!
+//! For every `fn` the parser found, the graph computes three may-facts:
+//!
+//! - **may-block** — the body performs blocking I/O (reads/writes with
+//!   a buffer, `accept`, fsync, channel `send`/`recv`, `sleep`,
+//!   condvar `wait`, ...) directly or through another workspace
+//!   function that does;
+//! - **may-panic** — the body can panic (`unwrap`/`expect`, the panic
+//!   macro family) directly or transitively;
+//! - **alloc-params** — which parameters flow into an allocation sink
+//!   (`with_capacity`, `resize`, `reserve`, `vec![_; n]`) without a
+//!   bound check inside the body.
+//!
+//! Resolution is by name, optionally narrowed by the receiver: a
+//! `self.m()` call inside `impl T` prefers the `m` defined on `T`, and
+//! `Type::m()` prefers `Type`'s. Everything else keeps the whole
+//! candidate set, and **propagation only crosses a call edge when the
+//! candidates agree unanimously** — the house invariant that ambiguity
+//! degrades to silence, interprocedurally. A function's own recursive
+//! candidates are excluded so self-recursion cannot veto a fact.
+//!
+//! Summaries deliberately ignore test code: a `join` in a test harness
+//! is not a serving-path effect.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::parser::{FnItem, SourceFile};
+
+/// Unambiguously blocking call names. `read`/`write` are handled
+/// separately (argument-carrying = I/O, zero-argument = possible lock
+/// acquisition); `join` is excluded because `Path::join` dominates
+/// real-world uses (ambiguity → silence).
+pub const BLOCKING_CALLS: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "park",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "send",
+    "sleep",
+    "sync_all",
+    "sync_data",
+    "wait",
+    "wait_timeout",
+    "write_all",
+    "write_fmt",
+];
+
+/// Macros that panic (shared with the panic-in-hot-path rule).
+pub const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// A function, addressed by file and item index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FnRef {
+    pub file: usize,
+    pub idx: usize,
+}
+
+/// Per-function effect summary.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    pub may_block: bool,
+    pub may_panic: bool,
+    /// Per ordered parameter (receiver excluded): flows to an
+    /// allocation sink with no visible bound check.
+    pub alloc_params: Vec<bool>,
+}
+
+#[derive(Clone, Debug)]
+struct FnMeta {
+    impl_type: Option<String>,
+    returns_guard: bool,
+    is_test: bool,
+    params: Vec<String>,
+    summary: Summary,
+}
+
+/// One call site inside a function body (build-time only).
+#[derive(Clone, Debug)]
+struct CallRecord {
+    name: String,
+    hint: Option<String>,
+    /// The call is a method call (`recv.name(...)`).
+    dotted: bool,
+    /// Top-level argument token ranges `[lo, hi)`.
+    args: Vec<(usize, usize)>,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    paths: BTreeMap<String, usize>,
+    by_name: BTreeMap<String, Vec<FnRef>>,
+    metas: Vec<Vec<FnMeta>>,
+}
+
+/// A blocking operation found inside a token range.
+#[derive(Clone, Debug)]
+pub struct BlockEvent {
+    /// Token index of the call name.
+    pub token: usize,
+    pub line: u32,
+    /// Human-readable description: the direct call name, or
+    /// `"name (may block)"` for an interprocedural hit.
+    pub what: String,
+    /// Argument token range `[lo, hi)` of the call, for consume-kill
+    /// checks (a guard moved *into* the blocking call is released by
+    /// it, condvar-style).
+    pub args: (usize, usize),
+}
+
+impl CallGraph {
+    /// Builds the graph and runs the summary fixpoint.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut paths = BTreeMap::new();
+        let mut by_name: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        let mut metas: Vec<Vec<FnMeta>> = Vec::new();
+        let mut calls: Vec<Vec<Vec<CallRecord>>> = Vec::new();
+
+        for (fi, file) in files.iter().enumerate() {
+            paths.insert(file.rel_path.clone(), fi);
+            let mut file_metas = Vec::new();
+            let mut file_calls = Vec::new();
+            for (idx, item) in file.fns.iter().enumerate() {
+                let is_test = item.is_test || file.in_test(item.body.0);
+                let params = file.param_names(item);
+                let summary = if is_test {
+                    Summary {
+                        alloc_params: vec![false; params.len()],
+                        ..Summary::default()
+                    }
+                } else {
+                    direct_summary(file, item, &params)
+                };
+                by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push(FnRef { file: fi, idx });
+                file_calls.push(if is_test {
+                    Vec::new()
+                } else {
+                    collect_calls(file, item)
+                });
+                file_metas.push(FnMeta {
+                    impl_type: item.impl_type.clone(),
+                    returns_guard: item.returns_guard,
+                    is_test,
+                    params,
+                    summary,
+                });
+            }
+            metas.push(file_metas);
+            calls.push(file_calls);
+        }
+
+        let mut graph = CallGraph {
+            paths,
+            by_name,
+            metas,
+        };
+        graph.fixpoint(files, &calls);
+        graph
+    }
+
+    /// Interprocedural propagation to fixpoint. Facts only ever turn
+    /// on, and a call edge only conducts when every (non-recursive)
+    /// candidate already carries the fact, so this is monotone.
+    fn fixpoint(&mut self, files: &[SourceFile], calls: &[Vec<Vec<CallRecord>>]) {
+        loop {
+            let mut changed = false;
+            for fi in 0..self.metas.len() {
+                for idx in 0..self.metas[fi].len() {
+                    let caller = FnRef { file: fi, idx };
+                    if self.metas[fi][idx].is_test {
+                        continue;
+                    }
+                    for call in &calls[fi][idx] {
+                        let rw = call.dotted && (call.name == "read" || call.name == "write");
+                        if rw && call.args.is_empty() {
+                            continue; // zero-arg: a lock acquisition
+                        }
+                        let cands =
+                            self.resolve(&call.name, call.hint.as_deref(), Some(caller));
+                        if cands.is_empty() {
+                            // `.read(buf)`/`.write(buf)` with no same-named
+                            // workspace fn: the std I/O traits.
+                            if rw && !self.metas[fi][idx].summary.may_block {
+                                self.metas[fi][idx].summary.may_block = true;
+                                changed = true;
+                            }
+                            continue;
+                        }
+                        let all_block = cands.iter().all(|&r| self.meta(r).summary.may_block);
+                        let all_panic = cands.iter().all(|&r| self.meta(r).summary.may_panic);
+                        if all_block && !self.metas[fi][idx].summary.may_block {
+                            self.metas[fi][idx].summary.may_block = true;
+                            changed = true;
+                        }
+                        if all_panic && !self.metas[fi][idx].summary.may_panic {
+                            self.metas[fi][idx].summary.may_panic = true;
+                            changed = true;
+                        }
+                        // Taint through positions: caller param p passed
+                        // as argument j of a callee whose param j
+                        // reaches an allocation sink.
+                        for (j, &(alo, ahi)) in call.args.iter().enumerate() {
+                            let all_alloc = cands.iter().all(|&r| {
+                                self.meta(r).summary.alloc_params.get(j).copied() == Some(true)
+                            });
+                            if !all_alloc {
+                                continue;
+                            }
+                            let file = &files[fi];
+                            let item = &file.fns[idx];
+                            for p in 0..self.metas[fi][idx].params.len() {
+                                let pname = self.metas[fi][idx].params[p].clone();
+                                if pname.is_empty()
+                                    || self.metas[fi][idx].summary.alloc_params[p]
+                                {
+                                    continue;
+                                }
+                                let mentioned = file.tokens[alo..ahi.min(file.tokens.len())]
+                                    .iter()
+                                    .any(|t| t.is_ident(&pname));
+                                if mentioned && !param_bounded(file, item, &pname) {
+                                    self.metas[fi][idx].summary.alloc_params[p] = true;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn meta(&self, r: FnRef) -> &FnMeta {
+        &self.metas[r.file][r.idx]
+    }
+
+    /// Index of a file by workspace-relative path.
+    pub fn file_index(&self, rel_path: &str) -> Option<usize> {
+        self.paths.get(rel_path).copied()
+    }
+
+    /// All candidates for `name`, narrowed to `hint`'s impl when that
+    /// leaves any, with `exclude` (the calling function) removed.
+    pub fn resolve(
+        &self,
+        name: &str,
+        hint: Option<&str>,
+        exclude: Option<FnRef>,
+    ) -> Vec<FnRef> {
+        let Some(all) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let mut cands: Vec<FnRef> = if let Some(h) = hint {
+            let narrowed: Vec<FnRef> = all
+                .iter()
+                .copied()
+                .filter(|&r| self.meta(r).impl_type.as_deref() == Some(h))
+                .collect();
+            if narrowed.is_empty() {
+                all.clone()
+            } else {
+                narrowed
+            }
+        } else {
+            all.clone()
+        };
+        if let Some(ex) = exclude {
+            cands.retain(|&r| r != ex);
+        }
+        cands
+    }
+
+    /// True when `name` (narrowed by `hint`) resolves to at least one
+    /// function and every candidate returns a guard type.
+    pub fn unanimously_guard_returning(
+        &self,
+        name: &str,
+        hint: Option<&str>,
+        exclude: Option<FnRef>,
+    ) -> bool {
+        let cands = self.resolve(name, hint, exclude);
+        !cands.is_empty() && cands.iter().all(|&r| self.meta(r).returns_guard)
+    }
+
+    /// The summary for one function.
+    pub fn summary(&self, r: FnRef) -> &Summary {
+        &self.meta(r).summary
+    }
+
+    /// True when every candidate's parameter `j` reaches an allocation
+    /// sink (and there is at least one candidate).
+    pub fn unanimously_allocates_param(
+        &self,
+        name: &str,
+        hint: Option<&str>,
+        exclude: Option<FnRef>,
+        j: usize,
+    ) -> bool {
+        let cands = self.resolve(name, hint, exclude);
+        !cands.is_empty()
+            && cands
+                .iter()
+                .all(|&r| self.meta(r).summary.alloc_params.get(j).copied() == Some(true))
+    }
+
+    /// Blocking operations in `file.tokens[lo..hi)`: direct blocking
+    /// calls plus calls to workspace functions that unanimously
+    /// may-block. `enclosing_impl` narrows `self.m()` resolution;
+    /// `caller` is excluded from candidate sets.
+    pub fn blocking_events(
+        &self,
+        file: &SourceFile,
+        lo: usize,
+        hi: usize,
+        enclosing_impl: Option<&str>,
+        caller: Option<FnRef>,
+    ) -> Vec<BlockEvent> {
+        let mut events = Vec::new();
+        let hi = hi.min(file.tokens.len());
+        for i in lo..hi {
+            let Some((name, open)) = call_at(file, i) else {
+                continue;
+            };
+            let args = (open + 1, file.close(open));
+            if let Some(direct) = direct_blocking(file, i) {
+                events.push(BlockEvent {
+                    token: i,
+                    line: file.tokens[i].line,
+                    what: direct.to_owned(),
+                    args,
+                });
+                continue;
+            }
+            let dotted = i > 0 && file.tokens[i - 1].is_punct('.');
+            let rw = dotted && (name == "read" || name == "write");
+            if rw && args.1 == args.0 {
+                continue; // zero-arg: a lock acquisition
+            }
+            let hint = call_hint(file, i, enclosing_impl);
+            let cands = self.resolve(&name, hint.as_deref(), caller);
+            if cands.is_empty() {
+                if rw {
+                    // No workspace fn named read/write: std I/O traits.
+                    events.push(BlockEvent {
+                        token: i,
+                        line: file.tokens[i].line,
+                        what: name,
+                        args,
+                    });
+                }
+                continue;
+            }
+            if cands.iter().all(|&r| self.meta(r).summary.may_block) {
+                events.push(BlockEvent {
+                    token: i,
+                    line: file.tokens[i].line,
+                    what: format!("{name} (may block)"),
+                    args,
+                });
+            }
+        }
+        events
+    }
+}
+
+/// If token `i` is a call name (`ident (`), the name and the `(` index.
+/// Macro invocations (`name !`) and `fn` definitions are not calls.
+pub fn call_at(file: &SourceFile, i: usize) -> Option<(String, usize)> {
+    let tok = file.tokens.get(i)?;
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    if !file.tokens.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    if matches!(
+        tok.text.as_str(),
+        "if" | "while" | "for" | "match" | "return" | "loop" | "in" | "as" | "move" | "else"
+    ) {
+        return None;
+    }
+    if i > 0 && file.tokens[i - 1].is_ident("fn") {
+        return None;
+    }
+    Some((tok.text.clone(), i + 1))
+}
+
+/// Receiver-based resolution hint for the call at `i`: `self.m()`
+/// narrows to the enclosing impl, `Type::m()` to `Type`.
+pub fn call_hint(file: &SourceFile, i: usize, enclosing_impl: Option<&str>) -> Option<String> {
+    if i >= 1 && file.tokens[i - 1].is_punct('.') {
+        if i >= 2 && file.tokens[i - 2].is_ident("self") {
+            return enclosing_impl.map(str::to_owned);
+        }
+        return None;
+    }
+    if i >= 3
+        && file.tokens[i - 1].is_punct(':')
+        && file.tokens[i - 2].is_punct(':')
+        && file.tokens[i - 3].kind == TokenKind::Ident
+        && file.tokens[i - 3]
+            .text
+            .chars()
+            .next()
+            .is_some_and(char::is_uppercase)
+    {
+        return Some(file.tokens[i - 3].text.clone());
+    }
+    None
+}
+
+/// A directly blocking call at token `i`, by [`BLOCKING_CALLS`] name.
+/// `.read(..)`/`.write(..)` are handled by the resolution-aware callers
+/// instead: argument-carrying forms are I/O *only when no workspace fn
+/// carries the name* (otherwise `Json::write(&mut String, ..)`-style
+/// in-memory writers would poison every caller), and zero-argument
+/// forms are lock acquisitions, never blocking.
+pub fn direct_blocking(file: &SourceFile, i: usize) -> Option<&'static str> {
+    let (name, _open) = call_at(file, i)?;
+    BLOCKING_CALLS.iter().find(|&&b| b == name).copied()
+}
+
+/// If token `i` starts an allocation sink, the token range `[lo, hi)`
+/// of its size expression: `with_capacity(n)`, `.resize(n, v)`,
+/// `.reserve(n)`, `vec![v; n]`.
+pub fn alloc_sink_size_span(file: &SourceFile, i: usize) -> Option<(usize, usize)> {
+    let tok = file.tokens.get(i)?;
+    if tok.is_ident("vec") && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        let open = i + 2;
+        if !file.tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+            return None;
+        }
+        let close = file.close(open);
+        // `vec![v; n]`: the size is everything after the top-level `;`.
+        let mut k = open + 1;
+        while k < close {
+            let t = &file.tokens[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                k = file.close(k) + 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                return Some((k + 1, close));
+            }
+            k += 1;
+        }
+        return None;
+    }
+    let (name, open) = call_at(file, i)?;
+    match name.as_str() {
+        "with_capacity" => Some((open + 1, file.close(open))),
+        "resize" | "reserve" if i > 0 && file.tokens[i - 1].is_punct('.') => {
+            // First top-level argument only.
+            let close = file.close(open);
+            let mut k = open + 1;
+            while k < close {
+                let t = &file.tokens[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    k = file.close(k) + 1;
+                    continue;
+                }
+                if t.is_punct(',') {
+                    return Some((open + 1, k));
+                }
+                k += 1;
+            }
+            Some((open + 1, close))
+        }
+        _ => None,
+    }
+}
+
+/// Very coarse bound-check detection for summaries: the body compares
+/// `name` against something or clamps it with `.min`/`.clamp`.
+fn param_bounded(file: &SourceFile, item: &FnItem, name: &str) -> bool {
+    let (lo, hi) = item.body;
+    let toks = &file.tokens[lo..=hi.min(file.tokens.len() - 1)];
+    let compared = toks.windows(2).any(|w| {
+        (w[0].is_ident(name) && (w[1].is_punct('<') || w[1].is_punct('>')))
+            || ((w[0].is_punct('<') || w[0].is_punct('>')) && w[1].is_ident(name))
+    });
+    compared
+        || toks.windows(3).any(|v| {
+            v[0].is_ident(name)
+                && v[1].is_punct('.')
+                && (v[2].is_ident("min") || v[2].is_ident("clamp"))
+        })
+}
+
+/// Direct (intraprocedural) effect summary for one function.
+fn direct_summary(file: &SourceFile, item: &FnItem, params: &[String]) -> Summary {
+    let (lo, hi) = item.body;
+    let mut s = Summary {
+        alloc_params: vec![false; params.len()],
+        ..Summary::default()
+    };
+    for i in lo + 1..hi {
+        if direct_blocking(file, i).is_some() {
+            s.may_block = true;
+        }
+        let tok = &file.tokens[i];
+        if tok.is_punct('.')
+            && file
+                .tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && file.tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            s.may_panic = true;
+        }
+        if tok.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            s.may_panic = true;
+        }
+        if let Some((alo, ahi)) = alloc_sink_size_span(file, i) {
+            for (p, pname) in params.iter().enumerate() {
+                if pname.is_empty() || s.alloc_params[p] {
+                    continue;
+                }
+                let mentioned = file.tokens[alo..ahi.min(file.tokens.len())]
+                    .iter()
+                    .any(|t| t.is_ident(pname));
+                if mentioned && !param_bounded(file, item, pname) {
+                    s.alloc_params[p] = true;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Top-level argument token ranges `[lo, hi)` of the call whose `(` is
+/// at `open`.
+pub fn call_args(file: &SourceFile, open: usize) -> Vec<(usize, usize)> {
+    let close = file.close(open);
+    let mut args = Vec::new();
+    let mut start = open + 1;
+    let mut k = open + 1;
+    while k < close {
+        let t = &file.tokens[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            k = file.close(k) + 1;
+            continue;
+        }
+        if t.is_punct(',') {
+            args.push((start, k));
+            start = k + 1;
+        }
+        k += 1;
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    args
+}
+
+/// All call sites in `item`'s body with their argument ranges.
+fn collect_calls(file: &SourceFile, item: &FnItem) -> Vec<CallRecord> {
+    let (lo, hi) = item.body;
+    let mut out = Vec::new();
+    for i in lo + 1..hi {
+        let Some((name, open)) = call_at(file, i) else {
+            continue;
+        };
+        out.push(CallRecord {
+            name,
+            hint: call_hint(file, i, item.impl_type.as_deref()),
+            dotted: i > 0 && file.tokens[i - 1].is_punct('.'),
+            args: call_args(file, open),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(sources: &[(&str, &str)]) -> Vec<SourceFile> {
+        sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p, s))
+            .collect()
+    }
+
+    fn find(files: &[SourceFile], name: &str) -> FnRef {
+        for (fi, f) in files.iter().enumerate() {
+            if let Some(idx) = f.fns.iter().position(|x| x.name == name) {
+                return FnRef { file: fi, idx };
+            }
+        }
+        panic!("no fn {name}");
+    }
+
+    #[test]
+    fn direct_blocking_propagates_through_calls() {
+        let files = parse_all(&[(
+            "a.rs",
+            "fn low(f: &mut std::fs::File) { f.sync_data().ok(); }\n\
+             fn mid(f: &mut std::fs::File) { low(f); }\n\
+             fn high(f: &mut std::fs::File) { mid(f); }\n\
+             fn pure() -> u32 { 1 + 1 }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(g.summary(find(&files, "low")).may_block);
+        assert!(g.summary(find(&files, "mid")).may_block);
+        assert!(g.summary(find(&files, "high")).may_block);
+        assert!(!g.summary(find(&files, "pure")).may_block);
+    }
+
+    #[test]
+    fn ambiguous_candidates_block_propagation() {
+        // Two `sink`s: one blocks, one doesn't — a caller of plain
+        // `sink()` must stay clean (ambiguity degrades to silence).
+        let files = parse_all(&[
+            (
+                "a.rs",
+                "struct A;\nimpl A { fn sink(&self) { std::thread::sleep(d); } }\n",
+            ),
+            (
+                "b.rs",
+                "struct B;\nimpl B { fn sink(&self) { let x = 1; } }\n\
+                 fn caller(v: &B) { v.sink(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(g.summary(find(&files, "caller")).may_block == false);
+    }
+
+    #[test]
+    fn self_calls_narrow_to_the_enclosing_impl() {
+        // `self.sink()` inside impl B resolves to B::sink only, so the
+        // blocking A::sink does not pollute it.
+        let files = parse_all(&[
+            (
+                "a.rs",
+                "struct A;\nimpl A { fn sink(&self) { std::thread::sleep(d); } }\n",
+            ),
+            (
+                "b.rs",
+                "struct B;\nimpl B {\n  fn sink(&self) { let x = 1; }\n  fn caller(&self) { self.sink(); }\n}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        assert!(!g.summary(find(&files, "caller")).may_block);
+    }
+
+    #[test]
+    fn may_panic_travels_interprocedurally() {
+        let files = parse_all(&[(
+            "a.rs",
+            "fn low(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             fn high(x: Option<u8>) -> u8 { low(x) }\n\
+             fn safe(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(g.summary(find(&files, "low")).may_panic);
+        assert!(g.summary(find(&files, "high")).may_panic);
+        assert!(!g.summary(find(&files, "safe")).may_panic);
+    }
+
+    #[test]
+    fn alloc_params_found_and_propagated() {
+        let files = parse_all(&[(
+            "a.rs",
+            "fn buf(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n\
+             fn wrapped(m: usize) -> Vec<u8> { buf(m) }\n\
+             fn bounded(n: usize) -> Vec<u8> { if n > 4096 { return Vec::new(); } Vec::with_capacity(n) }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert_eq!(g.summary(find(&files, "buf")).alloc_params, vec![true]);
+        assert_eq!(g.summary(find(&files, "wrapped")).alloc_params, vec![true]);
+        assert_eq!(g.summary(find(&files, "bounded")).alloc_params, vec![false]);
+    }
+
+    #[test]
+    fn test_code_contributes_no_summaries() {
+        let files = parse_all(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { std::thread::sleep(d); }\n}\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(!g.summary(find(&files, "t")).may_block);
+    }
+
+    #[test]
+    fn blocking_events_cover_direct_and_interprocedural() {
+        let files = parse_all(&[(
+            "a.rs",
+            "fn low(f: &mut std::fs::File) { f.sync_data().ok(); }\n\
+             fn user(f: &mut std::fs::File) { low(f); f.write_all(b\"x\").ok(); }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        let user = files[0].fns.iter().find(|f| f.name == "user").unwrap();
+        let events = g.blocking_events(&files[0], user.body.0, user.body.1, None, None);
+        let whats: Vec<&str> = events.iter().map(|e| e.what.as_str()).collect();
+        assert!(whats.contains(&"low (may block)"), "events: {whats:?}");
+        assert!(whats.contains(&"write_all"), "events: {whats:?}");
+    }
+
+    #[test]
+    fn zero_arg_read_write_are_not_blocking() {
+        let files = parse_all(&[(
+            "a.rs",
+            "fn peek(l: &std::sync::RwLock<u8>) { let g = l.read(); let _ = g; }\n",
+        )]);
+        let g = CallGraph::build(&files);
+        assert!(!g.summary(find(&files, "peek")).may_block);
+    }
+}

@@ -1,0 +1,792 @@
+//! Statement-level control-flow graphs over [`FnItem`] bodies.
+//!
+//! The builder walks a function body's token range and produces one
+//! node per statement-like region: plain statements, `if`/`match`
+//! conditions, loop heads. Edges carry the branch shape (`Then`/`Else`
+//! for conditions, `Back` for loop back-edges, `Try` for the implicit
+//! early return of `?` and `let ... else`), so dataflow analyses can be
+//! branch- and path-sensitive without re-deriving structure from
+//! tokens.
+//!
+//! Approximations, consistent with the parser's philosophy (ambiguity
+//! degrades toward *not* flagging):
+//!
+//! - compound expressions embedded mid-statement (`let x = if c { a }
+//!   else { b };`) are one opaque node — their inner control flow does
+//!   not split paths;
+//! - closure bodies are part of whichever statement contains them; a
+//!   `?` inside a closure is conservatively treated as an early exit of
+//!   the enclosing function (over-approximating exits only adds paths,
+//!   which may-analyses tolerate);
+//! - patterns are not modeled; `match` arms all hang off the scrutinee
+//!   node with `Then` edges.
+//!
+//! Every lexical block's token range is recorded in [`Cfg::blocks`], so
+//! liveness-style analyses can kill facts whose binding scope does not
+//! contain the current node (the scope-end kill point), without
+//! dedicated scope nodes on every path.
+
+use crate::parser::{FnItem, SourceFile};
+
+/// Why an edge exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Straight-line fallthrough (also: edges out of joined branches).
+    Fall,
+    /// Condition held (`if`/`while`/`for` body entry, `match` arms).
+    Then,
+    /// Condition failed (`else` branch or loop exit).
+    Else,
+    /// Loop back-edge to the head.
+    Back,
+    /// Implicit early return: `?` propagation or a diverging
+    /// `let ... else` block. The facts on this edge are the *input*
+    /// facts of the source node — the statement's binding never
+    /// completed.
+    Try,
+}
+
+/// What a node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic function entry (empty token span).
+    Entry,
+    /// Synthetic function exit: every `return`, `?` edge and the final
+    /// fallthrough converge here.
+    Exit,
+    /// A plain statement (or opaque statement-like region).
+    Stmt,
+    /// A branching condition: `if`/`while`/`for` head or `match`
+    /// scrutinee. Successor edges are `Then`/`Else` (`match`: one
+    /// `Then` per arm).
+    Cond,
+    /// A bare `loop` head (no condition; body entered on `Fall`).
+    LoopHead,
+}
+
+/// One CFG node over the token range `span` (`[lo, hi)`).
+#[derive(Clone, Debug)]
+pub struct CfgNode {
+    pub kind: NodeKind,
+    /// Token range `[lo, hi)` in the owning [`SourceFile`].
+    pub span: (usize, usize),
+    /// Source line of the first token (Entry/Exit: of the brace).
+    pub line: u32,
+    pub succs: Vec<(usize, EdgeKind)>,
+    pub preds: Vec<usize>,
+}
+
+/// A control-flow graph for one function body.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub nodes: Vec<CfgNode>,
+    pub entry: usize,
+    pub exit: usize,
+    /// Every lexical block `{...}` in the body as `(open, close)` token
+    /// indices, outermost (the body itself) first.
+    pub blocks: Vec<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `item`'s body.
+    pub fn build(file: &SourceFile, item: &FnItem) -> Cfg {
+        let mut b = Builder {
+            file,
+            nodes: Vec::new(),
+            blocks: Vec::new(),
+            exit: 0,
+        };
+        let entry = b.node(NodeKind::Entry, (item.body.0, item.body.0));
+        let exit = b.node(NodeKind::Exit, (item.body.1, item.body.1));
+        b.exit = exit;
+        let mut loops = Vec::new();
+        let out = b.block(
+            item.body.0,
+            item.body.1,
+            vec![(entry, EdgeKind::Fall)],
+            &mut loops,
+        );
+        for (n, k) in out {
+            b.wire(n, k, exit);
+        }
+        // The walker only records blocks it descends into; brace pairs
+        // inside statements (expression blocks, match arms, closure
+        // bodies) are lexical scopes too, and scope-sensitive clients
+        // (guard kills) need every one of them.
+        let mut blocks = b.blocks;
+        let mut i = item.body.0;
+        while i < item.body.1 {
+            if file.tokens[i].is_punct('{') {
+                let pair = (i, file.close(i));
+                if !blocks.contains(&pair) {
+                    blocks.push(pair);
+                }
+            }
+            i += 1;
+        }
+        Cfg {
+            nodes: b.nodes,
+            entry,
+            exit,
+            blocks,
+        }
+    }
+
+    /// The innermost lexical block containing token index `pos`, or the
+    /// function body when none is narrower.
+    pub fn enclosing_block(&self, pos: usize) -> (usize, usize) {
+        let mut best = self.blocks.first().copied().unwrap_or((0, usize::MAX));
+        for &(open, close) in &self.blocks {
+            if open <= pos && pos <= close && (close - open) < (best.1.saturating_sub(best.0)) {
+                best = (open, close);
+            }
+        }
+        best
+    }
+
+    /// True when `block` (an entry of [`Cfg::blocks`]) contains the
+    /// whole span of node `n` — i.e. a binding made in `block` is still
+    /// in scope at `n`.
+    pub fn block_contains(&self, block: (usize, usize), n: usize) -> bool {
+        let span = self.nodes[n].span;
+        // Entry/Exit sit on the body braces; treat them as inside the
+        // body block only.
+        block.0 <= span.0 && span.1 <= block.1 + 1
+    }
+
+    /// Node indices in deterministic (creation) order.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        0..self.nodes.len()
+    }
+}
+
+/// An enclosing loop during construction: where `continue` goes, where
+/// `break` edges collect.
+struct LoopCtx {
+    label: Option<String>,
+    head: usize,
+    breaks: Vec<(usize, EdgeKind)>,
+}
+
+struct Builder<'a> {
+    file: &'a SourceFile,
+    nodes: Vec<CfgNode>,
+    blocks: Vec<(usize, usize)>,
+    exit: usize,
+}
+
+/// A frontier: dangling out-edges waiting for their target node.
+type Frontier = Vec<(usize, EdgeKind)>;
+
+impl<'a> Builder<'a> {
+    fn node(&mut self, kind: NodeKind, span: (usize, usize)) -> usize {
+        let line = self
+            .file
+            .tokens
+            .get(span.0)
+            .map(|t| t.line)
+            .unwrap_or(0);
+        self.nodes.push(CfgNode {
+            kind,
+            span,
+            line,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn wire(&mut self, from: usize, kind: EdgeKind, to: usize) {
+        self.nodes[from].succs.push((to, kind));
+        self.nodes[to].preds.push(from);
+    }
+
+    fn wire_frontier(&mut self, frontier: Frontier, to: usize) {
+        for (n, k) in frontier {
+            self.wire(n, k, to);
+        }
+    }
+
+    /// First `{` at this nesting level in `[from, limit)`, skipping
+    /// `(`/`[` groups (closures and calls inside conditions).
+    fn next_brace(&self, mut j: usize, limit: usize) -> Option<usize> {
+        while j < limit {
+            let tok = &self.file.tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') {
+                j = self.file.close(j) + 1;
+                continue;
+            }
+            if tok.is_punct('{') {
+                return Some(j);
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// End of a simple statement starting at `i`: the index just past
+    /// its `;`, or `limit` for a trailing expression.
+    fn stmt_limit(&self, mut j: usize, limit: usize) -> usize {
+        while j < limit {
+            let tok = &self.file.tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                j = self.file.close(j) + 1;
+                continue;
+            }
+            if tok.is_punct(';') {
+                return j + 1;
+            }
+            j += 1;
+        }
+        limit
+    }
+
+    /// Builds the statements of the block `(open, close)` onto
+    /// `frontier`; returns the block's fallthrough frontier.
+    fn block(
+        &mut self,
+        open: usize,
+        close: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> Frontier {
+        self.blocks.push((open, close));
+        let mut frontier = frontier;
+        let mut i = open + 1;
+        while i < close {
+            let tok = &self.file.tokens[i];
+            // Attributes on statements/items: skip `#[...]`.
+            if tok.is_punct('#') && self.file.tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                i = self.file.close(i + 1) + 1;
+                continue;
+            }
+            if tok.is_punct(';') {
+                i += 1;
+                continue;
+            }
+            // Bare nested block `{ ... }` (also `unsafe { ... }`).
+            if tok.is_punct('{') {
+                let c = self.file.close(i);
+                frontier = self.block(i, c, frontier, loops);
+                i = c + 1;
+                continue;
+            }
+            if tok.is_ident("unsafe")
+                && self.file.tokens.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                i += 1;
+                continue;
+            }
+            // Loop labels: `'name: loop/while/for`.
+            if tok.kind == crate::lexer::TokenKind::Lifetime
+                && self.file.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && self
+                    .file
+                    .tokens
+                    .get(i + 2)
+                    .is_some_and(|t| t.is_any_ident(&["loop", "while", "for"]))
+            {
+                let label = Some(tok.text.clone());
+                let (f, next) = self.loop_like(i + 2, close, frontier, loops, label);
+                frontier = f;
+                i = next;
+                continue;
+            }
+            // Items nested in bodies: build no nodes here; nested fns
+            // get their own FnItem and CFG.
+            if tok.is_any_ident(&["fn", "struct", "enum", "trait", "impl", "mod", "macro_rules"]) {
+                match self.next_brace(i, close) {
+                    Some(b) => i = self.file.close(b) + 1,
+                    None => i = self.stmt_limit(i, close),
+                }
+                continue;
+            }
+            if tok.is_any_ident(&["use", "type", "static", "const"])
+                && !self
+                    .file
+                    .tokens
+                    .get(i + 1)
+                    .is_some_and(|t| t.is_punct('{'))
+            {
+                // `const { ... }` blocks fall through to the bare-block
+                // case; declarations end at `;`.
+                i = self.stmt_limit(i, close);
+                continue;
+            }
+            if tok.is_ident("if") {
+                let (f, next) = self.if_chain(i, close, frontier, loops);
+                frontier = f;
+                i = next;
+                continue;
+            }
+            if tok.is_any_ident(&["while", "for", "loop"]) {
+                let (f, next) = self.loop_like(i, close, frontier, loops, None);
+                frontier = f;
+                i = next;
+                continue;
+            }
+            if tok.is_ident("match") {
+                let (f, next) = self.match_stmt(i, close, frontier, loops);
+                frontier = f;
+                i = next;
+                continue;
+            }
+            // Simple statement (covers `return`/`break`/`continue`).
+            let end = self.stmt_limit(i, close);
+            frontier = self.simple_span(i, end, frontier, loops);
+            i = end;
+        }
+        frontier
+    }
+
+    /// One statement-like token span `[lo, hi)`: builds its node and
+    /// resolves `return`/`break`/`continue`/`?`/diverging `let-else`.
+    fn simple_span(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> Frontier {
+        let n = self.node(NodeKind::Stmt, (lo, hi));
+        self.wire_frontier(frontier, n);
+        let first = &self.file.tokens[lo];
+        if first.is_ident("return") {
+            self.wire(n, EdgeKind::Fall, self.exit);
+            return Vec::new();
+        }
+        if first.is_ident("break") || first.is_ident("continue") {
+            let label = self
+                .file
+                .tokens
+                .get(lo + 1)
+                .filter(|t| t.kind == crate::lexer::TokenKind::Lifetime)
+                .map(|t| t.text.clone());
+            let target = match &label {
+                Some(l) => loops.iter_mut().rev().find(|c| c.label.as_deref() == Some(l)),
+                None => loops.last_mut(),
+            };
+            if let Some(ctx) = target {
+                if first.is_ident("break") {
+                    ctx.breaks.push((n, EdgeKind::Fall));
+                } else {
+                    let head = ctx.head;
+                    self.wire(n, EdgeKind::Back, head);
+                }
+                return Vec::new();
+            }
+            // No enclosing loop (break inside a misparsed closure):
+            // degrade to fallthrough.
+            return vec![(n, EdgeKind::Fall)];
+        }
+        self.try_edges(n, lo, hi, loops);
+        vec![(n, EdgeKind::Fall)]
+    }
+
+    /// Adds a `Try` edge for `?` anywhere in `[lo, hi)`, and resolves a
+    /// diverging `let ... else { return/break/continue }` tail.
+    fn try_edges(&mut self, n: usize, lo: usize, hi: usize, loops: &mut Vec<LoopCtx>) {
+        let hi = hi.min(self.file.tokens.len());
+        if self.file.tokens[lo..hi].iter().any(|t| t.is_punct('?')) {
+            self.wire(n, EdgeKind::Try, self.exit);
+        }
+        // let-else: `else {` at statement level with a diverging block.
+        let mut j = lo;
+        while j + 1 < hi {
+            let tok = &self.file.tokens[j];
+            if tok.is_punct('(') || tok.is_punct('[') {
+                j = self.file.close(j) + 1;
+                continue;
+            }
+            if tok.is_ident("else") && self.file.tokens[j + 1].is_punct('{') {
+                let open = j + 1;
+                let close = self.file.close(open);
+                let body = &self.file.tokens[open + 1..close.min(hi)];
+                if body.iter().any(|t| t.is_ident("return")) {
+                    self.wire(n, EdgeKind::Try, self.exit);
+                } else if body.iter().any(|t| t.is_ident("break")) {
+                    if let Some(ctx) = loops.last_mut() {
+                        ctx.breaks.push((n, EdgeKind::Try));
+                    }
+                } else if body.iter().any(|t| t.is_ident("continue")) {
+                    if let Some(ctx) = loops.last() {
+                        let head = ctx.head;
+                        self.wire(n, EdgeKind::Try, head);
+                    }
+                }
+                j = close + 1;
+                continue;
+            }
+            if tok.is_punct('{') {
+                j = self.file.close(j) + 1;
+                continue;
+            }
+            j += 1;
+        }
+    }
+
+    /// `if cond { ... } [else if ... ]* [else { ... }]`; returns the
+    /// join frontier and the index just past the chain.
+    fn if_chain(
+        &mut self,
+        i: usize,
+        limit: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> (Frontier, usize) {
+        let Some(then_open) = self.next_brace(i + 1, limit) else {
+            // Malformed; treat as a simple statement.
+            let end = self.stmt_limit(i, limit);
+            return (self.simple_span(i, end, frontier, loops), end);
+        };
+        let cond = self.node(NodeKind::Cond, (i, then_open));
+        self.wire_frontier(frontier, cond);
+        self.try_edges(cond, i, then_open, loops);
+        let then_close = self.file.close(then_open);
+        let mut out = self.block(then_open, then_close, vec![(cond, EdgeKind::Then)], loops);
+        let mut j = then_close + 1;
+        if self.file.tokens.get(j).is_some_and(|t| t.is_ident("else")) {
+            let next = self.file.tokens.get(j + 1);
+            if next.is_some_and(|t| t.is_ident("if")) {
+                let (else_out, nj) =
+                    self.if_chain_with(j + 1, limit, vec![(cond, EdgeKind::Else)], loops);
+                out.extend(else_out);
+                j = nj;
+            } else if next.is_some_and(|t| t.is_punct('{')) {
+                let eclose = self.file.close(j + 1);
+                out.extend(self.block(j + 1, eclose, vec![(cond, EdgeKind::Else)], loops));
+                j = eclose + 1;
+            } else {
+                out.push((cond, EdgeKind::Else));
+                j += 1;
+            }
+        } else {
+            out.push((cond, EdgeKind::Else));
+        }
+        (out, j)
+    }
+
+    /// `if_chain` continuation for `else if`, keeping the incoming
+    /// frontier explicit.
+    fn if_chain_with(
+        &mut self,
+        i: usize,
+        limit: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> (Frontier, usize) {
+        self.if_chain(i, limit, frontier, loops)
+    }
+
+    /// `while`/`for`/`loop` starting at `i`.
+    fn loop_like(
+        &mut self,
+        i: usize,
+        limit: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+        label: Option<String>,
+    ) -> (Frontier, usize) {
+        let keyword = self.file.tokens[i].text.clone();
+        let Some(body_open) = self.next_brace(i + 1, limit) else {
+            let end = self.stmt_limit(i, limit);
+            return (self.simple_span(i, end, frontier, loops), end);
+        };
+        let head = if keyword == "loop" {
+            self.node(NodeKind::LoopHead, (i, i + 1))
+        } else {
+            self.node(NodeKind::Cond, (i, body_open))
+        };
+        self.wire_frontier(frontier, head);
+        self.try_edges(head, i, body_open, loops);
+        let body_close = self.file.close(body_open);
+        let entry_kind = if keyword == "loop" {
+            EdgeKind::Fall
+        } else {
+            EdgeKind::Then
+        };
+        loops.push(LoopCtx {
+            label,
+            head,
+            breaks: Vec::new(),
+        });
+        let body_out = self.block(body_open, body_close, vec![(head, entry_kind)], loops);
+        for (n, _) in body_out {
+            self.wire(n, EdgeKind::Back, head);
+        }
+        let ctx = loops.pop().expect("loop ctx pushed above");
+        let mut out = ctx.breaks;
+        if keyword != "loop" {
+            out.push((head, EdgeKind::Else));
+        }
+        (out, body_close + 1)
+    }
+
+    /// `match scrutinee { arms }` starting at `i`.
+    fn match_stmt(
+        &mut self,
+        i: usize,
+        limit: usize,
+        frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> (Frontier, usize) {
+        let Some(body_open) = self.next_brace(i + 1, limit) else {
+            let end = self.stmt_limit(i, limit);
+            return (self.simple_span(i, end, frontier, loops), end);
+        };
+        let scrut = self.node(NodeKind::Cond, (i, body_open));
+        self.wire_frontier(frontier, scrut);
+        self.try_edges(scrut, i, body_open, loops);
+        let mclose = self.file.close(body_open);
+        let mut out: Frontier = Vec::new();
+        let mut j = body_open + 1;
+        let mut any_arm = false;
+        while j < mclose {
+            // Find the arm's `=>` at this level.
+            let arrow = {
+                let mut k = j;
+                loop {
+                    if k + 1 >= mclose {
+                        break None;
+                    }
+                    let tok = &self.file.tokens[k];
+                    if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                        k = self.file.close(k) + 1;
+                        continue;
+                    }
+                    if tok.is_punct('=') && self.file.tokens[k + 1].is_punct('>') {
+                        break Some(k);
+                    }
+                    k += 1;
+                }
+            };
+            let Some(arrow) = arrow else { break };
+            any_arm = true;
+            let body_start = arrow + 2;
+            if self
+                .file
+                .tokens
+                .get(body_start)
+                .is_some_and(|t| t.is_punct('{'))
+            {
+                let bclose = self.file.close(body_start);
+                out.extend(self.block(body_start, bclose, vec![(scrut, EdgeKind::Then)], loops));
+                j = bclose + 1;
+            } else {
+                // Expression arm: to the `,` at this level or the end.
+                let mut k = body_start;
+                while k < mclose {
+                    let tok = &self.file.tokens[k];
+                    if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                        k = self.file.close(k) + 1;
+                        continue;
+                    }
+                    if tok.is_punct(',') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if body_start < k.min(mclose) {
+                    out.extend(self.simple_span(
+                        body_start,
+                        k.min(mclose),
+                        vec![(scrut, EdgeKind::Then)],
+                        loops,
+                    ));
+                }
+                j = k + 1;
+            }
+            // Skip a trailing comma after a block arm.
+            if self.file.tokens.get(j).is_some_and(|t| t.is_punct(',')) {
+                j += 1;
+            }
+        }
+        if !any_arm {
+            out.push((scrut, EdgeKind::Fall));
+        }
+        // A `;` after the match closes the statement.
+        let mut next = mclose + 1;
+        if self.file.tokens.get(next).is_some_and(|t| t.is_punct(';')) {
+            next += 1;
+        }
+        (out, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(body: &str) -> (SourceFile, Cfg) {
+        let src = format!("fn f() -> Result<(), ()> {{\n{body}\n}}\n");
+        let file = SourceFile::parse("x.rs", &src);
+        let item = file.fns[0].clone();
+        let cfg = Cfg::build(&file, &item);
+        (file, cfg)
+    }
+
+    fn count_kind(cfg: &Cfg, kind: NodeKind) -> usize {
+        cfg.nodes.iter().filter(|n| n.kind == kind).count()
+    }
+
+    #[test]
+    fn straight_line_is_a_chain() {
+        let (_, cfg) = cfg_of("let a = 1;\nlet b = a + 1;\nOk(())");
+        assert_eq!(count_kind(&cfg, NodeKind::Stmt), 3);
+        // Entry has exactly one successor; exit one predecessor.
+        assert_eq!(cfg.nodes[cfg.entry].succs.len(), 1);
+        assert_eq!(cfg.nodes[cfg.exit].preds.len(), 1);
+    }
+
+    #[test]
+    fn if_else_joins() {
+        let (_, cfg) = cfg_of("let a = 1;\nif a > 0 { f(); } else { g(); }\nOk(())");
+        let cond = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Cond)
+            .unwrap();
+        let kinds: Vec<EdgeKind> = cfg.nodes[cond].succs.iter().map(|&(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::Then));
+        assert!(kinds.contains(&EdgeKind::Else));
+        // The trailing Ok(()) joins both branches.
+        let last_stmt = cfg
+            .indices()
+            .filter(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .last()
+            .unwrap();
+        assert_eq!(cfg.nodes[last_stmt].preds.len(), 2);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let (_, cfg) = cfg_of("if x { f(); }\nOk(())");
+        let cond = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Cond)
+            .unwrap();
+        assert!(cfg.nodes[cond]
+            .succs
+            .iter()
+            .any(|&(_, k)| k == EdgeKind::Else));
+    }
+
+    #[test]
+    fn while_has_back_edge_and_exit() {
+        let (_, cfg) = cfg_of("while x() {\n  step();\n}\nOk(())");
+        let head = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Cond)
+            .unwrap();
+        assert!(cfg
+            .indices()
+            .any(|n| cfg.nodes[n].succs.iter().any(|&(t, k)| t == head && k == EdgeKind::Back)));
+        assert!(cfg.nodes[head]
+            .succs
+            .iter()
+            .any(|&(_, k)| k == EdgeKind::Else));
+    }
+
+    #[test]
+    fn bare_loop_without_break_never_reaches_tail() {
+        let (_, cfg) = cfg_of("loop {\n  step();\n}\nunreachable_tail();");
+        let head = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::LoopHead)
+            .unwrap();
+        assert!(cfg.nodes[head].succs.iter().any(|&(_, k)| k == EdgeKind::Fall));
+        // The statement after the loop exists but has no predecessors.
+        let tail = cfg
+            .indices()
+            .filter(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .last()
+            .unwrap();
+        assert!(cfg.nodes[tail].preds.is_empty());
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let (_, cfg) = cfg_of("loop {\n  if done() { break; }\n  step();\n}\nOk(())");
+        // The break node's successor is the statement after the loop.
+        let tail = cfg
+            .indices()
+            .filter(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .last()
+            .unwrap();
+        assert!(
+            !cfg.nodes[tail].preds.is_empty(),
+            "break must reach the loop tail"
+        );
+    }
+
+    #[test]
+    fn early_return_edges_to_exit() {
+        let (_, cfg) = cfg_of("if bad() { return Err(()); }\nOk(())");
+        let returning = cfg
+            .indices()
+            .find(|&n| {
+                cfg.nodes[n].kind == NodeKind::Stmt
+                    && cfg.nodes[n].succs.iter().any(|&(t, _)| t == cfg.exit)
+            })
+            .unwrap();
+        // Return produces no fallthrough: its only successor is exit.
+        assert_eq!(cfg.nodes[returning].succs.len(), 1);
+        // Exit still has two predecessors: the return and the tail.
+        assert_eq!(cfg.nodes[cfg.exit].preds.len(), 2);
+    }
+
+    #[test]
+    fn question_mark_adds_try_edge() {
+        let (_, cfg) = cfg_of("let x = fallible()?;\nOk(())");
+        let stmt = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .unwrap();
+        let kinds: Vec<EdgeKind> = cfg.nodes[stmt].succs.iter().map(|&(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::Try), "? produces a Try edge");
+        assert!(kinds.contains(&EdgeKind::Fall), "? keeps the fallthrough");
+    }
+
+    #[test]
+    fn match_arms_hang_off_scrutinee() {
+        let (_, cfg) = cfg_of("match x {\n  Some(v) => use_it(v),\n  None => return Err(()),\n}\nOk(())");
+        let scrut = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Cond)
+            .unwrap();
+        let then_edges = cfg.nodes[scrut]
+            .succs
+            .iter()
+            .filter(|&&(_, k)| k == EdgeKind::Then)
+            .count();
+        assert_eq!(then_edges, 2, "one Then edge per arm");
+    }
+
+    #[test]
+    fn blocks_record_scopes() {
+        let (file, cfg) = cfg_of("let a = 1;\n{\n  let g = lock();\n  use_it(g);\n}\nafter();");
+        assert_eq!(cfg.blocks.len(), 2, "body + nested block");
+        let g_tok = file.tokens.iter().position(|t| t.is_ident("g")).unwrap();
+        let inner = cfg.enclosing_block(g_tok);
+        assert!(inner.0 > cfg.blocks[0].0, "inner block starts after body");
+        // The `after()` node is outside the inner block.
+        let after = cfg
+            .indices()
+            .filter(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .last()
+            .unwrap();
+        assert!(!cfg.block_contains(inner, after));
+    }
+
+    #[test]
+    fn let_else_return_diverges_via_try() {
+        let (_, cfg) = cfg_of("let Some(x) = y else { return Err(()); };\nOk(())");
+        let stmt = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .unwrap();
+        assert!(cfg.nodes[stmt]
+            .succs
+            .iter()
+            .any(|&(t, k)| t == cfg.exit && k == EdgeKind::Try));
+    }
+}

@@ -1,0 +1,297 @@
+//! A generic worklist dataflow solver over [`Cfg`]s.
+//!
+//! Analyses implement [`Analysis`]: a fact type forming a small
+//! lattice, a merge (the lattice join/meet), a per-node transfer
+//! function, and optionally a per-edge transfer so branch edges can
+//! refine facts (`Then`/`Else` sanitization) and `Try` edges can
+//! forward the *input* fact (a `?`-failing statement never completed
+//! its binding).
+//!
+//! The solver iterates to a fixpoint with a simple FIFO worklist.
+//! Termination relies on facts being drawn from a finite lattice and
+//! `merge` being monotone — true for the bitset and small-map facts the
+//! rules use.
+
+use crate::cfg::{Cfg, EdgeKind};
+
+/// Direction of propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow entry → exit; `IN[n]` merges predecessors' `OUT`.
+    Forward,
+    /// Facts flow exit → entry; `IN[n]` merges successors' `OUT`
+    /// (with `IN`/`OUT` read in the direction of travel).
+    Backward,
+}
+
+/// One dataflow analysis over a CFG.
+pub trait Analysis {
+    type Fact: Clone + PartialEq;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    /// The fact entering the graph (at entry for forward analyses, at
+    /// exit for backward ones).
+    fn boundary(&self) -> Self::Fact;
+
+    /// The initial fact at every other node before propagation — the
+    /// lattice element `merge` treats as neutral (⊥ for may/union
+    /// analyses, ⊤/universe for must/intersection analyses).
+    fn init(&self) -> Self::Fact;
+
+    /// Lattice join/meet: fold `from` into `into`.
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact);
+
+    /// Per-node transfer: the fact after executing `node` given the
+    /// fact before it.
+    fn transfer(&self, cfg: &Cfg, node: usize, fact: &Self::Fact) -> Self::Fact;
+
+    /// Per-edge transfer: the fact carried along `from → to`. Receives
+    /// both the node's input and output facts; the default forwards the
+    /// output unchanged. Override to make `Try` edges carry `infact`
+    /// (binding never happened) or to kill facts on `Then`/`Else`
+    /// edges (comparison-guard sanitization).
+    fn edge(
+        &self,
+        _cfg: &Cfg,
+        _from: usize,
+        _to: usize,
+        _kind: EdgeKind,
+        _infact: &Self::Fact,
+        outfact: &Self::Fact,
+    ) -> Self::Fact {
+        outfact.clone()
+    }
+}
+
+/// The fixpoint: per-node input and output facts, indexed by CFG node.
+pub struct Solution<F> {
+    /// Fact before the node (in propagation direction).
+    pub input: Vec<F>,
+    /// Fact after the node's transfer.
+    pub output: Vec<F>,
+}
+
+/// Runs `analysis` over `cfg` to fixpoint.
+pub fn solve<A: Analysis>(cfg: &Cfg, analysis: &A) -> Solution<A::Fact> {
+    let n = cfg.nodes.len();
+    let forward = analysis.direction() == Direction::Forward;
+    let boundary_node = if forward { cfg.entry } else { cfg.exit };
+
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+    input[boundary_node] = analysis.boundary();
+    let mut output: Vec<A::Fact> = (0..n)
+        .map(|i| analysis.transfer(cfg, i, &input[i]))
+        .collect();
+
+    // Incoming edges in the direction of travel, per node, with kinds.
+    let mut incoming: Vec<Vec<(usize, EdgeKind)>> = vec![Vec::new(); n];
+    for from in 0..n {
+        for &(to, kind) in &cfg.nodes[from].succs {
+            if forward {
+                incoming[to].push((from, kind));
+            } else {
+                incoming[from].push((to, kind));
+            }
+        }
+    }
+
+    let mut work: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(node) = work.pop_front() {
+        queued[node] = false;
+        if node != boundary_node {
+            let mut merged = analysis.init();
+            let mut first = true;
+            for &(pred, kind) in &incoming[node] {
+                let carried =
+                    analysis.edge(cfg, pred, node, kind, &input[pred], &output[pred]);
+                if first {
+                    merged = carried;
+                    first = false;
+                } else {
+                    analysis.merge(&mut merged, &carried);
+                }
+            }
+            if first {
+                // Unreachable node: keep the neutral init fact.
+                merged = analysis.init();
+            }
+            if merged != input[node] {
+                input[node] = merged;
+            }
+        }
+        let out = analysis.transfer(cfg, node, &input[node]);
+        if out != output[node] {
+            output[node] = out;
+            // Requeue everything this node feeds (direction-aware).
+            let feeds: Vec<usize> = if forward {
+                cfg.nodes[node].succs.iter().map(|&(t, _)| t).collect()
+            } else {
+                cfg.nodes[node].preds.clone()
+            };
+            for next in feeds {
+                if !queued[next] {
+                    queued[next] = true;
+                    work.push_back(next);
+                }
+            }
+        }
+    }
+    Solution { input, output }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::NodeKind;
+    use crate::parser::SourceFile;
+    use std::collections::BTreeSet;
+
+    fn build(body: &str) -> (SourceFile, Cfg) {
+        let src = format!("fn f() -> Result<(), ()> {{\n{body}\n}}\n");
+        let file = SourceFile::parse("x.rs", &src);
+        let item = file.fns[0].clone();
+        let cfg = Cfg::build(&file, &item);
+        (file, cfg)
+    }
+
+    /// Gen/kill over node indices: node index N gens fact N. Reaches
+    /// exit = union over all paths.
+    struct GenSelf;
+
+    impl Analysis for GenSelf {
+        type Fact = BTreeSet<usize>;
+
+        fn boundary(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn init(&self) -> Self::Fact {
+            BTreeSet::new()
+        }
+
+        fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+            into.extend(from.iter().copied());
+        }
+
+        fn transfer(&self, _cfg: &Cfg, node: usize, fact: &Self::Fact) -> Self::Fact {
+            let mut out = fact.clone();
+            out.insert(node);
+            out
+        }
+    }
+
+    #[test]
+    fn forward_union_reaches_exit_over_all_paths() {
+        let (_, cfg) = build("if c { a(); } else { b(); }\ntail();");
+        let sol = solve(&cfg, &GenSelf);
+        // Every node is in the exit's output.
+        assert_eq!(sol.output[cfg.exit].len(), cfg.nodes.len());
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        let (_, cfg) = build("while c() {\n  step();\n}\ndone();");
+        let sol = solve(&cfg, &GenSelf);
+        assert_eq!(sol.output[cfg.exit].len(), cfg.nodes.len());
+    }
+
+    /// Backward analysis: nodes from which exit is reachable (all of
+    /// them, in a well-formed CFG without infinite loops).
+    struct ReachesExit;
+
+    impl Analysis for ReachesExit {
+        type Fact = bool;
+
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn boundary(&self) -> Self::Fact {
+            true
+        }
+
+        fn init(&self) -> Self::Fact {
+            false
+        }
+
+        fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+            *into = *into || *from;
+        }
+
+        fn transfer(&self, _cfg: &Cfg, _node: usize, fact: &Self::Fact) -> Self::Fact {
+            *fact
+        }
+    }
+
+    #[test]
+    fn backward_reachability_marks_live_code() {
+        let (_, cfg) = build("step();\nloop {\n  spin();\n}\ndead();");
+        let sol = solve(&cfg, &ReachesExit);
+        // The statement before the infinite loop cannot reach exit;
+        // the dead tail after it (no preds) also cannot... but entry
+        // itself cannot either. The exit node trivially can.
+        assert!(sol.output[cfg.exit]);
+        let first_stmt = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .unwrap();
+        assert!(
+            !sol.output[first_stmt],
+            "code flowing into an infinite loop never reaches exit"
+        );
+    }
+
+    #[test]
+    fn try_edges_can_carry_input_facts() {
+        struct GenButNotOnTry;
+        impl Analysis for GenButNotOnTry {
+            type Fact = BTreeSet<usize>;
+            fn boundary(&self) -> Self::Fact {
+                BTreeSet::new()
+            }
+            fn init(&self) -> Self::Fact {
+                BTreeSet::new()
+            }
+            fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+                into.extend(from.iter().copied());
+            }
+            fn transfer(&self, _cfg: &Cfg, node: usize, fact: &Self::Fact) -> Self::Fact {
+                let mut out = fact.clone();
+                out.insert(node);
+                out
+            }
+            fn edge(
+                &self,
+                _cfg: &Cfg,
+                _from: usize,
+                _to: usize,
+                kind: EdgeKind,
+                infact: &Self::Fact,
+                outfact: &Self::Fact,
+            ) -> Self::Fact {
+                if kind == EdgeKind::Try {
+                    infact.clone()
+                } else {
+                    outfact.clone()
+                }
+            }
+        }
+        let (_, cfg) = build("let h = fallible()?;\nOk(())");
+        let sol = solve(&cfg, &GenButNotOnTry);
+        let stmt = cfg
+            .indices()
+            .find(|&n| cfg.nodes[n].kind == NodeKind::Stmt)
+            .unwrap();
+        // Exit merges the Try edge (without stmt's gen) and the normal
+        // path (with it) — so the exit INPUT contains stmt only via the
+        // fallthrough path, proving both edges were taken. The Try
+        // path's contribution equals entry's fact.
+        assert!(sol.input[cfg.exit].contains(&stmt));
+        // And the stmt's input (before gen) must not contain itself.
+        assert!(!sol.input[stmt].contains(&stmt));
+    }
+}

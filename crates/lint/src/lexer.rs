@@ -48,6 +48,12 @@ impl Token {
     pub fn is_punct(&self, ch: char) -> bool {
         self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
     }
+
+    /// True when the token is an identifier equal to any of `words` —
+    /// the shape the CFG builder uses to classify statement keywords.
+    pub fn is_any_ident(&self, words: &[&str]) -> bool {
+        self.kind == TokenKind::Ident && words.contains(&self.text.as_str())
+    }
 }
 
 /// A comment with its starting line; block comments keep their full text.

@@ -6,21 +6,37 @@
 //! violation only when a run happens to exercise it; this crate catches
 //! the *source line* that introduces one. It ships its own lightweight
 //! Rust lexer and item-level parser (no `syn` — the workspace takes no
-//! external dependencies) and six rules:
+//! external dependencies), a statement-level CFG builder ([`cfg`]), a
+//! generic worklist dataflow solver ([`dataflow`]), a workspace call
+//! graph with may-block/may-panic/alloc-taint summaries
+//! ([`callgraph`]), and nine rules:
 //!
 //! | rule | invariant |
 //! |---|---|
-//! | `nondet-iter` | hash iteration never feeds ordered output unsorted |
-//! | `std-only` | no imports outside std + workspace crates |
-//! | `no-wall-clock` | pure crates never read clocks or the environment |
-//! | `panic-in-hot-path` | serve workers and the HTTP codec cannot panic |
 //! | `dropped-result` | `Result`s are handled, not silently discarded |
+//! | `lock-across-blocking` | no lock guard held across blocking I/O |
 //! | `lock-order` | one global lock order (no ABBA deadlocks) |
+//! | `no-wall-clock` | pure crates never read clocks or the environment |
+//! | `nondet-iter` | hash iteration never feeds ordered output unsorted |
+//! | `panic-in-hot-path` | serve workers and the HTTP codec cannot panic |
+//! | `std-only` | no imports outside std + workspace crates |
+//! | `unbounded-request-alloc` | parsed lengths are bounds-checked before allocation |
+//! | `unjoined-thread` | spawned threads are joined (or explicitly handed off) |
+//!
+//! The first six are flow-insensitive token walks; the concurrency pack
+//! (`lock-across-blocking`, `unbounded-request-alloc`,
+//! `unjoined-thread`) and the CFG-ported `lock-order` /
+//! `panic-in-hot-path` extents run real dataflow over per-function
+//! CFGs, with interprocedural facts from the call graph.
 //!
 //! Findings are suppressed per line or per file with
-//! `// webre::allow(rule-id): reason` comments (see [`config`]).
+//! `// webre::allow(rule-id): reason` comments — the reason is
+//! mandatory; a bare marker is inert (see [`config`]).
 
+pub mod callgraph;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
 pub mod diagnostics;
 pub mod lexer;
 pub mod parser;

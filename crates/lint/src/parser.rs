@@ -78,6 +78,11 @@ pub struct FnItem {
     pub body: (usize, usize),
     /// The declared return type mentions `Result`.
     pub returns_result: bool,
+    /// The declared return type mentions a guard type (any identifier
+    /// containing `Guard`, e.g. `MutexGuard`, `RwLockReadGuard`) — used
+    /// by the call graph to treat `self.read()`-style lock helpers as
+    /// acquisitions at their call sites.
+    pub returns_guard: bool,
     /// Inside `#[cfg(test)]` or carrying `#[test]`.
     pub is_test: bool,
     pub line: u32,
@@ -349,6 +354,11 @@ impl SourceFile {
                 .iter()
                 .any(|k| k.is_ident("Result"))
         });
+        let returns_guard = arrow.is_some_and(|a| {
+            self.tokens[a..body_open]
+                .iter()
+                .any(|k| k.kind == TokenKind::Ident && k.text.contains("Guard"))
+        });
         let attrs = self.attrs_before(t);
         let is_test = attrs.iter().any(|a| a == "test" || a == "cfg(test)");
         Some(FnItem {
@@ -357,9 +367,75 @@ impl SourceFile {
             impl_type: None,
             body: (body_open, self.close(body_open)),
             returns_result,
+            returns_guard,
             is_test,
             line: self.tokens[t].line,
         })
+    }
+
+    /// Ordered parameter names of `item`, `self` excluded. Pattern
+    /// parameters (`(a, b): (T, U)`) yield an empty placeholder so
+    /// positions stay aligned with call-site arguments.
+    pub fn param_names(&self, item: &FnItem) -> Vec<String> {
+        let n = self.tokens.len();
+        // Find the parameter parens: first `(` between the fn name and
+        // the body, skipping the generic angle group by token scan.
+        let mut j = item.token + 2;
+        let open = loop {
+            if j >= n || j >= item.body.0 {
+                return Vec::new();
+            }
+            if self.tokens[j].is_punct('(') {
+                break j;
+            }
+            j += 1;
+        };
+        let close = self.close(open);
+        let mut names = Vec::new();
+        // Split the parens into comma-separated slots (groups skipped),
+        // then name each slot by its `ident :` pattern; a slot made only
+        // of `self`/`&`/`mut`/lifetimes is the receiver and is dropped.
+        let mut slot_start = open + 1;
+        let mut k = open + 1;
+        loop {
+            if k >= close || self.tokens[k].is_punct(',') {
+                let slot = &self.tokens[slot_start..k.min(close)];
+                let is_receiver = !slot.is_empty()
+                    && slot.iter().all(|t| {
+                        t.is_ident("self")
+                            || t.is_punct('&')
+                            || t.is_ident("mut")
+                            || t.kind == TokenKind::Lifetime
+                    });
+                if !slot.is_empty() && !is_receiver {
+                    let name = slot
+                        .windows(2)
+                        .find(|w| {
+                            w[0].kind == TokenKind::Ident
+                                && !w[0].is_ident("mut")
+                                && w[1].is_punct(':')
+                        })
+                        .map(|w| w[0].text.clone())
+                        .unwrap_or_default();
+                    names.push(name);
+                }
+                if k >= close {
+                    break;
+                }
+                slot_start = k + 1;
+                k += 1;
+                continue;
+            }
+            if self.tokens[k].is_punct('(')
+                || self.tokens[k].is_punct('[')
+                || self.tokens[k].is_punct('{')
+            {
+                k = self.close(k) + 1;
+                continue;
+            }
+            k += 1;
+        }
+        names
     }
 
     fn parse_struct(&self, t: usize) -> Option<StructDef> {

@@ -12,6 +12,12 @@
 //! `JoinHandle::join` would be a false positive). `JoinHandle::join`
 //! itself is therefore not in the table: `join` is too overloaded to
 //! resolve without types.
+//!
+//! A `let _ =` discard is an explicit decision; the rule only demands
+//! the decision be written down. A trailing comment on the statement's
+//! closing line counts as that justification and silences the finding —
+//! the webre::allow discipline without the machinery. Bare-statement
+//! discards get no such escape: they are almost always accidental.
 
 use super::{Context, Rule};
 use crate::diagnostics::Diagnostic;
@@ -76,6 +82,14 @@ impl Rule for DroppedResult {
                 continue;
             }
             let end = expr_end(file, i + 3);
+            // `let _ =` is an explicit decision to discard; the rule only
+            // asks that the decision be written down. A trailing comment
+            // on the statement's closing line is that justification —
+            // the webre::allow discipline without the machinery.
+            let term_line = file.tokens.get(end).map_or(file.tokens[i].line, |t| t.line);
+            if file.comments.iter().any(|c| c.line == term_line) {
+                continue;
+            }
             if let Some(callee) = head_callee(file, i + 3, end) {
                 if flags(ctx, &callee) {
                     out.push(Diagnostic {
@@ -84,7 +98,7 @@ impl Rule for DroppedResult {
                         line: file.tokens[i].line,
                         message: format!(
                             "`let _ =` discards the `Result` of `{callee}`; handle the \
-                             error or justify the discard with a webre::allow comment"
+                             error or justify the discard with a trailing comment"
                         ),
                     });
                 }
@@ -195,7 +209,9 @@ fn flags(ctx: &Context, callee: &str) -> bool {
         return false;
     }
     if ctx.result_fns.contains(callee) {
-        return true;
+        // A workspace non-Result fn with the same name makes the callee
+        // ambiguous without type resolution — degrade to silence.
+        return !ctx.nonresult_fns.contains(callee);
     }
     RESULT_BUILTINS.contains(&callee) && !ctx.nonresult_fns.contains(callee)
 }

@@ -1,0 +1,504 @@
+//! Shared guard-liveness machinery for `lock-order` and
+//! `lock-across-blocking`.
+//!
+//! Finds lock acquisitions in a function body (direct `.lock()` /
+//! `.read()` / `.write()` on known lock receivers, plus `self.m()`
+//! helpers that unanimously return guard types per the call graph) and
+//! tracks guard liveness over the CFG:
+//!
+//! - a `let`-bound guard is **gen**ned at its acquisition node and
+//!   **kill**ed by `drop(guard)`, by being moved as a bare call
+//!   argument (the condvar `wait(guard)` idiom — the callee releases
+//!   it), by a `return`, or structurally when control leaves the
+//!   binding's lexical block (the scope-end kill point);
+//! - a temporary guard (`self.lock().field...`) lives exactly for its
+//!   statement, groups included, which is how Rust extends such
+//!   temporaries to the end of the enclosing statement.
+//!
+//! The same ordered walk that drives the dataflow transfer also drives
+//! reporting, so "guard live at this token" means the same thing in
+//! both places.
+
+use super::Context;
+use crate::callgraph::{BlockEvent, FnRef};
+use crate::cfg::Cfg;
+use crate::dataflow::{Analysis, Direction};
+use crate::lexer::TokenKind;
+use crate::parser::{FnItem, LockKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// One lock acquisition.
+#[derive(Clone, Debug)]
+pub(crate) struct Acq {
+    /// Token index of the acquiring method ident.
+    pub token: usize,
+    pub line: u32,
+    /// Lock identity: dotted receiver path (`self.` stripped) or
+    /// `helper()` for guard-returning helpers.
+    pub lock: String,
+    /// `let`-bound guard name; `None` for temporaries.
+    pub binding: Option<String>,
+    /// Lexical block the binding is scoped to (guards die at its end).
+    pub scope: (usize, usize),
+    /// Temporaries: exclusive token index of the statement end.
+    pub extent: usize,
+}
+
+/// Locals holding a lock directly: `let m = Mutex::new(..)` or an
+/// annotation mentioning `Mutex`/`RwLock`.
+pub(crate) fn local_locks(file: &SourceFile, item: &FnItem) -> BTreeMap<String, LockKind> {
+    let mut out = BTreeMap::new();
+    let (open, close) = item.body;
+    let mut k = open + 1;
+    while k < close {
+        if file.tokens[k].is_ident("let") {
+            let mut p = k + 1;
+            if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+                p += 1;
+            }
+            if let Some(name) = file.tokens.get(p) {
+                if name.kind == TokenKind::Ident && name.text != "_" {
+                    let end = super::stmt_end(file, p);
+                    let lock =
+                        file.tokens[p + 1..end.min(close)]
+                            .iter()
+                            .find_map(|t| match t.text.as_str() {
+                                "Mutex" => Some(LockKind::Mutex),
+                                "RwLock" => Some(LockKind::RwLock),
+                                _ => None,
+                            });
+                    if let Some(lock) = lock {
+                        out.insert(name.text.clone(), lock);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Dotted receiver path ending at token `p`, or `None` for complex
+/// receivers (`make_lock().lock()`).
+pub(crate) fn receiver_path(file: &SourceFile, p: usize) -> Option<String> {
+    let tok = file.tokens.get(p)?;
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut segments = vec![tok.text.clone()];
+    let mut j = p;
+    while j >= 2 && file.tokens[j - 1].is_punct('.') {
+        let prev = &file.tokens[j - 2];
+        if prev.kind != TokenKind::Ident {
+            return None; // `foo().lock()` — unresolvable
+        }
+        segments.push(prev.text.clone());
+        j -= 2;
+    }
+    segments.reverse();
+    if segments.first().is_some_and(|s| s == "self") {
+        segments.remove(0);
+    }
+    if segments.is_empty() {
+        return None;
+    }
+    Some(segments.join("."))
+}
+
+/// All resolvable lock acquisitions in `item`'s body.
+pub(crate) fn acquisitions(
+    file: &SourceFile,
+    ctx: &Context,
+    item: &FnItem,
+    cfg: &Cfg,
+    caller: Option<FnRef>,
+) -> Vec<Acq> {
+    let lock_locals = local_locks(file, item);
+    let (open, close) = item.body;
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        let tok = &file.tokens[i];
+        if tok.kind != TokenKind::Ident
+            || i < 2
+            || !file.tokens[i - 1].is_punct('.')
+            || !file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        // All lock acquisitions in this workspace are zero-argument;
+        // `.read(buf)`/`.write(buf)` with arguments are I/O.
+        if file.close(i + 1) != i + 2 {
+            continue;
+        }
+        let method = tok.text.as_str();
+        let lock = match method {
+            "lock" => receiver_path(file, i - 2),
+            "read" | "write" => {
+                let path = receiver_path(file, i - 2);
+                let known = path.as_ref().is_some_and(|p| {
+                    let last = p.rsplit('.').next().unwrap_or(p);
+                    lock_locals
+                        .get(last)
+                        .copied()
+                        .or_else(|| ctx.lock_fields.get(last).copied())
+                        == Some(LockKind::RwLock)
+                });
+                if known {
+                    path
+                } else if file.tokens[i - 2].is_ident("self")
+                    && ctx.callgraph.unanimously_guard_returning(
+                        method,
+                        item.impl_type.as_deref(),
+                        caller,
+                    )
+                {
+                    // `self.read()` / `self.write()` helper methods
+                    // (poison-recovering wrappers) that return guards.
+                    Some(format!("{method}()"))
+                } else {
+                    None
+                }
+            }
+            _ => {
+                // Any other `self.m()` helper unanimously returning a
+                // guard type counts as acquiring its underlying lock.
+                if file.tokens[i - 2].is_ident("self")
+                    && ctx.callgraph.unanimously_guard_returning(
+                        method,
+                        item.impl_type.as_deref(),
+                        caller,
+                    )
+                {
+                    Some(format!("{method}()"))
+                } else {
+                    None
+                }
+            }
+        };
+        let Some(lock) = lock else { continue };
+        let s0 = super::stmt_start(file, i);
+        // Start of the receiver chain (`self.shards.lock` → `self`).
+        let mut chain = i;
+        while chain >= 2
+            && file.tokens[chain - 1].is_punct('.')
+            && file.tokens[chain - 2].kind == TokenKind::Ident
+        {
+            chain -= 2;
+        }
+        out.push(Acq {
+            token: i,
+            line: tok.line,
+            lock,
+            binding: let_binding(file, s0, chain, i),
+            scope: cfg.enclosing_block(s0),
+            extent: temp_extent(file, s0, i),
+        });
+    }
+    out
+}
+
+/// The `let`-bound guard name for the acquisition at `call`, if the
+/// guard really is the statement's own value: the receiver chain must
+/// start right after the `=`, and only pass-through adapters
+/// (`unwrap`, `expect`, `unwrap_or_else`, `map_err`, `?`) may follow
+/// the call. `let hit = self.read().x.is_some()` binds a bool, not a
+/// guard — its guard is a temporary.
+fn let_binding(file: &SourceFile, s0: usize, chain: usize, call: usize) -> Option<String> {
+    if !file.tokens.get(s0)?.is_ident("let") {
+        return None;
+    }
+    let mut p = s0 + 1;
+    if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+        p += 1;
+    }
+    let name = file.tokens.get(p)?;
+    if name.kind != TokenKind::Ident || name.text == "_" {
+        return None;
+    }
+    if chain == 0 || !file.tokens[chain - 1].is_punct('=') {
+        return None;
+    }
+    let mut q = file.close(call + 1) + 1;
+    loop {
+        let t = file.tokens.get(q)?;
+        if t.is_punct('?') {
+            q += 1;
+        } else if t.is_punct(';') {
+            return Some(name.text.clone());
+        } else if t.is_punct('.')
+            && file.tokens.get(q + 1).is_some_and(|t| {
+                t.is_any_ident(&["unwrap", "expect", "unwrap_or_else", "map_err"])
+            })
+            && file.tokens.get(q + 2).is_some_and(|t| t.is_punct('('))
+        {
+            q = file.close(q + 2) + 1;
+        } else {
+            return None;
+        }
+    }
+}
+
+/// Exclusive token index where the temporary produced by the
+/// acquisition at `call` dies. Plain `if`/`while` conditions are their
+/// own temporary scope — the guard drops before the block runs — while
+/// `if let`/`while let` scrutinees and `match` scrutinees live to the
+/// end of the whole statement (edition-2021 semantics), `else` chains
+/// included.
+fn temp_extent(file: &SourceFile, s0: usize, call: usize) -> usize {
+    let n = file.tokens.len();
+    let mut depth = 0i32;
+    let mut j = call;
+    while j > s0 {
+        let t = &file.tokens[j - 1];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => depth = (depth - 1).max(0),
+                _ => {}
+            }
+        }
+        if depth == 0
+            && t.is_any_ident(&["if", "while"])
+            && !file.tokens.get(j).is_some_and(|next| next.is_ident("let"))
+        {
+            // Inside a plain condition: dies at the block's `{`.
+            let mut k = call;
+            while k < n {
+                let t = &file.tokens[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    k = file.close(k) + 1;
+                    continue;
+                }
+                if t.is_punct('{') {
+                    return k;
+                }
+                k += 1;
+            }
+            return n;
+        }
+        j -= 1;
+    }
+    let mut k = call;
+    while k < n {
+        let t = &file.tokens[k];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => {
+                    k = file.close(k) + 1;
+                    continue;
+                }
+                "{" => {
+                    let after = file.close(k) + 1;
+                    if file.tokens.get(after).is_some_and(|t| t.is_ident("else")) {
+                        k = after + 1;
+                        continue;
+                    }
+                    return after;
+                }
+                ";" | ")" | "]" | "}" => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    n
+}
+
+/// A hit reported by the ordered walk.
+pub(crate) enum Hit<'a> {
+    /// `acqs[acquired]` taken while `acqs[held]` is live.
+    AcqWhileHeld { held: usize, acquired: usize },
+    /// A blocking event while `acqs[held]` is live.
+    Blocking { held: usize, event: &'a BlockEvent },
+}
+
+/// Walks one node's token span in order, applying structural scope
+/// kills, gens, kills and (optionally) reporting into `sink`.
+fn walk_node<'e>(
+    file: &SourceFile,
+    cfg: &Cfg,
+    node: usize,
+    acqs: &[Acq],
+    events: &'e [BlockEvent],
+    live: &mut BTreeMap<String, usize>,
+    mut sink: Option<&mut dyn FnMut(Hit<'e>)>,
+) {
+    // Scope-end kill: a guard cannot outlive its binding's block.
+    live.retain(|_, ai| cfg.block_contains(acqs[*ai].scope, node));
+    let (lo, hi) = cfg.nodes[node].span;
+    let hi = hi.min(file.tokens.len());
+    let is_return = file.tokens.get(lo).is_some_and(|t| t.is_ident("return"));
+    for i in lo..hi {
+        // Blocking event at this token?
+        if let Some(event) = events.iter().find(|e| e.token == i) {
+            let consumed: Vec<String> = live
+                .keys()
+                .filter(|name| bare_arg_in(file, event.args, name))
+                .cloned()
+                .collect();
+            if let Some(sink) = sink.as_deref_mut() {
+                for (name, &held) in live.iter() {
+                    if !consumed.contains(name) {
+                        sink(Hit::Blocking { held, event });
+                    }
+                }
+            }
+            for name in consumed {
+                live.remove(&name);
+            }
+        }
+        // Acquisition at this token?
+        if let Some(ai) = acqs.iter().position(|a| a.token == i) {
+            if let Some(sink) = sink.as_deref_mut() {
+                for &held in live.values() {
+                    sink(Hit::AcqWhileHeld { held, acquired: ai });
+                }
+            }
+            if let Some(name) = &acqs[ai].binding {
+                live.insert(name.clone(), ai);
+            }
+            continue;
+        }
+        let tok = &file.tokens[i];
+        // `drop(guard)`.
+        if tok.is_ident("drop")
+            && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && file
+                .tokens
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
+            && file.tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            live.remove(&file.tokens[i + 2].text);
+            continue;
+        }
+        // Bare move as a call argument: `f(guard)` / `f(x, guard)`.
+        if tok.kind == TokenKind::Ident
+            && live.contains_key(&tok.text)
+            && i > 0
+            && (file.tokens[i - 1].is_punct('(') || file.tokens[i - 1].is_punct(','))
+            && file
+                .tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct(')') || t.is_punct(','))
+        {
+            live.remove(&tok.text);
+            continue;
+        }
+        // `return guard;` moves the guard out.
+        if is_return && tok.kind == TokenKind::Ident && live.contains_key(&tok.text) {
+            live.remove(&tok.text);
+        }
+    }
+}
+
+/// True when `name` occurs as a bare top-level token inside `args`.
+fn bare_arg_in(file: &SourceFile, args: (usize, usize), name: &str) -> bool {
+    let (lo, hi) = args;
+    let hi = hi.min(file.tokens.len());
+    (lo..hi).any(|i| {
+        file.tokens[i].is_ident(name)
+            && (i == lo
+                || file.tokens[i - 1].is_punct('(')
+                || file.tokens[i - 1].is_punct(','))
+            && file
+                .tokens
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct(')') || t.is_punct(','))
+    })
+}
+
+/// Guard liveness as a forward may-analysis: fact = live `let`-bound
+/// guards (name → acquisition index).
+struct Liveness<'a> {
+    file: &'a SourceFile,
+    acqs: &'a [Acq],
+    events: &'a [BlockEvent],
+}
+
+impl Analysis for Liveness<'_> {
+    type Fact = BTreeMap<String, usize>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn init(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        for (k, v) in from {
+            into.entry(k.clone()).or_insert(*v);
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, node: usize, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        walk_node(self.file, cfg, node, self.acqs, self.events, &mut out, None);
+        out
+    }
+}
+
+/// The flow result over one function.
+pub(crate) struct FlowHits<'a> {
+    /// `(held, acquired)` acquisition-order pairs.
+    pub pairs: Vec<(usize, usize)>,
+    /// `(held, event)` guard-across-blocking hits.
+    pub blocking: Vec<(usize, &'a BlockEvent)>,
+}
+
+/// Runs liveness over `cfg` and reports ordered hits, including the
+/// statement-extent overlaps of temporary (unbound) guards.
+pub(crate) fn guard_flow<'a>(
+    file: &SourceFile,
+    cfg: &Cfg,
+    acqs: &[Acq],
+    events: &'a [BlockEvent],
+) -> FlowHits<'a> {
+    let analysis = Liveness { file, acqs, events };
+    let solution = crate::dataflow::solve(cfg, &analysis);
+    let mut pairs = Vec::new();
+    let mut blocking: Vec<(usize, &BlockEvent)> = Vec::new();
+    for node in cfg.indices() {
+        let mut live = solution.input[node].clone();
+        let mut sink = |hit: Hit<'a>| match hit {
+            Hit::AcqWhileHeld { held, acquired } => pairs.push((held, acquired)),
+            Hit::Blocking { held, event } => blocking.push((held, event)),
+        };
+        walk_node(
+            file,
+            cfg,
+            node,
+            acqs,
+            events,
+            &mut live,
+            Some(&mut sink),
+        );
+    }
+    // Temporary guards: alive for their statement's extent.
+    for (ai, a) in acqs.iter().enumerate() {
+        if a.binding.is_some() {
+            continue;
+        }
+        for (bi, b) in acqs.iter().enumerate() {
+            if ai != bi && a.token < b.token && b.token < a.extent {
+                pairs.push((ai, bi));
+            }
+        }
+        for event in events {
+            if a.token < event.token && event.token < a.extent {
+                blocking.push((ai, event));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    blocking.sort_by_key(|(h, e)| (*h, e.token));
+    blocking.dedup_by_key(|(h, e)| (*h, e.token));
+    FlowHits { pairs, blocking }
+}

@@ -1,0 +1,88 @@
+//! `lock-across-blocking`: no lock guard may be held across blocking
+//! I/O on the serving path.
+//!
+//! A guard held across a `read`/`write`/`accept`/fsync (or across a
+//! call into a workspace function that unanimously may-block) turns
+//! one slow client or one slow disk into a stall for every thread
+//! queued on that lock. The rule runs guard liveness over the
+//! function's CFG (see [`super::guards`]), so `drop(guard)` before the
+//! I/O, a block scope that ends first, or moving the guard *into* the
+//! blocking call (the condvar `wait(guard)` idiom — the callee
+//! releases it) all make the path clean; only paths on which the guard
+//! is genuinely still live are reported.
+
+use super::guards;
+use super::{in_scope, Context, Rule};
+use crate::callgraph::FnRef;
+use crate::cfg::Cfg;
+use crate::diagnostics::Diagnostic;
+use crate::parser::SourceFile;
+use std::collections::BTreeSet;
+
+/// Serving-path crates where a stalled lock is an availability bug.
+const PREFIXES: &[&str] = &["crates/serve/src", "crates/substrate/src"];
+
+pub struct LockAcrossBlocking;
+
+impl Rule for LockAcrossBlocking {
+    fn id(&self) -> &'static str {
+        "lock-across-blocking"
+    }
+
+    fn description(&self) -> &'static str {
+        "no lock guard held across blocking I/O (CFG liveness + call-graph may-block)"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, ctx, PREFIXES) {
+            return;
+        }
+        let file_idx = ctx.callgraph.file_index(&file.rel_path);
+        for (idx, item) in file.fns.iter().enumerate() {
+            if item.is_test || file.in_test(item.body.0) {
+                continue;
+            }
+            let caller = file_idx.map(|f| FnRef { file: f, idx });
+            let cfg = Cfg::build(file, item);
+            let acqs = guards::acquisitions(file, ctx, item, &cfg, caller);
+            if acqs.is_empty() {
+                continue;
+            }
+            let events = ctx.callgraph.blocking_events(
+                file,
+                item.body.0,
+                item.body.1,
+                item.impl_type.as_deref(),
+                caller,
+            );
+            if events.is_empty() {
+                continue;
+            }
+            let hits = guards::guard_flow(file, &cfg, &acqs, &events);
+            let mut seen = BTreeSet::new();
+            for (held, event) in hits.blocking {
+                let acq = &acqs[held];
+                if !seen.insert((event.line, acq.lock.clone(), event.what.clone())) {
+                    continue;
+                }
+                let who = match &acq.binding {
+                    Some(name) => format!("guard `{name}`"),
+                    None => "temporary guard".to_owned(),
+                };
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: event.line,
+                    message: format!(
+                        "{who} on `{lock}` (acquired at line {at}) is held across \
+                         blocking `{what}`; drop the guard first or move the I/O \
+                         out of the critical section",
+                        lock = acq.lock,
+                        at = acq.line,
+                        what = event.what,
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -3,36 +3,29 @@
 //!
 //! Builds a workspace-wide acquisition graph: an edge `A → B` is
 //! recorded whenever lock `B` is acquired while a guard on `A` is still
-//! live in the same function (a `let`-bound guard lives to the end of
-//! the function or an explicit `drop(guard)`; a temporary guard lives
-//! to the end of its statement). An edge is flagged when the reverse
-//! order is also reachable in the graph — the classic ABBA deadlock
-//! shape. Lock identity is the receiver path (`self.` stripped), which
-//! is exact for the workspace's field-held locks; unresolvable
-//! receivers (call results, chained accessors) are skipped, degrading
-//! toward silence.
+//! live *on some CFG path* in the same function. Guard liveness comes
+//! from the shared dataflow machinery in [`super::guards`]: a
+//! `let`-bound guard dies at `drop(guard)`, at a bare move, at a
+//! `return`, or at the end of its lexical block — so a guard dropped on
+//! one branch still orders locks taken on the other, and a
+//! block-scoped guard never orders locks taken after its block. An
+//! edge is flagged when the reverse order is also reachable in the
+//! graph — the classic ABBA deadlock shape. Lock identity is the
+//! receiver path (`self.` stripped); unresolvable receivers are
+//! skipped, degrading toward silence.
 
-use super::{in_scope, stmt_end, stmt_start, Context, Rule};
+use super::guards;
+use super::{in_scope, Context, Rule};
+use crate::callgraph::FnRef;
+use crate::cfg::Cfg;
 use crate::diagnostics::Diagnostic;
-use crate::lexer::TokenKind;
-use crate::parser::{FnItem, LockKind, SourceFile};
+use crate::parser::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
 
 pub struct LockOrder;
 
 /// Where locks are actually taken in this workspace.
 const LOCK_PREFIXES: &[&str] = &["crates/serve/src", "crates/substrate/src/sync.rs"];
-
-/// One lock acquisition inside a function body.
-struct Acquisition {
-    /// Lock identity: dotted receiver path with leading `self.` removed.
-    lock: String,
-    /// Token index of the acquiring method ident.
-    pos: usize,
-    /// Exclusive token index where the guard is no longer live.
-    live_until: usize,
-    line: u32,
-}
 
 /// One ordered edge with a representative source location.
 struct Edge {
@@ -57,21 +50,27 @@ impl Rule for LockOrder {
             if !in_scope(file, ctx, LOCK_PREFIXES) {
                 continue;
             }
-            for item in &file.fns {
+            let file_idx = ctx.callgraph.file_index(&file.rel_path);
+            for (idx, item) in file.fns.iter().enumerate() {
                 if item.is_test || file.in_test(item.body.0) {
                     continue;
                 }
-                let acqs = acquisitions(file, ctx, item);
-                for a in &acqs {
-                    for b in &acqs {
-                        if a.pos < b.pos && b.pos < a.live_until && a.lock != b.lock {
-                            edges.push(Edge {
-                                from: a.lock.clone(),
-                                to: b.lock.clone(),
-                                path: file.rel_path.clone(),
-                                line: b.line,
-                            });
-                        }
+                let caller = file_idx.map(|f| FnRef { file: f, idx });
+                let cfg = Cfg::build(file, item);
+                let acqs = guards::acquisitions(file, ctx, item, &cfg, caller);
+                if acqs.len() < 2 {
+                    continue;
+                }
+                let hits = guards::guard_flow(file, &cfg, &acqs, &[]);
+                for (held, taken) in hits.pairs {
+                    let (a, b) = (&acqs[held], &acqs[taken]);
+                    if a.lock != b.lock {
+                        edges.push(Edge {
+                            from: a.lock.clone(),
+                            to: b.lock.clone(),
+                            path: file.rel_path.clone(),
+                            line: b.line,
+                        });
                     }
                 }
             }
@@ -114,142 +113,4 @@ fn reaches(adjacency: &BTreeMap<&str, BTreeSet<&str>>, from: &str, goal: &str) -
         }
     }
     false
-}
-
-/// All resolvable lock acquisitions in a fn body, with guard extents.
-fn acquisitions(file: &SourceFile, ctx: &Context, item: &FnItem) -> Vec<Acquisition> {
-    let lock_locals = local_locks(file, item);
-    let (open, close) = item.body;
-    let mut out = Vec::new();
-    for i in open + 1..close {
-        let tok = &file.tokens[i];
-        if tok.kind != TokenKind::Ident
-            || i < 2
-            || !file.tokens[i - 1].is_punct('.')
-            || !file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
-        {
-            continue;
-        }
-        let method = tok.text.as_str();
-        if !matches!(method, "lock" | "read" | "write") {
-            continue;
-        }
-        let Some(path) = receiver_path(file, i - 2) else {
-            continue;
-        };
-        let last = path.rsplit('.').next().unwrap_or(&path).to_owned();
-        let kind = lock_locals
-            .get(&last)
-            .copied()
-            .or_else(|| ctx.lock_fields.get(&last).copied());
-        // `.lock()` is unambiguous; `.read()`/`.write()` collide with
-        // io traits, so they only count on a known RwLock receiver.
-        let counts = match method {
-            "lock" => true,
-            _ => kind == Some(LockKind::RwLock),
-        };
-        if !counts {
-            continue;
-        }
-        let live_until = guard_extent(file, item, i);
-        out.push(Acquisition {
-            lock: path,
-            pos: i,
-            live_until,
-            line: tok.line,
-        });
-    }
-    out
-}
-
-/// Dotted receiver path ending at token `p`, or `None` for complex
-/// receivers (`make_lock().lock()`).
-fn receiver_path(file: &SourceFile, p: usize) -> Option<String> {
-    let tok = file.tokens.get(p)?;
-    if tok.kind != TokenKind::Ident {
-        return None;
-    }
-    let mut segments = vec![tok.text.clone()];
-    let mut j = p;
-    while j >= 2 && file.tokens[j - 1].is_punct('.') {
-        let prev = &file.tokens[j - 2];
-        if prev.kind != TokenKind::Ident {
-            return None; // `foo().lock()` — unresolvable
-        }
-        segments.push(prev.text.clone());
-        j -= 2;
-    }
-    segments.reverse();
-    if segments.first().is_some_and(|s| s == "self") {
-        segments.remove(0);
-    }
-    if segments.is_empty() {
-        return None;
-    }
-    Some(segments.join("."))
-}
-
-/// How long the guard produced by the acquisition at `i` stays live.
-fn guard_extent(file: &SourceFile, item: &FnItem, i: usize) -> usize {
-    let s0 = stmt_start(file, i);
-    let close = item.body.1;
-    if file.tokens.get(s0).is_some_and(|t| t.is_ident("let")) {
-        let mut p = s0 + 1;
-        if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
-            p += 1;
-        }
-        if let Some(name) = file.tokens.get(p) {
-            if name.kind == TokenKind::Ident && name.text != "_" {
-                // Guard lives until an explicit drop or the fn end.
-                let guard = name.text.clone();
-                let mut j = stmt_end(file, i);
-                while j + 3 < close {
-                    if file.tokens[j].is_ident("drop")
-                        && file.tokens[j + 1].is_punct('(')
-                        && file.tokens[j + 2].is_ident(&guard)
-                        && file.tokens[j + 3].is_punct(')')
-                    {
-                        return j;
-                    }
-                    j += 1;
-                }
-                return close;
-            }
-        }
-        // `let _ = x.lock()` — guard dropped at end of statement.
-    }
-    stmt_end(file, i)
-}
-
-/// Locals holding a lock directly: `let m = Mutex::new(..)` or an
-/// annotation mentioning `Mutex`/`RwLock`.
-fn local_locks(file: &SourceFile, item: &FnItem) -> BTreeMap<String, LockKind> {
-    let mut out = BTreeMap::new();
-    let (open, close) = item.body;
-    let mut k = open + 1;
-    while k < close {
-        if file.tokens[k].is_ident("let") {
-            let mut p = k + 1;
-            if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
-                p += 1;
-            }
-            if let Some(name) = file.tokens.get(p) {
-                if name.kind == TokenKind::Ident && name.text != "_" {
-                    let end = stmt_end(file, p);
-                    let lock = file.tokens[p + 1..end.min(close)].iter().find_map(|t| {
-                        match t.text.as_str() {
-                            "Mutex" => Some(LockKind::Mutex),
-                            "RwLock" => Some(LockKind::RwLock),
-                            _ => None,
-                        }
-                    });
-                    if let Some(lock) = lock {
-                        out.insert(name.text.clone(), lock);
-                    }
-                }
-            }
-        }
-        k += 1;
-    }
-    out
 }

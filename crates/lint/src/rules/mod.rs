@@ -6,15 +6,20 @@
 //! degrades toward *silence*. A static pass that cries wolf gets
 //! suppressed wholesale; one that is quiet but right gets kept in CI.
 
+use crate::callgraph::CallGraph;
 use crate::diagnostics::Diagnostic;
 use crate::parser::{CollKind, LockKind, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 
 mod dropped_result;
+mod guards;
+mod lock_across_blocking;
 mod lock_order;
 mod nondet_iter;
 mod panic_path;
 mod std_only;
+mod unbounded_alloc;
+mod unjoined_thread;
 mod wall_clock;
 
 /// Facts collected over the whole file set before rules run.
@@ -35,6 +40,8 @@ pub struct Context {
     pub unambiguous_fields: BTreeMap<String, CollKind>,
     /// Field names that hold a lock anywhere in their type.
     pub lock_fields: BTreeMap<String, LockKind>,
+    /// Workspace call graph with may-block/may-panic/alloc summaries.
+    pub callgraph: CallGraph,
     /// Check every rule on every file, ignoring path scoping.
     pub scope_everything: bool,
 }
@@ -45,6 +52,7 @@ impl Context {
         let mut ctx = Context {
             crate_names,
             scope_everything,
+            callgraph: CallGraph::build(files),
             ..Context::default()
         };
         let mut field_kinds: BTreeMap<String, BTreeSet<CollKind>> = BTreeMap::new();
@@ -122,11 +130,14 @@ pub trait Rule {
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(dropped_result::DroppedResult),
+        Box::new(lock_across_blocking::LockAcrossBlocking),
         Box::new(lock_order::LockOrder),
         Box::new(wall_clock::WallClock),
         Box::new(nondet_iter::NondetIter),
         Box::new(panic_path::PanicPath),
         Box::new(std_only::StdOnly),
+        Box::new(unbounded_alloc::UnboundedRequestAlloc),
+        Box::new(unjoined_thread::UnjoinedThread),
     ]
 }
 

@@ -375,8 +375,14 @@ impl NondetIter {
             if tok.kind != TokenKind::Ident {
                 continue;
             }
-            if (tok.text == "write" || tok.text == "writeln")
-                && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('!'))
+            // Formatting macros emit in iteration order: `write!` into a
+            // buffer, and the print family straight onto an ordered
+            // stream (stdout/stderr are the diff surface for the CLI's
+            // deterministic-output contract).
+            if matches!(
+                tok.text.as_str(),
+                "write" | "writeln" | "print" | "println" | "eprint" | "eprintln"
+            ) && file.tokens.get(b + 1).is_some_and(|t| t.is_punct('!'))
             {
                 return true;
             }

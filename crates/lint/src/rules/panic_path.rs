@@ -11,11 +11,22 @@
 //! that go out of bounds in practice; plain `slots[i]` over an
 //! invariant-maintained arena is the dominant false-positive source and
 //! is left to code review.
+//!
+//! Indexing findings are flow-sensitive: a **must**-analysis over the
+//! function's CFG tracks dominating bound checks, genned on the `Then`
+//! edge of `idx < container.len()` (strict `<` only — `<=` does not
+//! exclude `len` itself) and killed when any identifier in the check is
+//! reassigned. `buf[i + 1]` under a dominating `i + 1 < buf.len()`
+//! stays silent; the same expression on a path that skips the check is
+//! reported.
 
 use super::{in_scope, Context, Rule};
+use crate::cfg::{Cfg, EdgeKind, NodeKind};
+use crate::dataflow::{solve, Analysis, Direction};
 use crate::diagnostics::Diagnostic;
-use crate::lexer::TokenKind;
+use crate::lexer::{Token, TokenKind};
 use crate::parser::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
 
 pub struct PanicPath;
 
@@ -38,13 +49,14 @@ impl Rule for PanicPath {
     }
 
     fn description(&self) -> &'static str {
-        "unwrap/expect/panic!/prone indexing in serve worker or HTTP codec code"
+        "unwrap/expect/panic!/unguarded prone indexing in serve worker or HTTP codec code"
     }
 
     fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
         if !in_scope(file, ctx, HOT_PREFIXES) {
             return;
         }
+        let checked = checked_index_facts(file);
         let mut push = |line: u32, message: String| {
             out.push(Diagnostic {
                 rule: self.id(),
@@ -106,6 +118,14 @@ impl Rule for PanicPath {
                 let has_mod = inner.iter().any(|t| t.is_punct('%'));
                 let has_arith = inner.iter().any(|t| t.is_punct('+') || t.is_punct('-'));
                 if literal_index || (has_arith && !has_range && !has_mod) {
+                    // A dominating `idx < container.len()` proves the
+                    // access in bounds on every path reaching it.
+                    if prev.kind == TokenKind::Ident {
+                        let fact = (norm(inner), prev.text.clone());
+                        if checked.get(&i).is_some_and(|facts| facts.contains(&fact)) {
+                            continue;
+                        }
+                    }
                     push(
                         tok.line,
                         "index expression can go out of bounds and panic the worker; \
@@ -124,4 +144,213 @@ fn is_keyword(text: &str) -> bool {
         text,
         "in" | "return" | "break" | "match" | "if" | "else" | "mut" | "let" | "const" | "static"
     )
+}
+
+/// Canonical text of an index expression: token texts joined by spaces.
+fn norm(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// For every `[` token inside a non-test fn: the set of
+/// `(index-expr, container)` bound checks that must hold there.
+fn checked_index_facts(file: &SourceFile) -> BTreeMap<usize, BTreeSet<(String, String)>> {
+    let mut out = BTreeMap::new();
+    let n = file.tokens.len();
+    for item in &file.fns {
+        if item.is_test || file.in_test(item.body.0) {
+            continue;
+        }
+        let cfg = Cfg::build(file, item);
+        let solution = solve(&cfg, &Bounds { file });
+        for node in cfg.indices() {
+            let Some(facts) = &solution.input[node] else {
+                continue;
+            };
+            if facts.is_empty() {
+                continue;
+            }
+            let (lo, hi) = cfg.nodes[node].span;
+            for i in lo..hi.min(n) {
+                if file.tokens[i].is_punct('[') {
+                    out.insert(i, facts.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Must-analysis of bound-check facts. `None` = unreachable ⊤.
+struct Bounds<'a> {
+    file: &'a SourceFile,
+}
+
+type BoundFact = Option<BTreeSet<(String, String)>>;
+
+impl Analysis for Bounds<'_> {
+    type Fact = BoundFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> BoundFact {
+        Some(BTreeSet::new())
+    }
+
+    fn init(&self) -> BoundFact {
+        None
+    }
+
+    fn merge(&self, into: &mut BoundFact, from: &BoundFact) {
+        match (into.as_mut(), from) {
+            (_, None) => {}
+            (None, Some(_)) => *into = from.clone(),
+            (Some(a), Some(b)) => a.retain(|f| b.contains(f)),
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, node: usize, fact: &BoundFact) -> BoundFact {
+        let Some(fact) = fact else { return None };
+        let mut out = fact.clone();
+        let (lo, hi) = cfg.nodes[node].span;
+        let hi = hi.min(self.file.tokens.len());
+        // Reassignment of any identifier in a fact invalidates it:
+        // `x = ...`, `x += ...`.
+        for i in lo..hi {
+            let tok = &self.file.tokens[i];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let assigned = match self.file.tokens.get(i + 1) {
+                Some(next) if next.is_punct('=') => {
+                    !self.file.tokens.get(i + 2).is_some_and(|t| t.is_punct('='))
+                        && !(i > 0
+                            && matches!(
+                                self.file.tokens[i - 1].text.as_str(),
+                                "=" | "<" | ">" | "!"
+                            ))
+                }
+                Some(next)
+                    if (next.is_punct('+')
+                        || next.is_punct('-')
+                        || next.is_punct('*')
+                        || next.is_punct('/'))
+                        && self.file.tokens.get(i + 2).is_some_and(|t| t.is_punct('=')) =>
+                {
+                    true
+                }
+                _ => false,
+            };
+            if assigned {
+                let name = tok.text.as_str();
+                out.retain(|(expr, container)| {
+                    container != name && !expr.split(' ').any(|w| w == name)
+                });
+            }
+        }
+        Some(out)
+    }
+
+    fn edge(
+        &self,
+        cfg: &Cfg,
+        from: usize,
+        _to: usize,
+        kind: EdgeKind,
+        infact: &BoundFact,
+        outfact: &BoundFact,
+    ) -> BoundFact {
+        if kind == EdgeKind::Try {
+            return infact.clone();
+        }
+        let mut fact = outfact.clone();
+        if kind == EdgeKind::Then && cfg.nodes[from].kind == NodeKind::Cond {
+            if let Some(facts) = fact.as_mut() {
+                let (lo, hi) = cfg.nodes[from].span;
+                for gen in cond_checks(self.file, lo, hi.min(self.file.tokens.len())) {
+                    facts.insert(gen);
+                }
+            }
+        }
+        fact
+    }
+}
+
+/// Bound checks provable from a condition span: `expr < c.len()` and
+/// `c.len() > expr` (strict comparisons only — `<=` admits `len`
+/// itself). Each `&&`-separated segment is scanned independently.
+fn cond_checks(file: &SourceFile, lo: usize, hi: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for j in lo..hi {
+        let tok = &file.tokens[j];
+        // `expr < c . len ( )`
+        if tok.is_punct('<')
+            && !file.tokens.get(j + 1).is_some_and(|t| t.is_punct('='))
+            && file.tokens.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && file.tokens.get(j + 2).is_some_and(|t| t.is_punct('.'))
+            && file.tokens.get(j + 3).is_some_and(|t| t.is_ident("len"))
+            && file.tokens.get(j + 4).is_some_and(|t| t.is_punct('('))
+            && file.tokens.get(j + 5).is_some_and(|t| t.is_punct(')'))
+        {
+            let start = segment_start(file, lo, j);
+            if start < j {
+                out.push((
+                    norm(&file.tokens[start..j]),
+                    file.tokens[j + 1].text.clone(),
+                ));
+            }
+        }
+        // `c . len ( ) > expr`
+        if tok.kind == TokenKind::Ident
+            && file.tokens.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && file.tokens.get(j + 2).is_some_and(|t| t.is_ident("len"))
+            && file.tokens.get(j + 3).is_some_and(|t| t.is_punct('('))
+            && file.tokens.get(j + 4).is_some_and(|t| t.is_punct(')'))
+            && file.tokens.get(j + 5).is_some_and(|t| t.is_punct('>'))
+            && !file.tokens.get(j + 6).is_some_and(|t| t.is_punct('='))
+        {
+            let end = segment_end(file, j + 6, hi);
+            if j + 6 < end {
+                out.push((norm(&file.tokens[j + 6..end]), tok.text.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Start of the `&&`-separated segment containing `j`. The node span
+/// includes the `if`/`while` keyword itself, so keywords bound the
+/// segment too.
+fn segment_start(file: &SourceFile, lo: usize, j: usize) -> usize {
+    let mut k = j;
+    while k > lo {
+        let t = &file.tokens[k - 1];
+        if t.is_punct('&') || t.is_punct('|') || t.is_punct('(') || t.is_punct('{') {
+            break;
+        }
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "if" | "while" | "else" | "let")
+        {
+            break;
+        }
+        k -= 1;
+    }
+    k
+}
+
+/// End of the `&&`-separated segment starting at `j`.
+fn segment_end(file: &SourceFile, j: usize, hi: usize) -> usize {
+    let mut k = j;
+    while k < hi {
+        let t = &file.tokens[k];
+        if t.is_punct('&') || t.is_punct('|') || t.is_punct('{') || t.is_punct(')') {
+            break;
+        }
+        k += 1;
+    }
+    k
 }

@@ -14,7 +14,10 @@ use crate::parser::SourceFile;
 
 pub struct StdOnly;
 
-const ALLOWED_ROOTS: &[&str] = &["std", "core", "alloc", "crate", "self", "super"];
+// `proc_macro` and `test` ship with the toolchain itself — importing
+// them is not an external dependency.
+const ALLOWED_ROOTS: &[&str] =
+    &["std", "core", "alloc", "crate", "self", "super", "proc_macro", "test"];
 
 impl Rule for StdOnly {
     fn id(&self) -> &'static str {

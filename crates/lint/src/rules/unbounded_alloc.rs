@@ -1,0 +1,266 @@
+//! `unbounded-request-alloc`: a length parsed out of request bytes must
+//! pass an upper-bound check before it sizes an allocation.
+//!
+//! `Content-Length: 18446744073709551615` should cost the attacker a
+//! 4xx, not the server its address space. The rule is a forward taint
+//! analysis over the CFG: `let n = ...parse(...)...` (or
+//! `from_str_radix`) gens taint on `n`; re-binding `n` from anything
+//! non-parsed kills it; and — the flow-sensitive part — comparison
+//! guards sanitize **per branch edge**: after `if n > MAX { return
+//! err; }` the else-edge fact no longer carries `n`, so the allocation
+//! below is clean, while a path that skips the check keeps the taint
+//! and is reported. Sinks are the direct allocation sites
+//! (`with_capacity`, `resize`, `reserve`, `vec![v; n]`) plus calls
+//! whose matching parameter unanimously reaches an allocation sink per
+//! the call-graph summaries.
+
+use super::{in_scope, Context, Rule};
+use crate::callgraph::{alloc_sink_size_span, call_args, call_at, call_hint, FnRef};
+use crate::cfg::{Cfg, EdgeKind, NodeKind};
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::SourceFile;
+use std::collections::BTreeMap;
+
+/// Request-handling crates: the only places where integers arrive from
+/// the network or from on-disk records.
+const PREFIXES: &[&str] = &["crates/serve/src", "crates/substrate/src"];
+
+pub struct UnboundedRequestAlloc;
+
+impl Rule for UnboundedRequestAlloc {
+    fn id(&self) -> &'static str {
+        "unbounded-request-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "parsed lengths are bounds-checked before sizing allocations (branch-edge taint)"
+    }
+
+    fn check_file(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Diagnostic>) {
+        if !in_scope(file, ctx, PREFIXES) {
+            return;
+        }
+        let file_idx = ctx.callgraph.file_index(&file.rel_path);
+        for (idx, item) in file.fns.iter().enumerate() {
+            if item.is_test || file.in_test(item.body.0) {
+                continue;
+            }
+            let (open, close) = item.body;
+            let any_parse = (open..close).any(|i| is_parse_call(file, i));
+            if !any_parse {
+                continue;
+            }
+            let caller = file_idx.map(|f| FnRef { file: f, idx });
+            let cfg = Cfg::build(file, item);
+            let analysis = Taint { file };
+            let solution = solve(&cfg, &analysis);
+            for node in cfg.indices() {
+                let tainted = &solution.input[node];
+                if tainted.is_empty() {
+                    continue;
+                }
+                let (lo, hi) = cfg.nodes[node].span;
+                let hi = hi.min(file.tokens.len());
+                for i in lo..hi {
+                    // Direct sink: the size expression mentions taint.
+                    if let Some((slo, shi)) = alloc_sink_size_span(file, i) {
+                        for (name, &src_line) in tainted {
+                            let hit = file.tokens[slo..shi.min(file.tokens.len())]
+                                .iter()
+                                .any(|t| t.is_ident(name));
+                            if hit {
+                                push(out, self.id(), file, file.tokens[i].line, name, src_line);
+                            }
+                        }
+                        continue;
+                    }
+                    // Interprocedural sink: argument j of a callee whose
+                    // parameter j unanimously reaches an allocation.
+                    let Some((callee, paren)) = call_at(file, i) else {
+                        continue;
+                    };
+                    let hint = call_hint(file, i, item.impl_type.as_deref());
+                    for (j, &(alo, ahi)) in call_args(file, paren).iter().enumerate() {
+                        for (name, &src_line) in tainted {
+                            let hit = file.tokens[alo..ahi.min(file.tokens.len())]
+                                .iter()
+                                .any(|t| t.is_ident(name));
+                            if hit
+                                && ctx.callgraph.unanimously_allocates_param(
+                                    &callee,
+                                    hint.as_deref(),
+                                    caller,
+                                    j,
+                                )
+                            {
+                                push(out, self.id(), file, file.tokens[i].line, name, src_line);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn push(
+    out: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    file: &SourceFile,
+    line: u32,
+    name: &str,
+    src_line: u32,
+) {
+    out.push(Diagnostic {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message: format!(
+            "`{name}` (parsed from input at line {src_line}) sizes an allocation \
+             without an upper-bound check on this path; compare it against a \
+             limit first"
+        ),
+    });
+}
+
+/// `.parse(` or `from_str_radix(` at token `i`.
+fn is_parse_call(file: &SourceFile, i: usize) -> bool {
+    let tok = &file.tokens[i];
+    if tok.is_ident("parse") && i > 0 && file.tokens[i - 1].is_punct('.') {
+        return file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || file.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'));
+    }
+    tok.is_ident("from_str_radix") && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Fact: tainted binding name → line of the parse that produced it.
+struct Taint<'a> {
+    file: &'a SourceFile,
+}
+
+impl Analysis for Taint<'_> {
+    type Fact = BTreeMap<String, u32>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn init(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn merge(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        for (k, v) in from {
+            into.entry(k.clone()).or_insert(*v);
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, node: usize, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        let (lo, hi) = cfg.nodes[node].span;
+        let hi = hi.min(self.file.tokens.len());
+        // Statement-shaped nodes: (re)bindings gen or kill taint.
+        let mut p = lo;
+        if self.file.tokens.get(p).is_some_and(|t| t.is_ident("let")) {
+            p += 1;
+            if self.file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+                p += 1;
+            }
+            if let Some(name) = self.file.tokens.get(p) {
+                if name.kind == TokenKind::Ident && name.text != "_" {
+                    let parsed = (p + 1..hi).any(|i| is_parse_call(self.file, i));
+                    if parsed {
+                        out.insert(name.text.clone(), name.line);
+                    } else {
+                        // Shadowing re-binding from a non-parsed value
+                        // (e.g. `let n = n.min(MAX);`) launders taint.
+                        out.remove(&name.text);
+                    }
+                }
+            }
+        } else if self
+            .file
+            .tokens
+            .get(lo)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+            && self.file.tokens.get(lo + 1).is_some_and(|t| t.is_punct('='))
+            && !self.file.tokens.get(lo + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let parsed = (lo + 2..hi).any(|i| is_parse_call(self.file, i));
+            let name = &self.file.tokens[lo];
+            if parsed {
+                out.insert(name.text.clone(), name.line);
+            } else {
+                out.remove(&name.text);
+            }
+        }
+        out
+    }
+
+    /// Branch-edge sanitization: a comparison against a limit clears the
+    /// taint on the side where the bound is known to hold.
+    fn edge(
+        &self,
+        cfg: &Cfg,
+        from: usize,
+        _to: usize,
+        kind: EdgeKind,
+        infact: &Self::Fact,
+        outfact: &Self::Fact,
+    ) -> Self::Fact {
+        let mut fact = outfact.clone();
+        if kind == EdgeKind::Try {
+            return infact.clone();
+        }
+        if cfg.nodes[from].kind != NodeKind::Cond
+            || (kind != EdgeKind::Then && kind != EdgeKind::Else)
+        {
+            return fact;
+        }
+        let (lo, hi) = cfg.nodes[from].span;
+        let hi = hi.min(self.file.tokens.len());
+        fact.retain(|name, _| {
+            for i in lo..hi {
+                let tok = &self.file.tokens[i];
+                // `n > MAX` / `n >= MAX`: else-edge means n ≤ MAX.
+                if tok.is_ident(name) {
+                    if let Some(next) = self.file.tokens.get(i + 1) {
+                        if next.is_punct('>') && kind == EdgeKind::Else {
+                            return false;
+                        }
+                        if next.is_punct('<') && kind == EdgeKind::Then {
+                            return false;
+                        }
+                    }
+                }
+                // `MAX > n`: then-edge means n < MAX (and dually).
+                if i > 0 && tok.is_ident(name) {
+                    let prev = &self.file.tokens[i - 1];
+                    let prev_is_cmp_tail = prev.is_punct('=')
+                        && i > 1
+                        && (self.file.tokens[i - 2].is_punct('>')
+                            || self.file.tokens[i - 2].is_punct('<'));
+                    let op = if prev_is_cmp_tail {
+                        &self.file.tokens[i - 2]
+                    } else {
+                        prev
+                    };
+                    if op.is_punct('>') && kind == EdgeKind::Then {
+                        return false;
+                    }
+                    if op.is_punct('<') && kind == EdgeKind::Else {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+        fact
+    }
+}

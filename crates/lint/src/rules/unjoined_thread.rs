@@ -1,0 +1,178 @@
+//! `unjoined-thread`: a spawned `JoinHandle` must be joined (or at
+//! least handed off) on every path.
+//!
+//! A handle silently dropped detaches the thread: panics vanish,
+//! shutdown races the detached work, and `verify.sh`-style gates see a
+//! clean exit while a worker is still mutating the corpus. The rule is
+//! a forward **must**-analysis over the CFG: a fact is a spawned
+//! binding not yet mentioned again; merge is intersection, so a handle
+//! joined on *some* path but forgotten on another is still reported
+//! ("never joined on any path" means the fact survives to exit on at
+//! least every merged path). Any later mention of the binding —
+//! `h.join()`, `handles.push(h)`, returning it, storing it in a struct
+//! — kills the fact: ambiguity about *how* the handle is consumed
+//! degrades to silence. `Try` edges carry the input fact, because a
+//! `spawn(...)?` statement that exits early never produced a handle.
+
+use super::{stmt_end, stmt_start, Context, Rule};
+use crate::cfg::{Cfg, EdgeKind};
+use crate::dataflow::{solve, Analysis, Direction};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parser::{FnItem, SourceFile};
+use std::collections::BTreeMap;
+
+pub struct UnjoinedThread;
+
+impl Rule for UnjoinedThread {
+    fn id(&self) -> &'static str {
+        "unjoined-thread"
+    }
+
+    fn description(&self) -> &'static str {
+        "spawned threads are joined or handed off on every path (CFG must-analysis)"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Diagnostic>) {
+        for item in &file.fns {
+            if item.is_test || file.in_test(item.body.0) {
+                continue;
+            }
+            let spawns = spawn_bindings(file, item);
+            if spawns.is_empty() {
+                continue;
+            }
+            let cfg = Cfg::build(file, item);
+            let analysis = Unjoined {
+                file,
+                spawns: &spawns,
+            };
+            let solution = solve(&cfg, &analysis);
+            let Some(leaked) = &solution.input[cfg.exit] else {
+                continue; // exit unreachable (infinite serve loop)
+            };
+            for (name, &(line, _)) in leaked {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "thread handle `{name}` spawned here is never joined (or \
+                         otherwise consumed) on any path; join it, store it, or \
+                         detach explicitly"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// One `let h = ...spawn(...)...;` binding: name → (line, name token).
+fn spawn_bindings(file: &SourceFile, item: &FnItem) -> BTreeMap<String, (u32, usize)> {
+    let mut out = BTreeMap::new();
+    let (open, close) = item.body;
+    let mut i = open + 1;
+    while i < close {
+        let tok = &file.tokens[i];
+        if tok.is_ident("let") {
+            let mut p = i + 1;
+            if file.tokens.get(p).is_some_and(|t| t.is_ident("mut")) {
+                p += 1;
+            }
+            if let Some(name) = file.tokens.get(p) {
+                if name.kind == TokenKind::Ident && name.text != "_" {
+                    let end = stmt_end(file, p).min(close);
+                    let rhs = &file.tokens[p..end];
+                    let spawns = rhs.windows(2).any(|w| {
+                        w[0].is_ident("spawn") && w[1].is_punct('(')
+                    });
+                    // Require the thread API to be visible in the
+                    // statement so `Command::new(..).spawn()` (a child
+                    // process, reaped via its own handle) stays silent.
+                    let thread_api = rhs
+                        .iter()
+                        .any(|t| t.is_ident("thread") || t.is_ident("Builder"));
+                    if spawns && thread_api {
+                        out.insert(name.text.clone(), (name.line, p));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Fact: `None` = unreachable ⊤; `Some(map)` = bindings spawned but not
+/// yet consumed on *every* path reaching this point.
+struct Unjoined<'a> {
+    file: &'a SourceFile,
+    spawns: &'a BTreeMap<String, (u32, usize)>,
+}
+
+type Fact = Option<BTreeMap<String, (u32, usize)>>;
+
+impl Analysis for Unjoined<'_> {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Fact {
+        Some(BTreeMap::new())
+    }
+
+    fn init(&self) -> Fact {
+        None
+    }
+
+    fn merge(&self, into: &mut Fact, from: &Fact) {
+        match (into.as_mut(), from) {
+            (_, None) => {}
+            (None, Some(_)) => *into = from.clone(),
+            (Some(a), Some(b)) => a.retain(|k, _| b.contains_key(k)),
+        }
+    }
+
+    fn transfer(&self, cfg: &Cfg, node: usize, fact: &Fact) -> Fact {
+        let Some(fact) = fact else { return None };
+        let mut out = fact.clone();
+        let (lo, hi) = cfg.nodes[node].span;
+        let hi = hi.min(self.file.tokens.len());
+        for i in lo..hi {
+            let tok = &self.file.tokens[i];
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if let Some(&(line, name_tok)) = self.spawns.get(&tok.text) {
+                if i == name_tok {
+                    // The binding itself: the handle is born here.
+                    out.insert(tok.text.clone(), (line, name_tok));
+                } else if stmt_start(self.file, i) != stmt_start(self.file, name_tok) {
+                    // Any later mention — join, push, move, return —
+                    // consumes or hands off the handle.
+                    out.remove(&tok.text);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn edge(
+        &self,
+        _cfg: &Cfg,
+        _from: usize,
+        _to: usize,
+        kind: EdgeKind,
+        infact: &Fact,
+        outfact: &Fact,
+    ) -> Fact {
+        if kind == EdgeKind::Try {
+            // `let h = spawn(...)?;` failing never bound the handle.
+            infact.clone()
+        } else {
+            outfact.clone()
+        }
+    }
+}

@@ -55,6 +55,21 @@ impl Rule for WallClock {
                      pass timings in from the caller instead",
                     tok.text
                 )),
+                // `thread::sleep` in a pure crate is both a hidden clock
+                // dependence and a sign pipeline code is waiting on
+                // something — neither belongs in a pure function.
+                "sleep" => {
+                    let qualified = i >= 3
+                        && file.tokens[i - 1].is_punct(':')
+                        && file.tokens[i - 2].is_punct(':')
+                        && file.tokens[i - 3].is_ident("thread");
+                    (qualified && file.tokens.get(i + 1).is_some_and(|t| t.is_punct('(')))
+                        .then(|| {
+                            "`thread::sleep` in a pure pipeline crate hides a timing \
+                             dependence; pure code must not wait"
+                                .to_owned()
+                        })
+                }
                 "env" => {
                     // `env::var(...)` etc. — require the `::reader` shape so
                     // a local named `env` does not trip the rule.

@@ -1,0 +1,48 @@
+// Negative fixture for lock-across-blocking: guards released before
+// the I/O, block-scoped guards, the condvar-consumes-guard idiom, and
+// one justified suppression.
+use std::fs::File;
+use std::net::TcpStream;
+use webre_substrate::sync::{Condvar, Mutex};
+
+pub struct Outbox {
+    queue: Mutex<Vec<u8>>,
+    ready: Condvar,
+}
+
+impl Outbox {
+    // Clean: the guard is dropped before the socket write; only the
+    // copy crosses the blocking call.
+    pub fn drain(&self, sock: &mut TcpStream) {
+        let queue = self.queue.lock();
+        let snapshot = queue.clone();
+        drop(queue);
+        sock.write_all(&snapshot).ok();
+    }
+
+    // Clean: the guard dies at the end of its block, before the write.
+    pub fn drain_scoped(&self, sock: &mut TcpStream) {
+        let snapshot = {
+            let queue = self.queue.lock();
+            queue.clone()
+        };
+        sock.write_all(&snapshot).ok();
+    }
+
+    // Clean: `wait` consumes the guard by value — that is the condvar
+    // contract, not a guard held across blocking.
+    pub fn park_until_ready(&self) {
+        let queue = self.queue.lock();
+        let queue = self.ready.wait(queue);
+        drop(queue);
+    }
+
+    // Suppressed: the fsync is deliberately inside the critical
+    // section so no append can land between flush and acknowledgement.
+    pub fn checkpoint(&self, wal: &mut File) {
+        let queue = self.queue.lock();
+        // webre::allow(lock-across-blocking): fsync under the lock is the durability barrier for the queue
+        wal.sync_all().ok();
+        drop(queue);
+    }
+}

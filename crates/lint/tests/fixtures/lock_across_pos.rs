@@ -1,0 +1,39 @@
+// Positive fixture for lock-across-blocking: guards live across
+// blocking I/O — a named guard, a statement temporary, and a call into
+// a helper whose summary says it may block.
+use std::net::TcpStream;
+use webre_substrate::sync::{Mutex, RwLock};
+
+pub struct Journal {
+    entries: Mutex<Vec<u8>>,
+    index: RwLock<Vec<usize>>,
+}
+
+impl Journal {
+    // Finding 1: the named guard is still live when the socket write
+    // blocks — every other writer stalls behind a slow peer.
+    pub fn stream_out(&self, sock: &mut TcpStream) {
+        let entries = self.entries.lock();
+        sock.write_all(&entries).ok();
+    }
+
+    // Finding 2: the read guard is a statement temporary borrowed by
+    // `first`, so it lives to the end of the `if let` — across the
+    // write inside the block.
+    pub fn send_head(&self, sock: &mut TcpStream, payload: &[u8]) {
+        if let Some(first) = self.index.read().first() {
+            sock.write_all(&payload[..*first]).ok();
+        }
+    }
+
+    // Finding 3: interprocedural — `persist` carries a may-block
+    // summary (its write_all), and the guard is live across the call.
+    pub fn checkpoint(&self, sink: &mut TcpStream) {
+        let entries = self.entries.lock();
+        persist(sink, &entries);
+    }
+}
+
+fn persist(sink: &mut TcpStream, data: &[u8]) {
+    sink.write_all(data).ok();
+}

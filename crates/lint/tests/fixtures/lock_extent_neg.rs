@@ -1,0 +1,50 @@
+// Regression fixture for lock-order guard extents: block-scoped
+// guards and mid-function drops end the guard before the next
+// acquisition, so no ordering edge exists. The pre-CFG engine
+// extended every guard to end of function and reported a false ABBA
+// pair here.
+use webre_substrate::sync::Mutex;
+
+pub struct Scoped {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Scoped {
+    // The alpha guard dies at its block's close brace.
+    pub fn forward(&self) -> u64 {
+        let first = {
+            let a = self.alpha.lock();
+            *a
+        };
+        let b = self.beta.lock();
+        first + *b
+    }
+
+    // Reversed lexical order, same block scoping: still no edge.
+    pub fn backward(&self) -> u64 {
+        let first = {
+            let b = self.beta.lock();
+            *b
+        };
+        let a = self.alpha.lock();
+        first + *a
+    }
+
+    // Mid-function `drop` on the straight-line path ends the guard.
+    pub fn serial(&self) -> u64 {
+        let a = self.alpha.lock();
+        let x = *a;
+        drop(a);
+        let b = self.beta.lock();
+        x + *b
+    }
+
+    pub fn serial_rev(&self) -> u64 {
+        let b = self.beta.lock();
+        let x = *b;
+        drop(b);
+        let a = self.alpha.lock();
+        x + *a
+    }
+}

@@ -1,0 +1,31 @@
+// Regression fixture for lock-order guard extents: a `drop` on one
+// branch must not erase the ABBA edge on the branch that keeps the
+// guard. The pre-CFG engine ended the extent at the first `drop`
+// token and missed this pair.
+use webre_substrate::sync::Mutex;
+
+pub struct Extent {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Extent {
+    // alpha -> beta on the slow path: `drop(a)` only happens on the
+    // fast path, so the fall-through still holds `a` at `beta.lock()`.
+    pub fn forward(&self, fast: bool) -> u64 {
+        let a = self.alpha.lock();
+        if fast {
+            drop(a);
+            return 0;
+        }
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    // beta -> alpha: the reversed side of the deadlock.
+    pub fn backward(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

@@ -21,6 +21,26 @@ pub fn head(buf: &[u8]) -> &[u8] {
     &buf[0..4.min(buf.len())]
 }
 
+// Clean: the index arithmetic is dominated by a bound check, and the
+// dataflow pass carries that fact to the access.
+pub fn delim_split(buf: &[u8], i: usize) -> u8 {
+    if i + 1 < buf.len() {
+        return buf[i + 1];
+    }
+    0
+}
+
+// Clean: same fact genned from the reversed comparison in a `while`.
+pub fn scan(buf: &[u8]) -> u32 {
+    let mut i = 0;
+    let mut total = 0u32;
+    while buf.len() > i + 1 {
+        total += u32::from(buf[i + 1]);
+        i += 2;
+    }
+    total
+}
+
 // Suppressed: the caller contract guarantees non-empty input.
 pub fn checked_first(buf: &[u8]) -> u8 {
     // webre::allow(panic-in-hot-path): caller guarantees non-empty input

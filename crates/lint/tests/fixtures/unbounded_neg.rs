@@ -1,0 +1,40 @@
+// Negative fixture for unbounded-request-alloc: early-return bound
+// checks, taint laundered through an explicit clamp, a Then-edge
+// guard, and one justified suppression.
+const LIMIT: usize = 4096;
+
+// Clean: the oversized case returns before the allocation, so every
+// path reaching `with_capacity` is bounded.
+pub fn read_body_checked(header: &str, payload: &[u8]) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    if declared > LIMIT {
+        return Vec::new();
+    }
+    let mut body = Vec::with_capacity(declared);
+    body.extend_from_slice(payload);
+    body
+}
+
+// Clean: the rebinding clamps the value; the taint dies with the old
+// binding.
+pub fn clamped(header: &str) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    let declared = declared.min(LIMIT);
+    vec![0u8; declared]
+}
+
+// Clean: allocation only on the Then side of the bound check.
+pub fn guarded_branch(header: &str) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    if declared < LIMIT {
+        return vec![0u8; declared];
+    }
+    Vec::new()
+}
+
+// Suppressed: a trusted channel, with the trust written down.
+pub fn admin_scratch(header: &str) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    // webre::allow(unbounded-request-alloc): the admin socket is loopback-only; its peer is this process
+    vec![0u8; declared]
+}

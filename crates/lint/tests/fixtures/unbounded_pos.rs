@@ -1,0 +1,26 @@
+// Positive fixture for unbounded-request-alloc: request-derived sizes
+// reaching allocation sinks with no upper-bound check on the reported
+// path.
+pub fn read_body(header: &str, payload: &[u8]) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    // Finding 1: a peer-controlled length sizes the buffer directly.
+    let mut body = Vec::with_capacity(declared);
+    body.extend_from_slice(payload);
+    body
+}
+
+pub fn branch_miss(header: &str) -> Vec<u8> {
+    let declared: usize = header.parse().unwrap_or(0);
+    if declared < 4096 {
+        // Clean path: the Then edge carries the bound.
+        return vec![0u8; declared];
+    }
+    // Finding 2: the large-length path allocates anyway.
+    vec![0u8; declared]
+}
+
+pub fn resize_miss(header: &str, buf: &mut Vec<u8>) {
+    let declared: usize = header.parse().unwrap_or(0);
+    // Finding 3: `resize` grows to whatever the peer claimed.
+    buf.resize(declared, 0);
+}

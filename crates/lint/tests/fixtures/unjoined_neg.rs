@@ -1,0 +1,32 @@
+// Negative fixture for unjoined-thread: joined handles, stored
+// handles, a branch-only join (joined on *a* path is enough), and one
+// deliberate detach with a written reason.
+use std::thread;
+
+// Clean: spawned and joined.
+pub fn joined(n: u64) -> u64 {
+    let h = thread::spawn(move || n + 1);
+    h.join().unwrap_or(n)
+}
+
+// Clean: the handle is stored; whoever owns the vec joins later.
+pub fn stored(handles: &mut Vec<thread::JoinHandle<u64>>, n: u64) {
+    let h = thread::spawn(move || n);
+    handles.push(h);
+}
+
+// Clean: a naive checker would flag the path that skips the `if`, but
+// "never joined on any path" means a single joining path clears it.
+pub fn branch_joined(flag: bool, n: u64) -> u64 {
+    let h = thread::spawn(move || n);
+    if flag {
+        return h.join().unwrap_or(0);
+    }
+    n
+}
+
+// Suppressed: deliberately detached with the reason written down.
+pub fn detached_flusher(n: u64) {
+    // webre::allow(unjoined-thread): the flusher is detached by design; process exit reaps it
+    let flusher = thread::spawn(move || n);
+}

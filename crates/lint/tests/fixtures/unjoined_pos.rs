@@ -1,0 +1,20 @@
+// Positive fixture for unjoined-thread: JoinHandles that no path ever
+// joins, stores, or otherwise consumes.
+use std::thread;
+
+// Finding 1: spawned, bound, and forgotten — the fn returns while the
+// worker is still running and nothing can observe its panic.
+pub fn fire_and_forget(jobs: Vec<u64>) -> usize {
+    let worker = thread::spawn(move || jobs.iter().sum::<u64>());
+    42
+}
+
+// Finding 2: the handle is unjoined on the early-return path *and* the
+// fall-through path — unjoined on every path, so it is reported.
+pub fn forgets_everywhere(n: u64) -> u64 {
+    let h = thread::spawn(move || n * 2);
+    if n > 100 {
+        return 0;
+    }
+    n
+}

@@ -16,6 +16,15 @@ pub fn render(env: &Budget) -> String {
     format!("{:?}", env.deadline)
 }
 
+// Clean: an unqualified call to a local named `sleep` is not
+// `thread::sleep`.
+pub fn settle(budget: &Budget) -> Duration {
+    fn sleep(d: Duration) -> Duration {
+        d
+    }
+    sleep(budget.deadline)
+}
+
 // Suppressed: one sanctioned clock read, isolated and justified.
 pub fn trace_epoch() -> u64 {
     // webre::allow(no-wall-clock): trace-only; value never reaches output

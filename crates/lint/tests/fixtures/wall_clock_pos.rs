@@ -15,6 +15,11 @@ pub fn timed_parse(input: &str) -> (usize, u128) {
     (n, start.elapsed().as_nanos())
 }
 
+pub fn backoff() {
+    // Finding: pure code must not wait.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
 pub fn configured_limit() -> usize {
     std::env::var("WEBRE_LIMIT")
         .ok()

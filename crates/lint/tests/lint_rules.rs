@@ -70,8 +70,9 @@ fn std_only_fires_on_positives_only() {
 fn wall_clock_fires_on_positives_only() {
     let diags = rule_findings("no-wall-clock", &["wall_clock_pos.rs", "wall_clock_neg.rs"]);
     let (pos, neg) = split_counts(&diags, "wall_clock_pos.rs", "wall_clock_neg.rs");
-    // Import line (SystemTime + Instant), one use of each, plus env::var.
-    assert_eq!(pos, 5, "{diags:?}");
+    // Import line (SystemTime + Instant), one use of each, env::var,
+    // and thread::sleep.
+    assert_eq!(pos, 6, "{diags:?}");
     assert_eq!(neg, 0, "negative fixture must stay silent: {diags:?}");
 }
 
@@ -103,6 +104,47 @@ fn lock_order_fires_on_positives_only() {
     assert_eq!(neg, 0, "file-wide suppression must silence the teardown pair: {diags:?}");
 }
 
+/// Guard-extent regressions: a branch-only `drop` must keep the edge
+/// on the path that holds the guard, while block scopes and
+/// straight-line drops end the guard before the next acquisition.
+#[test]
+fn lock_order_guard_extents_are_flow_sensitive() {
+    let diags = rule_findings("lock-order", &["lock_extent_pos.rs", "lock_extent_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "lock_extent_pos.rs", "lock_extent_neg.rs");
+    assert_eq!(pos, 2, "conditional drop keeps the fall-path ABBA pair: {diags:?}");
+    assert_eq!(neg, 0, "scoped/dropped guards must not produce edges: {diags:?}");
+}
+
+#[test]
+fn lock_across_blocking_fires_on_positives_only() {
+    let diags = rule_findings(
+        "lock-across-blocking",
+        &["lock_across_pos.rs", "lock_across_neg.rs"],
+    );
+    let (pos, neg) = split_counts(&diags, "lock_across_pos.rs", "lock_across_neg.rs");
+    assert_eq!(pos, 3, "named guard, statement temporary, may-block callee: {diags:?}");
+    assert_eq!(neg, 0, "drop/scope/condvar/suppression must stay silent: {diags:?}");
+}
+
+#[test]
+fn unjoined_thread_fires_on_positives_only() {
+    let diags = rule_findings("unjoined-thread", &["unjoined_pos.rs", "unjoined_neg.rs"]);
+    let (pos, neg) = split_counts(&diags, "unjoined_pos.rs", "unjoined_neg.rs");
+    assert_eq!(pos, 2, "both forgotten handles: {diags:?}");
+    assert_eq!(neg, 0, "join/store/branch-join/suppression must stay silent: {diags:?}");
+}
+
+#[test]
+fn unbounded_alloc_fires_on_positives_only() {
+    let diags = rule_findings(
+        "unbounded-request-alloc",
+        &["unbounded_pos.rs", "unbounded_neg.rs"],
+    );
+    let (pos, neg) = split_counts(&diags, "unbounded_pos.rs", "unbounded_neg.rs");
+    assert_eq!(pos, 3, "with_capacity, else-path vec!, resize: {diags:?}");
+    assert_eq!(neg, 0, "bound checks/clamp/suppression must stay silent: {diags:?}");
+}
+
 /// The whole corpus linted as one set: every positive file fires exactly
 /// its own rule; every negative file is silent for all rules.
 #[test]
@@ -120,6 +162,14 @@ fn fixture_corpus_findings_are_exactly_as_expected() {
         "dropped_neg.rs",
         "lock_pos.rs",
         "lock_neg.rs",
+        "lock_extent_pos.rs",
+        "lock_extent_neg.rs",
+        "lock_across_pos.rs",
+        "lock_across_neg.rs",
+        "unjoined_pos.rs",
+        "unjoined_neg.rs",
+        "unbounded_pos.rs",
+        "unbounded_neg.rs",
     ]);
     let got: BTreeSet<(String, &str)> = diags
         .iter()
@@ -135,6 +185,10 @@ fn fixture_corpus_findings_are_exactly_as_expected() {
         ("panic_pos.rs", "panic-in-hot-path"),
         ("dropped_pos.rs", "dropped-result"),
         ("lock_pos.rs", "lock-order"),
+        ("lock_extent_pos.rs", "lock-order"),
+        ("lock_across_pos.rs", "lock-across-blocking"),
+        ("unjoined_pos.rs", "unjoined-thread"),
+        ("unbounded_pos.rs", "unbounded-request-alloc"),
     ]
     .into_iter()
     .map(|(f, r)| (f.to_owned(), r))
@@ -160,6 +214,59 @@ fn diagnostics_are_sorted_and_unique() {
     sorted.sort();
     sorted.dedup();
     assert_eq!(keys, sorted, "diagnostics must be canonicalized");
+}
+
+/// Property: the rendered diagnostic output is byte-identical no
+/// matter what order the input paths arrive in. Shuffles the full
+/// fixture corpus with a deterministic LCG and compares the JSON
+/// rendering against the sorted-order baseline.
+#[test]
+fn diagnostic_output_is_byte_identical_under_file_order_shuffle() {
+    let files = [
+        "nondet_pos.rs",
+        "nondet_neg.rs",
+        "std_only_pos.rs",
+        "std_only_neg.rs",
+        "wall_clock_pos.rs",
+        "wall_clock_neg.rs",
+        "panic_pos.rs",
+        "panic_neg.rs",
+        "dropped_pos.rs",
+        "dropped_neg.rs",
+        "lock_pos.rs",
+        "lock_neg.rs",
+        "lock_extent_pos.rs",
+        "lock_extent_neg.rs",
+        "lock_across_pos.rs",
+        "lock_across_neg.rs",
+        "unjoined_pos.rs",
+        "unjoined_neg.rs",
+        "unbounded_pos.rs",
+        "unbounded_neg.rs",
+    ];
+    let render = |order: &[&str]| -> String {
+        let paths: Vec<PathBuf> = order.iter().map(|f| fixture(f)).collect();
+        let diags =
+            lint_paths(&repo_root(), &paths, &LintConfig::default()).expect("lint run");
+        webre_lint::render_json(&diags)
+    };
+    let baseline = render(&files);
+    // Deterministic LCG (Numerical Recipes constants) drives a
+    // Fisher-Yates shuffle; no external randomness enters the test.
+    let mut state: u64 = 0x5EED_CAFE_F00D_D00D;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for round in 0..8 {
+        let mut shuffled = files;
+        for i in (1..shuffled.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let got = render(&shuffled);
+        assert_eq!(got, baseline, "output drifted under shuffle round {round}");
+    }
 }
 
 /// The workspace's own sources must produce zero findings — the gate

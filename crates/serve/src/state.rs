@@ -144,6 +144,9 @@ impl LiveCorpus {
         inner.snapshot = None;
         let Inner { corpus, store, .. } = &mut *inner;
         if let (Some(store), Some(record)) = (store.as_mut(), record) {
+            // The record is pre-serialized, so only the append itself
+            // runs under the lock (see module docs).
+            // webre::allow(lock-across-blocking): the WAL append must happen inside the write lock — log order equals accretion order is the recovery invariant
             store.log_doc(shard, &record, &corpus.shards()[shard])?;
         }
         Ok((inner.corpus.version(), inner.corpus.len()))
@@ -229,7 +232,9 @@ impl LiveCorpus {
     /// Forces any batched WAL appends to stable storage. A no-op for an
     /// in-memory corpus.
     pub fn sync_to_disk(&self) -> io::Result<()> {
+        // Called from shutdown/admin paths, never the request hot path.
         match self.write().store.as_mut() {
+            // webre::allow(lock-across-blocking): fsync under the write lock is the durability barrier — no append can land between flushing and the caller observing "synced"
             Some(store) => store.sync_to_disk(),
             None => Ok(()),
         }

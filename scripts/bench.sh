@@ -46,6 +46,18 @@ esac
 WEBRE_BENCH_MAP_OUT="$map_out" cargo run --release -p webre-bench --bin map_throughput
 echo "==> map benchmark record(s) in $map_out"
 
+# Lint throughput: the flow-sensitive lint engine over the workspace's
+# own sources, all nine rules; one JSON record with the median wall
+# time, files/s and the finding count (which must be zero — the same
+# invariant verify.sh gates on).
+lint_out="${WEBRE_BENCH_LINT_OUT:-$PWD/BENCH_lint.json}"
+case "$lint_out" in
+    /*) ;;
+    *) lint_out="$PWD/$lint_out" ;;
+esac
+WEBRE_BENCH_LINT_OUT="$lint_out" cargo run --release -p webre-bench --bin lint_throughput
+echo "==> lint benchmark record(s) in $lint_out"
+
 # Observability overhead: full pipeline runs with tracing disabled vs the
 # stats recorder vs the full trace recorder; the summary record holds the
 # overhead percentages against the <3% target.
@@ -89,6 +101,7 @@ stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     grep '"bench":"convert/' "$out" || true
     grep '"name":"serve_convert_cold"' "$serve_out" || true
     grep '"name":"map_throughput/100x"' "$map_out" || true
+    grep '"name":"lint_throughput"' "$lint_out" || true
     grep '"bench":"corpus_scale"' "$scale_out" || true
 } | sed "s/^{/{\"date\":\"$stamp\",/" >> "$history"
 echo "==> $(wc -l <"$history") dated record(s) in $history"

@@ -17,6 +17,23 @@ cargo build --release --workspace
 
 echo "==> webre lint --deny-warnings (in-tree static analysis)"
 ./target/release/webre lint --deny-warnings
+# The registry must expose the full rule pack: the CLI expands
+# --list-rules from the engine, so a rule accidentally dropped from the
+# registry would otherwise stop gating without a trace. The dataflow
+# rules (lock-across-blocking, unjoined-thread, unbounded-request-alloc)
+# ride the same registry as the original six.
+./target/release/webre lint --list-rules > /tmp/webre-rules.$$
+rule_count=$(wc -l < /tmp/webre-rules.$$)
+[ "$rule_count" -eq 9 ] \
+    || { echo "FAIL: lint --list-rules lists $rule_count rules (expected 9)" >&2; cat /tmp/webre-rules.$$ >&2; rm -f /tmp/webre-rules.$$; exit 1; }
+for rule in dropped-result lock-across-blocking lock-order no-wall-clock \
+            nondet-iter panic-in-hot-path std-only unbounded-request-alloc \
+            unjoined-thread; do
+    grep -q "^$rule " /tmp/webre-rules.$$ \
+        || { echo "FAIL: lint rule $rule missing from --list-rules" >&2; rm -f /tmp/webre-rules.$$; exit 1; }
+done
+rm -f /tmp/webre-rules.$$
+echo "    workspace clean under --deny-warnings; all 9 rules registered"
 
 echo "==> cargo test -q"
 cargo test -q
