@@ -42,6 +42,13 @@ struct Outcome {
     rps: f64,
     p50_us: u64,
     p95_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    /// Cache hits/misses attributable to *this* scenario (deltas of the
+    /// server's cumulative counters around the run, not the totals —
+    /// the totals would repeat identically on every record).
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -97,6 +104,10 @@ fn run_scenario(addr: std::net::SocketAddr, clients: usize, scenario: &Scenario)
         rps: requests as f64 / seconds,
         p50_us: percentile(&latencies, 0.50),
         p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        cache_hits: 0,
+        cache_misses: 0,
     }
 }
 
@@ -162,30 +173,35 @@ fn main() {
 
     println!("serve_throughput: {workers} workers, {clients} clients");
     println!(
-        "  {:<14} {:>9} {:>9} {:>10} {:>9} {:>9}",
-        "scenario", "requests", "seconds", "req/s", "p50 µs", "p95 µs"
+        "  {:<14} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "scenario", "requests", "seconds", "req/s", "p50 µs", "p95 µs", "p99 µs", "p99.9 µs"
     );
     let mut records = Vec::new();
     for scenario in &scenarios {
-        let outcome = run_scenario(addr, clients, scenario);
+        // Bracket the run with the server's cumulative cache counters so
+        // each record carries the hits/misses this scenario caused.
+        let before = server.app().cache.stats();
+        let mut outcome = run_scenario(addr, clients, scenario);
+        let after = server.app().cache.stats();
+        outcome.cache_hits = after.hits - before.hits;
+        outcome.cache_misses = after.misses - before.misses;
         println!(
-            "  {:<14} {:>9} {:>9.3} {:>10.0} {:>9} {:>9}",
+            "  {:<14} {:>9} {:>9.3} {:>10.0} {:>9} {:>9} {:>9} {:>9}",
             outcome.name,
             outcome.requests,
             outcome.seconds,
             outcome.rps,
             outcome.p50_us,
-            outcome.p95_us
+            outcome.p95_us,
+            outcome.p99_us,
+            outcome.p999_us
+        );
+        println!(
+            "  {:<14} cache: {} hits / {} misses this scenario",
+            "", outcome.cache_hits, outcome.cache_misses
         );
         records.push(outcome);
     }
-
-    // Cache behaviour sanity, straight from the server's own accounting.
-    let stats = server.app().cache.stats();
-    println!(
-        "  cache: {} hits / {} misses / {} entries",
-        stats.hits, stats.misses, stats.entries
-    );
 
     server.request_drain();
     server.join();
@@ -198,8 +214,17 @@ fn main() {
             out,
             "{{\"name\":\"serve_{}\",\"workers\":{workers},\"clients\":{clients},\
              \"requests\":{},\"seconds\":{:.6},\"rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\
-             \"cache_hits\":{},\"cache_misses\":{}}}",
-            r.name, r.requests, r.seconds, r.rps, r.p50_us, r.p95_us, stats.hits, stats.misses
+             \"p99_us\":{},\"p999_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            r.name,
+            r.requests,
+            r.seconds,
+            r.rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.p999_us,
+            r.cache_hits,
+            r.cache_misses
         )
         .expect("write record");
     }

@@ -1106,3 +1106,150 @@ pub fn map_vs_batch(rng: &mut StdRng) -> Result<(), String> {
     server.join();
     Ok(())
 }
+
+/// Oracle 11 — loris liveness: slow-loris connections must be reaped on
+/// the read budget while the server keeps answering honest clients, and
+/// afterwards no worker may be left holding anything.
+///
+/// A server with a short read budget gets a swarm of connections that
+/// send a partial request head and then trickle one byte at a time —
+/// the classic attack that pins one thread per socket on a
+/// thread-per-connection design. Concurrently, an honest client runs
+/// `/healthz` probes and one cold `/convert` whose reply must stay
+/// byte-identical to the batch engine. Every loris must observe EOF (or
+/// a courtesy 408) within twice the read budget, the reap counter must
+/// account for all of them, and `requests_in_flight` must return to
+/// zero — a reap that leaks a worker or a buffer fails here.
+pub fn loris_liveness(rng: &mut StdRng) -> Result<(), String> {
+    use std::io::{BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+    use webre_serve::server::{ServeConfig, Server};
+    use webre_serve::Engine;
+    use webre_substrate::http::{read_response, write_request};
+
+    // Short enough that 200 battery cases stay in tens of seconds, long
+    // enough that several trickled bytes land inside the budget.
+    let read_budget = Duration::from_millis(150);
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: rng.gen_range(1..=2),
+        queue_cap: 32,
+        read_timeout: read_budget,
+        idle_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let engine = Engine::resume_domain();
+    let document = gen::resume_like(rng);
+    let expected = engine.convert_to_xml(&document).2;
+    let server =
+        Server::start(config, engine).map_err(|e| format!("cannot bind test server: {e}"))?;
+    let addr = server.local_addr();
+    let app = server.app();
+
+    // The swarm: partial head now, one trickled byte per sweep below.
+    let loris_total = rng.gen_range(6..=12usize);
+    let mut swarm = Vec::with_capacity(loris_total);
+    for i in 0..loris_total {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("loris {i} connect: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("loris {i} nonblocking: {e}"))?;
+        (&stream)
+            .write_all(b"POST /convert HTTP/1.1\r\nx-drip: ")
+            .map_err(|e| format!("loris {i} first bytes: {e}"))?;
+        swarm.push((stream, Instant::now(), false));
+    }
+
+    // Honest traffic while the swarm hangs: the server must stay live.
+    let roundtrip = |method: &str, path: &str, body: &[u8]| -> Result<(u16, String), String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| e.to_string())?;
+        write_request(&mut stream, method, path, body, false).map_err(|e| e.to_string())?;
+        let response =
+            read_response(&mut BufReader::new(stream), 64 << 20).map_err(|e| e.to_string())?;
+        Ok((response.status, response.text()))
+    };
+    let (status, body) = roundtrip("POST", "/convert", document.as_bytes())?;
+    if status != 200 || body != expected {
+        return Err(format!(
+            "/convert under loris load diverged from the batch engine (status {status})"
+        ));
+    }
+
+    // Sweep the swarm until every connection is cut, proving liveness
+    // with a healthz probe on each pass.
+    let bound = read_budget * 2;
+    let hard_stop = Instant::now() + Duration::from_secs(5);
+    let mut reaped = 0usize;
+    while reaped < loris_total {
+        if Instant::now() > hard_stop {
+            return Err(format!(
+                "only {reaped}/{loris_total} loris connections reaped within 5s \
+                 (read budget {read_budget:?})"
+            ));
+        }
+        let (status, _) = roundtrip("GET", "/healthz", b"")?;
+        if status != 200 {
+            return Err(format!("healthz answered {status} during the loris storm"));
+        }
+        for (i, (stream, started, done)) in swarm.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            let mut buf = [0u8; 256];
+            let closed = match stream.read(&mut buf) {
+                Ok(0) => true,
+                Ok(_) => false, // courtesy 408 bytes; EOF follows
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Trickle one more byte: the budget must run from
+                    // the FIRST byte, so this must not buy time.
+                    matches!(
+                        stream.write(b"z"),
+                        Err(ref we) if we.kind() != std::io::ErrorKind::WouldBlock
+                    )
+                }
+                Err(_) => true,
+            };
+            if closed {
+                let elapsed = started.elapsed();
+                if elapsed > bound {
+                    return Err(format!(
+                        "loris {i} survived {elapsed:?}, past twice the {read_budget:?} budget"
+                    ));
+                }
+                *done = true;
+                reaped += 1;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(swarm);
+
+    // Accounting: every reap was a read-budget reap, and no worker is
+    // left holding a request.
+    let reaped_read = app.metrics.reaped_read.load(Ordering::Relaxed);
+    if (reaped_read as usize) < loris_total {
+        return Err(format!(
+            "server counted {reaped_read} read-budget reaps for {loris_total} loris connections"
+        ));
+    }
+    let settle = Instant::now() + Duration::from_secs(2);
+    while app.metrics.in_flight.load(Ordering::Relaxed) != 0 {
+        if Instant::now() > settle {
+            return Err(format!(
+                "{} request(s) still in flight after the storm — a worker is hung",
+                app.metrics.in_flight.load(Ordering::Relaxed)
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    server.request_drain();
+    server.join();
+    Ok(())
+}

@@ -46,6 +46,7 @@ pub const ORACLES: &[(&str, Kind, OracleFn)] = &[
     ("brzozowski-vs-backtracking", Kind::Differential, crate::oracles::brzozowski),
     ("miner-vs-bruteforce", Kind::Differential, crate::oracles::miner),
     ("serve-vs-batch", Kind::Differential, crate::oracles::serve_vs_batch),
+    ("loris-liveness", Kind::Differential, crate::oracles::loris_liveness),
     ("trace-noop", Kind::Differential, crate::oracles::trace_noop),
     ("matcher-vs-naive", Kind::Differential, crate::oracles::matcher_vs_naive),
     ("shard-merge-vs-batch", Kind::Differential, crate::oracles::shard_merge_vs_batch),
@@ -238,12 +239,12 @@ mod tests {
         let b = run(&config);
         assert!(a.passed(), "battery failed:\n{}", a.render());
         assert_eq!(a.render(), b.render());
-        // Ten differential + three metamorphic + one fuzz oracle; the
-        // hidden self-test never runs by default.
-        assert_eq!(a.oracles.len(), 14);
+        // Eleven differential + three metamorphic + one fuzz oracle;
+        // the hidden self-test never runs by default.
+        assert_eq!(a.oracles.len(), 15);
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Differential).count(),
-            10
+            11
         );
         assert_eq!(
             a.oracles.iter().filter(|o| o.kind == Kind::Metamorphic).count(),

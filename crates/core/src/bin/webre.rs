@@ -76,6 +76,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "map" => cmd_map(rest),
         "serve" => cmd_serve(rest),
+        "load" => cmd_load(rest),
         "scale" => cmd_scale(rest),
         "stats" => cmd_stats(rest),
         "validate" => cmd_validate(rest),
@@ -122,9 +123,14 @@ usage:
   webre map      <file.html>...  [--domain d.json] [--sup F] [--ratio F] [--budget N]
                  [--no-filter] [--json] [--out-dir DIR] [--trace-out FILE]
   webre serve    [--addr HOST:PORT] [--workers N] [--cache-cap N] [--queue-cap N]
-                 [--max-body BYTES] [--data-dir DIR] [--shards N] [--fsync-every N]
-                 [--compact-min N] [--map-budget N] [--domain d.json] [--root NAME]
-                 [--sup F] [--ratio F] [--trace-out FILE]
+                 [--max-body BYTES] [--deadline-ms N] [--read-timeout-ms N]
+                 [--idle-timeout-ms N] [--write-timeout-ms N] [--data-dir DIR]
+                 [--shards N] [--fsync-every N] [--compact-min N] [--map-budget N]
+                 [--domain d.json] [--root NAME] [--sup F] [--ratio F]
+                 [--trace-out FILE]
+  webre load     [--addr HOST:PORT] [--connections N] [--loris N] [--duration SECS]
+                 [--workers N] [--queue-cap N] [--cache-cap N] [--deadline-ms N]
+                 [--read-timeout-ms N] [--idle-timeout-ms N] [--bench-out FILE]
   webre scale    [--instances K] [--docs N] [--seed S] [--batch B] [--checkpoints C]
                  [--data-dir DIR] [--shards N] [--workers N]
   webre stats    <trace.json>...
@@ -535,6 +541,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
             "cache-cap",
             "queue-cap",
             "max-body",
+            "deadline-ms",
+            "read-timeout-ms",
+            "idle-timeout-ms",
+            "write-timeout-ms",
             "data-dir",
             "shards",
             "fsync-every",
@@ -555,6 +565,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         )));
     }
     let defaults = ServeConfig::default();
+    let ms = |parsed: &Parsed, name: &str, default: std::time::Duration| {
+        Ok::<_, CliError>(std::time::Duration::from_millis(
+            parsed.uint(name, default.as_millis() as usize)? as u64,
+        ))
+    };
     let config = ServeConfig {
         addr: parsed
             .value("addr")
@@ -564,7 +579,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         queue_cap: parsed.uint("queue-cap", defaults.queue_cap)?.max(1),
         cache_cap: parsed.uint("cache-cap", defaults.cache_cap)?,
         max_body: parsed.uint("max-body", defaults.max_body)?,
-        read_timeout: defaults.read_timeout,
+        read_timeout: ms(&parsed, "read-timeout-ms", defaults.read_timeout)?,
+        idle_timeout: ms(&parsed, "idle-timeout-ms", defaults.idle_timeout)?,
+        write_timeout: ms(&parsed, "write-timeout-ms", defaults.write_timeout)?,
+        // 0 (the default) disables deadline shedding entirely.
+        deadline: match parsed.uint("deadline-ms", 0)? {
+            0 => None,
+            millis => Some(std::time::Duration::from_millis(millis as u64)),
+        },
         data_dir: parsed.value("data-dir").map(PathBuf::from),
         shards: parsed.uint("shards", defaults.shards)?.max(1),
         sync_every: parsed.uint("fsync-every", defaults.sync_every)?.max(1),
@@ -594,6 +616,330 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
         eprintln!("trace written to {path}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+// --- webre load: fault-injecting load harness ------------------------
+
+/// Kills the spawned server on drop (normal exit or error unwind) so a
+/// failed load run never leaks a listening process.
+struct LoadChild(std::process::Child);
+
+impl Drop for LoadChild {
+    fn drop(&mut self) {
+        // webre::allow(dropped-result): best-effort teardown; the child may already be gone
+        let _ = self.0.kill();
+        // webre::allow(dropped-result): reap only; exit status of a killed child is meaningless
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a `webre serve` child tuned for the load run and returns it
+/// with its parsed address.
+fn spawn_load_server(
+    workers: usize,
+    queue_cap: usize,
+    cache_cap: usize,
+    deadline_ms: usize,
+    read_timeout_ms: usize,
+    idle_timeout_ms: usize,
+) -> Result<(LoadChild, String), CliError> {
+    use std::io::BufRead;
+    let exe = std::env::current_exe()
+        .map_err(|e| runtime_err(format!("cannot locate own executable: {e}")))?;
+    let mut child = std::process::Command::new(&exe)
+        .arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--queue-cap")
+        .arg(queue_cap.to_string())
+        .arg("--cache-cap")
+        .arg(cache_cap.to_string())
+        .arg("--deadline-ms")
+        .arg(deadline_ms.to_string())
+        .arg("--read-timeout-ms")
+        .arg(read_timeout_ms.to_string())
+        .arg("--idle-timeout-ms")
+        .arg(idle_timeout_ms.to_string())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| runtime_err(format!("cannot spawn the server under test: {e}")))?;
+    let Some(stdout) = child.stdout.take() else {
+        // webre::allow(dropped-result): spawn failed; kill is cleanup only
+        let _ = child.kill();
+        return Err(runtime_err("child stdout was not piped"));
+    };
+    let mut banner = String::new();
+    if std::io::BufReader::new(stdout).read_line(&mut banner).is_err() || banner.is_empty() {
+        // webre::allow(dropped-result): spawn failed; kill is cleanup only
+        let _ = child.kill();
+        return Err(runtime_err(
+            "the server under test exited before announcing its address",
+        ));
+    }
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| runtime_err(format!("unparseable serve banner: {banner:?}")))?
+        .to_owned();
+    Ok((LoadChild(child), addr))
+}
+
+fn cmd_load(args: &[String]) -> Result<ExitCode, CliError> {
+    use webre::serve::load::{run as run_load, LoadConfig};
+    let parsed = parse_flags(
+        args,
+        &[
+            "addr",
+            "connections",
+            "loris",
+            "duration",
+            "workers",
+            "queue-cap",
+            "cache-cap",
+            "deadline-ms",
+            "read-timeout-ms",
+            "idle-timeout-ms",
+            "bench-out",
+        ],
+        &[],
+    )?;
+    if !parsed.positional.is_empty() {
+        return Err(usage_err(format!(
+            "load takes no positional arguments, got {:?}",
+            parsed.positional
+        )));
+    }
+    let connections = parsed.uint("connections", 1000)?.max(32);
+    let loris = parsed.uint("loris", connections / 5)?;
+    if loris + 32 > connections {
+        return Err(usage_err(format!(
+            "--loris {loris} leaves no room for the other client classes \
+             under --connections {connections}"
+        )));
+    }
+    let duration = std::time::Duration::from_secs(parsed.uint("duration", 5)?.max(1) as u64);
+    let workers = parsed.uint("workers", 4)?.max(1);
+    let queue_cap = parsed.uint("queue-cap", 256)?.max(1);
+    let cache_cap = parsed.uint("cache-cap", 4096)?;
+    let deadline_ms = parsed.uint("deadline-ms", 50)?;
+    let read_timeout_ms = parsed.uint("read-timeout-ms", 1000)?.max(100);
+    // Idle holders must survive the whole run, so the idle budget
+    // defaults to comfortably past the driving window.
+    let idle_timeout_ms = parsed.uint(
+        "idle-timeout-ms",
+        duration.as_millis() as usize * 2 + 10_000,
+    )?;
+
+    // External server (--addr) or a child spawned for the run.
+    let (child, addr) = match parsed.value("addr") {
+        Some(addr) => (None, addr.to_owned()),
+        None => {
+            let (child, addr) = spawn_load_server(
+                workers,
+                queue_cap,
+                cache_cap,
+                deadline_ms,
+                read_timeout_ms,
+                idle_timeout_ms,
+            )?;
+            (Some(child), addr)
+        }
+    };
+
+    // Bodies from the synthetic corpus: one hot document (pre-warmed
+    // into the cache by the harness), a cold template mutated per
+    // request, and an identity-probe document checked byte-for-byte
+    // against the batch pipeline after the storm.
+    let generator = CorpusGenerator::new(41);
+    let hot_body = generator.generate_one(0).html.into_bytes();
+    let cold_template = generator.generate_one(1).html.into_bytes();
+    let probe_html = generator.generate_one(2).html;
+    let expected = Pipeline::resume_domain()
+        .serve_engine()
+        .convert_to_xml(&probe_html)
+        .2
+        .into_bytes();
+
+    println!(
+        "load: {connections} connections ({loris} loris) against {addr} for {}s \
+         (deadline {deadline_ms}ms, read budget {read_timeout_ms}ms)",
+        duration.as_secs()
+    );
+    let config = LoadConfig {
+        addr: addr.clone(),
+        connections,
+        loris,
+        duration,
+        hot_body,
+        cold_template,
+        max_body: 1 << 20,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms as u64),
+        identity_probe: Some((probe_html.into_bytes(), expected)),
+    };
+    let report = run_load(&config).map_err(runtime_err)?;
+
+    // Drain the child gracefully so its corpus/obs teardown runs.
+    if child.is_some() {
+        if let Ok(mut stream) = std::net::TcpStream::connect(&addr) {
+            // webre::allow(dropped-result): best-effort drain; the Drop guard kills regardless
+            let _ = webre_substrate::http::write_request(
+                &mut stream,
+                "POST",
+                "/shutdown",
+                b"",
+                false,
+            );
+            // webre::allow(dropped-result): best-effort drain; the Drop guard kills regardless
+            let _ = webre_substrate::http::read_response(
+                &mut std::io::BufReader::new(stream),
+                1 << 20,
+            );
+        }
+    }
+    drop(child);
+
+    println!("  {:<28} {:>12}", "metric", "value");
+    let rows: &[(&str, String)] = &[
+        ("connections opened", report.connections.to_string()),
+        ("requests ok", report.requests_ok.to_string()),
+        ("p50 / p99 / p99.9 µs", format!(
+            "{} / {} / {}",
+            report.p50_us, report.p99_us, report.p999_us
+        )),
+        ("healthz p99 µs", report.healthz_p99_us.to_string()),
+        ("hot convert rps", report.hot_rps.to_string()),
+        ("cold converts", report.cold_requests.to_string()),
+        ("shed (client 429s)", report.shed_client_429.to_string()),
+        ("shed (server deadline)", report.shed_server.to_string()),
+        ("shed (server queue-full)", report.rejected_server.to_string()),
+        ("loris reaped", format!(
+            "{}/{} (p99 {}ms)",
+            report.loris_reaped, report.loris_total, report.loris_reap_p99_ms
+        )),
+        ("reaped read/idle/write", format!(
+            "{}/{}/{}",
+            report.reaped_read, report.reaped_idle, report.reaped_write
+        )),
+        ("oversized 413s", format!(
+            "{}/{}",
+            report.oversized_413, report.oversized_total
+        )),
+        ("abrupt disconnects", report.abrupt.to_string()),
+        ("idle still open", format!(
+            "{}/{}",
+            report.idle_open_after, report.idle_total
+        )),
+        ("stalled workers", report.stalled_workers.to_string()),
+    ];
+    for (name, value) in rows {
+        println!("  {name:<28} {value:>12}");
+    }
+
+    // Hard postconditions: any failure here is the server misbehaving
+    // under load, and the run must say so with a nonzero exit.
+    let mut failures = Vec::new();
+    if report.stalled_workers != 0 {
+        failures.push(format!(
+            "{} request(s) still in flight after quiesce — a worker is hung",
+            report.stalled_workers
+        ));
+    }
+    if report.loris_reaped != report.loris_total {
+        failures.push(format!(
+            "only {}/{} loris connections were reaped",
+            report.loris_reaped, report.loris_total
+        ));
+    }
+    if report.loris_reap_p99_ms > 2 * read_timeout_ms as u64 {
+        failures.push(format!(
+            "loris reap p99 {}ms exceeds twice the {read_timeout_ms}ms read budget",
+            report.loris_reap_p99_ms
+        ));
+    }
+    if !report.shed_accounted {
+        failures.push(format!(
+            "shed accounting mismatch: clients saw {} 429s, the server \
+             recorded {} shed + {} queue-full",
+            report.shed_client_429, report.shed_server, report.rejected_server
+        ));
+    }
+    if report.idle_open_after != report.idle_total {
+        failures.push(format!(
+            "{}/{} idle keep-alive connections survived the run",
+            report.idle_open_after, report.idle_total
+        ));
+    }
+    if report.oversized_413 != report.oversized_total {
+        failures.push(format!(
+            "{}/{} oversized uploads got the early 413",
+            report.oversized_413, report.oversized_total
+        ));
+    }
+    if !report.byte_identical {
+        failures.push("post-storm /convert output diverged from the batch pipeline".to_owned());
+    }
+
+    if let Some(path) = parsed.value("bench-out") {
+        use std::io::Write as _;
+        let record = format!(
+            "{{\"name\":\"serve_load\",\"connections\":{},\"loris\":{},\"duration_s\":{},\
+             \"workers\":{workers},\"deadline_ms\":{deadline_ms},\
+             \"requests_ok\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\
+             \"healthz_p99_us\":{},\"hot_rps\":{},\"cold_requests\":{},\
+             \"shed_client_429\":{},\"shed_server\":{},\"rejected_server\":{},\
+             \"shed_accounted\":{},\"reaped_read\":{},\"reaped_idle\":{},\"reaped_write\":{},\
+             \"loris_total\":{},\"loris_reaped\":{},\"loris_reap_p99_ms\":{},\
+             \"oversized_413\":{},\"oversized_total\":{},\"idle_open_after\":{},\
+             \"idle_total\":{},\"stalled_workers\":{},\"byte_identical\":{}}}",
+            report.connections,
+            report.loris_total,
+            duration.as_secs(),
+            report.requests_ok,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.healthz_p99_us,
+            report.hot_rps,
+            report.cold_requests,
+            report.shed_client_429,
+            report.shed_server,
+            report.rejected_server,
+            report.shed_accounted,
+            report.reaped_read,
+            report.reaped_idle,
+            report.reaped_write,
+            report.loris_total,
+            report.loris_reaped,
+            report.loris_reap_p99_ms,
+            report.oversized_413,
+            report.oversized_total,
+            report.idle_open_after,
+            report.idle_total,
+            report.stalled_workers,
+            report.byte_identical,
+        );
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| runtime_err(format!("cannot open {path}: {e}")))?;
+        writeln!(out, "{record}")
+            .map_err(|e| runtime_err(format!("cannot write {path}: {e}")))?;
+        println!("==> serve_load record appended to {path}");
+    }
+
+    if failures.is_empty() {
+        println!("load: all postconditions held");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Err(runtime_err(format!(
+            "load postconditions failed:\n  - {}",
+            failures.join("\n  - ")
+        )))
+    }
 }
 
 /// Per-stage aggregate over one or more trace files.

@@ -41,8 +41,8 @@ fn usage_lists_every_subcommand() {
     assert!(out.status.success());
     let usage = String::from_utf8_lossy(&out.stdout).into_owned();
     for subcommand in [
-        "convert", "discover", "run", "map", "serve", "stats", "validate", "generate", "check",
-        "lint",
+        "convert", "discover", "run", "map", "serve", "load", "stats", "validate", "generate",
+        "check", "lint",
     ] {
         assert!(
             usage.contains(&format!("webre {subcommand}")),
@@ -65,8 +65,8 @@ fn version_flag_prints_package_version() {
 #[test]
 fn unknown_flag_is_a_usage_error_on_every_subcommand() {
     for subcommand in [
-        "convert", "discover", "run", "map", "serve", "stats", "validate", "generate", "check",
-        "lint",
+        "convert", "discover", "run", "map", "serve", "load", "stats", "validate", "generate",
+        "check", "lint",
     ] {
         let out = bin()
             .args([subcommand, "--no-such-flag"])
@@ -500,7 +500,7 @@ fn check_passes_and_is_deterministic() {
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stdout));
     assert_eq!(a.stdout, b.stdout, "check output is not deterministic");
     let text = String::from_utf8_lossy(&a.stdout);
-    // All ten differential oracles, all three metamorphic invariants
+    // All eleven differential oracles, all three metamorphic invariants
     // and the fuzzer ran.
     for oracle in [
         "fixpoint",
@@ -509,6 +509,7 @@ fn check_passes_and_is_deterministic() {
         "brzozowski-vs-backtracking",
         "miner-vs-bruteforce",
         "serve-vs-batch",
+        "loris-liveness",
         "trace-noop",
         "matcher-vs-naive",
         "shard-merge-vs-batch",
@@ -520,7 +521,7 @@ fn check_passes_and_is_deterministic() {
     ] {
         assert!(text.contains(oracle), "missing oracle {oracle} in:\n{text}");
     }
-    assert!(text.contains("all 14 oracles passed"), "{text}");
+    assert!(text.contains("all 15 oracles passed"), "{text}");
 }
 
 #[test]

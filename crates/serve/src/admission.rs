@@ -1,0 +1,161 @@
+//! Deadline-based admission control for the dispatch queue.
+//!
+//! Before the event loop enqueues a batch for the worker pool it asks
+//! [`Admission`] for an estimate of how long the batch would wait:
+//!
+//! ```text
+//! estimated queue delay = queued_requests × EWMA(service time) / workers
+//! ```
+//!
+//! If the estimate exceeds the configured `--deadline-ms` budget the
+//! batch is rejected up front with `429` + `retry-after` — shedding at
+//! the door is strictly cheaper than timing out after queuing, and it
+//! keeps the latency of *admitted* requests bounded: a request admitted
+//! under a correct estimate waits at most the deadline plus one service
+//! time (the request in service when it arrived).
+//!
+//! The service-time EWMA (α = 1/8) is fed only by *queued* (worker-pool)
+//! requests; inline fast-path requests never touch it, so a flood of
+//! microsecond `/healthz` hits cannot trick the estimator into admitting
+//! work it cannot finish in time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// EWMA smoothing factor as a right-shift: α = 1/8.
+const EWMA_SHIFT: u32 = 3;
+
+/// Queue-delay estimator and admission gate. All methods are lock-free
+/// and callable from the event loop and every worker concurrently.
+#[derive(Debug)]
+pub struct Admission {
+    /// Deadline budget in ns; 0 disables shedding.
+    deadline_ns: u64,
+    /// Worker parallelism the queue drains with.
+    workers: u64,
+    /// Smoothed per-request service time, ns.
+    ewma_ns: AtomicU64,
+    /// Requests currently sitting in the dispatch queue.
+    queued: AtomicI64,
+}
+
+impl Admission {
+    /// `deadline: None` disables shedding; `prior` seeds the service-time
+    /// estimate before the first real observation.
+    pub fn new(deadline: Option<Duration>, workers: usize, prior: Duration) -> Admission {
+        let ns = |d: Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+        Admission {
+            deadline_ns: deadline.map(ns).unwrap_or(0),
+            workers: workers.max(1) as u64,
+            ewma_ns: AtomicU64::new(ns(prior).max(1)),
+            queued: AtomicI64::new(0),
+        }
+    }
+
+    /// Current estimated queue delay for a newly arriving request, ns.
+    pub fn estimate_ns(&self) -> u64 {
+        let queued = self.queued.load(Ordering::Relaxed).max(0) as u64;
+        queued.saturating_mul(self.ewma_ns.load(Ordering::Relaxed)) / self.workers
+    }
+
+    /// Admit or shed a batch of `n` requests. `Err(estimate_ns)` means
+    /// shed: the caller answers 429 with a `retry-after` derived from
+    /// the estimate and must NOT enqueue.
+    pub fn admit(&self, _n: usize) -> Result<(), u64> {
+        if self.deadline_ns == 0 {
+            return Ok(());
+        }
+        let estimate = self.estimate_ns();
+        if estimate > self.deadline_ns {
+            Err(estimate)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Whole seconds (≥ 1) a shed client should wait before retrying.
+    pub fn retry_after_secs(estimate_ns: u64) -> u64 {
+        estimate_ns.div_ceil(1_000_000_000).max(1)
+    }
+
+    /// Record `n` requests entering the dispatch queue.
+    pub fn enqueued(&self, n: usize) {
+        self.queued.fetch_add(n as i64, Ordering::Relaxed);
+    }
+
+    /// Record `n` requests leaving the dispatch queue (popped by a worker).
+    pub fn dequeued(&self, n: usize) {
+        self.queued.fetch_sub(n as i64, Ordering::Relaxed);
+    }
+
+    /// Feed one observed service time into the EWMA.
+    pub fn observe(&self, service: Duration) {
+        let sample = service.as_nanos().min(u64::MAX as u128) as u64;
+        // Racy read-modify-write is fine: the EWMA only needs to track
+        // the service-time scale, not every individual sample.
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = old - (old >> EWMA_SHIFT) + (sample >> EWMA_SHIFT);
+        self.ewma_ns.store(new.max(1), Ordering::Relaxed);
+    }
+
+    /// Current smoothed service time, ns (test/telemetry hook).
+    pub fn service_ewma_ns(&self) -> u64 {
+        self.ewma_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_deadline_admits_everything() {
+        let admission = Admission::new(None, 4, Duration::from_millis(1));
+        admission.enqueued(1_000_000);
+        assert!(admission.admit(64).is_ok());
+    }
+
+    #[test]
+    fn estimate_scales_with_queue_depth_and_workers() {
+        let one_worker = Admission::new(None, 1, Duration::from_millis(1));
+        one_worker.enqueued(10);
+        let four_workers = Admission::new(None, 4, Duration::from_millis(1));
+        four_workers.enqueued(10);
+        assert_eq!(one_worker.estimate_ns(), 10_000_000);
+        assert_eq!(four_workers.estimate_ns(), 2_500_000);
+    }
+
+    #[test]
+    fn sheds_once_estimate_exceeds_deadline() {
+        let admission =
+            Admission::new(Some(Duration::from_millis(5)), 1, Duration::from_millis(1));
+        admission.enqueued(5); // estimate = 5ms, not > 5ms
+        assert!(admission.admit(1).is_ok());
+        admission.enqueued(1); // 6ms > 5ms
+        let est = admission.admit(1).unwrap_err();
+        assert_eq!(est, 6_000_000);
+        assert_eq!(Admission::retry_after_secs(est), 1);
+        admission.dequeued(3); // queue drains → admits again
+        assert!(admission.admit(1).is_ok());
+    }
+
+    #[test]
+    fn ewma_tracks_observed_service_times() {
+        let admission = Admission::new(None, 1, Duration::from_micros(100));
+        for _ in 0..64 {
+            admission.observe(Duration::from_millis(10));
+        }
+        let ewma = admission.service_ewma_ns();
+        assert!(
+            (5_000_000..=10_100_000).contains(&ewma),
+            "EWMA converges toward the observed 10ms: {ewma}"
+        );
+    }
+
+    #[test]
+    fn retry_after_is_ceiled_whole_seconds() {
+        assert_eq!(Admission::retry_after_secs(1), 1);
+        assert_eq!(Admission::retry_after_secs(999_999_999), 1);
+        assert_eq!(Admission::retry_after_secs(1_000_000_001), 2);
+    }
+}

@@ -213,6 +213,14 @@ impl ShardedLru {
         found
     }
 
+    /// Whether `key` is resident, without counting a hit or miss and
+    /// without touching recency. The event loop uses this to decide
+    /// fast-path eligibility; the later real `get` still records the
+    /// hit, so cache statistics stay exact.
+    pub fn contains(&self, key: u64) -> bool {
+        Self::lock(self.shard(key)).map.contains_key(&key)
+    }
+
     /// Stores `value` under `key`, evicting the shard's least recently
     /// used entry if the shard is full.
     pub fn insert(&self, key: u64, value: Arc<String>) {

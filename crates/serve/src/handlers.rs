@@ -117,6 +117,22 @@ pub fn handle_obs(app: &App, request: &Request, ctx: Ctx<'_>) -> Response {
     }
 }
 
+/// Whether `request` can be answered on the event-loop thread without
+/// occupying a worker: constant-time endpoints always, `/convert` only
+/// when the body's XML is already resident in the cache (the probe
+/// counts nothing, so cache statistics stay exact). Routing failures
+/// (404/405) are constant-time too. Everything else — cold conversions,
+/// mapping, corpus writes — goes through the dispatch queue where
+/// admission control can shed it.
+pub fn fast_eligible(app: &App, request: &Request) -> bool {
+    match route(&request.method, request.path()) {
+        Ok(Route::Healthz) | Ok(Route::Metrics) | Ok(Route::Shutdown) => true,
+        Ok(Route::Convert) => app.cache.contains(content_hash(&request.body)),
+        Ok(_) => false,
+        Err(_) => true,
+    }
+}
+
 /// `POST /convert`: HTML → pretty-printed concept-tagged XML, through
 /// the content-hash cache.
 fn convert(app: &App, body: &[u8], ctx: Ctx<'_>) -> Response {

@@ -1,11 +1,14 @@
 //! `webre-serve` — the pipeline as a long-running, concurrent daemon.
 //!
 //! The batch CLI converts a corpus and exits; this crate turns the same
-//! pipeline into an online service: a std-only HTTP/1.1 server
-//! (`std::net::TcpListener`, no external dependencies, consistent with
-//! the workspace's hermetic-build rule) with a fixed pool of worker
-//! threads fed by a bounded MPMC job queue
-//! ([`webre_substrate::sync`]).
+//! pipeline into an online service: a std-only HTTP/1.1 server built
+//! around a readiness-driven event loop (`std::net` non-blocking
+//! sockets multiplexed by [`webre_substrate::poll`], no external
+//! dependencies, consistent with the workspace's hermetic-build rule).
+//! The loop owns every connection and parses requests incrementally;
+//! only *complete* requests reach the fixed pool of worker threads
+//! through a bounded MPMC job queue ([`webre_substrate::sync`]), so an
+//! idle keep-alive connection costs a buffer, not a thread.
 //!
 //! # Endpoints
 //!
@@ -24,10 +27,15 @@
 //! # Robustness invariants
 //!
 //! * **Backpressure, not collapse** — the job queue is bounded
-//!   (`queue_cap`); when it is full the acceptor answers `429
-//!   Too Many Requests` inline instead of queueing unboundedly.
-//! * **Bounded requests** — bodies beyond `max_body` get `413`; slow or
-//!   stalled peers are cut off by socket read/write deadlines (`408`).
+//!   (`queue_cap`) and guarded by deadline-based admission control:
+//!   work whose estimated queue delay exceeds the `deadline` budget is
+//!   shed up front with `429 Too Many Requests` + `retry-after`, and a
+//!   full queue answers `429` instead of buffering unboundedly.
+//! * **Bounded requests** — bodies beyond `max_body` get an early `413`
+//!   (from the headers, before the body streams in); slow-loris peers,
+//!   idle keep-alive connections, and stalled readers are reaped by
+//!   per-connection read/idle/write budgets (`408` where a reply is
+//!   still possible).
 //! * **Panic isolation** — each request runs under `catch_unwind`; a
 //!   panicking conversion yields `500` and the worker thread survives
 //!   (shared locks recover from poisoning because all fallible work
@@ -58,16 +66,22 @@
 //! | [`obs`] | per-request span recording: stats aggregation + optional trace tee |
 //! | [`router`] | method/path → route resolution |
 //! | [`handlers`] | per-route request handling over shared [`handlers::App`] state |
+//! | [`ready`] | per-connection state machine: buffers, budgets, transitions |
+//! | [`admission`] | queue-delay estimation and deadline-based shedding |
 //! | [`pool`] | panic-isolated worker threads draining the job queue |
-//! | [`server`] | listener, acceptor, backpressure, graceful shutdown |
+//! | [`server`] | readiness event loop, dispatch, graceful shutdown |
+//! | [`load`] | fault-injecting load harness (`webre load`) |
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod handlers;
+pub mod load;
 pub mod metrics;
 pub mod obs;
 pub mod persist;
 pub mod pool;
+pub mod ready;
 pub mod router;
 pub mod server;
 pub mod state;

@@ -121,6 +121,24 @@ pub struct Metrics {
     pub queue_depth: AtomicI64,
     /// Total nanoseconds workers spent serving connections.
     pub busy_ns: AtomicU64,
+    /// Requests shed by admission control (429 + retry-after).
+    pub shed: AtomicU64,
+    /// Connections reaped because a partial request outlived the read
+    /// budget (slow-loris defense).
+    pub reaped_read: AtomicU64,
+    /// Keep-alive connections reaped for idling past the idle budget.
+    pub reaped_idle: AtomicU64,
+    /// Connections reaped because the peer stopped draining responses.
+    pub reaped_write: AtomicU64,
+    /// Connections currently owned by the event loop.
+    pub open_connections: AtomicI64,
+    /// Worker-path requests currently executing in a handler. Inline
+    /// fast-path requests are excluded on purpose: they run on the
+    /// event loop (a stall there stops *everything*, detectable on its
+    /// own), and `/metrics` itself is fast-path — counting it would
+    /// make every scrape observe itself and the gauge could never read
+    /// zero over HTTP.
+    pub in_flight: AtomicI64,
 }
 
 impl Metrics {
@@ -136,6 +154,12 @@ impl Metrics {
             panics: AtomicU64::new(0),
             queue_depth: AtomicI64::new(0),
             busy_ns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            reaped_read: AtomicU64::new(0),
+            reaped_idle: AtomicU64::new(0),
+            reaped_write: AtomicU64::new(0),
+            open_connections: AtomicI64::new(0),
+            in_flight: AtomicI64::new(0),
         }
     }
 
@@ -189,6 +213,30 @@ impl Metrics {
             (busy / wall).min(1.0)
         ));
         out.push_str(&format!("workers {}\n", self.workers));
+        out.push_str(&format!(
+            "requests_rejected_total{{reason=\"deadline\"}} {}\n",
+            self.shed.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "connections_reaped_total{{reason=\"read_timeout\"}} {}\n",
+            self.reaped_read.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "connections_reaped_total{{reason=\"idle_timeout\"}} {}\n",
+            self.reaped_idle.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "connections_reaped_total{{reason=\"write_timeout\"}} {}\n",
+            self.reaped_write.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "connections_open {}\n",
+            self.open_connections.load(Ordering::Relaxed).max(0)
+        ));
+        out.push_str(&format!(
+            "requests_in_flight {}\n",
+            self.in_flight.load(Ordering::Relaxed).max(0)
+        ));
         for endpoint in Endpoint::ALL {
             let stats = &self.endpoints[endpoint.index()];
             let requests = stats.requests.load(Ordering::Relaxed);
@@ -268,6 +316,24 @@ mod tests {
         assert!(text.contains("workers 4"), "{text}");
         assert!(text.contains("cache_hits_total 7"), "{text}");
         assert!(text.contains("worker_utilization_ratio"), "{text}");
+    }
+
+    #[test]
+    fn readiness_core_counters_render_with_reason_labels() {
+        let metrics = Metrics::new(2);
+        metrics.shed.fetch_add(9, Ordering::Relaxed);
+        metrics.reaped_read.fetch_add(4, Ordering::Relaxed);
+        metrics.reaped_idle.fetch_add(2, Ordering::Relaxed);
+        metrics.reaped_write.fetch_add(1, Ordering::Relaxed);
+        metrics.open_connections.store(12, Ordering::Relaxed);
+        metrics.in_flight.store(-1, Ordering::Relaxed); // transient skew
+        let text = metrics.render("");
+        assert!(text.contains("requests_rejected_total{reason=\"deadline\"} 9"), "{text}");
+        assert!(text.contains("connections_reaped_total{reason=\"read_timeout\"} 4"), "{text}");
+        assert!(text.contains("connections_reaped_total{reason=\"idle_timeout\"} 2"), "{text}");
+        assert!(text.contains("connections_reaped_total{reason=\"write_timeout\"} 1"), "{text}");
+        assert!(text.contains("connections_open 12"), "{text}");
+        assert!(text.contains("requests_in_flight 0"), "gauges clamp at zero: {text}");
     }
 
     #[test]

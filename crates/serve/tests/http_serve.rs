@@ -143,43 +143,59 @@ fn routing_and_limit_errors_over_the_wire() {
     server.join();
 }
 
+/// A cold conversion big enough to hold the sole worker busy for a
+/// long, observable window (hundreds of ms even in release builds).
+fn parking_body() -> Vec<u8> {
+    RESUME.repeat(4000).into_bytes()
+}
+
 #[test]
 fn queue_overflow_rejects_with_429_and_recovers() {
-    // One worker, one queue slot: occupy the worker, fill the slot,
-    // and the third connection must bounce deterministically.
+    // One worker, one queue slot: occupy the worker with a slow cold
+    // conversion, fill the slot with a second one, and the third must
+    // bounce deterministically. (Idle connections no longer park
+    // workers — the event loop owns them — so occupancy takes real
+    // work now.)
     let server = start(ephemeral(1, 1));
     let addr = server.local_addr();
     let app = server.app();
 
-    // A: accepted and picked up by the sole worker (sends nothing, so
-    // the worker parks in read until we drop it).
-    let idle = TcpStream::connect(addr).unwrap();
-    wait_until("worker to pick up the idle connection", || {
-        app.metrics.queue_depth.load(Ordering::Relaxed) == 0
-            && app.metrics.connections.load(Ordering::Relaxed) == 1
+    // A: a large cold conversion the sole worker picks up.
+    let mut parked = TcpStream::connect(addr).unwrap();
+    parked
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_request(&mut parked, "POST", "/convert", &parking_body(), false).unwrap();
+    wait_until("worker to pick up the slow conversion", || {
+        app.metrics.in_flight.load(Ordering::Relaxed) == 1
+            && app.metrics.queue_depth.load(Ordering::Relaxed) == 0
     });
 
-    // B: accepted, sits in the queue's only slot.
+    // B: a second cold conversion, sits in the queue's only slot.
     let mut queued = TcpStream::connect(addr).unwrap();
     queued
-        .set_read_timeout(Some(Duration::from_secs(10)))
+        .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
-    write_request(&mut queued, "GET", "/healthz", b"", false).unwrap();
-    wait_until("second connection to occupy the queue", || {
+    let queued_body = format!("{RESUME}<!-- queued -->");
+    write_request(&mut queued, "POST", "/convert", queued_body.as_bytes(), false).unwrap();
+    wait_until("second conversion to occupy the queue", || {
         app.metrics.queue_depth.load(Ordering::Relaxed) == 1
     });
 
-    // C: queue full → 429 inline, without unbounded buffering or a hang.
-    let rejected = roundtrip(addr, "GET", "/healthz", b"");
+    // C: queue full → 429 inline from the event loop, without
+    // unbounded buffering or a hang. Must be a cold conversion —
+    // `/healthz` is always served on the fast path and never queues.
+    let rejected_body = format!("{RESUME}<!-- rejected -->");
+    let rejected = roundtrip(addr, "POST", "/convert", rejected_body.as_bytes());
     assert_eq!(rejected.status, 429, "{}", rejected.text());
     assert_eq!(rejected.header("retry-after"), Some("1"));
     assert_eq!(app.metrics.rejected.load(Ordering::Relaxed), 1);
 
-    // Free the worker; the queued connection must now be served.
-    drop(idle);
-    let response = read_response(&mut BufReader::new(queued), 1024).unwrap();
+    // The worker frees itself; both accepted conversions complete.
+    let response = read_response(&mut BufReader::new(parked), 64 * 1024 * 1024).unwrap();
     assert_eq!(response.status, 200);
-    assert_eq!(response.text(), "ok\n");
+    let response = read_response(&mut BufReader::new(queued), 64 * 1024 * 1024).unwrap();
+    assert_eq!(response.status, 200);
 
     server.request_drain();
     server.join();
@@ -191,16 +207,20 @@ fn shutdown_endpoint_drains_queued_work_before_exit() {
     let addr = server.local_addr();
     let app = server.app();
 
-    // Park the sole worker on an idle connection, then queue a real
+    // Park the sole worker on a slow conversion, then queue a second
     // request behind it.
-    let idle = TcpStream::connect(addr).unwrap();
+    let mut parked = TcpStream::connect(addr).unwrap();
+    parked
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write_request(&mut parked, "POST", "/convert", &parking_body(), false).unwrap();
     wait_until("worker pickup", || {
-        app.metrics.queue_depth.load(Ordering::Relaxed) == 0
-            && app.metrics.connections.load(Ordering::Relaxed) == 1
+        app.metrics.in_flight.load(Ordering::Relaxed) == 1
+            && app.metrics.queue_depth.load(Ordering::Relaxed) == 0
     });
     let mut queued = TcpStream::connect(addr).unwrap();
     queued
-        .set_read_timeout(Some(Duration::from_secs(10)))
+        .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     write_request(&mut queued, "POST", "/convert", RESUME.as_bytes(), true).unwrap();
     wait_until("request queued", || {
@@ -209,7 +229,6 @@ fn shutdown_endpoint_drains_queued_work_before_exit() {
 
     // Drain while work is still queued.
     server.request_drain();
-    drop(idle);
 
     // The queued request is served — and the response closes the
     // connection despite the client asking for keep-alive.
@@ -217,9 +236,11 @@ fn shutdown_endpoint_drains_queued_work_before_exit() {
     let response = read_response(&mut reader, 16 * 1024 * 1024).unwrap();
     assert_eq!(response.status, 200);
     assert_eq!(response.header("connection"), Some("close"));
+    let response = read_response(&mut BufReader::new(parked), 64 * 1024 * 1024).unwrap();
+    assert_eq!(response.status, 200);
 
-    server.join(); // acceptor + workers all exited
-    assert_eq!(app.metrics.total_requests(), 1);
+    server.join(); // event loop + workers all exited
+    assert_eq!(app.metrics.total_requests(), 2);
 }
 
 #[test]

@@ -92,17 +92,7 @@ pub fn read_request(
     let Some(line) = read_line(reader, MAX_HEAD_BYTES, true)? else {
         return Ok(None);
     };
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target), Some(version)) =
-        (parts.next(), parts.next(), parts.next())
-    else {
-        return Err(HttpError::Malformed(format!("request line {line:?}")));
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Unsupported(format!("version {version}")));
-    }
-    let method = method.to_ascii_uppercase();
-    let target = target.to_owned();
+    let (method, target) = parse_request_line(&line)?;
 
     let mut headers = Vec::new();
     let mut head_budget = MAX_HEAD_BYTES.saturating_sub(line.len());
@@ -114,10 +104,7 @@ pub fn read_request(
         if line.is_empty() {
             break;
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("header {line:?}")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        headers.push(parse_header_line(&line)?);
     }
 
     let request = Request {
@@ -126,6 +113,42 @@ pub fn read_request(
         headers,
         body: Vec::new(),
     };
+    let length = body_length(&request, max_body)?;
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(format!("reading {length}-byte body: {e}")))?;
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Parses `METHOD target HTTP/1.x` into an uppercased method plus the
+/// target. Shared by the blocking reader and the incremental parser so
+/// their acceptance semantics cannot drift apart.
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!("request line {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Unsupported(format!("version {version}")));
+    }
+    Ok((method.to_ascii_uppercase(), target.to_owned()))
+}
+
+/// Parses one `Name: value` header line (name lowercased, value trimmed).
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed(format!("header {line:?}")));
+    };
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// How many body bytes the head promises, after validating the transfer
+/// mechanism and the `max_body` cap. Errors *before* any body byte is
+/// read — the early-413 guarantee the streaming server relies on.
+fn body_length(request: &Request, max_body: usize) -> Result<usize, HttpError> {
     if request
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
@@ -141,11 +164,7 @@ pub fn read_request(
     if length > max_body {
         return Err(HttpError::TooLarge { limit: max_body });
     }
-    let mut body = vec![0u8; length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::Io(format!("reading {length}-byte body: {e}")))?;
-    Ok(Some(Request { body, ..request }))
+    Ok(length)
 }
 
 /// Reads one CRLF- (or LF-) terminated line without its terminator.
@@ -373,6 +392,307 @@ pub fn write_request(
     writer.flush()
 }
 
+/// Byte buffer shared by the incremental parsers: pushed ranges accrete
+/// at the tail, parsed prefixes are consumed from the head, and the
+/// head-terminator scan position survives across pushes so feeding one
+/// byte at a time stays O(1) amortised.
+#[derive(Debug, Default)]
+struct StreamBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix; bytes before this offset are dead.
+    start: usize,
+    /// Absolute index the blank-line scan has reached.
+    scan: usize,
+}
+
+impl StreamBuf {
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed byte count.
+    fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn peek(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 64 * 1024 {
+            // Compact rarely so pipelined bursts don't memmove per request.
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.scan = self.start;
+    }
+
+    /// Looks for the blank line ending a head block. Returns the length
+    /// of the head *including* its terminator, relative to the unread
+    /// prefix. A lone leading CRLF counts as a (malformed, empty) head
+    /// so the error surfaces instead of the parser waiting forever.
+    fn head_end(&mut self) -> Option<usize> {
+        let buf = &self.buf;
+        let mut i = self.scan.max(self.start);
+        while i < buf.len() {
+            if buf[i] == b'\n' {
+                let line_empty = i == self.start
+                    // webre::allow(panic-in-hot-path): the `i == start` arm above guarantees i ≥ start+1 here
+                    || buf[i - 1] == b'\n'
+                    // webre::allow(panic-in-hot-path): the `i-1 == start` arm guards the i-2 access
+                    || (buf[i - 1] == b'\r' && (i - 1 == self.start || buf[i - 2] == b'\n'));
+                if line_empty {
+                    return Some(i + 1 - self.start);
+                }
+            }
+            i += 1;
+        }
+        // The terminator window is three bytes wide, so resuming two
+        // bytes back is enough to catch one split across pushes.
+        self.scan = self.start.max(self.buf.len().saturating_sub(2));
+        None
+    }
+}
+
+/// Splits a complete head block into its lines (terminators stripped)
+/// and hands the request/status line plus each header line to `parse`.
+fn parse_head_lines(
+    head: &[u8],
+    mut parse: impl FnMut(bool, &str) -> Result<(), HttpError>,
+) -> Result<(), HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))?;
+    let mut first = true;
+    for line in text.split('\n') {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if !first && line.is_empty() {
+            break;
+        }
+        parse(first, line)?;
+        first = false;
+    }
+    Ok(())
+}
+
+/// Incremental request parser: the readiness-driven server pushes byte
+/// ranges as they arrive off a non-blocking socket and drains complete
+/// requests with [`RequestParser::next`]. Semantics match
+/// [`read_request`] exactly — both delegate to the same request-line,
+/// header and body-length helpers — with one addition: a
+/// `Content-Length` beyond `max_body` errors as soon as the *head* is
+/// complete, before any body byte is buffered (streaming early 413).
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    stream: StreamBuf,
+    /// A parsed head still waiting for this many body bytes.
+    pending: Option<(Request, usize)>,
+    failed: bool,
+}
+
+impl RequestParser {
+    /// `max_body` bounds the `Content-Length` the parser will honour,
+    /// exactly like the blocking reader's parameter.
+    pub fn new(max_body: usize) -> RequestParser {
+        RequestParser {
+            max_body,
+            stream: StreamBuf::default(),
+            pending: None,
+            failed: false,
+        }
+    }
+
+    /// Appends newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.stream.push(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request —
+    /// the event loop's backpressure signal.
+    pub fn buffered(&self) -> usize {
+        self.stream.len() + self.pending.as_ref().map_or(0, |(r, _)| r.body.len())
+    }
+
+    /// Whether a request is partially received (head bytes buffered or
+    /// a body outstanding). Drives the read-timeout (slow-loris) clock.
+    pub fn mid_request(&self) -> bool {
+        self.pending.is_some() || self.stream.len() > 0
+    }
+
+    /// Drains the next complete request, `Ok(None)` if more bytes are
+    /// needed. After an error the parser is poisoned: the connection
+    /// has lost framing and must be closed.
+    pub fn next(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.failed {
+            return Err(HttpError::Malformed("parser poisoned by earlier error".into()));
+        }
+        match self.advance() {
+            Ok(request) => Ok(request),
+            Err(err) => {
+                self.failed = true;
+                Err(err)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_len) = self.stream.head_end() else {
+                if self.stream.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge { limit: MAX_HEAD_BYTES });
+                }
+                return Ok(None);
+            };
+            if head_len > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge { limit: MAX_HEAD_BYTES });
+            }
+            let mut method = String::new();
+            let mut target = String::new();
+            let mut headers = Vec::new();
+            parse_head_lines(&self.stream.peek()[..head_len], |first, line| {
+                if first {
+                    let (m, t) = parse_request_line(line)?;
+                    method = m;
+                    target = t;
+                } else {
+                    headers.push(parse_header_line(line)?);
+                }
+                Ok(())
+            })?;
+            let request = Request {
+                method,
+                target,
+                headers,
+                body: Vec::new(),
+            };
+            let need = body_length(&request, self.max_body)?;
+            self.stream.consume(head_len);
+            self.pending = Some((request, need));
+        }
+        // webre::allow(panic-in-hot-path): pending was just set above if absent
+        let need = self.pending.as_ref().map(|(_, need)| *need).unwrap_or(0);
+        if self.stream.len() < need {
+            return Ok(None);
+        }
+        // webre::allow(panic-in-hot-path): pending is Some — the branch above populated it
+        let (mut request, _) = self.pending.take().expect("pending head");
+        request.body = self.stream.peek()[..need].to_vec();
+        self.stream.consume(need);
+        Ok(Some(request))
+    }
+}
+
+/// Incremental response parser — the client-side mirror of
+/// [`RequestParser`], used by the `webre load` harness to drive many
+/// non-blocking connections from one thread.
+#[derive(Debug)]
+pub struct ResponseParser {
+    max_body: usize,
+    stream: StreamBuf,
+    pending: Option<(ParsedResponse, usize)>,
+    failed: bool,
+}
+
+impl ResponseParser {
+    /// `max_body` bounds the `Content-Length` the parser will honour.
+    pub fn new(max_body: usize) -> ResponseParser {
+        ResponseParser {
+            max_body,
+            stream: StreamBuf::default(),
+            pending: None,
+            failed: false,
+        }
+    }
+
+    /// Appends newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.stream.push(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete response.
+    pub fn buffered(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Drains the next complete response, `Ok(None)` if more bytes are
+    /// needed. Errors poison the parser (framing is lost).
+    pub fn next(&mut self) -> Result<Option<ParsedResponse>, HttpError> {
+        if self.failed {
+            return Err(HttpError::Malformed("parser poisoned by earlier error".into()));
+        }
+        match self.advance() {
+            Ok(response) => Ok(response),
+            Err(err) => {
+                self.failed = true;
+                Err(err)
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<ParsedResponse>, HttpError> {
+        if self.pending.is_none() {
+            let Some(head_len) = self.stream.head_end() else {
+                if self.stream.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge { limit: MAX_HEAD_BYTES });
+                }
+                return Ok(None);
+            };
+            let mut status: u16 = 0;
+            let mut headers = Vec::new();
+            parse_head_lines(&self.stream.peek()[..head_len], |first, line| {
+                if first {
+                    let mut parts = line.split_whitespace();
+                    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+                        return Err(HttpError::Malformed(format!("status line {line:?}")));
+                    };
+                    if !version.starts_with("HTTP/1.") {
+                        return Err(HttpError::Unsupported(format!("version {version}")));
+                    }
+                    status = code
+                        .parse()
+                        .map_err(|_| HttpError::Malformed(format!("status code {code:?}")))?;
+                } else {
+                    headers.push(parse_header_line(line)?);
+                }
+                Ok(())
+            })?;
+            let response = ParsedResponse {
+                status,
+                headers,
+                body: Vec::new(),
+            };
+            let need = response
+                .header("content-length")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| HttpError::Malformed(format!("content-length {v:?}")))
+                })
+                .transpose()?
+                .unwrap_or(0);
+            if need > self.max_body {
+                return Err(HttpError::TooLarge { limit: self.max_body });
+            }
+            self.stream.consume(head_len);
+            self.pending = Some((response, need));
+        }
+        let need = self.pending.as_ref().map(|(_, need)| *need).unwrap_or(0);
+        if self.stream.len() < need {
+            return Ok(None);
+        }
+        // webre::allow(panic-in-hot-path): pending is Some — the branch above populated it
+        let (mut response, _) = self.pending.take().expect("pending head");
+        response.body = self.stream.peek()[..need].to_vec();
+        self.stream.consume(need);
+        Ok(Some(response))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,5 +797,127 @@ mod tests {
         assert_eq!(first.target, "/a");
         assert_eq!(second.target, "/b");
         assert!(read_request(&mut reader, 64).unwrap().is_none());
+    }
+
+    // ---- incremental parser -------------------------------------------
+
+    /// Feeds `raw` to an incremental parser in `chunk`-byte slices and
+    /// drains every complete request.
+    fn incremental(raw: &[u8], max_body: usize, chunk: usize) -> Result<Vec<Request>, HttpError> {
+        let mut parser = RequestParser::new(max_body);
+        let mut out = Vec::new();
+        for piece in raw.chunks(chunk.max(1)) {
+            parser.push(piece);
+            while let Some(request) = parser.next()? {
+                out.push(request);
+            }
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn incremental_matches_blocking_at_every_chunk_size() {
+        let raw: Vec<u8> = [
+            b"POST /convert HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello".as_slice(),
+            b"GET /healthz HTTP/1.1\nConnection: close\n\n".as_slice(),
+            b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n".as_slice(),
+        ]
+        .concat();
+        let mut reader = BufReader::new(raw.as_slice());
+        let mut blocking = Vec::new();
+        while let Some(request) = read_request(&mut reader, 1024).unwrap() {
+            blocking.push(request);
+        }
+        for chunk in [1, 2, 3, 7, 16, raw.len()] {
+            let parsed = incremental(&raw, 1024, chunk).unwrap();
+            assert_eq!(parsed, blocking, "divergence at chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_leaves_partial_request_pending() {
+        let mut parser = RequestParser::new(64);
+        parser.push(b"POST /a HTTP/1.1\r\ncontent-le");
+        assert!(parser.next().unwrap().is_none());
+        assert!(parser.mid_request());
+        parser.push(b"ngth: 3\r\n\r\nab");
+        // Head complete, body one byte short.
+        assert!(parser.next().unwrap().is_none());
+        parser.push(b"c");
+        let request = parser.next().unwrap().unwrap();
+        assert_eq!(request.body, b"abc");
+        assert!(!parser.mid_request());
+    }
+
+    #[test]
+    fn incremental_rejects_oversized_body_before_it_arrives() {
+        let mut parser = RequestParser::new(10);
+        // Head promises 100 bytes; not a single body byte is pushed.
+        parser.push(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n");
+        assert_eq!(parser.next(), Err(HttpError::TooLarge { limit: 10 }));
+        // Poisoned thereafter.
+        assert!(parser.next().is_err());
+    }
+
+    #[test]
+    fn incremental_rejects_unterminated_giant_head() {
+        let mut parser = RequestParser::new(1024);
+        parser.push(b"GET / HTTP/1.1\r\nx-filler: ");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 64];
+        parser.push(&filler);
+        assert_eq!(
+            parser.next(),
+            Err(HttpError::TooLarge { limit: MAX_HEAD_BYTES })
+        );
+    }
+
+    #[test]
+    fn incremental_flags_leading_blank_line_as_malformed() {
+        let mut parser = RequestParser::new(64);
+        parser.push(b"\r\n");
+        assert!(matches!(parser.next(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn incremental_pipelined_burst_drains_in_order() {
+        let mut raw = Vec::new();
+        for i in 0..40 {
+            let body = format!("doc-{i}");
+            raw.extend_from_slice(
+                format!(
+                    "POST /corpus/xml HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        let parsed = incremental(&raw, 1024, 13).unwrap();
+        assert_eq!(parsed.len(), 40);
+        for (i, request) in parsed.iter().enumerate() {
+            assert_eq!(request.body, format!("doc-{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn response_parser_round_trips_split_responses() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, &Response::xml(200, "<r/>").with_header("x-cache", "hit"), true)
+            .unwrap();
+        write_response(&mut wire, &Response::text(429, "busy\n").with_header("retry-after", "1"), false)
+            .unwrap();
+        let mut parser = ResponseParser::new(1024);
+        let mut out = Vec::new();
+        for piece in wire.chunks(3) {
+            parser.push(piece);
+            while let Some(response) = parser.next().unwrap() {
+                out.push(response);
+            }
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].status, 200);
+        assert_eq!(out[0].header("x-cache"), Some("hit"));
+        assert_eq!(out[0].text(), "<r/>");
+        assert_eq!(out[1].status, 429);
+        assert_eq!(out[1].header("retry-after"), Some("1"));
     }
 }

@@ -22,7 +22,13 @@
 //!   `webre-serve` job queue, replacing `crossbeam-channel`;
 //! * [`http`] — a minimal HTTP/1.1 request/response codec (no chunked
 //!   encoding, no TLS) for the serving subsystem and its in-process test
-//!   clients, replacing `httparse`/`hyper`-class dependencies;
+//!   clients, replacing `httparse`/`hyper`-class dependencies — including
+//!   an incremental [`http::RequestParser`] that the readiness-driven
+//!   serve core feeds byte ranges as they arrive;
+//! * [`poll`] — a readiness-polling abstraction (level-triggered `epoll`
+//!   on Linux via direct syscalls, a portable sweep fallback elsewhere)
+//!   that multiplexes thousands of non-blocking sockets on one thread,
+//!   replacing `mio`;
 //! * [`wal`] — length-prefixed, checksummed record framing with a
 //!   torn-tail-tolerant decoder and an fsync-batching appender, the file
 //!   format under the durable corpus;
@@ -36,6 +42,7 @@
 pub mod bench;
 pub mod http;
 pub mod json;
+pub mod poll;
 pub mod prop;
 pub mod rand;
 pub mod ring;

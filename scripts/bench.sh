@@ -35,6 +35,22 @@ esac
 WEBRE_BENCH_SERVE_OUT="$serve_out" cargo run --release -p webre-bench --bin serve_throughput
 echo "==> serve benchmark record(s) in $serve_out"
 
+# C10k load soak: `webre load` drives 10k mixed-fault connections (hot,
+# cold, slow-loris, oversized, abrupt disconnects) against a spawned
+# serve instance and APPENDS one serve_load record to the serve snapshot
+# — the serve_throughput step above already truncated it, so the file
+# ends up with exactly one fresh soak per run. The command exits
+# non-zero if any liveness postcondition fails (hung worker, unreaped
+# loris, accounting drift), so a broken serve core fails the bench run
+# outright rather than committing a bad-looking number.
+# WEBRE_BENCH_LOAD_CONNS trims the soak for quick local runs.
+ulimit -n 20000 2>/dev/null || true
+load_conns="${WEBRE_BENCH_LOAD_CONNS:-10000}"
+cargo build --release -q -p webre
+./target/release/webre load --connections "$load_conns" \
+    --loris "$((load_conns / 5))" --duration 5 --bench-out "$serve_out"
+echo "==> load soak record appended to $serve_out"
+
 # Mapping throughput: the tiered planner over a mixed synthetic corpus
 # at growing sizes, filter on vs off; one JSON record per scale with the
 # measured speedup (the regression guard holds the 100x floor).

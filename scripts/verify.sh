@@ -118,6 +118,22 @@ trap - EXIT
 rm -rf "$smoke_dir"
 echo "    serve round-trip, cache hit and graceful drain all verified"
 
+echo "==> load smoke gate (readiness loop, admission control, loris reaping)"
+# `webre load` spawns its own serve child and drives mixed hot / cold /
+# slow-loris / oversized / abruptly-closed traffic at it, then enforces
+# its liveness postconditions itself (exit 1 on any failure): zero hung
+# workers, every loris reaped within 2x the read budget, shed/reject
+# accounting exact, every oversized upload refused with 413, and a
+# /convert response byte-identical to the batch engine. A short soak is
+# enough here — the full C10k shape runs in scripts/bench.sh and its
+# committed record is held by the regression guard.
+ulimit -n 20000 2>/dev/null || true
+./target/release/webre load --connections 500 --loris 50 --duration 2
+echo "    load soak postconditions all held (see table above)"
+
+echo "==> loris-liveness oracle gate (server stays honest while under loris attack)"
+./target/release/webre check --only loris-liveness --iters 10 --seed 1
+
 echo "==> trace smoke gate (--trace-out emits valid chrome://tracing JSON)"
 trace_dir=$(mktemp -d)
 trap 'rm -rf "$trace_dir"' EXIT

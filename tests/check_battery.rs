@@ -22,7 +22,7 @@ fn full_battery_at_default_scale_is_green_and_deterministic() {
     );
 
     let count = |kind: Kind| first.oracles.iter().filter(|o| o.kind == kind).count();
-    assert_eq!(count(Kind::Differential), 10, "ten differential oracles");
+    assert_eq!(count(Kind::Differential), 11, "eleven differential oracles");
     assert_eq!(count(Kind::Metamorphic), 3, "three metamorphic invariants");
     assert_eq!(count(Kind::Fuzz), 1, "one fuzz-totality oracle");
     assert_eq!(count(Kind::Hidden), 0, "hidden oracles never run by default");
